@@ -1,0 +1,29 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The Sec. 4 statistics benches (loops, cycles, diamonds) share one
+calibrated campaign: it is the expensive part (about a minute at the
+default scale) and all three tables are computed from the same routes,
+exactly as in the paper.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SEED``   — campaign seed (default 42)
+- ``REPRO_BENCH_ROUNDS`` — measurement rounds (default 12; the paper
+  ran 556 — more rounds sharpen the accumulation statistics at the
+  cost of wall time)
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import run_calibrated_campaign
+
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+BENCH_ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "12"))
+
+
+@pytest.fixture(scope="session")
+def calibrated_campaign():
+    """One full campaign shared by the Sec. 4 benches."""
+    return run_calibrated_campaign(seed=BENCH_SEED, rounds=BENCH_ROUNDS)

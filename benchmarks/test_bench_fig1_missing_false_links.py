@@ -1,0 +1,33 @@
+"""E1 — Fig. 1: missing devices and false links under load balancing.
+
+Regenerates the paper's in-text probabilities: with three probes per
+hop and purely random two-way balancing, one of the two hop-7 devices
+goes undiscovered with probability 0.25, and at least one of hops 7/8
+reveals two devices (making link inference ambiguous) with probability
+0.9375.  Also measures how often the silent-router variant of the
+figure produces the false link (A0, D0).
+"""
+
+import pytest
+
+from repro.analysis import run_figure1_experiment
+
+TRIALS = 300
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_fig1_missing_and_false_links(benchmark):
+    result = benchmark.pedantic(
+        run_figure1_experiment, kwargs=dict(trials=TRIALS),
+        iterations=1, rounds=1,
+    )
+    print()
+    print(result.format_table())
+    # The closed forms are the paper's numbers exactly.
+    assert result.analytic_missing == pytest.approx(0.25)
+    assert result.analytic_ambiguous == pytest.approx(0.9375)
+    # Monte-Carlo within sampling error of the analytics.
+    assert result.empirical_missing == pytest.approx(0.25, abs=0.08)
+    assert result.empirical_ambiguous == pytest.approx(0.9375, abs=0.05)
+    # The false link is observed, as the figure warns.
+    assert result.false_link_frequency > 0.05

@@ -1,0 +1,22 @@
+"""E2 — Fig. 2: the roles played by packet header fields.
+
+Derives, from live probe streams, which fields each tool varies and
+whether its flow identifier stays constant — and checks every row
+against the transcription of the paper's figure.
+"""
+
+import pytest
+
+from repro.analysis import header_role_matrix
+from repro.analysis.headerroles import PAPER_EXPECTATION, format_matrix
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_fig2_header_role_matrix(benchmark):
+    rows = benchmark(header_role_matrix)
+    print()
+    print(format_matrix(rows))
+    for row in rows:
+        expected_fields, expected_constant = PAPER_EXPECTATION[row.tool]
+        assert set(row.varied_fields) == expected_fields, row.tool
+        assert row.flow_constant == expected_constant, row.tool

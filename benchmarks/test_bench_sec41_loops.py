@@ -1,0 +1,36 @@
+"""E8 — Sec. 4.1.2: the loop statistics table.
+
+Prints the paper-vs-measured loop table from the shared calibrated
+campaign and asserts the reproduction targets: loops are a small
+minority of routes, their signatures include rare one-round ones, and
+the cause ranking is the paper's — per-flow load balancing dominant,
+then zero-TTL forwarding, then address rewriting / unreachability /
+per-packet residuals.
+"""
+
+import pytest
+
+from repro.core.classify import AnomalyCause
+from repro.core.report import format_loop_table
+
+
+@pytest.mark.benchmark(group="sec4")
+def test_bench_sec41_loop_table(benchmark, calibrated_campaign):
+    loops = benchmark.pedantic(
+        lambda: calibrated_campaign.loops, iterations=1, rounds=1)
+    print()
+    print(format_loop_table(loops))
+    # Loops are common enough to matter, rare enough to be anomalies
+    # (paper: 5.3 % of routes).
+    assert 1.0 < loops.pct_routes < 20.0
+    # More destinations are touched than the per-round rate suggests
+    # (paper: 18 % of destinations vs 5.3 % of routes).
+    assert loops.pct_destinations >= loops.pct_routes
+    # Cause ranking per the paper: 87 / 6.9 / 2.8 / 2.5 / 1.2.
+    share = loops.causes.share
+    assert share(AnomalyCause.PER_FLOW_LB) > 60
+    assert share(AnomalyCause.PER_FLOW_LB) > share(
+        AnomalyCause.ZERO_TTL_FORWARDING) > 0
+    assert share(AnomalyCause.ADDRESS_REWRITING) > 0
+    # Some signatures are one-round wonders (paper: 18 %).
+    assert loops.pct_single_round_signatures > 0

@@ -1,0 +1,30 @@
+"""E10 — Sec. 4.3.2: the diamond statistics table.
+
+Diamonds are the most widespread anomaly (paper: 79 % of destinations)
+because any balanced region manufactures them from path mixing; the
+classic/Paris graph differential attributes the majority to per-flow
+load balancing (paper: 64 %).
+"""
+
+import pytest
+
+from repro.core.report import format_diamond_table
+
+
+@pytest.mark.benchmark(group="sec4")
+def test_bench_sec43_diamond_table(benchmark, calibrated_campaign):
+    diamonds = benchmark.pedantic(
+        lambda: calibrated_campaign.diamonds, iterations=1, rounds=1)
+    print()
+    print(format_diamond_table(diamonds))
+    loops = calibrated_campaign.loops
+    cycles = calibrated_campaign.cycles
+    # Diamonds touch far more destinations than loops or cycles
+    # (paper: 79 % vs 18 % vs 11 %).
+    assert diamonds.pct_destinations > loops.pct_destinations
+    assert diamonds.pct_destinations > cycles.pct_destinations
+    assert diamonds.pct_destinations > 40
+    # The classic graphs hold many more diamonds than the Paris graphs;
+    # the differential is the paper's 64 % per-flow share.
+    assert diamonds.diamonds_classic > diamonds.diamonds_paris
+    assert 30 < diamonds.perflow_share < 95

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's measurement study, end to end.
+
+Generates a seeded internet-like topology (load balancers, NAT
+gateways, a zero-TTL forwarder, routing dynamics), pre-screens pingable
+destinations, runs side-by-side Paris/classic rounds from one vantage
+point, then detects and classifies every loop, cycle, and diamond —
+printing the Sec. 4 statistics tables with the paper's numbers
+alongside.
+
+Takes about a minute.  Run:  python examples/anomaly_census.py [seed]
+"""
+
+import sys
+
+from repro.analysis import run_calibrated_campaign
+from repro.core.classify import AnomalyCause
+
+
+def main() -> None:
+    print(__doc__)
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    print(f"seed={seed}; generating internet and running campaign...\n")
+    campaign = run_calibrated_campaign(seed=seed, rounds=10)
+
+    topology = campaign.topology
+    print(topology.summary())
+    print(f"{len(campaign.destinations)} pingable destinations, "
+          f"{len(campaign.result.rounds)} rounds, "
+          f"{len(campaign.result.routes)} traces\n")
+
+    print(campaign.format_tables())
+
+    loops = campaign.loops
+    print("\nReading the tables:")
+    print(f"- {loops.pct_routes:.1f}% of classic routes contained a loop; "
+          f"{loops.causes.share(AnomalyCause.PER_FLOW_LB):.0f}% of those "
+          "vanish under Paris traceroute")
+    print(f"- cycles hit {campaign.cycles.pct_routes:.2f}% of routes "
+          "(rarer than loops, as the paper finds)")
+    print(f"- {campaign.diamonds.pct_destinations:.0f}% of destinations "
+          f"showed diamonds; {campaign.diamonds.perflow_share:.0f}% of "
+          "classic's diamonds are per-flow artifacts")
+
+
+if __name__ == "__main__":
+    main()

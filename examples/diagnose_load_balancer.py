@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Operator scenario: map a load balancer and identify its policy.
+
+The paper's Sec. 6 sketches two extensions Paris traceroute enables:
+finding *all* interfaces of a load balancer (by deliberately varying
+the flow identifier across whole traces) and telling per-flow from
+per-packet balancing (by re-probing one hop with identical flows).
+Both are implemented on :class:`repro.tracer.ParisTraceroute`; this
+example runs them against a 4-wide per-flow diamond and a per-packet
+one, then prints what a network operator would learn.
+
+Run:  python examples/diagnose_load_balancer.py
+"""
+
+from repro.sim import PerFlowPolicy, PerPacketPolicy, ProbeSocket
+from repro.topology.builder import TopologyBuilder
+from repro.tracer import ParisTraceroute
+
+
+def build_wide_diamond(policy, width=4):
+    """S - L =(width branches)= J - D with the given balancing policy."""
+    builder = TopologyBuilder()
+    source = builder.source()
+    balancer = builder.router("L")
+    join = builder.router("J", respond_from="first")
+    branches = [builder.router(f"B{i}") for i in range(width)]
+    builder.chain([source, balancer], "10.9.0.0/16")
+    egresses = []
+    for branch in branches:
+        egress, join_in = builder.branch(balancer, [branch], join,
+                                         "10.9.0.0/16")
+        egresses.append(egress)
+    destination = builder.host("D", "10.9.0.1")
+    join_down, __ = builder.connect(join, destination)
+    join.add_route("10.9.0.0/16", join_down)
+    join.add_default_route(join_in)
+    builder.balanced_route(balancer, "10.9.0.0/16", egresses, policy)
+    return builder.build(), source, branches, destination
+
+
+def diagnose(title, policy):
+    print(f"=== {title} ===")
+    network, source, branches, destination = build_wide_diamond(policy)
+    paris = ParisTraceroute(ProbeSocket(network, source), seed=3)
+
+    enumeration = paris.enumerate_paths(destination.address, flows=16)
+    print(f"traced 16 distinct flows toward {destination.address}")
+    for ttl in sorted(enumeration.interfaces_per_hop):
+        addresses = sorted(str(a) for a in
+                           enumeration.interfaces_per_hop[ttl])
+        marker = "  <-- balancer fan-out" if len(addresses) > 1 else ""
+        print(f"  hop {ttl}: {', '.join(addresses)}{marker}")
+    print(f"widest fan-out: {enumeration.max_width} interfaces "
+          f"(true width: {len(branches)})")
+
+    verdict = paris.classify_balancer(destination.address, ttl=2,
+                                      attempts=16)
+    print(f"policy verdict at hop 2: {verdict.kind}")
+    print(f"  same-flow probes saw   {len(verdict.same_flow_addresses)} "
+          "address(es)")
+    print(f"  varied-flow probes saw {len(verdict.varied_flow_addresses)} "
+          "address(es)")
+    print()
+    return enumeration, verdict
+
+
+def main() -> None:
+    print(__doc__)
+    enum_flow, verdict_flow = diagnose(
+        "per-flow balancer (hash on the first four transport octets)",
+        PerFlowPolicy(salt=b"demo"))
+    assert verdict_flow.kind == "per-flow"
+    assert enum_flow.max_width == 4
+
+    enum_packet, verdict_packet = diagnose(
+        "per-packet balancer (round-robin)",
+        PerPacketPolicy(seed=1, mode="round-robin"))
+    assert verdict_packet.kind == "per-packet"
+
+    print("Summary: flow-id variation exposes every branch; same-flow\n"
+          "re-probing separates per-flow (stable) from per-packet\n"
+          "(unstable) balancing — the paper's future-work items, working.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Internet mapping: how many links does each tool get wrong?
+
+The paper's motivation for map builders (skitter, Rocketfuel): links
+are inferred from consecutive traceroute hops, so a load balancer makes
+classic traceroute fabricate links that don't exist and miss ones that
+do.  With the simulator we know the true adjacency, so we score each
+tool's inferred maps exactly (``RouteGraph.score_against``), diff the
+two graphs (``RouteGraph.diff`` — the links Paris removes), and emit a
+DOT rendering with the false links highlighted.
+
+Run:  python examples/map_accuracy.py
+"""
+
+from repro.core.graphs import RouteGraph
+from repro.measurement import Campaign, CampaignConfig
+from repro.topology import InternetConfig, generate_internet
+
+
+def main() -> None:
+    print(__doc__)
+    topology = generate_internet(InternetConfig(seed=9))
+    destinations = topology.destination_addresses
+    result = Campaign(topology.network, topology.source, destinations,
+                      CampaignConfig(rounds=5, seed=2)).run()
+
+    classic = RouteGraph.from_routes(result.classic_routes())
+    paris = RouteGraph.from_routes(result.paris_routes())
+
+    print(f"{'tool':10s} {'links':>6s} {'true':>6s} {'false':>6s} "
+          f"{'false %':>8s}")
+    scores = {}
+    for tag, graph in (("classic", classic), ("paris", paris)):
+        score = graph.score_against(topology.network)
+        scores[tag] = score
+        print(f"{tag:10s} {score.total:6d} {score.true_edges:6d} "
+              f"{score.false_edges:6d} {100 * score.false_share:8.1f}")
+
+    diff = classic.diff(paris)
+    print(f"\nclassic-only links (suspect set): {len(diff.only_self)}")
+    print(f"shared links:                     {len(diff.common)}")
+    print(f"share of classic links Paris drops: "
+          f"{100 * diff.removed_share:.1f}%")
+
+    improvement = scores["classic"].false_edges - scores["paris"].false_edges
+    print(f"\nParis eliminates {improvement} of "
+          f"{scores['classic'].false_edges} false links "
+          f"({100 * improvement / max(1, scores['classic'].false_edges):.0f}%).")
+    print("Residual false links stem from per-packet balancers, routing")
+    print("changes mid-trace, and fixed-address responders — the causes")
+    print("the paper can flag but not remove.")
+
+    dot = classic.to_dot(name="classic_map", highlight=diff.only_self)
+    path = "classic_map.dot"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dot)
+    print(f"\nWrote {path} ({len(classic.nodes)} nodes; classic-only "
+          "links in red —\nrender with: dot -Tsvg classic_map.dot -o "
+          "classic_map.svg)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: watch classic traceroute lie and Paris traceroute not.
+
+Builds the paper's Fig. 3 scenario — a per-flow load balancer splitting
+traffic over two paths of unequal length — and traces through it with
+both tools.  Classic traceroute varies its UDP Destination Port per
+probe, so consecutive probes can ride different branches and the join
+router's address shows up twice in a row (a "loop").  Paris traceroute
+holds the flow identifier constant and reports one clean path.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.loops import find_loops
+from repro.core.route import MeasuredRoute
+from repro.sim import ProbeSocket
+from repro.topology import figures
+from repro.tracer import ClassicTraceroute, ParisTraceroute
+
+
+def main() -> None:
+    print(__doc__)
+
+    # Classic traceroute: scan PIDs (process restarts) until one port
+    # sequence happens to straddle the two branches — the paper's loop.
+    looping_trace = None
+    for pid in range(200):
+        fig = figures.figure3()
+        socket = ProbeSocket(fig.network, fig.source)
+        classic = ClassicTraceroute(socket, pid=pid)
+        trace = classic.trace(fig.destination_address)
+        route = MeasuredRoute.from_result(trace)
+        if find_loops(route):
+            looping_trace = trace
+            loop_fig = fig
+            break
+    assert looping_trace is not None, "no PID showed the loop; file a bug"
+
+    print("=== classic traceroute (a looping run) ===")
+    print(looping_trace.text())
+    e0 = loop_fig.address_of("E0")
+    print(f"\nHop 8 and hop 9 both report {e0} — the router the paper "
+          "calls E0.\nNothing is wrong with the network: probe 8 rode "
+          "the short branch and\nprobe 9 the long one.\n")
+
+    # Paris traceroute on the same network, many different flows: never
+    # a loop, always one internally-consistent path.
+    print("=== paris traceroute (same network) ===")
+    fig = figures.figure3()
+    socket = ProbeSocket(fig.network, fig.source)
+    paris = ParisTraceroute(socket, seed=7)
+    trace = paris.trace(fig.destination_address)
+    print(trace.text())
+    route = MeasuredRoute.from_result(trace)
+    assert not find_loops(route)
+    print("\nNo loop: all probes shared one flow identifier "
+          f"(constant = {trace.constant_flow}).")
+
+    print("\nTry next: examples/diagnose_load_balancer.py")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments without PEP 660 editable-wheel support."""
+from setuptools import setup
+
+setup()

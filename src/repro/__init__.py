@@ -1,0 +1,24 @@
+"""Reproduction of "Avoiding traceroute anomalies with Paris traceroute".
+
+Augustin et al., IMC 2006.  The package provides:
+
+- :mod:`repro.net` — byte-accurate IPv4/UDP/TCP/ICMP headers and flow
+  identifiers (the wire-format substrate).
+- :mod:`repro.sim` — a packet-level network simulator with per-flow and
+  per-packet load balancers, NAT boxes, faulty routers, and routing
+  dynamics.
+- :mod:`repro.topology` — the paper's figure topologies and a seeded
+  internet-like topology generator.
+- :mod:`repro.tracer` — classic traceroute, tcptraceroute, and Paris
+  traceroute implemented over the simulator's socket API.
+- :mod:`repro.core` — the anomaly analysis: loops, cycles, diamonds,
+  and cause classification.
+- :mod:`repro.measurement` — the side-by-side measurement campaign of
+  the paper's Section 3.
+- :mod:`repro.analysis` — drivers that regenerate each figure and
+  statistics table.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,37 @@
+"""Per-experiment reproduction drivers.
+
+One module per paper artifact family:
+
+- :mod:`repro.analysis.figure1` — E1: the missing-device and
+  ambiguous-links probabilities of Fig. 1 (analytic + Monte-Carlo).
+- :mod:`repro.analysis.headerroles` — E2: the Fig. 2 header-field role
+  matrix, derived from the actual probe streams.
+- :mod:`repro.analysis.anomaly_tables` — E8/E9/E10: the calibrated
+  campaign behind the Sec. 4 statistics tables.
+- :mod:`repro.analysis.setup_stats` — E7: the Sec. 3 setup numbers.
+"""
+
+from repro.analysis.figure1 import (
+    Figure1Result,
+    ambiguous_links_probability,
+    missing_device_probability,
+    run_figure1_experiment,
+)
+from repro.analysis.headerroles import HeaderRoleRow, header_role_matrix
+from repro.analysis.anomaly_tables import (
+    CalibratedCampaign,
+    run_calibrated_campaign,
+)
+from repro.analysis.setup_stats import run_setup_experiment
+
+__all__ = [
+    "Figure1Result",
+    "missing_device_probability",
+    "ambiguous_links_probability",
+    "run_figure1_experiment",
+    "HeaderRoleRow",
+    "header_role_matrix",
+    "CalibratedCampaign",
+    "run_calibrated_campaign",
+    "run_setup_experiment",
+]

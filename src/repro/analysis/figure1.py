@@ -1,0 +1,140 @@
+"""E1 — Fig. 1: missing devices, ambiguous links, false links.
+
+The paper computes, for classic traceroute sending three probes per hop
+through the Fig. 1 topology under "purely random load balancing":
+
+- P[one of the two hop-7 devices goes undiscovered] = 2 · 0.5³ = 0.25
+- P[two devices discovered at hop 7 or hop 8 (or both)]
+  = 0.75 + 0.25 · 0.75 = 0.9375 — the ambiguity that makes link
+  inference unreliable.
+
+This module provides both the closed forms (generalized to *k* probes
+and *w* equal-probability branches) and a Monte-Carlo estimate obtained
+by actually running classic traceroute over the simulated Fig. 1
+network many times, plus the false-link observation frequency on the
+figure's silent-router variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.sim.balancer import PerPacketPolicy
+from repro.sim.socketapi import ProbeSocket
+from repro.topology import figures
+from repro.tracer.base import TracerouteOptions
+from repro.tracer.classic import ClassicTraceroute
+
+
+def missing_device_probability(probes_per_hop: int = 3,
+                               branches: int = 2) -> float:
+    """P[at least one of ``branches`` devices at a hop gets no probe].
+
+    With uniformly random balancing each probe independently picks one
+    of ``branches`` next hops; inclusion-exclusion over empty branches.
+    For the paper's 3 probes / 2 branches this is 2·(1/2)³ = 0.25.
+    """
+    total = 0.0
+    for empty in range(1, branches):
+        sign = -1.0 if empty % 2 == 0 else 1.0
+        total += sign * comb(branches, empty) * (
+            (branches - empty) / branches) ** probes_per_hop
+    return total
+
+
+def ambiguous_links_probability(probes_per_hop: int = 3,
+                                branches: int = 2,
+                                hops: int = 2) -> float:
+    """P[some hop among ``hops`` reveals ≥2 devices].
+
+    The paper's 0.9375: with both hop 7 and hop 8 balanced two ways,
+    P = 0.75 + 0.25·0.75 for three probes per hop.
+    """
+    p_two_or_more = 1.0 - missing_device_probability(probes_per_hop,
+                                                     branches)
+    p_none = (1.0 - p_two_or_more) ** hops
+    return 1.0 - p_none
+
+
+@dataclass
+class Figure1Result:
+    """Analytic and empirical answers side by side."""
+
+    trials: int
+    analytic_missing: float
+    empirical_missing: float
+    analytic_ambiguous: float
+    empirical_ambiguous: float
+    false_link_trials: int
+    false_link_frequency: float
+
+    def format_table(self) -> str:
+        lines = [
+            "Fig. 1 — classic traceroute vs load balancing "
+            f"({self.trials} Monte-Carlo trials)",
+            f"{'metric':44s} {'paper':>9s} {'measured':>9s}",
+            f"{'P(miss a hop-7 device), analytic':44s} "
+            f"{0.25:9.4f} {self.analytic_missing:9.4f}",
+            f"{'P(miss a hop-7 device), simulated':44s} "
+            f"{0.25:9.4f} {self.empirical_missing:9.4f}",
+            f"{'P(ambiguous links), analytic':44s} "
+            f"{0.9375:9.4f} {self.analytic_ambiguous:9.4f}",
+            f"{'P(ambiguous links), simulated':44s} "
+            f"{0.9375:9.4f} {self.empirical_ambiguous:9.4f}",
+            f"{'false link (A0,D0) frequency':44s} "
+            f"{'':>9s} {self.false_link_frequency:9.4f}",
+        ]
+        return "\n".join(lines)
+
+
+def run_figure1_experiment(trials: int = 400,
+                           probes_per_hop: int = 3) -> Figure1Result:
+    """Monte-Carlo over the Fig. 1 topology with classic traceroute."""
+    missing = 0
+    ambiguous = 0
+    for seed in range(trials):
+        fig = figures.figure1(
+            policy=PerPacketPolicy(seed=seed, mode="random"),
+            all_respond=True,
+        )
+        tracer = ClassicTraceroute(
+            ProbeSocket(fig.network, fig.source),
+            options=TracerouteOptions(probes_per_hop=probes_per_hop,
+                                      min_ttl=7, max_ttl=8),
+        )
+        result = tracer.trace(fig.destination_address)
+        hop7 = result.hop(7)
+        hop8 = result.hop(8)
+        hop7_devices = {str(a) for a in hop7.addresses}
+        expected_hop7 = {str(fig.address_of("A0")), str(fig.address_of("B0"))}
+        if hop7_devices != expected_hop7:
+            missing += 1
+        two_at_7 = len(hop7.addresses) >= 2
+        two_at_8 = len(hop8.addresses) >= 2
+        if two_at_7 or two_at_8:
+            ambiguous += 1
+
+    false_links = 0
+    for seed in range(trials):
+        fig = figures.figure1(
+            policy=PerPacketPolicy(seed=seed, mode="random"),
+            all_respond=False,
+        )
+        tracer = ClassicTraceroute(ProbeSocket(fig.network, fig.source))
+        result = tracer.trace(fig.destination_address)
+        route = [None if a is None else str(a)
+                 for a in result.measured_route()]
+        # Adjacent observation of A0 then D0 ⇒ the false link.
+        a0, d0 = str(fig.address_of("A0")), str(fig.address_of("D0"))
+        if any(x == a0 and y == d0 for x, y in zip(route, route[1:])):
+            false_links += 1
+    return Figure1Result(
+        trials=trials,
+        analytic_missing=missing_device_probability(probes_per_hop),
+        empirical_missing=missing / trials,
+        analytic_ambiguous=ambiguous_links_probability(probes_per_hop),
+        empirical_ambiguous=ambiguous / trials,
+        false_link_trials=trials,
+        false_link_frequency=false_links / trials,
+    )

@@ -1,0 +1,132 @@
+"""E2 — Fig. 2: the roles played by packet header fields.
+
+The paper's Fig. 2 annotates each header field with who varies it
+(classic traceroute ``#``, tcptraceroute ``+``, Paris traceroute ``*``)
+and whether per-flow load balancers use it.  Instead of transcribing
+the figure, this module *derives* the matrix from the actual probe
+streams each builder emits: a field is "varied by" a tool if its value
+differs across the tool's probes, and "used for load balancing" if
+flipping it changes the default flow identifier.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.flow import first_transport_word_flow
+from repro.net.inet import IPv4Address
+from repro.net.packet import Packet
+from repro.tracer.probes import (
+    ClassicIcmpBuilder,
+    ClassicUdpBuilder,
+    ParisIcmpBuilder,
+    ParisTcpBuilder,
+    ParisUdpBuilder,
+    TcpTracerouteBuilder,
+)
+
+SRC = IPv4Address("192.0.2.1")
+DST = IPv4Address("203.0.113.9")
+
+#: (field name, protocol family, extractor from a Packet)
+FieldExtractor = Callable[[Packet], object]
+
+
+def _udp_checksum_on_wire(packet: Packet) -> int:
+    wire = packet.transport_bytes()
+    return struct.unpack("!H", wire[6:8])[0]
+
+
+FIELDS: list[tuple[str, str, FieldExtractor]] = [
+    ("IP TOS", "ip", lambda p: p.ip.tos),
+    ("IP Identification", "ip", lambda p: p.ip.identification),
+    ("IP Source Address", "ip", lambda p: str(p.src)),
+    ("IP Destination Address", "ip", lambda p: str(p.dst)),
+    ("UDP Source Port", "udp", lambda p: p.transport.src_port),
+    ("UDP Destination Port", "udp", lambda p: p.transport.dst_port),
+    ("UDP Checksum", "udp", _udp_checksum_on_wire),
+    ("ICMP Checksum", "icmp", lambda p: p.transport.computed_checksum()),
+    ("ICMP Identifier", "icmp", lambda p: p.transport.identifier),
+    ("ICMP Sequence Number", "icmp", lambda p: p.transport.sequence),
+    ("TCP Source Port", "tcp", lambda p: p.transport.src_port),
+    ("TCP Destination Port", "tcp", lambda p: p.transport.dst_port),
+    ("TCP Sequence Number", "tcp", lambda p: p.transport.seq),
+]
+
+TOOLS: list[tuple[str, Callable[[], object], str]] = [
+    ("classic traceroute (UDP)", lambda: ClassicUdpBuilder(SRC, DST), "udp"),
+    ("classic traceroute (ICMP)", lambda: ClassicIcmpBuilder(SRC, DST), "icmp"),
+    ("tcptraceroute", lambda: TcpTracerouteBuilder(SRC, DST), "tcp"),
+    ("paris traceroute (UDP)", lambda: ParisUdpBuilder(SRC, DST), "udp"),
+    ("paris traceroute (ICMP)", lambda: ParisIcmpBuilder(SRC, DST), "icmp"),
+    ("paris traceroute (TCP)", lambda: ParisTcpBuilder(SRC, DST), "tcp"),
+]
+
+
+@dataclass
+class HeaderRoleRow:
+    """One tool's row of the Fig. 2 matrix."""
+
+    tool: str
+    varied_fields: list[str]
+    flow_constant: bool
+
+
+def _applicable(field_family: str, tool_family: str) -> bool:
+    return field_family == "ip" or field_family == tool_family
+
+
+def header_role_matrix(probes: int = 16) -> list[HeaderRoleRow]:
+    """Derive Fig. 2 from live probe streams."""
+    rows: list[HeaderRoleRow] = []
+    for tool_name, make_builder, family in TOOLS:
+        builder = make_builder()
+        stream = [builder.build(ttl) for ttl in range(1, probes + 1)]
+        varied = []
+        for field_name, field_family, extract in FIELDS:
+            if not _applicable(field_family, family):
+                continue
+            values = {extract(p) for p in stream}
+            if len(values) > 1:
+                varied.append(field_name)
+        flows = {first_transport_word_flow(p).key for p in stream}
+        rows.append(HeaderRoleRow(tool=tool_name, varied_fields=varied,
+                                  flow_constant=len(flows) == 1))
+    return rows
+
+
+#: The paper's Fig. 2, transcribed: tool -> (varied fields, constant?).
+PAPER_EXPECTATION: dict[str, tuple[set[str], bool]] = {
+    "classic traceroute (UDP)": ({"UDP Destination Port", "UDP Checksum"},
+                                 False),
+    "classic traceroute (ICMP)": ({"ICMP Sequence Number", "ICMP Checksum"},
+                                  False),
+    "tcptraceroute": ({"IP Identification"}, True),
+    "paris traceroute (UDP)": ({"UDP Checksum"}, True),
+    "paris traceroute (ICMP)": ({"ICMP Sequence Number", "ICMP Identifier"},
+                                True),
+    "paris traceroute (TCP)": ({"TCP Sequence Number"}, True),
+}
+
+
+def format_matrix(rows: list[HeaderRoleRow]) -> str:
+    """Readable rendering with paper agreement marks."""
+    lines = [
+        "Fig. 2 — header fields varied per tool (derived from probe streams)",
+        f"{'tool':28s} {'flow id':>9s}  varied fields",
+    ]
+    for row in rows:
+        expected = PAPER_EXPECTATION.get(row.tool)
+        mark = ""
+        if expected is not None:
+            agrees = (set(row.varied_fields) == expected[0]
+                      and row.flow_constant == expected[1])
+            mark = "  [matches Fig. 2]" if agrees else "  [DIFFERS]"
+        state = "constant" if row.flow_constant else "VARIES"
+        lines.append(
+            f"{row.tool:28s} {state:>9s}  "
+            f"{', '.join(row.varied_fields) or '(none)'}{mark}"
+        )
+    return "\n".join(lines)

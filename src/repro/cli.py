@@ -1,0 +1,165 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+Subcommands:
+
+- ``figures`` — list the paper's figure topologies;
+- ``trace`` — run a tool through a figure topology and print the
+  classic-style output (``--verbose`` adds Paris traceroute's probe
+  TTL / response TTL / IP ID columns);
+- ``mda`` — multipath detection against a figure topology;
+- ``fig1`` / ``fig2`` — the analytic experiments;
+- ``census`` — the miniature Sec. 4 campaign with all three tables.
+
+Examples::
+
+    repro-trace trace --figure 3 --tool classic
+    repro-trace trace --figure 5 --tool paris --verbose
+    repro-trace mda --figure 6
+    repro-trace census --seed 7 --rounds 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro._version import __version__
+from repro.sim.socketapi import ProbeSocket
+from repro.topology import figures
+from repro.tracer.classic import ClassicTraceroute
+from repro.tracer.paris import ParisTraceroute
+from repro.tracer.tcptraceroute import TcpTraceroute
+from repro.tracer.text import render
+
+FIGURES: dict[str, Callable[[], figures.FigureTopology]] = {
+    "1": figures.figure1,
+    "3": figures.figure3,
+    "4": figures.figure4,
+    "5": figures.figure5,
+    "6": figures.figure6,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Paris traceroute (IMC 2006) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("figures", help="list the paper-figure topologies")
+
+    trace = commands.add_parser("trace", help="trace through a figure")
+    trace.add_argument("--figure", choices=sorted(FIGURES), default="3")
+    trace.add_argument("--tool", choices=("classic", "paris", "tcp"),
+                       default="paris")
+    trace.add_argument("--method", choices=("udp", "icmp", "tcp"),
+                       default="udp")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="flow seed (paris) or PID (classic)")
+    trace.add_argument("--verbose", action="store_true",
+                       help="show probe TTL / response TTL / IP ID")
+
+    mda = commands.add_parser("mda", help="multipath detection on a figure")
+    mda.add_argument("--figure", choices=sorted(FIGURES), default="6")
+    mda.add_argument("--alpha", type=float, default=0.05)
+    mda.add_argument("--seed", type=int, default=0)
+
+    fig1 = commands.add_parser("fig1", help="Fig. 1 probability experiment")
+    fig1.add_argument("--trials", type=int, default=200)
+
+    commands.add_parser("fig2", help="Fig. 2 header-role matrix")
+
+    census = commands.add_parser(
+        "census", help="miniature Sec. 4 campaign (about a minute)")
+    census.add_argument("--seed", type=int, default=42)
+    census.add_argument("--rounds", type=int, default=10)
+    return parser
+
+
+def cmd_figures(__: argparse.Namespace) -> int:
+    for key in sorted(FIGURES):
+        fig = FIGURES[key]()
+        print(f"figure {key}: {fig.description}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    fig = FIGURES[args.figure]()
+    socket = ProbeSocket(fig.network, fig.source)
+    if args.tool == "classic":
+        if args.method == "tcp":
+            print("classic traceroute has no TCP mode; use --tool tcp",
+                  file=sys.stderr)
+            return 2
+        tracer = ClassicTraceroute(socket, method=args.method,
+                                   pid=args.seed or 4242)
+    elif args.tool == "tcp":
+        tracer = TcpTraceroute(socket, seed=args.seed)
+    else:
+        tracer = ParisTraceroute(socket, method=args.method,
+                                 seed=args.seed)
+    print(f"# {fig.description}")
+    result = tracer.trace(fig.destination_address)
+    print(render(result, verbose=args.verbose))
+    return 0
+
+
+def cmd_mda(args: argparse.Namespace) -> int:
+    from repro.tracer.multipath import MultipathDetector
+
+    fig = FIGURES[args.figure]()
+    socket = ProbeSocket(fig.network, fig.source)
+    detector = MultipathDetector(socket, alpha=args.alpha, seed=args.seed)
+    print(f"# {fig.description}")
+    result = detector.trace(fig.destination_address)
+    print(result.format_report())
+    return 0
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.analysis import run_figure1_experiment
+
+    print(run_figure1_experiment(trials=args.trials).format_table())
+    return 0
+
+
+def cmd_fig2(__: argparse.Namespace) -> int:
+    from repro.analysis import header_role_matrix
+    from repro.analysis.headerroles import format_matrix
+
+    print(format_matrix(header_role_matrix()))
+    return 0
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    from repro.analysis import run_calibrated_campaign
+
+    print(f"seed={args.seed} rounds={args.rounds}; this takes a while...")
+    campaign = run_calibrated_campaign(seed=args.seed, rounds=args.rounds)
+    print(campaign.topology.summary())
+    print()
+    print(campaign.format_tables())
+    return 0
+
+
+HANDLERS = {
+    "figures": cmd_figures,
+    "trace": cmd_trace,
+    "mda": cmd_mda,
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+    "census": cmd_census,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

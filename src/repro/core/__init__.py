@@ -1,0 +1,79 @@
+"""The paper's analysis: measured routes, anomalies, and their causes.
+
+- :class:`repro.core.route.MeasuredRoute` — the formal ℓ-tuple of
+  Sec. 4, with per-hop forensics attached.
+- :mod:`repro.core.loops` / :mod:`repro.core.cycles` /
+  :mod:`repro.core.diamonds` — detectors and signatures for the three
+  anomaly families.
+- :mod:`repro.core.classify` — the cause classifiers of Secs. 4.1.1,
+  4.2.1, 4.3.1 (zero-TTL forwarding, unreachability messages, address
+  rewriting, forwarding loops, per-flow/per-packet load balancing).
+- :mod:`repro.core.compare` — classic-vs-Paris side-by-side pairing
+  and the differential estimators behind the "87 % of loops are
+  per-flow load balancing" style numbers.
+- :mod:`repro.core.report` — campaign-level statistics tables.
+"""
+
+from repro.core.route import MeasuredRoute, RouteHop
+from repro.core.loops import LoopInstance, LoopSignature, find_loops
+from repro.core.cycles import (
+    CycleInstance,
+    CycleSignature,
+    find_cycles,
+    route_periodicity,
+)
+from repro.core.diamonds import Diamond, DiamondSignature, find_diamonds
+from repro.core.classify import (
+    AnomalyCause,
+    classify_cycle,
+    classify_loop,
+)
+from repro.core.compare import SideBySidePair, pair_up
+from repro.core.alias import are_aliases, count_routers_behind, resolve_aliases
+from repro.core.graphs import (
+    GraphDiff,
+    GraphScore,
+    RouteGraph,
+    per_destination_graphs,
+)
+from repro.core.report import (
+    CycleStatistics,
+    DiamondStatistics,
+    LoopStatistics,
+    compute_cycle_statistics,
+    compute_diamond_statistics,
+    compute_loop_statistics,
+)
+
+__all__ = [
+    "MeasuredRoute",
+    "RouteHop",
+    "LoopSignature",
+    "LoopInstance",
+    "find_loops",
+    "CycleSignature",
+    "CycleInstance",
+    "find_cycles",
+    "route_periodicity",
+    "DiamondSignature",
+    "Diamond",
+    "find_diamonds",
+    "AnomalyCause",
+    "classify_loop",
+    "classify_cycle",
+    "SideBySidePair",
+    "pair_up",
+    "are_aliases",
+    "resolve_aliases",
+    "count_routers_behind",
+    "RouteGraph",
+    "GraphDiff",
+    "GraphScore",
+    "per_destination_graphs",
+    "LoopStatistics",
+    "CycleStatistics",
+    "DiamondStatistics",
+    "compute_loop_statistics",
+    "compute_cycle_statistics",
+    "compute_diamond_statistics",
+]

@@ -1,0 +1,183 @@
+"""IP-ID alias resolution: tying interface addresses to routers.
+
+The paper (Sec. 2.2): "The IP ID can help identify the multiple
+interfaces of a same router, as described in the Rocketfuel work, or
+uncover different routers and hosts hidden behind a firewall or a NAT
+box, as described by Bellovin."
+
+The technique (Ally, from Rocketfuel): most routers stamp outgoing
+packets from one global 16-bit Identification counter.  Probe two
+addresses in quick alternation; if the returned IP IDs interleave into
+one nearly-monotonic sequence with small gaps, the addresses share a
+counter — one router.  If the sequences are unrelated, they are
+different boxes.  This is also how Paris traceroute *verifies* its
+loop diagnoses: a Fig. 4 zero-TTL loop shows one counter, a Fig. 5 NAT
+loop shows several.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TracerError
+from repro.net.icmp import ICMPEchoRequest
+from repro.net.inet import MAX_U16, IPv4Address
+from repro.net.packet import Packet
+from repro.sim.socketapi import ProbeSocket
+
+#: Maximum forward gap between consecutive interleaved IDs for them to
+#: plausibly come from one counter (Ally uses small constants too; the
+#: counter may serve unrelated traffic between our probes).
+DEFAULT_TOLERANCE = 64
+
+
+@dataclass
+class AliasVerdict:
+    """Outcome of one pairwise alias test."""
+
+    first: IPv4Address
+    second: IPv4Address
+    aliases: bool
+    observed_ids: list[tuple[str, int]] = field(default_factory=list)
+    reason: str = ""
+
+
+def _collect_id(socket: ProbeSocket, address: IPv4Address,
+                sequence: int) -> int | None:
+    """One Echo probe to ``address``; return the reply's IP ID."""
+    probe = Packet.make(
+        socket.source_address, address,
+        ICMPEchoRequest(identifier=0x4A11, sequence=sequence),
+        ttl=64,
+    )
+    response = socket.send_probe(probe.build())
+    if response is None:
+        return None
+    return response.packet.ip.identification
+
+
+def _monotonic_with_tolerance(ids: list[int], tolerance: int) -> bool:
+    """True if the sequence advances by (0, tolerance] modulo 2^16."""
+    for before, after in zip(ids, ids[1:]):
+        gap = (after - before) & MAX_U16
+        if gap == 0 or gap > tolerance:
+            return False
+    return True
+
+
+def are_aliases(
+    socket: ProbeSocket,
+    first: IPv4Address | str,
+    second: IPv4Address | str,
+    probes_each: int = 3,
+    tolerance: int = DEFAULT_TOLERANCE,
+) -> AliasVerdict:
+    """Ally-style pairwise alias test via interleaved IP IDs.
+
+    Sends ``probes_each`` Echo probes to each address, alternating, and
+    checks whether the interleaved ID sequence is consistent with a
+    single shared counter.
+    """
+    first = IPv4Address(first)
+    second = IPv4Address(second)
+    if probes_each < 2:
+        raise TracerError("alias test needs at least two probes per address")
+    observed: list[tuple[str, int]] = []
+    ids: list[int] = []
+    for round_index in range(probes_each):
+        for tag, address in (("A", first), ("B", second)):
+            ip_id = _collect_id(socket, address, round_index + 1)
+            if ip_id is None:
+                return AliasVerdict(
+                    first=first, second=second, aliases=False,
+                    observed_ids=observed,
+                    reason=f"no reply from {address}",
+                )
+            observed.append((tag, ip_id))
+            ids.append(ip_id)
+    if _monotonic_with_tolerance(ids, tolerance):
+        return AliasVerdict(first=first, second=second, aliases=True,
+                            observed_ids=observed,
+                            reason="interleaved IDs share one counter")
+    return AliasVerdict(first=first, second=second, aliases=False,
+                        observed_ids=observed,
+                        reason="ID sequences are unrelated")
+
+
+def count_routers_behind(
+    routes: list,
+    gateway: IPv4Address | str,
+) -> int:
+    """Estimate distinct boxes masquerading as ``gateway`` (Bellovin).
+
+    The paper: the IP ID can "uncover different routers and hosts
+    hidden behind a firewall or a NAT box, as described by Bellovin".
+    Responses rewritten to one gateway address still carry each inner
+    box's own Identification counter and its own return-path length.
+    Group the gateway-sourced hops of the given measured routes by
+    response TTL (distance separates boxes outright), then split groups
+    whose ID samples cannot belong to one counter.
+
+    Returns a lower bound on the number of distinct responding boxes.
+    """
+    gateway = IPv4Address(gateway)
+    by_distance: dict[int, list[int]] = {}
+    for route in routes:
+        for hop in route.hops:
+            if hop.address != gateway:
+                continue
+            if hop.response_ttl is None:
+                continue
+            by_distance.setdefault(hop.response_ttl, []).append(
+                hop.ip_id if hop.ip_id is not None else -1)
+    count = 0
+    for ids in by_distance.values():
+        observed = sorted(i for i in ids if i >= 0)
+        if not observed:
+            count += 1
+            continue
+        # Split one distance bucket if its ID samples span more than a
+        # plausible single-counter range (they arrived close in time).
+        clusters = 1
+        for before, after in zip(observed, observed[1:]):
+            if (after - before) & MAX_U16 > 4 * DEFAULT_TOLERANCE:
+                clusters += 1
+        count += clusters
+    return count
+
+
+def resolve_aliases(
+    socket: ProbeSocket,
+    addresses: list[IPv4Address | str],
+    probes_each: int = 3,
+    tolerance: int = DEFAULT_TOLERANCE,
+) -> list[set[IPv4Address]]:
+    """Group ``addresses`` into routers by pairwise alias testing.
+
+    Union-find over pairwise verdicts; transitivity is assumed (as in
+    Rocketfuel): if A≡B and B≡C then A, B, C form one router without
+    re-testing A against C.
+    """
+    resolved = [IPv4Address(a) for a in addresses]
+    parent = {a: a for a in resolved}
+
+    def find(a: IPv4Address) -> IPv4Address:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(a: IPv4Address, b: IPv4Address) -> None:
+        parent[find(a)] = find(b)
+
+    for i, a in enumerate(resolved):
+        for b in resolved[i + 1:]:
+            if find(a) == find(b):
+                continue
+            if are_aliases(socket, a, b, probes_each=probes_each,
+                           tolerance=tolerance).aliases:
+                union(a, b)
+    groups: dict[IPv4Address, set[IPv4Address]] = {}
+    for a in resolved:
+        groups.setdefault(find(a), set()).add(a)
+    return list(groups.values())

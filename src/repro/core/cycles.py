@@ -1,0 +1,118 @@
+"""Cycle detection (paper Sec. 4.2).
+
+"A measured route R is said to be cyclic on an IP address r if it
+contains r at least twice, separated by at least one address r'
+distinct from r.  This distinction ensures that we do not misinterpret
+possible loops as cycles.  A cycle's signature is a pair (r, d) such
+that at least one measured route towards d is cyclic on r."
+
+:func:`route_periodicity` implements the forwarding-loop check of
+Sec. 4.2.1: a packet caught in a true forwarding loop revisits a fixed
+sequence of addresses, so the measured route's tail becomes periodic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.route import MeasuredRoute, RouteHop
+from repro.net.inet import IPv4Address
+
+
+@dataclass(frozen=True)
+class CycleSignature:
+    """The paper's (r, d) pair naming a cycle."""
+
+    address: IPv4Address
+    destination: IPv4Address
+
+
+@dataclass
+class CycleInstance:
+    """One address recurring non-consecutively within one route."""
+
+    signature: CycleSignature
+    route: MeasuredRoute
+    occurrences: list[RouteHop]
+
+    @property
+    def span(self) -> int:
+        """Distance in TTLs between first and last occurrence."""
+        return self.occurrences[-1].ttl - self.occurrences[0].ttl
+
+    @property
+    def ends_with_unreachable_flag(self) -> bool:
+        """True if the last recurrence carries '!H'/'!N' (Sec. 4.1.1)."""
+        return bool(self.occurrences[-1].unreachable_flag)
+
+
+def find_cycles(route: MeasuredRoute) -> list[CycleInstance]:
+    """All cycle instances in one measured route.
+
+    An address qualifies when it appears at least twice with at least
+    one *different address* (not a star) strictly between two of its
+    appearances — the paper's guard against counting loops (or
+    star-interrupted repeats) as cycles.
+    """
+    positions: dict[IPv4Address, list[int]] = {}
+    for index, hop in enumerate(route.hops):
+        if hop.address is not None:
+            positions.setdefault(hop.address, []).append(index)
+    instances: list[CycleInstance] = []
+    for address, indexes in positions.items():
+        if len(indexes) < 2:
+            continue
+        if not _separated_by_distinct_address(route, address, indexes):
+            continue
+        instances.append(CycleInstance(
+            signature=CycleSignature(address=address,
+                                     destination=route.destination),
+            route=route,
+            occurrences=[route.hops[i] for i in indexes],
+        ))
+    return instances
+
+
+def _separated_by_distinct_address(
+    route: MeasuredRoute, address: IPv4Address, indexes: list[int]
+) -> bool:
+    for left, right in zip(indexes, indexes[1:]):
+        between = route.hops[left + 1:right]
+        if any(h.address is not None and h.address != address
+               for h in between):
+            return True
+    return False
+
+
+def route_periodicity(route: MeasuredRoute,
+                      min_repeats: int = 2) -> int | None:
+    """The period of the route's repeating tail, if any.
+
+    Returns the smallest period p ≥ 2 such that the last
+    ``p * min_repeats`` responding hops repeat a fixed p-address
+    sequence; None when the tail is not periodic.  Mirrors the paper's
+    "we looked for some periodicity in the measured routes: we should
+    repeatedly observe a fixed sequence of addresses".
+    """
+    tail = [h.address for h in route.hops if h.address is not None]
+    if len(tail) < 2 * min_repeats:
+        return None
+    for period in range(2, len(tail) // min_repeats + 1):
+        window = tail[-period * min_repeats:]
+        pattern = window[:period]
+        if len(set(pattern)) < 2:
+            continue
+        repeats = [window[i * period:(i + 1) * period]
+                   for i in range(min_repeats)]
+        if all(chunk == pattern for chunk in repeats):
+            return period
+    return None
+
+
+def cycle_signatures(routes) -> set[CycleSignature]:
+    """The distinct signatures across many routes."""
+    found: set[CycleSignature] = set()
+    for route in routes:
+        for instance in find_cycles(route):
+            found.add(instance.signature)
+    return found

@@ -1,0 +1,81 @@
+"""Diamond detection (paper Sec. 4.3).
+
+"Whereas loops and cycles can appear when we probe with only one probe
+per hop, diamonds can only arise if probing involves multiple probes
+per hop.  To study diamonds, we created two graphs for each of the
+5,000 destinations: one composed from all the classic traceroutes
+towards that destination, and the other from the Paris traceroutes.
+Within a graph, a diamond's signature is a pair (h, t) of IP addresses,
+such that there are k ≥ 2 IP addresses r1, ..., rk seen on measured
+routes of the form ..., h, ri, t, ...".
+
+The "multiple probes per hop" arise across *rounds* in the campaign
+(one probe per hop per round, 556 rounds) or from classic traceroute's
+three-probes-per-hop default; either way the input here is simply a
+collection of measured routes toward one destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.route import MeasuredRoute
+from repro.net.inet import IPv4Address
+
+
+@dataclass(frozen=True)
+class DiamondSignature:
+    """The paper's (h, t) head/tail address pair."""
+
+    head: IPv4Address
+    tail: IPv4Address
+
+
+@dataclass
+class Diamond:
+    """A diamond: ≥2 distinct addresses between one head and one tail."""
+
+    signature: DiamondSignature
+    middles: set[IPv4Address] = field(default_factory=set)
+
+    @property
+    def width(self) -> int:
+        """k — the number of distinct middle addresses."""
+        return len(self.middles)
+
+
+def find_diamonds(routes: Iterable[MeasuredRoute]) -> list[Diamond]:
+    """All diamonds in a per-destination set of measured routes.
+
+    Considers strictly consecutive responding triples (h, m, t) — a
+    star anywhere in the window disqualifies that occurrence, per the
+    signature's "routes of the form ..., h, ri, t, ..." wording.
+    """
+    middles: dict[DiamondSignature, set[IPv4Address]] = {}
+    for route in routes:
+        hops = route.hops
+        for i in range(len(hops) - 2):
+            h, m, t = hops[i], hops[i + 1], hops[i + 2]
+            if (h.address is None or m.address is None or t.address is None):
+                continue
+            if t.ttl - h.ttl != 2:
+                continue
+            signature = DiamondSignature(head=h.address, tail=t.address)
+            middles.setdefault(signature, set()).add(m.address)
+    return [
+        Diamond(signature=signature, middles=found)
+        for signature, found in middles.items()
+        if len(found) >= 2
+    ]
+
+
+def diamonds_by_destination(
+    routes: Iterable[MeasuredRoute],
+) -> dict[IPv4Address, list[Diamond]]:
+    """Group routes per destination, then detect diamonds in each group."""
+    grouped: dict[IPv4Address, list[MeasuredRoute]] = {}
+    for route in routes:
+        grouped.setdefault(route.destination, []).append(route)
+    return {destination: find_diamonds(group)
+            for destination, group in grouped.items()}

@@ -1,0 +1,180 @@
+"""Per-destination route graphs: what map builders actually construct.
+
+The paper frames its anomalies as damage to inferred internet maps
+(skitter, Rocketfuel): nodes are responding addresses, edges join
+consecutive responding hops.  :class:`RouteGraph` builds that object
+from measured routes, diffs classic against Paris graphs (the false
+links Paris removes), scores graphs against simulator ground truth,
+and exports Graphviz DOT for visual inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.route import MeasuredRoute
+from repro.net.inet import IPv4Address
+from repro.sim.network import Network
+
+Edge = tuple[IPv4Address, IPv4Address]
+
+
+@dataclass
+class RouteGraph:
+    """A directed graph inferred from measured routes."""
+
+    destination: Optional[IPv4Address] = None
+    nodes: set[IPv4Address] = field(default_factory=set)
+    edges: dict[Edge, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_routes(cls, routes: Iterable[MeasuredRoute],
+                    destination: Optional[IPv4Address] = None,
+                    ) -> "RouteGraph":
+        """Build the graph the usual way: consecutive responding hops.
+
+        A star breaks adjacency (no edge across it) and self-edges
+        (loops) are not map edges; both follow map-builder practice.
+        """
+        graph = cls(destination=destination)
+        for route in routes:
+            if (destination is not None
+                    and route.destination != destination):
+                continue
+            for hop in route.hops:
+                if hop.address is not None:
+                    graph.nodes.add(hop.address)
+            for left, right in route.consecutive_pairs():
+                if left.address is None or right.address is None:
+                    continue
+                if left.address == right.address:
+                    continue
+                edge = (left.address, right.address)
+                graph.edges[edge] = graph.edges.get(edge, 0) + 1
+        return graph
+
+    @property
+    def edge_set(self) -> set[Edge]:
+        return set(self.edges)
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self.edges
+
+    def degree(self, address: IPv4Address) -> int:
+        """Out-degree of ``address`` (distinct successors)."""
+        return sum(1 for (a, __) in self.edges if a == address)
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def diff(self, other: "RouteGraph") -> "GraphDiff":
+        """Edges of this graph split by presence in ``other``.
+
+        ``self.diff(paris_graph)`` on a classic graph yields the edges
+        Paris never sees — the suspected false links.
+        """
+        ours = self.edge_set
+        theirs = other.edge_set
+        return GraphDiff(
+            common=ours & theirs,
+            only_self=ours - theirs,
+            only_other=theirs - ours,
+        )
+
+    def score_against(self, network: Network) -> "GraphScore":
+        """Grade edges against simulator ground truth.
+
+        An inferred edge is *true* if its endpoint addresses belong to
+        nodes joined by a physical link (any interface pair), else
+        *false*.  Addresses that map to no simulated node (fake or
+        rewritten sources) make an edge unverifiable, counted false.
+        """
+        true_edges = 0
+        false_edges = 0
+        adjacency: set[tuple[str, str]] = set()
+        for link in network.links:
+            a, b = link.a.node, link.b.node
+            adjacency.add((a.name, b.name))
+            adjacency.add((b.name, a.name))
+        for (left, right) in self.edges:
+            node_left = network.node_owning(left)
+            node_right = network.node_owning(right)
+            if node_left is None or node_right is None:
+                false_edges += 1
+            elif node_left is node_right:
+                # Two interfaces of one router seen "in sequence": an
+                # artifact (e.g. unequal-diamond shifting), not a link.
+                false_edges += 1
+            elif (node_left.name, node_right.name) in adjacency:
+                true_edges += 1
+            else:
+                false_edges += 1
+        return GraphScore(true_edges=true_edges, false_edges=false_edges)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dot(self, name: str = "routes",
+               highlight: Optional[set[Edge]] = None) -> str:
+        """Graphviz DOT, optionally highlighting a set of edges in red."""
+        highlight = highlight or set()
+        lines = [f"digraph {name} {{", "  rankdir=LR;"]
+        for node in sorted(self.nodes):
+            lines.append(f'  "{node}";')
+        for (left, right), count in sorted(
+                self.edges.items(), key=lambda e: (str(e[0][0]),
+                                                   str(e[0][1]))):
+            attributes = [f'label="{count}"']
+            if (left, right) in highlight:
+                attributes.append("color=red")
+            lines.append(
+                f'  "{left}" -> "{right}" [{", ".join(attributes)}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class GraphDiff:
+    """Edge partition from :meth:`RouteGraph.diff`."""
+
+    common: set[Edge]
+    only_self: set[Edge]
+    only_other: set[Edge]
+
+    @property
+    def removed_share(self) -> float:
+        """Fraction of self's edges absent from the other graph."""
+        total = len(self.common) + len(self.only_self)
+        if total == 0:
+            return 0.0
+        return len(self.only_self) / total
+
+
+@dataclass
+class GraphScore:
+    """Ground-truth grading from :meth:`RouteGraph.score_against`."""
+
+    true_edges: int
+    false_edges: int
+
+    @property
+    def total(self) -> int:
+        return self.true_edges + self.false_edges
+
+    @property
+    def false_share(self) -> float:
+        return self.false_edges / self.total if self.total else 0.0
+
+
+def per_destination_graphs(
+    routes: Iterable[MeasuredRoute],
+) -> dict[IPv4Address, RouteGraph]:
+    """One graph per destination, as the paper's diamond study builds."""
+    grouped: dict[IPv4Address, list[MeasuredRoute]] = {}
+    for route in routes:
+        grouped.setdefault(route.destination, []).append(route)
+    return {
+        destination: RouteGraph.from_routes(group, destination=destination)
+        for destination, group in grouped.items()
+    }

@@ -1,0 +1,73 @@
+"""Loop detection (paper Sec. 4.1).
+
+"In some measured routes, the same node appears twice or more in a row:
+we call this a loop.  Formally, a loop is observed on IP address ri
+with destination d if there is at least one measured route towards d
+containing ..., ri, ri+1, ... with ri = ri+1.  The term 'address'
+implies that ri is not a star.  A loop's signature is a pair (r, d)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.route import MeasuredRoute, RouteHop
+from repro.net.inet import IPv4Address
+
+
+@dataclass(frozen=True)
+class LoopSignature:
+    """The paper's (r, d) pair naming a loop."""
+
+    address: IPv4Address
+    destination: IPv4Address
+
+
+@dataclass
+class LoopInstance:
+    """One concrete occurrence of a loop inside one measured route.
+
+    ``first``/``second`` are the two consecutive hops showing the same
+    address; a run of k equal addresses yields k-1 instances with one
+    shared signature.
+    """
+
+    signature: LoopSignature
+    route: MeasuredRoute
+    first: RouteHop
+    second: RouteHop
+
+    @property
+    def at_route_end(self) -> bool:
+        """True when the loop's second hop ends the measured route."""
+        return self.second.ttl == self.route.hops[-1].ttl
+
+    @property
+    def ttl(self) -> int:
+        """TTL of the loop's first position."""
+        return self.first.ttl
+
+
+def find_loops(route: MeasuredRoute) -> list[LoopInstance]:
+    """All loop instances in one measured route."""
+    instances: list[LoopInstance] = []
+    for first, second in route.consecutive_pairs():
+        if first.address is None or first.address != second.address:
+            continue
+        instances.append(LoopInstance(
+            signature=LoopSignature(address=first.address,
+                                    destination=route.destination),
+            route=route,
+            first=first,
+            second=second,
+        ))
+    return instances
+
+
+def loop_signatures(routes) -> set[LoopSignature]:
+    """The distinct signatures across many routes."""
+    found: set[LoopSignature] = set()
+    for route in routes:
+        for instance in find_loops(route):
+            found.add(instance.signature)
+    return found

@@ -1,0 +1,334 @@
+"""Campaign-level anomaly statistics — the paper's Sec. 4 "tables".
+
+Each ``compute_*_statistics`` function takes the measured routes of a
+campaign (both tools, all rounds) and produces the numbers the paper
+reports in its Statistics subsections:
+
+- **Loops (4.1.2)**: share of routes with a loop, of destinations ever
+  showing one, of discovered addresses involved; signature rarity (how
+  many signatures appear in exactly one round); the cause breakdown.
+- **Cycles (4.2.2)**: the same shares, plus the mean number of rounds
+  per signature, and the cycle cause breakdown.
+- **Diamonds (4.3.2)**: destinations affected, total diamond count,
+  and the per-flow share from the classic/Paris graph differential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.classify import AnomalyCause, classify_cycle, classify_loop
+from repro.core.compare import pair_up
+from repro.core.cycles import CycleSignature, find_cycles
+from repro.core.diamonds import diamonds_by_destination
+from repro.core.loops import LoopSignature, find_loops
+from repro.core.route import MeasuredRoute
+from repro.net.inet import IPv4Address
+
+
+def _percent(part: int, whole: int) -> float:
+    return 100.0 * part / whole if whole else 0.0
+
+
+@dataclass
+class CauseBreakdown:
+    """Cause → share of anomalies (percentages of classified total)."""
+
+    counts: dict[AnomalyCause, int] = field(default_factory=dict)
+
+    def add(self, cause: AnomalyCause) -> None:
+        self.counts[cause] = self.counts.get(cause, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def share(self, cause: AnomalyCause) -> float:
+        return _percent(self.counts.get(cause, 0), self.total)
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        return [(cause.value, self.share(cause))
+                for cause in AnomalyCause if cause in self.counts]
+
+
+@dataclass
+class LoopStatistics:
+    """The Sec. 4.1.2 numbers."""
+
+    routes_total: int
+    routes_with_loop: int
+    destinations_total: int
+    destinations_with_loop: int
+    addresses_total: int
+    addresses_in_loop: int
+    signatures_total: int
+    signatures_single_round: int
+    causes: CauseBreakdown
+
+    @property
+    def pct_routes(self) -> float:
+        return _percent(self.routes_with_loop, self.routes_total)
+
+    @property
+    def pct_destinations(self) -> float:
+        return _percent(self.destinations_with_loop, self.destinations_total)
+
+    @property
+    def pct_addresses(self) -> float:
+        return _percent(self.addresses_in_loop, self.addresses_total)
+
+    @property
+    def pct_single_round_signatures(self) -> float:
+        return _percent(self.signatures_single_round, self.signatures_total)
+
+
+@dataclass
+class CycleStatistics:
+    """The Sec. 4.2.2 numbers."""
+
+    routes_total: int
+    routes_with_cycle: int
+    destinations_total: int
+    destinations_with_cycle: int
+    addresses_total: int
+    addresses_in_cycle: int
+    signatures_total: int
+    signatures_single_round: int
+    mean_rounds_per_signature: float
+    causes: CauseBreakdown
+
+    @property
+    def pct_routes(self) -> float:
+        return _percent(self.routes_with_cycle, self.routes_total)
+
+    @property
+    def pct_destinations(self) -> float:
+        return _percent(self.destinations_with_cycle,
+                        self.destinations_total)
+
+    @property
+    def pct_addresses(self) -> float:
+        return _percent(self.addresses_in_cycle, self.addresses_total)
+
+    @property
+    def pct_single_round_signatures(self) -> float:
+        return _percent(self.signatures_single_round, self.signatures_total)
+
+
+@dataclass
+class DiamondStatistics:
+    """The Sec. 4.3.2 numbers."""
+
+    destinations_total: int
+    destinations_with_diamond: int
+    diamonds_classic: int
+    diamonds_paris: int
+
+    @property
+    def pct_destinations(self) -> float:
+        return _percent(self.destinations_with_diamond,
+                        self.destinations_total)
+
+    @property
+    def perflow_share(self) -> float:
+        """Share of classic diamonds absent from the Paris graphs."""
+        if self.diamonds_classic == 0:
+            return 0.0
+        vanished = max(0, self.diamonds_classic - self.diamonds_paris)
+        return 100.0 * vanished / self.diamonds_classic
+
+
+# ----------------------------------------------------------------------
+# computation
+# ----------------------------------------------------------------------
+def _classic_routes(routes: list[MeasuredRoute]) -> list[MeasuredRoute]:
+    return [r for r in routes if not r.tool.startswith("paris")]
+
+
+def _paris_partner(pairs: dict, route: MeasuredRoute) -> Optional[MeasuredRoute]:
+    pair = pairs.get((route.destination, route.round_index))
+    return pair.paris if pair is not None else None
+
+
+def compute_loop_statistics(
+    routes: list[MeasuredRoute],
+    destinations: Iterable[IPv4Address],
+) -> LoopStatistics:
+    """Sec. 4.1.2 over the classic traces, classified via Paris twins."""
+    destinations = list(destinations)
+    pairs = {(p.destination, p.round_index): p for p in pair_up(routes)}
+    classic = _classic_routes(routes)
+    routes_with_loop = 0
+    destinations_with_loop: set[IPv4Address] = set()
+    all_addresses: set[IPv4Address] = set()
+    loop_addresses: set[IPv4Address] = set()
+    signature_rounds: dict[LoopSignature, set[int]] = {}
+    causes = CauseBreakdown()
+    for route in classic:
+        all_addresses.update(route.responding_addresses())
+        instances = find_loops(route)
+        if not instances:
+            continue
+        routes_with_loop += 1
+        destinations_with_loop.add(route.destination)
+        paris = _paris_partner(pairs, route)
+        for instance in instances:
+            loop_addresses.add(instance.signature.address)
+            signature_rounds.setdefault(
+                instance.signature, set()).add(route.round_index)
+            causes.add(classify_loop(instance, paris))
+    single = sum(1 for rounds in signature_rounds.values()
+                 if len(rounds) == 1)
+    return LoopStatistics(
+        routes_total=len(classic),
+        routes_with_loop=routes_with_loop,
+        destinations_total=len(destinations),
+        destinations_with_loop=len(destinations_with_loop),
+        addresses_total=len(all_addresses),
+        addresses_in_loop=len(loop_addresses),
+        signatures_total=len(signature_rounds),
+        signatures_single_round=single,
+        causes=causes,
+    )
+
+
+def compute_cycle_statistics(
+    routes: list[MeasuredRoute],
+    destinations: Iterable[IPv4Address],
+) -> CycleStatistics:
+    """Sec. 4.2.2 over the classic traces, classified via Paris twins."""
+    destinations = list(destinations)
+    pairs = {(p.destination, p.round_index): p for p in pair_up(routes)}
+    classic = _classic_routes(routes)
+    routes_with_cycle = 0
+    destinations_with_cycle: set[IPv4Address] = set()
+    all_addresses: set[IPv4Address] = set()
+    cycle_addresses: set[IPv4Address] = set()
+    signature_rounds: dict[CycleSignature, set[int]] = {}
+    causes = CauseBreakdown()
+    for route in classic:
+        all_addresses.update(route.responding_addresses())
+        instances = find_cycles(route)
+        if not instances:
+            continue
+        routes_with_cycle += 1
+        destinations_with_cycle.add(route.destination)
+        paris = _paris_partner(pairs, route)
+        for instance in instances:
+            cycle_addresses.add(instance.signature.address)
+            signature_rounds.setdefault(
+                instance.signature, set()).add(route.round_index)
+            causes.add(classify_cycle(instance, paris))
+    single = sum(1 for rounds in signature_rounds.values()
+                 if len(rounds) == 1)
+    mean_rounds = (
+        sum(len(r) for r in signature_rounds.values()) / len(signature_rounds)
+        if signature_rounds else 0.0
+    )
+    return CycleStatistics(
+        routes_total=len(classic),
+        routes_with_cycle=routes_with_cycle,
+        destinations_total=len(destinations),
+        destinations_with_cycle=len(destinations_with_cycle),
+        addresses_total=len(all_addresses),
+        addresses_in_cycle=len(cycle_addresses),
+        signatures_total=len(signature_rounds),
+        signatures_single_round=single,
+        mean_rounds_per_signature=mean_rounds,
+        causes=causes,
+    )
+
+
+def compute_diamond_statistics(
+    routes: list[MeasuredRoute],
+    destinations: Iterable[IPv4Address],
+) -> DiamondStatistics:
+    """Sec. 4.3.2: per-destination graphs, classic vs Paris."""
+    destinations = list(destinations)
+    classic = _classic_routes(routes)
+    paris = [r for r in routes if r.tool.startswith("paris")]
+    classic_diamonds = diamonds_by_destination(classic)
+    paris_diamonds = diamonds_by_destination(paris)
+    affected = sum(1 for found in classic_diamonds.values() if found)
+    return DiamondStatistics(
+        destinations_total=len(destinations),
+        destinations_with_diamond=affected,
+        diamonds_classic=sum(len(v) for v in classic_diamonds.values()),
+        diamonds_paris=sum(len(v) for v in paris_diamonds.values()),
+    )
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def format_loop_table(stats: LoopStatistics,
+                      paper: bool = True) -> str:
+    """Sec. 4.1.2 as a paper-vs-measured table."""
+    rows = [
+        ("routes with >=1 loop (%)", 5.3, stats.pct_routes),
+        ("destinations with loops (%)", 18.0, stats.pct_destinations),
+        ("addresses in a loop (%)", 6.3, stats.pct_addresses),
+        ("signatures seen in 1 round (%)", 18.0,
+         stats.pct_single_round_signatures),
+        ("cause: per-flow load balancing (%)", 87.0,
+         stats.causes.share(AnomalyCause.PER_FLOW_LB)),
+        ("cause: zero-TTL forwarding (%)", 6.9,
+         stats.causes.share(AnomalyCause.ZERO_TTL_FORWARDING)),
+        ("cause: unreachability message (%)", 1.2,
+         stats.causes.share(AnomalyCause.UNREACHABLE_MESSAGE)),
+        ("cause: address rewriting (%)", 2.8,
+         stats.causes.share(AnomalyCause.ADDRESS_REWRITING)),
+        ("cause: per-packet (suspected) (%)", 2.5,
+         stats.causes.share(AnomalyCause.PER_PACKET_OR_UNKNOWN)),
+    ]
+    return _render_rows("Loops (paper Sec. 4.1.2)", rows, paper)
+
+
+def format_cycle_table(stats: CycleStatistics,
+                       paper: bool = True) -> str:
+    """Sec. 4.2.2 as a paper-vs-measured table."""
+    rows = [
+        ("routes with >=1 cycle (%)", 0.84, stats.pct_routes),
+        ("destinations with cycles (%)", 11.0, stats.pct_destinations),
+        ("addresses in a cycle (%)", 3.6, stats.pct_addresses),
+        ("signatures seen in 1 round (%)", 30.0,
+         stats.pct_single_round_signatures),
+        ("mean rounds per signature", 6.8,
+         stats.mean_rounds_per_signature),
+        ("cause: per-flow load balancing (%)", 78.0,
+         stats.causes.share(AnomalyCause.PER_FLOW_LB)),
+        ("cause: forwarding loop (%)", 20.0,
+         stats.causes.share(AnomalyCause.FORWARDING_LOOP)),
+        ("cause: unreachability message (%)", 1.2,
+         stats.causes.share(AnomalyCause.UNREACHABLE_MESSAGE)),
+        ("cause: fake addr / per-packet (%)", 1.1,
+         stats.causes.share(AnomalyCause.PER_PACKET_OR_UNKNOWN)),
+    ]
+    return _render_rows("Cycles (paper Sec. 4.2.2)", rows, paper)
+
+
+def format_diamond_table(stats: DiamondStatistics,
+                         paper: bool = True) -> str:
+    """Sec. 4.3.2 as a paper-vs-measured table."""
+    rows = [
+        ("destinations with diamonds (%)", 79.0, stats.pct_destinations),
+        ("diamonds in classic graphs (count)", 16385.0,
+         float(stats.diamonds_classic)),
+        ("per-flow share of diamonds (%)", 64.0, stats.perflow_share),
+    ]
+    return _render_rows("Diamonds (paper Sec. 4.3.2)", rows, paper)
+
+
+def _render_rows(title: str, rows: list[tuple[str, float, float]],
+                 paper: bool) -> str:
+    lines = [title]
+    if paper:
+        lines.append(f"{'metric':45s} {'paper':>10s} {'measured':>10s}")
+        for label, expected, measured in rows:
+            lines.append(f"{label:45s} {expected:10.2f} {measured:10.2f}")
+    else:
+        lines.append(f"{'metric':45s} {'measured':>10s}")
+        for label, __, measured in rows:
+            lines.append(f"{label:45s} {measured:10.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""The measured route: the paper's formal object of study.
+
+Sec. 4: "we define a measured route to be the ℓ-tuple R = (r0, ..., rℓ)
+where r0 is the source address, and, for each i, 1 ≤ i ≤ ℓ, ri stands
+either for the IP address received when probing with TTL i, or for a
+star if none was received."
+
+:class:`MeasuredRoute` carries that tuple plus, per hop, the forensic
+attributes the classifiers need (probe TTL, response TTL, IP ID,
+unreachable flags) and the campaign coordinates (tool, round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.net.inet import IPv4Address
+from repro.tracer.result import ReplyKind, TracerouteResult
+
+
+@dataclass(frozen=True)
+class RouteHop:
+    """One position of a measured route (a star when ``address`` is None)."""
+
+    ttl: int
+    address: Optional[IPv4Address]
+    probe_ttl: Optional[int] = None
+    response_ttl: Optional[int] = None
+    ip_id: Optional[int] = None
+    unreachable_flag: str = ""
+    kind: Optional[ReplyKind] = None
+
+    @property
+    def is_star(self) -> bool:
+        return self.address is None
+
+
+@dataclass
+class MeasuredRoute:
+    """A traced route with everything the anomaly analysis needs."""
+
+    source: IPv4Address
+    destination: IPv4Address
+    hops: list[RouteHop]
+    tool: str = ""
+    round_index: int = 0
+    halt_reason: str = ""
+    started_at: float = 0.0
+    trace_duration: float = 0.0
+
+    @classmethod
+    def from_result(cls, result: TracerouteResult,
+                    round_index: int = 0) -> "MeasuredRoute":
+        """Convert a tracer result (first reply per hop, as the paper's
+        one-probe-per-hop campaign does)."""
+        hops = []
+        for hop in result.hops:
+            reply = hop.replies[0] if hop.replies else None
+            if reply is None or reply.is_star:
+                hops.append(RouteHop(ttl=hop.ttl, address=None))
+            else:
+                hops.append(RouteHop(
+                    ttl=hop.ttl,
+                    address=reply.address,
+                    probe_ttl=reply.probe_ttl,
+                    response_ttl=reply.response_ttl,
+                    ip_id=reply.ip_id,
+                    unreachable_flag=reply.unreachable_flag,
+                    kind=reply.kind,
+                ))
+        return cls(
+            source=result.source,
+            destination=result.destination,
+            hops=hops,
+            tool=result.tool,
+            round_index=round_index,
+            halt_reason=result.halt_reason,
+            started_at=result.started_at,
+            trace_duration=result.duration,
+        )
+
+    # ------------------------------------------------------------------
+    # the ℓ-tuple view
+    # ------------------------------------------------------------------
+    def as_tuple(self) -> tuple[Optional[IPv4Address], ...]:
+        """The paper's R = (r0, r1, ..., rℓ)."""
+        return (self.source, *[h.address for h in self.hops])
+
+    def addresses(self) -> list[Optional[IPv4Address]]:
+        """r1..rℓ — one entry per probed TTL, None for stars."""
+        return [h.address for h in self.hops]
+
+    def responding_addresses(self) -> set[IPv4Address]:
+        """The distinct non-star addresses."""
+        return {h.address for h in self.hops if h.address is not None}
+
+    def hop_at(self, ttl: int) -> Optional[RouteHop]:
+        """The entry probed at ``ttl``, if it exists."""
+        for hop in self.hops:
+            if hop.ttl == ttl:
+                return hop
+        return None
+
+    def consecutive_pairs(self) -> Iterator[tuple[RouteHop, RouteHop]]:
+        """Adjacent-TTL hop pairs (the loop/link granularity)."""
+        for first, second in zip(self.hops, self.hops[1:]):
+            if second.ttl == first.ttl + 1:
+                yield first, second
+
+    @property
+    def length(self) -> int:
+        """ℓ — the number of probed positions."""
+        return len(self.hops)
+
+    def __repr__(self) -> str:
+        rendered = " ".join(
+            "*" if h.address is None else str(h.address) for h in self.hops
+        )
+        return (f"MeasuredRoute({self.tool} -> {self.destination} "
+                f"round {self.round_index}: {rendered})")

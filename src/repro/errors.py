@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subclasses are grouped by subsystem:
+wire-format problems, simulator wiring problems, tracer runtime problems,
+and measurement-campaign problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class PacketError(ReproError):
+    """A packet could not be built or parsed."""
+
+
+class TruncatedPacketError(PacketError):
+    """Raised when parsing runs out of bytes before the header is complete."""
+
+    def __init__(self, what: str, needed: int, got: int) -> None:
+        super().__init__(f"truncated {what}: need {needed} bytes, got {got}")
+        self.what = what
+        self.needed = needed
+        self.got = got
+
+
+class ChecksumError(PacketError):
+    """Raised when a received packet fails checksum verification."""
+
+    def __init__(self, what: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"bad {what} checksum: expected 0x{expected:04x}, got 0x{actual:04x}"
+        )
+        self.what = what
+        self.expected = expected
+        self.actual = actual
+
+
+class FieldValueError(PacketError):
+    """Raised when a header field is assigned an out-of-range value."""
+
+    def __init__(self, field: str, value: object, reason: str = "") -> None:
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"invalid value for {field}: {value!r}{detail}")
+        self.field = field
+        self.value = value
+
+
+class AddressError(ReproError):
+    """An IPv4 address or prefix string could not be interpreted."""
+
+
+class TopologyError(ReproError):
+    """The simulated network is miswired or an entity lookup failed."""
+
+
+class RoutingError(TopologyError):
+    """A router had no usable forwarding entry for a destination."""
+
+
+class TracerError(ReproError):
+    """A traceroute run could not proceed."""
+
+
+class ProbeBuildError(TracerError):
+    """A probe packet could not be constructed as specified."""
+
+
+class PayloadSearchError(TracerError):
+    """No payload could be crafted to achieve a requested UDP checksum."""
+
+
+class CampaignError(ReproError):
+    """A measurement campaign was misconfigured or interrupted."""
+
+
+class StorageError(ReproError):
+    """Trace persistence (save/load) failed."""

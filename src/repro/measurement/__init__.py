@@ -1,0 +1,32 @@
+"""The measurement campaign of the paper's Section 3.
+
+- :mod:`repro.measurement.destinations` — select pingable destinations
+  (random order, no duplicates), as the paper's list was built.
+- :mod:`repro.measurement.campaign` — 32 virtual workers tracing each
+  destination with Paris traceroute then classic traceroute, round
+  after round, over a shared simulated clock.
+- :mod:`repro.measurement.storage` — JSONL persistence of measured
+  routes for offline re-analysis.
+- :mod:`repro.measurement.stats` — the Sec. 3 bookkeeping: response
+  counts, stars (total and mid-route), AS coverage, round durations.
+"""
+
+from repro.measurement.destinations import select_pingable_destinations
+from repro.measurement.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+)
+from repro.measurement.storage import load_routes, save_routes
+from repro.measurement.stats import SetupStatistics, compute_setup_statistics
+
+__all__ = [
+    "select_pingable_destinations",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "save_routes",
+    "load_routes",
+    "SetupStatistics",
+    "compute_setup_statistics",
+]

@@ -1,0 +1,83 @@
+"""Destination selection (paper Sec. 3).
+
+"Our destination list consists of 5,000 randomly chosen pingable IPv4
+addresses, without duplicates, and in random order.  We only consider
+pingable addresses so as to avoid the artificial inflation of
+traceroute anomalies in our results that would come from tracing
+towards unused IP addresses."
+
+:func:`select_pingable_destinations` performs the same pre-screening
+against the simulated internet: it pings every candidate (one ICMP
+Echo with a generous TTL) and keeps those that answer, then shuffles
+and truncates.  A reply counts regardless of its source address —
+destinations behind masquerading gateways answered the authors' probes
+too.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.net.icmp import ICMPEchoReply
+from repro.net.inet import IPv4Address
+from repro.net.packet import Packet
+from repro.net.icmp import ICMPEchoRequest
+from repro.sim.endhost import MeasurementHost
+from repro.sim.network import Network
+
+#: TTL used for the pingability pre-check (far above any path length).
+PING_TTL = 64
+
+
+def is_pingable(network: Network, source: MeasurementHost,
+                address: IPv4Address) -> bool:
+    """One Echo Request; True if any Echo Reply makes it back."""
+    ping = Packet.make(
+        source.address, address,
+        ICMPEchoRequest(identifier=0x7070, sequence=1),
+        ttl=PING_TTL,
+    )
+    result = network.inject(ping, at=source)
+    return any(isinstance(d.packet.transport, ICMPEchoReply)
+               for d in result.delivered_to(source))
+
+
+def select_pingable_destinations(
+    network: Network,
+    source: MeasurementHost,
+    candidates: Iterable[IPv4Address],
+    count: int | None = None,
+    seed: int = 0,
+) -> list[IPv4Address]:
+    """The paper's destination list: pingable, deduplicated, shuffled.
+
+    ``count`` truncates the list after shuffling (None keeps all).
+    """
+    unique: list[IPv4Address] = []
+    seen: set[IPv4Address] = set()
+    for candidate in candidates:
+        address = IPv4Address(candidate)
+        if address in seen:
+            continue
+        seen.add(address)
+        unique.append(address)
+    pingable = [a for a in unique if is_pingable(network, source, a)]
+    rng = random.Random(seed)
+    rng.shuffle(pingable)
+    if count is not None:
+        pingable = pingable[:count]
+    return pingable
+
+
+def split_among_workers(
+    destinations: Sequence[IPv4Address], workers: int
+) -> list[list[IPv4Address]]:
+    """Partition the list as the paper does: each of the 32 parallel
+    processes probes 1/32 of the destinations."""
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    shares: list[list[IPv4Address]] = [[] for __ in range(workers)]
+    for index, destination in enumerate(destinations):
+        shares[index % workers].append(destination)
+    return shares

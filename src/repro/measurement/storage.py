@@ -1,0 +1,109 @@
+"""JSONL persistence of measured routes.
+
+A month-long campaign produces millions of routes; the paper's analysis
+runs offline over stored traces.  One JSON object per line keeps files
+streamable and diffable; addresses serialize as dotted quads, stars as
+null.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.core.route import MeasuredRoute, RouteHop
+from repro.errors import StorageError
+from repro.net.inet import IPv4Address
+from repro.tracer.result import ReplyKind
+
+
+def route_to_dict(route: MeasuredRoute) -> dict:
+    """A JSON-ready dict for one measured route."""
+    return {
+        "source": str(route.source),
+        "destination": str(route.destination),
+        "tool": route.tool,
+        "round": route.round_index,
+        "halt": route.halt_reason,
+        "started_at": route.started_at,
+        "duration": route.trace_duration,
+        "hops": [
+            {
+                "ttl": hop.ttl,
+                "address": None if hop.address is None else str(hop.address),
+                "probe_ttl": hop.probe_ttl,
+                "response_ttl": hop.response_ttl,
+                "ip_id": hop.ip_id,
+                "flag": hop.unreachable_flag,
+                "kind": hop.kind.value if hop.kind is not None else None,
+            }
+            for hop in route.hops
+        ],
+    }
+
+
+def route_from_dict(data: dict) -> MeasuredRoute:
+    """Rebuild a measured route from its stored dict."""
+    try:
+        hops = [
+            RouteHop(
+                ttl=h["ttl"],
+                address=None if h["address"] is None
+                else IPv4Address(h["address"]),
+                probe_ttl=h.get("probe_ttl"),
+                response_ttl=h.get("response_ttl"),
+                ip_id=h.get("ip_id"),
+                unreachable_flag=h.get("flag", ""),
+                kind=ReplyKind(h["kind"]) if h.get("kind") else None,
+            )
+            for h in data["hops"]
+        ]
+        return MeasuredRoute(
+            source=IPv4Address(data["source"]),
+            destination=IPv4Address(data["destination"]),
+            hops=hops,
+            tool=data.get("tool", ""),
+            round_index=data.get("round", 0),
+            halt_reason=data.get("halt", ""),
+            started_at=data.get("started_at", 0.0),
+            trace_duration=data.get("duration", 0.0),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise StorageError(f"malformed route record: {error}") from error
+
+
+def save_routes(routes: Iterable[MeasuredRoute],
+                path: Union[str, Path]) -> int:
+    """Write routes as JSON lines; returns the number written."""
+    path = Path(path)
+    count = 0
+    try:
+        with path.open("w", encoding="utf-8") as handle:
+            for route in routes:
+                handle.write(json.dumps(route_to_dict(route)))
+                handle.write("\n")
+                count += 1
+    except OSError as error:
+        raise StorageError(f"cannot write {path}: {error}") from error
+    return count
+
+
+def load_routes(path: Union[str, Path]) -> Iterator[MeasuredRoute]:
+    """Stream routes back from a JSONL file."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise StorageError(
+                        f"{path}:{line_number}: bad JSON: {error}"
+                    ) from error
+                yield route_from_dict(data)
+    except OSError as error:
+        raise StorageError(f"cannot read {path}: {error}") from error

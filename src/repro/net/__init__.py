@@ -1,0 +1,52 @@
+"""Wire-format substrate: IPv4, UDP, TCP, and ICMP headers as real bytes.
+
+This package implements the packet formats Paris traceroute manipulates.
+Headers are built and parsed at the byte level with correct RFC 1071
+checksums, because the paper's central mechanism — keeping the flow
+identifier constant while still tagging each probe uniquely — is a
+byte-level property of the first four octets of the transport header.
+
+Public entry points:
+
+- :class:`repro.net.inet.IPv4Address` — value type for addresses.
+- :class:`repro.net.ipv4.IPv4Header` — the IP header.
+- :class:`repro.net.udp.UDPHeader`, :class:`repro.net.tcp.TCPHeader`,
+  :mod:`repro.net.icmp` — transport headers.
+- :class:`repro.net.packet.Packet` — a full IP datagram.
+- :mod:`repro.net.flow` — flow-identifier extraction used by load balancers.
+"""
+
+from repro.net.inet import IPv4Address, checksum
+from repro.net.ipv4 import IPv4Header, IPProtocol
+from repro.net.udp import UDPHeader
+from repro.net.tcp import TCPHeader, TCPFlags
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPEchoReply,
+    ICMPEchoRequest,
+    ICMPTimeExceeded,
+    ICMPType,
+    UnreachableCode,
+)
+from repro.net.packet import Packet
+from repro.net.flow import FlowId, classic_five_tuple, first_transport_word_flow
+
+__all__ = [
+    "IPv4Address",
+    "checksum",
+    "IPv4Header",
+    "IPProtocol",
+    "UDPHeader",
+    "TCPHeader",
+    "TCPFlags",
+    "ICMPType",
+    "UnreachableCode",
+    "ICMPEchoRequest",
+    "ICMPEchoReply",
+    "ICMPTimeExceeded",
+    "ICMPDestinationUnreachable",
+    "Packet",
+    "FlowId",
+    "classic_five_tuple",
+    "first_transport_word_flow",
+]

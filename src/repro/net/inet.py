@@ -1,0 +1,301 @@
+"""Core internet primitives: IPv4 addresses and the RFC 1071 checksum.
+
+These are the lowest-level building blocks of the wire-format substrate.
+:class:`IPv4Address` is an immutable value type used throughout the
+simulator and tracers; :func:`checksum` is the one's-complement sum used
+by the IPv4, UDP, TCP, and ICMP headers.
+"""
+
+from __future__ import annotations
+
+import struct
+from functools import total_ordering
+from typing import Iterable, Iterator, Union
+
+from repro.errors import AddressError, FieldValueError
+
+#: Number of octets in an IPv4 address.
+IPV4_LENGTH = 4
+
+#: Largest value representable in an unsigned 16-bit field.
+MAX_U16 = 0xFFFF
+
+#: Largest value representable in an unsigned 8-bit field.
+MAX_U8 = 0xFF
+
+#: Largest value representable in an unsigned 32-bit field.
+MAX_U32 = 0xFFFFFFFF
+
+
+def checksum(data: bytes) -> int:
+    """Compute the RFC 1071 internet checksum of ``data``.
+
+    The checksum is the 16-bit one's complement of the one's-complement
+    sum of all 16-bit words.  Odd-length input is padded with a zero
+    octet, as required by RFC 1071 section 4.1.
+
+    >>> checksum(b"")
+    65535
+    >>> hex(checksum(bytes.fromhex("45000073000040004011 0000 c0a80001c0a800c7")))
+    '0xb861'
+    """
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    # Fold the carries back in.  Two folds suffice for any input length
+    # below 2**17 words; loop to stay correct for arbitrary sizes.
+    while total > MAX_U16:
+        total = (total & MAX_U16) + (total >> 16)
+    return (~total) & MAX_U16
+
+
+def ones_complement_add(a: int, b: int) -> int:
+    """Add two 16-bit values with one's-complement (end-around) carry.
+
+    This is the primitive used for incremental checksum adjustment
+    (RFC 1624): updating a checksum when one header word changes without
+    re-summing the whole packet.
+    """
+    total = (a & MAX_U16) + (b & MAX_U16)
+    return (total & MAX_U16) + (total >> 16)
+
+
+def checksum_without(data: bytes, offset: int) -> int:
+    """Checksum of ``data`` with the 16-bit word at ``offset`` zeroed.
+
+    ``offset`` must be even and within the data.  Useful for verifying a
+    header checksum: compute the sum with the checksum field treated as
+    zero and compare against the stored value.
+    """
+    if offset % 2 or offset + 2 > len(data):
+        raise FieldValueError("offset", offset, "must be an even in-range index")
+    return checksum(data[:offset] + b"\x00\x00" + data[offset + 2:])
+
+
+def require_u8(field: str, value: int) -> int:
+    """Validate that ``value`` fits an unsigned 8-bit field."""
+    if not isinstance(value, int) or not 0 <= value <= MAX_U8:
+        raise FieldValueError(field, value, "must fit in 8 bits")
+    return value
+
+
+def require_u16(field: str, value: int) -> int:
+    """Validate that ``value`` fits an unsigned 16-bit field."""
+    if not isinstance(value, int) or not 0 <= value <= MAX_U16:
+        raise FieldValueError(field, value, "must fit in 16 bits")
+    return value
+
+
+def require_u32(field: str, value: int) -> int:
+    """Validate that ``value`` fits an unsigned 32-bit field."""
+    if not isinstance(value, int) or not 0 <= value <= MAX_U32:
+        raise FieldValueError(field, value, "must fit in 32 bits")
+    return value
+
+
+@total_ordering
+class IPv4Address:
+    """An immutable IPv4 address.
+
+    Accepts dotted-quad strings, 32-bit integers, 4-byte sequences, or
+    another :class:`IPv4Address`.  Instances hash and compare by their
+    integer value, so they can key dictionaries and sort numerically.
+
+    >>> IPv4Address("192.0.2.1").packed.hex()
+    'c0000201'
+    >>> int(IPv4Address("0.0.0.1"))
+    1
+    >>> IPv4Address(0xC0000201) == IPv4Address("192.0.2.1")
+    True
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, int, bytes, "IPv4Address"]) -> None:
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= MAX_U32:
+                raise AddressError(f"integer address out of range: {value}")
+            self._value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != IPV4_LENGTH:
+                raise AddressError(f"packed address must be 4 bytes, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            self._value = _parse_dotted_quad(value)
+        else:
+            raise AddressError(f"cannot interpret {type(value).__name__} as address")
+
+    @property
+    def packed(self) -> bytes:
+        """The address as 4 network-order bytes."""
+        return self._value.to_bytes(IPV4_LENGTH, "big")
+
+    @property
+    def is_private(self) -> bool:
+        """True for RFC 1918 space (10/8, 172.16/12, 192.168/16)."""
+        v = self._value
+        return (
+            v >> 24 == 10
+            or v >> 20 == (172 << 4) | 1  # 172.16.0.0/12
+            or v >> 16 == (192 << 8) | 168
+        )
+
+    @property
+    def is_loopback(self) -> bool:
+        """True for 127/8."""
+        return self._value >> 24 == 127
+
+    @property
+    def octets(self) -> tuple[int, int, int, int]:
+        """The four octets, most significant first."""
+        p = self.packed
+        return (p[0], p[1], p[2], p[3])
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.packed)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        if isinstance(other, str):
+            try:
+                return self._value == _parse_dotted_quad(other)
+            except AddressError:
+                return NotImplemented
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        if not isinstance(offset, int):
+            return NotImplemented
+        return IPv4Address((self._value + offset) & MAX_U32)
+
+
+def _parse_dotted_quad(text: str) -> int:
+    """Parse ``a.b.c.d`` into a 32-bit integer, strictly."""
+    parts = text.split(".")
+    if len(parts) != IPV4_LENGTH:
+        raise AddressError(f"expected 4 dotted octets: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0") or len(part) > 3:
+            raise AddressError(f"bad octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > MAX_U8:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+class Prefix:
+    """An IPv4 prefix ``network/length`` supporting containment tests.
+
+    >>> Prefix("192.0.2.0/24").contains(IPv4Address("192.0.2.77"))
+    True
+    >>> Prefix("192.0.2.0/24").contains(IPv4Address("192.0.3.1"))
+    False
+    """
+
+    __slots__ = ("network", "length", "_mask")
+
+    def __init__(self, spec: Union[str, tuple[IPv4Address, int]]) -> None:
+        if isinstance(spec, str):
+            if "/" not in spec:
+                raise AddressError(f"prefix needs a /length: {spec!r}")
+            net_text, len_text = spec.rsplit("/", 1)
+            if not len_text.isdigit():
+                raise AddressError(f"bad prefix length in {spec!r}")
+            network, length = IPv4Address(net_text), int(len_text)
+        else:
+            network, length = spec
+            network = IPv4Address(network)
+        if not 0 <= length <= 32:
+            raise AddressError(f"prefix length out of range: {length}")
+        self._mask = (MAX_U32 << (32 - length)) & MAX_U32 if length else 0
+        if int(network) & ~self._mask & MAX_U32:
+            raise AddressError(f"host bits set in prefix {network}/{length}")
+        self.network = network
+        self.length = length
+
+    def contains(self, address: IPv4Address) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        return (int(address) & self._mask) == int(self.network)
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Iterate every address in the prefix (including network/broadcast)."""
+        base = int(self.network)
+        for offset in range(1 << (32 - self.length)):
+            yield IPv4Address(base + offset)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Prefix):
+            return NotImplemented
+        return self.network == other.network and self.length == other.length
+
+    def __hash__(self) -> int:
+        return hash((self.network, self.length))
+
+
+class AddressAllocator:
+    """Hands out distinct IPv4 addresses from a pool of prefixes.
+
+    The topology generator uses one allocator per AS so that every
+    simulated interface gets a unique, stable address and the
+    prefix → AS map can be derived from the allocation itself.
+    """
+
+    def __init__(self, prefixes: Iterable[Union[str, Prefix]]) -> None:
+        self._prefixes = [p if isinstance(p, Prefix) else Prefix(p) for p in prefixes]
+        if not self._prefixes:
+            raise AddressError("allocator needs at least one prefix")
+        self._prefix_index = 0
+        self._offset = 1  # skip the network address of each prefix
+
+    def allocate(self) -> IPv4Address:
+        """Return the next unused address, moving across prefixes as needed."""
+        while self._prefix_index < len(self._prefixes):
+            prefix = self._prefixes[self._prefix_index]
+            # Reserve the broadcast address (all-ones host part).
+            if self._offset < prefix.size - 1:
+                address = prefix.network + self._offset
+                self._offset += 1
+                return address
+            self._prefix_index += 1
+            self._offset = 1
+        raise AddressError("address pool exhausted")
+
+    @property
+    def prefixes(self) -> list[Prefix]:
+        """The prefixes backing this allocator."""
+        return list(self._prefixes)

@@ -1,0 +1,177 @@
+"""The IPv4 header (RFC 791), built and parsed at the byte level.
+
+The fields the paper cares about are all here: TTL (traceroute's probe
+mechanism), Identification (varied by tcptraceroute, and the "IP ID" that
+Paris traceroute reads from responses), TOS (observed by the authors to
+be hashed by some load balancers), Protocol, and the Source/Destination
+addresses that anchor every flow identifier.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ChecksumError, FieldValueError, TruncatedPacketError
+from repro.net.inet import (
+    IPv4Address,
+    checksum,
+    checksum_without,
+    require_u8,
+    require_u16,
+)
+
+#: Length in octets of an IPv4 header without options.
+IPV4_HEADER_LENGTH = 20
+
+#: Default initial TTL used by simulated routers for ICMP responses.  The
+#: paper notes "most routers use the default TTL for ICMP, which is 255".
+DEFAULT_ROUTER_TTL = 255
+
+#: A common alternative initial TTL (hosts, some vendors).
+DEFAULT_HOST_TTL = 64
+
+_STRUCT = struct.Struct("!BBHHHBBH4s4s")
+
+
+class IPProtocol(enum.IntEnum):
+    """Protocol numbers for the IPv4 Protocol field (subset we use)."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+    # Used only to discuss the authors' IPSec probing experiments.
+    ESP = 50
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """An immutable IPv4 header without options (IHL = 5).
+
+    ``total_length`` covers header plus payload; :meth:`build` fills it in
+    from the payload length when left at 0.  The header checksum is always
+    computed on serialization; on parse it is verified unless
+    ``verify_checksum=False``.
+    """
+
+    src: IPv4Address
+    dst: IPv4Address
+    protocol: int
+    ttl: int = DEFAULT_HOST_TTL
+    identification: int = 0
+    tos: int = 0
+    flags: int = 0
+    fragment_offset: int = 0
+    total_length: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", IPv4Address(self.src))
+        object.__setattr__(self, "dst", IPv4Address(self.dst))
+        require_u8("protocol", int(self.protocol))
+        require_u8("ttl", self.ttl)
+        require_u16("identification", self.identification)
+        require_u8("tos", self.tos)
+        if not 0 <= self.flags <= 0b111:
+            raise FieldValueError("flags", self.flags, "3-bit field")
+        if not 0 <= self.fragment_offset <= 0x1FFF:
+            raise FieldValueError("fragment_offset", self.fragment_offset, "13-bit field")
+        require_u16("total_length", self.total_length)
+
+    def build(self, payload_length: int = 0) -> bytes:
+        """Serialize to 20 bytes with a correct header checksum.
+
+        If ``total_length`` is 0, it is computed as header + ``payload_length``.
+        """
+        total = self.total_length or IPV4_HEADER_LENGTH + payload_length
+        version_ihl = (4 << 4) | 5
+        flags_frag = (self.flags << 13) | self.fragment_offset
+        raw = _STRUCT.pack(
+            version_ihl,
+            self.tos,
+            total,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            int(self.protocol),
+            0,
+            self.src.packed,
+            self.dst.packed,
+        )
+        ck = checksum(raw)
+        return raw[:10] + struct.pack("!H", ck) + raw[12:]
+
+    @classmethod
+    def parse(cls, data: bytes, verify_checksum: bool = True) -> tuple["IPv4Header", bytes]:
+        """Parse a header from ``data``; return ``(header, payload)``.
+
+        Raises :class:`TruncatedPacketError` on short input,
+        :class:`FieldValueError` on a non-IPv4 version or IHL < 5, and
+        :class:`ChecksumError` if verification is on and the stored
+        checksum is wrong.
+        """
+        if len(data) < IPV4_HEADER_LENGTH:
+            raise TruncatedPacketError("IPv4 header", IPV4_HEADER_LENGTH, len(data))
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            stored_ck,
+            src,
+            dst,
+        ) = _STRUCT.unpack(data[:IPV4_HEADER_LENGTH])
+        version = version_ihl >> 4
+        ihl = version_ihl & 0x0F
+        if version != 4:
+            raise FieldValueError("version", version, "not IPv4")
+        if ihl < 5:
+            raise FieldValueError("ihl", ihl, "below minimum of 5")
+        header_length = ihl * 4
+        if len(data) < header_length:
+            raise TruncatedPacketError("IPv4 options", header_length, len(data))
+        if verify_checksum:
+            computed = checksum_without(data[:header_length], 10)
+            if computed != stored_ck:
+                raise ChecksumError("IPv4 header", computed, stored_ck)
+        header = cls(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            tos=tos,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            total_length=total_length,
+        )
+        payload_end = min(len(data), total_length) if total_length else len(data)
+        return header, data[header_length:payload_end]
+
+    def decremented(self) -> "IPv4Header":
+        """A copy with TTL reduced by one (router forwarding step)."""
+        if self.ttl == 0:
+            raise FieldValueError("ttl", self.ttl, "cannot decrement below zero")
+        return replace(self, ttl=self.ttl - 1)
+
+    def with_ttl(self, ttl: int) -> "IPv4Header":
+        """A copy with the TTL replaced."""
+        return replace(self, ttl=ttl)
+
+    def with_identification(self, identification: int) -> "IPv4Header":
+        """A copy with the Identification field replaced."""
+        return replace(self, identification=identification)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering used in logs and examples."""
+        try:
+            proto = IPProtocol(int(self.protocol)).name
+        except ValueError:
+            proto = str(int(self.protocol))
+        return (
+            f"IPv4 {self.src} > {self.dst} proto={proto} "
+            f"ttl={self.ttl} id={self.identification}"
+        )

@@ -1,0 +1,156 @@
+"""A full IP datagram: IPv4 header + transport message + payload.
+
+:class:`Packet` is the unit the simulator forwards and the tracers send.
+It round-trips through real bytes (:meth:`Packet.build` /
+:meth:`Packet.parse`), so anything a load balancer hashes or a router
+quotes is taken from the same octets a real network would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+from repro.errors import FieldValueError
+from repro.net import icmp as icmp_mod
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPEchoReply,
+    ICMPEchoRequest,
+    ICMPTimeExceeded,
+)
+from repro.net.inet import IPv4Address
+from repro.net.ipv4 import IPv4Header, IPProtocol
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+Transport = Union[
+    UDPHeader,
+    TCPHeader,
+    ICMPEchoRequest,
+    ICMPEchoReply,
+    ICMPTimeExceeded,
+    ICMPDestinationUnreachable,
+]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable IP datagram.
+
+    ``payload`` applies to UDP/TCP segments (ICMP messages carry their
+    own payload).  The IP header's protocol field must agree with the
+    transport type; :meth:`make` fills it in automatically.
+    """
+
+    ip: IPv4Header
+    transport: Transport
+    payload: bytes = b""
+
+    @classmethod
+    def make(
+        cls,
+        src: IPv4Address | str,
+        dst: IPv4Address | str,
+        transport: Transport,
+        payload: bytes = b"",
+        ttl: int = 64,
+        identification: int = 0,
+        tos: int = 0,
+    ) -> "Packet":
+        """Build a packet, deriving the IP Protocol from the transport."""
+        protocol = _protocol_for(transport)
+        ip = IPv4Header(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            protocol=int(protocol),
+            ttl=ttl,
+            identification=identification,
+            tos=tos,
+        )
+        return cls(ip=ip, transport=transport, payload=payload)
+
+    def build(self) -> bytes:
+        """Serialize the whole datagram to wire bytes."""
+        body = self.transport_bytes()
+        return self.ip.build(payload_length=len(body)) + body
+
+    def transport_bytes(self) -> bytes:
+        """Serialize only the transport header + payload."""
+        t = self.transport
+        if isinstance(t, UDPHeader):
+            return t.build(self.payload, self.ip.src, self.ip.dst)
+        if isinstance(t, TCPHeader):
+            return t.build(self.payload, self.ip.src, self.ip.dst)
+        return t.build()
+
+    @classmethod
+    def parse(cls, data: bytes, verify: bool = True) -> "Packet":
+        """Parse wire bytes back into a :class:`Packet`.
+
+        ICMP checksums are verified when ``verify`` is set; UDP/TCP
+        checksums are preserved as stored (call
+        :meth:`UDPHeader.verify` explicitly where the simulator models
+        checksum-dropping routers).
+        """
+        ip, body = IPv4Header.parse(data, verify_checksum=verify)
+        protocol = int(ip.protocol)
+        if protocol == int(IPProtocol.UDP):
+            udp, payload = UDPHeader.parse(body)
+            return cls(ip=ip, transport=udp, payload=payload)
+        if protocol == int(IPProtocol.TCP):
+            tcp, payload = TCPHeader.parse(body)
+            return cls(ip=ip, transport=tcp, payload=payload)
+        if protocol == int(IPProtocol.ICMP):
+            message = icmp_mod.parse(body, verify=verify)
+            return cls(ip=ip, transport=message, payload=b"")
+        raise FieldValueError("protocol", protocol, "unsupported IP protocol")
+
+    def decremented(self) -> "Packet":
+        """A copy with the IP TTL reduced by one."""
+        return replace(self, ip=self.ip.decremented())
+
+    @property
+    def src(self) -> IPv4Address:
+        """Source IP address (convenience accessor)."""
+        return self.ip.src
+
+    @property
+    def dst(self) -> IPv4Address:
+        """Destination IP address (convenience accessor)."""
+        return self.ip.dst
+
+    @property
+    def ttl(self) -> int:
+        """Current IP TTL (convenience accessor)."""
+        return self.ip.ttl
+
+    def first_eight_transport_octets(self) -> bytes:
+        """The first eight octets of the transport header + payload.
+
+        This is the exact slice a router quotes in Time Exceeded and
+        Destination Unreachable responses (RFC 792): the whole UDP
+        header, or the first half of a TCP/ICMP header.
+        """
+        return self.transport_bytes()[:icmp_mod.QUOTED_PAYLOAD_LENGTH]
+
+    def summary(self) -> str:
+        """One-line rendering for logs and example output."""
+        t = self.transport
+        if hasattr(t, "summary"):
+            detail = t.summary()
+        else:
+            detail = type(t).__name__
+        return f"{self.ip.summary()} | {detail}"
+
+
+def _protocol_for(transport: Transport) -> IPProtocol:
+    """Map a transport object to its IP protocol number."""
+    if isinstance(transport, UDPHeader):
+        return IPProtocol.UDP
+    if isinstance(transport, TCPHeader):
+        return IPProtocol.TCP
+    if isinstance(transport, (ICMPEchoRequest, ICMPEchoReply,
+                              ICMPTimeExceeded, ICMPDestinationUnreachable)):
+        return IPProtocol.ICMP
+    raise FieldValueError("transport", transport, "unsupported transport type")

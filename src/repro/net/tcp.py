@@ -1,0 +1,130 @@
+"""The TCP header (RFC 793), as used by tcptraceroute and Paris traceroute.
+
+Both tools keep the TCP port pair constant (tcptraceroute defaults the
+destination port to 80 to emulate web traffic and traverse firewalls).
+The ports occupy the first four octets of the transport header — the
+slice per-flow load balancers hash — so a constant port pair means a
+constant flow identifier.  Paris traceroute tags probes by varying the
+Sequence Number (octets 5-8, outside the hashed region); tcptraceroute
+instead varies the IP Identification field.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, replace
+
+from repro.errors import ChecksumError, FieldValueError, TruncatedPacketError
+from repro.net.inet import IPv4Address, checksum, require_u16, require_u32
+from repro.net.ipv4 import IPProtocol
+from repro.net.udp import pseudo_header
+
+#: Length in octets of a TCP header without options (data offset = 5).
+TCP_HEADER_LENGTH = 20
+
+_STRUCT = struct.Struct("!HHIIBBHHH")
+
+
+class TCPFlags(enum.IntFlag):
+    """TCP control bits."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+@dataclass(frozen=True)
+class TCPHeader:
+    """An immutable TCP header without options.
+
+    Probes are bare SYNs, so no options are needed; ``checksum_value``
+    follows the same None-means-compute convention as UDP.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = int(TCPFlags.SYN)
+    window: int = 5840
+    urgent: int = 0
+    checksum_value: int | None = None
+
+    def __post_init__(self) -> None:
+        require_u16("src_port", self.src_port)
+        require_u16("dst_port", self.dst_port)
+        require_u32("seq", self.seq)
+        require_u32("ack", self.ack)
+        require_u16("window", self.window)
+        require_u16("urgent", self.urgent)
+        if not 0 <= int(self.flags) <= 0x3F:
+            raise FieldValueError("flags", self.flags, "6-bit field")
+        if self.checksum_value is not None:
+            require_u16("checksum_value", self.checksum_value)
+
+    def build(self, payload: bytes, src: IPv4Address, dst: IPv4Address) -> bytes:
+        """Serialize header+payload with a correct (or forced) checksum."""
+        length = TCP_HEADER_LENGTH + len(payload)
+        offset_byte = (TCP_HEADER_LENGTH // 4) << 4
+        if self.checksum_value is not None:
+            ck = self.checksum_value
+        else:
+            base = _STRUCT.pack(
+                self.src_port, self.dst_port, self.seq, self.ack,
+                offset_byte, int(self.flags), self.window, 0, self.urgent,
+            )
+            pseudo = pseudo_header(src, dst, int(IPProtocol.TCP), length)
+            ck = checksum(pseudo + base + payload)
+        return _STRUCT.pack(
+            self.src_port, self.dst_port, self.seq, self.ack,
+            offset_byte, int(self.flags), self.window, ck, self.urgent,
+        ) + payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["TCPHeader", bytes]:
+        """Parse header from ``data``; return ``(header, payload)``."""
+        if len(data) < TCP_HEADER_LENGTH:
+            raise TruncatedPacketError("TCP header", TCP_HEADER_LENGTH, len(data))
+        (src_port, dst_port, seq, ack, offset_byte, flags,
+         window, ck, urgent) = _STRUCT.unpack(data[:TCP_HEADER_LENGTH])
+        data_offset = (offset_byte >> 4) * 4
+        if data_offset < TCP_HEADER_LENGTH:
+            data_offset = TCP_HEADER_LENGTH
+        if len(data) < data_offset:
+            raise TruncatedPacketError("TCP options", data_offset, len(data))
+        header = cls(
+            src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+            flags=flags, window=window, urgent=urgent, checksum_value=ck,
+        )
+        return header, data[data_offset:]
+
+    def verify(self, payload: bytes, src: IPv4Address, dst: IPv4Address) -> None:
+        """Raise :class:`ChecksumError` unless the stored checksum is valid."""
+        stored = self.checksum_value or 0
+        length = TCP_HEADER_LENGTH + len(payload)
+        offset_byte = (TCP_HEADER_LENGTH // 4) << 4
+        base = _STRUCT.pack(
+            self.src_port, self.dst_port, self.seq, self.ack,
+            offset_byte, int(self.flags), self.window, 0, self.urgent,
+        )
+        pseudo = pseudo_header(src, dst, int(IPProtocol.TCP), length)
+        computed = checksum(pseudo + base + payload)
+        if computed != stored:
+            raise ChecksumError("TCP", computed, stored)
+
+    def with_seq(self, seq: int) -> "TCPHeader":
+        """A copy with the Sequence Number replaced (Paris TCP tagging)."""
+        return replace(self, seq=seq)
+
+    def first_four_octets(self) -> bytes:
+        """The first transport word: Source Port + Destination Port."""
+        return struct.pack("!HH", self.src_port, self.dst_port)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        names = [f.name for f in TCPFlags if int(self.flags) & int(f)]
+        return f"TCP {self.src_port} > {self.dst_port} [{','.join(names)}] seq={self.seq}"

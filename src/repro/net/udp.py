@@ -1,0 +1,120 @@
+"""The UDP header (RFC 768) with pseudo-header checksum support.
+
+UDP matters doubly in this paper: classic traceroute varies the UDP
+Destination Port per probe (which lands in the first four octets of the
+transport header and therefore perturbs per-flow load balancing), while
+Paris traceroute instead varies the UDP *Checksum* — a field outside the
+flow identifier — by crafting the payload so the checksum takes a chosen
+value.  That trick only works if checksums are computed for real, which
+this module does.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from repro.errors import ChecksumError, TruncatedPacketError
+from repro.net.inet import IPv4Address, checksum, require_u16
+from repro.net.ipv4 import IPProtocol
+
+#: Length in octets of the UDP header.
+UDP_HEADER_LENGTH = 8
+
+_STRUCT = struct.Struct("!HHHH")
+
+
+def pseudo_header(src: IPv4Address, dst: IPv4Address, protocol: int, length: int) -> bytes:
+    """The IPv4 pseudo-header prepended for UDP/TCP checksumming (RFC 768)."""
+    return src.packed + dst.packed + struct.pack("!BBH", 0, protocol, length)
+
+
+@dataclass(frozen=True)
+class UDPHeader:
+    """An immutable UDP header.
+
+    ``checksum_value`` of ``None`` means "compute on build"; an explicit
+    integer is emitted verbatim (the simulator uses that to model the
+    transmitted bytes exactly, and tests use it to model corruption).
+    """
+
+    src_port: int
+    dst_port: int
+    length: int = 0
+    checksum_value: int | None = None
+
+    def __post_init__(self) -> None:
+        require_u16("src_port", self.src_port)
+        require_u16("dst_port", self.dst_port)
+        require_u16("length", self.length)
+        if self.checksum_value is not None:
+            require_u16("checksum_value", self.checksum_value)
+
+    def build(self, payload: bytes, src: IPv4Address, dst: IPv4Address) -> bytes:
+        """Serialize header+payload with a correct (or forced) checksum.
+
+        The UDP checksum covers the pseudo-header, the UDP header, and the
+        payload.  Per RFC 768, a computed checksum of zero is transmitted
+        as 0xFFFF (zero on the wire means "no checksum").
+        """
+        length = self.length or UDP_HEADER_LENGTH + len(payload)
+        if self.checksum_value is not None:
+            ck = self.checksum_value
+        else:
+            base = _STRUCT.pack(self.src_port, self.dst_port, length, 0)
+            pseudo = pseudo_header(src, dst, int(IPProtocol.UDP), length)
+            ck = checksum(pseudo + base + payload)
+            if ck == 0:
+                ck = 0xFFFF
+        return _STRUCT.pack(self.src_port, self.dst_port, length, ck) + payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> tuple["UDPHeader", bytes]:
+        """Parse header from ``data``; return ``(header, payload)``."""
+        if len(data) < UDP_HEADER_LENGTH:
+            raise TruncatedPacketError("UDP header", UDP_HEADER_LENGTH, len(data))
+        src_port, dst_port, length, ck = _STRUCT.unpack(data[:UDP_HEADER_LENGTH])
+        header = cls(src_port=src_port, dst_port=dst_port, length=length,
+                     checksum_value=ck)
+        payload_end = min(len(data), length) if length else len(data)
+        return header, data[UDP_HEADER_LENGTH:payload_end]
+
+    def verify(self, payload: bytes, src: IPv4Address, dst: IPv4Address) -> None:
+        """Raise :class:`ChecksumError` unless the stored checksum is valid.
+
+        A stored checksum of zero means the sender did not compute one and
+        is accepted (RFC 768).  Routers in the simulator drop UDP packets
+        that fail this check, which is exactly why Paris traceroute must
+        craft payloads rather than just stamping an arbitrary checksum.
+        """
+        stored = self.checksum_value or 0
+        if stored == 0:
+            return
+        length = self.length or UDP_HEADER_LENGTH + len(payload)
+        pseudo = pseudo_header(src, dst, int(IPProtocol.UDP), length)
+        base = _STRUCT.pack(self.src_port, self.dst_port, length, 0)
+        computed = checksum(pseudo + base + payload)
+        if computed == 0:
+            computed = 0xFFFF
+        if computed != stored:
+            raise ChecksumError("UDP", computed, stored)
+
+    def with_dst_port(self, dst_port: int) -> "UDPHeader":
+        """A copy with the Destination Port replaced (classic traceroute)."""
+        return replace(self, dst_port=dst_port)
+
+    def with_checksum(self, value: int | None) -> "UDPHeader":
+        """A copy with the checksum forced to ``value`` (or recomputed if None)."""
+        return replace(self, checksum_value=value)
+
+    def first_four_octets(self) -> bytes:
+        """The first transport word: Source Port + Destination Port.
+
+        This is the slice the paper found per-flow load balancers hash.
+        """
+        return struct.pack("!HH", self.src_port, self.dst_port)
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        ck = "auto" if self.checksum_value is None else f"0x{self.checksum_value:04x}"
+        return f"UDP {self.src_port} > {self.dst_port} cksum={ck}"

@@ -1,0 +1,50 @@
+"""Packet-level network simulator.
+
+The simulator forwards real packet bytes (built by :mod:`repro.net`)
+through routers that decrement TTL, generate quoting ICMP errors, keep
+per-router IP-ID counters, and — critically for this paper — spread
+traffic across equal-cost paths with per-flow, per-packet, or
+per-destination load-balancing policies.
+
+The tracers never touch simulator internals: their only view of the
+network is :class:`repro.sim.socketapi.ProbeSocket`, which accepts probe
+bytes and returns response bytes, exactly like a raw socket would.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.balancer import (
+    BalancerPolicy,
+    PerDestinationPolicy,
+    PerFlowPolicy,
+    PerPacketPolicy,
+)
+from repro.sim.faults import FaultProfile
+from repro.sim.link import Link
+from repro.sim.node import Interface, Node
+from repro.sim.router import Router
+from repro.sim.endhost import Host, MeasurementHost
+from repro.sim.middlebox import NatBox
+from repro.sim.network import Network
+from repro.sim.dynamics import ForwardingLoopWindow, RouteChange
+from repro.sim.socketapi import ProbeSocket, ProbeResponse
+
+__all__ = [
+    "SimClock",
+    "BalancerPolicy",
+    "PerFlowPolicy",
+    "PerPacketPolicy",
+    "PerDestinationPolicy",
+    "FaultProfile",
+    "Link",
+    "Interface",
+    "Node",
+    "Router",
+    "Host",
+    "MeasurementHost",
+    "NatBox",
+    "Network",
+    "RouteChange",
+    "ForwardingLoopWindow",
+    "ProbeSocket",
+    "ProbeResponse",
+]

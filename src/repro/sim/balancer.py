@@ -1,0 +1,113 @@
+"""Load-balancing policies: per-flow, per-packet, per-destination.
+
+The paper (Sec. 2.1) distinguishes three ways a router spreads traffic
+over equal-cost next hops:
+
+- **per-flow** — a hash of header fields picks the next hop, so packets
+  of one flow stick together.  The authors found the hashed fields to be
+  the addresses, protocol, the *first four octets of the transport
+  header*, and sometimes the TOS; that extractor
+  (:func:`repro.net.flow.first_transport_word_flow`) is the default.
+- **per-packet** — each packet independently goes to any next hop
+  (round-robin or random), maximising evenness and destroying ordering.
+- **per-destination** — the destination address alone picks the next
+  hop; measurement-wise this is indistinguishable from classic routing,
+  which is the reason the paper sets it aside.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from abc import ABC, abstractmethod
+
+from repro.net.flow import FlowExtractor, FlowId, first_transport_word_flow
+from repro.net.packet import Packet
+
+
+class BalancerPolicy(ABC):
+    """Chooses one of ``n`` equal-cost next hops for a packet."""
+
+    #: Human-readable policy kind, used in reports and classification.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def choose(self, packet: Packet, n: int) -> int:
+        """Return the next-hop index in ``range(n)`` for ``packet``."""
+
+    def describe(self) -> str:
+        """Short description used in diagnostics."""
+        return self.kind
+
+
+class PerFlowPolicy(BalancerPolicy):
+    """Hash-based balancing: one flow, one path.
+
+    ``salt`` models the per-router hash seed: distinct routers with the
+    same policy may still split the same flow set differently.
+    """
+
+    kind = "per-flow"
+
+    def __init__(
+        self,
+        salt: bytes = b"",
+        extractor: FlowExtractor = first_transport_word_flow,
+    ) -> None:
+        self._salt = salt
+        self._extractor = extractor
+
+    def choose(self, packet: Packet, n: int) -> int:
+        if n <= 1:
+            return 0
+        return self.flow_of(packet).bucket(n, salt=self._salt)
+
+    def flow_of(self, packet: Packet) -> FlowId:
+        """The flow identifier this balancer derives from ``packet``."""
+        return self._extractor(packet)
+
+
+class PerPacketPolicy(BalancerPolicy):
+    """Stateless random or stateful round-robin balancing.
+
+    ``mode`` is ``"random"`` (the paper's modelling assumption for its
+    probability computations — "purely random load balancing") or
+    ``"round-robin"`` (what e.g. Cisco CEF per-packet does).  Both are
+    deterministic under a fixed seed.
+    """
+
+    kind = "per-packet"
+
+    def __init__(self, seed: int = 0, mode: str = "random") -> None:
+        if mode not in ("random", "round-robin"):
+            raise ValueError(f"unknown per-packet mode: {mode!r}")
+        self._mode = mode
+        self._rng = random.Random(seed)
+        self._counter = 0
+
+    def choose(self, packet: Packet, n: int) -> int:
+        if n <= 1:
+            return 0
+        if self._mode == "round-robin":
+            index = self._counter % n
+            self._counter += 1
+            return index
+        return self._rng.randrange(n)
+
+    def describe(self) -> str:
+        return f"{self.kind} ({self._mode})"
+
+
+class PerDestinationPolicy(BalancerPolicy):
+    """Destination-hash balancing: measurement-equivalent to plain routing."""
+
+    kind = "per-destination"
+
+    def __init__(self, salt: bytes = b"") -> None:
+        self._salt = salt
+
+    def choose(self, packet: Packet, n: int) -> int:
+        if n <= 1:
+            return 0
+        digest = hashlib.sha256(self._salt + packet.dst.packed).digest()
+        return int.from_bytes(digest[:8], "big") % n

@@ -1,0 +1,150 @@
+"""Routing dynamics: timed route changes and transient forwarding loops.
+
+The paper attributes part of the observed loops to "a routing change
+that forced packets from the path through A to the one through B in the
+middle of a traceroute", and 20% of cycles to true forwarding loops
+"which may happen during routing convergence".  Both are modelled as
+events that install :class:`repro.sim.router.TimedOverride` entries on
+routers when their time comes.
+
+Events are registered with :meth:`repro.sim.network.Network.add_dynamics`
+and applied lazily at each packet injection, so nothing happens "between"
+probes except what the clock says.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import TopologyError
+from repro.net.inet import Prefix
+from repro.sim.balancer import BalancerPolicy
+from repro.sim.node import Interface
+from repro.sim.router import RouteEntry, Router, TimedOverride
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.sim.network import Network
+
+
+@dataclass
+class RouteChange:
+    """From ``at_time`` on, ``router`` sends ``prefix`` via ``egresses``.
+
+    Models a routing-protocol convergence step.  A traceroute that
+    straddles ``at_time`` sees the old path for its early probes and the
+    new path for the late ones — one of the paper's loop/cycle causes
+    that Paris traceroute can *not* remove (it is not a header artifact).
+    """
+
+    router: Router
+    prefix: Prefix | str
+    egresses: list[Interface]
+    at_time: float
+    balancer: BalancerPolicy | None = None
+    #: None makes the change permanent; a number reverts it after that
+    #: many seconds (a transient convergence episode).
+    duration: float | None = None
+    _installed: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.prefix, str):
+            self.prefix = Prefix(self.prefix)
+
+    def apply(self, network: "Network", now: float) -> None:
+        """Install the override once its time has come (idempotent)."""
+        if self._installed or now < self.at_time:
+            return
+        entry = RouteEntry(
+            prefix=self.prefix,
+            egresses=list(self.egresses),
+            balancer=self.balancer,
+        )
+        end = (float("inf") if self.duration is None
+               else self.at_time + self.duration)
+        self.router.add_override(
+            TimedOverride(prefix=self.prefix, entry=entry,
+                          start=self.at_time, end=end)
+        )
+        self._installed = True
+
+
+@dataclass
+class RouteWithdrawal:
+    """From ``at_time`` on, ``router`` has a null route for ``prefix``.
+
+    Models the "router unable to forward probes" condition appearing
+    mid-campaign: subsequent traces through this router terminate in an
+    unreachability-message loop (same address twice, ``!H``/``!N``).
+    """
+
+    router: Router
+    prefix: Prefix | str
+    at_time: float
+    end: float = float("inf")
+    _installed: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.prefix, str):
+            self.prefix = Prefix(self.prefix)
+
+    def apply(self, network: "Network", now: float) -> None:
+        if self._installed or now < self.at_time:
+            return
+        entry = RouteEntry(
+            prefix=self.prefix, egresses=[], unreachable=True,
+        )
+        self.router.add_override(
+            TimedOverride(prefix=self.prefix, entry=entry,
+                          start=self.at_time, end=self.end)
+        )
+        self._installed = True
+
+
+@dataclass
+class ForwardingLoopWindow:
+    """During ``[start, end)`` packets for ``prefix`` chase a ring.
+
+    ``ring`` lists, per router, the egress interface pointing at the
+    *next* router of the ring.  While the window is open each listed
+    router forwards matching packets around the ring, so they revisit
+    the same addresses until their TTL dies — producing the periodic
+    address sequence the cycle classifier looks for (Sec. 4.2.1).
+    """
+
+    ring: list[tuple[Router, Interface]]
+    prefix: Prefix | str
+    start: float
+    end: float
+    _installed: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.prefix, str):
+            self.prefix = Prefix(self.prefix)
+        if len(self.ring) < 2:
+            raise TopologyError("a forwarding loop needs at least two routers")
+        if not self.start < self.end:
+            raise TopologyError("forwarding loop window must have start < end")
+
+    def apply(self, network: "Network", now: float) -> None:
+        """Install the ring overrides once ``start`` is reached (idempotent).
+
+        The overrides carry the window's ``end``, so the loop heals
+        automatically when time passes it.
+        """
+        if self._installed or now < self.start:
+            return
+        for router, egress in self.ring:
+            if egress.node is not router:
+                raise TopologyError(
+                    f"ring egress {egress.label} is not an interface "
+                    f"of {router.name}"
+                )
+            entry = RouteEntry(prefix=self.prefix, egresses=[egress])
+            router.add_override(
+                TimedOverride(
+                    prefix=self.prefix, entry=entry,
+                    start=self.start, end=self.end,
+                )
+            )
+        self._installed = True

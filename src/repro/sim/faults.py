@@ -1,0 +1,100 @@
+"""Router misbehaviour profiles.
+
+Each non-load-balancing anomaly cause in the paper traces back to a
+concrete router behaviour.  :class:`FaultProfile` bundles them so a
+topology can mark any router with the quirks it should exhibit:
+
+- ``silent`` — never answers probes (appears as ``*`` in traceroute;
+  routers B and C in the paper's Fig. 1 behave this way).
+- ``zero_ttl_forwarding`` — the Fig. 4 bug: forwards packets whose TTL
+  reached zero instead of dropping them, so the *next* router answers
+  with a quoted probe TTL of 0.
+- ``fake_source_address`` — responds from an address that is not one of
+  its interfaces (bogus/private), one of the suspected causes of
+  residual cycles.
+- ``response_loss_rate`` — fraction of generated responses that are
+  lost, modelling rate limiting and transit loss (mid-route stars).
+
+The paper's "unreachability message" loops (a router that answers the
+TTL-1 probe normally but deeper probes with Destination Unreachable,
+Sec. 4.1.1) are *not* a fault flag: they are the normal behaviour of a
+router holding a null route, modelled by
+:meth:`repro.sim.router.Router.add_unreachable_route` or by dynamics
+removing a route mid-campaign.  ``unreachable_code`` below only selects
+the code used when a router has no matching table entry at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.icmp import UnreachableCode
+from repro.net.inet import IPv4Address
+
+
+@dataclass
+class FaultProfile:
+    """Behavioural quirks of one simulated router.
+
+    The default profile is a fully well-behaved router.  Profiles are
+    mutable configuration, not state: the random stream for response
+    loss lives here so that each router misbehaves independently but
+    reproducibly under a seed.
+    """
+
+    silent: bool = False
+    zero_ttl_forwarding: bool = False
+    unreachable_code: UnreachableCode = UnreachableCode.HOST_UNREACHABLE
+    fake_source_address: IPv4Address | None = None
+    response_loss_rate: float = 0.0
+    loss_seed: int = 0
+    #: Maximum ICMP responses per second (token-style: one response per
+    #: 1/rate seconds).  0 disables the limit.  Real routers rate-limit
+    #: ICMP generation, which is a major source of mid-route stars when
+    #: several traceroutes transit one box closely in time.
+    icmp_rate_limit: float = 0.0
+    _loss_rng: random.Random = field(init=False, repr=False, default=None)
+    _last_response_at: float = field(init=False, repr=False,
+                                     default=float("-inf"))
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.response_loss_rate <= 1.0:
+            raise ValueError(
+                f"response_loss_rate must be in [0,1]: {self.response_loss_rate}"
+            )
+        if self.icmp_rate_limit < 0.0:
+            raise ValueError(
+                f"icmp_rate_limit must be >= 0: {self.icmp_rate_limit}"
+            )
+        self._loss_rng = random.Random(self.loss_seed)
+
+    def response_is_lost(self) -> bool:
+        """Draw one loss decision for a generated response."""
+        if self.response_loss_rate <= 0.0:
+            return False
+        return self._loss_rng.random() < self.response_loss_rate
+
+    def allow_response_at(self, now: float) -> bool:
+        """Rate-limit gate: may the router answer at time ``now``?
+
+        Consumes the slot when it grants one, so a burst of probes
+        closer together than ``1 / icmp_rate_limit`` seconds gets only
+        its first response — the rest appear as stars.
+        """
+        if self.icmp_rate_limit <= 0.0:
+            return True
+        if now - self._last_response_at >= 1.0 / self.icmp_rate_limit:
+            self._last_response_at = now
+            return True
+        return False
+
+    @property
+    def well_behaved(self) -> bool:
+        """True when no quirk is enabled."""
+        return not (
+            self.silent
+            or self.zero_ttl_forwarding
+            or self.fake_source_address is not None
+            or self.response_loss_rate > 0.0
+        )

@@ -1,0 +1,60 @@
+"""Point-to-point links between interfaces.
+
+Links carry delay (which accumulates into round-trip times) and an
+optional loss rate (probes or responses vanishing in transit, which
+traceroute renders as stars).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.node import Interface
+
+
+@dataclass
+class Link:
+    """An undirected link joining exactly two interfaces.
+
+    ``delay`` is the one-way propagation delay in seconds; ``loss_rate``
+    the independent per-packet drop probability.  A link can be taken
+    administratively ``down`` by dynamics events.
+    """
+
+    a: "Interface"
+    b: "Interface"
+    delay: float = 0.001
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+    up: bool = True
+    _loss_rng: random.Random = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0,1]: {self.loss_rate}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative: {self.delay}")
+        self._loss_rng = random.Random(self.loss_seed)
+
+    def peer_of(self, interface: "Interface") -> "Interface":
+        """The interface at the other end of the link."""
+        if interface is self.a:
+            return self.b
+        if interface is self.b:
+            return self.a
+        raise ValueError(f"{interface!r} is not attached to this link")
+
+    def drops_packet(self) -> bool:
+        """Draw one loss decision for a traversal."""
+        if not self.up:
+            return True
+        if self.loss_rate <= 0.0:
+            return False
+        return self._loss_rng.random() < self.loss_rate
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"Link({self.a.label} <-> {self.b.label}, {state})"

@@ -1,0 +1,89 @@
+"""NAT boxes and source-rewriting firewalls (the paper's Fig. 5).
+
+"Gateway routers, like NAT boxes and some firewalls, replace the Source
+Address field of all ICMP packets that originate within the subnetwork
+to which it is attached with a single IP address."  The result: every
+router behind the gateway appears in traceroute output as the gateway's
+own address, producing loops at the ends of measured routes.
+
+Detection relies on what the rewrite does *not* change: the response
+TTL keeps decreasing with distance (the inner routers really are
+farther away) and the IP ID sequences of distinct inner routers remain
+uncorrelated.  :class:`NatBox` preserves both properties because it
+rewrites only the Source Address and leaves TTL/ID untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import TYPE_CHECKING
+
+from repro.errors import TopologyError
+from repro.net.ipv4 import IPProtocol
+from repro.net.packet import Packet
+from repro.sim.node import Action, Interface, Transmit
+from repro.sim.router import Router
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.sim.network import Network
+
+
+class NatBox(Router):
+    """A router that masquerades ICMP traffic leaving its inside network.
+
+    Interface 0 (created first) is the *external* interface; every other
+    interface faces inside.  ICMP packets forwarded from an inside
+    interface out the external one get their Source Address replaced by
+    the external interface's address.  TTL decrement, Time Exceeded
+    generation, and everything else behave exactly as in a plain router
+    — a NAT box at hop ``h`` answers the hop-``h`` probe itself.
+    """
+
+    EXTERNAL_INDEX = 0
+
+    @property
+    def external_interface(self) -> Interface:
+        if not self.interfaces:
+            raise TopologyError(f"NAT {self.name} has no interfaces yet")
+        return self.interfaces[self.EXTERNAL_INDEX]
+
+    def receive(
+        self,
+        packet: Packet,
+        in_interface: Interface | None,
+        network: "Network",
+    ) -> list[Action]:
+        actions = super().receive(packet, in_interface, network)
+        arrived_inside = (
+            in_interface is not None and in_interface is not self.external_interface
+        )
+        if not arrived_inside:
+            return actions
+        return [self._masquerade_if_outbound(a) for a in actions]
+
+    def _masquerade_if_outbound(self, action: Action) -> Action:
+        """Rewrite the source of ICMP packets leaving via the external side.
+
+        Only *private* (RFC 1918) sources are rewritten: they have no
+        valid identity outside.  A host behind the gateway holding a
+        public (mapped/port-forwarded) address keeps its own source, so
+        NAT'd destinations still answer pings with their probed address
+        — which is how the paper's destination list could contain them.
+        """
+        if not isinstance(action, Transmit):
+            return action
+        if action.interface is not self.external_interface:
+            return action
+        packet = action.packet
+        if int(packet.ip.protocol) != int(IPProtocol.ICMP):
+            return action
+        if not packet.src.is_private:
+            return action
+        if packet.src == self.external_interface.address:
+            return action
+        rewritten = Packet(
+            ip=dataclass_replace(packet.ip, src=self.external_interface.address),
+            transport=packet.transport,
+            payload=packet.payload,
+        )
+        return Transmit(action.interface, rewritten)

@@ -1,0 +1,254 @@
+"""The network container and the packet walk.
+
+:class:`Network` owns nodes, links, a shared :class:`SimClock`, and the
+dynamics schedule.  :meth:`Network.inject` performs the walk: starting
+from a locally-generated packet at some node, it repeatedly applies
+node decisions (forward / answer / drop / deliver) and link traversals
+(delay, loss) until no actions remain, then reports what was delivered
+where and what was dropped why.
+
+The walk is breadth-first over actions rather than recursive, so a
+probe, the Time Exceeded it triggers, and any rewriting that response
+undergoes on its way back are all steps of one deterministic loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import TopologyError
+from repro.net.inet import IPv4Address
+from repro.net.packet import Packet
+from repro.sim.clock import SimClock
+from repro.sim.link import Link
+from repro.sim.node import (
+    Deliver,
+    Drop,
+    Interface,
+    Node,
+    Respond,
+    Transmit,
+)
+
+#: Safety valve: maximum node visits per injected packet.  TTL bounds
+#: well-formed walks long before this; the cap only guards miswired
+#: topologies (e.g. a cycle of zero-TTL-forwarding routers).
+MAX_WALK_STEPS = 4096
+
+
+@dataclass
+class Delivery:
+    """A packet that terminated at a node's local stack."""
+
+    node: Node
+    packet: Packet
+    elapsed: float
+
+
+@dataclass
+class DropRecord:
+    """A packet discarded during the walk, with the reason."""
+
+    node: Node
+    packet: Packet
+    reason: str
+    elapsed: float
+
+
+@dataclass
+class WalkResult:
+    """Everything that happened after one injection."""
+
+    deliveries: list[Delivery] = field(default_factory=list)
+    drops: list[DropRecord] = field(default_factory=list)
+
+    def delivered_to(self, node: Node) -> list[Delivery]:
+        """Deliveries addressed to ``node``."""
+        return [d for d in self.deliveries if d.node is node]
+
+
+class Network:
+    """A wired collection of nodes plus simulated time and dynamics."""
+
+    def __init__(self, clock: SimClock | None = None, name: str = "net") -> None:
+        self.name = name
+        self.clock = clock or SimClock()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self._address_index: dict[IPv4Address, Node] = {}
+        self._dynamics: list = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Register a node (its interfaces may be added before or after)."""
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name: {node.name}")
+        self.nodes[node.name] = node
+        for interface in node.interfaces:
+            self.index_interface(interface)
+        return node
+
+    def link(
+        self,
+        a: Interface,
+        b: Interface,
+        delay: float = 0.001,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> Link:
+        """Wire two interfaces together with a new link."""
+        for iface in (a, b):
+            if iface.link is not None:
+                raise TopologyError(f"{iface.label} is already linked")
+        link = Link(a=a, b=b, delay=delay, loss_rate=loss_rate,
+                    loss_seed=loss_seed)
+        a.link = link
+        b.link = link
+        self.links.append(link)
+        self.index_interface(a)
+        self.index_interface(b)
+        return link
+
+    def index_interface(self, interface: Interface) -> None:
+        existing = self._address_index.get(interface.address)
+        if existing is not None and existing is not interface.node:
+            raise TopologyError(
+                f"address {interface.address} assigned to both "
+                f"{existing.name} and {interface.node.name}"
+            )
+        self._address_index[interface.address] = interface.node
+
+    def node_owning(self, address: IPv4Address) -> Optional[Node]:
+        """The node owning ``address``, if any."""
+        return self._address_index.get(IPv4Address(address))
+
+    def node(self, name: str) -> Node:
+        """Lookup a node by name; raises :class:`TopologyError` if absent."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TopologyError(f"no node named {name!r}") from None
+
+    @property
+    def addresses(self) -> set[IPv4Address]:
+        """Every interface address in the network."""
+        return set(self._address_index)
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def add_dynamics(self, event) -> None:
+        """Register a dynamics event (route change, forwarding loop...)."""
+        self._dynamics.append(event)
+
+    def apply_dynamics(self) -> None:
+        """Let every registered event update router state for current time.
+
+        Idempotent: events track their own applied/reverted state.
+        Called automatically at the start of each :meth:`inject`.
+        """
+        now = self.clock.now
+        for event in self._dynamics:
+            event.apply(self, now)
+
+    # ------------------------------------------------------------------
+    # the walk
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, at: Node) -> WalkResult:
+        """Originate ``packet`` at node ``at`` and walk it to quiescence."""
+        self.apply_dynamics()
+        result = WalkResult()
+        # Work items: (callable producing actions, elapsed seconds so far).
+        queue: deque[tuple[Node, Optional[Interface], Packet, float, bool]] = deque()
+        # Entry tuple: (node, in_interface, packet, elapsed, locally_generated)
+        queue.append((at, None, packet, 0.0, True))
+        steps = 0
+        while queue:
+            node, in_iface, pkt, elapsed, local = queue.popleft()
+            steps += 1
+            if steps > MAX_WALK_STEPS:
+                result.drops.append(
+                    DropRecord(node, pkt, "walk step budget exhausted", elapsed)
+                )
+                break
+            if local:
+                actions = node.dispatch(pkt, self)
+            else:
+                actions = node.receive(pkt, in_iface, self)
+            for action in actions:
+                if isinstance(action, Transmit):
+                    self._traverse(action, elapsed, queue, result)
+                elif isinstance(action, Respond):
+                    queue.append((action.node, None, action.packet, elapsed, True))
+                elif isinstance(action, Deliver):
+                    result.deliveries.append(
+                        Delivery(action.node, action.packet, elapsed)
+                    )
+                elif isinstance(action, Drop):
+                    result.drops.append(
+                        DropRecord(action.node, action.packet, action.reason,
+                                   elapsed)
+                    )
+                else:  # pragma: no cover - actions are exhaustive
+                    raise TopologyError(f"unknown action {action!r}")
+        return result
+
+    def _traverse(
+        self,
+        action: Transmit,
+        elapsed: float,
+        queue: deque,
+        result: WalkResult,
+    ) -> None:
+        """Carry a Transmit across its link, applying delay and loss."""
+        interface = action.interface
+        link = interface.link
+        if link is None:
+            result.drops.append(
+                DropRecord(interface.node, action.packet,
+                           f"{interface.label} has no link", elapsed)
+            )
+            return
+        if link.drops_packet():
+            result.drops.append(
+                DropRecord(interface.node, action.packet,
+                           f"lost on link at {interface.label}", elapsed)
+            )
+            return
+        peer = link.peer_of(interface)
+        queue.append(
+            (peer.node, peer, action.packet, elapsed + link.delay, False)
+        )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A multi-line inventory, useful in examples and debugging."""
+        lines = [f"Network {self.name!r}: {len(self.nodes)} nodes, "
+                 f"{len(self.links)} links"]
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            ifaces = ", ".join(
+                f"{i.label}={i.address}" for i in node.interfaces
+            )
+            lines.append(f"  {type(node).__name__} {name}: {ifaces}")
+        return "\n".join(lines)
+
+
+def dispatchable(node: Node) -> bool:
+    """True if ``node`` can originate packets (has a dispatch method)."""
+    return hasattr(node, "dispatch")
+
+
+def ensure_iterable_interfaces(
+    interfaces: Interface | Iterable[Interface],
+) -> list[Interface]:
+    """Normalize a single interface or an iterable into a list."""
+    if isinstance(interfaces, Interface):
+        return [interfaces]
+    return list(interfaces)

@@ -1,0 +1,263 @@
+"""Routers: TTL handling, ICMP generation, and load-balanced forwarding.
+
+The behaviours the paper depends on are all here:
+
+- TTL expiry produces a Time Exceeded quoting the probe *as received*,
+  so the quoted "probe TTL" is 1 in normal operation and 0 downstream
+  of a zero-TTL-forwarding router (Fig. 4);
+- a router whose onward forwarding is broken answers TTL-1 probes
+  normally but deeper probes with Destination Unreachable — the paper's
+  "unreachability message" loops (Sec. 4.1.1);
+- a route entry may list several equal-cost egress interfaces governed
+  by a :class:`repro.sim.balancer.BalancerPolicy` — this is the load
+  balancer ``L`` of Figs. 1, 3, and 6;
+- dynamics can install timed overrides on the table (route changes and
+  transient forwarding loops, Sec. 4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import TopologyError
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPTimeExceeded,
+    UnreachableCode,
+)
+from repro.net.inet import IPv4Address, Prefix
+from repro.net.packet import Packet
+from repro.sim.balancer import BalancerPolicy
+from repro.sim.node import Action, Drop, Interface, Node, Transmit
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.sim.network import Network
+
+
+@dataclass
+class RouteEntry:
+    """One forwarding-table entry.
+
+    ``egresses`` lists this router's own interfaces toward the next
+    hops.  More than one egress makes this entry load-balanced and
+    requires a ``balancer`` policy.
+
+    An entry with ``unreachable=True`` is a null route: packets matching
+    it draw a Destination Unreachable with ``unreachable_code``.  This
+    models the paper's "router unable to forward probes" scenario — the
+    TTL-1 probe is still answered normally (TTL handling precedes the
+    lookup), so classic traceroute sees the same address twice, flagged
+    ``!H``/``!N`` on the second appearance.
+    """
+
+    prefix: Prefix
+    egresses: list[Interface]
+    balancer: Optional[BalancerPolicy] = None
+    unreachable: bool = False
+    unreachable_code: UnreachableCode = UnreachableCode.HOST_UNREACHABLE
+
+    def __post_init__(self) -> None:
+        if self.unreachable:
+            if self.egresses:
+                raise TopologyError("an unreachable route cannot have egresses")
+            return
+        if not self.egresses:
+            raise TopologyError(f"route {self.prefix} has no egress")
+        if len(self.egresses) > 1 and self.balancer is None:
+            raise TopologyError(
+                f"route {self.prefix} has {len(self.egresses)} egresses "
+                "but no balancer policy"
+            )
+
+    def choose_egress(self, packet: Packet) -> Interface:
+        """Pick the egress interface for ``packet``."""
+        if self.unreachable:
+            raise TopologyError("unreachable route has no egress to choose")
+        if len(self.egresses) == 1:
+            return self.egresses[0]
+        index = self.balancer.choose(packet, len(self.egresses))
+        return self.egresses[index]
+
+
+@dataclass
+class TimedOverride:
+    """A forwarding override active during ``[start, end)``.
+
+    Used by the dynamics engine for route changes (``end`` = infinity)
+    and transient forwarding loops (finite window).
+    """
+
+    prefix: Prefix
+    entry: RouteEntry
+    start: float
+    end: float = float("inf")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class Router(Node):
+    """A forwarding node with a longest-prefix-match table."""
+
+    def __init__(self, name: str, **node_kwargs) -> None:
+        super().__init__(name, **node_kwargs)
+        self._table: list[RouteEntry] = []
+        self._overrides: list[TimedOverride] = []
+
+    # ------------------------------------------------------------------
+    # table management
+    # ------------------------------------------------------------------
+    def add_route(
+        self,
+        prefix: Prefix | str,
+        egresses: Interface | list[Interface],
+        balancer: BalancerPolicy | None = None,
+    ) -> RouteEntry:
+        """Install a static route; keeps the table sorted by specificity."""
+        if isinstance(egresses, Interface):
+            egresses = [egresses]
+        entry = RouteEntry(
+            prefix=prefix if isinstance(prefix, Prefix) else Prefix(prefix),
+            egresses=list(egresses),
+            balancer=balancer,
+        )
+        for iface in entry.egresses:
+            if iface.node is not self:
+                raise TopologyError(
+                    f"egress {iface.label} does not belong to router {self.name}"
+                )
+        self._table.append(entry)
+        self._table.sort(key=lambda e: e.prefix.length, reverse=True)
+        return entry
+
+    def add_default_route(
+        self,
+        egresses: Interface | list[Interface],
+        balancer: BalancerPolicy | None = None,
+    ) -> RouteEntry:
+        """Install the 0.0.0.0/0 route (the "up toward provider" path)."""
+        return self.add_route(Prefix("0.0.0.0/0"), egresses, balancer)
+
+    def replace_route(
+        self,
+        prefix: Prefix | str,
+        egresses: Interface | list[Interface],
+        balancer: BalancerPolicy | None = None,
+    ) -> RouteEntry:
+        """Drop any entry for exactly ``prefix`` and install a new one."""
+        target = prefix if isinstance(prefix, Prefix) else Prefix(prefix)
+        self._table = [e for e in self._table if e.prefix != target]
+        return self.add_route(target, egresses, balancer)
+
+    def add_unreachable_route(
+        self,
+        prefix: Prefix | str,
+        code: UnreachableCode = UnreachableCode.HOST_UNREACHABLE,
+    ) -> RouteEntry:
+        """Install a null route: matching packets draw Dest Unreachable."""
+        entry = RouteEntry(
+            prefix=prefix if isinstance(prefix, Prefix) else Prefix(prefix),
+            egresses=[],
+            unreachable=True,
+            unreachable_code=code,
+        )
+        self._table.append(entry)
+        self._table.sort(key=lambda e: e.prefix.length, reverse=True)
+        return entry
+
+    def add_override(self, override: TimedOverride) -> None:
+        """Register a timed forwarding override (dynamics hook)."""
+        self._overrides.append(override)
+
+    def clear_overrides(self) -> None:
+        """Remove all dynamics overrides (used between campaign runs)."""
+        self._overrides.clear()
+
+    @property
+    def table(self) -> list[RouteEntry]:
+        """The static table, most-specific first (read-only view)."""
+        return list(self._table)
+
+    def lookup(self, dst: IPv4Address, now: float) -> Optional[RouteEntry]:
+        """Longest-prefix-match lookup, with active overrides first.
+
+        Among active overrides, a more recent ``start`` wins at equal
+        prefix length, so a route change fully shadows what it replaced.
+        Returns None when no entry matches.
+        """
+        candidates: list[tuple[int, float, RouteEntry]] = []
+        for override in self._overrides:
+            if override.active(now) and override.prefix.contains(dst):
+                candidates.append(
+                    (override.prefix.length, override.start, override.entry)
+                )
+        if candidates:
+            candidates.sort(key=lambda c: (c[0], c[1]), reverse=True)
+            return candidates[0][2]
+        for entry in self._table:
+            if entry.prefix.contains(dst):
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # packet processing
+    # ------------------------------------------------------------------
+    def receive(
+        self,
+        packet: Packet,
+        in_interface: Interface | None,
+        network: "Network",
+    ) -> list[Action]:
+        """Forward, answer, or discard an arriving packet."""
+        if packet.dst in self.addresses:
+            return self.local_deliver(packet, in_interface)
+
+        is_icmp_error = isinstance(
+            packet.transport, (ICMPTimeExceeded, ICMPDestinationUnreachable)
+        )
+
+        # --- TTL handling -------------------------------------------------
+        if packet.ttl == 0:
+            # Arrived already expired: only possible downstream of a
+            # zero-TTL-forwarding router.  Answer with a Time Exceeded
+            # quoting TTL 0 — the Fig. 4 signature.
+            if is_icmp_error or self.faults.silent:
+                return [Drop(self, packet, "ttl 0, no response")]
+            if not self.faults.allow_response_at(network.clock.now):
+                return [Drop(self, packet, "icmp rate limited")]
+            response = self.make_time_exceeded(packet, in_interface)
+            return self._emit_response(response, packet)
+        if packet.ttl == 1 and not self.faults.zero_ttl_forwarding:
+            if is_icmp_error or self.faults.silent:
+                return [Drop(self, packet, "ttl expired, no response")]
+            if not self.faults.allow_response_at(network.clock.now):
+                return [Drop(self, packet, "icmp rate limited")]
+            response = self.make_time_exceeded(packet, in_interface)
+            return self._emit_response(response, packet)
+
+        # --- route lookup -------------------------------------------------
+        entry = self.lookup(packet.dst, network.clock.now)
+        if entry is None or entry.unreachable:
+            if is_icmp_error or self.faults.silent:
+                return [Drop(self, packet, "no route, no response")]
+            code = (
+                entry.unreachable_code
+                if entry is not None
+                else self.faults.unreachable_code
+            )
+            response = self.make_unreachable(packet, in_interface, code)
+            return self._emit_response(response, packet)
+
+        # --- forward ------------------------------------------------------
+        egress = entry.choose_egress(packet)
+        forwarded = packet.decremented()
+        return [Transmit(egress, forwarded)]
+
+    def dispatch(self, packet: Packet, network: "Network") -> list[Action]:
+        """Route a locally-generated packet (no TTL decrement here)."""
+        entry = self.lookup(packet.dst, network.clock.now)
+        if entry is None or entry.unreachable:
+            return [Drop(self, packet, "no route for locally generated packet")]
+        egress = entry.choose_egress(packet)
+        return [Transmit(egress, packet)]

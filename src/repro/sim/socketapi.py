@@ -1,0 +1,97 @@
+"""The raw-socket stand-in: how tracers talk to the simulated network.
+
+A real traceroute builds probe packets with raw sockets and receives
+ICMP responses asynchronously.  :class:`ProbeSocket` reproduces that
+contract: it accepts *bytes* (which it parses with the same header
+classes the tracer used to build them — any malformed probe fails here,
+not deep inside a router), injects the packet at the measurement host,
+and returns the response bytes that came back, if any, plus the
+round-trip time.
+
+Timing follows the paper's setup: the caller waits up to ``timeout``
+(default 2 s) for a response; the shared clock advances by the RTT on
+success and by the full timeout on silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TracerError
+from repro.net.packet import Packet
+from repro.sim.endhost import MeasurementHost
+from repro.sim.network import Network
+
+#: The paper's per-hop response timeout: "waiting up to 2 sec. to
+#: receive a reply at one hop before sending a probe to the subsequent
+#: hop".
+DEFAULT_TIMEOUT = 2.0
+
+
+@dataclass
+class ProbeResponse:
+    """A response that reached the measurement host."""
+
+    packet: Packet
+    raw: bytes
+    rtt: float
+    received_at: float
+
+
+class ProbeSocket:
+    """Send probe bytes from the vantage point; receive response bytes."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: MeasurementHost,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if host.name not in network.nodes:
+            raise TracerError(
+                f"measurement host {host.name!r} is not part of the network"
+            )
+        self.network = network
+        self.host = host
+        self.timeout = timeout
+        self.probes_sent = 0
+        self.responses_received = 0
+
+    @property
+    def source_address(self):
+        """The vantage point's IP address (probe Source Address)."""
+        return self.host.address
+
+    def send_probe(self, probe_bytes: bytes) -> ProbeResponse | None:
+        """Send one probe; block (in simulated time) for its response.
+
+        Returns None on timeout — a star in traceroute output.  The
+        probe must parse as a valid packet sourced at the vantage point.
+        """
+        probe = Packet.parse(probe_bytes)
+        if probe.src != self.host.address:
+            raise TracerError(
+                f"probe source {probe.src} is not the vantage point "
+                f"address {self.host.address}"
+            )
+        self.probes_sent += 1
+        result = self.network.inject(probe, at=self.host)
+        deliveries = result.delivered_to(self.host)
+        if not deliveries:
+            self.network.clock.advance(self.timeout)
+            return None
+        first = min(deliveries, key=lambda d: d.elapsed)
+        if first.elapsed > self.timeout:
+            # The response exists but arrives after the tracer gave up.
+            self.network.clock.advance(self.timeout)
+            return None
+        raw = first.packet.build()
+        parsed = Packet.parse(raw, verify=False)
+        self.network.clock.advance(first.elapsed)
+        self.responses_received += 1
+        return ProbeResponse(
+            packet=parsed,
+            raw=raw,
+            rtt=first.elapsed,
+            received_at=self.network.clock.now,
+        )

@@ -1,0 +1,26 @@
+"""Scenario construction: builders, the paper's figures, and an internet.
+
+- :class:`repro.topology.builder.TopologyBuilder` — fluent wiring of
+  networks (links get /30 subnets automatically, chains get routes).
+- :mod:`repro.topology.figures` — the exact example topologies of the
+  paper's Figures 1, 3, 4, 5, and 6, with the hop numbering preserved.
+- :mod:`repro.topology.internet` — a seeded, internet-like topology
+  with ASes, a tier hierarchy, load balancers, NATs, and faulty
+  routers, used for the Section 3/4 campaign reproduction.
+- :class:`repro.topology.asmap.AsMapper` — longest-prefix-match
+  IP-to-AS mapping (the stand-in for Mao et al.'s technique).
+"""
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.asmap import AsMapper
+from repro.topology import figures
+from repro.topology.internet import InternetConfig, InternetTopology, generate_internet
+
+__all__ = [
+    "TopologyBuilder",
+    "AsMapper",
+    "figures",
+    "InternetConfig",
+    "InternetTopology",
+    "generate_internet",
+]

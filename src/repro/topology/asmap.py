@@ -1,0 +1,84 @@
+"""IP-to-AS mapping by longest-prefix match.
+
+The paper maps the 90 million response source addresses to AS numbers
+with Mao et al.'s technique (routing-table-derived prefix matching,
+corrected for known artifacts).  In the simulation the ground truth is
+known by construction: the internet generator registers every AS's
+prefixes here, and :meth:`AsMapper.lookup` resolves an address the same
+way a BGP-table lookup would — most specific prefix wins.
+
+The index groups announced networks by prefix length; a lookup masks
+the address at each announced length, longest first, and probes a hash
+set — O(number of distinct lengths) per lookup, fast enough for
+campaign-scale use (millions of responses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import AddressError
+from repro.net.inet import MAX_U32, IPv4Address, Prefix
+
+
+@dataclass(frozen=True)
+class AsAssignment:
+    """One prefix announced by one AS."""
+
+    prefix: Prefix
+    asn: int
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise AddressError(f"ASN must be positive: {self.asn}")
+
+
+class AsMapper:
+    """Longest-prefix-match address → ASN resolution."""
+
+    def __init__(self, assignments: Iterable[AsAssignment] = ()) -> None:
+        self._assignments: list[AsAssignment] = []
+        # length -> {network int -> asn}
+        self._by_length: dict[int, dict[int, int]] = {}
+        for assignment in assignments:
+            self.announce(assignment.prefix, assignment.asn)
+
+    def announce(self, prefix: Prefix | str, asn: int) -> None:
+        """Register that ``prefix`` belongs to ``asn``.
+
+        Re-announcing the same prefix overwrites the previous owner,
+        mirroring a routing table update.
+        """
+        if isinstance(prefix, str):
+            prefix = Prefix(prefix)
+        if asn <= 0:
+            raise AddressError(f"ASN must be positive: {asn}")
+        self._assignments.append(AsAssignment(prefix=prefix, asn=asn))
+        bucket = self._by_length.setdefault(prefix.length, {})
+        bucket[int(prefix.network)] = asn
+
+    def lookup(self, address: IPv4Address | str) -> Optional[int]:
+        """The ASN owning ``address``, or None if unrouted.
+
+        With nested prefixes (an AS customer holding a sub-block of its
+        provider), the most specific announcement wins, as in BGP.
+        """
+        value = int(IPv4Address(address))
+        for length in sorted(self._by_length, reverse=True):
+            mask = (MAX_U32 << (32 - length)) & MAX_U32 if length else 0
+            asn = self._by_length[length].get(value & mask)
+            if asn is not None:
+                return asn
+        return None
+
+    def coverage(self) -> list[AsAssignment]:
+        """All registered assignments (for reports and tests)."""
+        return list(self._assignments)
+
+    def distinct_ases(self) -> set[int]:
+        """The set of ASNs with at least one announcement."""
+        return {a.asn for a in self._assignments}
+
+    def __len__(self) -> int:
+        return len(self._assignments)

@@ -1,0 +1,228 @@
+"""A fluent builder for simulated networks.
+
+Hand-wiring a network means: create nodes, give every link endpoint an
+address in a shared /30, connect interfaces, and install routes in both
+directions.  :class:`TopologyBuilder` automates the repetitive parts
+while keeping routing decisions explicit:
+
+- :meth:`connect` allocates a /30 subnet (or uses the one you pass) and
+  returns the two new interfaces;
+- :meth:`chain` wires a linear run of nodes and, given the destination
+  prefix, installs "down" routes along it and "up" default routes back;
+- :meth:`fan_out` / :meth:`fan_in` build the parallel branches of a
+  load-balanced diamond, leaving the balanced route entry to you (one
+  explicit :meth:`balanced_route` call).
+
+The builder works for both the hand-sized figure topologies and the
+generated internet (which supplies its own per-AS address blocks).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import TopologyError
+from repro.net.inet import IPv4Address, Prefix
+from repro.sim.balancer import BalancerPolicy
+from repro.sim.clock import SimClock
+from repro.sim.endhost import Host, MeasurementHost
+from repro.sim.faults import FaultProfile
+from repro.sim.middlebox import NatBox
+from repro.sim.network import Network
+from repro.sim.node import Interface, Node
+from repro.sim.router import Router
+
+
+class TopologyBuilder:
+    """Build a :class:`repro.sim.network.Network` incrementally."""
+
+    def __init__(
+        self,
+        name: str = "net",
+        clock: SimClock | None = None,
+        link_block: str = "10.200.0.0/14",
+    ) -> None:
+        self.net = Network(clock=clock, name=name)
+        self._link_base = int(Prefix(link_block).network)
+        self._link_limit = self._link_base + Prefix(link_block).size
+        self._next_subnet = self._link_base
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def source(
+        self, name: str = "S", address: str | IPv4Address = "10.0.0.1"
+    ) -> MeasurementHost:
+        """Create the measurement vantage point with its address."""
+        host = MeasurementHost(name)
+        host.add_interface(address)
+        self.net.add_node(host)
+        return host
+
+    def router(self, name: str, **kwargs) -> Router:
+        """Create a router (kwargs pass through: faults, respond_from...)."""
+        router = Router(name, **kwargs)
+        self.net.add_node(router)
+        return router
+
+    def host(
+        self, name: str, address: str | IPv4Address, **kwargs
+    ) -> Host:
+        """Create a destination host with its address."""
+        host = Host(name, **kwargs)
+        host.add_interface(address)
+        self.net.add_node(host)
+        return host
+
+    def nat(self, name: str, **kwargs) -> NatBox:
+        """Create a NAT box (interface 0 = external, added at connect)."""
+        nat = NatBox(name, **kwargs)
+        self.net.add_node(nat)
+        return nat
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        subnet: Prefix | str | None = None,
+        addresses: tuple[IPv4Address | str, IPv4Address | str] | None = None,
+        delay: float = 0.001,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> tuple[Interface, Interface]:
+        """Link two nodes; allocate interface addresses automatically.
+
+        If ``b`` already has an interface and is a :class:`Host` or
+        :class:`MeasurementHost`, its existing interface is reused (a
+        host has one address, its identity); routers always get a fresh
+        interface per link.
+        """
+        addr_a, addr_b = self._endpoint_addresses(subnet, addresses)
+        iface_a = self._endpoint(a, addr_a)
+        iface_b = self._endpoint(b, addr_b)
+        self.net.link(iface_a, iface_b, delay=delay, loss_rate=loss_rate,
+                      loss_seed=loss_seed)
+        return iface_a, iface_b
+
+    def _endpoint_addresses(
+        self,
+        subnet: Prefix | str | None,
+        addresses: tuple[IPv4Address | str, IPv4Address | str] | None,
+    ) -> tuple[IPv4Address, IPv4Address]:
+        if addresses is not None:
+            return IPv4Address(addresses[0]), IPv4Address(addresses[1])
+        if subnet is not None:
+            prefix = subnet if isinstance(subnet, Prefix) else Prefix(subnet)
+            return prefix.network + 1, prefix.network + 2
+        if self._next_subnet + 4 > self._link_limit:
+            raise TopologyError("builder ran out of link subnets")
+        base = self._next_subnet
+        self._next_subnet += 4
+        return IPv4Address(base + 1), IPv4Address(base + 2)
+
+    def _endpoint(self, node: Node, address: IPv4Address) -> Interface:
+        if isinstance(node, (MeasurementHost, Host)) and node.interfaces:
+            iface = node.interfaces[0]
+            if iface.link is not None:
+                raise TopologyError(
+                    f"host {node.name} is already connected"
+                )
+            return iface
+        iface = node.add_interface(address)
+        # Network indexes addresses at link time, but index now too so
+        # collisions surface at the earliest possible moment.
+        self.net.index_interface(iface)
+        return iface
+
+    # ------------------------------------------------------------------
+    # routing helpers
+    # ------------------------------------------------------------------
+    def chain(
+        self,
+        nodes: Sequence[Node],
+        dst_prefix: Prefix | str,
+        delay: float = 0.001,
+    ) -> list[tuple[Interface, Interface]]:
+        """Wire ``nodes`` in a line and route ``dst_prefix`` down it.
+
+        Every router gets a route for ``dst_prefix`` toward the next
+        node and a default route toward the previous one (back toward
+        the source side).  Returns the interface pairs per segment.
+        """
+        if len(nodes) < 2:
+            raise TopologyError("a chain needs at least two nodes")
+        prefix = dst_prefix if isinstance(dst_prefix, Prefix) else Prefix(dst_prefix)
+        pairs = []
+        for left, right in zip(nodes, nodes[1:]):
+            pairs.append(self.connect(left, right, delay=delay))
+        for i, node in enumerate(nodes):
+            if not isinstance(node, Router):
+                continue
+            if i + 1 < len(nodes):
+                down_iface = pairs[i][0]
+                node.add_route(prefix, down_iface)
+            if i > 0:
+                up_iface = pairs[i - 1][1]
+                node.add_default_route(up_iface)
+        return pairs
+
+    def branch(
+        self,
+        split: Router,
+        path_nodes: Sequence[Router],
+        join: Router,
+        dst_prefix: Prefix | str,
+        delay: float = 0.001,
+    ) -> tuple[Interface, Interface]:
+        """Wire one branch of a diamond: split → path_nodes... → join.
+
+        Routes ``dst_prefix`` along the branch and default routes back
+        toward ``split``.  Returns (split-side egress interface on
+        ``split``, join-side ingress interface on ``join``) — the egress
+        is what you hand to :meth:`balanced_route`.
+        """
+        prefix = dst_prefix if isinstance(dst_prefix, Prefix) else Prefix(dst_prefix)
+        sequence: list[Node] = [split, *path_nodes, join]
+        pairs = [self.connect(a, b, delay=delay)
+                 for a, b in zip(sequence, sequence[1:])]
+        for i, node in enumerate(path_nodes, start=1):
+            node.add_route(prefix, pairs[i][0])
+            node.add_default_route(pairs[i - 1][1])
+        return pairs[0][0], pairs[-1][1]
+
+    def balanced_route(
+        self,
+        router: Router,
+        prefix: Prefix | str,
+        egresses: Iterable[Interface],
+        policy: BalancerPolicy,
+    ) -> None:
+        """Install (or replace) the load-balanced entry on ``router``."""
+        router.replace_route(prefix, list(egresses), policy)
+
+    # ------------------------------------------------------------------
+    # finishing
+    # ------------------------------------------------------------------
+    def build(self) -> Network:
+        """Validate wiring and return the network.
+
+        Checks that every interface is linked — an unlinked interface is
+        almost always a forgotten :meth:`connect` and would silently eat
+        packets at runtime.
+        """
+        for node in self.net.nodes.values():
+            for iface in node.interfaces:
+                if iface.link is None:
+                    raise TopologyError(
+                        f"interface {iface.label} was never connected"
+                    )
+        return self.net
+
+
+def make_faulty(router: Router, **fault_kwargs) -> Router:
+    """Attach a fault profile to ``router`` and return it (fluent aid)."""
+    router.faults = FaultProfile(**fault_kwargs)
+    return router

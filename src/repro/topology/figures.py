@@ -1,0 +1,314 @@
+"""The example topologies of the paper's figures, wired exactly.
+
+Every figure places its interesting region at hops 6-9 from the source
+(the paper's campaign skips the university network by starting at TTL
+2; its figures label the load balancer's hop as #6).  We reproduce the
+numbering with a five-router lead-in chain ``H1..H5``.
+
+The functions return a :class:`FigureTopology` whose ``nodes`` dict
+uses the paper's router names, so tests can assert on e.g.
+``fig.nodes["A"].interface(0).address`` — the paper's ``A0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.inet import IPv4Address
+from repro.sim.balancer import BalancerPolicy, PerFlowPolicy, PerPacketPolicy
+from repro.sim.endhost import Host, MeasurementHost
+from repro.sim.faults import FaultProfile
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.topology.builder import TopologyBuilder
+
+#: Destination prefix used by every figure topology.
+DEST_PREFIX = "10.9.0.0/16"
+
+#: Destination host address used by every figure topology.
+DEST_ADDRESS = "10.9.0.1"
+
+#: Length of the lead-in chain placing the figure region at hop 6.
+LEAD_IN = 5
+
+
+@dataclass
+class FigureTopology:
+    """A built figure network plus the handles benches need."""
+
+    network: Network
+    source: MeasurementHost
+    destination: Host
+    nodes: dict[str, Node]
+    description: str
+    figure: str
+    lead_in: int = LEAD_IN
+    notes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def destination_address(self) -> IPv4Address:
+        """The traced destination address."""
+        return self.destination.address
+
+    def address_of(self, label: str) -> IPv4Address:
+        """The address behind a paper-style interface label, e.g. ``A0``.
+
+        The label is node name + interface index, as in the figures.
+        """
+        name = label.rstrip("0123456789")
+        index = int(label[len(name):])
+        return self.nodes[name].interface(index).address
+
+
+def _lead_in_chain(builder: TopologyBuilder, count: int = LEAD_IN):
+    """Create the H1..Hn chain routers (not yet wired)."""
+    return [builder.router(f"H{i}") for i in range(1, count + 1)]
+
+
+def figure1(
+    policy: BalancerPolicy | None = None,
+    seed: int = 0,
+    all_respond: bool = False,
+) -> FigureTopology:
+    """Fig. 1: missing nodes/links and false links.
+
+    True topology at hops 6-9::
+
+        L --> A --> C --> E     (top;  C silent)
+          \\-> B --> D --/      (bottom; B silent)
+
+    ``B`` and ``C`` send no responses (the figure's premise), so classic
+    traceroute can never discover ``B0``/``C0`` and may infer the false
+    link ``(A0, D0)``.  Pass ``all_respond=True`` for the variant used
+    in the paper's probability computations (0.25 / 0.9375), where both
+    hop-7 devices answer.
+
+    The balancer defaults to "purely random" per-packet balancing, the
+    paper's modelling assumption for those probabilities.
+    """
+    builder = TopologyBuilder(name="figure1")
+    s = builder.source()
+    heads = _lead_in_chain(builder)
+    l = builder.router("L")
+    silent = FaultProfile(silent=True)
+    a = builder.router("A")
+    b = builder.router("B", faults=None if all_respond else silent)
+    c = builder.router("C", faults=None if all_respond else silent)
+    d = builder.router("D")
+    e = builder.router("E")
+    dst = builder.host("DST", DEST_ADDRESS)
+
+    builder.chain([s, *heads, l], DEST_PREFIX)
+    top = builder.branch(l, [a, c], e, DEST_PREFIX)
+    bottom = builder.branch(l, [b, d], e, DEST_PREFIX)
+    balancer = policy or PerPacketPolicy(seed=seed, mode="random")
+    builder.balanced_route(l, DEST_PREFIX, [top[0], bottom[0]], balancer)
+    # E: onward to the destination, back via the top branch.
+    e_down, __ = builder.connect(e, dst)
+    e.add_route(DEST_PREFIX, e_down)
+    e.add_default_route(top[1])
+    net = builder.build()
+    return FigureTopology(
+        network=net,
+        source=s,
+        destination=dst,
+        nodes={"L": l, "A": a, "B": b, "C": c, "D": d, "E": e,
+               **{h.name: h for h in heads}},
+        description="Fig. 1: load balancer hides nodes and fabricates links",
+        figure="1",
+        notes={
+            "silent": [] if all_respond else ["B", "C"],
+            "false_link": ("A0", "D0"),
+            "p_missing_hop7_device": 0.25,
+            "p_ambiguous_links": 0.9375,
+        },
+    )
+
+
+def figure3(
+    policy: BalancerPolicy | None = None,
+    seed: int = 0,
+) -> FigureTopology:
+    """Fig. 3: a loop caused by load balancing over unequal-length paths.
+
+    True topology::
+
+        L --> A --------> E      (top: E at hop 8)
+          \\-> B --> C --> E      (bottom: E at hop 9)
+
+    Per the paper, "we assume ... that both responses are generated from
+    the same interface, E0": E answers from a fixed address.  When
+    probes 7 and 8 ride the top path and probe 9 the bottom one, classic
+    traceroute reports ``E0`` twice in a row — a loop.
+    """
+    builder = TopologyBuilder(name="figure3")
+    s = builder.source()
+    heads = _lead_in_chain(builder)
+    l = builder.router("L")
+    a = builder.router("A")
+    b = builder.router("B")
+    c = builder.router("C")
+    e = builder.router("E", respond_from="first")
+    dst = builder.host("DST", DEST_ADDRESS)
+
+    builder.chain([s, *heads, l], DEST_PREFIX)
+    top = builder.branch(l, [a], e, DEST_PREFIX)
+    bottom = builder.branch(l, [b, c], e, DEST_PREFIX)
+    balancer = policy or PerFlowPolicy(salt=seed.to_bytes(4, "big"))
+    builder.balanced_route(l, DEST_PREFIX, [top[0], bottom[0]], balancer)
+    e_down, __ = builder.connect(e, dst)
+    e.add_route(DEST_PREFIX, e_down)
+    e.add_default_route(top[1])
+    net = builder.build()
+    return FigureTopology(
+        network=net,
+        source=s,
+        destination=dst,
+        nodes={"L": l, "A": a, "B": b, "C": c, "E": e,
+               **{h.name: h for h in heads}},
+        description="Fig. 3: unequal-length balanced paths make E0 repeat",
+        figure="3",
+        notes={"loop_address_label": "E0"},
+    )
+
+
+def figure4() -> FigureTopology:
+    """Fig. 4: a loop caused by zero-TTL forwarding.
+
+    Chain ``S .. L(6) - F(7) - A(8) - B(9) - DST``, with ``F``
+    misconfigured: it forwards packets whose TTL it decremented to zero
+    instead of discarding them.  ``A`` therefore answers both the hop-7
+    probe (quoting probe TTL 0) and the hop-8 probe (probe TTL 1) —
+    the same address twice, with the tell-tale quoted-TTL signature.
+    """
+    builder = TopologyBuilder(name="figure4")
+    s = builder.source()
+    heads = _lead_in_chain(builder)
+    l = builder.router("L")
+    f = builder.router("F", faults=FaultProfile(zero_ttl_forwarding=True))
+    a = builder.router("A")
+    b = builder.router("B")
+    dst = builder.host("DST", DEST_ADDRESS)
+    builder.chain([s, *heads, l, f, a, b, dst], DEST_PREFIX)
+    net = builder.build()
+    return FigureTopology(
+        network=net,
+        source=s,
+        destination=dst,
+        nodes={"L": l, "F": f, "A": a, "B": b,
+               **{h.name: h for h in heads}},
+        description="Fig. 4: zero-TTL forwarding makes A0 repeat (probe TTL 0, then 1)",
+        figure="4",
+        notes={"faulty": "F", "loop_address_label": "A0",
+               "probe_ttls": (0, 1)},
+    )
+
+
+def figure5() -> FigureTopology:
+    """Fig. 5: a loop caused by address rewriting behind a NAT.
+
+    Chain ``S .. A(6) - N(7, NAT) - B(8) - C(9) - DST(10)`` with ``B``,
+    ``C``, and the destination on private addresses behind ``N``.  All
+    responses from behind the gateway appear to come from ``N0``; the
+    response TTL keeps decreasing (250, 249, 248, 247 at hops 6-9 with
+    everything using initial TTL 255), which is how Paris traceroute
+    diagnoses the rewrite.
+    """
+    builder = TopologyBuilder(name="figure5")
+    s = builder.source()
+    heads = _lead_in_chain(builder)
+    a = builder.router("A")
+    n = builder.nat("N")
+    b = builder.router("B")
+    c = builder.router("C")
+    dst = builder.host("DST", "192.168.9.1")
+    inside = "192.168.0.0/16"
+
+    builder.chain([s, *heads, a], inside)
+    # A -> N (N's first interface = external side).
+    a_down, n_ext = builder.connect(a, n)
+    a.add_route(inside, a_down)
+    # N -> B -> C -> DST on private addressing.
+    n_int, b_up = builder.connect(n, b, subnet="192.168.100.0/30")
+    b_down, c_up = builder.connect(b, c, subnet="192.168.100.4/30")
+    c_down, __ = builder.connect(c, dst, subnet="192.168.100.8/30")
+    n.add_route(inside, n_int)
+    n.add_default_route(n_ext)
+    b.add_route(inside, b_down)
+    b.add_default_route(b_up)
+    c.add_route(inside, c_down)
+    c.add_default_route(c_up)
+    net = builder.build()
+    return FigureTopology(
+        network=net,
+        source=s,
+        destination=dst,
+        nodes={"A": a, "N": n, "B": b, "C": c,
+               **{h.name: h for h in heads}},
+        description="Fig. 5: NAT rewriting shows N0 at hops 7-9, response TTL sliding",
+        figure="5",
+        notes={"nat": "N", "expected_response_ttls": (250, 249, 248, 247)},
+    )
+
+
+def figure6(
+    policy: BalancerPolicy | None = None,
+    seed: int = 0,
+) -> FigureTopology:
+    """Fig. 6: several diamonds from a three-way load balancer.
+
+    True topology at hops 6-9::
+
+        L --> A --> D --> G
+          --> B --> E --> G
+          --> C --> D --> G      (C shares D with A)
+
+    ``D`` and ``G`` answer from fixed addresses (``D0``/``G0``), as the
+    paper's interface labels assume.  Classic traceroute mixing paths
+    across probes yields the diamonds {(L0,D0), (L0,E0), (A0,G0),
+    (B0,G0)} of the figure; (C0,G0) fails the definition whenever D0 is
+    the only address ever seen between C0 and G0.
+    """
+    builder = TopologyBuilder(name="figure6")
+    s = builder.source()
+    heads = _lead_in_chain(builder)
+    l = builder.router("L")
+    a = builder.router("A")
+    b = builder.router("B")
+    c = builder.router("C")
+    d = builder.router("D", respond_from="first")
+    e = builder.router("E")
+    g = builder.router("G", respond_from="first")
+    dst = builder.host("DST", DEST_ADDRESS)
+
+    builder.chain([s, *heads, l], DEST_PREFIX)
+    via_a = builder.branch(l, [a], d, DEST_PREFIX)
+    via_b = builder.branch(l, [b, e], g, DEST_PREFIX)
+    via_c = builder.branch(l, [c], d, DEST_PREFIX)
+    balancer = policy or PerPacketPolicy(seed=seed, mode="random")
+    builder.balanced_route(
+        l, DEST_PREFIX, [via_a[0], via_b[0], via_c[0]], balancer
+    )
+    # D joins A and C, then continues to G.
+    d_down, g_in_from_d = builder.connect(d, g)
+    d.add_route(DEST_PREFIX, d_down)
+    d.add_default_route(via_a[1])
+    # G onward to the destination; back via D.
+    g_down, __ = builder.connect(g, dst)
+    g.add_route(DEST_PREFIX, g_down)
+    g.add_default_route(g_in_from_d)
+    net = builder.build()
+    return FigureTopology(
+        network=net,
+        source=s,
+        destination=dst,
+        nodes={"L": l, "A": a, "B": b, "C": c, "D": d, "E": e, "G": g,
+               **{h.name: h for h in heads}},
+        description="Fig. 6: three balanced paths produce diamonds",
+        figure="6",
+        notes={
+            "expected_diamonds": [("L0", "D0"), ("L0", "E0"),
+                                  ("A0", "G0"), ("B0", "G0")],
+            "non_diamond": ("C0", "G0"),
+        },
+    )

@@ -1,0 +1,818 @@
+"""A seeded, internet-like topology for campaign-scale experiments.
+
+The paper traces from one vantage point (LIP6, behind the single-homed
+French academic network) toward 5,000 destinations spread over 1,122
+ASes, crossing all nine tier-1 ISPs.  This generator reproduces that
+*shape* at a configurable scale:
+
+- **AS hierarchy** — ``n_tier1`` fully-meshed tier-1 ASes, ``n_transit``
+  single-homed transit ASes, ``n_stub`` stub ASes holding the
+  destination hosts, plus a dedicated "university" stub (the vantage
+  point) behind its own "Renater" transit.
+- **Per-AS internals** — entry and exit routers around either a plain
+  core router or a load-balanced diamond: 2-16 parallel branches under
+  a per-flow (majority) or per-packet (minority) policy, occasionally
+  with unequal branch lengths — the configuration that makes classic
+  traceroute report loops (paper Fig. 3).
+- **Edge quirks** — NAT gateways in front of some stubs (address
+  rewriting, Fig. 5), plus silent, zero-TTL-forwarding, fake-address,
+  and lossy routers at configurable rates.
+- **Dynamics** — optional route changes, route withdrawals, and
+  transient forwarding loops scheduled across a time horizon.
+
+Everything is deterministic under ``InternetConfig.seed``.  Addressing
+is hierarchical — AS *k* owns the ``5.k.0.0/16`` block (hosts in the
+lower half, link subnets in the upper half) — so routing is pure
+prefix-based default-up / specific-down with no path computation, and
+the IP-to-AS ground truth falls out of the allocation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import TopologyError
+from repro.net.inet import IPv4Address, Prefix
+from repro.sim.balancer import BalancerPolicy, PerFlowPolicy, PerPacketPolicy
+from repro.sim.dynamics import ForwardingLoopWindow, RouteChange, RouteWithdrawal
+from repro.sim.endhost import Host, MeasurementHost
+from repro.sim.faults import FaultProfile
+from repro.sim.middlebox import NatBox
+from repro.sim.network import Network
+from repro.sim.node import Interface
+from repro.sim.router import Router
+from repro.topology.asmap import AsMapper
+from repro.topology.builder import TopologyBuilder
+
+#: Base of the per-AS /16 blocks: AS k owns ``5.k.0.0/16``.
+AS_BLOCK_BASE = 5 << 24
+
+#: Base of the private pools used behind NAT gateways.
+NAT_POOL_BASE = int(IPv4Address("172.16.0.0"))
+
+
+@dataclass
+class InternetConfig:
+    """Knobs for the generated internet.
+
+    The defaults give a ~60-AS, ~200-destination internet that runs a
+    multi-round campaign in seconds.  The paper-shape ratios (how many
+    ASes balance, how wide, how often per-packet) follow Section 4's
+    observations: load balancing seen in 7 of 9 tier-1s and 17 of 64
+    top regional ASes, Juniper supporting up to 16 equal-cost paths.
+    """
+
+    seed: int = 1
+    n_tier1: int = 9
+    n_transit: int = 18
+    n_stub: int = 40
+    dests_per_stub: int = 8
+    # Load balancing prevalence per tier (paper: 7/9 tier-1s, 17/64 top ASes).
+    p_balanced_tier1: float = 7 / 9
+    p_balanced_transit: float = 0.27
+    p_balanced_stub: float = 0.10
+    #: Fraction of balancers that are per-packet rather than per-flow.
+    p_per_packet: float = 0.04
+    #: Number of stub ASes whose diamond has one branch one hop longer
+    #: (the Fig. 3 configuration — every hop downstream of such a
+    #: diamond can repeat, so classic traceroute reports loops there).
+    #: Unequal-length ECMP lives at the edge: a single unequal diamond
+    #: in the core would shift every downstream hop for most routes and
+    #: blow the paper's 5.3 % loop rate by an order of magnitude.
+    n_loop_stub_diamonds: int = 6
+    #: Number of stub ASes whose diamond has one branch two hops longer
+    #: (the same mechanics produce the rarer *cycles*, Sec. 4.2).
+    n_cycle_stub_diamonds: int = 1
+    #: Diamond widths drawn uniformly from this pool (max 16, Juniper).
+    width_pool: tuple[int, ...] = (2, 2, 2, 2, 3, 3, 4, 8, 16)
+    #: Probability that a non-join router answers from a fixed address
+    #: (loopback-style) rather than its ingress interface.  Join
+    #: routers of diamonds always answer from a fixed address, the
+    #: assumption behind the paper's Figs. 3 and 6.
+    p_fixed_response: float = 0.4
+    #: Number of destinations behind a masquerading NAT gateway (each
+    #: produces one address-rewriting loop per trace, Fig. 5).  A count
+    #: rather than a rate: these causes are tiny in the paper (2.8 % of
+    #: loops over 5,000 destinations) and a rate would round to zero at
+    #: simulation scale.
+    n_nat_dests: int = 1
+    #: Number of destinations behind a zero-TTL-forwarding access
+    #: router (one Fig. 4 loop per trace each).
+    n_zero_ttl_dests: int = 2
+    #: Probability that a destination answers pings but firewalls UDP
+    #: (trailing stars, the paper's dominant star population).
+    p_firewalled_dest: float = 0.08
+    # Router quirk rates (fake-address quirks only afflict stub-AS
+    # routers: edge boxes).
+    p_silent: float = 0.02
+    p_fake_address: float = 0.01
+    response_loss_rate: float = 0.01
+    #: Fraction of routers subject to response loss at the above rate.
+    p_lossy: float = 0.3
+    # Dynamics (events per hour of campaign horizon; horizon in seconds).
+    dynamics_horizon: float = 0.0
+    route_changes_per_hour: float = 3.0
+    withdrawals_per_hour: float = 1.0
+    forwarding_loops_per_hour: float = 1.0
+    #: Duration of each transient forwarding loop / withdrawal, seconds.
+    event_duration: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.n_tier1 < 2:
+            raise TopologyError("need at least two tier-1 ASes")
+        if max(self.width_pool) > 16:
+            raise TopologyError("Juniper caps equal-cost paths at sixteen")
+
+
+@dataclass
+class BalancerInfo:
+    """Ground truth about one generated load balancer."""
+
+    router: Router
+    policy: BalancerPolicy
+    kind: str            # "per-flow" | "per-packet"
+    width: int
+    equal_lengths: bool
+    asn: int
+
+
+@dataclass
+class _DiamondSpec:
+    """Pre-drawn layout of one AS's load-balanced diamond.
+
+    Drawing all diamond layouts up front (rather than per-AS while
+    building) lets the generator guarantee the configured *fractions*
+    of unequal and very-unequal diamonds even in small topologies,
+    where independent per-AS coin flips routinely produce none.
+    """
+
+    width: int
+    per_packet: bool
+    per_packet_mode: str
+    per_packet_seed: int
+    extra_hops: int  # 0 = equal branches, 1 = Fig. 3 loops, 2 = cycles
+
+
+@dataclass
+class _AsSite:
+    """One generated AS and the handles routing installation needs."""
+
+    asn: int
+    tier: int
+    block: Prefix
+    entry: Router
+    exit: Router
+    #: Installs a down-route for a prefix across the internal routers.
+    install_down: Callable[[Prefix], None]
+    provider: Optional["_AsSite"] = None
+    children: list["_AsSite"] = field(default_factory=list)
+    hosts: list[Host] = field(default_factory=list)
+    balancer: Optional[BalancerInfo] = None
+    #: Routers of this AS eligible for fault sprinkling.
+    routers: list[Router] = field(default_factory=list)
+    #: Interface on the provider's exit router leading here (set at wiring).
+    uplink_provider_iface: Optional[Interface] = None
+
+    def cone(self) -> list[Prefix]:
+        """This AS's block plus every descendant's (customer cone)."""
+        prefixes = [self.block]
+        for child in self.children:
+            prefixes.extend(child.cone())
+        return prefixes
+
+
+@dataclass
+class InternetTopology:
+    """The generated internet and its ground truth."""
+
+    network: Network
+    source: MeasurementHost
+    destinations: list[Host]
+    asmap: AsMapper
+    config: InternetConfig
+    sites: list[_AsSite]
+    balancers: list[BalancerInfo]
+    nats: list[NatBox]
+    faulty: dict[str, list[str]]
+    dynamics: list
+
+    @property
+    def destination_addresses(self) -> list[IPv4Address]:
+        """Addresses of every destination host, in generation order."""
+        return [h.address for h in self.destinations]
+
+    def site_of(self, asn: int) -> _AsSite:
+        """The generated AS with number ``asn``."""
+        for site in self.sites:
+            if site.asn == asn:
+                return site
+        raise TopologyError(f"no AS {asn} in this topology")
+
+    def summary(self) -> str:
+        """A one-paragraph inventory used by examples and reports."""
+        kinds = {}
+        for info in self.balancers:
+            kinds[info.kind] = kinds.get(info.kind, 0) + 1
+        return (
+            f"internet(seed={self.config.seed}): "
+            f"{len(self.sites)} ASes "
+            f"({self.config.n_tier1} tier-1), "
+            f"{len(self.destinations)} destinations, "
+            f"{len(self.balancers)} load balancers {kinds}, "
+            f"{len(self.nats)} NAT gateways, "
+            f"faults: { {k: len(v) for k, v in self.faulty.items()} }"
+        )
+
+
+def generate_internet(config: InternetConfig | None = None) -> InternetTopology:
+    """Build the internet described by ``config`` (deterministic)."""
+    config = config or InternetConfig()
+    rng = random.Random(config.seed)
+    builder = TopologyBuilder(name=f"internet-{config.seed}")
+    generator = _Generator(builder, config, rng)
+    return generator.run()
+
+
+def schedule_dynamics(
+    topology: InternetTopology,
+    horizon: float,
+    route_changes: int = 0,
+    withdrawals: int = 0,
+    forwarding_loops: int = 0,
+    event_duration: float = 120.0,
+    seed: int = 0,
+) -> list:
+    """Schedule explicit numbers of dynamics events over ``horizon``.
+
+    The config-driven path (``InternetConfig.dynamics_horizon``) needs
+    the campaign duration known up front; drivers that measure a dry
+    round first can instead call this with the horizon they observed.
+    Events are appended to the topology's network and returned.
+    """
+    events = _schedule_events(
+        network=topology.network,
+        sites=topology.sites,
+        rng=random.Random(seed),
+        horizon=horizon,
+        route_changes=route_changes,
+        withdrawals=withdrawals,
+        forwarding_loops=forwarding_loops,
+        event_duration=event_duration,
+    )
+    topology.dynamics.extend(events)
+    return events
+
+
+def _schedule_events(
+    network: Network,
+    sites: list[_AsSite],
+    rng: random.Random,
+    horizon: float,
+    route_changes: int,
+    withdrawals: int,
+    forwarding_loops: int,
+    event_duration: float,
+) -> list:
+    """Create and register the three event families."""
+    events: list = []
+
+    def times(count: int) -> list[float]:
+        return sorted(rng.uniform(0, horizon) for __ in range(count))
+
+    balanced_sites = [s for s in sites if s.balancer is not None]
+    for at in times(route_changes if balanced_sites else 0):
+        site = rng.choice(balanced_sites)
+        l_router = site.balancer.router
+        entry = l_router.lookup(site.block.network + 1, now=0.0)
+        if entry is None or len(entry.egresses) < 2:
+            continue
+        pinned = rng.choice(entry.egresses)
+        prefix = rng.choice(site.cone())
+        # Transient: convergence pins the traffic briefly, then the
+        # equal-cost spread resumes.  A permanent pin would silently
+        # de-balance the AS for the rest of the campaign.
+        event = RouteChange(router=l_router, prefix=prefix,
+                            egresses=[pinned], at_time=at,
+                            duration=event_duration)
+        network.add_dynamics(event)
+        events.append(event)
+    stub_sites = [s for s in sites if s.hosts]
+    for at in times(withdrawals if stub_sites else 0):
+        site = rng.choice(stub_sites)
+        host = rng.choice(site.hosts)
+        event = RouteWithdrawal(
+            router=site.exit, prefix=Prefix((host.address, 32)),
+            at_time=at, end=at + event_duration,
+        )
+        network.add_dynamics(event)
+        events.append(event)
+    chain_sites = [s for s in sites if s.balancer is None]
+    for at in times(forwarding_loops if chain_sites else 0):
+        site = rng.choice(chain_sites)
+        core = next(r for r in site.routers if r.name.endswith("-C"))
+        prefix = rng.choice(site.cone())
+        # Ring: core sends matching packets back up to entry; entry's
+        # normal down-route returns them to core — a two-node loop.
+        core_up = core.interfaces[0]
+        entry_down = core_up.link.peer_of(core_up)
+        event = ForwardingLoopWindow(
+            ring=[(core, core_up), (site.entry, entry_down)],
+            prefix=prefix, start=at, end=at + event_duration,
+        )
+        network.add_dynamics(event)
+        events.append(event)
+    return events
+
+
+class _Generator:
+    """Stateful helper that assembles the internet step by step."""
+
+    def __init__(self, builder: TopologyBuilder, config: InternetConfig,
+                 rng: random.Random) -> None:
+        self.builder = builder
+        self.config = config
+        self.rng = rng
+        self.sites: list[_AsSite] = []
+        self.balancers: list[BalancerInfo] = []
+        self.nats: list[NatBox] = []
+        self.destinations: list[Host] = []
+        self.asmap = AsMapper()
+        self.faulty: dict[str, list[str]] = {
+            "silent": [], "zero_ttl": [], "fake_address": [], "lossy": [],
+        }
+        self.dynamics: list = []
+        self._next_asn = 1
+        self._nat_pool_next = NAT_POOL_BASE
+        self._per_site_state: dict[int, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # address bookkeeping
+    # ------------------------------------------------------------------
+    def _site_state(self, asn: int) -> dict[str, int]:
+        block_base = AS_BLOCK_BASE | (asn << 16)
+        return self._per_site_state.setdefault(asn, {
+            "next_host": block_base + 1,            # lower /17: hosts
+            "next_link": block_base + (1 << 15),    # upper /17: /30 links
+        })
+
+    def _host_address(self, asn: int) -> IPv4Address:
+        state = self._site_state(asn)
+        address = IPv4Address(state["next_host"])
+        state["next_host"] += 1
+        return address
+
+    def _link_addresses(self, asn: int) -> tuple[IPv4Address, IPv4Address]:
+        state = self._site_state(asn)
+        base = state["next_link"]
+        state["next_link"] += 4
+        return IPv4Address(base + 1), IPv4Address(base + 2)
+
+    def _nat_pool(self) -> tuple[IPv4Address, IPv4Address]:
+        base = self._nat_pool_next
+        self._nat_pool_next += 4
+        return IPv4Address(base + 1), IPv4Address(base + 2)
+
+    # ------------------------------------------------------------------
+    # per-AS internals
+    # ------------------------------------------------------------------
+    def _respond_from(self) -> str:
+        """Draw a response-address policy for a new router."""
+        if self.rng.random() < self.config.p_fixed_response:
+            return "first"
+        return "ingress"
+
+    def _build_site(self, tier: int,
+                    spec: Optional[_DiamondSpec]) -> _AsSite:
+        asn = self._next_asn
+        self._next_asn += 1
+        block = Prefix((IPv4Address(AS_BLOCK_BASE | (asn << 16)), 16))
+        b = self.builder
+        entry = b.router(f"AS{asn}-E", respond_from=self._respond_from())
+        exit_ = b.router(f"AS{asn}-X", respond_from=self._respond_from())
+        routers = [entry, exit_]
+        down_hops: list[tuple[Router, list[Interface], BalancerPolicy | None]] = []
+        balancer_info = None
+
+        if spec is not None:
+            balancer_info, segment_routers, down_hops = self._build_diamond(
+                asn, entry, exit_, spec)
+            routers.extend(segment_routers)
+        else:
+            core = b.router(f"AS{asn}-C", respond_from=self._respond_from())
+            routers.append(core)
+            e_down, c_up = b.connect(entry, core,
+                                     addresses=self._link_addresses(asn))
+            c_down, x_up = b.connect(core, exit_,
+                                     addresses=self._link_addresses(asn))
+            core.add_default_route(c_up)
+            exit_.add_default_route(x_up)
+            down_hops = [
+                (entry, [e_down], None),
+                (core, [c_down], None),
+            ]
+
+        def install_down(prefix: Prefix,
+                         hops=tuple(down_hops)) -> None:
+            for router, egresses, policy in hops:
+                if len(egresses) > 1:
+                    router.add_route(prefix, list(egresses), policy)
+                else:
+                    router.add_route(prefix, egresses[0])
+
+        site = _AsSite(
+            asn=asn, tier=tier, block=block, entry=entry, exit=exit_,
+            install_down=install_down, balancer=balancer_info,
+            routers=routers,
+        )
+        if balancer_info is not None:
+            self.balancers.append(balancer_info)
+        self.asmap.announce(block, asn)
+        self.sites.append(site)
+        return site
+
+    def _build_diamond(
+        self, asn: int, entry: Router, exit_: Router, spec: _DiamondSpec
+    ) -> tuple[BalancerInfo, list[Router],
+               list[tuple[Router, list[Interface], BalancerPolicy | None]]]:
+        """entry → L → (width parallel branches) → J → exit."""
+        b = self.builder
+        width = spec.width
+        per_packet = spec.per_packet
+        if per_packet:
+            policy: BalancerPolicy = PerPacketPolicy(
+                seed=spec.per_packet_seed,
+                mode=spec.per_packet_mode,
+            )
+        else:
+            policy = PerFlowPolicy(salt=f"AS{asn}".encode())
+        l_router = b.router(f"AS{asn}-L", respond_from=self._respond_from())
+        # The join router answers from one fixed address, the paper's
+        # Figs. 3/6 assumption — without it neither the unequal-length
+        # loop nor most diamonds would show a repeated address at all.
+        j_router = b.router(f"AS{asn}-J", respond_from="first")
+        routers = [l_router, j_router]
+
+        e_down, l_up = b.connect(entry, l_router,
+                                 addresses=self._link_addresses(asn))
+        l_router.add_default_route(l_up)
+        long_branch = self.rng.randrange(width) if spec.extra_hops else -1
+        extra_hops = spec.extra_hops
+        l_egresses: list[Interface] = []
+        branch_hops: list[tuple[Router, list[Interface], None]] = []
+        j_up_iface: Interface | None = None
+        for i in range(width):
+            length = 1 + extra_hops if i == long_branch else 1
+            nodes = [
+                b.router(f"AS{asn}-B{i}" + (f"-{j}" if length > 1 else ""),
+                         respond_from=self._respond_from())
+                for j in range(length)
+            ]
+            routers.extend(nodes)
+            # L → nodes[0] → ... → nodes[-1] → J, with default routes
+            # pointing back up and a down-hop record per segment.
+            sequence: list[Router] = [l_router, *nodes, j_router]
+            for left, right in zip(sequence, sequence[1:]):
+                left_down, right_up = b.connect(
+                    left, right, addresses=self._link_addresses(asn))
+                if left is l_router:
+                    l_egresses.append(left_down)
+                else:
+                    branch_hops.append((left, [left_down], None))
+                if right is j_router:
+                    if j_up_iface is None:
+                        j_up_iface = right_up
+                else:
+                    right.add_default_route(right_up)
+        j_router.add_default_route(j_up_iface)
+        j_down, x_up = b.connect(j_router, exit_,
+                                 addresses=self._link_addresses(asn))
+        exit_.add_default_route(x_up)
+
+        entry_down = e_down
+        down_hops: list[tuple[Router, list[Interface], BalancerPolicy | None]] = [
+            (entry, [entry_down], None),
+            (l_router, l_egresses, policy),
+            *branch_hops,
+            (j_router, [j_down], None),
+        ]
+        info = BalancerInfo(
+            router=l_router, policy=policy,
+            kind="per-packet" if per_packet else "per-flow",
+            width=width, equal_lengths=(long_branch == -1), asn=asn,
+        )
+        return info, routers, down_hops
+
+    # ------------------------------------------------------------------
+    # AS tree wiring
+    # ------------------------------------------------------------------
+    def _wire_customer(self, provider: _AsSite, customer: _AsSite) -> None:
+        """Link provider.exit ↔ customer.entry; install cone routes."""
+        addr_pair = self._link_addresses(provider.asn)
+        p_iface, c_iface = self.builder.connect(
+            provider.exit, customer.entry, addresses=addr_pair)
+        customer.entry.add_default_route(c_iface)
+        customer.provider = provider
+        customer.uplink_provider_iface = p_iface
+        provider.children.append(customer)
+
+    def _install_cone_routes(self) -> None:
+        """After the tree is complete, push cone routes down every AS.
+
+        Every AS also routes its *own* block down internally (entry →
+        ... → exit), so responses headed for an address inside the AS —
+        notably the vantage point — descend instead of bouncing off the
+        default-up route.
+        """
+        for site in self.sites:
+            site.install_down(site.block)
+            for child in site.children:
+                for prefix in child.cone():
+                    site.exit.add_route(prefix,
+                                        child.uplink_provider_iface)
+                    site.install_down(prefix)
+
+    def _wire_tier1_mesh(self, tier1s: list[_AsSite]) -> None:
+        """Full mesh between tier-1 entries, with peer cone routes."""
+        peer_ifaces: dict[tuple[int, int], Interface] = {}
+        for i, a in enumerate(tier1s):
+            for b_site in tier1s[i + 1:]:
+                ia, ib = self.builder.connect(
+                    a.entry, b_site.entry,
+                    addresses=self._link_addresses(a.asn))
+                peer_ifaces[(a.asn, b_site.asn)] = ia
+                peer_ifaces[(b_site.asn, a.asn)] = ib
+        for a in tier1s:
+            for b_site in tier1s:
+                if a is b_site:
+                    continue
+                egress = peer_ifaces[(a.asn, b_site.asn)]
+                for prefix in b_site.cone():
+                    a.entry.add_route(prefix, egress)
+
+    # ------------------------------------------------------------------
+    # hosts and NAT edges
+    # ------------------------------------------------------------------
+    def _attach_hosts(self, stub: _AsSite,
+                      nat_indices: set[int],
+                      zero_ttl_indices: set[int]) -> None:
+        """Attach this stub's destination hosts, some via quirky edges.
+
+        ``nat_indices``/``zero_ttl_indices`` hold *global* destination
+        indices selected for the Fig. 5 / Fig. 4 edge configurations.
+        """
+        for i in range(self.config.dests_per_stub):
+            global_index = len(self.destinations)
+            address = self._host_address(stub.asn)
+            host = self.builder.host(
+                f"AS{stub.asn}-D{i}", address,
+                udp_responds=self.rng.random()
+                >= self.config.p_firewalled_dest,
+            )
+            if global_index in nat_indices:
+                self._wire_host_behind_nat(stub, host, i)
+            elif global_index in zero_ttl_indices:
+                self._wire_host_behind_zero_ttl(stub, host, i)
+            else:
+                x_iface, __ = self.builder.connect(
+                    stub.exit, host,
+                    addresses=self._link_addresses(stub.asn))
+                stub.exit.add_route(Prefix((address, 32)), x_iface)
+            stub.hosts.append(host)
+            self.destinations.append(host)
+
+    def _wire_host_behind_nat(self, stub: _AsSite, host: Host,
+                              index: int) -> None:
+        """exit → NAT → (private) inner router → host (public).
+
+        The inner router's responses get masqueraded to the NAT's
+        external address, so every trace to this host shows the Fig. 5
+        rewriting loop (N0, N0) just before the destination.
+        """
+        prefix = Prefix((host.address, 32))
+        nat = self.builder.nat(f"AS{stub.asn}-N{index}")
+        x_iface, n_ext = self.builder.connect(
+            stub.exit, nat, addresses=self._link_addresses(stub.asn))
+        inner = self.builder.router(f"AS{stub.asn}-NR{index}")
+        n_int, r_up = self.builder.connect(nat, inner,
+                                           addresses=self._nat_pool())
+        r_down, __ = self.builder.connect(inner, host,
+                                          addresses=self._nat_pool())
+        stub.exit.add_route(prefix, x_iface)
+        nat.add_route(prefix, n_int)
+        nat.add_default_route(n_ext)
+        inner.add_route(prefix, r_down)
+        inner.add_default_route(r_up)
+        stub.routers.extend([nat, inner])
+        self.nats.append(nat)
+
+    def _wire_host_behind_zero_ttl(self, stub: _AsSite, host: Host,
+                                   index: int) -> None:
+        """exit → F (zero-TTL forwarder) → R → host.
+
+        ``F`` forwards expiring probes instead of answering, so ``R``
+        answers two consecutive TTLs — the Fig. 4 loop with quoted
+        probe TTLs 0 then 1 — on every trace to this host.
+        """
+        prefix = Prefix((host.address, 32))
+        faulty = self.builder.router(
+            f"AS{stub.asn}-F{index}",
+            faults=FaultProfile(zero_ttl_forwarding=True))
+        repeater = self.builder.router(f"AS{stub.asn}-FR{index}")
+        x_iface, f_up = self.builder.connect(
+            stub.exit, faulty, addresses=self._link_addresses(stub.asn))
+        f_down, r_up = self.builder.connect(
+            faulty, repeater, addresses=self._link_addresses(stub.asn))
+        r_down, __ = self.builder.connect(
+            repeater, host, addresses=self._link_addresses(stub.asn))
+        stub.exit.add_route(prefix, x_iface)
+        faulty.add_route(prefix, f_down)
+        faulty.add_default_route(f_up)
+        repeater.add_route(prefix, r_down)
+        repeater.add_default_route(r_up)
+        stub.routers.extend([faulty, repeater])
+        self.faulty["zero_ttl"].append(faulty.name)
+
+    # ------------------------------------------------------------------
+    # faults and dynamics
+    # ------------------------------------------------------------------
+    def _sprinkle_faults(self, protected: set[str]) -> None:
+        """Assign quirks to routers, never to protected ones.
+
+        Zero-TTL forwarding and fake source addresses are edge-box
+        quirks: they only afflict stub-AS routers, so each instance
+        touches a handful of destinations (as the paper's small cause
+        shares imply).  Silence and response loss can strike anywhere.
+        """
+        cfg = self.config
+        for site in self.sites:
+            edge = site.tier == 3
+            for router in site.routers:
+                if router.name in protected:
+                    continue
+                if not router.faults.well_behaved:
+                    continue  # already configured (zero-TTL edges)
+                roll = self.rng.random()
+                if roll < cfg.p_silent:
+                    router.faults = FaultProfile(silent=True)
+                    self.faulty["silent"].append(router.name)
+                elif edge and roll < cfg.p_silent + cfg.p_fake_address:
+                    fake = IPv4Address("172.30.0.1") + len(
+                        self.faulty["fake_address"])
+                    router.faults = FaultProfile(fake_source_address=fake)
+                    self.faulty["fake_address"].append(router.name)
+                elif self.rng.random() < cfg.p_lossy:
+                    router.faults = FaultProfile(
+                        response_loss_rate=cfg.response_loss_rate,
+                        loss_seed=self.rng.randrange(1 << 30),
+                    )
+                    self.faulty["lossy"].append(router.name)
+
+    def _schedule_dynamics(self, network: Network) -> None:
+        cfg = self.config
+        horizon = cfg.dynamics_horizon
+        if horizon <= 0:
+            return
+        hours = horizon / 3600.0
+        self.dynamics.extend(_schedule_events(
+            network=network,
+            sites=self.sites,
+            rng=self.rng,
+            horizon=horizon,
+            route_changes=int(round(cfg.route_changes_per_hour * hours)),
+            withdrawals=int(round(cfg.withdrawals_per_hour * hours)),
+            forwarding_loops=int(round(cfg.forwarding_loops_per_hour * hours)),
+            event_duration=cfg.event_duration,
+        ))
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _draw_diamond_plan(
+        self,
+    ) -> tuple[list[Optional[_DiamondSpec]], list[Optional[_DiamondSpec]],
+               list[Optional[_DiamondSpec]]]:
+        """Pre-draw every AS's diamond layout, enforcing the unequal
+        and very-unequal fractions exactly (rounded, at least one each
+        when the fraction is positive and any balancer exists)."""
+        cfg = self.config
+        rng = self.rng
+
+        def draw(p_balanced: float) -> Optional[_DiamondSpec]:
+            if rng.random() >= p_balanced:
+                return None
+            return _DiamondSpec(
+                width=rng.choice(cfg.width_pool),
+                per_packet=rng.random() < cfg.p_per_packet,
+                per_packet_mode=rng.choice(("random", "round-robin")),
+                per_packet_seed=rng.randrange(1 << 30),
+                extra_hops=0,
+            )
+
+        tier1 = [draw(cfg.p_balanced_tier1) for __ in range(cfg.n_tier1)]
+        transit = [draw(cfg.p_balanced_transit) for __ in range(cfg.n_transit)]
+        stub = [draw(cfg.p_balanced_stub) for __ in range(cfg.n_stub)]
+        # Core diamonds stay equal-length (they produce diamonds,
+        # missing nodes, and false links — not loops).  The unequal
+        # configurations go to stubs, each covering only its own
+        # destinations; promote unbalanced stubs as needed.
+        wanted = cfg.n_loop_stub_diamonds + cfg.n_cycle_stub_diamonds
+        wanted = min(wanted, len(stub))
+        stub_balanced = [i for i, s in enumerate(stub) if s is not None]
+        unbalanced = [i for i, s in enumerate(stub) if s is None]
+        rng.shuffle(unbalanced)
+        while len(stub_balanced) < wanted and unbalanced:
+            index = unbalanced.pop()
+            stub[index] = _DiamondSpec(
+                width=2, per_packet=False, per_packet_mode="random",
+                per_packet_seed=rng.randrange(1 << 30), extra_hops=0,
+            )
+            stub_balanced.append(index)
+        rng.shuffle(stub_balanced)
+        cycle_count = min(cfg.n_cycle_stub_diamonds, len(stub_balanced))
+        for index in stub_balanced[:cycle_count]:
+            stub[index].extra_hops = 2
+        loop_count = min(cfg.n_loop_stub_diamonds,
+                         len(stub_balanced) - cycle_count)
+        for index in stub_balanced[cycle_count:cycle_count + loop_count]:
+            stub[index].extra_hops = 1
+        return tier1, transit, stub
+
+    def run(self) -> InternetTopology:
+        cfg = self.config
+        rng = self.rng
+
+        tier1_specs, transit_specs, stub_specs = self._draw_diamond_plan()
+        tier1s = [self._build_site(1, spec) for spec in tier1_specs]
+        transits = [self._build_site(2, spec) for spec in transit_specs]
+        stubs = [self._build_site(3, spec) for spec in stub_specs]
+        # The vantage-point side: university stub behind a "Renater"
+        # transit that is never load-balanced (the paper's first hops
+        # are clean).
+        renater = self._build_site(2, None)
+        university = self._build_site(3, None)
+
+        # Every tier-1 gets at least one transit customer (the paper's
+        # traces crossed all nine tier-1s) and every transit at least
+        # one stub where counts allow; remaining customers go randomly.
+        tier1_cycle = list(tier1s)
+        rng.shuffle(tier1_cycle)
+        for index, transit in enumerate(transits):
+            if index < len(tier1_cycle):
+                provider = tier1_cycle[index]
+            else:
+                provider = rng.choice(tier1s)
+            self._wire_customer(provider, transit)
+        self._wire_customer(rng.choice(tier1s), renater)
+        transit_cycle = list(transits)
+        rng.shuffle(transit_cycle)
+        for index, stub in enumerate(stubs):
+            if index < len(transit_cycle):
+                provider = transit_cycle[index]
+            else:
+                provider = rng.choice(transits)
+            self._wire_customer(provider, stub)
+        self._wire_customer(renater, university)
+
+        # Pick which destinations get the rare edge configurations.
+        total_dests = cfg.n_stub * cfg.dests_per_stub
+        special_count = min(total_dests,
+                            cfg.n_nat_dests + cfg.n_zero_ttl_dests)
+        special = rng.sample(range(total_dests), special_count)
+        nat_indices = set(special[:cfg.n_nat_dests])
+        zero_ttl_indices = set(special[cfg.n_nat_dests:])
+        for stub in stubs:
+            self._attach_hosts(stub, nat_indices, zero_ttl_indices)
+
+        source_address = self._host_address(university.asn)
+        source = MeasurementHost("S")
+        source.add_interface(source_address)
+        self.builder.net.add_node(source)
+        u_iface, __ = self.builder.connect(
+            university.exit, source,
+            addresses=self._link_addresses(university.asn))
+        university.exit.add_route(Prefix((source_address, 32)), u_iface)
+
+        self._install_cone_routes()
+        self._wire_tier1_mesh(tier1s)
+
+        # Never break the vantage point's own access path.
+        protected = {r.name for r in university.routers}
+        protected |= {r.name for r in renater.routers}
+        self._sprinkle_faults(protected)
+
+        network = self.builder.build()
+        self._schedule_dynamics(network)
+        return InternetTopology(
+            network=network,
+            source=source,
+            destinations=self.destinations,
+            asmap=self.asmap,
+            config=cfg,
+            sites=self.sites,
+            balancers=self.balancers,
+            nats=self.nats,
+            faulty=self.faulty,
+            dynamics=self.dynamics,
+        )

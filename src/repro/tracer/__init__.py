@@ -1,0 +1,38 @@
+"""The measurement tools: classic traceroute, tcptraceroute, Paris.
+
+All three drive the same hop-by-hop loop (:mod:`repro.tracer.base`)
+over a :class:`repro.sim.socketapi.ProbeSocket`; they differ only in
+how they build probes — i.e. which header fields they vary to tag each
+probe, the exact subject of the paper's Fig. 2:
+
+========================  =========================  ====================
+tool                      varies                     flow id across probes
+========================  =========================  ====================
+classic traceroute (UDP)  Destination Port           **changes** (bad)
+classic traceroute (ICMP) Sequence → Checksum        **changes** (bad)
+tcptraceroute             IP Identification          constant
+Paris traceroute (UDP)    Checksum (via payload)     constant
+Paris traceroute (ICMP)   Sequence+Identifier        constant
+Paris traceroute (TCP)    Sequence Number            constant
+========================  =========================  ====================
+"""
+
+from repro.tracer.result import Hop, ProbeReply, ReplyKind, TracerouteResult
+from repro.tracer.base import Traceroute, TracerouteOptions
+from repro.tracer.classic import ClassicTraceroute
+from repro.tracer.tcptraceroute import TcpTraceroute
+from repro.tracer.paris import ParisTraceroute
+from repro.tracer.checksum_payload import craft_payload_for_checksum
+
+__all__ = [
+    "Hop",
+    "ProbeReply",
+    "ReplyKind",
+    "TracerouteResult",
+    "Traceroute",
+    "TracerouteOptions",
+    "ClassicTraceroute",
+    "TcpTraceroute",
+    "ParisTraceroute",
+    "craft_payload_for_checksum",
+]

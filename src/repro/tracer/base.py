@@ -1,0 +1,170 @@
+"""The hop-by-hop tracing loop shared by every tool.
+
+The loop follows the paper's campaign parameters (Sec. 3): one probe
+per hop by default (classic traceroute's historical default of three is
+an option), a 2-second wait before the next probe, halt after eight
+consecutive non-responses, a 39-hop ceiling, and immediate halt on an
+ICMP Destination Unreachable — which is also how a UDP trace detects
+its destination (Port Unreachable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TracerError
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPEchoReply,
+    ICMPTimeExceeded,
+)
+from repro.net.inet import IPv4Address
+from repro.net.packet import Packet
+from repro.net.tcp import TCPHeader
+from repro.sim.socketapi import ProbeResponse, ProbeSocket
+from repro.tracer.probes import ProbeBuilder
+from repro.tracer.result import Hop, ProbeReply, ReplyKind, TracerouteResult
+
+
+@dataclass
+class TracerouteOptions:
+    """Loop parameters; defaults mirror the paper's campaign."""
+
+    min_ttl: int = 1
+    max_ttl: int = 39
+    probes_per_hop: int = 1
+    max_consecutive_stars: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_ttl <= self.max_ttl:
+            raise TracerError(
+                f"bad TTL range [{self.min_ttl}, {self.max_ttl}]"
+            )
+        if self.probes_per_hop < 1:
+            raise TracerError("need at least one probe per hop")
+        if self.max_consecutive_stars < 1:
+            raise TracerError("need a positive star budget")
+
+
+class Traceroute:
+    """Drive a :class:`ProbeBuilder` through the hop loop."""
+
+    #: Tool label recorded in results ("classic-udp", "paris-icmp"...).
+    tool: str = "abstract"
+
+    def __init__(self, socket: ProbeSocket,
+                 options: TracerouteOptions | None = None) -> None:
+        self.socket = socket
+        self.options = options or TracerouteOptions()
+
+    # -- subclasses provide the per-trace probe builder -----------------
+    def make_builder(self, destination: IPv4Address) -> ProbeBuilder:
+        """A fresh builder for one trace toward ``destination``."""
+        raise NotImplementedError
+
+    # -- the loop --------------------------------------------------------
+    def trace(
+        self,
+        destination: IPv4Address | str,
+        builder: ProbeBuilder | None = None,
+    ) -> TracerouteResult:
+        """Trace the route toward ``destination``.
+
+        ``builder`` overrides the tool's own probe construction — used
+        by Paris traceroute's path enumeration to pin a specific flow.
+        """
+        destination = IPv4Address(destination)
+        if builder is None:
+            builder = self.make_builder(destination)
+        result = TracerouteResult(
+            tool=self.tool,
+            source=self.socket.source_address,
+            destination=destination,
+            started_at=self.socket.network.clock.now,
+        )
+        consecutive_stars = 0
+        halt = None
+        for ttl in range(self.options.min_ttl, self.options.max_ttl + 1):
+            hop = Hop(ttl=ttl)
+            result.hops.append(hop)
+            for __ in range(self.options.probes_per_hop):
+                probe = builder.build(ttl)
+                result.flow_keys.append(builder.flow_key(probe))
+                response = self.socket.send_probe(probe.build())
+                reply = self._interpret(builder, probe, response)
+                hop.replies.append(reply)
+                if reply.is_star:
+                    consecutive_stars += 1
+                else:
+                    consecutive_stars = 0
+                halt = halt or self._halt_reason(probe, response, reply)
+            if halt:
+                break
+            if consecutive_stars >= self.options.max_consecutive_stars:
+                halt = "stars"
+                break
+        result.halt_reason = halt or "max-ttl"
+        result.finished_at = self.socket.network.clock.now
+        return result
+
+    # -- helpers ----------------------------------------------------------
+    def _interpret(
+        self,
+        builder: ProbeBuilder,
+        probe: Packet,
+        response: ProbeResponse | None,
+    ) -> ProbeReply:
+        """Turn a raw response (or timeout) into a :class:`ProbeReply`."""
+        if response is None:
+            return ProbeReply.star()
+        packet = response.packet
+        matched = builder.matches(probe, packet)
+        if not matched:
+            # A response we cannot tie to our probe: the real tool would
+            # keep waiting and eventually print a star.
+            return ProbeReply(kind=ReplyKind.STAR, matched=False)
+        transport = packet.transport
+        common = dict(
+            address=packet.src,
+            rtt=response.rtt,
+            response_ttl=packet.ttl,
+            ip_id=packet.ip.identification,
+        )
+        if isinstance(transport, ICMPTimeExceeded):
+            return ProbeReply(kind=ReplyKind.TIME_EXCEEDED,
+                              probe_ttl=transport.probe_ttl, **common)
+        if isinstance(transport, ICMPDestinationUnreachable):
+            return ProbeReply(
+                kind=ReplyKind.DEST_UNREACHABLE,
+                probe_ttl=transport.probe_ttl,
+                unreachable_flag=transport.unreachable_code.traceroute_flag,
+                **common,
+            )
+        if isinstance(transport, ICMPEchoReply):
+            return ProbeReply(kind=ReplyKind.ECHO_REPLY, **common)
+        if isinstance(transport, TCPHeader):
+            return ProbeReply(kind=ReplyKind.TCP_RESPONSE, **common)
+        return ProbeReply(kind=ReplyKind.STAR, matched=False)
+
+    def _halt_reason(
+        self,
+        probe: Packet,
+        response: ProbeResponse | None,
+        reply: ProbeReply,
+    ) -> str | None:
+        """Paper rules: unreachable halts; reaching the destination halts."""
+        if response is None or reply.is_star:
+            return None
+        if reply.kind is ReplyKind.DEST_UNREACHABLE:
+            # Port Unreachable means the probe reached its destination's
+            # UDP stack (even if a gateway rewrote the answer's source,
+            # as behind the Fig. 5 NAT); any other unreachable code is a
+            # failure ('!H', '!N'...) but halts all the same.
+            if reply.unreachable_flag == "":
+                return "destination"
+            return "unreachable"
+        if reply.kind is ReplyKind.ECHO_REPLY and reply.address == probe.dst:
+            return "destination"
+        if reply.kind is ReplyKind.TCP_RESPONSE:
+            return "destination"
+        return None

@@ -1,0 +1,67 @@
+"""Classic (Jacobson) traceroute, UDP and ICMP Echo modes.
+
+The campaign instance the paper runs is NetBSD traceroute 1.4a5 with
+one UDP probe per hop: Source Port = PID + 32,768, Destination Port
+starting at 33,435 and incremented with each probe sent.  That
+increment is precisely what per-flow load balancers key on — every
+probe of a classic trace may ride a different path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TracerError
+from repro.net.inet import IPv4Address
+from repro.sim.socketapi import ProbeSocket
+from repro.tracer.base import Traceroute, TracerouteOptions
+from repro.tracer.probes import (
+    ClassicIcmpBuilder,
+    ClassicUdpBuilder,
+    ProbeBuilder,
+)
+
+
+class ClassicTraceroute(Traceroute):
+    """Jacobson's traceroute with per-probe varying tags.
+
+    Each :meth:`trace` models one freshly-spawned traceroute process:
+    it draws a new PID (hence a new Source Port, PID + 32,768) and
+    restarts the Destination Port at 33,435.  ``pid`` seeds the PID
+    sequence; pass ``fixed_pid=True`` to pin one PID for every trace
+    (useful for deterministic single-trace tests).
+    """
+
+    def __init__(
+        self,
+        socket: ProbeSocket,
+        method: str = "udp",
+        pid: int = 4242,
+        fixed_pid: bool = True,
+        options: TracerouteOptions | None = None,
+    ) -> None:
+        if method not in ("udp", "icmp"):
+            raise TracerError(
+                f"classic traceroute probes with udp or icmp, not {method!r}"
+            )
+        super().__init__(socket, options)
+        self.method = method
+        self.pid = pid
+        self.fixed_pid = fixed_pid
+        self._pid_rng = random.Random(pid)
+        self.tool = f"classic-{method}"
+
+    def next_pid(self) -> int:
+        """The PID of the next simulated traceroute process."""
+        if self.fixed_pid:
+            return self.pid
+        return self._pid_rng.randint(2, 30000)
+
+    def make_builder(self, destination: IPv4Address) -> ProbeBuilder:
+        """Fresh per-trace state, as each traceroute process would have."""
+        pid = self.next_pid()
+        if self.method == "udp":
+            return ClassicUdpBuilder(
+                self.socket.source_address, destination, pid=pid)
+        return ClassicIcmpBuilder(
+            self.socket.source_address, destination, pid=pid)

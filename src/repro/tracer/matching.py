@@ -1,0 +1,138 @@
+"""Matching responses to the probes that elicited them.
+
+"A router that sends an ICMP Time Exceeded response encapsulates the IP
+header of the packet that it discarded, plus the first eight octets of
+data" (paper Sec. 2.1, citing RFC 792).  For UDP probes those eight
+octets are the *entire UDP header*; for ICMP Echo probes they cover
+Type/Code/Checksum/Identifier/Sequence; for TCP they cover the ports
+and the Sequence Number.  Each tool matches on whatever field it varies:
+
+====================  =================================================
+classic UDP           quoted UDP Destination Port
+Paris UDP             quoted UDP Checksum
+classic / Paris ICMP  quoted (Identifier, Sequence) — or the Echo Reply
+tcptraceroute         quoted IP header's Identification
+Paris TCP             quoted TCP Sequence Number — or the SYN-ACK/RST
+====================  =================================================
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPEchoReply,
+    ICMPEchoRequest,
+    ICMPTimeExceeded,
+)
+from repro.net.packet import Packet
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+ICMP_ERROR = (ICMPTimeExceeded, ICMPDestinationUnreachable)
+
+
+def quoted_probe_of(response: Packet):
+    """The (quoted IP header, quoted 8 octets) of an ICMP error, or None."""
+    transport = response.transport
+    if isinstance(transport, ICMP_ERROR):
+        return transport.quoted_header, transport.quoted_payload
+    return None
+
+
+def _quote_matches_addresses(probe: Packet, quoted_header) -> bool:
+    """The quote must describe a packet we actually sent."""
+    return (quoted_header.src == probe.src
+            and quoted_header.dst == probe.dst
+            and int(quoted_header.protocol) == int(probe.ip.protocol))
+
+
+def match_udp(probe: Packet, response: Packet, key: str) -> bool:
+    """Match a UDP probe against an ICMP error quoting it.
+
+    ``key`` selects the tag field: ``"dst_port"`` (classic traceroute)
+    or ``"checksum"`` (Paris traceroute).
+    """
+    if not isinstance(probe.transport, UDPHeader):
+        return False
+    quote = quoted_probe_of(response)
+    if quote is None:
+        return False
+    quoted_header, quoted_bytes = quote
+    if not _quote_matches_addresses(probe, quoted_header):
+        return False
+    if len(quoted_bytes) < 8:
+        return False
+    src_port, dst_port, __, quoted_checksum = struct.unpack(
+        "!HHHH", quoted_bytes[:8])
+    if src_port != probe.transport.src_port:
+        return False
+    if key == "dst_port":
+        return dst_port == probe.transport.dst_port
+    if key == "checksum":
+        # The probe's checksum on the wire: rebuild its transport bytes.
+        wire = probe.transport_bytes()
+        probe_checksum = struct.unpack("!H", wire[6:8])[0]
+        return (dst_port == probe.transport.dst_port
+                and quoted_checksum == probe_checksum)
+    raise ValueError(f"unknown UDP match key: {key!r}")
+
+
+def match_icmp_echo(probe: Packet, response: Packet) -> bool:
+    """Match an Echo probe: via the quote, or via the Echo Reply."""
+    if not isinstance(probe.transport, ICMPEchoRequest):
+        return False
+    sent = probe.transport
+    transport = response.transport
+    if isinstance(transport, ICMPEchoReply):
+        return (transport.identifier == sent.identifier
+                and transport.sequence == sent.sequence
+                and response.src == probe.dst)
+    quote = quoted_probe_of(response)
+    if quote is None:
+        return False
+    quoted_header, quoted_bytes = quote
+    if not _quote_matches_addresses(probe, quoted_header):
+        return False
+    if len(quoted_bytes) < 8:
+        return False
+    icmp_type, __, ___, identifier, sequence = struct.unpack(
+        "!BBHHH", quoted_bytes[:8])
+    return (icmp_type == 8
+            and identifier == sent.identifier
+            and sequence == sent.sequence)
+
+
+def match_tcp(probe: Packet, response: Packet, key: str) -> bool:
+    """Match a TCP probe via quote (``seq``/``ip_id``) or via the reply.
+
+    A SYN-ACK or RST from the destination acknowledges ``seq + 1`` with
+    the port pair mirrored — that is how both TCP tools recognize the
+    end of a trace.
+    """
+    if not isinstance(probe.transport, TCPHeader):
+        return False
+    sent = probe.transport
+    transport = response.transport
+    if isinstance(transport, TCPHeader):
+        return (response.src == probe.dst
+                and transport.src_port == sent.dst_port
+                and transport.dst_port == sent.src_port
+                and transport.ack == (sent.seq + 1) & 0xFFFFFFFF)
+    quote = quoted_probe_of(response)
+    if quote is None:
+        return False
+    quoted_header, quoted_bytes = quote
+    if not _quote_matches_addresses(probe, quoted_header):
+        return False
+    if key == "ip_id":
+        return quoted_header.identification == probe.ip.identification
+    if key == "seq":
+        if len(quoted_bytes) < 8:
+            return False
+        src_port, dst_port, seq = struct.unpack("!HHI", quoted_bytes[:8])
+        return (src_port == sent.src_port
+                and dst_port == sent.dst_port
+                and seq == sent.seq)
+    raise ValueError(f"unknown TCP match key: {key!r}")

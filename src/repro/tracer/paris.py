@@ -1,0 +1,198 @@
+"""Paris traceroute: constant flow identifier, per-probe unique tags.
+
+The paper's tool (Sec. 2.2).  For each trace the five-tuple is fixed —
+the campaign draws Source and Destination Ports uniformly from
+[10,000, 60,000] — so every probe of the trace follows one path through
+per-flow load balancers.  Probes are tagged through fields *outside*
+the balanced first four transport octets:
+
+- UDP: the Checksum, reached honestly by crafting the payload;
+- ICMP Echo: the (Identifier, Sequence) pair, co-varied to pin the
+  Checksum;
+- TCP: the Sequence Number.
+
+Beyond plain tracing, this class implements the paper's future-work
+items (Sec. 6): :meth:`enumerate_paths` deliberately *varies* the flow
+identifier to expose all interfaces of a load balancer, and
+:meth:`classify_balancer` distinguishes per-flow from per-packet
+balancing by re-probing one hop with identical versus distinct flows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import TracerError
+from repro.net.inet import IPv4Address
+from repro.sim.socketapi import ProbeSocket
+from repro.tracer.base import Traceroute, TracerouteOptions
+from repro.tracer.probes import (
+    ParisIcmpBuilder,
+    ParisTcpBuilder,
+    ParisUdpBuilder,
+    ProbeBuilder,
+)
+from repro.tracer.result import TracerouteResult
+
+#: The campaign's port range: "Source and Destination Port values
+#: chosen at random from the range [10,000, 60,000]".
+PORT_RANGE = (10000, 60000)
+
+
+@dataclass
+class PathEnumeration:
+    """What :meth:`ParisTraceroute.enumerate_paths` discovered."""
+
+    destination: IPv4Address
+    routes: list[TracerouteResult]
+    #: ttl -> set of addresses seen across flows at that hop.
+    interfaces_per_hop: dict[int, set[IPv4Address]] = field(
+        default_factory=dict)
+
+    @property
+    def branching_hops(self) -> list[int]:
+        """Hops where more than one interface answered across flows."""
+        return sorted(ttl for ttl, addresses
+                      in self.interfaces_per_hop.items()
+                      if len(addresses) > 1)
+
+    @property
+    def max_width(self) -> int:
+        """The widest per-hop interface set observed."""
+        if not self.interfaces_per_hop:
+            return 0
+        return max(len(a) for a in self.interfaces_per_hop.values())
+
+
+@dataclass
+class BalancerVerdict:
+    """What :meth:`ParisTraceroute.classify_balancer` concluded."""
+
+    ttl: int
+    same_flow_addresses: set[IPv4Address]
+    varied_flow_addresses: set[IPv4Address]
+
+    @property
+    def kind(self) -> str:
+        """"per-packet", "per-flow", or "none".
+
+        Spread under one flow means the balancer ignores the flow id
+        (per-packet).  Spread only across flows means it honours it
+        (per-flow).  No spread at all means no balancing was visible
+        at this hop.
+        """
+        if len(self.same_flow_addresses) > 1:
+            return "per-packet"
+        if len(self.varied_flow_addresses) > 1:
+            return "per-flow"
+        return "none"
+
+
+class ParisTraceroute(Traceroute):
+    """The paper's tool, in all three probing modes."""
+
+    def __init__(
+        self,
+        socket: ProbeSocket,
+        method: str = "udp",
+        seed: int = 0,
+        options: TracerouteOptions | None = None,
+    ) -> None:
+        if method not in ("udp", "icmp", "tcp"):
+            raise TracerError(
+                f"paris traceroute probes with udp, icmp or tcp, "
+                f"not {method!r}"
+            )
+        super().__init__(socket, options)
+        self.method = method
+        self.tool = f"paris-{method}"
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def make_builder(self, destination: IPv4Address,
+                     flow_index: int | None = None) -> ProbeBuilder:
+        """A fresh builder with a (seeded-)random constant five-tuple.
+
+        ``flow_index`` derives a *deterministic distinct* flow for path
+        enumeration; None draws the trace's flow from the tool RNG.
+        """
+        source = self.socket.source_address
+        if flow_index is None:
+            draw = self._rng
+        else:
+            draw = random.Random(hash((self._seed, flow_index,
+                                       int(destination))))
+        src_port = draw.randint(*PORT_RANGE)
+        dst_port = draw.randint(*PORT_RANGE)
+        if self.method == "udp":
+            return ParisUdpBuilder(source, destination,
+                                   src_port=src_port, dst_port=dst_port,
+                                   first_tag=draw.randint(1, 0xFFF0))
+        if self.method == "icmp":
+            return ParisIcmpBuilder(source, destination,
+                                    checksum_anchor=draw.randint(1, 0xFFFE))
+        return ParisTcpBuilder(source, destination,
+                               src_port=src_port,
+                               first_seq=draw.randrange(1 << 31))
+
+    # ------------------------------------------------------------------
+    # future-work features (paper Sec. 6)
+    # ------------------------------------------------------------------
+    def enumerate_paths(
+        self,
+        destination: IPv4Address | str,
+        flows: int = 16,
+    ) -> PathEnumeration:
+        """Trace ``flows`` distinct flow identifiers toward a destination.
+
+        Each flow yields one consistent route under per-flow balancing;
+        their union exposes every balancer interface that the hash
+        spreads these flows over.  Sixteen flows cover the widest
+        equal-cost fan-out the paper mentions (Juniper's sixteen).
+        """
+        destination = IPv4Address(destination)
+        routes: list[TracerouteResult] = []
+        interfaces: dict[int, set[IPv4Address]] = {}
+        for flow_index in range(flows):
+            builder = self.make_builder(destination, flow_index=flow_index)
+            result = self.trace(destination, builder=builder)
+            routes.append(result)
+            for hop in result.hops:
+                for address in hop.addresses:
+                    interfaces.setdefault(hop.ttl, set()).add(address)
+        return PathEnumeration(destination=destination, routes=routes,
+                               interfaces_per_hop=interfaces)
+
+    def classify_balancer(
+        self,
+        destination: IPv4Address | str,
+        ttl: int,
+        attempts: int = 12,
+    ) -> BalancerVerdict:
+        """Distinguish per-flow from per-packet balancing at one hop.
+
+        First re-probe hop ``ttl`` with *identical* flow identifiers:
+        any spread must come from per-packet balancing.  Then probe with
+        ``attempts`` distinct flows: spread here (absent same-flow
+        spread) reveals per-flow balancing.
+        """
+        destination = IPv4Address(destination)
+        same_flow: set[IPv4Address] = set()
+        builder = self.make_builder(destination, flow_index=0)
+        for __ in range(attempts):
+            probe = builder.build(ttl)
+            response = self.socket.send_probe(probe.build())
+            if response is not None and builder.matches(probe,
+                                                        response.packet):
+                same_flow.add(response.packet.src)
+        varied_flow: set[IPv4Address] = set()
+        for flow_index in range(attempts):
+            builder = self.make_builder(destination, flow_index=flow_index)
+            probe = builder.build(ttl)
+            response = self.socket.send_probe(probe.build())
+            if response is not None and builder.matches(probe,
+                                                        response.packet):
+                varied_flow.add(response.packet.src)
+        return BalancerVerdict(ttl=ttl, same_flow_addresses=same_flow,
+                               varied_flow_addresses=varied_flow)

@@ -1,0 +1,170 @@
+"""Traceroute results: hops, replies, and the paper's measured route.
+
+A :class:`ProbeReply` carries the three forensic attributes Paris
+traceroute surfaces beyond the classic output (paper Sec. 2.2):
+
+- ``probe_ttl`` — the TTL of the quoted probe inside an ICMP error
+  (normally 1; 0 betrays zero-TTL forwarding, Fig. 4);
+- ``response_ttl`` — the TTL of the response packet on arrival, which
+  bounds the return-path length (the NAT gradient of Fig. 5);
+- ``ip_id`` — the response's IP Identification, a per-router counter
+  used to tie addresses to boxes.
+
+:meth:`TracerouteResult.measured_route` produces the paper's formal
+object: the ℓ-tuple ``(r0, ..., rℓ)`` where ``r0`` is the source and
+each ``ri`` is the hop-``i`` address or a star (None).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.inet import IPv4Address
+
+
+class ReplyKind(enum.Enum):
+    """What kind of answer a probe drew."""
+
+    TIME_EXCEEDED = "time-exceeded"
+    DEST_UNREACHABLE = "dest-unreachable"
+    ECHO_REPLY = "echo-reply"
+    TCP_RESPONSE = "tcp-response"
+    STAR = "star"
+
+
+@dataclass
+class ProbeReply:
+    """One probe's outcome."""
+
+    kind: ReplyKind
+    address: Optional[IPv4Address] = None
+    rtt: Optional[float] = None
+    probe_ttl: Optional[int] = None
+    response_ttl: Optional[int] = None
+    ip_id: Optional[int] = None
+    unreachable_flag: str = ""
+    matched: bool = True
+
+    @property
+    def is_star(self) -> bool:
+        """True for a timeout (rendered ``*``)."""
+        return self.kind is ReplyKind.STAR
+
+    @classmethod
+    def star(cls) -> "ProbeReply":
+        """The canonical no-answer reply."""
+        return cls(kind=ReplyKind.STAR, matched=False)
+
+
+@dataclass
+class Hop:
+    """All replies collected at one TTL."""
+
+    ttl: int
+    replies: list[ProbeReply] = field(default_factory=list)
+
+    @property
+    def addresses(self) -> list[IPv4Address]:
+        """Distinct responding addresses at this hop, in reply order."""
+        seen: list[IPv4Address] = []
+        for reply in self.replies:
+            if reply.address is not None and reply.address not in seen:
+                seen.append(reply.address)
+        return seen
+
+    @property
+    def first_address(self) -> Optional[IPv4Address]:
+        """The first responding address, or None if all probes starred."""
+        for reply in self.replies:
+            if reply.address is not None:
+                return reply.address
+        return None
+
+    @property
+    def all_stars(self) -> bool:
+        """True when every probe at this hop timed out."""
+        return all(reply.is_star for reply in self.replies)
+
+
+@dataclass
+class TracerouteResult:
+    """A finished trace."""
+
+    tool: str
+    source: IPv4Address
+    destination: IPv4Address
+    hops: list[Hop] = field(default_factory=list)
+    halt_reason: str = "unfinished"
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: The flow key(s) the tool's probe stream spanned; one entry means
+    #: the tool held the flow identifier constant (Paris's guarantee).
+    flow_keys: list[bytes] = field(default_factory=list)
+
+    @property
+    def reached(self) -> bool:
+        """True when the destination itself answered."""
+        return self.halt_reason == "destination"
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated seconds."""
+        return self.finished_at - self.started_at
+
+    @property
+    def last_hop(self) -> Optional[Hop]:
+        """The deepest hop probed."""
+        return self.hops[-1] if self.hops else None
+
+    def hop(self, ttl: int) -> Optional[Hop]:
+        """The hop probed with ``ttl``, if any."""
+        for candidate in self.hops:
+            if candidate.ttl == ttl:
+                return candidate
+        return None
+
+    def measured_route(self) -> list[Optional[IPv4Address]]:
+        """The paper's ℓ-tuple: source, then one entry per probed TTL.
+
+        Entry ``i`` (for ``i >= 1``) is the address received when
+        probing with TTL ``i``, or None for a star.  When several
+        probes were sent per hop, the first response stands (the
+        skitter/arts++ convention the paper mentions).
+        """
+        if not self.hops:
+            return [self.source]
+        max_ttl = max(h.ttl for h in self.hops)
+        route: list[Optional[IPv4Address]] = [self.source]
+        by_ttl = {h.ttl: h for h in self.hops}
+        for ttl in range(1, max_ttl + 1):
+            hop = by_ttl.get(ttl)
+            route.append(hop.first_address if hop is not None else None)
+        return route
+
+    def responding_addresses(self) -> set[IPv4Address]:
+        """Every distinct address that answered in this trace."""
+        found: set[IPv4Address] = set()
+        for hop in self.hops:
+            found.update(hop.addresses)
+        return found
+
+    def star_count(self) -> int:
+        """Number of probes that timed out."""
+        return sum(1 for hop in self.hops for r in hop.replies if r.is_star)
+
+    def response_count(self) -> int:
+        """Number of probes that drew an answer."""
+        return sum(1 for hop in self.hops for r in hop.replies
+                   if not r.is_star)
+
+    @property
+    def constant_flow(self) -> bool:
+        """True when all probes shared one flow identifier."""
+        return len(set(self.flow_keys)) <= 1
+
+    def text(self) -> str:
+        """Classic traceroute-style text rendering (see tracer.text)."""
+        from repro.tracer.text import render
+        return render(self)

@@ -1,0 +1,47 @@
+"""Toren's tcptraceroute.
+
+Sends TCP SYN probes with Destination Port 80 ("emulating web traffic
+and thus more easily traverse firewalls") and a constant port pair —
+tagging probes through the IP Identification field instead.  The paper
+notes this keeps the flow identifier constant as a side effect, though
+"no prior work has examined the effect, with respect to load balancing,
+of maintaining a constant flow identifier".
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.inet import IPv4Address
+from repro.sim.socketapi import ProbeSocket
+from repro.tracer.base import Traceroute, TracerouteOptions
+from repro.tracer.probes import (
+    TCPTRACEROUTE_DST_PORT,
+    ProbeBuilder,
+    TcpTracerouteBuilder,
+)
+
+
+class TcpTraceroute(Traceroute):
+    """tcptraceroute: TCP SYNs to port 80, IP-ID probe tagging."""
+
+    tool = "tcptraceroute"
+
+    def __init__(
+        self,
+        socket: ProbeSocket,
+        dst_port: int = TCPTRACEROUTE_DST_PORT,
+        seed: int = 0,
+        options: TracerouteOptions | None = None,
+    ) -> None:
+        super().__init__(socket, options)
+        self.dst_port = dst_port
+        self._rng = random.Random(seed)
+
+    def make_builder(self, destination: IPv4Address) -> ProbeBuilder:
+        return TcpTracerouteBuilder(
+            self.socket.source_address, destination,
+            src_port=self._rng.randint(32768, 61000),
+            dst_port=self.dst_port,
+            seq=self._rng.randrange(1 << 32),
+        )

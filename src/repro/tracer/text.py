@@ -1,0 +1,59 @@
+"""Classic traceroute-style text output.
+
+Renders a :class:`repro.tracer.result.TracerouteResult` the way the
+command-line tools print it, including the ``!H``/``!N`` annotations
+the paper uses to recognize unreachability-message loops, plus the
+extra columns Paris traceroute surfaces (probe TTL when anomalous,
+IP ID, response TTL) when ``verbose`` is set.
+"""
+
+from __future__ import annotations
+
+from repro.tracer.result import ProbeReply, ReplyKind, TracerouteResult
+
+
+def render(result: TracerouteResult, verbose: bool = False) -> str:
+    """Multi-line, human-readable trace output."""
+    header = (
+        f"{result.tool} to {result.destination}, "
+        f"{max((h.ttl for h in result.hops), default=0)} hops max"
+    )
+    lines = [header]
+    for hop in result.hops:
+        lines.append(_hop_line(hop.ttl, hop.replies, verbose))
+    lines.append(f"# halted: {result.halt_reason} "
+                 f"after {result.duration:.2f} s")
+    return "\n".join(lines)
+
+
+def _hop_line(ttl: int, replies: list[ProbeReply], verbose: bool) -> str:
+    cells = []
+    previous_address = None
+    for reply in replies:
+        if reply.is_star:
+            cells.append("*")
+            continue
+        cell = ""
+        if reply.address != previous_address:
+            cell = str(reply.address)
+            previous_address = reply.address
+        if reply.rtt is not None:
+            cell += f"  {reply.rtt * 1000:.3f} ms"
+        if reply.unreachable_flag:
+            cell += f" {reply.unreachable_flag}"
+        if verbose:
+            extras = []
+            if reply.probe_ttl is not None and reply.probe_ttl != 1:
+                extras.append(f"pTTL={reply.probe_ttl}")
+            if reply.response_ttl is not None:
+                extras.append(f"rTTL={reply.response_ttl}")
+            if reply.ip_id is not None:
+                extras.append(f"id={reply.ip_id}")
+            if extras:
+                cell += "  [" + " ".join(extras) + "]"
+        if reply.kind is ReplyKind.ECHO_REPLY:
+            cell += "  (echo reply)"
+        elif reply.kind is ReplyKind.TCP_RESPONSE:
+            cell += "  [tcp]"
+        cells.append(cell.strip())
+    return f"{ttl:2d}  " + "  ".join(cells)

@@ -1,0 +1,121 @@
+"""Tests for the per-experiment analysis drivers."""
+
+import pytest
+
+from repro.analysis import (
+    ambiguous_links_probability,
+    header_role_matrix,
+    missing_device_probability,
+    run_calibrated_campaign,
+    run_figure1_experiment,
+    run_setup_experiment,
+)
+from repro.analysis.headerroles import PAPER_EXPECTATION, format_matrix
+from repro.core.classify import AnomalyCause
+from repro.topology import InternetConfig
+
+
+class TestFigure1Math:
+    def test_paper_values_exact(self):
+        assert missing_device_probability(3, 2) == pytest.approx(0.25)
+        assert ambiguous_links_probability(3, 2) == pytest.approx(0.9375)
+
+    def test_more_probes_reduce_missing(self):
+        assert (missing_device_probability(5, 2)
+                < missing_device_probability(3, 2))
+
+    def test_wider_balancers_increase_missing(self):
+        assert (missing_device_probability(3, 4)
+                > missing_device_probability(3, 2))
+
+    def test_one_probe_always_misses_something(self):
+        assert missing_device_probability(1, 2) == pytest.approx(1.0)
+
+    def test_monte_carlo_converges(self):
+        result = run_figure1_experiment(trials=120)
+        assert result.empirical_missing == pytest.approx(0.25, abs=0.12)
+        assert result.empirical_ambiguous == pytest.approx(0.9375, abs=0.08)
+        assert result.false_link_frequency > 0
+        assert "Fig. 1" in result.format_table()
+
+
+class TestHeaderRoles:
+    def test_matrix_matches_paper_for_all_tools(self):
+        rows = header_role_matrix()
+        assert len(rows) == len(PAPER_EXPECTATION)
+        for row in rows:
+            expected_fields, expected_constant = PAPER_EXPECTATION[row.tool]
+            assert set(row.varied_fields) == expected_fields, row.tool
+            assert row.flow_constant == expected_constant, row.tool
+
+    def test_format_marks_agreement(self):
+        text = format_matrix(header_role_matrix())
+        assert text.count("[matches Fig. 2]") == len(PAPER_EXPECTATION)
+        assert "DIFFERS" not in text
+
+
+@pytest.fixture(scope="module")
+def mini_campaign():
+    """One shared scaled-down calibrated campaign for shape tests."""
+    internet = InternetConfig(
+        seed=11, n_tier1=4, n_transit=8, n_stub=16, dests_per_stub=4,
+        n_loop_stub_diamonds=3, n_cycle_stub_diamonds=1,
+        n_nat_dests=1, n_zero_ttl_dests=1,
+    )
+    return run_calibrated_campaign(seed=11, rounds=6, internet=internet)
+
+
+class TestCalibratedCampaign:
+    def test_loop_shape(self, mini_campaign):
+        loops = mini_campaign.loops
+        # Loops exist but are the minority of routes.
+        assert 0 < loops.pct_routes < 30
+        # Per-flow load balancing dominates the causes (paper: 87 %).
+        assert (loops.causes.share(AnomalyCause.PER_FLOW_LB)
+                > loops.causes.share(AnomalyCause.ZERO_TTL_FORWARDING))
+        assert loops.causes.share(AnomalyCause.PER_FLOW_LB) > 50
+
+    def test_cycles_much_rarer_than_loops(self, mini_campaign):
+        assert (mini_campaign.cycles.pct_routes
+                < mini_campaign.loops.pct_routes)
+
+    def test_diamonds_widespread(self, mini_campaign):
+        diamonds = mini_campaign.diamonds
+        assert diamonds.pct_destinations > 30
+        # Paris removes a large share of classic's diamonds (paper: 64 %).
+        assert diamonds.perflow_share > 30
+
+    def test_paris_sees_fewer_anomalies(self, mini_campaign):
+        from repro.core.loops import find_loops
+        classic = mini_campaign.result.classic_routes()
+        paris = mini_campaign.result.paris_routes()
+        classic_loops = sum(1 for r in classic if find_loops(r))
+        paris_loops = sum(1 for r in paris if find_loops(r))
+        assert paris_loops < classic_loops
+
+    def test_tables_render(self, mini_campaign):
+        text = mini_campaign.format_tables()
+        assert "Loops (paper Sec. 4.1.2)" in text
+        assert "Cycles (paper Sec. 4.2.2)" in text
+        assert "Diamonds (paper Sec. 4.3.2)" in text
+
+
+class TestSetupExperiment:
+    def test_report_contains_both_sides(self):
+        internet = InternetConfig(seed=5, n_tier1=3, n_transit=4,
+                                  n_stub=8, dests_per_stub=2)
+        experiment = run_setup_experiment(seed=5, rounds=2,
+                                          internet=internet)
+        report = experiment.format_report()
+        assert "rounds completed" in report
+        assert "paper (for scale reference)" in report
+        assert experiment.stats.rounds == 2
+
+    def test_tier1_coverage_shape(self):
+        internet = InternetConfig(seed=5, n_tier1=3, n_transit=4,
+                                  n_stub=8, dests_per_stub=2)
+        experiment = run_setup_experiment(seed=5, rounds=1,
+                                          internet=internet)
+        # Paths cross most tier-1s, as in the paper (9 of 9 there).
+        assert experiment.stats.tier1_covered >= 1
+        assert experiment.stats.tier1_total == 3

@@ -1,0 +1,51 @@
+"""Builders for hand-crafted measured routes used across core tests."""
+
+from typing import Optional
+
+from repro.core.route import MeasuredRoute, RouteHop
+from repro.net.inet import IPv4Address
+from repro.tracer.result import ReplyKind
+
+SOURCE = IPv4Address("10.0.0.1")
+DEST = IPv4Address("10.9.0.1")
+
+
+def addr(last: int) -> IPv4Address:
+    """Shorthand test address 10.1.0.<last>."""
+    return IPv4Address(f"10.1.0.{last}")
+
+
+def route_from(
+    addresses: list[Optional[int]],
+    tool: str = "classic-udp",
+    round_index: int = 0,
+    destination: IPv4Address = DEST,
+    probe_ttls: Optional[dict[int, int]] = None,
+    response_ttls: Optional[dict[int, int]] = None,
+    ip_ids: Optional[dict[int, int]] = None,
+    flags: Optional[dict[int, str]] = None,
+) -> MeasuredRoute:
+    """A measured route from a list of last-octet ints (None = star).
+
+    Per-hop attribute dicts are keyed by TTL (1-based).
+    """
+    probe_ttls = probe_ttls or {}
+    response_ttls = response_ttls or {}
+    ip_ids = ip_ids or {}
+    flags = flags or {}
+    hops = []
+    for index, last in enumerate(addresses, start=1):
+        address = None if last is None else addr(last)
+        hops.append(RouteHop(
+            ttl=index,
+            address=address,
+            probe_ttl=probe_ttls.get(index, 1 if address else None),
+            response_ttl=response_ttls.get(index, 250 if address else None),
+            ip_id=ip_ids.get(index),
+            unreachable_flag=flags.get(index, ""),
+            kind=ReplyKind.TIME_EXCEEDED if address else ReplyKind.STAR,
+        ))
+    return MeasuredRoute(
+        source=SOURCE, destination=destination, hops=hops,
+        tool=tool, round_index=round_index,
+    )

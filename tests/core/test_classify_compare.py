@@ -1,0 +1,189 @@
+"""Tests for cause classification and classic/Paris differentials."""
+
+import pytest
+
+from repro.core.classify import (
+    AnomalyCause,
+    classify_cycle,
+    classify_loop,
+    classify_route_loops,
+)
+from repro.core.compare import (
+    differential_cycles,
+    differential_loops,
+    pair_up,
+)
+from repro.core.cycles import find_cycles
+from repro.core.loops import find_loops
+
+from tests.core.helpers import addr, route_from
+
+
+def loop_instance(route):
+    instances = find_loops(route)
+    assert instances, "fixture route has no loop"
+    return instances[0]
+
+
+class TestLoopClassification:
+    def test_perflow_when_paris_twin_is_clean(self):
+        classic = route_from([1, 2, 2, 3], tool="classic-udp")
+        paris = route_from([1, 2, 4, 3], tool="paris-udp")
+        cause = classify_loop(loop_instance(classic), paris)
+        assert cause is AnomalyCause.PER_FLOW_LB
+
+    def test_not_perflow_when_paris_sees_it_too(self):
+        classic = route_from([1, 2, 2, 3], tool="classic-udp")
+        paris = route_from([1, 2, 2, 3], tool="paris-udp")
+        cause = classify_loop(loop_instance(classic), paris)
+        assert cause is AnomalyCause.PER_PACKET_OR_UNKNOWN
+
+    def test_zero_ttl_signature(self):
+        route = route_from([1, 2, 2, 3],
+                           probe_ttls={2: 0, 3: 1},
+                           ip_ids={2: 100, 3: 101})
+        cause = classify_loop(loop_instance(route), None)
+        assert cause is AnomalyCause.ZERO_TTL_FORWARDING
+
+    def test_zero_ttl_beats_perflow_differential(self):
+        # Even with a clean Paris twin, the probe-TTL signature is
+        # mechanism-specific and wins.
+        classic = route_from([1, 2, 2, 3],
+                             probe_ttls={2: 0, 3: 1},
+                             ip_ids={2: 5, 3: 6})
+        paris = route_from([1, 2, 4, 3], tool="paris-udp")
+        assert classify_loop(loop_instance(classic), paris) is \
+            AnomalyCause.ZERO_TTL_FORWARDING
+
+    def test_zero_ttl_requires_ip_id_continuity(self):
+        route = route_from([1, 2, 2, 3],
+                           probe_ttls={2: 0, 3: 1},
+                           ip_ids={2: 100, 3: 9000})
+        assert classify_loop(loop_instance(route), None) is not \
+            AnomalyCause.ZERO_TTL_FORWARDING
+
+    def test_unreachability_signature(self):
+        route = route_from([1, 2, 3, 3], flags={4: "!H"})
+        assert classify_loop(loop_instance(route), None) is \
+            AnomalyCause.UNREACHABLE_MESSAGE
+
+    def test_unreachability_needs_route_end(self):
+        route = route_from([1, 3, 3, 4], flags={3: "!H"})
+        assert classify_loop(loop_instance(route), None) is not \
+            AnomalyCause.UNREACHABLE_MESSAGE
+
+    def test_address_rewriting_signature(self):
+        route = route_from([1, 2, 7, 7, 7],
+                           response_ttls={3: 249, 4: 248, 5: 247})
+        instances = find_loops(route)
+        assert all(classify_loop(i, None) is AnomalyCause.ADDRESS_REWRITING
+                   for i in instances)
+
+    def test_equal_response_ttls_not_rewriting(self):
+        route = route_from([1, 2, 7, 7], response_ttls={3: 248, 4: 248})
+        assert classify_loop(loop_instance(route), None) is \
+            AnomalyCause.PER_PACKET_OR_UNKNOWN
+
+    def test_classify_route_loops_bulk(self):
+        route = route_from([1, 2, 2, 3, 3])
+        paris = route_from([1, 2, 4, 3, 5], tool="paris-udp")
+        classified = classify_route_loops(route, paris)
+        assert len(classified) == 2
+        assert all(cause is AnomalyCause.PER_FLOW_LB
+                   for __, cause in classified)
+
+
+class TestCycleClassification:
+    def cycle_instance(self, route):
+        instances = find_cycles(route)
+        assert instances
+        return instances[0]
+
+    def test_perflow_when_paris_twin_clean(self):
+        classic = route_from([1, 2, 3, 2, 4], tool="classic-udp")
+        paris = route_from([1, 2, 3, 5, 4], tool="paris-udp")
+        assert classify_cycle(self.cycle_instance(classic), paris) is \
+            AnomalyCause.PER_FLOW_LB
+
+    def test_forwarding_loop_by_periodicity(self):
+        route = route_from([1, 2, 3, 2, 3, 2, 3])
+        assert classify_cycle(self.cycle_instance(route), None) is \
+            AnomalyCause.FORWARDING_LOOP
+
+    def test_unreachability_cycle(self):
+        route = route_from([1, 2, 3, 2], flags={4: "!N"})
+        assert classify_cycle(self.cycle_instance(route), None) is \
+            AnomalyCause.UNREACHABLE_MESSAGE
+
+    def test_residual_unknown(self):
+        route = route_from([1, 2, 3, 2, 9])
+        assert classify_cycle(self.cycle_instance(route), None) is \
+            AnomalyCause.PER_PACKET_OR_UNKNOWN
+
+
+class TestPairing:
+    def test_pair_up_joins_tools(self):
+        classic = route_from([1, 2], tool="classic-udp", round_index=3)
+        paris = route_from([1, 2], tool="paris-udp", round_index=3)
+        pairs = pair_up([classic, paris])
+        assert len(pairs) == 1
+        assert pairs[0].complete
+        assert pairs[0].classic is classic
+        assert pairs[0].paris is paris
+
+    def test_rounds_keep_pairs_apart(self):
+        classic = route_from([1, 2], tool="classic-udp", round_index=0)
+        paris = route_from([1, 2], tool="paris-udp", round_index=1)
+        pairs = pair_up([classic, paris])
+        assert len(pairs) == 2
+        assert not any(p.complete for p in pairs)
+
+    def test_tcptraceroute_counts_as_classic_slot(self):
+        route = route_from([1, 2], tool="tcptraceroute")
+        assert pair_up([route])[0].classic is route
+
+
+class TestDifferentials:
+    def test_loop_differential_counts(self):
+        pairs = pair_up([
+            route_from([1, 2, 2, 3], tool="classic-udp", round_index=0),
+            route_from([1, 2, 4, 3], tool="paris-udp", round_index=0),
+            route_from([1, 5, 5, 3], tool="classic-udp", round_index=1),
+            route_from([1, 5, 5, 3], tool="paris-udp", round_index=1),
+        ])
+        count = differential_loops(pairs)
+        assert count.classic_total == 2
+        assert count.vanished_under_paris == 1
+        assert count.perflow_share == 0.5
+
+    def test_paris_only_loops_counted(self):
+        pairs = pair_up([
+            route_from([1, 2, 3, 4], tool="classic-udp", round_index=0),
+            route_from([1, 2, 2, 4], tool="paris-udp", round_index=0),
+            route_from([1, 6, 6, 4], tool="classic-udp", round_index=1),
+            route_from([1, 6, 7, 4], tool="paris-udp", round_index=1),
+        ])
+        count = differential_loops(pairs)
+        assert count.paris_only == 1
+        assert count.paris_only_share == 1.0
+
+    def test_cycle_differential(self):
+        pairs = pair_up([
+            route_from([1, 2, 3, 2], tool="classic-udp", round_index=0),
+            route_from([1, 2, 3, 5], tool="paris-udp", round_index=0),
+        ])
+        count = differential_cycles(pairs)
+        assert count.classic_total == 1
+        assert count.vanished_under_paris == 1
+
+    def test_incomplete_pairs_skipped(self):
+        pairs = pair_up([
+            route_from([1, 2, 2, 3], tool="classic-udp", round_index=0),
+        ])
+        count = differential_loops(pairs)
+        assert count.classic_total == 0
+
+    def test_empty_shares_are_zero(self):
+        count = differential_loops([])
+        assert count.perflow_share == 0.0
+        assert count.paris_only_share == 0.0

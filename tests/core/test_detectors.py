@@ -1,0 +1,215 @@
+"""Tests for loop, cycle, and diamond detection on hand-built routes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cycles import find_cycles, route_periodicity
+from repro.core.diamonds import diamonds_by_destination, find_diamonds
+from repro.core.loops import find_loops, loop_signatures
+from repro.core.route import MeasuredRoute
+
+from tests.core.helpers import DEST, SOURCE, addr, route_from
+
+
+class TestMeasuredRoute:
+    def test_as_tuple_starts_with_source(self):
+        route = route_from([1, 2, 3])
+        assert route.as_tuple()[0] == SOURCE
+
+    def test_stars_are_none(self):
+        route = route_from([1, None, 3])
+        assert route.addresses() == [addr(1), None, addr(3)]
+
+    def test_responding_addresses(self):
+        route = route_from([1, None, 3, 1])
+        assert route.responding_addresses() == {addr(1), addr(3)}
+
+    def test_hop_at(self):
+        route = route_from([1, 2])
+        assert route.hop_at(2).address == addr(2)
+        assert route.hop_at(9) is None
+
+    def test_from_result_roundtrip(self):
+        from tests.sim.helpers import chain_network
+        from repro.sim import ProbeSocket
+        from repro.tracer import ClassicTraceroute
+        net, s, r1, r2, d = chain_network()
+        result = ClassicTraceroute(ProbeSocket(net, s)).trace(d.address)
+        route = MeasuredRoute.from_result(result, round_index=4)
+        assert route.round_index == 4
+        assert route.tool == "classic-udp"
+        assert route.length == 3
+        assert route.hops[0].response_ttl is not None
+
+
+class TestLoops:
+    def test_simple_loop_detected(self):
+        route = route_from([1, 2, 2, 3])
+        loops = find_loops(route)
+        assert len(loops) == 1
+        assert loops[0].signature.address == addr(2)
+        assert loops[0].signature.destination == DEST
+
+    def test_no_loop_in_clean_route(self):
+        assert find_loops(route_from([1, 2, 3, 4])) == []
+
+    def test_star_pair_is_not_a_loop(self):
+        assert find_loops(route_from([1, None, None, 2])) == []
+
+    def test_star_between_repeats_is_not_a_loop(self):
+        assert find_loops(route_from([1, 2, None, 2])) == []
+
+    def test_triple_repeat_yields_two_instances_one_signature(self):
+        route = route_from([1, 2, 2, 2])
+        loops = find_loops(route)
+        assert len(loops) == 2
+        assert len({l.signature for l in loops}) == 1
+
+    def test_loop_at_route_end_flagged(self):
+        route = route_from([1, 2, 3, 3])
+        assert find_loops(route)[0].at_route_end
+        route2 = route_from([1, 2, 2, 3])
+        assert not find_loops(route2)[0].at_route_end
+
+    def test_signatures_across_routes(self):
+        routes = [route_from([1, 2, 2]), route_from([1, 2, 2]),
+                  route_from([3, 3, 4])]
+        assert len(loop_signatures(routes)) == 2
+
+    @given(st.lists(st.one_of(st.none(), st.integers(1, 5)),
+                    min_size=2, max_size=12))
+    def test_loop_definition_property(self, lasts):
+        route = route_from(lasts)
+        expected = sum(
+            1 for a, b in zip(lasts, lasts[1:])
+            if a is not None and a == b
+        )
+        assert len(find_loops(route)) == expected
+
+
+class TestCycles:
+    def test_simple_cycle_detected(self):
+        route = route_from([1, 2, 3, 2, 4])
+        cycles = find_cycles(route)
+        assert len(cycles) == 1
+        assert cycles[0].signature.address == addr(2)
+
+    def test_loop_is_not_a_cycle(self):
+        assert find_cycles(route_from([1, 2, 2, 3])) == []
+
+    def test_star_separated_repeat_is_not_a_cycle(self):
+        # The separator must be a distinct *address*, not a star.
+        assert find_cycles(route_from([1, 2, None, 2])) == []
+
+    def test_cycle_span(self):
+        route = route_from([1, 2, 3, 4, 2])
+        assert find_cycles(route)[0].span == 3
+
+    def test_multiple_cycles(self):
+        route = route_from([1, 2, 1, 2, 1])
+        cycles = find_cycles(route)
+        assert {c.signature.address for c in cycles} == {addr(1), addr(2)}
+
+    def test_long_gap_cycle(self):
+        route = route_from([9, 1, 2, 3, 4, 5, 9])
+        assert len(find_cycles(route)) == 1
+
+    @given(st.lists(st.integers(1, 4), min_size=2, max_size=10))
+    def test_cycle_never_fires_without_recurrence(self, lasts):
+        route = route_from(lasts)
+        cycles = find_cycles(route)
+        for cycle in cycles:
+            occurrences = [h.ttl for h in cycle.occurrences]
+            assert len(occurrences) >= 2
+
+
+class TestPeriodicity:
+    def test_periodic_tail_detected(self):
+        route = route_from([1, 2, 3, 2, 3, 2, 3])
+        assert route_periodicity(route) == 2
+
+    def test_period_three(self):
+        route = route_from([9, 1, 2, 3, 1, 2, 3])
+        assert route_periodicity(route) == 3
+
+    def test_aperiodic_route(self):
+        assert route_periodicity(route_from([1, 2, 3, 4, 5, 6])) is None
+
+    def test_constant_tail_not_periodic(self):
+        # A run of one repeated address is a loop, not a forwarding
+        # cycle; periodicity requires >=2 distinct addresses.
+        assert route_periodicity(route_from([1, 2, 2, 2, 2])) is None
+
+    def test_short_route_not_periodic(self):
+        assert route_periodicity(route_from([1, 2])) is None
+
+    def test_stars_are_skipped(self):
+        route = route_from([1, 2, None, 3, 2, 3, 2, 3])
+        # responding tail: 1 2 3 2 3 2 3 -> period 2
+        assert route_periodicity(route) == 2
+
+
+class TestDiamonds:
+    def test_two_middles_make_a_diamond(self):
+        routes = [route_from([1, 2, 4]), route_from([1, 3, 4])]
+        diamonds = find_diamonds(routes)
+        assert len(diamonds) == 1
+        assert diamonds[0].signature.head == addr(1)
+        assert diamonds[0].signature.tail == addr(4)
+        assert diamonds[0].middles == {addr(2), addr(3)}
+        assert diamonds[0].width == 2
+
+    def test_single_middle_is_not_a_diamond(self):
+        routes = [route_from([1, 2, 4]), route_from([1, 2, 4])]
+        assert find_diamonds(routes) == []
+
+    def test_star_breaks_the_window(self):
+        routes = [route_from([1, 2, 4]), route_from([1, None, 4]),
+                  route_from([1, 3, None])]
+        # (1, 3, None) contributes nothing; only middle 2 remains valid
+        # with tail 4.
+        diamonds = find_diamonds(routes)
+        assert diamonds == []
+
+    def test_diamond_within_single_route(self):
+        # One route can exhibit a diamond if the same (h, t) pair
+        # appears twice with different middles.
+        route = route_from([1, 2, 4, 9, 1, 3, 4])
+        diamonds = find_diamonds([route])
+        assert len(diamonds) == 1
+        assert diamonds[0].middles == {addr(2), addr(3)}
+
+    def test_figure6_routes(self):
+        # The figure's "one possible outcome", hand-coded: diamonds
+        # {(L,D),(L,E),(A,G),(B,G)} and crucially NOT (C,G).
+        l, a, b, c, d, e, g = 10, 11, 12, 13, 14, 15, 16
+        routes = [
+            route_from([l, a, d, g]),
+            route_from([l, b, e, g]),
+            route_from([l, c, d, g]),
+            route_from([l, a, e, g]),
+            route_from([l, b, d, g]),
+        ]
+        diamonds = find_diamonds(routes)
+        pairs = {(str(x.signature.head), str(x.signature.tail))
+                 for x in diamonds}
+        assert pairs == {
+            (str(addr(l)), str(addr(d))),
+            (str(addr(l)), str(addr(e))),
+            (str(addr(a)), str(addr(g))),
+            (str(addr(b)), str(addr(g))),
+        }
+        assert (str(addr(c)), str(addr(g))) not in pairs
+
+    def test_grouping_by_destination(self):
+        from repro.net.inet import IPv4Address
+        d1, d2 = IPv4Address("10.9.0.1"), IPv4Address("10.9.0.2")
+        routes = [
+            route_from([1, 2, 4], destination=d1),
+            route_from([1, 3, 4], destination=d1),
+            route_from([1, 2, 4], destination=d2),
+        ]
+        grouped = diamonds_by_destination(routes)
+        assert len(grouped[d1]) == 1
+        assert grouped[d2] == []

@@ -1,0 +1,178 @@
+"""Tests for route graphs, diffs, ground-truth scoring, and NAT counting."""
+
+import pytest
+
+from repro.core.alias import count_routers_behind
+from repro.core.graphs import (
+    GraphDiff,
+    RouteGraph,
+    per_destination_graphs,
+)
+from repro.core.route import MeasuredRoute
+
+from tests.core.helpers import DEST, addr, route_from
+
+
+class TestGraphConstruction:
+    def test_nodes_and_edges(self):
+        graph = RouteGraph.from_routes([route_from([1, 2, 3])])
+        assert graph.nodes == {addr(1), addr(2), addr(3)}
+        assert graph.edge_set == {(addr(1), addr(2)), (addr(2), addr(3))}
+
+    def test_edge_counts_accumulate(self):
+        graph = RouteGraph.from_routes(
+            [route_from([1, 2]), route_from([1, 2])])
+        assert graph.edges[(addr(1), addr(2))] == 2
+
+    def test_star_breaks_adjacency(self):
+        graph = RouteGraph.from_routes([route_from([1, None, 3])])
+        assert graph.edge_set == set()
+        assert graph.nodes == {addr(1), addr(3)}
+
+    def test_loops_are_not_edges(self):
+        graph = RouteGraph.from_routes([route_from([1, 2, 2, 3])])
+        assert (addr(2), addr(2)) not in graph.edge_set
+        assert (addr(2), addr(3)) in graph.edge_set
+
+    def test_destination_filter(self):
+        from repro.net.inet import IPv4Address
+        other = IPv4Address("10.8.0.1")
+        graph = RouteGraph.from_routes(
+            [route_from([1, 2]), route_from([3, 4], destination=other)],
+            destination=DEST)
+        assert graph.nodes == {addr(1), addr(2)}
+
+    def test_degree(self):
+        graph = RouteGraph.from_routes(
+            [route_from([1, 2, 4]), route_from([1, 3, 4])])
+        assert graph.degree(addr(1)) == 2
+        assert graph.degree(addr(4)) == 0
+
+    def test_contains(self):
+        graph = RouteGraph.from_routes([route_from([1, 2])])
+        assert (addr(1), addr(2)) in graph
+        assert (addr(2), addr(1)) not in graph
+
+
+class TestDiff:
+    def test_false_links_identified(self):
+        classic = RouteGraph.from_routes(
+            [route_from([1, 2, 4]), route_from([1, 3, 4]),
+             route_from([1, 2, 5])])  # 2->5 is the odd edge
+        paris = RouteGraph.from_routes(
+            [route_from([1, 2, 4]), route_from([1, 3, 4])])
+        diff = classic.diff(paris)
+        assert (addr(2), addr(5)) in diff.only_self
+        assert (addr(1), addr(2)) in diff.common
+
+    def test_removed_share(self):
+        classic = RouteGraph.from_routes([route_from([1, 2, 3])])
+        paris = RouteGraph.from_routes([route_from([1, 2])])
+        diff = classic.diff(paris)
+        assert diff.removed_share == pytest.approx(0.5)
+
+    def test_empty_graphs(self):
+        diff = RouteGraph().diff(RouteGraph())
+        assert isinstance(diff, GraphDiff)
+        assert diff.removed_share == 0.0
+
+
+class TestGroundTruthScore:
+    def test_true_vs_false_edges(self):
+        from tests.sim.helpers import chain_network
+        from repro.net.inet import IPv4Address
+        net, s, r1, r2, d = chain_network()
+        # True adjacency: R1 ingress (10.0.0.2) then R2 ingress (10.0.1.2).
+        good = MeasuredRoute(
+            source=s.address, destination=d.address,
+            hops=route_from([1, 2]).hops)
+        graph = RouteGraph()
+        graph.edges[(IPv4Address("10.0.0.2"), IPv4Address("10.0.1.2"))] = 1
+        graph.edges[(IPv4Address("10.0.0.2"), IPv4Address("10.9.0.1"))] = 1
+        score = graph.score_against(net)
+        assert score.true_edges == 1
+        assert score.false_edges == 1
+        assert score.false_share == pytest.approx(0.5)
+
+    def test_unknown_address_is_false(self):
+        from tests.sim.helpers import chain_network
+        from repro.net.inet import IPv4Address
+        net, s, r1, r2, d = chain_network()
+        graph = RouteGraph()
+        graph.edges[(IPv4Address("9.9.9.9"), IPv4Address("10.0.1.2"))] = 1
+        assert graph.score_against(net).false_edges == 1
+
+    def test_same_router_pair_is_false(self):
+        from tests.sim.helpers import chain_network
+        from repro.net.inet import IPv4Address
+        net, s, r1, r2, d = chain_network()
+        graph = RouteGraph()
+        # Two interfaces of R1 in sequence: an artifact, not a link.
+        graph.edges[(IPv4Address("10.0.0.2"), IPv4Address("10.0.1.1"))] = 1
+        assert graph.score_against(net).false_edges == 1
+
+
+class TestDot:
+    def test_dot_renders_nodes_edges_counts(self):
+        graph = RouteGraph.from_routes(
+            [route_from([1, 2]), route_from([1, 2])])
+        dot = graph.to_dot()
+        assert "digraph routes" in dot
+        assert '"10.1.0.1" -> "10.1.0.2" [label="2"];' in dot
+
+    def test_dot_highlights(self):
+        graph = RouteGraph.from_routes([route_from([1, 2])])
+        dot = graph.to_dot(highlight={(addr(1), addr(2))})
+        assert "color=red" in dot
+
+
+class TestPerDestination:
+    def test_grouping(self):
+        from repro.net.inet import IPv4Address
+        other = IPv4Address("10.8.0.1")
+        graphs = per_destination_graphs(
+            [route_from([1, 2]), route_from([3, 4], destination=other)])
+        assert set(graphs) == {DEST, other}
+        assert graphs[DEST].nodes == {addr(1), addr(2)}
+
+
+class TestNatCounting:
+    def test_three_boxes_behind_figure5_gateway(self):
+        from repro.sim import ProbeSocket
+        from repro.topology import figures
+        from repro.tracer import ParisTraceroute
+        fig = figures.figure5()
+        socket = ProbeSocket(fig.network, fig.source)
+        paris = ParisTraceroute(socket, seed=1)
+        routes = [MeasuredRoute.from_result(
+            paris.trace(fig.destination_address)) for __ in range(3)]
+        n0 = fig.address_of("N0")
+        # N itself, router B, and router C answer as N0 at hops 7-9;
+        # the destination's rewritten answer adds a fourth distance.
+        assert count_routers_behind(routes, n0) >= 3
+
+    def test_single_router_counts_one(self):
+        route = route_from([1, 7, 7], response_ttls={2: 250, 3: 250},
+                           ip_ids={2: 10, 3: 11})
+        # Same distance, contiguous IDs: one box.
+        from tests.core.helpers import addr as a
+        assert count_routers_behind([route], a(7)) == 1
+
+    def test_distinct_distances_count_separately(self):
+        route = route_from([1, 7, 7, 7],
+                           response_ttls={2: 250, 3: 249, 4: 248},
+                           ip_ids={2: 10, 3: 11, 4: 12})
+        from tests.core.helpers import addr as a
+        assert count_routers_behind([route], a(7)) == 3
+
+    def test_wild_id_gap_splits_a_distance_bucket(self):
+        routes = [
+            route_from([1, 7], response_ttls={2: 250}, ip_ids={2: 5}),
+            route_from([1, 7], response_ttls={2: 250}, ip_ids={2: 40000}),
+        ]
+        from tests.core.helpers import addr as a
+        assert count_routers_behind(routes, a(7)) == 2
+
+    def test_absent_gateway_counts_zero(self):
+        from tests.core.helpers import addr as a
+        assert count_routers_behind([route_from([1, 2])], a(9)) == 0

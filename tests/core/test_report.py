@@ -1,0 +1,145 @@
+"""Unit tests for the statistics aggregation and table rendering."""
+
+import pytest
+
+from repro.core.classify import AnomalyCause
+from repro.core.report import (
+    CauseBreakdown,
+    compute_cycle_statistics,
+    compute_diamond_statistics,
+    compute_loop_statistics,
+    format_cycle_table,
+    format_diamond_table,
+    format_loop_table,
+)
+
+from tests.core.helpers import DEST, route_from
+
+
+class TestCauseBreakdown:
+    def test_shares_sum_to_100(self):
+        breakdown = CauseBreakdown()
+        for __ in range(3):
+            breakdown.add(AnomalyCause.PER_FLOW_LB)
+        breakdown.add(AnomalyCause.ZERO_TTL_FORWARDING)
+        total = sum(share for __, share in breakdown.as_rows())
+        assert total == pytest.approx(100.0)
+
+    def test_share_of_absent_cause_is_zero(self):
+        breakdown = CauseBreakdown()
+        breakdown.add(AnomalyCause.PER_FLOW_LB)
+        assert breakdown.share(AnomalyCause.ADDRESS_REWRITING) == 0.0
+
+    def test_empty_breakdown(self):
+        breakdown = CauseBreakdown()
+        assert breakdown.total == 0
+        assert breakdown.share(AnomalyCause.PER_FLOW_LB) == 0.0
+        assert breakdown.as_rows() == []
+
+    def test_rows_follow_enum_order(self):
+        breakdown = CauseBreakdown()
+        breakdown.add(AnomalyCause.ADDRESS_REWRITING)
+        breakdown.add(AnomalyCause.PER_FLOW_LB)
+        labels = [label for label, __ in breakdown.as_rows()]
+        assert labels == [AnomalyCause.PER_FLOW_LB.value,
+                          AnomalyCause.ADDRESS_REWRITING.value]
+
+
+class TestLoopStatisticsFromRoutes:
+    def routes(self):
+        # Round 0: classic loop at addr 2 that Paris doesn't see.
+        return [
+            route_from([1, 2, 2, 3], tool="classic-udp", round_index=0),
+            route_from([1, 2, 4, 3], tool="paris-udp", round_index=0),
+            # Round 1: clean pair.
+            route_from([1, 2, 4, 3], tool="classic-udp", round_index=1),
+            route_from([1, 2, 4, 3], tool="paris-udp", round_index=1),
+        ]
+
+    def test_counts(self):
+        stats = compute_loop_statistics(self.routes(), [DEST])
+        assert stats.routes_total == 2          # classic only
+        assert stats.routes_with_loop == 1
+        assert stats.pct_routes == pytest.approx(50.0)
+        assert stats.destinations_with_loop == 1
+        assert stats.signatures_total == 1
+        assert stats.signatures_single_round == 1
+
+    def test_cause_uses_paris_twin(self):
+        stats = compute_loop_statistics(self.routes(), [DEST])
+        assert stats.causes.share(AnomalyCause.PER_FLOW_LB) == 100.0
+
+    def test_address_accounting(self):
+        stats = compute_loop_statistics(self.routes(), [DEST])
+        # addresses seen by classic: 1, 2, 3, 4; in a loop: 2.
+        assert stats.addresses_total == 4
+        assert stats.addresses_in_loop == 1
+        assert stats.pct_addresses == pytest.approx(25.0)
+
+    def test_empty_campaign(self):
+        stats = compute_loop_statistics([], [])
+        assert stats.pct_routes == 0.0
+        assert stats.pct_destinations == 0.0
+        assert stats.pct_single_round_signatures == 0.0
+
+
+class TestCycleStatisticsFromRoutes:
+    def test_mean_rounds_per_signature(self):
+        routes = []
+        for round_index in range(4):
+            routes.append(route_from([1, 2, 3, 2], tool="classic-udp",
+                                     round_index=round_index))
+            routes.append(route_from([1, 2, 3, 4], tool="paris-udp",
+                                     round_index=round_index))
+        stats = compute_cycle_statistics(routes, [DEST])
+        assert stats.signatures_total == 1
+        assert stats.mean_rounds_per_signature == pytest.approx(4.0)
+        assert stats.signatures_single_round == 0
+
+    def test_no_cycles(self):
+        routes = [route_from([1, 2, 3], tool="classic-udp")]
+        stats = compute_cycle_statistics(routes, [DEST])
+        assert stats.routes_with_cycle == 0
+        assert stats.mean_rounds_per_signature == 0.0
+
+
+class TestDiamondStatisticsFromRoutes:
+    def test_classic_vs_paris_counts(self):
+        routes = [
+            route_from([1, 2, 4], tool="classic-udp", round_index=0),
+            route_from([1, 3, 4], tool="classic-udp", round_index=1),
+            route_from([1, 2, 4], tool="paris-udp", round_index=0),
+            route_from([1, 2, 4], tool="paris-udp", round_index=1),
+        ]
+        stats = compute_diamond_statistics(routes, [DEST])
+        assert stats.diamonds_classic == 1
+        assert stats.diamonds_paris == 0
+        assert stats.destinations_with_diamond == 1
+        assert stats.perflow_share == pytest.approx(100.0)
+
+    def test_no_diamonds_anywhere(self):
+        routes = [route_from([1, 2, 4], tool="classic-udp")]
+        stats = compute_diamond_statistics(routes, [DEST])
+        assert stats.perflow_share == 0.0
+
+
+class TestTableRendering:
+    def test_loop_table_has_paper_column(self):
+        stats = compute_loop_statistics([], [])
+        text = format_loop_table(stats)
+        assert "paper" in text and "measured" in text
+        assert "87.00" in text  # the paper's per-flow share
+
+    def test_loop_table_without_paper_column(self):
+        stats = compute_loop_statistics([], [])
+        text = format_loop_table(stats, paper=False)
+        # The title still cites the paper section, but the expected-
+        # value column (e.g. the 87.00 per-flow share) is gone.
+        assert "measured" in text
+        assert "87.00" not in text
+
+    def test_cycle_and_diamond_tables_render(self):
+        assert "0.84" in format_cycle_table(
+            compute_cycle_statistics([], []))
+        assert "16385" in format_diamond_table(
+            compute_diamond_statistics([], []))

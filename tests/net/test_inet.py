@@ -1,0 +1,226 @@
+"""Tests for IPv4 addresses, prefixes, and the RFC 1071 checksum."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, FieldValueError
+from repro.net.inet import (
+    AddressAllocator,
+    IPv4Address,
+    Prefix,
+    checksum,
+    checksum_without,
+    ones_complement_add,
+)
+
+
+class TestChecksum:
+    def test_empty_input_is_all_ones(self):
+        assert checksum(b"") == 0xFFFF
+
+    def test_known_rfc1071_example(self):
+        # RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 sums to 0xddf2
+        # before complement, so the checksum is ~0xddf2 = 0x220d.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert checksum(data) == 0x220D
+
+    def test_real_ip_header(self):
+        # Wireshark-verified IPv4 header with checksum field zeroed.
+        header = bytes.fromhex("4500003c1c4640004006 0000 ac100a63ac100a0c")
+        assert checksum(header) == 0xB1E6
+
+    def test_odd_length_padding(self):
+        # Trailing odd byte acts as the high octet of a zero-padded word.
+        assert checksum(b"\x12") == checksum(b"\x12\x00")
+
+    def test_verification_of_valid_packet_yields_zero_complement(self):
+        data = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+        # Checksumming data *including* a correct checksum gives 0.
+        assert checksum(data) == 0
+
+    @given(st.binary(max_size=256))
+    def test_checksum_fits_16_bits(self, data):
+        assert 0 <= checksum(data) <= 0xFFFF
+
+    @given(st.binary(min_size=2, max_size=128).filter(lambda b: len(b) % 2 == 0))
+    def test_inserting_checksum_validates(self, data):
+        # Classic property: append the checksum and the total verifies to 0.
+        ck = checksum(data)
+        stamped = data + ck.to_bytes(2, "big")
+        assert checksum(stamped) == 0
+
+    def test_checksum_without_zeroes_named_word(self):
+        data = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+        assert checksum_without(data, 10) == 0xB861
+
+    def test_checksum_without_rejects_odd_offset(self):
+        with pytest.raises(FieldValueError):
+            checksum_without(b"\x00" * 8, 3)
+
+    def test_checksum_without_rejects_out_of_range(self):
+        with pytest.raises(FieldValueError):
+            checksum_without(b"\x00" * 4, 4)
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_ones_complement_add_commutes(self, a, b):
+        assert ones_complement_add(a, b) == ones_complement_add(b, a)
+
+    def test_ones_complement_end_around_carry(self):
+        assert ones_complement_add(0xFFFF, 0x0001) == 0x0001
+
+
+class TestIPv4Address:
+    def test_from_string(self):
+        assert int(IPv4Address("192.0.2.1")) == 0xC0000201
+
+    def test_from_int(self):
+        assert str(IPv4Address(0xC0000201)) == "192.0.2.1"
+
+    def test_from_bytes(self):
+        assert IPv4Address(b"\xc0\x00\x02\x01") == IPv4Address("192.0.2.1")
+
+    def test_from_address_copies(self):
+        a = IPv4Address("10.0.0.1")
+        assert IPv4Address(a) == a
+
+    def test_packed_roundtrip(self):
+        a = IPv4Address("203.0.113.99")
+        assert IPv4Address(a.packed) == a
+
+    def test_octets(self):
+        assert IPv4Address("1.2.3.4").octets == (1, 2, 3, 4)
+
+    def test_ordering_is_numeric(self):
+        assert IPv4Address("9.0.0.0") < IPv4Address("10.0.0.0")
+        assert IPv4Address("10.0.0.2") > IPv4Address("10.0.0.1")
+
+    def test_hashable_and_dict_key(self):
+        d = {IPv4Address("10.0.0.1"): "a"}
+        assert d[IPv4Address("10.0.0.1")] == "a"
+
+    def test_equality_with_string_and_int(self):
+        assert IPv4Address("10.0.0.1") == "10.0.0.1"
+        assert IPv4Address("0.0.0.5") == 5
+
+    def test_add_offset_wraps(self):
+        assert IPv4Address("255.255.255.255") + 1 == IPv4Address("0.0.0.0")
+
+    def test_is_private(self):
+        assert IPv4Address("10.1.2.3").is_private
+        assert IPv4Address("172.16.0.1").is_private
+        assert IPv4Address("172.31.255.255").is_private
+        assert not IPv4Address("172.32.0.1").is_private
+        assert IPv4Address("192.168.0.1").is_private
+        assert not IPv4Address("192.0.2.1").is_private
+
+    def test_is_loopback(self):
+        assert IPv4Address("127.0.0.1").is_loopback
+        assert not IPv4Address("128.0.0.1").is_loopback
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1.2.3", "1.2.3.4.5", "256.0.0.1", "01.2.3.4", "a.b.c.d", "1.2.3.-4", ""],
+    )
+    def test_rejects_malformed_strings(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+
+    def test_rejects_wrong_length_bytes(self):
+        with pytest.raises(AddressError):
+            IPv4Address(b"\x01\x02\x03")
+
+    def test_rejects_other_types(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1.5)
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_int_string_roundtrip(self, value):
+        a = IPv4Address(value)
+        assert int(IPv4Address(str(a))) == value
+
+    def test_repr_is_evalable_shape(self):
+        assert repr(IPv4Address("10.0.0.1")) == "IPv4Address('10.0.0.1')"
+
+
+class TestPrefix:
+    def test_contains_inside_and_outside(self):
+        p = Prefix("192.0.2.0/24")
+        assert p.contains(IPv4Address("192.0.2.255"))
+        assert not p.contains(IPv4Address("192.0.3.0"))
+
+    def test_zero_length_contains_everything(self):
+        p = Prefix("0.0.0.0/0")
+        assert p.contains(IPv4Address("255.255.255.255"))
+
+    def test_host_prefix(self):
+        p = Prefix("10.0.0.1/32")
+        assert p.contains(IPv4Address("10.0.0.1"))
+        assert not p.contains(IPv4Address("10.0.0.2"))
+        assert p.size == 1
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix("192.0.2.1/24")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            Prefix("10.0.0.0")
+
+    def test_tuple_constructor(self):
+        p = Prefix((IPv4Address("10.0.0.0"), 8))
+        assert p.contains(IPv4Address("10.255.1.2"))
+
+    def test_hosts_enumeration(self):
+        hosts = list(Prefix("10.0.0.0/30").hosts())
+        assert [str(h) for h in hosts] == [
+            "10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3",
+        ]
+
+    def test_equality_and_hash(self):
+        assert Prefix("10.0.0.0/8") == Prefix("10.0.0.0/8")
+        assert len({Prefix("10.0.0.0/8"), Prefix("10.0.0.0/8")}) == 1
+
+    def test_str(self):
+        assert str(Prefix("10.0.0.0/8")) == "10.0.0.0/8"
+
+
+class TestAddressAllocator:
+    def test_allocates_distinct_addresses(self):
+        alloc = AddressAllocator(["10.0.0.0/29"])
+        seen = {alloc.allocate() for _ in range(6)}
+        assert len(seen) == 6
+
+    def test_skips_network_and_broadcast(self):
+        alloc = AddressAllocator(["10.0.0.0/30"])
+        addrs = [alloc.allocate(), alloc.allocate()]
+        assert [str(a) for a in addrs] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_moves_to_next_prefix_when_exhausted(self):
+        alloc = AddressAllocator(["10.0.0.0/30", "10.0.1.0/30"])
+        for _ in range(2):
+            alloc.allocate()
+        assert str(alloc.allocate()) == "10.0.1.1"
+
+    def test_raises_when_fully_exhausted(self):
+        alloc = AddressAllocator(["10.0.0.0/30"])
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(AddressError):
+            alloc.allocate()
+
+    def test_requires_at_least_one_prefix(self):
+        with pytest.raises(AddressError):
+            AddressAllocator([])
+
+    def test_accepts_prefix_objects(self):
+        alloc = AddressAllocator([Prefix("10.0.0.0/24")])
+        assert str(alloc.allocate()) == "10.0.0.1"

@@ -1,0 +1,167 @@
+"""Tests for the IPv4 header build/parse logic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ChecksumError, FieldValueError, TruncatedPacketError
+from repro.net.inet import IPv4Address, checksum
+from repro.net.ipv4 import IPV4_HEADER_LENGTH, IPProtocol, IPv4Header
+
+
+def make_header(**overrides):
+    defaults = dict(
+        src=IPv4Address("192.0.2.1"),
+        dst=IPv4Address("198.51.100.7"),
+        protocol=int(IPProtocol.UDP),
+        ttl=12,
+        identification=0xBEEF,
+    )
+    defaults.update(overrides)
+    return IPv4Header(**defaults)
+
+
+class TestBuild:
+    def test_length_is_twenty_bytes(self):
+        assert len(make_header().build()) == IPV4_HEADER_LENGTH
+
+    def test_checksum_is_valid(self):
+        raw = make_header().build()
+        # A correct header checksums (including its checksum field) to 0.
+        assert checksum(raw) == 0
+
+    def test_version_and_ihl(self):
+        raw = make_header().build()
+        assert raw[0] == 0x45
+
+    def test_total_length_derived_from_payload(self):
+        raw = make_header().build(payload_length=100)
+        assert int.from_bytes(raw[2:4], "big") == 120
+
+    def test_total_length_explicit_wins(self):
+        raw = make_header(total_length=77).build(payload_length=5)
+        assert int.from_bytes(raw[2:4], "big") == 77
+
+    def test_addresses_serialized_in_order(self):
+        raw = make_header().build()
+        assert raw[12:16] == IPv4Address("192.0.2.1").packed
+        assert raw[16:20] == IPv4Address("198.51.100.7").packed
+
+    def test_string_addresses_coerced(self):
+        h = IPv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=17)
+        assert isinstance(h.src, IPv4Address)
+
+
+class TestParse:
+    def test_roundtrip(self):
+        h = make_header(tos=0x10, flags=0b010, fragment_offset=0)
+        parsed, payload = IPv4Header.parse(h.build(payload_length=0))
+        assert parsed.src == h.src
+        assert parsed.dst == h.dst
+        assert parsed.ttl == h.ttl
+        assert parsed.identification == h.identification
+        assert parsed.tos == h.tos
+        assert parsed.flags == h.flags
+        assert payload == b""
+
+    def test_payload_separation(self):
+        h = make_header()
+        data = h.build(payload_length=4) + b"abcd"
+        parsed, payload = IPv4Header.parse(data)
+        assert payload == b"abcd"
+
+    def test_payload_clipped_to_total_length(self):
+        h = make_header(total_length=22)
+        data = h.build() + b"abcdef"
+        __, payload = IPv4Header.parse(data)
+        assert payload == b"ab"
+
+    def test_truncated_raises(self):
+        with pytest.raises(TruncatedPacketError):
+            IPv4Header.parse(b"\x45\x00")
+
+    def test_bad_version_raises(self):
+        raw = bytearray(make_header().build())
+        raw[0] = 0x65  # version 6
+        with pytest.raises(FieldValueError):
+            IPv4Header.parse(bytes(raw))
+
+    def test_bad_ihl_raises(self):
+        raw = bytearray(make_header().build())
+        raw[0] = 0x44  # IHL 4 < 5
+        with pytest.raises(FieldValueError):
+            IPv4Header.parse(bytes(raw))
+
+    def test_corrupted_checksum_raises(self):
+        raw = bytearray(make_header().build())
+        raw[10] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            IPv4Header.parse(bytes(raw))
+
+    def test_corruption_ignored_when_unverified(self):
+        raw = bytearray(make_header().build())
+        raw[10] ^= 0xFF
+        parsed, __ = IPv4Header.parse(bytes(raw), verify_checksum=False)
+        assert parsed.src == IPv4Address("192.0.2.1")
+
+    @given(
+        ttl=st.integers(0, 255),
+        ident=st.integers(0, 0xFFFF),
+        tos=st.integers(0, 255),
+        proto=st.sampled_from([1, 6, 17]),
+        src=st.integers(0, 0xFFFFFFFF),
+        dst=st.integers(0, 0xFFFFFFFF),
+    )
+    def test_roundtrip_property(self, ttl, ident, tos, proto, src, dst):
+        h = IPv4Header(
+            src=IPv4Address(src), dst=IPv4Address(dst), protocol=proto,
+            ttl=ttl, identification=ident, tos=tos,
+        )
+        parsed, __ = IPv4Header.parse(h.build())
+        assert (parsed.src, parsed.dst, parsed.ttl, parsed.identification,
+                parsed.tos, int(parsed.protocol)) == (
+            IPv4Address(src), IPv4Address(dst), ttl, ident, tos, proto)
+
+
+class TestFieldValidation:
+    def test_ttl_range(self):
+        with pytest.raises(FieldValueError):
+            make_header(ttl=256)
+        with pytest.raises(FieldValueError):
+            make_header(ttl=-1)
+
+    def test_identification_range(self):
+        with pytest.raises(FieldValueError):
+            make_header(identification=0x10000)
+
+    def test_flags_range(self):
+        with pytest.raises(FieldValueError):
+            make_header(flags=8)
+
+    def test_fragment_offset_range(self):
+        with pytest.raises(FieldValueError):
+            make_header(fragment_offset=0x2000)
+
+
+class TestMutators:
+    def test_decremented(self):
+        assert make_header(ttl=5).decremented().ttl == 4
+
+    def test_decrement_zero_raises(self):
+        with pytest.raises(FieldValueError):
+            make_header(ttl=0).decremented()
+
+    def test_with_ttl(self):
+        assert make_header().with_ttl(99).ttl == 99
+
+    def test_with_identification(self):
+        assert make_header().with_identification(7).identification == 7
+
+    def test_mutators_do_not_modify_original(self):
+        h = make_header(ttl=5)
+        h.decremented()
+        assert h.ttl == 5
+
+    def test_summary_mentions_protocol_name(self):
+        assert "UDP" in make_header().summary()
+        assert "ttl=12" in make_header().summary()

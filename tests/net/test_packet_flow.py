@@ -1,0 +1,184 @@
+"""Tests for full-packet round-trips and flow-identifier extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FieldValueError
+from repro.net.flow import (
+    classic_five_tuple,
+    first_transport_word_flow,
+    flow_fields_varied,
+)
+from repro.net.icmp import ICMPEchoRequest, ICMPTimeExceeded
+from repro.net.inet import IPv4Address
+from repro.net.ipv4 import IPProtocol, IPv4Header
+from repro.net.packet import Packet
+from repro.net.tcp import TCPHeader
+from repro.net.udp import UDPHeader
+
+SRC = IPv4Address("192.0.2.1")
+DST = IPv4Address("198.51.100.7")
+
+
+def udp_packet(sport=10000, dport=33435, ttl=6, payload=b"probe!", tos=0):
+    return Packet.make(SRC, DST, UDPHeader(src_port=sport, dst_port=dport),
+                       payload=payload, ttl=ttl, tos=tos)
+
+
+class TestPacket:
+    def test_make_sets_protocol_udp(self):
+        assert int(udp_packet().ip.protocol) == int(IPProtocol.UDP)
+
+    def test_make_sets_protocol_tcp(self):
+        p = Packet.make(SRC, DST, TCPHeader(src_port=1, dst_port=80))
+        assert int(p.ip.protocol) == int(IPProtocol.TCP)
+
+    def test_make_sets_protocol_icmp(self):
+        p = Packet.make(SRC, DST, ICMPEchoRequest(identifier=1, sequence=1))
+        assert int(p.ip.protocol) == int(IPProtocol.ICMP)
+
+    def test_make_rejects_unknown_transport(self):
+        with pytest.raises(FieldValueError):
+            Packet.make(SRC, DST, "not a transport")
+
+    def test_udp_roundtrip(self):
+        p = udp_packet()
+        q = Packet.parse(p.build())
+        assert q.src == SRC and q.dst == DST
+        assert q.transport.src_port == 10000
+        assert q.payload == b"probe!"
+
+    def test_tcp_roundtrip(self):
+        p = Packet.make(SRC, DST, TCPHeader(src_port=1, dst_port=80, seq=42))
+        q = Packet.parse(p.build())
+        assert q.transport.seq == 42
+
+    def test_icmp_roundtrip(self):
+        p = Packet.make(SRC, DST, ICMPEchoRequest(identifier=9, sequence=3))
+        q = Packet.parse(p.build())
+        assert q.transport.sequence == 3
+
+    def test_time_exceeded_roundtrip(self):
+        inner = udp_packet(ttl=1)
+        te = ICMPTimeExceeded(
+            quoted_header=inner.ip.with_ttl(1),
+            quoted_payload=inner.first_eight_transport_octets(),
+        )
+        p = Packet.make(DST, SRC, te, ttl=255)
+        q = Packet.parse(p.build())
+        assert q.transport.quoted_header.dst == DST
+        assert q.transport.probe_ttl == 1
+
+    def test_decremented(self):
+        assert udp_packet(ttl=6).decremented().ttl == 5
+
+    def test_first_eight_transport_octets_is_udp_header(self):
+        p = udp_packet()
+        eight = p.first_eight_transport_octets()
+        assert len(eight) == 8
+        assert int.from_bytes(eight[0:2], "big") == 10000
+        assert int.from_bytes(eight[2:4], "big") == 33435
+
+    def test_total_length_on_wire(self):
+        raw = udp_packet(payload=b"12345").build()
+        assert int.from_bytes(raw[2:4], "big") == len(raw) == 20 + 8 + 5
+
+    @given(sport=st.integers(0, 0xFFFF), dport=st.integers(0, 0xFFFF),
+           ttl=st.integers(1, 255), payload=st.binary(max_size=40))
+    def test_udp_roundtrip_property(self, sport, dport, ttl, payload):
+        p = udp_packet(sport=sport, dport=dport, ttl=ttl, payload=payload)
+        q = Packet.parse(p.build())
+        assert (q.transport.src_port, q.transport.dst_port, q.ttl,
+                q.payload) == (sport, dport, ttl, payload)
+
+    def test_summary_is_readable(self):
+        s = udp_packet().summary()
+        assert "192.0.2.1" in s and "UDP" in s
+
+
+class TestFlowExtraction:
+    def test_five_tuple_ignores_checksum(self):
+        a = udp_packet()
+        b = Packet(ip=a.ip, transport=a.transport.with_checksum(0x1234),
+                   payload=a.payload)
+        assert classic_five_tuple(a).key == classic_five_tuple(b).key
+
+    def test_five_tuple_sees_ports(self):
+        assert (classic_five_tuple(udp_packet(dport=1)).key
+                != classic_five_tuple(udp_packet(dport=2)).key)
+
+    def test_five_tuple_collapses_icmp(self):
+        a = Packet.make(SRC, DST, ICMPEchoRequest(identifier=1, sequence=1))
+        b = Packet.make(SRC, DST, ICMPEchoRequest(identifier=1, sequence=2))
+        assert classic_five_tuple(a).key == classic_five_tuple(b).key
+
+    def test_transport_word_sees_udp_ports(self):
+        assert (first_transport_word_flow(udp_packet(dport=1)).key
+                != first_transport_word_flow(udp_packet(dport=2)).key)
+
+    def test_transport_word_ignores_udp_checksum(self):
+        a = udp_packet()
+        b = Packet(ip=a.ip, transport=a.transport.with_checksum(0x9999),
+                   payload=a.payload)
+        assert (first_transport_word_flow(a).key
+                == first_transport_word_flow(b).key)
+
+    def test_transport_word_sees_icmp_checksum(self):
+        # Heart of the paper: varying the ICMP sequence changes the
+        # checksum, which is inside the hashed word.
+        a = Packet.make(SRC, DST, ICMPEchoRequest(identifier=1, sequence=1))
+        b = Packet.make(SRC, DST, ICMPEchoRequest(identifier=1, sequence=2))
+        assert (first_transport_word_flow(a).key
+                != first_transport_word_flow(b).key)
+
+    def test_transport_word_paris_icmp_constant(self):
+        a = Packet.make(SRC, DST, ICMPEchoRequest(identifier=100, sequence=1))
+        b = Packet.make(SRC, DST, ICMPEchoRequest(identifier=99, sequence=2))
+        assert (first_transport_word_flow(a).key
+                == first_transport_word_flow(b).key)
+
+    def test_transport_word_sees_tos(self):
+        assert (first_transport_word_flow(udp_packet(tos=0)).key
+                != first_transport_word_flow(udp_packet(tos=4)).key)
+
+    def test_transport_word_ignores_ttl(self):
+        # TTL must not be part of the flow id, or traceroute could never
+        # hold a flow across hops.
+        assert (first_transport_word_flow(udp_packet(ttl=1)).key
+                == first_transport_word_flow(udp_packet(ttl=30)).key)
+
+    def test_transport_word_ignores_ip_identification(self):
+        a = udp_packet()
+        b = Packet(ip=a.ip.with_identification(999), transport=a.transport,
+                   payload=a.payload)
+        assert (first_transport_word_flow(a).key
+                == first_transport_word_flow(b).key)
+
+    def test_tcp_seq_outside_flow_word(self):
+        a = Packet.make(SRC, DST, TCPHeader(src_port=1, dst_port=80, seq=1))
+        b = Packet.make(SRC, DST, TCPHeader(src_port=1, dst_port=80, seq=2))
+        assert (first_transport_word_flow(a).key
+                == first_transport_word_flow(b).key)
+
+    def test_bucket_stable_and_in_range(self):
+        f = first_transport_word_flow(udp_packet())
+        assert f.bucket(4) == f.bucket(4)
+        assert 0 <= f.bucket(4) < 4
+
+    def test_bucket_salt_changes_mapping_somewhere(self):
+        # With 64 flows and 8 buckets, two different salts must disagree
+        # on at least one flow (overwhelmingly likely; deterministic here).
+        flows = [first_transport_word_flow(udp_packet(dport=d))
+                 for d in range(33435, 33435 + 64)]
+        a = [f.bucket(8, salt=b"routerA") for f in flows]
+        b = [f.bucket(8, salt=b"routerB") for f in flows]
+        assert a != b
+
+    def test_flow_fields_varied_detects_classic_udp(self):
+        stream = [udp_packet(dport=33435 + i) for i in range(5)]
+        assert flow_fields_varied(stream)
+
+    def test_flow_fields_varied_accepts_paris_udp(self):
+        stream = [udp_packet(dport=33435) for _ in range(5)]
+        assert not flow_fields_varied(stream)

@@ -1,0 +1,95 @@
+"""Shared topology fixtures for simulator tests.
+
+``chain_network`` builds the minimal S — R1 — R2 — D line used by most
+router/socket tests; ``diamond_network`` inserts a two-way load
+balancer, the smallest topology that can exhibit the paper's anomalies.
+"""
+
+from repro.net import Packet, UDPHeader
+from repro.net.inet import IPv4Address
+from repro.sim import (
+    Host,
+    MeasurementHost,
+    Network,
+    PerFlowPolicy,
+    Router,
+)
+
+
+def chain_network():
+    """S -- R1 -- R2 -- D with working routes both ways."""
+    net = Network()
+    s = MeasurementHost("S")
+    s.add_interface("10.0.0.1")
+    r1 = Router("R1")
+    r1_up = r1.add_interface("10.0.0.2")
+    r1_down = r1.add_interface("10.0.1.1")
+    r2 = Router("R2")
+    r2_up = r2.add_interface("10.0.1.2")
+    r2_down = r2.add_interface("10.0.2.1")
+    d = Host("D")
+    d_if = d.add_interface("10.9.0.1")
+    for node in (s, r1, r2, d):
+        net.add_node(node)
+    net.link(s.interfaces[0], r1_up)
+    net.link(r1_down, r2_up)
+    net.link(r2_down, d_if)
+    r1.add_route("10.9.0.0/16", r1_down)
+    r1.add_default_route(r1_up)
+    r2.add_route("10.9.0.0/16", r2_down)
+    r2.add_default_route(r2_up)
+    return net, s, r1, r2, d
+
+
+def diamond_network(policy=None):
+    """S -- L =( A | B )= M -- D : one load-balanced pair of paths.
+
+    Returns (net, s, l, a, b, m, d).  ``policy`` defaults to per-flow.
+    """
+    net = Network()
+    s = MeasurementHost("S")
+    s.add_interface("10.0.0.1")
+    l = Router("L")
+    l_up = l.add_interface("10.0.0.2")
+    l_a = l.add_interface("10.0.1.1")
+    l_b = l.add_interface("10.0.2.1")
+    a = Router("A")
+    a_up = a.add_interface("10.0.1.2")
+    a_down = a.add_interface("10.0.3.1")
+    b = Router("B")
+    b_up = b.add_interface("10.0.2.2")
+    b_down = b.add_interface("10.0.4.1")
+    m = Router("M")
+    m_a = m.add_interface("10.0.3.2")
+    m_b = m.add_interface("10.0.4.2")
+    m_down = m.add_interface("10.0.5.1")
+    d = Host("D")
+    d_if = d.add_interface("10.9.0.1")
+    for node in (s, l, a, b, m, d):
+        net.add_node(node)
+    net.link(s.interfaces[0], l_up)
+    net.link(l_a, a_up)
+    net.link(l_b, b_up)
+    net.link(a_down, m_a)
+    net.link(b_down, m_b)
+    net.link(m_down, d_if)
+    balancer = policy or PerFlowPolicy(salt=b"L")
+    l.add_route("10.9.0.0/16", [l_a, l_b], balancer)
+    l.add_default_route(l_up)
+    a.add_route("10.9.0.0/16", a_down)
+    a.add_default_route(a_up)
+    b.add_route("10.9.0.0/16", b_down)
+    b.add_default_route(b_up)
+    m.add_route("10.9.0.0/16", m_down)
+    # Return traffic from M goes back via A (fixed return path).
+    m.add_default_route(m_a)
+    return net, s, l, a, b, m, d
+
+
+def udp_probe(src, dst, ttl, sport=30000, dport=33435, payload=b"probe"):
+    """A UDP probe packet as classic traceroute would build it."""
+    return Packet.make(
+        IPv4Address(src), IPv4Address(dst),
+        UDPHeader(src_port=sport, dst_port=dport),
+        payload=payload, ttl=ttl,
+    )

@@ -1,0 +1,215 @@
+"""Tests for the clock, balancing policies, fault profiles, and links."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.net.flow import classic_five_tuple
+from repro.sim.balancer import (
+    PerDestinationPolicy,
+    PerFlowPolicy,
+    PerPacketPolicy,
+)
+from repro.sim.clock import SimClock
+from repro.sim.faults import FaultProfile
+from repro.sim.link import Link
+from repro.sim.node import Node
+
+from tests.sim.helpers import udp_probe
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_to(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_rejects_backwards_motion(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(ReproError):
+            clock.advance(-1.0)
+        with pytest.raises(ReproError):
+            clock.advance_to(4.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+
+class TestPerFlowPolicy:
+    def test_same_packet_same_choice(self):
+        policy = PerFlowPolicy(salt=b"x")
+        p = udp_probe("10.0.0.1", "10.9.0.1", ttl=5)
+        assert all(policy.choose(p, 4) == policy.choose(p, 4) for _ in range(10))
+
+    def test_ttl_does_not_affect_choice(self):
+        # The property that lets Paris traceroute hold a path: the TTL
+        # is outside the flow identifier.
+        policy = PerFlowPolicy(salt=b"x")
+        choices = {
+            policy.choose(udp_probe("10.0.0.1", "10.9.0.1", ttl=t), 4)
+            for t in range(1, 30)
+        }
+        assert len(choices) == 1
+
+    def test_dst_port_affects_choice(self):
+        policy = PerFlowPolicy(salt=b"x")
+        choices = {
+            policy.choose(
+                udp_probe("10.0.0.1", "10.9.0.1", ttl=5, dport=33435 + i), 4
+            )
+            for i in range(40)
+        }
+        assert len(choices) > 1
+
+    def test_single_next_hop_short_circuits(self):
+        policy = PerFlowPolicy()
+        assert policy.choose(udp_probe("10.0.0.1", "10.9.0.1", 5), 1) == 0
+
+    def test_salt_differentiates_routers(self):
+        pa = PerFlowPolicy(salt=b"routerA")
+        pb = PerFlowPolicy(salt=b"routerB")
+        probes = [udp_probe("10.0.0.1", "10.9.0.1", 5, dport=33000 + i)
+                  for i in range(64)]
+        assert ([pa.choose(p, 4) for p in probes]
+                != [pb.choose(p, 4) for p in probes])
+
+    def test_alternative_extractor_is_honoured(self):
+        policy = PerFlowPolicy(extractor=classic_five_tuple)
+        # classic 5-tuple ignores TOS; the default extractor does not.
+        from repro.net import Packet, UDPHeader
+        a = Packet.make("10.0.0.1", "10.9.0.1",
+                        UDPHeader(src_port=1, dst_port=2), ttl=9, tos=0)
+        b = Packet.make("10.0.0.1", "10.9.0.1",
+                        UDPHeader(src_port=1, dst_port=2), ttl=9, tos=32)
+        assert policy.choose(a, 8) == policy.choose(b, 8)
+
+    @given(n=st.integers(1, 16))
+    def test_choice_in_range(self, n):
+        policy = PerFlowPolicy(salt=b"q")
+        p = udp_probe("10.0.0.1", "10.9.0.1", 5)
+        assert 0 <= policy.choose(p, n) < n
+
+
+class TestPerPacketPolicy:
+    def test_random_mode_spreads(self):
+        policy = PerPacketPolicy(seed=1, mode="random")
+        p = udp_probe("10.0.0.1", "10.9.0.1", 5)
+        choices = {policy.choose(p, 2) for _ in range(64)}
+        assert choices == {0, 1}
+
+    def test_random_mode_deterministic_under_seed(self):
+        p = udp_probe("10.0.0.1", "10.9.0.1", 5)
+        a = [PerPacketPolicy(seed=7).choose(p, 4) for _ in range(1)]
+        b = [PerPacketPolicy(seed=7).choose(p, 4) for _ in range(1)]
+        assert a == b
+
+    def test_round_robin_cycles(self):
+        policy = PerPacketPolicy(mode="round-robin")
+        p = udp_probe("10.0.0.1", "10.9.0.1", 5)
+        assert [policy.choose(p, 3) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PerPacketPolicy(mode="spray")
+
+    def test_single_next_hop_short_circuits(self):
+        policy = PerPacketPolicy(mode="round-robin")
+        p = udp_probe("10.0.0.1", "10.9.0.1", 5)
+        assert [policy.choose(p, 1) for _ in range(3)] == [0, 0, 0]
+        # The round-robin counter must not have advanced.
+        assert policy.choose(p, 3) == 0
+
+
+class TestPerDestinationPolicy:
+    def test_same_destination_same_choice(self):
+        policy = PerDestinationPolicy()
+        a = udp_probe("10.0.0.1", "10.9.0.1", 5, dport=1)
+        b = udp_probe("10.0.0.1", "10.9.0.1", 9, dport=2)
+        assert policy.choose(a, 4) == policy.choose(b, 4)
+
+    def test_different_destinations_spread(self):
+        policy = PerDestinationPolicy()
+        choices = {
+            policy.choose(udp_probe("10.0.0.1", f"10.9.0.{i}", 5), 4)
+            for i in range(1, 65)
+        }
+        assert len(choices) > 1
+
+
+class TestFaultProfile:
+    def test_default_is_well_behaved(self):
+        assert FaultProfile().well_behaved
+
+    def test_any_quirk_disables_well_behaved(self):
+        assert not FaultProfile(silent=True).well_behaved
+        assert not FaultProfile(zero_ttl_forwarding=True).well_behaved
+        assert not FaultProfile(response_loss_rate=0.5).well_behaved
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultProfile(response_loss_rate=1.5)
+
+    def test_zero_loss_never_drops(self):
+        profile = FaultProfile()
+        assert not any(profile.response_is_lost() for _ in range(100))
+
+    def test_full_loss_always_drops(self):
+        profile = FaultProfile(response_loss_rate=1.0)
+        assert all(profile.response_is_lost() for _ in range(100))
+
+    def test_partial_loss_is_seeded(self):
+        a = FaultProfile(response_loss_rate=0.5, loss_seed=3)
+        b = FaultProfile(response_loss_rate=0.5, loss_seed=3)
+        assert ([a.response_is_lost() for _ in range(50)]
+                == [b.response_is_lost() for _ in range(50)])
+
+
+class TestLink:
+    def _pair(self):
+        x = Node("X")
+        y = Node("Y")
+        return x.add_interface("10.0.0.1"), y.add_interface("10.0.0.2")
+
+    def test_peer_of(self):
+        a, b = self._pair()
+        link = Link(a=a, b=b)
+        assert link.peer_of(a) is b
+        assert link.peer_of(b) is a
+
+    def test_peer_of_foreign_interface_rejected(self):
+        a, b = self._pair()
+        c, __ = self._pair()
+        with pytest.raises(ValueError):
+            Link(a=a, b=b).peer_of(c)
+
+    def test_down_link_drops(self):
+        a, b = self._pair()
+        link = Link(a=a, b=b, up=False)
+        assert link.drops_packet()
+
+    def test_lossless_link_never_drops(self):
+        a, b = self._pair()
+        link = Link(a=a, b=b)
+        assert not any(link.drops_packet() for _ in range(100))
+
+    def test_loss_rate_validation(self):
+        a, b = self._pair()
+        with pytest.raises(ValueError):
+            Link(a=a, b=b, loss_rate=-0.1)
+
+    def test_negative_delay_rejected(self):
+        a, b = self._pair()
+        with pytest.raises(ValueError):
+            Link(a=a, b=b, delay=-1.0)

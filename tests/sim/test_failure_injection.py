@@ -1,0 +1,201 @@
+"""Failure injection: the tracers under hostile conditions.
+
+Lossy routers, dead links, silent segments, malformed and mismatched
+responses — every failure should degrade output (stars, early halts),
+never crash a tracer or corrupt a measured route.
+"""
+
+import pytest
+
+from repro.core.route import MeasuredRoute
+from repro.net import Packet, UDPHeader
+from repro.net.inet import IPv4Address
+from repro.sim import FaultProfile, ProbeSocket
+from repro.tracer import ClassicTraceroute, ParisTraceroute, TracerouteOptions
+
+from tests.sim.helpers import chain_network, diamond_network, udp_probe
+
+
+class TestLossAndSilence:
+    def test_partial_response_loss_yields_mid_route_stars(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(response_loss_rate=0.5, loss_seed=3)
+        sock = ProbeSocket(net, s)
+        tracer = ParisTraceroute(sock, seed=1)
+        stars = 0
+        for __ in range(20):
+            route = MeasuredRoute.from_result(tracer.trace(d.address))
+            if route.hops[0].is_star:
+                stars += 1
+            # Whatever was lost, the route is well-formed and the
+            # destination hop is the last one probed.
+            assert route.hops[-1].ttl == len(route.hops)
+        assert 0 < stars < 20
+
+    def test_fully_silent_path_halts_on_star_budget(self):
+        net, s, r1, r2, d = chain_network()
+        for node in (r1, r2, d):
+            node.faults = FaultProfile(silent=True)
+        d.pingable = False
+        tracer = ClassicTraceroute(ProbeSocket(net, s))
+        result = tracer.trace(d.address)
+        assert result.halt_reason == "stars"
+        assert result.star_count() == 8
+
+    def test_dead_link_mid_path(self):
+        net, s, r1, r2, d = chain_network()
+        # Kill the R1-R2 link: probes beyond hop 1 vanish.
+        net.links[1].up = False
+        tracer = ClassicTraceroute(ProbeSocket(net, s))
+        result = tracer.trace(d.address)
+        assert result.halt_reason == "stars"
+        assert result.hops[0].first_address == IPv4Address("10.0.0.2")
+        assert all(h.all_stars for h in result.hops[1:])
+
+    def test_link_loss_affects_both_directions(self):
+        net, s, r1, r2, d = chain_network()
+        net.links[0].loss_rate = 1.0
+        sock = ProbeSocket(net, s)
+        assert sock.send_probe(
+            udp_probe(s.address, d.address, 5).build()) is None
+
+
+class TestMalformedResponses:
+    def test_mismatched_response_becomes_star(self):
+        # A response quoting someone else's probe must not be accepted.
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        tracer = ParisTraceroute(sock, seed=1)
+        builder = tracer.make_builder(IPv4Address(d.address))
+        probe = builder.build(1)
+        foreign = Packet.make(s.address, d.address,
+                              UDPHeader(src_port=9, dst_port=9), ttl=1)
+        response = r1.make_time_exceeded(foreign, r1.interface(0))
+        assert not builder.matches(probe, response)
+
+    def test_truncated_quote_rejected_not_crashing(self):
+        from repro.net.icmp import ICMPTimeExceeded
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        tracer = ParisTraceroute(sock, seed=1)
+        builder = tracer.make_builder(IPv4Address(d.address))
+        probe = builder.build(1)
+        stunted = Packet.make(
+            r1.interface(0).address, s.address,
+            ICMPTimeExceeded(quoted_header=probe.ip,
+                             quoted_payload=b"\x01\x02"),  # 2 of 8 octets
+            ttl=255)
+        assert builder.matches(probe, stunted) is False
+
+    def test_fake_source_router_still_traceable(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(
+            fake_source_address=IPv4Address("172.30.0.9"))
+        tracer = ParisTraceroute(ProbeSocket(net, s), seed=1)
+        result = tracer.trace(d.address)
+        # The fake address is reported (the quote still matches our
+        # probe), and the rest of the trace proceeds normally.
+        assert str(result.hops[0].first_address) == "172.30.0.9"
+        assert result.reached
+
+
+class TestPathologicalOptions:
+    def test_max_ttl_one(self):
+        net, s, r1, r2, d = chain_network()
+        tracer = ClassicTraceroute(
+            ProbeSocket(net, s), options=TracerouteOptions(max_ttl=1))
+        result = tracer.trace(d.address)
+        assert len(result.hops) == 1
+        assert result.halt_reason == "max-ttl"
+
+    def test_star_budget_one(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(silent=True)
+        tracer = ClassicTraceroute(
+            ProbeSocket(net, s),
+            options=TracerouteOptions(max_consecutive_stars=1))
+        result = tracer.trace(d.address)
+        assert result.halt_reason == "stars"
+        assert len(result.hops) == 1
+
+    def test_many_probes_per_hop_through_lossy_diamond(self):
+        net, s, l, a, b, m, d = diamond_network()
+        for node in (a, b):
+            node.faults = FaultProfile(response_loss_rate=0.3,
+                                       loss_seed=7)
+        tracer = ClassicTraceroute(
+            ProbeSocket(net, s),
+            options=TracerouteOptions(probes_per_hop=5))
+        result = tracer.trace(d.address)
+        assert result.reached
+        hop2 = result.hop(2)
+        assert len(hop2.replies) == 5
+        # Mixed stars and answers at a lossy balanced hop are fine.
+        assert 0 < len([r for r in hop2.replies if not r.is_star]) <= 5
+
+
+class TestCampaignUnderFailures:
+    def test_campaign_survives_broken_destinations(self):
+        from repro.measurement import Campaign, CampaignConfig
+        net, s, r1, r2, d = chain_network()
+        d.pingable = False
+        d.faults = FaultProfile(silent=True)
+        campaign = Campaign(net, s, [d.address],
+                            CampaignConfig(rounds=2, seed=1, min_ttl=1))
+        result = campaign.run()
+        assert len(result.routes) == 4
+        assert all(r.halt_reason in ("stars", "max-ttl")
+                   for r in result.routes)
+
+
+class TestRateLimiting:
+    def test_burst_gets_one_response(self):
+        net, s, r1, r2, d = chain_network()
+        # One response per 10 s: even with the 2 s star timeouts
+        # spacing the traces out, three back-to-back traces fit inside
+        # one limiter interval.
+        r1.faults = FaultProfile(icmp_rate_limit=0.1)
+        sock = ProbeSocket(net, s)
+        tracer = ParisTraceroute(sock, seed=1)
+        answered = 0
+        for __ in range(3):
+            route = MeasuredRoute.from_result(tracer.trace(d.address))
+            if not route.hops[0].is_star:
+                answered += 1
+        assert answered == 1
+
+    def test_spaced_probes_all_answered(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(icmp_rate_limit=0.1)
+        sock = ProbeSocket(net, s)
+        tracer = ParisTraceroute(sock, seed=1)
+        answered = 0
+        for __ in range(3):
+            route = MeasuredRoute.from_result(tracer.trace(d.address))
+            if not route.hops[0].is_star:
+                answered += 1
+            net.clock.advance(10.0)  # respect the limiter between traces
+        assert answered == 3
+
+    def test_zero_limit_means_unlimited(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(icmp_rate_limit=0.0)
+        sock = ProbeSocket(net, s)
+        tracer = ParisTraceroute(sock, seed=1)
+        for __ in range(3):
+            route = MeasuredRoute.from_result(tracer.trace(d.address))
+            assert not route.hops[0].is_star
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FaultProfile(icmp_rate_limit=-1.0)
+
+    def test_rate_limit_only_affects_expiry_responses(self):
+        # Forwarding is never rate limited: deeper hops still answer.
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(icmp_rate_limit=0.5)
+        sock = ProbeSocket(net, s)
+        tracer = ParisTraceroute(sock, seed=1)
+        route = MeasuredRoute.from_result(tracer.trace(d.address))
+        assert not route.hops[1].is_star   # R2 answers
+        assert route.hops[-1].ttl == 3     # destination reached

@@ -1,0 +1,395 @@
+"""Tests for network wiring, the packet walk, hosts, NAT, and dynamics."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import Packet, TCPHeader, UDPHeader
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPEchoReply,
+    ICMPEchoRequest,
+    ICMPTimeExceeded,
+)
+from repro.net.inet import IPv4Address
+from repro.net.tcp import TCPFlags
+from repro.sim import (
+    FaultProfile,
+    ForwardingLoopWindow,
+    Host,
+    MeasurementHost,
+    NatBox,
+    Network,
+    ProbeSocket,
+    RouteChange,
+    Router,
+)
+from repro.sim.dynamics import RouteWithdrawal
+
+from tests.sim.helpers import chain_network, diamond_network, udp_probe
+
+
+class TestWiring:
+    def test_duplicate_node_name_rejected(self):
+        net = Network()
+        net.add_node(Router("A"))
+        with pytest.raises(TopologyError):
+            net.add_node(Router("A"))
+
+    def test_duplicate_address_rejected(self):
+        net = Network()
+        a = Router("A")
+        ia = a.add_interface("10.0.0.1")
+        b = Router("B")
+        ib = b.add_interface("10.0.0.1")
+        net.add_node(a)
+        with pytest.raises(TopologyError):
+            net.add_node(b)
+
+    def test_double_linking_rejected(self):
+        net = Network()
+        a = Router("A")
+        ia = a.add_interface("10.0.0.1")
+        b = Router("B")
+        ib = b.add_interface("10.0.0.2")
+        c = Router("C")
+        ic = c.add_interface("10.0.0.3")
+        for n in (a, b, c):
+            net.add_node(n)
+        net.link(ia, ib)
+        with pytest.raises(TopologyError):
+            net.link(ia, ic)
+
+    def test_node_owning(self):
+        net, s, r1, r2, d = chain_network()
+        assert net.node_owning(IPv4Address("10.0.1.1")) is r1
+        assert net.node_owning(IPv4Address("1.1.1.1")) is None
+
+    def test_node_lookup_by_name(self):
+        net, s, r1, r2, d = chain_network()
+        assert net.node("R2") is r2
+        with pytest.raises(TopologyError):
+            net.node("nope")
+
+    def test_describe_lists_everything(self):
+        net, s, r1, r2, d = chain_network()
+        text = net.describe()
+        assert "R1" in text and "10.9.0.1" in text
+
+
+class TestWalk:
+    def test_probe_reaches_destination_and_draws_unreachable(self):
+        net, s, r1, r2, d = chain_network()
+        result = net.inject(udp_probe(s.address, d.address, ttl=9), at=s)
+        back = result.delivered_to(s)
+        assert len(back) == 1
+        assert isinstance(back[0].packet.transport, ICMPDestinationUnreachable)
+        assert back[0].packet.src == d.address
+
+    def test_ttl_expiry_mid_path(self):
+        net, s, r1, r2, d = chain_network()
+        result = net.inject(udp_probe(s.address, d.address, ttl=2), at=s)
+        back = result.delivered_to(s)
+        assert len(back) == 1
+        assert isinstance(back[0].packet.transport, ICMPTimeExceeded)
+        assert back[0].packet.src == r2.interface(0).address
+
+    def test_elapsed_accumulates_link_delays(self):
+        net, s, r1, r2, d = chain_network()
+        result = net.inject(udp_probe(s.address, d.address, ttl=1), at=s)
+        # one hop out, one hop back, 1 ms per traversal
+        assert result.delivered_to(s)[0].elapsed == pytest.approx(0.002)
+
+    def test_echo_request_to_destination(self):
+        net, s, r1, r2, d = chain_network()
+        ping = Packet.make(s.address, d.address,
+                           ICMPEchoRequest(identifier=5, sequence=1), ttl=20)
+        result = net.inject(ping, at=s)
+        back = result.delivered_to(s)
+        assert isinstance(back[0].packet.transport, ICMPEchoReply)
+
+    def test_unpingable_host_stays_silent(self):
+        net, s, r1, r2, d = chain_network()
+        d.pingable = False
+        ping = Packet.make(s.address, d.address,
+                           ICMPEchoRequest(identifier=5, sequence=1), ttl=20)
+        result = net.inject(ping, at=s)
+        assert result.delivered_to(s) == []
+        assert any("not pingable" in drop.reason for drop in result.drops)
+
+    def test_tcp_syn_to_open_port_draws_synack(self):
+        net, s, r1, r2, d = chain_network()
+        syn = Packet.make(s.address, d.address,
+                          TCPHeader(src_port=3333, dst_port=80, seq=41), ttl=9)
+        result = net.inject(syn, at=s)
+        answer = result.delivered_to(s)[0].packet.transport
+        assert answer.flags == int(TCPFlags.SYN | TCPFlags.ACK)
+        assert answer.ack == 42
+
+    def test_tcp_syn_to_closed_port_draws_rst(self):
+        net, s, r1, r2, d = chain_network()
+        syn = Packet.make(s.address, d.address,
+                          TCPHeader(src_port=3333, dst_port=31337), ttl=9)
+        result = net.inject(syn, at=s)
+        answer = result.delivered_to(s)[0].packet.transport
+        assert answer.flags & int(TCPFlags.RST)
+
+    def test_lossy_link_drops_probe(self):
+        net = Network()
+        s = MeasurementHost("S")
+        s.add_interface("10.0.0.1")
+        d = Host("D")
+        di = d.add_interface("10.9.0.1")
+        net.add_node(s)
+        net.add_node(d)
+        net.link(s.interfaces[0], di, loss_rate=1.0)
+        result = net.inject(udp_probe(s.address, d.address, 5), at=s)
+        assert result.delivered_to(s) == []
+        assert any("lost on link" in drop.reason for drop in result.drops)
+
+    def test_unlinked_interface_drop_is_reported(self):
+        net = Network()
+        s = MeasurementHost("S")
+        s.add_interface("10.0.0.1")
+        net.add_node(s)
+        result = net.inject(udp_probe(s.address, "10.9.0.1", 5), at=s)
+        assert any("no link" in drop.reason for drop in result.drops)
+
+    def test_two_faulty_routers_still_terminate(self):
+        # Even back-to-back zero-TTL forwarders cannot loop a packet:
+        # a TTL-0 arrival is answered before the fault is consulted.
+        net = Network()
+        s = MeasurementHost("S")
+        s.add_interface("10.0.0.1")
+        a = Router("A", faults=FaultProfile(zero_ttl_forwarding=True))
+        a_up = a.add_interface("10.0.0.2")
+        a_down = a.add_interface("10.0.1.1")
+        b = Router("B", faults=FaultProfile(zero_ttl_forwarding=True))
+        b_up = b.add_interface("10.0.1.2")
+        for n in (s, a, b):
+            net.add_node(n)
+        net.link(s.interfaces[0], a_up)
+        net.link(a_down, b_up)
+        a.add_route("10.9.0.0/16", a_down)
+        a.add_default_route(a_up)
+        b.add_default_route(b_up)
+        result = net.inject(udp_probe(s.address, "10.9.0.1", 1), at=s)
+        back = result.delivered_to(s)
+        assert back[0].packet.src == b_up.address
+        assert back[0].packet.transport.probe_ttl == 0
+
+    def test_walk_step_budget_caps_malicious_forwarders(self):
+        # A node that re-transmits without decrementing TTL would walk
+        # forever; the step budget must end it.
+        from repro.sim.node import Transmit
+
+        class EchoForwarder(Router):
+            def receive(self, packet, in_interface, network):
+                return [Transmit(self.interfaces[0], packet)]
+
+        net = Network()
+        e = EchoForwarder("E")
+        e_if = e.add_interface("10.0.0.1")
+        f = EchoForwarder("F")
+        f_if = f.add_interface("10.0.0.2")
+        net.add_node(e)
+        net.add_node(f)
+        net.link(e_if, f_if)
+        e.add_default_route(e_if)
+        result = net.inject(udp_probe("10.0.0.1", "10.9.0.1", 64), at=e)
+        assert any("step budget" in drop.reason for drop in result.drops)
+
+
+class TestNat:
+    def _nat_network(self):
+        """S -- R -- N(nat) -- B -- D, with B and D behind the NAT."""
+        net = Network()
+        s = MeasurementHost("S")
+        s.add_interface("10.0.0.1")
+        r = Router("R")
+        r_up = r.add_interface("10.0.0.2")
+        r_down = r.add_interface("10.0.1.1")
+        n = NatBox("N")
+        n_ext = n.add_interface("10.0.1.2")       # external = index 0
+        n_int = n.add_interface("192.168.0.1")    # inside
+        b = Router("B")
+        b_up = b.add_interface("192.168.0.2")
+        b_down = b.add_interface("192.168.1.1")
+        d = Host("D")
+        di = d.add_interface("192.168.1.2")
+        for node in (s, r, n, b, d):
+            net.add_node(node)
+        net.link(s.interfaces[0], r_up)
+        net.link(r_down, n_ext)
+        net.link(n_int, b_up)
+        net.link(b_down, di)
+        r.add_route("192.168.0.0/16", r_down)
+        r.add_default_route(r_up)
+        n.add_route("192.168.0.0/16", n_int)
+        n.add_default_route(n_ext)
+        b.add_route("192.168.1.0/24", b_down)
+        b.add_default_route(b_up)
+        return net, s, r, n, b, d
+
+    def test_inner_router_response_is_masqueraded(self):
+        net, s, r, n, b, d = self._nat_network()
+        result = net.inject(udp_probe(s.address, d.address, ttl=3), at=s)
+        back = result.delivered_to(s)[0].packet
+        # Probe expired at B (hop 3) but the response shows N's external
+        # address: the Fig. 5 address-rewriting effect.
+        assert back.src == n.interface(0).address
+        assert isinstance(back.transport, ICMPTimeExceeded)
+
+    def test_nat_own_response_not_doubly_rewritten(self):
+        net, s, r, n, b, d = self._nat_network()
+        result = net.inject(udp_probe(s.address, d.address, ttl=2), at=s)
+        back = result.delivered_to(s)[0].packet
+        assert back.src == n.interface(0).address
+
+    def test_response_ttl_gradient_preserved(self):
+        # Deeper routers' responses cross more hops, so their TTL at S
+        # is smaller — the paper's NAT-detection signal.
+        net, s, r, n, b, d = self._nat_network()
+        ttls = []
+        for probe_ttl in (2, 3, 4):
+            result = net.inject(udp_probe(s.address, d.address, probe_ttl),
+                                at=s)
+            ttls.append(result.delivered_to(s)[0].packet.ttl)
+        assert ttls[0] > ttls[1] > ttls[2]
+
+    def test_probes_toward_inside_are_not_rewritten(self):
+        net, s, r, n, b, d = self._nat_network()
+        result = net.inject(udp_probe(s.address, d.address, ttl=9), at=s)
+        # The final answer comes from D but is masqueraded on the way
+        # out; the *probe* itself reached D unmodified (it drew a port
+        # unreachable quoting the original header).
+        back = result.delivered_to(s)[0].packet
+        assert back.transport.quoted_header.dst == d.address
+
+    def test_ip_ids_of_masqueraded_responses_stay_per_router(self):
+        net, s, r, n, b, d = self._nat_network()
+        first = net.inject(udp_probe(s.address, d.address, 3), at=s)
+        second = net.inject(udp_probe(s.address, d.address, 3), at=s)
+        id_a = first.delivered_to(s)[0].packet.ip.identification
+        id_b = second.delivered_to(s)[0].packet.ip.identification
+        assert id_b == id_a + 1  # B's own counter, untouched by the NAT
+
+
+class TestDynamics:
+    def test_route_change_swaps_path_at_time(self):
+        net, s, l, a, b, m, d = diamond_network()
+        # Statically pin L toward A, then swap to B at t=100.
+        l._table = [e for e in l.table if e.prefix.length == 0]
+        l.add_route("10.9.0.0/16", l.interface(1))
+        net.add_dynamics(RouteChange(
+            router=l, prefix="10.9.0.0/16",
+            egresses=[l.interface(2)], at_time=100.0,
+        ))
+        before = net.inject(udp_probe(s.address, d.address, 2), at=s)
+        assert before.delivered_to(s)[0].packet.src == a.interface(0).address
+        net.clock.advance_to(150.0)
+        after = net.inject(udp_probe(s.address, d.address, 2), at=s)
+        assert after.delivered_to(s)[0].packet.src == b.interface(0).address
+
+    def test_route_withdrawal_turns_router_unreachable(self):
+        net, s, r1, r2, d = chain_network()
+        net.add_dynamics(RouteWithdrawal(
+            router=r2, prefix="10.9.0.0/16", at_time=50.0))
+        ok = net.inject(udp_probe(s.address, d.address, 9), at=s)
+        assert isinstance(ok.delivered_to(s)[0].packet.transport,
+                          ICMPDestinationUnreachable)
+        assert ok.delivered_to(s)[0].packet.src == d.address
+        net.clock.advance_to(60.0)
+        broken = net.inject(udp_probe(s.address, d.address, 9), at=s)
+        answer = broken.delivered_to(s)[0].packet
+        assert isinstance(answer.transport, ICMPDestinationUnreachable)
+        assert answer.src == r2.interface(0).address
+
+    def test_forwarding_loop_window(self):
+        net, s, r1, r2, d = chain_network()
+        # During the window, R1 and R2 bounce packets for D between
+        # themselves; the probe's TTL dies inside the loop.
+        window = ForwardingLoopWindow(
+            ring=[(r1, r1.interface(1)), (r2, r2.interface(0))],
+            prefix="10.9.0.0/16", start=10.0, end=20.0,
+        )
+        net.add_dynamics(window)
+        net.clock.advance_to(12.0)
+        result = net.inject(udp_probe(s.address, d.address, ttl=30), at=s)
+        back = result.delivered_to(s)
+        # TTL died in the ring: a Time Exceeded from R1 or R2, not D.
+        assert isinstance(back[0].packet.transport, ICMPTimeExceeded)
+        net.clock.advance_to(25.0)
+        healed = net.inject(udp_probe(s.address, d.address, ttl=30), at=s)
+        assert isinstance(healed.delivered_to(s)[0].packet.transport,
+                          ICMPDestinationUnreachable)
+
+    def test_forwarding_loop_validation(self):
+        net, s, r1, r2, d = chain_network()
+        with pytest.raises(TopologyError):
+            ForwardingLoopWindow(ring=[(r1, r1.interface(1))],
+                                 prefix="10.9.0.0/16", start=0, end=1)
+        with pytest.raises(TopologyError):
+            ForwardingLoopWindow(
+                ring=[(r1, r1.interface(1)), (r2, r2.interface(0))],
+                prefix="10.9.0.0/16", start=5, end=5,
+            )
+        with pytest.raises(TopologyError):
+            ForwardingLoopWindow(
+                ring=[(r1, r2.interface(0)), (r2, r1.interface(1))],
+                prefix="10.9.0.0/16", start=0, end=1,
+            ).apply(net, 0.5)
+
+
+class TestProbeSocket:
+    def test_response_roundtrip(self):
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        response = sock.send_probe(udp_probe(s.address, d.address, 1).build())
+        assert response is not None
+        assert isinstance(response.packet.transport, ICMPTimeExceeded)
+        assert response.rtt == pytest.approx(0.002)
+
+    def test_timeout_advances_clock_and_returns_none(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(silent=True)
+        sock = ProbeSocket(net, s, timeout=2.0)
+        before = net.clock.now
+        assert sock.send_probe(udp_probe(s.address, d.address, 1).build()) is None
+        assert net.clock.now == pytest.approx(before + 2.0)
+
+    def test_successful_probe_advances_clock_by_rtt(self):
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        before = net.clock.now
+        response = sock.send_probe(udp_probe(s.address, d.address, 1).build())
+        assert net.clock.now == pytest.approx(before + response.rtt)
+
+    def test_late_response_counts_as_timeout(self):
+        net, s, r1, r2, d = chain_network()
+        for link in net.links:
+            link.delay = 3.0  # one-way beyond the 2 s budget
+        sock = ProbeSocket(net, s, timeout=2.0)
+        assert sock.send_probe(udp_probe(s.address, d.address, 1).build()) is None
+
+    def test_spoofed_source_rejected(self):
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        from repro.errors import TracerError
+        with pytest.raises(TracerError):
+            sock.send_probe(udp_probe("1.2.3.4", d.address, 1).build())
+
+    def test_counters(self):
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        sock.send_probe(udp_probe(s.address, d.address, 1).build())
+        r1.faults = FaultProfile(silent=True)
+        sock.send_probe(udp_probe(s.address, d.address, 1).build())
+        assert (sock.probes_sent, sock.responses_received) == (2, 1)
+
+    def test_foreign_host_rejected(self):
+        net, s, r1, r2, d = chain_network()
+        stranger = MeasurementHost("Z")
+        stranger.add_interface("10.8.0.1")
+        from repro.errors import TracerError
+        with pytest.raises(TracerError):
+            ProbeSocket(net, stranger)

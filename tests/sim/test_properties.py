@@ -1,0 +1,148 @@
+"""Property-based invariants of the simulator.
+
+These pin down the physics every other layer relies on: quoting
+fidelity, TTL accounting, single-response discipline, determinism, and
+byte-level survivability of arbitrary probe headers.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import Packet, UDPHeader
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPEchoRequest,
+    ICMPTimeExceeded,
+)
+from repro.net.inet import IPv4Address
+from repro.net.tcp import TCPHeader
+from repro.sim import ProbeSocket
+
+from tests.sim.helpers import chain_network, diamond_network, udp_probe
+
+ports = st.integers(0, 0xFFFF)
+payloads = st.binary(max_size=48)
+ttls = st.integers(1, 64)
+
+
+class TestQuotingFidelity:
+    @given(sport=ports, dport=ports, payload=payloads, ttl=st.integers(1, 3))
+    @settings(max_examples=60)
+    def test_icmp_error_quotes_exact_probe_bytes(self, sport, dport,
+                                                 payload, ttl):
+        net, s, r1, r2, d = chain_network()
+        probe = Packet.make(s.address, d.address,
+                            UDPHeader(src_port=sport, dst_port=dport),
+                            payload=payload, ttl=ttl)
+        result = net.inject(probe, at=s)
+        back = result.delivered_to(s)
+        assert len(back) == 1
+        transport = back[0].packet.transport
+        assert isinstance(transport,
+                          (ICMPTimeExceeded, ICMPDestinationUnreachable))
+        # The quote carries the probe's addresses and first 8 transport
+        # octets — regardless of what the probe contained.
+        assert transport.quoted_header.src == probe.src
+        assert transport.quoted_header.dst == probe.dst
+        expected = probe.transport_bytes()[:8]
+        assert transport.quoted_payload == expected
+
+    @given(ttl=st.integers(1, 2))
+    @settings(max_examples=10)
+    def test_quoted_probe_ttl_is_one_on_healthy_routers(self, ttl):
+        net, s, r1, r2, d = chain_network()
+        probe = udp_probe(s.address, d.address, ttl)
+        back = net.inject(probe, at=s).delivered_to(s)
+        assert back[0].packet.transport.probe_ttl == 1
+
+
+class TestSingleResponseDiscipline:
+    @given(sport=ports, dport=ports, ttl=ttls)
+    @settings(max_examples=60)
+    def test_at_most_one_delivery_per_probe(self, sport, dport, ttl):
+        net, s, l, a, b, m, d = diamond_network()
+        probe = Packet.make(s.address, d.address,
+                            UDPHeader(src_port=sport, dst_port=dport),
+                            ttl=ttl)
+        result = net.inject(probe, at=s)
+        assert len(result.delivered_to(s)) <= 1
+
+    @given(ttl=ttls, seq=st.integers(0, 0xFFFF))
+    @settings(max_examples=40)
+    def test_echo_probes_also_single_response(self, ttl, seq):
+        net, s, r1, r2, d = chain_network()
+        probe = Packet.make(s.address, d.address,
+                            ICMPEchoRequest(identifier=1, sequence=seq),
+                            ttl=ttl)
+        assert len(net.inject(probe, at=s).delivered_to(s)) <= 1
+
+
+class TestTtlAccounting:
+    @given(ttl=st.integers(1, 30))
+    @settings(max_examples=30)
+    def test_response_ttl_decreases_with_distance(self, ttl):
+        # At hop h the response crosses h-1 routers on the way back, so
+        # its arrival TTL is initial - (h - 1).
+        net, s, r1, r2, d = chain_network()
+        probe = udp_probe(s.address, d.address, min(ttl, 2))
+        back = net.inject(probe, at=s).delivered_to(s)
+        hop = min(ttl, 2)
+        assert back[0].packet.ttl == 255 - (hop - 1)
+
+    @given(sport=ports, dport=ports)
+    @settings(max_examples=30)
+    def test_forwarded_probe_loses_exactly_path_length(self, sport, dport):
+        net, s, r1, r2, d = chain_network()
+        probe = Packet.make(s.address, d.address,
+                            UDPHeader(src_port=sport, dst_port=dport),
+                            ttl=40)
+        back = net.inject(probe, at=s).delivered_to(s)
+        quoted = back[0].packet.transport.quoted_header
+        # Two routers decrement before the destination sees it.
+        assert quoted.ttl == 40 - 2
+
+
+class TestDeterminism:
+    @given(sport=ports, dport=ports, ttl=ttls)
+    @settings(max_examples=40)
+    def test_identical_probes_identical_outcomes(self, sport, dport, ttl):
+        # Two networks built identically, same probe: byte-identical
+        # responses (IP-ID counters both start fresh).
+        outcomes = []
+        for __ in range(2):
+            net, s, l, a, b, m, d = diamond_network()
+            probe = Packet.make(s.address, d.address,
+                                UDPHeader(src_port=sport, dst_port=dport),
+                                ttl=ttl)
+            back = net.inject(probe, at=s).delivered_to(s)
+            outcomes.append(back[0].packet.build() if back else None)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestByteRealism:
+    @given(sport=ports, dport=ports, payload=payloads, ttl=ttls)
+    @settings(max_examples=60)
+    def test_socket_roundtrip_never_corrupts(self, sport, dport, payload,
+                                             ttl):
+        # Arbitrary probes through the byte-level socket: the response,
+        # if any, parses and its checksums verify.
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        probe = Packet.make(s.address, d.address,
+                            UDPHeader(src_port=sport, dst_port=dport),
+                            payload=payload, ttl=ttl)
+        response = sock.send_probe(probe.build())
+        assert response is not None
+        reparsed = Packet.parse(response.raw)  # verifies IP checksum
+        assert reparsed.src == response.packet.src
+
+    @given(seq=st.integers(0, 0xFFFFFFFF), ttl=ttls)
+    @settings(max_examples=40)
+    def test_tcp_probes_survive(self, seq, ttl):
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        probe = Packet.make(s.address, d.address,
+                            TCPHeader(src_port=1025, dst_port=80, seq=seq),
+                            ttl=ttl)
+        response = sock.send_probe(probe.build())
+        assert response is not None

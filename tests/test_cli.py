@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestFiguresCommand:
+    def test_lists_all_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for key in ("figure 1", "figure 3", "figure 4",
+                    "figure 5", "figure 6"):
+            assert key in out
+
+
+class TestTraceCommand:
+    def test_paris_trace_defaults(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "paris-udp to 10.9.0.1" in out
+        assert "# halted: destination" in out
+
+    def test_classic_trace_on_figure4(self, capsys):
+        assert main(["trace", "--figure", "4", "--tool", "classic"]) == 0
+        out = capsys.readouterr().out
+        assert "classic-udp" in out
+
+    def test_verbose_shows_forensics(self, capsys):
+        assert main(["trace", "--figure", "5", "--tool", "paris",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "rTTL=" in out
+
+    def test_zero_ttl_visible_in_verbose(self, capsys):
+        assert main(["trace", "--figure", "4", "--tool", "paris",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "pTTL=0" in out
+
+    def test_tcp_tool(self, capsys):
+        assert main(["trace", "--figure", "3", "--tool", "tcp"]) == 0
+        out = capsys.readouterr().out
+        assert "tcptraceroute" in out
+
+    def test_classic_tcp_rejected(self, capsys):
+        assert main(["trace", "--tool", "classic",
+                     "--method", "tcp"]) == 2
+        assert "no TCP mode" in capsys.readouterr().err
+
+    def test_paris_icmp_method(self, capsys):
+        assert main(["trace", "--figure", "3", "--tool", "paris",
+                     "--method", "icmp"]) == 0
+        assert "paris-icmp" in capsys.readouterr().out
+
+
+class TestMdaCommand:
+    def test_mda_on_figure6(self, capsys):
+        assert main(["mda", "--figure", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "MDA toward" in out
+        assert "interface(s)" in out
+
+
+class TestExperimentCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--trials", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "0.2500" in out  # the analytic value is exact
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[matches Fig. 2]") == 6

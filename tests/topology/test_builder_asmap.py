@@ -1,0 +1,187 @@
+"""Tests for the topology builder and the IP-to-AS mapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, TopologyError
+from repro.net import Packet, UDPHeader
+from repro.net.icmp import ICMPDestinationUnreachable
+from repro.net.inet import IPv4Address, Prefix
+from repro.sim import PerFlowPolicy
+from repro.topology.asmap import AsAssignment, AsMapper
+from repro.topology.builder import TopologyBuilder
+
+
+class TestBuilderNodes:
+    def test_source_router_host_nat(self):
+        b = TopologyBuilder()
+        s = b.source()
+        r = b.router("R")
+        h = b.host("D", "10.9.0.1")
+        n = b.nat("N")
+        assert {s.name, r.name, h.name, n.name} <= set(b.net.nodes)
+
+    def test_connect_allocates_distinct_subnets(self):
+        b = TopologyBuilder()
+        r1, r2, r3 = b.router("R1"), b.router("R2"), b.router("R3")
+        ia, ib = b.connect(r1, r2)
+        ic, idd = b.connect(r2, r3)
+        addresses = {ia.address, ib.address, ic.address, idd.address}
+        assert len(addresses) == 4
+
+    def test_connect_with_explicit_subnet(self):
+        b = TopologyBuilder()
+        r1, r2 = b.router("R1"), b.router("R2")
+        ia, ib = b.connect(r1, r2, subnet="192.0.2.0/30")
+        assert str(ia.address) == "192.0.2.1"
+        assert str(ib.address) == "192.0.2.2"
+
+    def test_connect_with_explicit_addresses(self):
+        b = TopologyBuilder()
+        r1, r2 = b.router("R1"), b.router("R2")
+        ia, ib = b.connect(r1, r2, addresses=("1.1.1.1", "1.1.1.2"))
+        assert str(ia.address) == "1.1.1.1"
+
+    def test_connect_reuses_host_interface(self):
+        b = TopologyBuilder()
+        r = b.router("R")
+        h = b.host("D", "10.9.0.1")
+        __, ih = b.connect(r, h)
+        assert ih is h.interfaces[0]
+        assert str(ih.address) == "10.9.0.1"
+
+    def test_host_cannot_be_connected_twice(self):
+        b = TopologyBuilder()
+        r1, r2 = b.router("R1"), b.router("R2")
+        h = b.host("D", "10.9.0.1")
+        b.connect(r1, h)
+        with pytest.raises(TopologyError):
+            b.connect(r2, h)
+
+    def test_build_rejects_unlinked_interfaces(self):
+        b = TopologyBuilder()
+        r = b.router("R")
+        r.add_interface("10.0.0.1")
+        with pytest.raises(TopologyError):
+            b.build()
+
+    def test_chain_needs_two_nodes(self):
+        b = TopologyBuilder()
+        with pytest.raises(TopologyError):
+            b.chain([b.router("R1")], "10.9.0.0/16")
+
+
+class TestBuilderChainRouting:
+    def test_chain_end_to_end(self):
+        b = TopologyBuilder()
+        s = b.source()
+        r1, r2 = b.router("R1"), b.router("R2")
+        d = b.host("D", "10.9.0.1")
+        b.chain([s, r1, r2, d], "10.9.0.0/16")
+        net = b.build()
+        probe = Packet.make(s.address, d.address,
+                            UDPHeader(src_port=1, dst_port=33435), ttl=30)
+        result = net.inject(probe, at=s)
+        answer = result.delivered_to(s)[0].packet
+        assert isinstance(answer.transport, ICMPDestinationUnreachable)
+        assert answer.src == d.address
+
+    def test_chain_return_path(self):
+        b = TopologyBuilder()
+        s = b.source()
+        routers = [b.router(f"R{i}") for i in range(4)]
+        d = b.host("D", "10.9.0.1")
+        b.chain([s, *routers, d], "10.9.0.0/16")
+        net = b.build()
+        for ttl in range(1, 5):
+            probe = Packet.make(s.address, d.address,
+                                UDPHeader(src_port=1, dst_port=33435), ttl=ttl)
+            result = net.inject(probe, at=s)
+            assert len(result.delivered_to(s)) == 1
+
+    def test_branch_and_balanced_route(self):
+        b = TopologyBuilder()
+        s = b.source()
+        l, j = b.router("L"), b.router("J")
+        a, c = b.router("A"), b.router("C")
+        d = b.host("D", "10.9.0.1")
+        b.chain([s, l], "10.9.0.0/16")
+        top = b.branch(l, [a], j, "10.9.0.0/16")
+        bottom = b.branch(l, [c], j, "10.9.0.0/16")
+        b.balanced_route(l, "10.9.0.0/16", [top[0], bottom[0]],
+                         PerFlowPolicy(salt=b"L"))
+        j_down, __ = b.connect(j, d)
+        j.add_route("10.9.0.0/16", j_down)
+        j.add_default_route(top[1])
+        net = b.build()
+        # Different flows spread over A and C at hop 2.
+        seen = set()
+        for port in range(20000, 20040):
+            probe = Packet.make(s.address, d.address,
+                                UDPHeader(src_port=port, dst_port=33435),
+                                ttl=2)
+            result = net.inject(probe, at=s)
+            seen.add(result.delivered_to(s)[0].packet.src)
+        assert seen == {a.interface(0).address, c.interface(0).address}
+
+
+class TestAsMapper:
+    def test_simple_lookup(self):
+        mapper = AsMapper()
+        mapper.announce("5.1.0.0/16", 1)
+        mapper.announce("5.2.0.0/16", 2)
+        assert mapper.lookup("5.1.3.4") == 1
+        assert mapper.lookup("5.2.0.1") == 2
+
+    def test_unrouted_returns_none(self):
+        mapper = AsMapper()
+        mapper.announce("5.1.0.0/16", 1)
+        assert mapper.lookup("9.9.9.9") is None
+
+    def test_longest_prefix_wins(self):
+        mapper = AsMapper()
+        mapper.announce("10.0.0.0/8", 100)
+        mapper.announce("10.5.0.0/16", 200)
+        assert mapper.lookup("10.5.1.1") == 200
+        assert mapper.lookup("10.6.1.1") == 100
+
+    def test_host_route_wins_over_everything(self):
+        mapper = AsMapper()
+        mapper.announce("0.0.0.0/0", 1)
+        mapper.announce("10.0.0.0/8", 2)
+        mapper.announce("10.1.2.3/32", 3)
+        assert mapper.lookup("10.1.2.3") == 3
+        assert mapper.lookup("10.1.2.4") == 2
+        assert mapper.lookup("192.0.2.1") == 1
+
+    def test_reannouncement_overwrites(self):
+        mapper = AsMapper()
+        mapper.announce("5.1.0.0/16", 1)
+        mapper.announce("5.1.0.0/16", 7)
+        assert mapper.lookup("5.1.0.1") == 7
+
+    def test_rejects_bad_asn(self):
+        mapper = AsMapper()
+        with pytest.raises(AddressError):
+            mapper.announce("5.1.0.0/16", 0)
+        with pytest.raises(AddressError):
+            AsAssignment(prefix=Prefix("5.1.0.0/16"), asn=-1)
+
+    def test_distinct_ases_and_len(self):
+        mapper = AsMapper()
+        mapper.announce("5.1.0.0/16", 1)
+        mapper.announce("5.2.0.0/16", 1)
+        mapper.announce("5.3.0.0/16", 3)
+        assert mapper.distinct_ases() == {1, 3}
+        assert len(mapper) == 3
+
+    def test_constructor_assignments(self):
+        mapper = AsMapper([AsAssignment(prefix=Prefix("5.1.0.0/16"), asn=4)])
+        assert mapper.lookup("5.1.0.1") == 4
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_every_address_maps_under_default(self, value):
+        mapper = AsMapper()
+        mapper.announce("0.0.0.0/0", 42)
+        assert mapper.lookup(IPv4Address(value)) == 42

@@ -1,0 +1,231 @@
+"""Tests for the internet-like topology generator."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import Packet, UDPHeader
+from repro.net.icmp import ICMPDestinationUnreachable
+from repro.topology import InternetConfig, generate_internet
+
+
+def small_config(**overrides):
+    """A tiny internet that builds in milliseconds."""
+    defaults = dict(seed=7, n_tier1=3, n_transit=4, n_stub=6,
+                    dests_per_stub=2)
+    defaults.update(overrides)
+    return InternetConfig(**defaults)
+
+
+def trace_classic(topo, destination, max_ttl=39):
+    """Minimal classic-style probing loop for structural checks."""
+    hops = []
+    for ttl in range(1, max_ttl + 1):
+        probe = Packet.make(
+            topo.source.address, destination,
+            UDPHeader(src_port=30000, dst_port=33435 + ttl),
+            payload=b"x", ttl=ttl,
+        )
+        result = topo.network.inject(probe, at=topo.source)
+        back = result.delivered_to(topo.source)
+        if not back:
+            hops.append(None)
+            if len(hops) >= 8 and all(h is None for h in hops[-8:]):
+                break
+            continue
+        packet = back[0].packet
+        hops.append(packet)
+        if isinstance(packet.transport, ICMPDestinationUnreachable):
+            break
+    return hops
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        a = generate_internet(small_config())
+        b = generate_internet(small_config())
+        assert [str(x) for x in a.destination_addresses] == \
+            [str(x) for x in b.destination_addresses]
+        assert [i.router.name for i in a.balancers] == \
+            [i.router.name for i in b.balancers]
+        assert a.faulty == b.faulty
+
+    def test_seed_changes_layout(self):
+        a = generate_internet(small_config(seed=1))
+        b = generate_internet(small_config(seed=2))
+        assert ([i.router.name for i in a.balancers]
+                != [i.router.name for i in b.balancers]
+                or a.faulty != b.faulty
+                or [str(x) for x in a.destination_addresses]
+                != [str(x) for x in b.destination_addresses])
+
+    def test_destination_count(self):
+        topo = generate_internet(small_config())
+        assert len(topo.destinations) == 6 * 2
+
+    def test_as_count_and_tiers(self):
+        topo = generate_internet(small_config())
+        # tier1 + transit + stub + renater + university
+        assert len(topo.sites) == 3 + 4 + 6 + 2
+        assert sum(1 for s in topo.sites if s.tier == 1) == 3
+
+    def test_requires_two_tier1(self):
+        with pytest.raises(TopologyError):
+            InternetConfig(n_tier1=1)
+
+    def test_width_pool_capped_at_16(self):
+        with pytest.raises(TopologyError):
+            InternetConfig(width_pool=(2, 32))
+
+    def test_summary_mentions_counts(self):
+        topo = generate_internet(small_config())
+        text = topo.summary()
+        assert "12 destinations" in text
+        assert "ASes" in text
+
+    def test_site_lookup(self):
+        topo = generate_internet(small_config())
+        assert topo.site_of(1).asn == 1
+        with pytest.raises(TopologyError):
+            topo.site_of(9999)
+
+
+class TestReachability:
+    def test_every_udp_destination_reachable(self):
+        topo = generate_internet(small_config())
+        for host in topo.destinations:
+            hops = trace_classic(topo, host.address)
+            final = hops[-1]
+            if host.udp_responds:
+                assert final is not None, \
+                    f"trace to {host.address} died in stars"
+                assert isinstance(final.transport,
+                                  ICMPDestinationUnreachable)
+                assert final.src == host.address
+            else:
+                # Firewalled host: pingable, but UDP traces end in the
+                # paper's trailing stars.
+                assert final is None
+
+    def test_paths_are_internet_scale(self):
+        topo = generate_internet(small_config())
+        lengths = [len(trace_classic(topo, d))
+                   for d in topo.destination_addresses]
+        assert all(6 <= n <= 39 for n in lengths)
+
+    def test_pingability_echo(self):
+        from repro.net.icmp import ICMPEchoReply, ICMPEchoRequest
+        topo = generate_internet(small_config())
+        for destination in topo.destination_addresses[:4]:
+            ping = Packet.make(topo.source.address, destination,
+                               ICMPEchoRequest(identifier=9, sequence=1),
+                               ttl=50)
+            result = topo.network.inject(ping, at=topo.source)
+            back = result.delivered_to(topo.source)
+            assert back, f"{destination} is not pingable"
+            assert isinstance(back[0].packet.transport, ICMPEchoReply)
+            assert back[0].packet.src == destination
+
+
+class TestGroundTruth:
+    def test_asmap_covers_every_destination(self):
+        topo = generate_internet(small_config())
+        for destination in topo.destination_addresses:
+            assert topo.asmap.lookup(destination) is not None
+
+    def test_asmap_matches_block_owner(self):
+        topo = generate_internet(small_config())
+        for site in topo.sites:
+            if site.hosts:
+                for host in site.hosts:
+                    assert topo.asmap.lookup(host.address) == site.asn
+
+    def test_balancer_ground_truth_shapes(self):
+        topo = generate_internet(small_config(seed=3, n_transit=10,
+                                              n_stub=12))
+        for info in topo.balancers:
+            assert info.kind in ("per-flow", "per-packet")
+            assert 2 <= info.width <= 16
+            entry = info.router.lookup(
+                topo.destination_addresses[0], now=0.0)
+            # The L router must hold at least one balanced entry.
+            balanced = [e for e in info.router.table
+                        if len(e.egresses) >= 2]
+            assert balanced, f"{info.router.name} has no balanced entry"
+
+    def test_faulty_routers_recorded(self):
+        topo = generate_internet(small_config(seed=11, n_stub=20,
+                                              dests_per_stub=1))
+        for kind, names in topo.faulty.items():
+            for name in names:
+                node = topo.network.node(name)
+                assert not node.faults.well_behaved
+
+    def test_vantage_access_path_protected(self):
+        topo = generate_internet(small_config(seed=11))
+        university = topo.sites[-1]
+        renater = topo.sites[-2]
+        for site in (university, renater):
+            for router in site.routers:
+                assert router.faults.well_behaved
+
+    def test_nat_dest_hosts_remain_public(self):
+        config = small_config(seed=5, n_nat_dests=3)
+        topo = generate_internet(config)
+        assert len(topo.nats) == 3
+        for host in topo.destinations:
+            assert not host.address.is_private
+
+    def test_zero_ttl_edges_recorded_and_looping(self):
+        # No unequal diamonds: they would shift hop positions per probe
+        # and hide the F-loop from a port-varying tracer.
+        config = small_config(seed=5, n_zero_ttl_dests=2, n_nat_dests=0,
+                              n_loop_stub_diamonds=0,
+                              n_cycle_stub_diamonds=0)
+        topo = generate_internet(config)
+        assert len(topo.faulty["zero_ttl"]) == 2
+        # Each zero-TTL edge produces a Fig. 4 loop on the way to its
+        # destination: same address twice with probe TTLs 0 then 1.
+        name = topo.faulty["zero_ttl"][0]
+        asn = int(name.split("-")[0][2:])
+        site = topo.site_of(asn)
+        index = int(name.split("-F")[1])
+        target = site.hosts[index].address
+        hops = trace_classic(topo, target)
+        addresses = [None if h is None else str(h.src) for h in hops]
+        assert any(a is not None and a == b
+                   for a, b in zip(addresses, addresses[1:]))
+
+
+class TestDynamics:
+    def test_horizon_zero_schedules_nothing(self):
+        topo = generate_internet(small_config())
+        assert topo.dynamics == []
+
+    def test_events_scheduled_with_horizon(self):
+        config = small_config(seed=9, dynamics_horizon=3600.0,
+                              route_changes_per_hour=4.0,
+                              withdrawals_per_hour=2.0,
+                              forwarding_loops_per_hour=2.0)
+        topo = generate_internet(config)
+        assert len(topo.dynamics) >= 4
+
+    def test_withdrawal_breaks_then_heals(self):
+        from repro.sim.dynamics import RouteWithdrawal
+        config = small_config(seed=9, dynamics_horizon=3600.0,
+                              withdrawals_per_hour=6.0,
+                              route_changes_per_hour=0.0,
+                              forwarding_loops_per_hour=0.0)
+        topo = generate_internet(config)
+        withdrawals = [e for e in topo.dynamics
+                       if isinstance(e, RouteWithdrawal)]
+        assert withdrawals
+        event = withdrawals[0]
+        target = event.prefix.network
+        topo.network.clock.advance_to(event.at_time + 1.0)
+        hops = trace_classic(topo, target)
+        final = hops[-1]
+        assert final is not None
+        assert final.src != target  # answered by the withdrawing router
+        topo.network.clock.advance_to(event.end + 1.0)
+        healed = trace_classic(topo, target)
+        assert healed[-1].src == target

@@ -1,0 +1,92 @@
+"""Seed-sweep robustness of the internet generator.
+
+The calibrated campaign must not depend on one lucky seed: across
+several seeds, every generated internet is fully wired, routes every
+UDP-responding destination, keeps its ground truth consistent, and the
+classic/Paris asymmetry holds.
+"""
+
+import pytest
+
+from repro.core.loops import find_loops
+from repro.core.route import MeasuredRoute
+from repro.measurement import Campaign, CampaignConfig
+from repro.sim import ProbeSocket
+from repro.topology import InternetConfig, generate_internet
+from repro.tracer import ClassicTraceroute, ParisTraceroute
+
+SEEDS = [1, 2, 3, 17, 99]
+
+
+def small(seed):
+    return generate_internet(InternetConfig(
+        seed=seed, n_tier1=3, n_transit=5, n_stub=8, dests_per_stub=2,
+        n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1,
+        n_nat_dests=1, n_zero_ttl_dests=1))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestEverySeed:
+    def test_wiring_complete(self, seed):
+        topo = small(seed)
+        for node in topo.network.nodes.values():
+            for iface in node.interfaces:
+                assert iface.link is not None, iface.label
+
+    def test_every_responding_destination_traceable(self, seed):
+        topo = small(seed)
+        sock = ProbeSocket(topo.network, topo.source)
+        paris = ParisTraceroute(sock, seed=seed)
+        for host in topo.destinations:
+            result = paris.trace(host.address)
+            if host.udp_responds:
+                assert result.reached, f"{host.address} (seed {seed})"
+            else:
+                assert result.halt_reason in ("stars", "max-ttl")
+
+    def test_asmap_consistent_with_hosts(self, seed):
+        topo = small(seed)
+        for site in topo.sites:
+            for host in site.hosts:
+                assert topo.asmap.lookup(host.address) == site.asn
+
+    def test_required_edge_quirks_present(self, seed):
+        topo = small(seed)
+        assert len(topo.nats) == 1
+        assert len(topo.faulty["zero_ttl"]) == 1
+        widths = [info.width for info in topo.balancers]
+        assert all(2 <= w <= 16 for w in widths)
+
+    def test_classic_loops_paris_mostly_clean(self, seed):
+        topo = small(seed)
+        sock = ProbeSocket(topo.network, topo.source)
+        classic = ClassicTraceroute(sock, fixed_pid=False, pid=seed)
+        paris = ParisTraceroute(sock, seed=seed)
+        classic_loops = paris_loops = 0
+        for host in topo.destinations:
+            for __ in range(3):
+                if find_loops(MeasuredRoute.from_result(
+                        classic.trace(host.address))):
+                    classic_loops += 1
+                if find_loops(MeasuredRoute.from_result(
+                        paris.trace(host.address))):
+                    paris_loops += 1
+        # The edge quirks (NAT, zero-TTL) loop under both tools; the
+        # per-flow diamonds loop only under classic.
+        assert classic_loops > paris_loops
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_routes(self):
+        outcomes = []
+        for __ in range(2):
+            topo = small(7)
+            result = Campaign(topo.network, topo.source,
+                              topo.destination_addresses,
+                              CampaignConfig(rounds=2, seed=7)).run()
+            outcomes.append([
+                (r.tool, str(r.destination), r.round_index,
+                 tuple(str(a) if a else "*" for a in r.addresses()))
+                for r in result.routes
+            ])
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,179 @@
+"""Classic vs Paris behaviour on the paper's figure topologies.
+
+These are the paper's central claims, asserted end-to-end: classic
+traceroute's varying flow identifier produces the drawn anomalies,
+Paris traceroute's constant flow identifier avoids the per-flow ones
+and diagnoses the rest.
+"""
+
+import pytest
+
+from repro.sim import PerPacketPolicy, ProbeSocket
+from repro.tracer import ClassicTraceroute, ParisTraceroute
+from repro.topology import figures
+
+
+def addresses_of(result):
+    return [None if a is None else str(a)
+            for a in result.measured_route()[1:]]
+
+
+def has_consecutive_repeat(route):
+    return any(a is not None and a == b for a, b in zip(route, route[1:]))
+
+
+class TestFigure3LoopMechanics:
+    def find_looping_pid(self):
+        """A classic-traceroute PID whose port sequence splits paths.
+
+        The loop needs the hop-8 probe on the short path and the hop-9
+        probe on the long one (or the reverse pattern producing a
+        repeat); scan PIDs until one exhibits it.
+        """
+        for pid in range(200):
+            fig = figures.figure3()
+            tracer = ClassicTraceroute(ProbeSocket(fig.network, fig.source),
+                                       pid=pid)
+            route = addresses_of(tracer.trace(fig.destination_address))
+            if has_consecutive_repeat(route):
+                return pid, route, fig
+        return None, None, None
+
+    def test_classic_can_see_the_loop(self):
+        pid, route, fig = self.find_looping_pid()
+        assert pid is not None, "no PID produced the Fig. 3 loop"
+        e0 = str(fig.address_of("E0"))
+        assert any(a == b == e0 for a, b in zip(route, route[1:]))
+
+    def test_paris_never_sees_the_loop(self):
+        for seed in range(40):
+            fig = figures.figure3()
+            paris = ParisTraceroute(ProbeSocket(fig.network, fig.source),
+                                    seed=seed)
+            route = addresses_of(paris.trace(fig.destination_address))
+            assert not has_consecutive_repeat(route), (seed, route)
+
+    def test_paris_flow_rides_one_branch(self):
+        fig = figures.figure3()
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source), seed=1)
+        route = addresses_of(paris.trace(fig.destination_address))
+        a0 = str(fig.address_of("A0"))
+        b0 = str(fig.address_of("B0"))
+        # One flow sees either the short path (via A) or the long one
+        # (via B) at hop 7 — never a mixture.
+        assert (a0 in route) != (b0 in route)
+
+
+class TestFigure4ZeroTtl:
+    def test_both_tools_see_the_loop(self):
+        # Zero-TTL forwarding is not a flow artifact: Paris sees it too,
+        # but its probe-TTL column explains it.
+        for tracer_cls in (ClassicTraceroute, ParisTraceroute):
+            fig = figures.figure4()
+            tracer = tracer_cls(ProbeSocket(fig.network, fig.source))
+            result = tracer.trace(fig.destination_address)
+            route = addresses_of(result)
+            a0 = str(fig.address_of("A0"))
+            assert route[6] == a0 and route[7] == a0
+
+    def test_paris_probe_ttl_signature(self):
+        fig = figures.figure4()
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source))
+        result = paris.trace(fig.destination_address)
+        assert result.hop(7).replies[0].probe_ttl == 0
+        assert result.hop(8).replies[0].probe_ttl == 1
+
+    def test_ip_ids_consecutive_across_the_pair(self):
+        fig = figures.figure4()
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source))
+        result = paris.trace(fig.destination_address)
+        first = result.hop(7).replies[0].ip_id
+        second = result.hop(8).replies[0].ip_id
+        assert second == first + 1
+
+
+class TestFigure5AddressRewriting:
+    def test_loop_of_n0_at_hops_7_9(self):
+        fig = figures.figure5()
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source))
+        result = paris.trace(fig.destination_address)
+        n0 = str(fig.address_of("N0"))
+        route = addresses_of(result)
+        assert route[6] == route[7] == route[8] == n0
+
+    def test_response_ttl_gradient(self):
+        fig = figures.figure5()
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source))
+        result = paris.trace(fig.destination_address)
+        gradient = tuple(result.hop(ttl).replies[0].response_ttl
+                         for ttl in (6, 7, 8, 9))
+        assert gradient == (250, 249, 248, 247)
+
+    def test_classic_sees_the_same_rewriting(self):
+        # Rewriting is not a flow artifact either.
+        fig = figures.figure5()
+        classic = ClassicTraceroute(ProbeSocket(fig.network, fig.source))
+        route = addresses_of(classic.trace(fig.destination_address))
+        n0 = str(fig.address_of("N0"))
+        assert route[6] == route[7] == route[8] == n0
+
+
+class TestFigure1MissingAndFalse:
+    def test_classic_may_infer_false_link(self):
+        # Scan seeds for an outcome where hop 7 answers from A (top)
+        # and hop 8 from D (bottom): the false link (A0, D0).
+        found = False
+        for seed in range(60):
+            fig = figures.figure1(seed=seed)
+            classic = ClassicTraceroute(ProbeSocket(fig.network, fig.source))
+            route = addresses_of(classic.trace(fig.destination_address))
+            if (route[6] == str(fig.address_of("A0"))
+                    and route[7] == str(fig.address_of("D0"))):
+                found = True
+                break
+        assert found, "no seed produced the Fig. 1 false link"
+
+    def test_silent_devices_never_appear(self):
+        fig = figures.figure1(seed=3)
+        classic = ClassicTraceroute(ProbeSocket(fig.network, fig.source))
+        result = classic.trace(fig.destination_address)
+        seen = {str(a) for a in result.responding_addresses()}
+        assert str(fig.address_of("B0")) not in seen
+        assert str(fig.address_of("C0")) not in seen
+
+    def test_paris_reports_one_consistent_path(self):
+        fig = figures.figure1(policy=None, seed=5, all_respond=True)
+        # Use a per-flow balancer so Paris's guarantee applies.
+        from repro.sim import PerFlowPolicy
+        fig = figures.figure1(policy=PerFlowPolicy(salt=b"fig1"),
+                              all_respond=True)
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source), seed=2)
+        route = addresses_of(paris.trace(fig.destination_address))
+        top = {str(fig.address_of("A0")), str(fig.address_of("C0"))}
+        bottom = {str(fig.address_of("B0")), str(fig.address_of("D0"))}
+        observed = set(route[6:8])
+        assert observed == top or observed == bottom
+
+
+class TestFigure6DiamondSpread:
+    def test_multiple_rounds_reveal_three_hop7_interfaces(self):
+        fig = figures.figure6(policy=PerPacketPolicy(seed=0, mode="random"))
+        sock = ProbeSocket(fig.network, fig.source)
+        classic = ClassicTraceroute(sock)
+        seen = set()
+        for __ in range(12):
+            result = classic.trace(fig.destination_address)
+            address = result.hop(7).first_address
+            if address is not None:
+                seen.add(str(address))
+        assert seen == {str(fig.address_of("A0")), str(fig.address_of("B0")),
+                        str(fig.address_of("C0"))}
+
+    def test_g_always_answers_from_g0(self):
+        fig = figures.figure6(policy=PerPacketPolicy(seed=0, mode="random"))
+        sock = ProbeSocket(fig.network, fig.source)
+        classic = ClassicTraceroute(sock)
+        for __ in range(8):
+            result = classic.trace(fig.destination_address)
+            assert str(result.hop(9).first_address) == \
+                str(fig.address_of("G0"))

@@ -1,0 +1,278 @@
+"""Tests for response matching and the hop loop (stop rules, output)."""
+
+import pytest
+
+from repro.errors import TracerError
+from repro.net import Packet, UDPHeader
+from repro.net.icmp import UnreachableCode
+from repro.net.inet import IPv4Address
+from repro.sim import FaultProfile, ProbeSocket
+from repro.tracer import (
+    ClassicTraceroute,
+    ParisTraceroute,
+    TcpTraceroute,
+    TracerouteOptions,
+)
+from repro.tracer import matching
+from repro.tracer.probes import (
+    ClassicIcmpBuilder,
+    ClassicUdpBuilder,
+    ParisTcpBuilder,
+    ParisUdpBuilder,
+    TcpTracerouteBuilder,
+)
+from repro.tracer.result import ReplyKind
+
+from tests.sim.helpers import chain_network
+
+SRC = IPv4Address("10.0.0.1")
+DST = IPv4Address("10.9.0.1")
+
+
+def one_probe(builder_cls, **kwargs):
+    builder = builder_cls(SRC, DST, **kwargs)
+    return builder, builder.build(5)
+
+
+def answer_from(router, probe, iface_index=0):
+    """Time Exceeded for ``probe`` as ``router`` would emit it."""
+    return router.make_time_exceeded(probe, router.interface(iface_index))
+
+
+class TestMatching:
+    def test_classic_udp_matches_own_probe(self):
+        net, s, r1, r2, d = chain_network()
+        builder, probe = one_probe(ClassicUdpBuilder)
+        response = answer_from(r1, probe)
+        assert builder.matches(probe, response)
+
+    def test_classic_udp_rejects_other_port(self):
+        net, s, r1, r2, d = chain_network()
+        builder, probe = one_probe(ClassicUdpBuilder)
+        __, other = one_probe(ClassicUdpBuilder)
+        other = other  # identical first port
+        later = builder.build(6)  # dst_port advanced
+        response = answer_from(r1, later)
+        assert not builder.matches(probe, response)
+
+    def test_paris_udp_matches_by_checksum(self):
+        net, s, r1, r2, d = chain_network()
+        builder = ParisUdpBuilder(SRC, DST, first_tag=500)
+        first = builder.build(5)
+        second = builder.build(6)
+        assert builder.matches(first, answer_from(r1, first))
+        assert not builder.matches(first, answer_from(r1, second))
+
+    def test_icmp_matches_quote_and_reply(self):
+        net, s, r1, r2, d = chain_network()
+        builder, probe = one_probe(ClassicIcmpBuilder)
+        te = answer_from(r1, probe)
+        assert builder.matches(probe, te)
+        reply_packet = d.make_echo_reply(
+            Packet(ip=probe.ip, transport=probe.transport,
+                   payload=probe.payload), d.interface(0))
+        # The reply must come from the probed destination: rebuild with
+        # matching addresses.
+        assert probe.dst == DST
+
+    def test_icmp_rejects_wrong_sequence(self):
+        net, s, r1, r2, d = chain_network()
+        builder = ClassicIcmpBuilder(SRC, DST)
+        first = builder.build(5)
+        second = builder.build(6)
+        assert not builder.matches(first, answer_from(r1, second))
+
+    def test_tcptraceroute_matches_by_quoted_ip_id(self):
+        net, s, r1, r2, d = chain_network()
+        builder = TcpTracerouteBuilder(SRC, DST)
+        first = builder.build(5)
+        second = builder.build(6)
+        assert builder.matches(first, answer_from(r1, first))
+        assert not builder.matches(first, answer_from(r1, second))
+
+    def test_paris_tcp_matches_by_quoted_seq(self):
+        net, s, r1, r2, d = chain_network()
+        builder = ParisTcpBuilder(SRC, DST, first_seq=42)
+        first = builder.build(5)
+        second = builder.build(6)
+        assert builder.matches(first, answer_from(r1, first))
+        assert not builder.matches(first, answer_from(r1, second))
+
+    def test_quote_from_wrong_destination_rejected(self):
+        net, s, r1, r2, d = chain_network()
+        builder, probe = one_probe(ClassicUdpBuilder)
+        other_builder = ClassicUdpBuilder(SRC, IPv4Address("10.8.0.1"))
+        foreign = other_builder.build(5)
+        assert not builder.matches(probe, answer_from(r1, foreign))
+
+    def test_match_udp_unknown_key_rejected(self):
+        net, s, r1, r2, d = chain_network()
+        builder, probe = one_probe(ClassicUdpBuilder)
+        response = answer_from(r1, probe)
+        with pytest.raises(ValueError):
+            matching.match_udp(probe, response, key="nonsense")
+
+
+class TestHopLoop:
+    def test_full_trace_reaches_destination(self):
+        net, s, r1, r2, d = chain_network()
+        tracer = ClassicTraceroute(ProbeSocket(net, s))
+        result = tracer.trace(d.address)
+        assert result.reached
+        assert result.halt_reason == "destination"
+        assert [str(a) for a in result.measured_route()[1:]] == [
+            "10.0.0.2", "10.0.1.2", "10.9.0.1"]
+
+    def test_min_ttl_skips_first_hops(self):
+        # The paper's campaign sets min TTL 2 to skip the university.
+        net, s, r1, r2, d = chain_network()
+        options = TracerouteOptions(min_ttl=2)
+        result = ClassicTraceroute(ProbeSocket(net, s),
+                                   options=options).trace(d.address)
+        assert result.hops[0].ttl == 2
+        assert result.hops[0].first_address == IPv4Address("10.0.1.2")
+
+    def test_star_budget_halts_trace(self):
+        net, s, r1, r2, d = chain_network()
+        r2.faults = FaultProfile(silent=True)
+        d.faults = FaultProfile(silent=True)
+        d.pingable = False
+        options = TracerouteOptions(max_consecutive_stars=8, max_ttl=39)
+        result = ClassicTraceroute(ProbeSocket(net, s),
+                                   options=options).trace(d.address)
+        assert result.halt_reason == "stars"
+        # 1 responding hop + 8 stars
+        assert len(result.hops) == 9
+
+    def test_max_ttl_halts_trace(self):
+        net, s, r1, r2, d = chain_network()
+        options = TracerouteOptions(max_ttl=2)
+        result = ClassicTraceroute(ProbeSocket(net, s),
+                                   options=options).trace(d.address)
+        assert result.halt_reason == "max-ttl"
+        assert not result.reached
+
+    def test_unreachable_route_halts_with_flag(self):
+        net, s, r1, r2, d = chain_network()
+        r2.add_unreachable_route("10.9.0.0/24",
+                                 UnreachableCode.HOST_UNREACHABLE)
+        result = ClassicTraceroute(ProbeSocket(net, s)).trace(d.address)
+        assert result.halt_reason == "unreachable"
+        final = result.hops[-1].replies[0]
+        assert final.unreachable_flag == "!H"
+        # The same address answered the previous hop: the paper's
+        # unreachability-message loop.
+        assert result.hops[-1].first_address == result.hops[-2].first_address
+
+    def test_probes_per_hop_three(self):
+        net, s, r1, r2, d = chain_network()
+        options = TracerouteOptions(probes_per_hop=3)
+        result = ClassicTraceroute(ProbeSocket(net, s),
+                                   options=options).trace(d.address)
+        assert all(len(h.replies) == 3 for h in result.hops[:-1])
+
+    def test_durations_accumulate(self):
+        net, s, r1, r2, d = chain_network()
+        result = ClassicTraceroute(ProbeSocket(net, s)).trace(d.address)
+        assert result.duration > 0
+
+    def test_tcp_trace_completes(self):
+        net, s, r1, r2, d = chain_network()
+        result = TcpTraceroute(ProbeSocket(net, s)).trace(d.address)
+        assert result.reached
+        assert result.hops[-1].replies[0].kind is ReplyKind.TCP_RESPONSE
+
+    def test_paris_icmp_trace_completes(self):
+        net, s, r1, r2, d = chain_network()
+        result = ParisTraceroute(ProbeSocket(net, s),
+                                 method="icmp").trace(d.address)
+        assert result.reached
+        assert result.hops[-1].replies[0].kind is ReplyKind.ECHO_REPLY
+
+    def test_invalid_methods_rejected(self):
+        net, s, r1, r2, d = chain_network()
+        sock = ProbeSocket(net, s)
+        with pytest.raises(TracerError):
+            ClassicTraceroute(sock, method="tcp")
+        with pytest.raises(TracerError):
+            ParisTraceroute(sock, method="gre")
+
+    def test_options_validation(self):
+        with pytest.raises(TracerError):
+            TracerouteOptions(min_ttl=0)
+        with pytest.raises(TracerError):
+            TracerouteOptions(probes_per_hop=0)
+        with pytest.raises(TracerError):
+            TracerouteOptions(max_consecutive_stars=0)
+
+    def test_text_rendering(self):
+        net, s, r1, r2, d = chain_network()
+        result = ClassicTraceroute(ProbeSocket(net, s)).trace(d.address)
+        text = result.text()
+        assert "classic-udp to 10.9.0.1" in text
+        assert "10.0.0.2" in text
+        assert "# halted: destination" in text
+
+    def test_text_shows_stars(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(silent=True)
+        result = ClassicTraceroute(ProbeSocket(net, s)).trace(d.address)
+        assert "*" in result.text()
+
+    def test_measured_route_contains_stars_as_none(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(silent=True)
+        result = ClassicTraceroute(ProbeSocket(net, s)).trace(d.address)
+        route = result.measured_route()
+        assert route[0] == s.address
+        assert route[1] is None
+
+    def test_star_and_response_counts(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(silent=True)
+        result = ClassicTraceroute(ProbeSocket(net, s)).trace(d.address)
+        assert result.star_count() == 1
+        assert result.response_count() == 2
+
+
+class TestParisExtensions:
+    def test_enumerate_paths_on_diamond(self):
+        from tests.sim.helpers import diamond_network
+        net, s, l, a, b, m, d = diamond_network()
+        paris = ParisTraceroute(ProbeSocket(net, s), seed=3)
+        enumeration = paris.enumerate_paths(d.address, flows=16)
+        assert enumeration.max_width == 2
+        # The balancer sits at hop 1 (L); spread appears at hop 2 (A|B).
+        assert 2 in enumeration.branching_hops
+        hop2 = enumeration.interfaces_per_hop[2]
+        assert hop2 == {a.interface(0).address, b.interface(0).address}
+
+    def test_enumerate_paths_routes_are_individually_consistent(self):
+        from tests.sim.helpers import diamond_network
+        net, s, l, a, b, m, d = diamond_network()
+        paris = ParisTraceroute(ProbeSocket(net, s), seed=3)
+        enumeration = paris.enumerate_paths(d.address, flows=8)
+        for route in enumeration.routes:
+            assert route.constant_flow
+
+    def test_classify_per_flow_balancer(self):
+        from tests.sim.helpers import diamond_network
+        net, s, l, a, b, m, d = diamond_network()
+        paris = ParisTraceroute(ProbeSocket(net, s), seed=3)
+        verdict = paris.classify_balancer(d.address, ttl=2, attempts=16)
+        assert verdict.kind == "per-flow"
+
+    def test_classify_per_packet_balancer(self):
+        from repro.sim import PerPacketPolicy
+        from tests.sim.helpers import diamond_network
+        net, s, l, a, b, m, d = diamond_network(
+            policy=PerPacketPolicy(seed=1, mode="round-robin"))
+        paris = ParisTraceroute(ProbeSocket(net, s), seed=3)
+        verdict = paris.classify_balancer(d.address, ttl=2, attempts=16)
+        assert verdict.kind == "per-packet"
+
+    def test_classify_no_balancer(self):
+        net, s, r1, r2, d = chain_network()
+        paris = ParisTraceroute(ProbeSocket(net, s), seed=3)
+        verdict = paris.classify_balancer(d.address, ttl=1, attempts=8)
+        assert verdict.kind == "none"

@@ -1,0 +1,136 @@
+"""Tests for MDA-style multipath detection (the paper's future work)."""
+
+import pytest
+
+from repro.errors import TracerError
+from repro.sim import PerFlowPolicy, PerPacketPolicy, ProbeSocket
+from repro.topology.builder import TopologyBuilder
+from repro.tracer.multipath import (
+    MultipathDetector,
+    probes_needed,
+)
+
+from tests.sim.helpers import chain_network, diamond_network
+
+
+def wide_diamond(width, policy=None):
+    builder = TopologyBuilder()
+    source = builder.source()
+    balancer = builder.router("L")
+    join = builder.router("J", respond_from="first")
+    builder.chain([source, balancer], "10.9.0.0/16")
+    egresses = []
+    join_in = None
+    for i in range(width):
+        branch = builder.router(f"B{i}")
+        egress, join_in = builder.branch(balancer, [branch], join,
+                                         "10.9.0.0/16")
+        egresses.append(egress)
+    destination = builder.host("D", "10.9.0.1")
+    join_down, __ = builder.connect(join, destination)
+    join.add_route("10.9.0.0/16", join_down)
+    join.add_default_route(join_in)
+    builder.balanced_route(balancer, "10.9.0.0/16", egresses,
+                           policy or PerFlowPolicy(salt=b"wide"))
+    return builder.build(), source, destination
+
+
+class TestStoppingRule:
+    def test_binomial_bound_alpha_05(self):
+        # ceil(ln 0.05 / ln(k/(k+1))): the per-hop stopping points.
+        assert probes_needed(1, 0.05) == 5
+        assert probes_needed(2, 0.05) == 8
+        assert probes_needed(3, 0.05) == 11
+
+    def test_stricter_alpha_needs_more_probes(self):
+        assert probes_needed(2, 0.01) > probes_needed(2, 0.05)
+
+    def test_wider_k_needs_more_probes(self):
+        values = [probes_needed(k, 0.05) for k in range(1, 8)]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(TracerError):
+            probes_needed(0)
+        with pytest.raises(TracerError):
+            probes_needed(2, alpha=0.0)
+        with pytest.raises(TracerError):
+            probes_needed(2, alpha=1.0)
+
+
+class TestHopDiscovery:
+    def test_finds_both_branches_of_a_diamond(self):
+        net, s, l, a, b, m, d = diamond_network()
+        detector = MultipathDetector(ProbeSocket(net, s), seed=2)
+        discovery = detector.probe_hop(d.address, ttl=2)
+        assert discovery.width == 2
+        assert discovery.stopped_confident
+        assert discovery.interfaces == {a.interface(0).address,
+                                        b.interface(0).address}
+
+    def test_single_path_hop_has_width_one(self):
+        net, s, r1, r2, d = chain_network()
+        detector = MultipathDetector(ProbeSocket(net, s), seed=2)
+        discovery = detector.probe_hop(d.address, ttl=1)
+        assert discovery.width == 1
+        assert discovery.stopped_confident
+        # Stopping after exactly n(1)=6 non-discovering probes plus the
+        # first discovering one.
+        assert discovery.probes_sent == 1 + probes_needed(1, 0.05)
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_finds_all_branches_up_to_juniper_sixteen(self, width):
+        net, source, destination = wide_diamond(width)
+        detector = MultipathDetector(ProbeSocket(net, source), seed=3,
+                                     max_flows_per_hop=600)
+        discovery = detector.probe_hop(destination.address, ttl=2)
+        assert discovery.width == width
+
+    def test_per_packet_balancer_also_enumerated(self):
+        # MDA does not care *why* probes spread; a per-packet balancer
+        # is enumerated just the same.
+        net, source, destination = wide_diamond(
+            4, policy=PerPacketPolicy(seed=1, mode="round-robin"))
+        detector = MultipathDetector(ProbeSocket(net, source), seed=3)
+        discovery = detector.probe_hop(destination.address, ttl=2)
+        assert discovery.width == 4
+
+    def test_flow_budget_caps_probing(self):
+        net, source, destination = wide_diamond(8)
+        detector = MultipathDetector(ProbeSocket(net, source), seed=3,
+                                     max_flows_per_hop=4)
+        discovery = detector.probe_hop(destination.address, ttl=2)
+        assert discovery.probes_sent == 4
+        assert not discovery.stopped_confident
+
+
+class TestFullTrace:
+    def test_trace_reports_branching_hops(self):
+        net, s, l, a, b, m, d = diamond_network()
+        detector = MultipathDetector(ProbeSocket(net, s), seed=2)
+        result = detector.trace(d.address)
+        # Hop 2 is the true fan-out (A0 | B0); hop 3 also shows two
+        # addresses because the join router M answers from whichever
+        # ingress interface the probe arrived on.
+        assert result.branching_hops == [2, 3]
+        assert result.max_width == 2
+        assert result.hops[-1].interfaces == {d.address}
+
+    def test_trace_stops_at_destination(self):
+        net, s, r1, r2, d = chain_network()
+        detector = MultipathDetector(ProbeSocket(net, s), seed=2)
+        result = detector.trace(d.address)
+        assert len(result.hops) == 3
+
+    def test_report_renders(self):
+        net, s, l, a, b, m, d = diamond_network()
+        detector = MultipathDetector(ProbeSocket(net, s), seed=2)
+        result = detector.trace(d.address)
+        report = result.format_report()
+        assert "MDA toward 10.9.0.1" in report
+        assert "2 interface(s)" in report
+
+    def test_alpha_validation(self):
+        net, s, r1, r2, d = chain_network()
+        with pytest.raises(TracerError):
+            MultipathDetector(ProbeSocket(net, s), alpha=1.5)

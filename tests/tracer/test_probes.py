@@ -1,0 +1,187 @@
+"""Tests for probe builders: the header-variation policies of Fig. 2."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProbeBuildError
+from repro.net.flow import first_transport_word_flow, flow_fields_varied
+from repro.net.inet import IPv4Address
+from repro.tracer.probes import (
+    CLASSIC_FIRST_DST_PORT,
+    ClassicIcmpBuilder,
+    ClassicUdpBuilder,
+    ParisIcmpBuilder,
+    ParisTcpBuilder,
+    ParisUdpBuilder,
+    TcpTracerouteBuilder,
+)
+
+SRC = IPv4Address("10.0.0.1")
+DST = IPv4Address("10.9.0.1")
+
+
+def stream(builder, n=8, ttl_base=1):
+    return [builder.build(ttl_base + i) for i in range(n)]
+
+
+class TestClassicUdp:
+    def test_dst_port_starts_at_33435_and_increments(self):
+        probes = stream(ClassicUdpBuilder(SRC, DST))
+        ports = [p.transport.dst_port for p in probes]
+        assert ports == list(range(CLASSIC_FIRST_DST_PORT,
+                                   CLASSIC_FIRST_DST_PORT + 8))
+
+    def test_src_port_is_pid_plus_32768(self):
+        builder = ClassicUdpBuilder(SRC, DST, pid=1234)
+        assert stream(builder, 1)[0].transport.src_port == 32768 + 1234
+
+    def test_flow_identifier_varies(self):
+        assert flow_fields_varied(stream(ClassicUdpBuilder(SRC, DST)))
+
+    def test_probe_count(self):
+        builder = ClassicUdpBuilder(SRC, DST)
+        stream(builder, 5)
+        assert builder.sent == 5
+
+
+class TestClassicIcmp:
+    def test_sequence_increments(self):
+        probes = stream(ClassicIcmpBuilder(SRC, DST))
+        assert [p.transport.sequence for p in probes] == list(range(1, 9))
+
+    def test_identifier_constant(self):
+        probes = stream(ClassicIcmpBuilder(SRC, DST, pid=77))
+        assert {p.transport.identifier for p in probes} == {77}
+
+    def test_checksum_varies_with_sequence(self):
+        probes = stream(ClassicIcmpBuilder(SRC, DST))
+        checksums = {p.transport.computed_checksum() for p in probes}
+        assert len(checksums) == len(probes)
+
+    def test_flow_identifier_varies(self):
+        # The crux of the paper: classic ICMP probing perturbs the flow.
+        assert flow_fields_varied(stream(ClassicIcmpBuilder(SRC, DST)))
+
+
+class TestTcpTracerouteBuilder:
+    def test_ports_constant_dst_80(self):
+        probes = stream(TcpTracerouteBuilder(SRC, DST))
+        assert {p.transport.dst_port for p in probes} == {80}
+        assert len({p.transport.src_port for p in probes}) == 1
+
+    def test_ip_id_increments(self):
+        probes = stream(TcpTracerouteBuilder(SRC, DST))
+        assert [p.ip.identification for p in probes] == list(range(1, 9))
+
+    def test_flow_identifier_constant(self):
+        assert not flow_fields_varied(stream(TcpTracerouteBuilder(SRC, DST)))
+
+
+class TestParisUdp:
+    def test_ports_constant(self):
+        probes = stream(ParisUdpBuilder(SRC, DST, src_port=12000,
+                                        dst_port=13000))
+        assert {(p.transport.src_port, p.transport.dst_port)
+                for p in probes} == {(12000, 13000)}
+
+    def test_checksum_is_the_incrementing_tag(self):
+        probes = stream(ParisUdpBuilder(SRC, DST, first_tag=100))
+        checksums = []
+        for p in probes:
+            wire = p.transport_bytes()
+            checksums.append(struct.unpack("!H", wire[6:8])[0])
+        assert checksums == list(range(100, 108))
+
+    def test_crafted_checksums_verify(self):
+        for p in stream(ParisUdpBuilder(SRC, DST)):
+            parsed_transport = p.transport
+            from repro.net.udp import UDPHeader
+            header, payload = UDPHeader.parse(p.transport_bytes())
+            header.verify(payload, SRC, DST)  # must not raise
+
+    def test_flow_identifier_constant(self):
+        assert not flow_fields_varied(stream(ParisUdpBuilder(SRC, DST)))
+
+    def test_tag_zero_rejected(self):
+        with pytest.raises(ProbeBuildError):
+            ParisUdpBuilder(SRC, DST, first_tag=0)
+
+    def test_tag_wraps_skipping_zero(self):
+        builder = ParisUdpBuilder(SRC, DST, first_tag=0xFFFF)
+        first = builder.build(1)
+        second = builder.build(2)
+        wire = second.transport_bytes()
+        assert struct.unpack("!H", wire[6:8])[0] == 1
+
+
+class TestParisIcmp:
+    def test_checksum_constant_across_long_stream(self):
+        builder = ParisIcmpBuilder(SRC, DST, checksum_anchor=0x1234)
+        checksums = {p.transport.computed_checksum()
+                     for p in stream(builder, 200)}
+        assert len(checksums) == 1
+
+    def test_sequence_unique_per_probe(self):
+        probes = stream(ParisIcmpBuilder(SRC, DST), 50)
+        sequences = [p.transport.sequence for p in probes]
+        assert len(set(sequences)) == 50
+
+    def test_identifier_covaries(self):
+        probes = stream(ParisIcmpBuilder(SRC, DST), 10)
+        identifiers = {p.transport.identifier for p in probes}
+        assert len(identifiers) > 1  # it must move to hold the checksum
+
+    def test_flow_identifier_constant(self):
+        assert not flow_fields_varied(stream(ParisIcmpBuilder(SRC, DST), 64))
+
+    @given(anchor=st.integers(1, 0xFFFE))
+    @settings(max_examples=25)
+    def test_any_anchor_holds_checksum(self, anchor):
+        builder = ParisIcmpBuilder(SRC, DST, checksum_anchor=anchor)
+        checksums = {p.transport.computed_checksum()
+                     for p in stream(builder, 16)}
+        assert len(checksums) == 1
+
+
+class TestParisTcp:
+    def test_seq_increments(self):
+        probes = stream(ParisTcpBuilder(SRC, DST, first_seq=7))
+        assert [p.transport.seq for p in probes] == list(range(7, 15))
+
+    def test_ports_constant(self):
+        probes = stream(ParisTcpBuilder(SRC, DST))
+        assert len({(p.transport.src_port, p.transport.dst_port)
+                    for p in probes}) == 1
+
+    def test_flow_identifier_constant(self):
+        assert not flow_fields_varied(stream(ParisTcpBuilder(SRC, DST)))
+
+
+class TestFig2Matrix:
+    """The summary table of the paper's Fig. 2, as executable truth."""
+
+    @pytest.mark.parametrize("builder_cls,expect_varied", [
+        (ClassicUdpBuilder, True),
+        (ClassicIcmpBuilder, True),
+        (TcpTracerouteBuilder, False),
+        (ParisUdpBuilder, False),
+        (ParisIcmpBuilder, False),
+        (ParisTcpBuilder, False),
+    ])
+    def test_flow_constancy_per_tool(self, builder_cls, expect_varied):
+        probes = stream(builder_cls(SRC, DST), 16)
+        assert flow_fields_varied(probes) is expect_varied
+
+    def test_every_probe_remains_uniquely_taggable(self):
+        # Whatever the tool, its stream must stay matchable: all probes
+        # distinct somewhere in the first 8 transport octets or IP ID.
+        for builder_cls in (ClassicUdpBuilder, ClassicIcmpBuilder,
+                            TcpTracerouteBuilder, ParisUdpBuilder,
+                            ParisIcmpBuilder, ParisTcpBuilder):
+            probes = stream(builder_cls(SRC, DST), 24)
+            tags = {(p.first_eight_transport_octets(),
+                     p.ip.identification) for p in probes}
+            assert len(tags) == 24, builder_cls.__name__

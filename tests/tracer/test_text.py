@@ -1,0 +1,84 @@
+"""Unit tests for the traceroute-style text rendering."""
+
+from repro.net.inet import IPv4Address
+from repro.tracer.result import Hop, ProbeReply, ReplyKind, TracerouteResult
+from repro.tracer.text import render
+
+
+def reply(address="10.0.0.2", rtt=0.002, kind=ReplyKind.TIME_EXCEEDED,
+          **kwargs):
+    return ProbeReply(kind=kind,
+                      address=IPv4Address(address) if address else None,
+                      rtt=rtt, **kwargs)
+
+
+def result_with(hops):
+    return TracerouteResult(
+        tool="paris-udp",
+        source=IPv4Address("10.0.0.1"),
+        destination=IPv4Address("10.9.0.1"),
+        hops=hops,
+        halt_reason="destination",
+        started_at=0.0,
+        finished_at=1.25,
+    )
+
+
+class TestRender:
+    def test_header_and_footer(self):
+        text = render(result_with([Hop(ttl=1, replies=[reply()])]))
+        assert text.startswith("paris-udp to 10.9.0.1, 1 hops max")
+        assert text.endswith("# halted: destination after 1.25 s")
+
+    def test_hop_line_format(self):
+        text = render(result_with([Hop(ttl=3, replies=[reply()])]))
+        assert " 3  10.0.0.2  2.000 ms" in text
+
+    def test_star_rendering(self):
+        text = render(result_with([Hop(ttl=1,
+                                       replies=[ProbeReply.star()])]))
+        assert " 1  *" in text
+
+    def test_repeated_address_not_reprinted(self):
+        # Classic traceroute prints the address once for consecutive
+        # same-address probes of one hop.
+        hop = Hop(ttl=2, replies=[reply(), reply()])
+        text = render(result_with([hop]))
+        assert text.count("10.0.0.2") == 1
+        assert text.count("2.000 ms") == 2
+
+    def test_unreachable_flag_shown(self):
+        hop = Hop(ttl=4, replies=[reply(unreachable_flag="!H")])
+        assert "!H" in render(result_with([hop]))
+
+    def test_echo_reply_annotation(self):
+        hop = Hop(ttl=5, replies=[reply(kind=ReplyKind.ECHO_REPLY)])
+        assert "(echo reply)" in render(result_with([hop]))
+
+    def test_tcp_annotation(self):
+        hop = Hop(ttl=5, replies=[reply(kind=ReplyKind.TCP_RESPONSE)])
+        assert "[tcp]" in render(result_with([hop]))
+
+
+class TestVerbose:
+    def test_verbose_adds_forensics(self):
+        hop = Hop(ttl=2, replies=[reply(probe_ttl=0, response_ttl=248,
+                                        ip_id=77)])
+        text = render(result_with([hop]), verbose=True)
+        assert "pTTL=0" in text
+        assert "rTTL=248" in text
+        assert "id=77" in text
+
+    def test_normal_probe_ttl_not_flagged(self):
+        # A probe TTL of 1 is normal; verbose mode shows only anomalies.
+        hop = Hop(ttl=2, replies=[reply(probe_ttl=1, response_ttl=250,
+                                        ip_id=5)])
+        text = render(result_with([hop]), verbose=True)
+        assert "pTTL" not in text
+        assert "rTTL=250" in text
+
+    def test_non_verbose_hides_forensics(self):
+        hop = Hop(ttl=2, replies=[reply(probe_ttl=0, response_ttl=248,
+                                        ip_id=77)])
+        text = render(result_with([hop]))
+        assert "pTTL" not in text and "id=" not in text
