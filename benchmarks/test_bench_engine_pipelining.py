@@ -1,0 +1,102 @@
+"""E11 — engine pipelining: stop-and-wait vs the event-driven engine.
+
+Runs the same 32-worker, multi-round Sec. 3 campaign twice — once with
+the sequential (paper-faithful) engine, once with the pipelined engine
+— on a Sec. 3 topology generated without order-sensitive randomness
+(no per-packet balancers, no response loss), where route inference is a
+pure function of each probe's bytes.  Asserts the pipelined engine
+reproduces every route inference exactly, completes each round in
+strictly less simulated time, and takes measurably less real wall-clock
+(the cohort walker shares forwarding work across the in-flight window).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.measurement.campaign import Campaign, CampaignConfig
+from repro.measurement.destinations import select_pingable_destinations
+from repro.topology.internet import InternetConfig, generate_internet
+
+ROUNDS = 4
+WORKERS = 32
+
+
+def deterministic_internet(seed):
+    """The Sec. 3 generator, minus stateful randomness, at bench scale."""
+    return generate_internet(InternetConfig(
+        seed=seed,
+        n_tier1=6, n_transit=10, n_stub=22, dests_per_stub=4,
+        n_loop_stub_diamonds=4, n_cycle_stub_diamonds=1,
+        n_nat_dests=2, n_zero_ttl_dests=2,
+        response_loss_rate=0.0, p_per_packet=0.0,
+    ))
+
+
+def run_campaign(engine, seed):
+    topology = deterministic_internet(seed)
+    destinations = select_pingable_destinations(
+        topology.network, topology.source,
+        topology.destination_addresses, seed=seed)
+    campaign = Campaign(
+        topology.network, topology.source, destinations,
+        CampaignConfig(rounds=ROUNDS, workers=WORKERS, seed=seed,
+                       engine=engine))
+    started = time.perf_counter()
+    result = campaign.run()
+    wall = time.perf_counter() - started
+    return result, wall
+
+
+def route_signature(route):
+    return (route.round_index, str(route.destination), route.tool,
+            route.halt_reason,
+            tuple((h.ttl, str(h.address), h.probe_ttl, h.response_ttl,
+                   h.unreachable_flag, str(h.kind)) for h in route.hops))
+
+
+@pytest.mark.benchmark(group="engine")
+def test_bench_engine_pipelining(benchmark):
+    sequential, sequential_wall = run_campaign("sequential", BENCH_SEED)
+
+    pipelined_runs = []
+
+    def pipelined_run():
+        pipelined_runs.append(run_campaign("pipelined", BENCH_SEED))
+        return pipelined_runs[-1][0]
+
+    pipelined = benchmark.pedantic(pipelined_run, iterations=1, rounds=1)
+    pipelined_wall = pipelined_runs[-1][1]
+
+    sim_sequential = sequential.rounds[-1].finished_at
+    sim_pipelined = pipelined.rounds[-1].finished_at
+    speedup = sequential_wall / pipelined_wall
+    benchmark.extra_info.update({
+        "sequential_wall_s": round(sequential_wall, 3),
+        "pipelined_wall_s": round(pipelined_wall, 3),
+        "wall_speedup": round(speedup, 2),
+        "sequential_sim_s": round(sim_sequential, 1),
+        "pipelined_sim_s": round(sim_pipelined, 1),
+        "sequential_probes": sequential.probes_sent,
+        "pipelined_probes": pipelined.probes_sent,
+    })
+    print()
+    print(f"  routes: {len(sequential.routes)} per engine "
+          f"({ROUNDS} rounds x {WORKERS} workers)")
+    print(f"  simulated: sequential {sim_sequential:.1f} s, "
+          f"pipelined {sim_pipelined:.1f} s "
+          f"({sim_sequential / sim_pipelined:.1f}x less)")
+    print(f"  wall-clock: sequential {sequential_wall:.2f} s, "
+          f"pipelined {pipelined_wall:.2f} s ({speedup:.2f}x less)")
+
+    # Same traces: every (round, destination, tool) inference matches.
+    assert (sorted(route_signature(r) for r in pipelined.routes)
+            == sorted(route_signature(r) for r in sequential.routes))
+    # Strictly fewer simulated seconds, campaign-wide and per round.
+    assert sim_pipelined < sim_sequential
+    for fast, slow in zip(pipelined.rounds, sequential.rounds):
+        assert fast.duration < slow.duration
+    # Measurably less real wall-clock (typically >= 2x here; the bound
+    # leaves margin for noisy CI boxes).
+    assert pipelined_wall * 1.5 <= sequential_wall

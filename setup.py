@@ -1,4 +1,56 @@
-"""Setuptools shim for environments without PEP 660 editable-wheel support."""
-from setuptools import setup
+"""Packaging for the Paris traceroute (IMC 2006) reproduction.
 
-setup()
+Kept as a plain setup.py so environments without PEP 660
+editable-wheel support can still ``pip install -e .``.  The version is
+read from ``src/repro/_version.py``, the single source of truth.
+"""
+
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "_version.py")) as handle:
+        return re.search(r'__version__ = "([^"]+)"', handle.read()).group(1)
+
+
+setup(
+    name="repro-paris-traceroute",
+    version=read_version(),
+    description=(
+        "Reproduction of 'Avoiding traceroute anomalies with Paris "
+        "traceroute' (IMC 2006) on a deterministic packet-level simulator"
+    ),
+    long_description=(
+        "Classic and Paris traceroute over a byte-exact simulated "
+        "internet: load-balancer anomalies, the Sec. 3/4 measurement "
+        "campaign, multipath detection, and an event-driven pipelined "
+        "probe engine."
+    ),
+    long_description_content_type="text/plain",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: System :: Networking :: Monitoring",
+    ],
+)

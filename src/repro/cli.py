@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flow seed (paris) or PID (classic)")
     trace.add_argument("--verbose", action="store_true",
                        help="show probe TTL / response TTL / IP ID")
+    trace.add_argument("--engine", choices=("sequential", "pipelined"),
+                       default="sequential",
+                       help="stop-and-wait probing or the event-driven "
+                            "window engine")
+    trace.add_argument("--window", type=int, default=8,
+                       help="in-flight probes per trace (pipelined only)")
 
     mda = commands.add_parser("mda", help="multipath detection on a figure")
     mda.add_argument("--figure", choices=sorted(FIGURES), default="6")
@@ -77,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
         "census", help="miniature Sec. 4 campaign (about a minute)")
     census.add_argument("--seed", type=int, default=42)
     census.add_argument("--rounds", type=int, default=10)
+    census.add_argument("--engine", choices=("sequential", "pipelined"),
+                        default="sequential",
+                        help="probe engine driving the campaign")
     return parser
 
 
@@ -102,6 +111,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
     else:
         tracer = ParisTraceroute(socket, method=args.method,
                                  seed=args.seed)
+    if args.engine == "pipelined":
+        from repro.engine import PipelinedTraceroute
+
+        if args.window < 1:
+            print(f"--window must be at least 1, got {args.window}",
+                  file=sys.stderr)
+            return 2
+        tracer = PipelinedTraceroute(tracer, window=args.window)
     print(f"# {fig.description}")
     result = tracer.trace(fig.destination_address)
     print(render(result, verbose=args.verbose))
@@ -138,8 +155,10 @@ def cmd_fig2(__: argparse.Namespace) -> int:
 def cmd_census(args: argparse.Namespace) -> int:
     from repro.analysis import run_calibrated_campaign
 
-    print(f"seed={args.seed} rounds={args.rounds}; this takes a while...")
-    campaign = run_calibrated_campaign(seed=args.seed, rounds=args.rounds)
+    print(f"seed={args.seed} rounds={args.rounds} engine={args.engine}; "
+          "this takes a while...")
+    campaign = run_calibrated_campaign(seed=args.seed, rounds=args.rounds,
+                                       engine=args.engine)
     print(campaign.topology.summary())
     print()
     print(campaign.format_tables())

@@ -1,0 +1,52 @@
+"""The event-driven probe engine.
+
+Where :class:`repro.sim.socketapi.ProbeSocket` and the
+:class:`repro.tracer.base.Traceroute` loop are strictly stop-and-wait —
+one probe in flight, the paper's 2-second timeout serialising every hop
+— this package keeps a configurable *window* of probes in flight per
+trace and many traces in flight per vantage point, all scheduled as
+discrete events on the shared :class:`repro.sim.clock.SimClock`:
+
+- :mod:`repro.engine.events` — the time-ordered event queue;
+- :mod:`repro.engine.asyncsocket` — the non-blocking socket
+  (``send_nowait`` / ``poll``) over :meth:`Network.submit_cohort`;
+- :mod:`repro.engine.scheduler` — per-destination trace sessions, the
+  in-flight window, timeout policies, and the scheduler that multiplexes
+  lanes of traces over one clock;
+- :mod:`repro.engine.pipeline` — drop-in pipelined drivers wrapping the
+  existing Paris / classic / TCP tools.
+
+Responses come back asynchronously and possibly out of order (a deeper
+hop's router can answer before a nearer one — the in-flight-probe
+regime the paper's Sec. 2.3 measurement avoided by design); matching
+relies on the same per-tool logic in :mod:`repro.tracer.matching`, and
+hop adjudication replays the stop-and-wait halt rules in strict TTL
+order so route inferences are identical to the sequential path.
+"""
+
+from repro.engine.asyncsocket import AsyncProbeSocket, SentProbe
+from repro.engine.events import Event, EventKind, EventQueue
+from repro.engine.pipeline import PipelinedTraceroute
+from repro.engine.scheduler import (
+    AdaptiveTimeout,
+    FixedTimeout,
+    ProbeScheduler,
+    TraceOutcome,
+    TraceSession,
+    TraceSpec,
+)
+
+__all__ = [
+    "AdaptiveTimeout",
+    "AsyncProbeSocket",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FixedTimeout",
+    "PipelinedTraceroute",
+    "ProbeScheduler",
+    "SentProbe",
+    "TraceOutcome",
+    "TraceSession",
+    "TraceSpec",
+]

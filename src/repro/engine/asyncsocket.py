@@ -1,0 +1,119 @@
+"""The non-blocking probe socket.
+
+Same contract as :class:`repro.sim.socketapi.ProbeSocket` at the wire
+boundary — probes go down as bytes and are parsed (and validated)
+here, responses come back up as bytes and are re-parsed — but nothing
+blocks: :meth:`AsyncProbeSocket.send_nowait` stages a probe and
+returns immediately with its delivery deadline, :meth:`flush` walks the
+staged cohort through :meth:`Network.submit_cohort`, and :meth:`poll`
+surfaces whatever responses have *arrived* by the given time.  Matching
+responses back to probes is the scheduler's job (it has the builders);
+the socket only moves packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packet import Packet
+from repro.sim.endhost import MeasurementHost
+from repro.sim.network import Network
+from repro.sim.socketapi import (
+    DEFAULT_TIMEOUT,
+    ProbeResponse,
+    parse_probe,
+    require_vantage_point,
+)
+
+
+@dataclass
+class SentProbe:
+    """A staged probe: its token, parsed form, and response deadline."""
+
+    token: int
+    packet: Packet
+    sent_at: float
+    deadline: float
+
+
+class AsyncProbeSocket:
+    """Send probe bytes without waiting; poll for arrived responses."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: MeasurementHost,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        require_vantage_point(network, host)
+        self.network = network
+        self.host = host
+        self.timeout = timeout
+        self.probes_sent = 0
+        self.responses_received = 0
+        self._outbox: list[Packet] = []
+        self._next_token = 0
+
+    @property
+    def source_address(self):
+        """The vantage point's IP address (probe Source Address)."""
+        return self.host.address
+
+    def send_nowait(self, probe_bytes: bytes,
+                    timeout: float | None = None) -> SentProbe:
+        """Stage one probe for the next :meth:`flush`; never blocks.
+
+        Validation matches the blocking socket: the bytes must parse as
+        a packet sourced at the vantage point.  The returned deadline is
+        ``now + timeout`` — the instant after which silence becomes a
+        star.
+        """
+        probe = parse_probe(probe_bytes, self.host)
+        self.probes_sent += 1
+        self._outbox.append(probe)
+        now = self.network.clock.now
+        wait = self.timeout if timeout is None else timeout
+        sent = SentProbe(
+            token=self._next_token,
+            packet=probe,
+            sent_at=now,
+            deadline=now + wait,
+        )
+        self._next_token += 1
+        return sent
+
+    def flush(self) -> None:
+        """Walk all staged probes as one cohort at the current instant."""
+        if not self._outbox:
+            return
+        outbox, self._outbox = self._outbox, []
+        self.network.submit_cohort(outbox, at=self.host)
+
+    def next_arrival_at(self) -> float | None:
+        """When the earliest buffered delivery lands (any recipient)."""
+        return self.network.next_delivery_at()
+
+    def poll(self, until: float | None = None) -> list[ProbeResponse]:
+        """Responses that reached the vantage point by ``until``.
+
+        ``raw`` carries the wire bytes as the blocking socket's would;
+        the packet itself is handed over zero-copy (it is a frozen
+        dataclass, and serialisation materialises the same checksums a
+        re-parse would read), which is where an event engine sheds the
+        per-read allocation cost of the stop-and-wait socket.  ``rtt``
+        is the walk's elapsed time (send instant to arrival).
+        """
+        responses: list[ProbeResponse] = []
+        for arrival, delivery in self.network.deliveries(until=until,
+                                                         node=self.host):
+            responses.append(ProbeResponse(
+                packet=delivery.packet,
+                raw=delivery.packet.build(),
+                rtt=delivery.elapsed,
+                received_at=arrival,
+            ))
+        # Everything that reached the vantage point counts as received,
+        # matched to a probe or not — the same stance the blocking
+        # socket takes on deliveries it cannot tie to its probe.
+        self.responses_received += len(responses)
+        return responses

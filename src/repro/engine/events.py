@@ -1,0 +1,72 @@
+"""The engine's discrete-event queue.
+
+A thin, deterministic priority queue over the simulated clock: events
+pop in ``(time, kind, insertion order)`` order.  Response *arrivals* are
+deliberately not queue events — they live in the network's pending
+delivery buffer (:meth:`repro.sim.network.Network.deliveries`) and the
+scheduler interleaves them with queued events, always draining arrivals
+up to an event's time first.  That ordering reproduces the sequential
+socket's acceptance rule: a response landing exactly at its probe's
+deadline still counts (the stop-and-wait socket stars only responses
+*strictly* later than the timeout).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class EventKind(enum.IntEnum):
+    """Queue event kinds; the integer value breaks ties at equal times."""
+
+    #: A probe's response deadline passed — adjudicate a star.
+    EXPIRE = 0
+    #: A lane is due to start its next trace (inter-trace pacing).
+    LANE_START = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+
+
+class EventQueue:
+    """A heapq of :class:`Event`, FIFO among exact ties."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        event = Event(time=time, kind=kind, payload=payload)
+        heapq.heappush(self._heap, (time, int(kind), self._seq, event))
+        self._seq += 1
+        return event
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][3]
+
+    def peek_time(self) -> Optional[float]:
+        """The earliest scheduled time, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,627 @@
+"""Pipelined probing: sessions, windows, timeout policies, the scheduler.
+
+One :class:`ProbeScheduler` multiplexes many *lanes* (independent
+sequences of traces — the campaign's 32 workers become 32 lanes) over a
+single simulated clock.  Each running trace is a :class:`TraceSession`
+that keeps up to ``window`` probes in flight, accepts responses in any
+arrival order, and adjudicates hops strictly in TTL order with exactly
+the stop-and-wait loop's rules (star budget, destination halt,
+unreachable halt).  A session therefore produces the same hops, halt
+reason, and flow keys as :meth:`repro.tracer.base.Traceroute.trace`
+would — only the timestamps shrink, because waiting overlaps.
+
+Out-of-order arrivals are the normal case here, not an anomaly: with a
+window of probes in flight, a TTL-3 router regularly answers before the
+TTL-2 router (different return paths, different delays).  The session
+parks early responses in their slots and lets adjudication catch up —
+the behaviour real pipelined tools need and the paper's one-in-flight
+campaign sidestepped.
+
+Two pacing controls bound speculative probing:
+
+- **horizon hints** — a shared ``{(destination, tool): last halt TTL}``
+  memo (the campaign passes one across rounds).  Sends pause at the
+  hinted depth and resume only if adjudication gets there without
+  halting, so steady-state rounds send almost no probe the sequential
+  loop would not have sent.
+- **evidence caps** — as soon as *any* reply (in or out of order) is a
+  halt kind (destination reached, unreachable), deeper sends stop; the
+  final halt TTL can only be at or before that reply's TTL.
+
+Timeout policies: :class:`FixedTimeout` reproduces the paper's flat
+2-second wait and keeps results byte-comparable to the sequential path;
+:class:`AdaptiveTimeout` is an RFC 6298-style RTT estimator (SRTT +
+4·RTTVAR, clamped) for when throughput matters more than replaying the
+paper's exact timing — an early expiry can star a hop the sequential
+tool would have caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.engine.asyncsocket import AsyncProbeSocket
+from repro.engine.events import EventKind, EventQueue
+from repro.errors import TracerError
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPEchoReply,
+    ICMPEchoRequest,
+    ICMPTimeExceeded,
+)
+from repro.net.inet import IPv4Address
+from repro.net.packet import Packet
+from repro.net.tcp import TCPHeader
+from repro.sim.endhost import MeasurementHost
+from repro.sim.network import Network
+from repro.sim.socketapi import ProbeResponse
+from repro.tracer.base import Traceroute, halt_reason_for, interpret_reply
+from repro.tracer.probes import ProbeBuilder
+from repro.tracer.result import Hop, TracerouteResult
+
+#: Default in-flight window per trace session.
+DEFAULT_WINDOW = 8
+
+_ICMP_ERROR = (ICMPTimeExceeded, ICMPDestinationUnreachable)
+
+
+# ----------------------------------------------------------------------
+# timeout policies
+# ----------------------------------------------------------------------
+class FixedTimeout:
+    """The paper's policy: a flat per-probe response timeout."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise TracerError(f"timeout must be positive: {seconds}")
+        self.seconds = seconds
+
+    def timeout_for(self) -> float:
+        return self.seconds
+
+    def observe(self, rtt: float) -> None:
+        """Fixed policies ignore RTT samples."""
+
+
+class AdaptiveTimeout:
+    """RFC 6298-style retransmission-timer estimate as a probe timeout.
+
+    ``SRTT + 4 * RTTVAR`` clamped to ``[floor, ceiling]``; before any
+    sample the ceiling applies.  Faster than the flat wait on silent
+    tails, but an under-estimate stars probes the sequential tool would
+    have caught — use where throughput beats exact replay.
+    """
+
+    def __init__(
+        self,
+        ceiling: float = 2.0,
+        floor: float = 0.1,
+        alpha: float = 1 / 8,
+        beta: float = 1 / 4,
+    ) -> None:
+        if not 0 < floor <= ceiling:
+            raise TracerError(
+                f"need 0 < floor <= ceiling, got [{floor}, {ceiling}]"
+            )
+        self.ceiling = ceiling
+        self.floor = floor
+        self.alpha = alpha
+        self.beta = beta
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+
+    def timeout_for(self) -> float:
+        if self.srtt is None:
+            return self.ceiling
+        estimate = self.srtt + 4.0 * self.rttvar
+        return min(self.ceiling, max(self.floor, estimate))
+
+    def observe(self, rtt: float) -> None:
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+            return
+        self.rttvar = ((1 - self.beta) * self.rttvar
+                       + self.beta * abs(self.srtt - rtt))
+        self.srtt = (1 - self.alpha) * self.srtt + self.alpha * rtt
+
+
+# ----------------------------------------------------------------------
+# trace sessions
+# ----------------------------------------------------------------------
+class _Slot:
+    """One sent probe awaiting adjudication."""
+
+    __slots__ = ("probe", "flow_key", "ttl", "token", "reply", "response")
+
+    def __init__(self, probe: Packet, flow_key: bytes, ttl: int) -> None:
+        self.probe = probe
+        self.flow_key = flow_key
+        self.ttl = ttl
+        self.token: int | None = None
+        self.reply = None
+        self.response: ProbeResponse | None = None
+
+
+@dataclass
+class TraceSpec:
+    """One trace a lane should run.
+
+    ``builder_factory`` overrides probe construction (the campaign uses
+    it to pin per-trace flows deterministically); None lets the tool
+    draw its own builder, exactly as ``tracer.trace(destination)``
+    would.
+    """
+
+    tracer: Traceroute
+    destination: IPv4Address
+    builder_factory: Optional[Callable[[], ProbeBuilder]] = None
+
+
+@dataclass
+class TraceOutcome:
+    """A finished trace with its lane coordinates."""
+
+    lane: int
+    index: int
+    spec: TraceSpec
+    result: TracerouteResult
+
+
+class TraceSession:
+    """State machine for one pipelined trace."""
+
+    def __init__(
+        self,
+        tracer: Traceroute,
+        destination: IPv4Address,
+        builder: ProbeBuilder,
+        window: int,
+        started_at: float,
+        horizon_hint: int | None = None,
+    ) -> None:
+        if window < 1:
+            raise TracerError("need a positive in-flight window")
+        self.tracer = tracer
+        self.options = tracer.options
+        self.destination = IPv4Address(destination)
+        self.builder = builder
+        self.window = window
+        self.result = TracerouteResult(
+            tool=tracer.tool,
+            source=tracer.socket.source_address,
+            destination=self.destination,
+            started_at=started_at,
+        )
+        self.in_flight = 0
+        self.done = False
+        opts = self.options
+        self._hops: dict[int, list[_Slot]] = {}
+        self._next_ttl = opts.min_ttl
+        self._next_index = 0
+        self._adjudicated = opts.min_ttl - 1
+        self._consecutive_stars = 0
+        self._halt: str | None = None
+        self._evidence_cap: int | None = None
+        if horizon_hint is None:
+            self._horizon = opts.max_ttl
+        else:
+            self._horizon = min(opts.max_ttl, max(opts.min_ttl, horizon_hint))
+
+    # -- sending ---------------------------------------------------------
+    def build_next(self) -> Optional[_Slot]:
+        """The next probe slot in strict (TTL, probe index) order."""
+        if self.done or self._halt is not None:
+            return None
+        ttl = self._next_ttl
+        if ttl > self._horizon:
+            return None
+        if self._evidence_cap is not None and ttl > self._evidence_cap:
+            return None
+        probe = self.builder.build(ttl)
+        slot = _Slot(probe, self.builder.flow_key(probe), ttl)
+        self._hops.setdefault(ttl, []).append(slot)
+        self._next_index += 1
+        if self._next_index >= self.options.probes_per_hop:
+            self._next_index = 0
+            self._next_ttl += 1
+        self.in_flight += 1
+        return slot
+
+    # -- resolving -------------------------------------------------------
+    def resolve(self, slot: _Slot, response: ProbeResponse | None) -> None:
+        """Record a response (or, with None, a timeout) for ``slot``."""
+        if slot.reply is not None:
+            return
+        slot.response = response
+        slot.reply = interpret_reply(self.builder, slot.probe, response)
+        self.in_flight -= 1
+        if response is not None and not slot.reply.is_star:
+            halt = halt_reason_for(slot.probe, response, slot.reply)
+            if halt is not None and (self._evidence_cap is None
+                                     or slot.ttl < self._evidence_cap):
+                self._evidence_cap = slot.ttl
+
+    # -- adjudication ----------------------------------------------------
+    def advance(self, now: float) -> bool:
+        """Adjudicate complete hops in TTL order; True when just done."""
+        if self.done:
+            return False
+        opts = self.options
+        while self._halt is None:
+            ttl = self._adjudicated + 1
+            if ttl > opts.max_ttl:
+                break
+            slots = self._hops.get(ttl)
+            if (slots is None or len(slots) < opts.probes_per_hop
+                    or any(slot.reply is None for slot in slots)):
+                break
+            halt = None
+            for slot in slots:
+                if slot.reply.is_star:
+                    self._consecutive_stars += 1
+                else:
+                    self._consecutive_stars = 0
+                halt = halt or halt_reason_for(slot.probe, slot.response,
+                                               slot.reply)
+            self._adjudicated = ttl
+            if halt:
+                self._halt = halt
+            elif self._consecutive_stars >= opts.max_consecutive_stars:
+                self._halt = "stars"
+        if self._halt is None and self._adjudicated >= opts.max_ttl:
+            self._halt = "max-ttl"
+        if self._halt is not None:
+            self._finalize(now)
+            return True
+        if (self._adjudicated >= self._horizon
+                and self._horizon < opts.max_ttl):
+            # Every hinted hop resolved without a halt: probe deeper.
+            self._horizon = min(opts.max_ttl, self._horizon + self.window)
+        return False
+
+    def _finalize(self, now: float) -> None:
+        opts = self.options
+        hops: list[Hop] = []
+        flow_keys: list[bytes] = []
+        for ttl in range(opts.min_ttl, self._adjudicated + 1):
+            slots = self._hops[ttl]
+            hops.append(Hop(ttl=ttl, replies=[s.reply for s in slots]))
+            flow_keys.extend(s.flow_key for s in slots)
+        self.result.hops = hops
+        self.result.flow_keys = flow_keys
+        self.result.halt_reason = self._halt or "max-ttl"
+        self.result.finished_at = now
+        self.done = True
+
+    @property
+    def halt_ttl(self) -> int:
+        """The deepest adjudicated TTL (the hint for the next round)."""
+        return self._adjudicated
+
+    def outstanding_slots(self) -> list[_Slot]:
+        """Slots still awaiting a response (for cancellation when done)."""
+        return [slot for slots in self._hops.values() for slot in slots
+                if slot.reply is None]
+
+
+# ----------------------------------------------------------------------
+# response demultiplexing
+# ----------------------------------------------------------------------
+def probe_match_keys(probe: Packet) -> list[tuple]:
+    """Exact-match demux keys under which a probe expects answers.
+
+    One key covers ICMP errors quoting the probe (source, destination,
+    protocol, first eight transport octets — the RFC 792 quote); probe
+    types that can also be answered directly (Echo Reply, TCP) add a
+    second key.  Dict hits are *confirmed* with the builder's own
+    matching logic, and misses fall back to a linear scan with it, so
+    the index is purely an accelerator.
+    """
+    keys = [("quote", probe.src, probe.dst, int(probe.ip.protocol),
+             probe.first_eight_transport_octets())]
+    transport = probe.transport
+    if isinstance(transport, ICMPEchoRequest):
+        keys.append(("echo", probe.dst, transport.identifier,
+                     transport.sequence))
+    elif isinstance(transport, TCPHeader):
+        keys.append(("tcp", probe.dst, transport.dst_port,
+                     transport.src_port, (transport.seq + 1) & 0xFFFFFFFF))
+    return keys
+
+
+def response_match_keys(packet: Packet) -> list[tuple]:
+    """The demux keys a received packet answers to."""
+    transport = packet.transport
+    if isinstance(transport, _ICMP_ERROR):
+        quoted = transport.quoted_header
+        return [("quote", quoted.src, quoted.dst, int(quoted.protocol),
+                 transport.quoted_payload[:8])]
+    if isinstance(transport, ICMPEchoReply):
+        return [("echo", packet.src, transport.identifier,
+                 transport.sequence)]
+    if isinstance(transport, TCPHeader):
+        return [("tcp", packet.src, transport.src_port, transport.dst_port,
+                 transport.ack)]
+    return []
+
+
+# ----------------------------------------------------------------------
+# lanes and the scheduler
+# ----------------------------------------------------------------------
+@dataclass
+class _Lane:
+    index: int
+    specs: list[TraceSpec]
+    inter_trace_delay: float = 0.0
+    position: int = 0
+    session: Optional[TraceSession] = None
+
+
+@dataclass
+class _Outstanding:
+    session: TraceSession
+    slot: _Slot
+    lane: _Lane
+
+
+class ProbeScheduler:
+    """Drive lanes of pipelined traces over one simulated clock."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: MeasurementHost,
+        timeout: float | None = None,
+        window: int = DEFAULT_WINDOW,
+        timeout_policy=None,
+        socket: AsyncProbeSocket | None = None,
+        horizon_hints: dict | None = None,
+    ) -> None:
+        if socket is None:
+            socket = AsyncProbeSocket(
+                network, host,
+                timeout=timeout if timeout is not None else 2.0,
+            )
+        self.network = network
+        self.socket = socket
+        self.clock = network.clock
+        self.window = window
+        # An explicit timeout wins over the socket's own default, also
+        # when the socket was passed in.
+        if timeout_policy is not None:
+            self.timeout_policy = timeout_policy
+        else:
+            self.timeout_policy = FixedTimeout(
+                timeout if timeout is not None else socket.timeout)
+        self.events = EventQueue()
+        self.lanes: list[_Lane] = []
+        self.outcomes: list[TraceOutcome] = []
+        #: (destination, tool) -> halt TTL of the previous trace; pass a
+        #: shared dict to carry pacing knowledge across scheduler runs.
+        self.horizon_hints = horizon_hints if horizon_hints is not None else {}
+        self._outstanding: dict[int, _Outstanding] = {}
+        # Demux index: match key -> tokens of outstanding probes that
+        # answer to it.  A key can be shared (tcptraceroute's probes
+        # differ only in IP ID), so each holds a token set and hits are
+        # confirmed with the builder's own matching logic.
+        self._index: dict[tuple, set[int]] = {}
+        # Keys of probes no longer waiting (expired, cancelled, already
+        # answered): late responses to them are recognised here instead
+        # of falling through to the full matching scan.
+        self._dead_keys: set[tuple] = set()
+
+    # -- building the workload ------------------------------------------
+    def add_lane(self, specs: Iterable[TraceSpec],
+                 inter_trace_delay: float = 0.0) -> int:
+        lane = _Lane(index=len(self.lanes), specs=list(specs),
+                     inter_trace_delay=inter_trace_delay)
+        self.lanes.append(lane)
+        return lane.index
+
+    # -- the event loop --------------------------------------------------
+    def run(self) -> list[TraceOutcome]:
+        """Run every lane to completion; outcomes in (lane, index) order."""
+        for lane in self.lanes:
+            self._start_next_trace(lane)
+        self.socket.flush()
+        while any(lane.session is not None
+                  or lane.position < len(lane.specs)
+                  for lane in self.lanes):
+            self._drop_stale_expires()
+            arrival = self.network.next_delivery_at()
+            event_time = self.events.peek_time()
+            if arrival is None and event_time is None:
+                break
+            if arrival is not None and (event_time is None
+                                        or arrival <= event_time):
+                self._advance_clock(arrival)
+                for response in self.socket.poll(until=arrival):
+                    self._on_response(response)
+            else:
+                event = self.events.pop()
+                self._advance_clock(event.time)
+                if event.kind is EventKind.EXPIRE:
+                    self._on_expire(event.payload)
+                else:
+                    self._start_next_trace(event.payload)
+            # One cohort per iteration: everything staged while handling
+            # this instant's events walks the network together.
+            self.socket.flush()
+        # Drain responses still in flight for cancelled speculative
+        # probes: left buffered, a later scheduler on this network
+        # could claim them against byte-identical re-probes (the
+        # campaign reuses per-trace flows across runs by design).
+        self.network.deliveries(until=float("inf"))
+        self.outcomes.sort(key=lambda o: (o.lane, o.index))
+        return self.outcomes
+
+    def _drop_stale_expires(self) -> None:
+        """Discard deadlines of probes already answered or cancelled.
+
+        Without this, a finished campaign's leftover deadlines would
+        drag the clock out to the last speculative probe's timeout even
+        though no trace is waiting on it.
+        """
+        while True:
+            event = self.events.peek()
+            if (event is None or event.kind is not EventKind.EXPIRE
+                    or event.payload in self._outstanding):
+                return
+            self.events.pop()
+
+    def _advance_clock(self, timestamp: float) -> None:
+        if timestamp > self.clock.now:
+            self.clock.advance_to(timestamp)
+
+    # -- lane / session lifecycle ---------------------------------------
+    def _start_next_trace(self, lane: _Lane) -> None:
+        if lane.position >= len(lane.specs):
+            lane.session = None
+            return
+        spec = lane.specs[lane.position]
+        tracer = spec.tracer
+        if spec.builder_factory is not None:
+            builder = spec.builder_factory()
+        else:
+            builder = tracer.make_builder(IPv4Address(spec.destination))
+        # Exact (destination, tool) knowledge wins; failing that, any
+        # tool's depth for this destination is a decent prior — the
+        # campaign traces Paris first, so the classic trace of the same
+        # destination starts with its depth instead of speculating.
+        hint = self.horizon_hints.get((spec.destination, tracer.tool))
+        if hint is None:
+            hint = self.horizon_hints.get(spec.destination)
+        session = TraceSession(
+            tracer=tracer,
+            destination=spec.destination,
+            builder=builder,
+            window=self.window,
+            started_at=self.clock.now,
+            horizon_hint=hint,
+        )
+        lane.session = session
+        self._pump(lane)
+
+    def _pump(self, lane: _Lane) -> None:
+        """Refill the session's window with a burst of staged probes.
+
+        Refills wait until the window has half drained, then top it up —
+        sends then arrive at the socket in window/2-sized cohorts that
+        share forwarding work in :meth:`Network.submit_cohort`, instead
+        of degenerating to one-probe walks per resolved response.  The
+        caller (the scheduler loop) flushes the staged cohort.
+        """
+        session = lane.session
+        if session is None or session.done:
+            return
+        if session.in_flight > session.window // 2:
+            return
+        while session.in_flight < session.window:
+            slot = session.build_next()
+            if slot is None:
+                break
+            sent = self.socket.send_nowait(
+                slot.probe.build(),
+                timeout=self.timeout_policy.timeout_for(),
+            )
+            slot.token = sent.token
+            record = _Outstanding(session=session, slot=slot, lane=lane)
+            self._outstanding[sent.token] = record
+            for key in probe_match_keys(slot.probe):
+                self._index.setdefault(key, set()).add(sent.token)
+            self.events.push(sent.deadline, EventKind.EXPIRE, sent.token)
+
+    def _after_resolution(self, lane: _Lane) -> None:
+        session = lane.session
+        if session is None:
+            return
+        if session.advance(self.clock.now):
+            self._retire(lane, session)
+        else:
+            self._pump(lane)
+
+    def _retire(self, lane: _Lane, session: TraceSession) -> None:
+        for slot in session.outstanding_slots():
+            self._forget(slot)
+        spec = lane.specs[lane.position]
+        self.outcomes.append(TraceOutcome(
+            lane=lane.index, index=lane.position, spec=spec,
+            result=session.result,
+        ))
+        self.horizon_hints[(spec.destination, spec.tracer.tool)] = (
+            session.halt_ttl
+        )
+        previous = self.horizon_hints.get(spec.destination)
+        if previous is None or session.halt_ttl > previous:
+            self.horizon_hints[spec.destination] = session.halt_ttl
+        lane.position += 1
+        lane.session = None
+        if lane.position < len(lane.specs):
+            if lane.inter_trace_delay > 0:
+                self.events.push(self.clock.now + lane.inter_trace_delay,
+                                 EventKind.LANE_START, lane)
+            else:
+                self._start_next_trace(lane)
+
+    def _forget(self, slot: _Slot) -> None:
+        if slot.token is None:
+            return
+        self._outstanding.pop(slot.token, None)
+        for key in probe_match_keys(slot.probe):
+            tokens = self._index.get(key)
+            if tokens is not None:
+                tokens.discard(slot.token)
+                if not tokens:
+                    del self._index[key]
+            self._dead_keys.add(key)
+
+    # -- event handlers --------------------------------------------------
+    def _on_expire(self, token: int) -> None:
+        record = self._outstanding.pop(token, None)
+        if record is None:
+            return
+        self._forget(record.slot)
+        record.session.resolve(record.slot, None)
+        self._after_resolution(record.lane)
+
+    def _on_response(self, response: ProbeResponse) -> None:
+        record = self._claim(response)
+        if record is None:
+            return
+        self._outstanding.pop(record.slot.token, None)
+        self._forget(record.slot)
+        record.session.resolve(record.slot, response)
+        if record.slot.reply is not None and record.slot.reply.rtt is not None:
+            self.timeout_policy.observe(record.slot.reply.rtt)
+        self._after_resolution(record.lane)
+
+    def _claim(self, response: ProbeResponse) -> Optional[_Outstanding]:
+        """Find the outstanding probe this response answers, if any."""
+        packet = response.packet
+        keys = response_match_keys(packet)
+        for key in keys:
+            tokens = self._index.get(key)
+            if not tokens:
+                continue
+            # Oldest first: when several live probes answer to one key
+            # (tcptraceroute's constant ports), the earliest-sent one
+            # wins, as it would under stop-and-wait.
+            for token in sorted(tokens):
+                record = self._outstanding.get(token)
+                if record is None:
+                    continue
+                if record.session.builder.matches(record.slot.probe, packet):
+                    return record
+        if any(key in self._dead_keys for key in keys):
+            # A straggler for a probe that stopped waiting (expired or
+            # its trace already halted) — the sequential tool would
+            # have printed its star long ago.
+            return None
+        # Exotic responses (mangled quotes) miss the index; fall back to
+        # the full per-tool matching scan so nothing real is dropped.
+        for record in self._outstanding.values():
+            if record.session.builder.matches(record.slot.probe, packet):
+                return record
+        return None

@@ -14,6 +14,20 @@ duration is the time the busiest worker needed, not the sum over all
 traces.  Routing dynamics scheduled on the clock therefore interact
 with the campaign exactly as they would in the paper's month of
 measurement.
+
+Two engines drive the probing (``CampaignConfig.engine``):
+
+- ``"sequential"`` — the paper's regime: each worker has one probe in
+  flight, hop after hop, trace after trace;
+- ``"pipelined"`` — the event-driven engine: the workers become lanes
+  on one :class:`repro.engine.scheduler.ProbeScheduler`, each trace
+  keeping a window of probes in flight.
+
+Per-trace flows (Paris's port pair, classic's PID) are derived from the
+trace's campaign coordinates rather than from a shared stream, so both
+engines probe any given (round, destination, tool) with identical
+packets and — on topologies without order-sensitive randomness
+(per-packet balancers, loss) — infer identical routes.
 """
 
 from __future__ import annotations
@@ -23,6 +37,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.core.route import MeasuredRoute
+from repro.engine.asyncsocket import AsyncProbeSocket
+from repro.engine.scheduler import (
+    DEFAULT_WINDOW,
+    ProbeScheduler,
+    TraceSpec,
+)
 from repro.errors import CampaignError
 from repro.net.inet import IPv4Address
 from repro.sim.endhost import MeasurementHost
@@ -51,6 +71,22 @@ class CampaignConfig:
     #: Extra pacing after each trace, seconds (0 = reply-paced only).
     inter_trace_delay: float = 0.0
     seed: int = 0
+    #: Probe engine: "sequential" (stop-and-wait, the paper's setup) or
+    #: "pipelined" (event-driven, a window of probes in flight).
+    engine: str = "sequential"
+    #: In-flight probes per trace under the pipelined engine.
+    window: int = DEFAULT_WINDOW
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("sequential", "pipelined"):
+            raise CampaignError(
+                f"engine must be 'sequential' or 'pipelined', "
+                f"not {self.engine!r}"
+            )
+        if self.window < 1:
+            raise CampaignError(
+                f"window must be at least 1, got {self.window}"
+            )
 
     def options(self) -> TracerouteOptions:
         return TracerouteOptions(
@@ -139,19 +175,61 @@ class Campaign:
             self._socket, method=self.config.classic_method,
             pid=self.config.classic_pid_base, fixed_pid=False,
             options=options)
+        # Pipelined-engine state: one async socket for the whole
+        # campaign (its counters span rounds) and the halt-TTL memo
+        # that paces later rounds.
+        self._async_socket: AsyncProbeSocket | None = None
+        self._horizon_hints: dict = {}
+        # Flat position of each worker's share start, for trace
+        # ordinals that are identical across engines.
+        self._share_offsets: list[int] = []
 
     def run(self, progress: Optional[callable] = None) -> CampaignResult:
         """Run all configured rounds; returns the collected routes."""
         result = CampaignResult(destinations=list(self.destinations))
         shares = split_among_workers(self.destinations, self.config.workers)
+        offsets, total = [], 0
+        for share in shares:
+            offsets.append(total)
+            total += len(share)
+        self._share_offsets = offsets
+        pipelined = self.config.engine == "pipelined"
+        if pipelined and self._async_socket is None:
+            self._async_socket = AsyncProbeSocket(
+                self.network, self.source, timeout=self.config.timeout)
         for round_index in range(self.config.rounds):
-            record = self._run_round(round_index, shares, result)
+            if pipelined:
+                record = self._run_round_pipelined(round_index, shares,
+                                                   result)
+            else:
+                record = self._run_round(round_index, shares, result)
             result.rounds.append(record)
             if progress is not None:
                 progress(record)
-        result.probes_sent = self._socket.probes_sent
-        result.responses_received = self._socket.responses_received
+        if pipelined:
+            result.probes_sent = self._async_socket.probes_sent
+            result.responses_received = self._async_socket.responses_received
+        else:
+            result.probes_sent = self._socket.probes_sent
+            result.responses_received = self._socket.responses_received
         return result
+
+    def _trace_ordinal(self, round_index: int, worker: int,
+                       position: int) -> int:
+        """The engine-independent serial number of one paired trace."""
+        return (round_index * len(self.destinations)
+                + self._share_offsets[worker] + position)
+
+    def _builders_for(self, round_index: int, worker: int, position: int,
+                      destination: IPv4Address):
+        """Deterministic per-trace builders shared by both engines."""
+        ordinal = self._trace_ordinal(round_index, worker, position)
+        return (
+            lambda: self._paris.make_builder(destination,
+                                             flow_index=ordinal),
+            lambda: self._classic.make_builder(destination,
+                                               ordinal=ordinal),
+        )
 
     def _run_round(
         self,
@@ -174,8 +252,11 @@ class Campaign:
             free_at, worker, position = heapq.heappop(heap)
             destination = shares[worker][position]
             clock.seek(free_at)
-            for tracer in (self._paris, self._classic):
-                trace = tracer.trace(destination)
+            builders = self._builders_for(round_index, worker, position,
+                                          destination)
+            for tracer, make_builder in zip((self._paris, self._classic),
+                                            builders):
+                trace = tracer.trace(destination, builder=make_builder())
                 route = MeasuredRoute.from_result(trace,
                                                   round_index=round_index)
                 result.routes.append(route)
@@ -188,3 +269,42 @@ class Campaign:
         clock.seek(round_end)
         return RoundRecord(index=round_index, started_at=round_start,
                            finished_at=round_end, traces=traces)
+
+    def _run_round_pipelined(
+        self,
+        round_index: int,
+        shares: list[list[IPv4Address]],
+        result: CampaignResult,
+    ) -> RoundRecord:
+        """One round with every worker a lane on the event scheduler."""
+        clock = self.network.clock
+        round_start = clock.now
+        scheduler = ProbeScheduler(
+            self.network,
+            self.source,
+            window=self.config.window,
+            socket=self._async_socket,
+            horizon_hints=self._horizon_hints,
+        )
+        for worker, share in enumerate(shares):
+            if not share:
+                continue
+            specs: list[TraceSpec] = []
+            for position, destination in enumerate(share):
+                paris_builder, classic_builder = self._builders_for(
+                    round_index, worker, position, destination)
+                specs.append(TraceSpec(self._paris, destination,
+                                       paris_builder))
+                specs.append(TraceSpec(self._classic, destination,
+                                       classic_builder))
+            scheduler.add_lane(
+                specs, inter_trace_delay=self.config.inter_trace_delay)
+        outcomes = scheduler.run()
+        for outcome in outcomes:
+            result.routes.append(MeasuredRoute.from_result(
+                outcome.result, round_index=round_index))
+        round_end = max((o.result.finished_at for o in outcomes),
+                        default=round_start)
+        clock.seek(round_end)
+        return RoundRecord(index=round_index, started_at=round_start,
+                           finished_at=round_end, traces=len(outcomes))

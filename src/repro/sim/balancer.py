@@ -60,7 +60,18 @@ class PerFlowPolicy(BalancerPolicy):
     def choose(self, packet: Packet, n: int) -> int:
         if n <= 1:
             return 0
-        return self.flow_of(packet).bucket(n, salt=self._salt)
+        return self.choose_flow(self.flow_of(packet), n)
+
+    def choose_flow(self, flow: FlowId, n: int) -> int:
+        """Pick the next hop for an already-extracted flow identifier.
+
+        The cohort walker extracts each probe's flow once and reuses it
+        at every balancer on the path; this entry point keeps that
+        decision byte-identical to :meth:`choose`.
+        """
+        if n <= 1:
+            return 0
+        return flow.bucket(n, salt=self._salt)
 
     def flow_of(self, packet: Packet) -> FlowId:
         """The flow identifier this balancer derives from ``packet``."""

@@ -1,0 +1,311 @@
+"""Batched packet walks for the event-driven probe engine.
+
+:func:`walk_cohort` carries a *cohort* of probes — everything one
+pipelined session has in flight at a single send instant — through the
+network in grouped form.  Travelers that sit at the same node, arrived
+over the same link, and head for the same destination share the route
+lookup and the egress decision; per traveler the transit cost drops to
+integer TTL bookkeeping instead of a full packet copy per hop.  That is
+where the wall-clock advantage of the pipelined engine over the
+stop-and-wait path comes from: the walk itself gets cheaper, not just
+the waiting.
+
+Exactness is preserved by construction rather than by re-implementing
+router behaviour:
+
+- only *plain* transit (``type(node) is Router``, TTL ≥ 2, destination
+  not local, a forwardable route entry) takes the fast path, and that
+  path reuses :meth:`Router.lookup`, :meth:`RouteEntry.choose_egress`
+  semantics, and :meth:`Link.drops_packet` directly;
+- every other case — TTL expiry, hosts, NAT boxes and other Router
+  subclasses, unreachable/null routes, fault profiles — materialises
+  the packet exactly as it would have arrived (one ``with_ttl`` copy,
+  byte-identical to iterated decrements because IP checksums are
+  computed at serialisation time) and hands it to the node's own
+  :meth:`receive`;
+- generated responses re-enter the walk as travelers toward the probe
+  source and enjoy the same batching on their way back.
+
+Two deliberate deviations from running each probe through
+:meth:`Network.inject` separately, both order-only: per-node IP-ID
+counters and stateful draws (per-packet balancers, loss RNGs) are
+consumed in cohort order rather than per-probe-walk order, and the
+walk-step budget guards each traveler individually.  Per-flow balancer
+decisions assume flow extractors do not read the IP TTL — true of every
+extractor in :mod:`repro.net.flow` (the paper's finding is that routers
+hash addresses, protocol, TOS, and the first transport word).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.net.inet import IPv4Address
+from repro.net.packet import Packet
+from repro.sim.balancer import (
+    PerDestinationPolicy,
+    PerFlowPolicy,
+    PerPacketPolicy,
+)
+from repro.sim.network import (
+    MAX_WALK_STEPS,
+    Delivery,
+    DropRecord,
+    Network,
+    WalkResult,
+)
+from repro.sim.node import Deliver, Drop, Interface, Node, Respond, Transmit
+from repro.sim.router import Router
+
+
+from repro.net.ipv4 import IPv4Header
+
+_IP_FIELDS = (
+    "src", "dst", "protocol", "identification", "tos", "flags",
+    "fragment_offset", "total_length",
+)
+
+
+def _header_with_ttl(ip: IPv4Header, ttl: int) -> IPv4Header:
+    """A TTL-replaced header copy without re-validation.
+
+    Field values besides the TTL come from an already-constructed
+    header, and the TTL is a walk-maintained counter in [0, 255], so
+    ``__post_init__`` has nothing left to catch.  Byte-identical to
+    ``ip.with_ttl(ttl)`` (checksums are computed at build time).
+    """
+    header = IPv4Header.__new__(IPv4Header)
+    setattr_ = object.__setattr__
+    for name in _IP_FIELDS:
+        setattr_(header, name, getattr(ip, name))
+    setattr_(header, "ttl", ttl)
+    return header
+
+
+class _Traveler:
+    """One packet in flight, with its TTL tracked as a plain integer."""
+
+    __slots__ = ("packet", "ttl", "delay", "steps", "flows")
+
+    def __init__(self, packet: Packet, ttl: int, delay: float, steps: int) -> None:
+        self.packet = packet
+        self.ttl = ttl
+        self.delay = delay
+        self.steps = steps
+        #: Lazily-filled {id(policy): FlowId} memo.  Lives on the
+        #: traveler (not a walk-level id-keyed dict) so a recycled
+        #: object id can never inherit another packet's flow.
+        self.flows = None
+
+    def materialize(self) -> Packet:
+        """The packet exactly as it arrives at the current node."""
+        if self.packet.ip.ttl == self.ttl:
+            return self.packet
+        return Packet(
+            ip=_header_with_ttl(self.packet.ip, self.ttl),
+            transport=self.packet.transport,
+            payload=self.packet.payload,
+        )
+
+
+#: Group key: (node, ingress interface or None, destination address).
+_GroupKey = tuple[Node, Optional[Interface], IPv4Address]
+
+
+class _CohortWalk:
+    """State for one :func:`walk_cohort` call."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.now = network.clock.now
+        self.result = WalkResult()
+        self.groups: dict[_GroupKey, list[_Traveler]] = {}
+        # Per-flow bucket decisions, keyed by (policy, flow key, width).
+        # Policies are referenced by live route entries for the whole
+        # walk, so their ids are stable here.
+        self._buckets: dict[tuple[int, bytes, int], int] = {}
+        # Destination address -> owning node (None when unowned).
+        self._targets: dict[IPv4Address, Optional[Node]] = {}
+
+    # -- walk entry points ----------------------------------------------
+    def start_local(self, node: Node, packet: Packet, delay: float,
+                    steps: int) -> None:
+        """A locally-generated packet: route it out of ``node``."""
+        steps += 1
+        if steps > MAX_WALK_STEPS:
+            self.result.drops.append(
+                DropRecord(node, packet, "walk step budget exhausted", delay)
+            )
+            return
+        if type(node) is Router:
+            # Router.dispatch, with the route lookup memoised: look up,
+            # pick an egress (no TTL decrement for local traffic), go.
+            entry = self.lookup(node, packet.ip.dst)
+            if entry is None or entry.unreachable:
+                self.result.drops.append(
+                    DropRecord(node, packet,
+                               "no route for locally generated packet", delay)
+                )
+                return
+            traveler = _Traveler(packet, packet.ip.ttl, delay, steps)
+            egresses = entry.egresses
+            if len(egresses) == 1:
+                index = 0
+            else:
+                index = self.choose_egress(entry, traveler)
+            self.traverse(egresses[index], packet.ip.dst, [traveler],
+                          decrement=False)
+            return
+        self.process_actions(node.dispatch(packet, self.network), delay, steps)
+
+    def run(self) -> WalkResult:
+        while self.groups:
+            key = next(iter(self.groups))
+            travelers = self.groups.pop(key)
+            self.advance_group(*key, travelers)
+        return self.result
+
+    # -- the per-node advance -------------------------------------------
+    def advance_group(
+        self,
+        node: Node,
+        in_iface: Optional[Interface],
+        dst: IPv4Address,
+        travelers: list[_Traveler],
+    ) -> None:
+        try:
+            target = self._targets[dst]
+        except KeyError:
+            target = self.network.node_owning(dst)
+            self._targets[dst] = target
+        fast: list[_Traveler] = []
+        for traveler in travelers:
+            traveler.steps += 1
+            if traveler.steps > MAX_WALK_STEPS:
+                self.result.drops.append(
+                    DropRecord(node, traveler.materialize(),
+                               "walk step budget exhausted", traveler.delay)
+                )
+            elif (type(node) is Router and node is not target
+                  and traveler.ttl >= 2):
+                fast.append(traveler)
+            else:
+                self.receive_one(node, in_iface, traveler)
+        if not fast:
+            return
+        entry = self.lookup(node, dst)
+        if entry is None or entry.unreachable:
+            # Unreachable and no-route probes draw per-probe responses;
+            # the router's own code keeps the semantics exact.
+            for traveler in fast:
+                self.receive_one(node, in_iface, traveler)
+            return
+        egresses = entry.egresses
+        if len(egresses) == 1:
+            self.traverse(egresses[0], dst, fast)
+            return
+        chosen: dict[int, list[_Traveler]] = {}
+        for traveler in fast:
+            index = self.choose_egress(entry, traveler)
+            chosen.setdefault(index, []).append(traveler)
+        for index, group in chosen.items():
+            self.traverse(egresses[index], dst, group)
+
+    def choose_egress(self, entry, traveler: _Traveler) -> int:
+        policy = entry.balancer
+        n = len(entry.egresses)
+        if isinstance(policy, PerFlowPolicy):
+            if traveler.flows is None:
+                traveler.flows = {}
+            flow = traveler.flows.get(id(policy))
+            if flow is None:
+                flow = policy.flow_of(traveler.packet)
+                traveler.flows[id(policy)] = flow
+            bucket_key = (id(policy), flow.key, n)
+            index = self._buckets.get(bucket_key)
+            if index is None:
+                index = policy.choose_flow(flow, n)
+                self._buckets[bucket_key] = index
+            return index
+        if isinstance(policy, (PerPacketPolicy, PerDestinationPolicy)):
+            # Neither reads the TTL; the original packet is exact.
+            return policy.choose(traveler.packet, n)
+        # Unknown policy: materialise so even a TTL-sensitive custom
+        # policy sees the packet as it truly arrives.
+        return policy.choose(traveler.materialize(), n)
+
+    def traverse(self, iface: Interface, dst: IPv4Address,
+                 travelers: list[_Traveler], decrement: bool = True) -> None:
+        link = iface.link
+        if link is None:
+            for traveler in travelers:
+                self.result.drops.append(
+                    DropRecord(iface.node, traveler.materialize(),
+                               f"{iface.label} has no link", traveler.delay)
+                )
+            return
+        peer = link.peer_of(iface)
+        survivors: list[_Traveler] = []
+        lossless = link.up and link.loss_rate <= 0.0
+        for traveler in travelers:
+            if decrement:
+                traveler.ttl -= 1
+            if not lossless and link.drops_packet():
+                self.result.drops.append(
+                    DropRecord(iface.node, traveler.materialize(),
+                               f"lost on link at {iface.label}",
+                               traveler.delay)
+                )
+                continue
+            traveler.delay += link.delay
+            survivors.append(traveler)
+        if survivors:
+            self.groups.setdefault((peer.node, peer, dst), []).extend(survivors)
+
+    # -- exact-semantics handoff ----------------------------------------
+    def receive_one(self, node: Node, in_iface: Optional[Interface],
+                    traveler: _Traveler) -> None:
+        packet = traveler.materialize()
+        actions = node.receive(packet, in_iface, self.network)
+        self.process_actions(actions, traveler.delay, traveler.steps)
+
+    def process_actions(self, actions, delay: float, steps: int) -> None:
+        for action in actions:
+            if isinstance(action, Transmit):
+                packet = action.packet
+                traveler = _Traveler(packet, packet.ip.ttl, delay, steps)
+                # The node already decremented (or chose not to); the
+                # link crossing itself must not touch the TTL again.
+                self.traverse(action.interface, packet.ip.dst, [traveler],
+                              decrement=False)
+            elif isinstance(action, Respond):
+                self.start_local(action.node, action.packet, delay, steps)
+            elif isinstance(action, Deliver):
+                self.result.deliveries.append(
+                    Delivery(action.node, action.packet, delay)
+                )
+            elif isinstance(action, Drop):
+                self.result.drops.append(
+                    DropRecord(action.node, action.packet, action.reason,
+                               delay)
+                )
+            else:  # pragma: no cover - actions are exhaustive
+                raise TypeError(f"unknown action {action!r}")
+
+    def lookup(self, node: Router, dst: IPv4Address):
+        return node.lookup_cached(dst, self.now)
+
+
+def walk_cohort(network: Network, packets: Sequence[Packet],
+                at: Node) -> WalkResult:
+    """Walk a batch of locally-originated packets to quiescence.
+
+    Semantically equivalent to merging ``[network.inject(p, at) for p in
+    packets]`` (modulo the ordering notes in the module docstring); the
+    caller applies dynamics first, as :meth:`Network.submit_cohort`
+    does.
+    """
+    walk = _CohortWalk(network)
+    for packet in packets:
+        walk.start_local(at, packet, 0.0, 0)
+    return walk.run()

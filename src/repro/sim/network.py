@@ -14,9 +14,10 @@ undergoes on its way back are all steps of one deterministic loop.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.errors import TopologyError
 from repro.net.inet import IPv4Address
@@ -79,6 +80,12 @@ class Network:
         self.links: list[Link] = []
         self._address_index: dict[IPv4Address, Node] = {}
         self._dynamics: list = []
+        # Asynchronous delivery buffer: (absolute arrival time, sequence
+        # number, Delivery) heap fed by submit()/submit_cohort() and
+        # drained by deliveries().  The sequence number keeps the pop
+        # order stable for simultaneous arrivals.
+        self._pending: list[tuple[float, int, Delivery]] = []
+        self._pending_seq = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -161,16 +168,28 @@ class Network:
     def inject(self, packet: Packet, at: Node) -> WalkResult:
         """Originate ``packet`` at node ``at`` and walk it to quiescence."""
         self.apply_dynamics()
+        return self.walk([(at, None, packet, 0.0, True)])
+
+    def walk(
+        self,
+        entries: Sequence[tuple[Node, Optional[Interface], Packet, float, bool]],
+        budget: int = MAX_WALK_STEPS,
+    ) -> WalkResult:
+        """Walk pre-positioned work items to quiescence.
+
+        Each entry is ``(node, in_interface, packet, elapsed,
+        locally_generated)`` — the same work-item shape :meth:`inject`
+        starts from.  Dynamics are *not* applied here; callers that
+        originate fresh traffic (``inject``, ``submit``) do that first.
+        """
         result = WalkResult()
-        # Work items: (callable producing actions, elapsed seconds so far).
         queue: deque[tuple[Node, Optional[Interface], Packet, float, bool]] = deque()
-        # Entry tuple: (node, in_interface, packet, elapsed, locally_generated)
-        queue.append((at, None, packet, 0.0, True))
+        queue.extend(entries)
         steps = 0
         while queue:
             node, in_iface, pkt, elapsed, local = queue.popleft()
             steps += 1
-            if steps > MAX_WALK_STEPS:
+            if steps > budget:
                 result.drops.append(
                     DropRecord(node, pkt, "walk step budget exhausted", elapsed)
                 )
@@ -196,6 +215,72 @@ class Network:
                 else:  # pragma: no cover - actions are exhaustive
                     raise TopologyError(f"unknown action {action!r}")
         return result
+
+    # ------------------------------------------------------------------
+    # the asynchronous path (event-driven probe engine)
+    # ------------------------------------------------------------------
+    def submit(self, packet: Packet, at: Node) -> WalkResult:
+        """Originate ``packet`` now; buffer deliveries for later pickup.
+
+        The non-blocking counterpart of :meth:`inject`: the walk still
+        happens eagerly (the simulator is untimed between clock
+        advances), but instead of the caller consuming deliveries
+        immediately, each one is queued with its absolute arrival time
+        (now + walk elapsed) and surfaces through :meth:`deliveries`
+        once the clock reaches it.  Drops are reported in the returned
+        :class:`WalkResult` for diagnostics; deliveries are *only*
+        available through the buffer.
+        """
+        result = self.inject(packet, at)
+        self._buffer_deliveries(result)
+        return result
+
+    def submit_cohort(self, packets: Sequence[Packet], at: Node) -> WalkResult:
+        """Submit a batch of probes sharing one send instant.
+
+        Equivalent to calling :meth:`submit` per packet, but probes
+        toward a common destination share forwarding work through
+        :mod:`repro.sim.fastwalk` — the optimisation that makes the
+        pipelined engine cheaper in real time, not only simulated time.
+        """
+        from repro.sim.fastwalk import walk_cohort
+
+        self.apply_dynamics()
+        result = walk_cohort(self, packets, at)
+        self._buffer_deliveries(result)
+        return result
+
+    def _buffer_deliveries(self, result: WalkResult) -> None:
+        now = self.clock.now
+        for delivery in result.deliveries:
+            heapq.heappush(
+                self._pending,
+                (now + delivery.elapsed, self._pending_seq, delivery),
+            )
+            self._pending_seq += 1
+
+    def next_delivery_at(self) -> Optional[float]:
+        """Arrival time of the earliest buffered delivery, if any."""
+        if not self._pending:
+            return None
+        return self._pending[0][0]
+
+    def deliveries(
+        self, until: float | None = None, node: Node | None = None
+    ) -> list[tuple[float, Delivery]]:
+        """Pop buffered deliveries that have arrived by ``until``.
+
+        ``until`` defaults to the current clock; ``node`` filters to one
+        recipient (others popped in the same call are discarded, like
+        packets addressed to a socket nobody holds open).
+        """
+        horizon = self.clock.now if until is None else until
+        due: list[tuple[float, Delivery]] = []
+        while self._pending and self._pending[0][0] <= horizon:
+            arrival, __, delivery = heapq.heappop(self._pending)
+            if node is None or delivery.node is node:
+                due.append((arrival, delivery))
+        return due
 
     def _traverse(
         self,

@@ -104,6 +104,9 @@ class Router(Node):
         super().__init__(name, **node_kwargs)
         self._table: list[RouteEntry] = []
         self._overrides: list[TimedOverride] = []
+        # Destination -> entry memo for lookup_cached(); invalidated on
+        # any table or override change, bypassed while overrides exist.
+        self._lookup_cache: dict[IPv4Address, Optional[RouteEntry]] = {}
 
     # ------------------------------------------------------------------
     # table management
@@ -129,6 +132,7 @@ class Router(Node):
                 )
         self._table.append(entry)
         self._table.sort(key=lambda e: e.prefix.length, reverse=True)
+        self._lookup_cache.clear()
         return entry
 
     def add_default_route(
@@ -148,6 +152,7 @@ class Router(Node):
         """Drop any entry for exactly ``prefix`` and install a new one."""
         target = prefix if isinstance(prefix, Prefix) else Prefix(prefix)
         self._table = [e for e in self._table if e.prefix != target]
+        self._lookup_cache.clear()
         return self.add_route(target, egresses, balancer)
 
     def add_unreachable_route(
@@ -164,20 +169,41 @@ class Router(Node):
         )
         self._table.append(entry)
         self._table.sort(key=lambda e: e.prefix.length, reverse=True)
+        self._lookup_cache.clear()
         return entry
 
     def add_override(self, override: TimedOverride) -> None:
         """Register a timed forwarding override (dynamics hook)."""
         self._overrides.append(override)
+        self._lookup_cache.clear()
 
     def clear_overrides(self) -> None:
         """Remove all dynamics overrides (used between campaign runs)."""
         self._overrides.clear()
+        self._lookup_cache.clear()
 
     @property
     def table(self) -> list[RouteEntry]:
         """The static table, most-specific first (read-only view)."""
         return list(self._table)
+
+    def lookup_cached(self, dst: IPv4Address, now: float) -> Optional[RouteEntry]:
+        """Like :meth:`lookup`, memoised per destination.
+
+        The memo is dropped whenever the table or the override set
+        changes, and skipped entirely while overrides are installed
+        (their activation depends on ``now``, not on table state).
+        The cohort walker leans on this: one lookup per (router,
+        destination) instead of one per probe per hop.
+        """
+        if self._overrides:
+            return self.lookup(dst, now)
+        try:
+            return self._lookup_cache[dst]
+        except KeyError:
+            entry = self.lookup(dst, now)
+            self._lookup_cache[dst] = entry
+            return entry
 
     def lookup(self, dst: IPv4Address, now: float) -> Optional[RouteEntry]:
         """Longest-prefix-match lookup, with active overrides first.

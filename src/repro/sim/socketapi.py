@@ -38,6 +38,30 @@ class ProbeResponse:
     received_at: float
 
 
+def require_vantage_point(network: Network, host: MeasurementHost) -> None:
+    """Reject a vantage point that is not wired into ``network``."""
+    if host.name not in network.nodes:
+        raise TracerError(
+            f"measurement host {host.name!r} is not part of the network"
+        )
+
+
+def parse_probe(probe_bytes: bytes, host: MeasurementHost) -> Packet:
+    """Parse and validate probe bytes at the socket boundary.
+
+    Shared by the blocking and the non-blocking socket: the bytes must
+    parse as a packet sourced at the vantage point — a malformed probe
+    fails here, not deep inside a router.
+    """
+    probe = Packet.parse(probe_bytes)
+    if probe.src != host.address:
+        raise TracerError(
+            f"probe source {probe.src} is not the vantage point "
+            f"address {host.address}"
+        )
+    return probe
+
+
 class ProbeSocket:
     """Send probe bytes from the vantage point; receive response bytes."""
 
@@ -47,10 +71,7 @@ class ProbeSocket:
         host: MeasurementHost,
         timeout: float = DEFAULT_TIMEOUT,
     ) -> None:
-        if host.name not in network.nodes:
-            raise TracerError(
-                f"measurement host {host.name!r} is not part of the network"
-            )
+        require_vantage_point(network, host)
         self.network = network
         self.host = host
         self.timeout = timeout
@@ -68,12 +89,7 @@ class ProbeSocket:
         Returns None on timeout — a star in traceroute output.  The
         probe must parse as a valid packet sourced at the vantage point.
         """
-        probe = Packet.parse(probe_bytes)
-        if probe.src != self.host.address:
-            raise TracerError(
-                f"probe source {probe.src} is not the vantage point "
-                f"address {self.host.address}"
-            )
+        probe = parse_probe(probe_bytes, self.host)
         self.probes_sent += 1
         result = self.network.inject(probe, at=self.host)
         deliveries = result.delivered_to(self.host)

@@ -57,9 +57,26 @@ class ClassicTraceroute(Traceroute):
             return self.pid
         return self._pid_rng.randint(2, 30000)
 
-    def make_builder(self, destination: IPv4Address) -> ProbeBuilder:
-        """Fresh per-trace state, as each traceroute process would have."""
-        pid = self.next_pid()
+    def pid_for(self, ordinal: int) -> int:
+        """A deterministic PID for the ``ordinal``-th spawned process.
+
+        Unlike :meth:`next_pid`, whose stream depends on how many traces
+        ran before, this derivation depends only on (base pid, ordinal)
+        — so two campaign engines that schedule the same trace at
+        different points in time still probe with the same Source Port.
+        The seed is plain arithmetic (not built-in ``hash``) so results
+        reproduce across interpreter versions.
+        """
+        return random.Random(self.pid * 1_000_003 + ordinal).randint(2, 30000)
+
+    def make_builder(self, destination: IPv4Address,
+                     ordinal: int | None = None) -> ProbeBuilder:
+        """Fresh per-trace state, as each traceroute process would have.
+
+        ``ordinal`` selects the deterministic PID of :meth:`pid_for`;
+        None draws from the sequential PID stream.
+        """
+        pid = self.next_pid() if ordinal is None else self.pid_for(ordinal)
         if self.method == "udp":
             return ClassicUdpBuilder(
                 self.socket.source_address, destination, pid=pid)

@@ -1,0 +1,94 @@
+"""Tests for the non-blocking probe socket."""
+
+import pytest
+
+from repro.engine.asyncsocket import AsyncProbeSocket
+from repro.errors import PacketError, TracerError
+from repro.sim import MeasurementHost
+
+from tests.sim.helpers import chain_network, udp_probe
+
+
+class TestSendNowait:
+    def test_rejects_host_outside_network(self):
+        net, s, *_ = chain_network()
+        stranger = MeasurementHost("elsewhere")
+        stranger.add_interface("10.66.0.1")
+        with pytest.raises(TracerError):
+            AsyncProbeSocket(net, stranger)
+
+    def test_rejects_foreign_source_address(self):
+        net, s, *_ = chain_network()
+        socket = AsyncProbeSocket(net, s)
+        probe = udp_probe("10.66.0.9", "10.9.0.1", ttl=3)
+        with pytest.raises(TracerError):
+            socket.send_nowait(probe.build())
+
+    def test_rejects_malformed_bytes(self):
+        net, s, *_ = chain_network()
+        socket = AsyncProbeSocket(net, s)
+        with pytest.raises(PacketError):
+            socket.send_nowait(b"\x00\x01garbage")
+
+    def test_send_does_not_advance_clock(self):
+        net, s, *_ = chain_network()
+        socket = AsyncProbeSocket(net, s)
+        before = net.clock.now
+        sent = socket.send_nowait(udp_probe("10.0.0.1", "10.9.0.1",
+                                            ttl=1).build())
+        assert net.clock.now == before
+        assert sent.deadline == before + socket.timeout
+        assert socket.probes_sent == 1
+
+    def test_tokens_are_unique(self):
+        net, s, *_ = chain_network()
+        socket = AsyncProbeSocket(net, s)
+        probe = udp_probe("10.0.0.1", "10.9.0.1", ttl=1)
+        tokens = {socket.send_nowait(probe.build()).token for _ in range(5)}
+        assert len(tokens) == 5
+
+
+class TestFlushAndPoll:
+    def test_response_arrives_after_its_rtt(self):
+        net, s, *_ = chain_network()
+        socket = AsyncProbeSocket(net, s)
+        socket.send_nowait(udp_probe("10.0.0.1", "10.9.0.1", ttl=1).build())
+        socket.flush()
+        arrival = socket.next_arrival_at()
+        assert arrival is not None and arrival > net.clock.now
+        # Not yet due: nothing polls out.
+        assert socket.poll(until=net.clock.now) == []
+        net.clock.advance_to(arrival)
+        responses = socket.poll()
+        assert len(responses) == 1
+        assert responses[0].rtt == pytest.approx(arrival)
+        assert responses[0].received_at == pytest.approx(arrival)
+
+    def test_flush_without_sends_is_noop(self):
+        net, s, *_ = chain_network()
+        socket = AsyncProbeSocket(net, s)
+        socket.flush()
+        assert socket.next_arrival_at() is None
+
+    def test_cohort_of_ttls_yields_one_response_each(self):
+        net, s, *_ = chain_network()
+        socket = AsyncProbeSocket(net, s)
+        for ttl in (1, 2, 3):
+            socket.send_nowait(udp_probe("10.0.0.1", "10.9.0.1",
+                                         ttl=ttl).build())
+        socket.flush()
+        net.clock.advance(1.0)
+        responses = socket.poll()
+        assert len(responses) == 3
+        sources = {str(r.packet.src) for r in responses}
+        # R1, R2, and the destination answer.
+        assert len(sources) == 3
+
+    def test_poll_is_bytes_roundtripped(self):
+        net, s, *_ = chain_network()
+        socket = AsyncProbeSocket(net, s)
+        socket.send_nowait(udp_probe("10.0.0.1", "10.9.0.1", ttl=1).build())
+        socket.flush()
+        net.clock.advance(1.0)
+        response = socket.poll()[0]
+        assert response.raw == response.packet.build()

@@ -1,0 +1,43 @@
+"""Tests for the engine's event queue."""
+
+from repro.engine.events import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, EventKind.EXPIRE, "c")
+        q.push(1.0, EventKind.EXPIRE, "a")
+        q.push(2.0, EventKind.LANE_START, "b")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_kind_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.LANE_START, "lane")
+        q.push(1.0, EventKind.EXPIRE, "expire")
+        assert q.pop().kind is EventKind.EXPIRE
+        assert q.pop().kind is EventKind.LANE_START
+
+    def test_fifo_among_exact_ties(self):
+        q = EventQueue()
+        for name in ("first", "second", "third"):
+            q.push(5.0, EventKind.EXPIRE, name)
+        assert [q.pop().payload for _ in range(3)] == [
+            "first", "second", "third"]
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.5, EventKind.EXPIRE)
+        assert q.peek_time() == 7.5
+        assert len(q) == 1
+        assert bool(q)
+        q.pop()
+        assert not q
+
+    def test_event_is_returned_on_push(self):
+        q = EventQueue()
+        event = q.push(1.0, EventKind.EXPIRE, "x")
+        assert isinstance(event, Event)
+        assert event.time == 1.0
+        assert event.payload == "x"

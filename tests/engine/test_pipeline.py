@@ -1,0 +1,272 @@
+"""Pipelined engine behaviour: identical inferences, out-of-order
+responses, timeout policies, and multi-destination lanes."""
+
+import pytest
+
+from repro.engine import (
+    AdaptiveTimeout,
+    FixedTimeout,
+    PipelinedTraceroute,
+    ProbeScheduler,
+    TraceSpec,
+)
+from repro.sim import (
+    Host,
+    MeasurementHost,
+    Network,
+    PerFlowPolicy,
+    Router,
+)
+from repro.sim.socketapi import ProbeSocket
+from repro.topology import figures
+from repro.tracer.classic import ClassicTraceroute
+from repro.tracer.paris import ParisTraceroute
+from repro.tracer.tcptraceroute import TcpTraceroute
+
+
+def route_signature(result):
+    """Everything the analysis reads, minus per-box IP-ID counters."""
+    return (
+        result.tool, str(result.source), str(result.destination),
+        result.halt_reason,
+        tuple(
+            (hop.ttl, tuple(
+                (str(reply.kind), str(reply.address), reply.probe_ttl,
+                 reply.response_ttl, reply.unreachable_flag, reply.rtt)
+                for reply in hop.replies))
+            for hop in result.hops),
+        tuple(result.flow_keys),
+    )
+
+
+#: Figure topologies whose balancing (if any) is per-flow, hence
+#: deterministic regardless of probe interleaving.  Figures 1 and 6
+#: default to per-packet balancers, whose stateful draws make results
+#: depend on global probe order by nature; figure 6 joins the list via
+#: an explicit per-flow policy.
+PER_FLOW_FIGURES = [
+    ("figure3", lambda: figures.figure3()),
+    ("figure4", lambda: figures.figure4()),
+    ("figure5", lambda: figures.figure5()),
+    ("figure6-perflow",
+     lambda: figures.figure6(policy=PerFlowPolicy(salt=b"test"))),
+]
+
+TOOLS = [
+    ("paris-udp", lambda s: ParisTraceroute(s, seed=3)),
+    ("paris-icmp", lambda s: ParisTraceroute(s, method="icmp", seed=3)),
+    ("paris-tcp", lambda s: ParisTraceroute(s, method="tcp", seed=3)),
+    ("classic-udp", lambda s: ClassicTraceroute(s, pid=7, fixed_pid=True)),
+    ("tcptraceroute", lambda s: TcpTraceroute(s, seed=3)),
+]
+
+
+class TestIdenticalInference:
+    @pytest.mark.parametrize("figname,make_fig",
+                             PER_FLOW_FIGURES,
+                             ids=[f[0] for f in PER_FLOW_FIGURES])
+    @pytest.mark.parametrize("toolname,make_tool", TOOLS,
+                             ids=[t[0] for t in TOOLS])
+    def test_same_route_as_sequential(self, figname, make_fig,
+                                      toolname, make_tool):
+        fig_seq = make_fig()
+        sequential = make_tool(ProbeSocket(fig_seq.network, fig_seq.source))
+        expected = sequential.trace(fig_seq.destination_address)
+
+        fig_pipe = make_fig()
+        pipelined = PipelinedTraceroute(
+            make_tool(ProbeSocket(fig_pipe.network, fig_pipe.source)))
+        got = pipelined.trace(fig_pipe.destination_address)
+
+        assert route_signature(got) == route_signature(expected)
+
+    def test_pipelined_is_never_slower_on_star_runs(self):
+        # Figure 4's trace ends at the destination; build a per-flow
+        # diamond trace plus star tail via figure 3 and compare time.
+        fig_seq = figures.figure3()
+        sequential = ParisTraceroute(
+            ProbeSocket(fig_seq.network, fig_seq.source), seed=3)
+        expected = sequential.trace(fig_seq.destination_address)
+
+        fig_pipe = figures.figure3()
+        pipelined = PipelinedTraceroute(ParisTraceroute(
+            ProbeSocket(fig_pipe.network, fig_pipe.source), seed=3))
+        got = pipelined.trace(fig_pipe.destination_address)
+        assert got.duration <= expected.duration
+
+
+def out_of_order_network():
+    """A chain whose hop-2 router answers much later than hop 3.
+
+    Forward path S > G > A > B > D.  A's route back to S detours over a
+    one-second link through H, while B returns directly through G — so
+    with a window of probes in flight, the TTL-3 response (from B)
+    lands long before the TTL-2 response (from A).
+    """
+    net = Network()
+    s = MeasurementHost("S")
+    s.add_interface("10.0.0.1")
+    g = Router("G")
+    g_up = g.add_interface("10.0.0.2")
+    g_a = g.add_interface("10.0.1.1")
+    g_h = g.add_interface("10.0.5.2")
+    g_b = g.add_interface("10.0.6.2")
+    a = Router("A")
+    a_up = a.add_interface("10.0.1.2")
+    a_down = a.add_interface("10.0.2.1")
+    a_h = a.add_interface("10.0.4.1")
+    h = Router("H")
+    h_a = h.add_interface("10.0.4.2")
+    h_g = h.add_interface("10.0.5.1")
+    b = Router("B")
+    b_up = b.add_interface("10.0.2.2")
+    b_down = b.add_interface("10.0.3.1")
+    b_g = b.add_interface("10.0.6.1")
+    d = Host("D")
+    d_if = d.add_interface("10.9.0.1")
+    for node in (s, g, a, h, b, d):
+        net.add_node(node)
+    net.link(s.interfaces[0], g_up)
+    net.link(g_a, a_up)
+    net.link(a_down, b_up)
+    net.link(b_down, d_if)
+    net.link(a_h, h_a, delay=1.0)   # the slow detour
+    net.link(h_g, g_h)
+    net.link(b_g, g_b)
+    g.add_route("10.9.0.0/16", g_a)
+    g.add_default_route(g_up)
+    a.add_route("10.9.0.0/16", a_down)
+    a.add_default_route(a_h)        # responses from A crawl via H
+    h.add_default_route(h_g)
+    b.add_route("10.9.0.0/16", b_down)
+    b.add_default_route(b_g)        # responses from B race via G
+    return net, s
+
+
+class TestOutOfOrderResponses:
+    def test_deeper_hop_answers_first_yet_hops_stay_ordered(self):
+        net, s = out_of_order_network()
+        pipelined = PipelinedTraceroute(
+            ParisTraceroute(ProbeSocket(net, s), seed=1), window=8)
+        result = pipelined.trace("10.9.0.1")
+        assert result.halt_reason == "destination"
+        addresses = [str(h.first_address) for h in result.hops]
+        assert addresses == ["10.0.0.2", "10.0.1.2", "10.0.2.2", "10.9.0.1"]
+        hop2 = result.hop(2).replies[0]
+        hop3 = result.hop(3).replies[0]
+        # The inversion actually happened: the TTL-2 answer took the
+        # slow detour and arrived after the TTL-3 answer.
+        assert hop2.rtt > hop3.rtt
+        assert not hop2.is_star and not hop3.is_star
+
+    def test_matches_sequential_result(self):
+        net_seq, s_seq = out_of_order_network()
+        sequential = ParisTraceroute(ProbeSocket(net_seq, s_seq), seed=1)
+        expected = sequential.trace("10.9.0.1")
+
+        net_pipe, s_pipe = out_of_order_network()
+        pipelined = PipelinedTraceroute(
+            ParisTraceroute(ProbeSocket(net_pipe, s_pipe), seed=1))
+        got = pipelined.trace("10.9.0.1")
+        assert route_signature(got) == route_signature(expected)
+
+    def test_classic_probes_reorder_too(self):
+        net, s = out_of_order_network()
+        pipelined = PipelinedTraceroute(
+            ClassicTraceroute(ProbeSocket(net, s), pid=5), window=8)
+        result = pipelined.trace("10.9.0.1")
+        assert result.halt_reason == "destination"
+        assert result.hop(2).replies[0].rtt > result.hop(3).replies[0].rtt
+
+
+class TestTimeoutPolicies:
+    def test_fixed_timeout_validation(self):
+        from repro.errors import TracerError
+        with pytest.raises(TracerError):
+            FixedTimeout(0)
+
+    def test_adaptive_timeout_validation(self):
+        from repro.errors import TracerError
+        with pytest.raises(TracerError):
+            AdaptiveTimeout(ceiling=1.0, floor=2.0)
+
+    def test_adaptive_timeout_tracks_rtt(self):
+        policy = AdaptiveTimeout(ceiling=2.0, floor=0.1)
+        assert policy.timeout_for() == 2.0   # no sample yet
+        for _ in range(50):
+            policy.observe(0.02)
+        # Converges near SRTT + 4*RTTVAR, clamped at the floor.
+        assert policy.timeout_for() == pytest.approx(0.1)
+
+    def test_adaptive_engine_still_infers_the_route(self):
+        fig = figures.figure3()
+        pipelined = PipelinedTraceroute(
+            ParisTraceroute(ProbeSocket(fig.network, fig.source), seed=3),
+            timeout_policy=AdaptiveTimeout(ceiling=2.0, floor=0.05),
+        )
+        result = pipelined.trace(fig.destination_address)
+        assert result.halt_reason == "destination"
+
+
+class TestLanesAndHints:
+    def test_trace_many_interleaves_on_one_clock(self):
+        fig = figures.figure3()
+        pipelined = PipelinedTraceroute(
+            ParisTraceroute(ProbeSocket(fig.network, fig.source), seed=3))
+        start = fig.network.clock.now
+        results = pipelined.trace_many([fig.destination_address,
+                                        fig.destination_address])
+        assert len(results) == 2
+        total = fig.network.clock.now - start
+        # Both traces overlapped: far less than back-to-back durations.
+        assert total < sum(r.duration for r in results)
+
+    def test_horizon_hint_trims_second_trace_probes(self):
+        fig = figures.figure3()
+        socket = ProbeSocket(fig.network, fig.source)
+        tracer = ParisTraceroute(socket, seed=3)
+        pipelined = PipelinedTraceroute(tracer)
+        destination = fig.destination_address
+        # Pin one flow so both traces ride the same path; the first
+        # run overshoots (no depth known), the hinted rerun must send
+        # exactly one probe per inferred hop.
+        first = pipelined.trace(
+            destination, builder=tracer.make_builder(destination,
+                                                     flow_index=0))
+        sent_first = pipelined.socket.probes_sent
+        second = pipelined.trace(
+            destination, builder=tracer.make_builder(destination,
+                                                     flow_index=0))
+        sent_second = pipelined.socket.probes_sent - sent_first
+        assert ([h.first_address for h in second.hops]
+                == [h.first_address for h in first.hops])
+        assert sent_first > len(first.hops)
+        assert sent_second == len(second.hops)
+
+    def test_run_leaves_no_buffered_deliveries(self):
+        # Responses to cancelled speculative probes must not survive a
+        # run — a later scheduler would match them to byte-identical
+        # re-probes.
+        fig = figures.figure3()
+        pipelined = PipelinedTraceroute(
+            ParisTraceroute(ProbeSocket(fig.network, fig.source), seed=3))
+        pipelined.trace(fig.destination_address)
+        assert fig.network.next_delivery_at() is None
+
+    def test_scheduler_runs_mixed_tools_in_lanes(self):
+        fig = figures.figure3()
+        socket = ProbeSocket(fig.network, fig.source)
+        paris = ParisTraceroute(socket, seed=3)
+        classic = ClassicTraceroute(socket, pid=9, fixed_pid=True)
+        scheduler = ProbeScheduler(fig.network, fig.source)
+        scheduler.add_lane([
+            TraceSpec(paris, fig.destination_address),
+            TraceSpec(classic, fig.destination_address),
+        ])
+        scheduler.add_lane([TraceSpec(paris, fig.destination_address)])
+        outcomes = scheduler.run()
+        assert [(o.lane, o.index) for o in outcomes] == [
+            (0, 0), (0, 1), (1, 0)]
+        assert [o.result.tool for o in outcomes] == [
+            "paris-udp", "classic-udp", "paris-udp"]
+        assert all(o.result.halt_reason == "destination" for o in outcomes)

@@ -1,0 +1,57 @@
+"""Error paths of the blocking probe socket."""
+
+import pytest
+
+from repro.errors import PacketError, TracerError
+from repro.sim import MeasurementHost
+from repro.sim.socketapi import ProbeSocket
+
+from tests.sim.helpers import chain_network, udp_probe
+
+
+class TestProbeSocketErrors:
+    def test_host_must_belong_to_network(self):
+        net, *_ = chain_network()
+        outsider = MeasurementHost("outsider")
+        outsider.add_interface("10.77.0.1")
+        with pytest.raises(TracerError) as excinfo:
+            ProbeSocket(net, outsider)
+        assert "not part of the network" in str(excinfo.value)
+
+    def test_malformed_probe_bytes_fail_at_the_socket(self):
+        net, s, *_ = chain_network()
+        socket = ProbeSocket(net, s)
+        with pytest.raises(PacketError):
+            socket.send_probe(b"\x00")
+
+    def test_truncated_header_reports_what_is_missing(self):
+        from repro.errors import TruncatedPacketError
+        net, s, *_ = chain_network()
+        socket = ProbeSocket(net, s)
+        with pytest.raises(TruncatedPacketError):
+            socket.send_probe(b"\x45" + b"\x00" * 10)
+
+    def test_corrupted_checksum_rejected(self):
+        net, s, *_ = chain_network()
+        socket = ProbeSocket(net, s)
+        raw = bytearray(udp_probe("10.0.0.1", "10.9.0.1", ttl=2).build())
+        raw[10] ^= 0xFF  # flip the IP header checksum
+        with pytest.raises(PacketError):
+            socket.send_probe(bytes(raw))
+
+    def test_probe_must_originate_at_the_vantage_point(self):
+        net, s, *_ = chain_network()
+        socket = ProbeSocket(net, s)
+        foreign = udp_probe("10.66.0.9", "10.9.0.1", ttl=2)
+        with pytest.raises(TracerError) as excinfo:
+            socket.send_probe(foreign.build())
+        assert "vantage point" in str(excinfo.value)
+
+    def test_failed_sends_do_not_count_as_probes(self):
+        net, s, *_ = chain_network()
+        socket = ProbeSocket(net, s)
+        for bad in (b"junk", udp_probe("10.66.0.9", "10.9.0.1", 2).build()):
+            with pytest.raises(Exception):
+                socket.send_probe(bad)
+        assert socket.probes_sent == 0
+        assert socket.responses_received == 0

@@ -68,6 +68,32 @@ class TestTraceCommand:
                      "--method", "icmp"]) == 0
         assert "paris-icmp" in capsys.readouterr().out
 
+    def test_pipelined_engine_trace(self, capsys):
+        assert main(["trace", "--figure", "3", "--tool", "paris",
+                     "--engine", "pipelined"]) == 0
+        out = capsys.readouterr().out
+        assert "paris-udp to 10.9.0.1" in out
+        assert "# halted: destination" in out
+
+    def test_pipelined_engine_matches_sequential_output(self, capsys):
+        assert main(["trace", "--figure", "4", "--tool", "paris",
+                     "--seed", "5"]) == 0
+        sequential = capsys.readouterr().out.splitlines()
+        assert main(["trace", "--figure", "4", "--tool", "paris",
+                     "--seed", "5", "--engine", "pipelined",
+                     "--window", "4"]) == 0
+        pipelined = capsys.readouterr().out.splitlines()
+        # Hop-for-hop identical; only the elapsed-time footer shrinks.
+        assert pipelined[:-1] == sequential[:-1]
+        def halted_after(line):
+            return float(line.split("after")[1].split("s")[0])
+        assert (halted_after(pipelined[-1])
+                <= halted_after(sequential[-1]))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--engine", "warp"])
+
 
 class TestMdaCommand:
     def test_mda_on_figure6(self, capsys):

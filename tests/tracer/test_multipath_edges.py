@@ -1,0 +1,54 @@
+"""Edge cases of the MDA stopping rule (``probes_needed``)."""
+
+import math
+
+import pytest
+
+from repro.errors import TracerError
+from repro.tracer.multipath import MultipathDetector, probes_needed
+
+from tests.sim.helpers import chain_network
+
+
+class TestProbesNeededEdges:
+    def test_k_zero_rejected(self):
+        with pytest.raises(TracerError):
+            probes_needed(0)
+
+    def test_k_negative_rejected(self):
+        with pytest.raises(TracerError):
+            probes_needed(-3)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 1.5])
+    def test_alpha_outside_open_interval_rejected(self, alpha):
+        with pytest.raises(TracerError):
+            probes_needed(1, alpha=alpha)
+
+    def test_published_style_values_at_default_alpha(self):
+        # Direct binomial bound at alpha = 0.05: 5, 8, 11, 14 for k=1..4.
+        assert [probes_needed(k) for k in (1, 2, 3, 4)] == [5, 8, 11, 14]
+
+    def test_matches_closed_form(self):
+        for k in range(1, 20):
+            for alpha in (0.01, 0.05, 0.2, 0.9):
+                expected = math.ceil(math.log(alpha)
+                                     / math.log(k / (k + 1)))
+                assert probes_needed(k, alpha) == expected
+
+    def test_tighter_alpha_needs_more_probes(self):
+        assert probes_needed(4, alpha=0.01) > probes_needed(4, alpha=0.05)
+        assert probes_needed(8, alpha=0.05) > probes_needed(4, alpha=0.05)
+
+    def test_alpha_close_to_one_needs_one_probe(self):
+        # Nearly no confidence requested: a single silent probe settles it.
+        assert probes_needed(1, alpha=0.999) == 1
+
+
+class TestDetectorValidation:
+    def test_detector_rejects_bad_alpha(self):
+        from repro.sim.socketapi import ProbeSocket
+        net, s, *_ = chain_network()
+        with pytest.raises(TracerError):
+            MultipathDetector(ProbeSocket(net, s), alpha=0.0)
+        with pytest.raises(TracerError):
+            MultipathDetector(ProbeSocket(net, s), alpha=1.0)
