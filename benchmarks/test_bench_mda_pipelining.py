@@ -1,0 +1,125 @@
+"""E12 — MDA pipelining: stop-and-wait vs strategy-driven fan-out.
+
+Runs the Multipath Detection Algorithm twice — once on the sequential
+(stop-and-wait) engine, once on the pipelined engine where
+``hop_concurrency`` hops enumerate concurrently with ``window`` flows
+in flight each — against the paper's Fig. 6 diamond topology and a
+census-scale chain of load-balanced diamonds up to Juniper's width
+sixteen.  Both topologies balance strictly per flow, so discovery is a
+pure function of each probe's bytes: the benchmark asserts the two
+engines enumerate *identical* per-hop interface sets and probe counts,
+with the pipelined run at least 3x cheaper in simulated time.
+"""
+
+import time
+
+import pytest
+
+from repro.sim import PerFlowPolicy, ProbeSocket
+from repro.topology import figures
+from repro.topology.builder import TopologyBuilder
+from repro.tracer.multipath import MultipathDetector
+
+from benchmarks.conftest import BENCH_SEED
+
+#: The acceptance bar: pipelined MDA must be at least this much
+#: cheaper in simulated seconds on every benched topology.
+MIN_SIM_SPEEDUP = 3.0
+
+
+def census_scale_topology():
+    """A census-scale destination: chained diamonds of widths 4/16/8.
+
+    Wider than anything in the figures (the paper's Sec. 6 motivates
+    enumerating up to sixteen-way Juniper fan-outs) and deep enough
+    that per-hop MDA dominates the trace — the workload the ROADMAP's
+    "MDA on the pipelined engine" item targets.
+    """
+    builder = TopologyBuilder(name="census-mda")
+    source = builder.source()
+    previous = builder.router("HEAD")
+    builder.chain([source, previous], "10.9.0.0/16")
+    for stage, width in enumerate((4, 16, 8)):
+        balancer = previous
+        join = builder.router(f"J{stage}", respond_from="first")
+        egresses = []
+        join_in = None
+        for branch_index in range(width):
+            branch = builder.router(f"S{stage}B{branch_index}")
+            egress, join_in = builder.branch(balancer, [branch], join,
+                                             "10.9.0.0/16")
+            egresses.append(egress)
+        builder.balanced_route(balancer, "10.9.0.0/16", egresses,
+                               PerFlowPolicy(salt=b"census-%d" % stage))
+        join.add_default_route(join_in)
+        previous = join
+    destination = builder.host("D", "10.9.0.1")
+    down, __ = builder.connect(previous, destination)
+    previous.add_route("10.9.0.0/16", down)
+    return builder.build(), source, destination
+
+
+TOPOLOGIES = [
+    ("figure6", lambda: (
+        lambda fig: (fig.network, fig.source, fig.destination))(
+            figures.figure6(policy=PerFlowPolicy(salt=b"bench")))),
+    ("census-scale", census_scale_topology),
+]
+
+
+def run_mda(make_topology, engine):
+    network, source, destination = make_topology()
+    detector = MultipathDetector(
+        ProbeSocket(network, source), seed=BENCH_SEED,
+        max_flows_per_hop=600, engine=engine)
+    sim_start = network.clock.now
+    wall_start = time.perf_counter()
+    result = detector.trace(destination.address)
+    wall = time.perf_counter() - wall_start
+    return result, network.clock.now - sim_start, wall
+
+
+def discovery_signature(result):
+    return [
+        (hop.ttl, tuple(sorted(str(a) for a in hop.interfaces)),
+         hop.probes_sent, hop.stop_reason)
+        for hop in result.hops
+    ]
+
+
+@pytest.mark.benchmark(group="mda")
+@pytest.mark.parametrize("name,make_topology", TOPOLOGIES,
+                         ids=[t[0] for t in TOPOLOGIES])
+def test_bench_mda_pipelining(benchmark, name, make_topology):
+    sequential, sim_sequential, __ = run_mda(make_topology, "sequential")
+
+    pipelined_runs = []
+
+    def pipelined_run():
+        pipelined_runs.append(run_mda(make_topology, "pipelined"))
+        return pipelined_runs[-1][0]
+
+    pipelined = benchmark.pedantic(pipelined_run, iterations=1, rounds=1)
+    __, sim_pipelined, __ = pipelined_runs[-1]
+
+    speedup = sim_sequential / sim_pipelined
+    benchmark.extra_info.update({
+        "topology": name,
+        "hops": len(sequential.hops),
+        "max_width": sequential.max_width,
+        "sequential_sim_s": round(sim_sequential, 2),
+        "pipelined_sim_s": round(sim_pipelined, 2),
+        "sim_speedup": round(speedup, 2),
+    })
+    print()
+    print(f"  {name}: {len(sequential.hops)} hops, "
+          f"max width {sequential.max_width}")
+    print(f"  simulated: sequential {sim_sequential:.2f} s, "
+          f"pipelined {sim_pipelined:.2f} s ({speedup:.1f}x less)")
+
+    # Identical discovery: per-hop interface sets, probe counts, and
+    # stop reasons all match the stop-and-wait detector.
+    assert discovery_signature(pipelined) == discovery_signature(sequential)
+    assert pipelined.max_width == sequential.max_width
+    # The acceptance bar: at least 3x less simulated time.
+    assert sim_pipelined * MIN_SIM_SPEEDUP <= sim_sequential

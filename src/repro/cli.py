@@ -73,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
     mda.add_argument("--figure", choices=sorted(FIGURES), default="6")
     mda.add_argument("--alpha", type=float, default=0.05)
     mda.add_argument("--seed", type=int, default=0)
+    mda.add_argument("--method", choices=("udp", "icmp", "tcp"),
+                     default="udp",
+                     help="probing mode of the underlying Paris tool")
+    mda.add_argument("--max-ttl", type=int, default=30,
+                     help="deepest hop to enumerate")
+    mda.add_argument("--engine", choices=("sequential", "pipelined"),
+                     default="sequential",
+                     help="stop-and-wait probing or the event-driven "
+                          "window engine")
+    mda.add_argument("--window", type=int, default=8,
+                     help="in-flight flows per hop (pipelined only)")
 
     fig1 = commands.add_parser("fig1", help="Fig. 1 probability experiment")
     fig1.add_argument("--trials", type=int, default=200)
@@ -128,11 +139,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_mda(args: argparse.Namespace) -> int:
     from repro.tracer.multipath import MultipathDetector
 
+    if args.max_ttl < 1:
+        print(f"--max-ttl must be at least 1, got {args.max_ttl}",
+              file=sys.stderr)
+        return 2
+    if args.window < 1:
+        print(f"--window must be at least 1, got {args.window}",
+              file=sys.stderr)
+        return 2
     fig = FIGURES[args.figure]()
     socket = ProbeSocket(fig.network, fig.source)
-    detector = MultipathDetector(socket, alpha=args.alpha, seed=args.seed)
+    detector = MultipathDetector(socket, method=args.method,
+                                 alpha=args.alpha, seed=args.seed,
+                                 engine=args.engine, window=args.window)
     print(f"# {fig.description}")
-    result = detector.trace(fig.destination_address)
+    result = detector.trace(fig.destination_address, max_ttl=args.max_ttl)
     print(result.format_report())
     return 0
 

@@ -10,9 +10,10 @@ discrete events on the shared :class:`repro.sim.clock.SimClock`:
 - :mod:`repro.engine.events` — the time-ordered event queue;
 - :mod:`repro.engine.asyncsocket` — the non-blocking socket
   (``send_nowait`` / ``poll``) over :meth:`Network.submit_cohort`;
-- :mod:`repro.engine.scheduler` — per-destination trace sessions, the
-  in-flight window, timeout policies, and the scheduler that multiplexes
-  lanes of traces over one clock;
+- :mod:`repro.engine.scheduler` — timeout policies, lane specs, and
+  the scheduler that drives sans-I/O :mod:`repro.probing` strategies
+  (hop loops, MDA...) as lanes over one clock, each with a window of
+  probes in flight;
 - :mod:`repro.engine.pipeline` — drop-in pipelined drivers wrapping the
   existing Paris / classic / TCP tools.
 
@@ -20,8 +21,10 @@ Responses come back asynchronously and possibly out of order (a deeper
 hop's router can answer before a nearer one — the in-flight-probe
 regime the paper's Sec. 2.3 measurement avoided by design); matching
 relies on the same per-tool logic in :mod:`repro.tracer.matching`, and
-hop adjudication replays the stop-and-wait halt rules in strict TTL
-order so route inferences are identical to the sequential path.
+the probing algorithms themselves — star budgets, halt rules, TTL-order
+adjudication, MDA stopping — live in :mod:`repro.probing`, shared with
+the blocking stop-and-wait driver, so route inferences are identical to
+the sequential path.
 """
 
 from repro.engine.asyncsocket import AsyncProbeSocket, SentProbe
@@ -31,6 +34,7 @@ from repro.engine.scheduler import (
     AdaptiveTimeout,
     FixedTimeout,
     ProbeScheduler,
+    StrategySpec,
     TraceOutcome,
     TraceSession,
     TraceSpec,
@@ -46,6 +50,7 @@ __all__ = [
     "PipelinedTraceroute",
     "ProbeScheduler",
     "SentProbe",
+    "StrategySpec",
     "TraceOutcome",
     "TraceSession",
     "TraceSpec",

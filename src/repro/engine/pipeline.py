@@ -2,13 +2,15 @@
 
 :class:`PipelinedTraceroute` wraps any existing tool — Paris, classic,
 tcptraceroute — and runs its traces through the event engine instead of
-the stop-and-wait loop.  Probe construction, response matching, and
-halt rules are the wrapped tool's own, so the inferred route (hops,
-halt reason, flow keys) matches what ``tracer.trace()`` would produce;
-only the elapsed simulated time shrinks, because up to ``window``
-probes overlap.  Classic traceroute under a window is exactly the
-paper's out-of-order regime: each probe rides its own flow, so deeper
-hops routinely answer first and the session reorders them by TTL.
+the stop-and-wait loop.  Both paths drive the *same*
+:class:`repro.probing.HopLoopStrategy` (probe construction, response
+matching, and halt rules are the wrapped tool's own), so the inferred
+route (hops, halt reason, flow keys) matches what ``tracer.trace()``
+would produce; only the elapsed simulated time shrinks, because up to
+``window`` probes overlap.  Classic traceroute under a window is
+exactly the paper's out-of-order regime: each probe rides its own
+flow, so deeper hops routinely answer first and the strategy reorders
+them by TTL.
 """
 
 from __future__ import annotations

@@ -1,32 +1,35 @@
-"""Pipelined probing: sessions, windows, timeout policies, the scheduler.
+"""Pipelined probing: the generic strategy driver and the scheduler.
 
 One :class:`ProbeScheduler` multiplexes many *lanes* (independent
-sequences of traces — the campaign's 32 workers become 32 lanes) over a
-single simulated clock.  Each running trace is a :class:`TraceSession`
-that keeps up to ``window`` probes in flight, accepts responses in any
-arrival order, and adjudicates hops strictly in TTL order with exactly
-the stop-and-wait loop's rules (star budget, destination halt,
-unreachable halt).  A session therefore produces the same hops, halt
-reason, and flow keys as :meth:`repro.tracer.base.Traceroute.trace`
-would — only the timestamps shrink, because waiting overlaps.
+sequences of probing runs — the campaign's 32 workers become 32 lanes)
+over a single simulated clock.  Each running entry is a sans-I/O
+:class:`repro.probing.ProbeStrategy` wrapped in a :class:`TraceSession`
+— a thin driver that owns no probing logic of its own: what to send,
+how to count stars, when to halt, and what the answers mean are all the
+strategy's decisions.  The scheduler only moves packets: it sends
+whatever :meth:`ProbeStrategy.next_probes` emits, demultiplexes
+arriving responses back to the emitting request, fires timeout events,
+and collects :meth:`ProbeStrategy.result` when a strategy finishes.
 
 Out-of-order arrivals are the normal case here, not an anomaly: with a
 window of probes in flight, a TTL-3 router regularly answers before the
-TTL-2 router (different return paths, different delays).  The session
-parks early responses in their slots and lets adjudication catch up —
+TTL-2 router (different return paths, different delays).  Strategies
+park early answers in their slots and adjudicate in their own order —
 the behaviour real pipelined tools need and the paper's one-in-flight
-campaign sidestepped.
+campaign sidestepped.  Because a :class:`repro.probing.HopLoopStrategy`
+session applies exactly the stop-and-wait loop's rules (star budget,
+destination halt, unreachable halt, strict TTL-order adjudication), it
+produces the same hops, halt reason, and flow keys as
+:meth:`repro.tracer.base.Traceroute.trace` would — only the timestamps
+shrink, because waiting overlaps.
 
-Two pacing controls bound speculative probing:
+Two spec flavours describe lane entries:
 
-- **horizon hints** — a shared ``{(destination, tool): last halt TTL}``
-  memo (the campaign passes one across rounds).  Sends pause at the
-  hinted depth and resume only if adjudication gets there without
-  halting, so steady-state rounds send almost no probe the sequential
-  loop would not have sent.
-- **evidence caps** — as soon as *any* reply (in or out of order) is a
-  halt kind (destination reached, unreachable), deeper sends stop; the
-  final halt TTL can only be at or before that reply's TTL.
+- :class:`TraceSpec` — one traceroute by an existing tool; materializes
+  a :class:`HopLoopStrategy` and feeds the shared horizon-hint memo
+  (``{(destination, tool): last halt TTL}``) that paces repeat traces;
+- :class:`StrategySpec` — any strategy at all (MDA hops, future probing
+  policies), built by a factory at lane-start time.
 
 Timeout policies: :class:`FixedTimeout` reproduces the paper's flat
 2-second wait and keeps results byte-comparable to the sequential path;
@@ -38,7 +41,7 @@ tool would have caught.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from repro.engine.asyncsocket import AsyncProbeSocket
@@ -53,12 +56,13 @@ from repro.net.icmp import (
 from repro.net.inet import IPv4Address
 from repro.net.packet import Packet
 from repro.net.tcp import TCPHeader
+from repro.probing.hoploop import HopLoopStrategy
+from repro.probing.strategy import ProbeRequest, ProbeStrategy
 from repro.sim.endhost import MeasurementHost
 from repro.sim.network import Network
 from repro.sim.socketapi import ProbeResponse
-from repro.tracer.base import Traceroute, halt_reason_for, interpret_reply
+from repro.tracer.base import Traceroute
 from repro.tracer.probes import ProbeBuilder
-from repro.tracer.result import Hop, TracerouteResult
 
 #: Default in-flight window per trace session.
 DEFAULT_WINDOW = 8
@@ -128,22 +132,8 @@ class AdaptiveTimeout:
 
 
 # ----------------------------------------------------------------------
-# trace sessions
+# lane entry specs
 # ----------------------------------------------------------------------
-class _Slot:
-    """One sent probe awaiting adjudication."""
-
-    __slots__ = ("probe", "flow_key", "ttl", "token", "reply", "response")
-
-    def __init__(self, probe: Packet, flow_key: bytes, ttl: int) -> None:
-        self.probe = probe
-        self.flow_key = flow_key
-        self.ttl = ttl
-        self.token: int | None = None
-        self.reply = None
-        self.response: ProbeResponse | None = None
-
-
 @dataclass
 class TraceSpec:
     """One trace a lane should run.
@@ -158,152 +148,95 @@ class TraceSpec:
     destination: IPv4Address
     builder_factory: Optional[Callable[[], ProbeBuilder]] = None
 
+    def make_strategy(self, started_at: float, window: int,
+                      hints: dict) -> HopLoopStrategy:
+        """A hop-loop strategy for this trace, paced by ``hints``.
 
-@dataclass
-class TraceOutcome:
-    """A finished trace with its lane coordinates."""
-
-    lane: int
-    index: int
-    spec: TraceSpec
-    result: TracerouteResult
-
-
-class TraceSession:
-    """State machine for one pipelined trace."""
-
-    def __init__(
-        self,
-        tracer: Traceroute,
-        destination: IPv4Address,
-        builder: ProbeBuilder,
-        window: int,
-        started_at: float,
-        horizon_hint: int | None = None,
-    ) -> None:
-        if window < 1:
-            raise TracerError("need a positive in-flight window")
-        self.tracer = tracer
-        self.options = tracer.options
-        self.destination = IPv4Address(destination)
-        self.builder = builder
-        self.window = window
-        self.result = TracerouteResult(
+        Exact (destination, tool) knowledge wins; failing that, any
+        tool's depth for this destination is a decent prior — the
+        campaign traces Paris first, so the classic trace of the same
+        destination starts with its depth instead of speculating.
+        """
+        tracer = self.tracer
+        if self.builder_factory is not None:
+            builder = self.builder_factory()
+        else:
+            builder = tracer.make_builder(IPv4Address(self.destination))
+        hint = hints.get((self.destination, tracer.tool))
+        if hint is None:
+            hint = hints.get(self.destination)
+        return HopLoopStrategy(
+            builder=builder,
+            options=tracer.options,
             tool=tracer.tool,
             source=tracer.socket.source_address,
             destination=self.destination,
+            window=window,
             started_at=started_at,
+            horizon_hint=hint,
         )
-        self.in_flight = 0
-        self.done = False
-        opts = self.options
-        self._hops: dict[int, list[_Slot]] = {}
-        self._next_ttl = opts.min_ttl
-        self._next_index = 0
-        self._adjudicated = opts.min_ttl - 1
-        self._consecutive_stars = 0
-        self._halt: str | None = None
-        self._evidence_cap: int | None = None
-        if horizon_hint is None:
-            self._horizon = opts.max_ttl
-        else:
-            self._horizon = min(opts.max_ttl, max(opts.min_ttl, horizon_hint))
 
-    # -- sending ---------------------------------------------------------
-    def build_next(self) -> Optional[_Slot]:
-        """The next probe slot in strict (TTL, probe index) order."""
-        if self.done or self._halt is not None:
-            return None
-        ttl = self._next_ttl
-        if ttl > self._horizon:
-            return None
-        if self._evidence_cap is not None and ttl > self._evidence_cap:
-            return None
-        probe = self.builder.build(ttl)
-        slot = _Slot(probe, self.builder.flow_key(probe), ttl)
-        self._hops.setdefault(ttl, []).append(slot)
-        self._next_index += 1
-        if self._next_index >= self.options.probes_per_hop:
-            self._next_index = 0
-            self._next_ttl += 1
-        self.in_flight += 1
-        return slot
+    def record_hints(self, strategy: HopLoopStrategy, hints: dict) -> None:
+        hints[(self.destination, self.tracer.tool)] = strategy.halt_ttl
+        previous = hints.get(self.destination)
+        if previous is None or strategy.halt_ttl > previous:
+            hints[self.destination] = strategy.halt_ttl
 
-    # -- resolving -------------------------------------------------------
-    def resolve(self, slot: _Slot, response: ProbeResponse | None) -> None:
-        """Record a response (or, with None, a timeout) for ``slot``."""
-        if slot.reply is not None:
-            return
-        slot.response = response
-        slot.reply = interpret_reply(self.builder, slot.probe, response)
-        self.in_flight -= 1
-        if response is not None and not slot.reply.is_star:
-            halt = halt_reason_for(slot.probe, response, slot.reply)
-            if halt is not None and (self._evidence_cap is None
-                                     or slot.ttl < self._evidence_cap):
-                self._evidence_cap = slot.ttl
 
-    # -- adjudication ----------------------------------------------------
-    def advance(self, now: float) -> bool:
-        """Adjudicate complete hops in TTL order; True when just done."""
-        if self.done:
-            return False
-        opts = self.options
-        while self._halt is None:
-            ttl = self._adjudicated + 1
-            if ttl > opts.max_ttl:
-                break
-            slots = self._hops.get(ttl)
-            if (slots is None or len(slots) < opts.probes_per_hop
-                    or any(slot.reply is None for slot in slots)):
-                break
-            halt = None
-            for slot in slots:
-                if slot.reply.is_star:
-                    self._consecutive_stars += 1
-                else:
-                    self._consecutive_stars = 0
-                halt = halt or halt_reason_for(slot.probe, slot.response,
-                                               slot.reply)
-            self._adjudicated = ttl
-            if halt:
-                self._halt = halt
-            elif self._consecutive_stars >= opts.max_consecutive_stars:
-                self._halt = "stars"
-        if self._halt is None and self._adjudicated >= opts.max_ttl:
-            self._halt = "max-ttl"
-        if self._halt is not None:
-            self._finalize(now)
-            return True
-        if (self._adjudicated >= self._horizon
-                and self._horizon < opts.max_ttl):
-            # Every hinted hop resolved without a halt: probe deeper.
-            self._horizon = min(opts.max_ttl, self._horizon + self.window)
-        return False
+@dataclass
+class StrategySpec:
+    """An arbitrary strategy a lane should run.
 
-    def _finalize(self, now: float) -> None:
-        opts = self.options
-        hops: list[Hop] = []
-        flow_keys: list[bytes] = []
-        for ttl in range(opts.min_ttl, self._adjudicated + 1):
-            slots = self._hops[ttl]
-            hops.append(Hop(ttl=ttl, replies=[s.reply for s in slots]))
-            flow_keys.extend(s.flow_key for s in slots)
-        self.result.hops = hops
-        self.result.flow_keys = flow_keys
-        self.result.halt_reason = self._halt or "max-ttl"
-        self.result.finished_at = now
-        self.done = True
+    ``factory`` receives the lane-start instant and returns the
+    strategy; ``meta`` is opaque caller bookkeeping carried through to
+    the :class:`TraceOutcome` spec (the campaign stores the destination
+    there).
+    """
+
+    factory: Callable[[float], ProbeStrategy]
+    label: str = "strategy"
+    meta: object = None
+
+    def make_strategy(self, started_at: float, window: int,
+                      hints: dict) -> ProbeStrategy:
+        return self.factory(started_at)
+
+    def record_hints(self, strategy: ProbeStrategy, hints: dict) -> None:
+        """Generic strategies feed no horizon memo."""
+
+
+@dataclass
+class TraceOutcome:
+    """A finished lane entry with its lane coordinates.
+
+    ``result`` is whatever the spec's strategy produced — a
+    :class:`repro.tracer.result.TracerouteResult` for :class:`TraceSpec`
+    entries, the strategy's own product for :class:`StrategySpec`.
+    """
+
+    lane: int
+    index: int
+    spec: object
+    result: object
+
+
+class TraceSession:
+    """Generic driver state for one running strategy.
+
+    All probing decisions live in the strategy; the session only
+    remembers which socket tokens are outstanding so the scheduler can
+    cancel them when the strategy finishes early.
+    """
+
+    __slots__ = ("strategy", "tokens")
+
+    def __init__(self, strategy: ProbeStrategy) -> None:
+        self.strategy = strategy
+        self.tokens: set[int] = set()
 
     @property
-    def halt_ttl(self) -> int:
-        """The deepest adjudicated TTL (the hint for the next round)."""
-        return self._adjudicated
-
-    def outstanding_slots(self) -> list[_Slot]:
-        """Slots still awaiting a response (for cancellation when done)."""
-        return [slot for slots in self._hops.values() for slot in slots
-                if slot.reply is None]
+    def done(self) -> bool:
+        return self.strategy.finished
 
 
 # ----------------------------------------------------------------------
@@ -353,7 +286,7 @@ def response_match_keys(packet: Packet) -> list[tuple]:
 @dataclass
 class _Lane:
     index: int
-    specs: list[TraceSpec]
+    specs: list
     inter_trace_delay: float = 0.0
     position: int = 0
     session: Optional[TraceSession] = None
@@ -362,12 +295,19 @@ class _Lane:
 @dataclass
 class _Outstanding:
     session: TraceSession
-    slot: _Slot
+    request: ProbeRequest
     lane: _Lane
+    keys: list = field(default_factory=list)
+    sent_at: float = 0.0
+
+
+#: Claim freshness slack, seconds: float error on ``arrival - rtt`` is
+#: ~1e-11 at campaign clock scales, event spacing is >= link latency.
+_CLAIM_TOLERANCE = 1e-6
 
 
 class ProbeScheduler:
-    """Drive lanes of pipelined traces over one simulated clock."""
+    """Drive lanes of strategies over one simulated clock."""
 
     def __init__(
         self,
@@ -413,8 +353,9 @@ class ProbeScheduler:
         self._dead_keys: set[tuple] = set()
 
     # -- building the workload ------------------------------------------
-    def add_lane(self, specs: Iterable[TraceSpec],
+    def add_lane(self, specs: Iterable,
                  inter_trace_delay: float = 0.0) -> int:
+        """Queue a lane of :class:`TraceSpec` / :class:`StrategySpec`."""
         lane = _Lane(index=len(self.lanes), specs=list(specs),
                      inter_trace_delay=inter_trace_delay)
         self.lanes.append(lane)
@@ -481,81 +422,67 @@ class ProbeScheduler:
             lane.session = None
             return
         spec = lane.specs[lane.position]
-        tracer = spec.tracer
-        if spec.builder_factory is not None:
-            builder = spec.builder_factory()
-        else:
-            builder = tracer.make_builder(IPv4Address(spec.destination))
-        # Exact (destination, tool) knowledge wins; failing that, any
-        # tool's depth for this destination is a decent prior — the
-        # campaign traces Paris first, so the classic trace of the same
-        # destination starts with its depth instead of speculating.
-        hint = self.horizon_hints.get((spec.destination, tracer.tool))
-        if hint is None:
-            hint = self.horizon_hints.get(spec.destination)
-        session = TraceSession(
-            tracer=tracer,
-            destination=spec.destination,
-            builder=builder,
-            window=self.window,
-            started_at=self.clock.now,
-            horizon_hint=hint,
-        )
+        strategy = spec.make_strategy(self.clock.now, self.window,
+                                      self.horizon_hints)
+        session = TraceSession(strategy)
         lane.session = session
+        if session.done:
+            # A strategy with nothing to ask (e.g. already run to
+            # completion elsewhere) still yields its outcome.
+            self._retire(lane, session)
+            return
         self._pump(lane)
 
     def _pump(self, lane: _Lane) -> None:
-        """Refill the session's window with a burst of staged probes.
-
-        Refills wait until the window has half drained, then top it up —
-        sends then arrive at the socket in window/2-sized cohorts that
-        share forwarding work in :meth:`Network.submit_cohort`, instead
-        of degenerating to one-probe walks per resolved response.  The
-        caller (the scheduler loop) flushes the staged cohort.
-        """
+        """Send whatever the lane's strategy wants in flight now."""
         session = lane.session
         if session is None or session.done:
             return
-        if session.in_flight > session.window // 2:
-            return
-        while session.in_flight < session.window:
-            slot = session.build_next()
-            if slot is None:
-                break
-            sent = self.socket.send_nowait(
-                slot.probe.build(),
-                timeout=self.timeout_policy.timeout_for(),
-            )
-            slot.token = sent.token
-            record = _Outstanding(session=session, slot=slot, lane=lane)
+        for request in session.strategy.next_probes():
+            if request.timeout is not None:
+                timeout = request.timeout
+            else:
+                timeout = self.timeout_policy.timeout_for()
+            sent = self.socket.send_nowait(request.probe.build(),
+                                           timeout=timeout)
+            keys = probe_match_keys(request.probe)
+            record = _Outstanding(session=session, request=request,
+                                  lane=lane, keys=keys,
+                                  sent_at=sent.sent_at)
             self._outstanding[sent.token] = record
-            for key in probe_match_keys(slot.probe):
+            session.tokens.add(sent.token)
+            for key in keys:
                 self._index.setdefault(key, set()).add(sent.token)
             self.events.push(sent.deadline, EventKind.EXPIRE, sent.token)
+        if session.done:
+            # The strategy finished while emitting (no probe needed).
+            self._retire(lane, session)
+        elif not session.tokens:
+            # Protocol violation: not finished, nothing in flight, and
+            # nothing to send — no event will ever wake this lane.
+            raise TracerError(
+                "strategy stalled: not finished, yet no probe in flight")
 
     def _after_resolution(self, lane: _Lane) -> None:
         session = lane.session
         if session is None:
             return
-        if session.advance(self.clock.now):
+        if session.done:
             self._retire(lane, session)
         else:
             self._pump(lane)
 
     def _retire(self, lane: _Lane, session: TraceSession) -> None:
-        for slot in session.outstanding_slots():
-            self._forget(slot)
+        # Cancel probes the strategy no longer waits for (speculative
+        # sends past its halt): their responses, if any, are stragglers.
+        for token in list(session.tokens):
+            self._forget(token)
         spec = lane.specs[lane.position]
         self.outcomes.append(TraceOutcome(
             lane=lane.index, index=lane.position, spec=spec,
-            result=session.result,
+            result=session.strategy.result(),
         ))
-        self.horizon_hints[(spec.destination, spec.tracer.tool)] = (
-            session.halt_ttl
-        )
-        previous = self.horizon_hints.get(spec.destination)
-        if previous is None or session.halt_ttl > previous:
-            self.horizon_hints[spec.destination] = session.halt_ttl
+        spec.record_hints(session.strategy, self.horizon_hints)
         lane.position += 1
         lane.session = None
         if lane.position < len(lane.specs):
@@ -565,39 +492,56 @@ class ProbeScheduler:
             else:
                 self._start_next_trace(lane)
 
-    def _forget(self, slot: _Slot) -> None:
-        if slot.token is None:
+    def _forget(self, token: int) -> None:
+        record = self._outstanding.pop(token, None)
+        if record is None:
             return
-        self._outstanding.pop(slot.token, None)
-        for key in probe_match_keys(slot.probe):
+        record.session.tokens.discard(token)
+        for key in record.keys:
             tokens = self._index.get(key)
             if tokens is not None:
-                tokens.discard(slot.token)
+                tokens.discard(token)
                 if not tokens:
                     del self._index[key]
             self._dead_keys.add(key)
 
     # -- event handlers --------------------------------------------------
     def _on_expire(self, token: int) -> None:
-        record = self._outstanding.pop(token, None)
+        record = self._outstanding.get(token)
         if record is None:
             return
-        self._forget(record.slot)
-        record.session.resolve(record.slot, None)
+        self._forget(token)
+        record.session.strategy.on_timeout(record.request.token,
+                                           self.clock.now)
         self._after_resolution(record.lane)
 
     def _on_response(self, response: ProbeResponse) -> None:
-        record = self._claim(response)
+        token, record = self._claim(response)
         if record is None:
             return
-        self._outstanding.pop(record.slot.token, None)
-        self._forget(record.slot)
-        record.session.resolve(record.slot, response)
-        if record.slot.reply is not None and record.slot.reply.rtt is not None:
-            self.timeout_policy.observe(record.slot.reply.rtt)
+        self._forget(token)
+        record.session.strategy.on_reply(record.request.token, response,
+                                         self.clock.now)
+        self.timeout_policy.observe(response.rtt)
         self._after_resolution(record.lane)
 
-    def _claim(self, response: ProbeResponse) -> Optional[_Outstanding]:
+    def _is_fresh(self, response: ProbeResponse,
+                  record: _Outstanding) -> bool:
+        """True when ``response`` answers a probe sent at the record's
+        own send instant.
+
+        A response's walk time is measured from *its* probe's send, so
+        ``received_at - rtt`` recovers that instant.  The check rejects
+        a stale reply to an expired probe claiming a byte-identical
+        re-probe — MDA re-uses a timed-out hop's flow index at deeper
+        hops, and the campaign re-probes identical flows across rounds.
+        """
+        implied_send = response.received_at - response.rtt
+        return abs(implied_send - record.sent_at) <= _CLAIM_TOLERANCE
+
+    def _claim(
+        self, response: ProbeResponse,
+    ) -> tuple[Optional[int], Optional[_Outstanding]]:
         """Find the outstanding probe this response answers, if any."""
         packet = response.packet
         keys = response_match_keys(packet)
@@ -610,18 +554,21 @@ class ProbeScheduler:
             # wins, as it would under stop-and-wait.
             for token in sorted(tokens):
                 record = self._outstanding.get(token)
-                if record is None:
+                if record is None or not self._is_fresh(response, record):
                     continue
-                if record.session.builder.matches(record.slot.probe, packet):
-                    return record
+                if record.request.builder.matches(record.request.probe,
+                                                  packet):
+                    return token, record
         if any(key in self._dead_keys for key in keys):
             # A straggler for a probe that stopped waiting (expired or
             # its trace already halted) — the sequential tool would
             # have printed its star long ago.
-            return None
+            return None, None
         # Exotic responses (mangled quotes) miss the index; fall back to
         # the full per-tool matching scan so nothing real is dropped.
-        for record in self._outstanding.values():
-            if record.session.builder.matches(record.slot.probe, packet):
-                return record
-        return None
+        for token, record in self._outstanding.items():
+            if (self._is_fresh(response, record)
+                    and record.request.builder.matches(record.request.probe,
+                                                       packet)):
+                return token, record
+        return None, None

@@ -28,6 +28,12 @@ trace's campaign coordinates rather than from a shared stream, so both
 engines probe any given (round, destination, tool) with identical
 packets and — on topologies without order-sensitive randomness
 (per-packet balancers, loss) — infer identical routes.
+
+Beyond the paired traces, a campaign accepts arbitrary sans-I/O
+probing strategies (``strategy_factory``): each (round, destination)
+then also runs the factory's strategy — MDA census rounds being the
+canonical case (:meth:`Campaign.mda_strategy_factory`) — on whichever
+engine drives the campaign.
 """
 
 from __future__ import annotations
@@ -41,10 +47,14 @@ from repro.engine.asyncsocket import AsyncProbeSocket
 from repro.engine.scheduler import (
     DEFAULT_WINDOW,
     ProbeScheduler,
+    StrategySpec,
     TraceSpec,
 )
 from repro.errors import CampaignError
 from repro.net.inet import IPv4Address
+from repro.probing.executor import run_strategy
+from repro.probing.mda import MdaStrategy
+from repro.probing.strategy import ProbeStrategy
 from repro.sim.endhost import MeasurementHost
 from repro.sim.network import Network
 from repro.sim.socketapi import ProbeSocket
@@ -112,6 +122,16 @@ class RoundRecord:
 
 
 @dataclass
+class StrategyOutcome:
+    """One extra-strategy run a campaign performed."""
+
+    round_index: int
+    worker: int
+    destination: IPv4Address
+    result: object
+
+
+@dataclass
 class CampaignResult:
     """Everything a campaign produced."""
 
@@ -120,6 +140,9 @@ class CampaignResult:
     destinations: list[IPv4Address] = field(default_factory=list)
     probes_sent: int = 0
     responses_received: int = 0
+    #: Results of the per-destination extra strategies, if the campaign
+    #: was given a ``strategy_factory`` (e.g. MDA census rounds).
+    strategy_results: list[StrategyOutcome] = field(default_factory=list)
 
     @property
     def mean_round_duration(self) -> float:
@@ -148,7 +171,19 @@ class CampaignResult:
 
 
 class Campaign:
-    """Drive rounds of paired traces over a simulated internet."""
+    """Drive rounds of paired traces over a simulated internet.
+
+    ``strategy_factory`` opens the campaign to arbitrary probing
+    strategies: when given, each (round, destination) additionally runs
+    the strategy it returns — on the blocking socket under the
+    sequential engine, as an extra lane entry under the pipelined one —
+    and the products land in :attr:`CampaignResult.strategy_results`.
+    The factory signature is ``(round_index, worker, position,
+    destination, started_at) -> ProbeStrategy``;
+    :meth:`mda_strategy_factory` builds the canonical one (an MDA
+    census: every destination's load-balancer interfaces enumerated
+    each round).
+    """
 
     def __init__(
         self,
@@ -156,6 +191,7 @@ class Campaign:
         source: MeasurementHost,
         destinations: Iterable[IPv4Address],
         config: CampaignConfig | None = None,
+        strategy_factory: Optional[callable] = None,
     ) -> None:
         self.network = network
         self.source = source
@@ -183,6 +219,40 @@ class Campaign:
         # Flat position of each worker's share start, for trace
         # ordinals that are identical across engines.
         self._share_offsets: list[int] = []
+        self.strategy_factory = strategy_factory
+
+    def mda_strategy_factory(
+        self,
+        alpha: float = 0.05,
+        max_flows_per_hop: int = 64,
+        max_ttl: int = 30,
+        window: int = DEFAULT_WINDOW,
+        hop_concurrency: int = 8,
+    ) -> callable:
+        """A ``strategy_factory`` running MDA toward each destination.
+
+        Flows are drawn from the campaign's Paris tool with
+        deterministic per-flow indices, so both engines probe identical
+        packets and (absent order-sensitive randomness) enumerate
+        identical interface sets.
+        """
+
+        def factory(round_index: int, worker: int, position: int,
+                    destination: IPv4Address,
+                    started_at: float) -> ProbeStrategy:
+            return MdaStrategy(
+                make_builder=lambda flow_index: self._paris.make_builder(
+                    destination, flow_index=flow_index),
+                destination=destination,
+                alpha=alpha,
+                max_flows_per_hop=max_flows_per_hop,
+                max_ttl=max_ttl,
+                window=window,
+                hop_concurrency=hop_concurrency,
+                started_at=started_at,
+            )
+
+        return factory
 
     def run(self, progress: Optional[callable] = None) -> CampaignResult:
         """Run all configured rounds; returns the collected routes."""
@@ -231,6 +301,16 @@ class Campaign:
                                                ordinal=ordinal),
         )
 
+    def _bound_strategy(self, round_index: int, worker: int, position: int,
+                        destination: IPv4Address) -> callable:
+        """Close the user factory over one trace's campaign coordinates."""
+
+        def factory(started_at: float) -> ProbeStrategy:
+            return self.strategy_factory(round_index, worker, position,
+                                         destination, started_at)
+
+        return factory
+
     def _run_round(
         self,
         round_index: int,
@@ -263,6 +343,15 @@ class Campaign:
                 traces += 1
                 if self.config.inter_trace_delay:
                     clock.advance(self.config.inter_trace_delay)
+            if self.strategy_factory is not None:
+                strategy = self.strategy_factory(
+                    round_index, worker, position, destination, clock.now)
+                outcome = run_strategy(self._socket, strategy)
+                result.strategy_results.append(StrategyOutcome(
+                    round_index=round_index, worker=worker,
+                    destination=destination, result=outcome))
+                if self.config.inter_trace_delay:
+                    clock.advance(self.config.inter_trace_delay)
             round_end = max(round_end, clock.now)
             if position + 1 < len(shares[worker]):
                 heapq.heappush(heap, (clock.now, worker, position + 1))
@@ -289,7 +378,7 @@ class Campaign:
         for worker, share in enumerate(shares):
             if not share:
                 continue
-            specs: list[TraceSpec] = []
+            specs: list = []
             for position, destination in enumerate(share):
                 paris_builder, classic_builder = self._builders_for(
                     round_index, worker, position, destination)
@@ -297,14 +386,33 @@ class Campaign:
                                        paris_builder))
                 specs.append(TraceSpec(self._classic, destination,
                                        classic_builder))
+                if self.strategy_factory is not None:
+                    specs.append(StrategySpec(
+                        factory=self._bound_strategy(round_index, worker,
+                                                     position, destination),
+                        label="campaign-strategy",
+                        meta=destination,
+                    ))
             scheduler.add_lane(
                 specs, inter_trace_delay=self.config.inter_trace_delay)
         outcomes = scheduler.run()
+        traces = 0
         for outcome in outcomes:
-            result.routes.append(MeasuredRoute.from_result(
-                outcome.result, round_index=round_index))
-        round_end = max((o.result.finished_at for o in outcomes),
-                        default=round_start)
+            if isinstance(outcome.spec, TraceSpec):
+                result.routes.append(MeasuredRoute.from_result(
+                    outcome.result, round_index=round_index))
+                traces += 1
+            else:
+                result.strategy_results.append(StrategyOutcome(
+                    round_index=round_index, worker=outcome.lane,
+                    destination=outcome.spec.meta, result=outcome.result))
+        round_end = max((getattr(o.result, "finished_at", round_start)
+                         for o in outcomes), default=round_start)
+        if self.strategy_factory is not None:
+            # Strategy results need not carry timestamps; the scheduler
+            # clock, which stopped at the last resolution, bounds them —
+            # without this the seek below could rewind over their probes.
+            round_end = max(round_end, clock.now)
         clock.seek(round_end)
         return RoundRecord(index=round_index, started_at=round_start,
-                           finished_at=round_end, traces=len(outcomes))
+                           finished_at=round_end, traces=traces)

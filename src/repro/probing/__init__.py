@@ -1,0 +1,56 @@
+"""Sans-I/O probing strategies: one probing API for every loop.
+
+A :class:`ProbeStrategy` is an incremental state machine that *decides*
+what to probe and what the answers mean, without ever touching a socket
+or a clock.  The strategy hands out :class:`ProbeRequest`s from
+:meth:`next_probes`, is told what happened through :meth:`on_reply` /
+:meth:`on_timeout`, raises :attr:`finished` when its algorithm is done,
+and surfaces whatever it inferred through :meth:`result`.
+
+Because the I/O lives elsewhere, the same strategy runs unchanged on
+both measurement substrates:
+
+- :func:`repro.probing.executor.run_strategy` drives a strategy over
+  the blocking :class:`repro.sim.socketapi.ProbeSocket`, one probe in
+  flight — the paper's stop-and-wait regime;
+- :class:`repro.engine.scheduler.ProbeScheduler` drives many strategies
+  as lanes over the event engine, each with a window of probes in
+  flight and out-of-order arrivals.
+
+Two strategies cover the repository's probing algorithms:
+
+- :class:`HopLoopStrategy` — the paper's hop loop (star budget,
+  destination/unreachable halt, strict TTL-order adjudication), the
+  *only* implementation of those rules in the codebase;
+- :class:`MdaStrategy` / :class:`MdaHopStrategy` — the Multipath
+  Detection Algorithm's stopping-rule fan-out, with one sub-state per
+  hop under enumeration.
+"""
+
+from repro.probing.executor import run_strategy
+from repro.probing.hoploop import HopLoopStrategy
+from repro.probing.mda import (
+    HopDiscovery,
+    MdaHopStrategy,
+    MdaStrategy,
+    MultipathResult,
+    probes_needed,
+)
+from repro.probing.replies import halt_reason_for, interpret_reply
+from repro.probing.strategy import ProbeRequest, ProbeStrategy
+from repro.tracer.base import TracerouteOptions
+
+__all__ = [
+    "HopDiscovery",
+    "HopLoopStrategy",
+    "MdaHopStrategy",
+    "MdaStrategy",
+    "MultipathResult",
+    "ProbeRequest",
+    "ProbeStrategy",
+    "TracerouteOptions",
+    "halt_reason_for",
+    "interpret_reply",
+    "probes_needed",
+    "run_strategy",
+]

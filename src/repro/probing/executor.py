@@ -1,0 +1,40 @@
+"""The blocking strategy driver: stop-and-wait I/O for any strategy.
+
+:func:`run_strategy` drives a sans-I/O :class:`ProbeStrategy` over the
+blocking :class:`repro.sim.socketapi.ProbeSocket`: each emitted probe
+is sent and its response (or timeout) awaited before the next goes out
+— the paper's one-probe-in-flight regime, timing included.  A strategy
+built for a window larger than one still runs correctly here; its
+batches simply serialize.
+
+The event-driven counterpart — many strategies, windows of probes in
+flight, out-of-order arrivals — is
+:class:`repro.engine.scheduler.ProbeScheduler`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TracerError
+from repro.probing.strategy import ProbeStrategy
+from repro.sim.socketapi import ProbeSocket
+
+
+def run_strategy(socket: ProbeSocket, strategy: ProbeStrategy):
+    """Run ``strategy`` to completion on ``socket``; its result."""
+    while not strategy.finished:
+        requests = strategy.next_probes()
+        if not requests:
+            # The blocking driver resolves every probe before asking
+            # again, so an empty batch here can never mean "waiting".
+            raise TracerError(
+                "strategy stalled: not finished, yet no probe to send")
+        for request in requests:
+            response = socket.send_probe(request.probe.build())
+            now = socket.network.clock.now
+            if response is None:
+                strategy.on_timeout(request.token, now)
+            else:
+                strategy.on_reply(request.token, response, now)
+            if strategy.finished:
+                break
+    return strategy.result()

@@ -1,0 +1,230 @@
+"""The paper's hop loop as a sans-I/O strategy.
+
+:class:`HopLoopStrategy` is the one and only implementation of hop
+adjudication in the codebase: the star budget, the destination /
+unreachable halt rules, and strict TTL-order adjudication all live
+here.  :meth:`repro.tracer.base.Traceroute.trace` runs it with
+``window=1`` on the blocking socket (reproducing the paper's
+stop-and-wait loop, timing included); the event scheduler runs it with
+a wider window, where out-of-order arrivals park in their slots until
+adjudication catches up.
+
+Two pacing controls bound speculative probing under a window:
+
+- **horizon hints** — a remembered halt TTL (the scheduler passes the
+  previous trace's depth).  Sends pause at the hinted depth and resume
+  only if adjudication gets there without halting, so steady-state
+  repeat traces send almost no probe the sequential loop would not
+  have sent.
+- **evidence caps** — as soon as *any* reply (in or out of order) is a
+  halt kind (destination reached, unreachable), deeper sends stop; the
+  final halt TTL can only be at or before that reply's TTL.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import TracerError
+from repro.net.inet import IPv4Address
+from repro.net.packet import Packet
+from repro.probing.replies import halt_reason_for, interpret_reply
+from repro.probing.strategy import ProbeRequest, ProbeStrategy
+from repro.sim.socketapi import ProbeResponse
+from repro.tracer.result import Hop, TracerouteResult
+
+if TYPE_CHECKING:  # import cycle: tracer.base runs strategies
+    from repro.tracer.base import TracerouteOptions
+    from repro.tracer.probes import ProbeBuilder
+
+
+class _Slot:
+    """One sent probe awaiting adjudication."""
+
+    __slots__ = ("token", "probe", "flow_key", "ttl", "reply", "response",
+                 "resolved")
+
+    def __init__(self, token: int, probe: Packet, flow_key: bytes,
+                 ttl: int) -> None:
+        self.token = token
+        self.probe = probe
+        self.flow_key = flow_key
+        self.ttl = ttl
+        self.reply = None
+        self.response: ProbeResponse | None = None
+        self.resolved = False
+
+
+class HopLoopStrategy(ProbeStrategy):
+    """The hop loop: star budget, halt rules, TTL-order adjudication."""
+
+    def __init__(
+        self,
+        builder: "ProbeBuilder",
+        options: "TracerouteOptions",
+        tool: str,
+        source: IPv4Address,
+        destination: IPv4Address | str,
+        window: int = 1,
+        started_at: float = 0.0,
+        horizon_hint: int | None = None,
+    ) -> None:
+        if window < 1:
+            raise TracerError("need a positive in-flight window")
+        self.builder = builder
+        self.options = options
+        self.window = window
+        self.destination = IPv4Address(destination)
+        self.in_flight = 0
+        self._result = TracerouteResult(
+            tool=tool,
+            source=source,
+            destination=self.destination,
+            started_at=started_at,
+        )
+        self._finished = False
+        self._slots: dict[int, _Slot] = {}
+        self._hops: dict[int, list[_Slot]] = {}
+        self._next_token = 0
+        self._next_ttl = options.min_ttl
+        self._next_index = 0
+        self._adjudicated = options.min_ttl - 1
+        self._consecutive_stars = 0
+        self._halt: Optional[str] = None
+        self._evidence_cap: Optional[int] = None
+        if horizon_hint is None:
+            self._horizon = options.max_ttl
+        else:
+            self._horizon = min(options.max_ttl,
+                                max(options.min_ttl, horizon_hint))
+
+    # -- the protocol ----------------------------------------------------
+    def next_probes(self) -> list[ProbeRequest]:
+        """Refill the window once it has half drained.
+
+        Waiting for the half-drain keeps sends arriving at the socket
+        in window/2-sized cohorts that share forwarding work in the
+        simulator's cohort walker, instead of degenerating to one-probe
+        walks per resolved response.
+        """
+        if self._finished or self.in_flight > self.window // 2:
+            return []
+        batch: list[ProbeRequest] = []
+        while self.in_flight < self.window:
+            slot = self._build_next()
+            if slot is None:
+                break
+            batch.append(ProbeRequest(token=slot.token, probe=slot.probe,
+                                      builder=self.builder))
+        return batch
+
+    def on_reply(self, token: int, response: ProbeResponse,
+                 now: float) -> None:
+        self._resolve(token, response, now)
+
+    def on_timeout(self, token: int, now: float) -> None:
+        self._resolve(token, None, now)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def result(self) -> TracerouteResult:
+        return self._result
+
+    # -- sending ---------------------------------------------------------
+    def _build_next(self) -> Optional[_Slot]:
+        """The next probe slot in strict (TTL, probe index) order."""
+        if self._finished:
+            return None
+        ttl = self._next_ttl
+        if ttl > self._horizon:
+            return None
+        if self._evidence_cap is not None and ttl > self._evidence_cap:
+            return None
+        probe = self.builder.build(ttl)
+        slot = _Slot(self._next_token, probe, self.builder.flow_key(probe),
+                     ttl)
+        self._next_token += 1
+        self._slots[slot.token] = slot
+        self._hops.setdefault(ttl, []).append(slot)
+        self._next_index += 1
+        if self._next_index >= self.options.probes_per_hop:
+            self._next_index = 0
+            self._next_ttl += 1
+        self.in_flight += 1
+        return slot
+
+    # -- resolving -------------------------------------------------------
+    def _resolve(self, token: int, response: ProbeResponse | None,
+                 now: float) -> None:
+        """Record a response (or, with None, a timeout) for ``token``."""
+        slot = self._slots.get(token)
+        if slot is None or slot.resolved:
+            return
+        slot.resolved = True
+        slot.response = response
+        slot.reply = interpret_reply(self.builder, slot.probe, response)
+        self.in_flight -= 1
+        if response is not None and not slot.reply.is_star:
+            halt = halt_reason_for(slot.probe, response, slot.reply)
+            if halt is not None and (self._evidence_cap is None
+                                     or slot.ttl < self._evidence_cap):
+                self._evidence_cap = slot.ttl
+        self._advance(now)
+
+    # -- adjudication ----------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Adjudicate complete hops in TTL order; finalize on a halt."""
+        if self._finished:
+            return
+        opts = self.options
+        while self._halt is None:
+            ttl = self._adjudicated + 1
+            if ttl > opts.max_ttl:
+                break
+            slots = self._hops.get(ttl)
+            if (slots is None or len(slots) < opts.probes_per_hop
+                    or any(not slot.resolved for slot in slots)):
+                break
+            halt = None
+            for slot in slots:
+                if slot.reply.is_star:
+                    self._consecutive_stars += 1
+                else:
+                    self._consecutive_stars = 0
+                halt = halt or halt_reason_for(slot.probe, slot.response,
+                                               slot.reply)
+            self._adjudicated = ttl
+            if halt:
+                self._halt = halt
+            elif self._consecutive_stars >= opts.max_consecutive_stars:
+                self._halt = "stars"
+        if self._halt is None and self._adjudicated >= opts.max_ttl:
+            self._halt = "max-ttl"
+        if self._halt is not None:
+            self._finalize(now)
+            return
+        if (self._adjudicated >= self._horizon
+                and self._horizon < opts.max_ttl):
+            # Every hinted hop resolved without a halt: probe deeper.
+            self._horizon = min(opts.max_ttl, self._horizon + self.window)
+
+    def _finalize(self, now: float) -> None:
+        opts = self.options
+        hops: list[Hop] = []
+        flow_keys: list[bytes] = []
+        for ttl in range(opts.min_ttl, self._adjudicated + 1):
+            slots = self._hops[ttl]
+            hops.append(Hop(ttl=ttl, replies=[s.reply for s in slots]))
+            flow_keys.extend(s.flow_key for s in slots)
+        self._result.hops = hops
+        self._result.flow_keys = flow_keys
+        self._result.halt_reason = self._halt or "max-ttl"
+        self._result.finished_at = now
+        self._finished = True
+
+    @property
+    def halt_ttl(self) -> int:
+        """The deepest adjudicated TTL (the hint for a repeat trace)."""
+        return self._adjudicated

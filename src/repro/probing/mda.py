@@ -1,0 +1,430 @@
+"""The Multipath Detection Algorithm as sans-I/O strategies.
+
+The paper's Sec. 6 proposes "algorithms to automatically find all
+interfaces of a given load balancer".  The line of work that followed
+(the Multipath Detection Algorithm of Veitch, Augustin, Friedman and
+Teixeira) formalized it: at each hop, keep sending probes with fresh
+flow identifiers until enough have been seen to bound, at confidence
+``1 - alpha``, the probability that an additional next-hop interface
+exists.
+
+The stopping rule: if ``k`` distinct interfaces have been observed,
+send enough probes that — were there actually ``k + 1`` equally likely
+interfaces — missing one of them has probability below ``alpha``.  The
+number of *consecutive non-discovering* probes needed after the k-th
+discovery is::
+
+    n(k) = ceil( ln(alpha) / ln(k / (k + 1)) )
+
+Two strategies implement it:
+
+- :class:`MdaHopStrategy` enumerates one hop.  Flows are numbered from
+  zero; under a window, replies may land in any order, so slots park
+  their outcomes and the stopping rule *replays them strictly in flow
+  order* — the counter advances exactly as the stop-and-wait detector's
+  would, and probes sent speculatively past the stopping point are
+  discarded rather than counted.  That is what keeps pipelined and
+  sequential MDA byte-agreeing on deterministic topologies.
+- :class:`MdaStrategy` runs a full multipath trace with one
+  :class:`MdaHopStrategy`-style sub-state per hop under enumeration
+  (``hop_concurrency`` of them in flight at once).  Two hops probing
+  the same flow index would emit byte-identical probes differing only
+  in TTL — their ICMP errors are mutually ambiguous — so the composite
+  never keeps one flow index outstanding at two hops simultaneously;
+  hops pipeline diagonally across the flow space instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import TracerError
+from repro.net.inet import IPv4Address
+from repro.net.packet import Packet
+from repro.probing.strategy import ProbeRequest, ProbeStrategy
+from repro.sim.socketapi import ProbeResponse
+
+if TYPE_CHECKING:  # import cycle: tracer.base runs strategies
+    from repro.tracer.probes import ProbeBuilder
+
+
+def probes_needed(k: int, alpha: float = 0.05) -> int:
+    """Probes without a new interface required to accept "exactly k".
+
+    Direct binomial bound: for alpha = 0.05 this yields 5, 8, 11, 14...
+    for k = 1, 2, 3, 4.  (The published MDA table is slightly more
+    conservative — 6, 11, 16, ... — because it additionally controls
+    the failure probability across all hops of a trace; per-hop, the
+    bound below is the exact statement of the stopping hypothesis.)
+    """
+    if k < 1:
+        raise TracerError("k must be at least 1")
+    if not 0 < alpha < 1:
+        raise TracerError("alpha must be in (0, 1)")
+    return math.ceil(math.log(alpha) / math.log(k / (k + 1)))
+
+
+@dataclass
+class HopDiscovery:
+    """Everything MDA learned about one hop.
+
+    ``probes_sent`` counts the probes the stopping rule consumed — under
+    a pipelined window, probes sent speculatively past the stopping
+    point are discarded and not counted, so the figure matches what the
+    stop-and-wait detector reports.  ``stop_reason`` records why
+    enumeration ended: ``"confident"`` (the rule fired) or
+    ``"flow-budget"`` (``max_flows_per_hop`` exhausted first).
+    """
+
+    ttl: int
+    interfaces: set[IPv4Address] = field(default_factory=set)
+    probes_sent: int = 0
+    stopped_confident: bool = False
+    stop_reason: str = ""
+
+    @property
+    def width(self) -> int:
+        return len(self.interfaces)
+
+
+@dataclass
+class MultipathResult:
+    """Per-hop discoveries for one destination."""
+
+    destination: IPv4Address
+    alpha: float
+    hops: list[HopDiscovery] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def branching_hops(self) -> list[int]:
+        return [h.ttl for h in self.hops if h.width > 1]
+
+    @property
+    def max_width(self) -> int:
+        return max((h.width for h in self.hops), default=0)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated seconds."""
+        return self.finished_at - self.started_at
+
+    def format_report(self) -> str:
+        lines = [f"MDA toward {self.destination} "
+                 f"(confidence {100 * (1 - self.alpha):.0f}%)"]
+        for hop in self.hops:
+            addresses = ", ".join(sorted(str(a) for a in hop.interfaces))
+            reason = hop.stop_reason or "unstopped"
+            lines.append(
+                f"  hop {hop.ttl:2d}: {hop.width} interface(s) "
+                f"[{hop.probes_sent} probes, {reason}] {addresses}"
+            )
+        return "\n".join(lines)
+
+
+class _MdaSlot:
+    """One MDA probe: its flow, builder, and (eventual) answer."""
+
+    __slots__ = ("flow_index", "probe", "builder", "resolved", "address")
+
+    def __init__(self, flow_index: int, probe: Packet,
+                 builder: ProbeBuilder) -> None:
+        self.flow_index = flow_index
+        self.probe = probe
+        self.builder = builder
+        self.resolved = False
+        self.address: Optional[IPv4Address] = None
+
+
+class _HopState:
+    """One hop's fan-out: flows sent in order, adjudicated in order.
+
+    The stopping rule is replayed over resolved slots strictly by flow
+    index, so out-of-order (or unmatched) replies park in their slots
+    and can never corrupt the consecutive-non-discovery counter.
+    """
+
+    def __init__(self, ttl: int, make_builder: Callable[[int], ProbeBuilder],
+                 alpha: float, max_flows: int, window: int) -> None:
+        self.ttl = ttl
+        self.make_builder = make_builder
+        self.alpha = alpha
+        self.max_flows = max_flows
+        self.window = window
+        self.discovery = HopDiscovery(ttl=ttl)
+        self.in_flight = 0
+        self.done = False
+        self._slots: list[_MdaSlot] = []
+        self._adjudicated = 0
+        self._since_last_new = 0
+
+    # -- sending ---------------------------------------------------------
+    def refill_ready(self) -> bool:
+        """Refill only once the window has half drained (cohort batching,
+        as in the hop loop): sends then reach the socket in bursts that
+        share forwarding work, instead of one walk per resolved reply."""
+        return self.in_flight <= self.window // 2
+
+    def can_send(self) -> bool:
+        """True when the next flow may go on the wire now.
+
+        Speculation past the adjudication frontier is capped at the
+        number of consecutive non-discovering probes the rule could
+        still consume — if none of the probes in flight discovers
+        anything, the last one is exactly the stopping probe, so the
+        deterministic case wastes nothing.
+        """
+        if self.done or len(self._slots) >= self.max_flows:
+            return False
+        if self.in_flight >= self.window:
+            return False
+        pending = len(self._slots) - self._adjudicated
+        return pending < self._speculation_allowance()
+
+    def _speculation_allowance(self) -> int:
+        k = max(1, self.discovery.width)
+        return probes_needed(k, self.alpha) - self._since_last_new
+
+    def next_flow(self) -> int:
+        """The flow index :meth:`send_next` would emit."""
+        return len(self._slots)
+
+    def send_next(self) -> _MdaSlot:
+        flow_index = len(self._slots)
+        builder = self.make_builder(flow_index)
+        slot = _MdaSlot(flow_index, builder.build(self.ttl), builder)
+        self._slots.append(slot)
+        self.in_flight += 1
+        return slot
+
+    # -- resolving -------------------------------------------------------
+    def resolve(self, slot: _MdaSlot, response: ProbeResponse | None) -> None:
+        """Record a response (or, with None, a timeout) for ``slot``."""
+        if slot.resolved:
+            return
+        slot.resolved = True
+        self.in_flight -= 1
+        if (response is not None
+                and slot.builder.matches(slot.probe, response.packet)):
+            slot.address = response.packet.src
+        self._adjudicate()
+
+    def _adjudicate(self) -> None:
+        """Replay the stopping rule over resolved slots in flow order."""
+        while not self.done and self._adjudicated < len(self._slots):
+            slot = self._slots[self._adjudicated]
+            if not slot.resolved:
+                return
+            self._adjudicated += 1
+            self.discovery.probes_sent += 1
+            if (slot.address is not None
+                    and slot.address not in self.discovery.interfaces):
+                self.discovery.interfaces.add(slot.address)
+                self._since_last_new = 0
+                continue
+            self._since_last_new += 1
+            k = max(1, self.discovery.width)
+            if self._since_last_new >= probes_needed(k, self.alpha):
+                self._stop("confident")
+        if not self.done and self._adjudicated >= self.max_flows:
+            self._stop("flow-budget")
+
+    def _stop(self, reason: str) -> None:
+        self.done = True
+        self.discovery.stop_reason = reason
+        self.discovery.stopped_confident = reason == "confident"
+
+
+def _validate(alpha: float, max_flows_per_hop: int, window: int) -> None:
+    if not 0 < alpha < 1:
+        raise TracerError("alpha must be in (0, 1)")
+    if max_flows_per_hop < 1:
+        raise TracerError("need a positive per-hop flow budget")
+    if window < 1:
+        raise TracerError("need a positive in-flight window")
+
+
+class MdaHopStrategy(ProbeStrategy):
+    """Enumerate one hop's interfaces until the stopping rule fires."""
+
+    def __init__(
+        self,
+        make_builder: Callable[[int], ProbeBuilder],
+        ttl: int,
+        alpha: float = 0.05,
+        max_flows_per_hop: int = 128,
+        window: int = 1,
+    ) -> None:
+        _validate(alpha, max_flows_per_hop, window)
+        self._state = _HopState(ttl, make_builder, alpha,
+                                max_flows_per_hop, window)
+        self._requests: dict[int, _MdaSlot] = {}
+        self._next_token = 0
+
+    def next_probes(self) -> list[ProbeRequest]:
+        if not self._state.refill_ready():
+            return []
+        batch: list[ProbeRequest] = []
+        while self._state.can_send():
+            slot = self._state.send_next()
+            token = self._next_token
+            self._next_token += 1
+            self._requests[token] = slot
+            batch.append(ProbeRequest(token=token, probe=slot.probe,
+                                      builder=slot.builder))
+        return batch
+
+    def on_reply(self, token: int, response: ProbeResponse,
+                 now: float) -> None:
+        self._resolve(token, response)
+
+    def on_timeout(self, token: int, now: float) -> None:
+        self._resolve(token, None)
+
+    def _resolve(self, token: int, response: ProbeResponse | None) -> None:
+        slot = self._requests.pop(token, None)
+        if slot is not None:
+            self._state.resolve(slot, response)
+
+    @property
+    def finished(self) -> bool:
+        return self._state.done
+
+    def result(self) -> HopDiscovery:
+        return self._state.discovery
+
+
+class MdaStrategy(ProbeStrategy):
+    """Full multipath trace: one sub-state per hop under enumeration.
+
+    Hop extension follows the stop-and-wait detector exactly: hops are
+    consumed in TTL order, and the trace ends at the first hop that
+    discovers the destination itself or nothing at all (beyond-the-end
+    silence) — discoveries of deeper, speculatively enumerated hops are
+    discarded.  ``hop_concurrency=1, window=1`` therefore reproduces
+    the sequential detector probe for probe, while larger values let
+    the event scheduler overlap hops and flows.
+    """
+
+    def __init__(
+        self,
+        make_builder: Callable[[int], ProbeBuilder],
+        destination: IPv4Address | str,
+        alpha: float = 0.05,
+        max_flows_per_hop: int = 128,
+        min_ttl: int = 1,
+        max_ttl: int = 30,
+        window: int = 1,
+        hop_concurrency: int = 1,
+        started_at: float = 0.0,
+    ) -> None:
+        _validate(alpha, max_flows_per_hop, window)
+        if hop_concurrency < 1:
+            raise TracerError("need a positive hop concurrency")
+        if not 1 <= min_ttl <= max_ttl:
+            raise TracerError(f"bad TTL range [{min_ttl}, {max_ttl}]")
+        self.destination = IPv4Address(destination)
+        self.make_builder = make_builder
+        self.alpha = alpha
+        self.max_flows_per_hop = max_flows_per_hop
+        self.max_ttl = max_ttl
+        self.window = window
+        self.hop_concurrency = hop_concurrency
+        self._result = MultipathResult(destination=self.destination,
+                                       alpha=alpha, started_at=started_at)
+        self._finished = False
+        self._frontier = min_ttl
+        self._states: dict[int, _HopState] = {}
+        self._requests: dict[int, tuple[_HopState, _MdaSlot]] = {}
+        #: flow index -> number of probes of that flow outstanding; a
+        #: flow held by one hop is barred from every other hop, because
+        #: their probes would be byte-identical up to TTL and their
+        #: ICMP errors indistinguishable.
+        self._flow_holders: dict[int, int] = {}
+        self._next_token = 0
+
+    # -- the protocol ----------------------------------------------------
+    def next_probes(self) -> list[ProbeRequest]:
+        if self._finished:
+            return []
+        self._activate()
+        batch: list[ProbeRequest] = []
+        for ttl in sorted(self._states):
+            state = self._states[ttl]
+            if not state.refill_ready():
+                continue
+            while state.can_send():
+                flow = state.next_flow()
+                if self._flow_holders.get(flow, 0) > 0:
+                    break
+                slot = state.send_next()
+                token = self._next_token
+                self._next_token += 1
+                self._requests[token] = (state, slot)
+                self._flow_holders[flow] = (
+                    self._flow_holders.get(flow, 0) + 1)
+                batch.append(ProbeRequest(token=token, probe=slot.probe,
+                                          builder=slot.builder))
+        return batch
+
+    def on_reply(self, token: int, response: ProbeResponse,
+                 now: float) -> None:
+        self._resolve(token, response, now)
+
+    def on_timeout(self, token: int, now: float) -> None:
+        self._resolve(token, None, now)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def result(self) -> MultipathResult:
+        return self._result
+
+    # -- internals -------------------------------------------------------
+    def _activate(self) -> None:
+        """Open sub-states for the next ``hop_concurrency`` hops."""
+        limit = min(self.max_ttl, self._frontier + self.hop_concurrency - 1)
+        for ttl in range(self._frontier, limit + 1):
+            if ttl not in self._states:
+                self._states[ttl] = _HopState(
+                    ttl, self.make_builder, self.alpha,
+                    self.max_flows_per_hop, self.window)
+
+    def _resolve(self, token: int, response: ProbeResponse | None,
+                 now: float) -> None:
+        if self._finished:
+            return
+        entry = self._requests.pop(token, None)
+        if entry is None:
+            return
+        state, slot = entry
+        self._flow_holders[slot.flow_index] -= 1
+        state.resolve(slot, response)
+        self._consume(now)
+
+    def _consume(self, now: float) -> None:
+        """Fold finished frontier hops into the result, in TTL order."""
+        while not self._finished:
+            state = self._states.get(self._frontier)
+            if state is None or not state.done:
+                return
+            del self._states[self._frontier]
+            discovery = state.discovery
+            self._result.hops.append(discovery)
+            self._frontier += 1
+            if (self.destination in discovery.interfaces
+                    or not discovery.interfaces
+                    or self._frontier > self.max_ttl):
+                self._finish(now)
+
+    def _finish(self, now: float) -> None:
+        self._finished = True
+        self._result.finished_at = now
+        # Drop speculative deeper hops; the driver cancels their
+        # outstanding probes, and late callbacks no-op on empty maps.
+        self._states.clear()
+        self._requests.clear()

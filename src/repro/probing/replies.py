@@ -1,0 +1,85 @@
+"""Turning raw responses into replies, and replies into halt verdicts.
+
+These two functions are the shared adjudication primitives of the
+strategy layer: every probing strategy — the hop loop, MDA — and hence
+every driver (blocking executor, event scheduler) interprets responses
+and applies the paper's halt rules through exactly this code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.icmp import (
+    ICMPDestinationUnreachable,
+    ICMPEchoReply,
+    ICMPTimeExceeded,
+)
+from repro.net.packet import Packet
+from repro.net.tcp import TCPHeader
+from repro.sim.socketapi import ProbeResponse
+from repro.tracer.result import ProbeReply, ReplyKind
+
+if TYPE_CHECKING:  # import cycle: tracer.base runs strategies
+    from repro.tracer.probes import ProbeBuilder
+
+
+def interpret_reply(
+    builder: ProbeBuilder,
+    probe: Packet,
+    response: ProbeResponse | None,
+) -> ProbeReply:
+    """Turn a raw response (or timeout) into a :class:`ProbeReply`."""
+    if response is None:
+        return ProbeReply.star()
+    packet = response.packet
+    matched = builder.matches(probe, packet)
+    if not matched:
+        # A response we cannot tie to our probe: the real tool would
+        # keep waiting and eventually print a star.
+        return ProbeReply(kind=ReplyKind.STAR, matched=False)
+    transport = packet.transport
+    common = dict(
+        address=packet.src,
+        rtt=response.rtt,
+        response_ttl=packet.ttl,
+        ip_id=packet.ip.identification,
+    )
+    if isinstance(transport, ICMPTimeExceeded):
+        return ProbeReply(kind=ReplyKind.TIME_EXCEEDED,
+                          probe_ttl=transport.probe_ttl, **common)
+    if isinstance(transport, ICMPDestinationUnreachable):
+        return ProbeReply(
+            kind=ReplyKind.DEST_UNREACHABLE,
+            probe_ttl=transport.probe_ttl,
+            unreachable_flag=transport.unreachable_code.traceroute_flag,
+            **common,
+        )
+    if isinstance(transport, ICMPEchoReply):
+        return ProbeReply(kind=ReplyKind.ECHO_REPLY, **common)
+    if isinstance(transport, TCPHeader):
+        return ProbeReply(kind=ReplyKind.TCP_RESPONSE, **common)
+    return ProbeReply(kind=ReplyKind.STAR, matched=False)
+
+
+def halt_reason_for(
+    probe: Packet,
+    response: ProbeResponse | None,
+    reply: ProbeReply,
+) -> str | None:
+    """Paper rules: unreachable halts; reaching the destination halts."""
+    if response is None or reply.is_star:
+        return None
+    if reply.kind is ReplyKind.DEST_UNREACHABLE:
+        # Port Unreachable means the probe reached its destination's
+        # UDP stack (even if a gateway rewrote the answer's source,
+        # as behind the Fig. 5 NAT); any other unreachable code is a
+        # failure ('!H', '!N'...) but halts all the same.
+        if reply.unreachable_flag == "":
+            return "destination"
+        return "unreachable"
+    if reply.kind is ReplyKind.ECHO_REPLY and reply.address == probe.dst:
+        return "destination"
+    if reply.kind is ReplyKind.TCP_RESPONSE:
+        return "destination"
+    return None

@@ -1,0 +1,88 @@
+"""The :class:`ProbeStrategy` protocol and its probe-request currency.
+
+A strategy is a pure state machine.  It never sends anything: it emits
+:class:`ProbeRequest`s describing the probes it wants in flight, and it
+is told — via the token it chose for each request — whether the probe
+drew a response or timed out.  Which socket carries the probes, how
+responses are demultiplexed, and when timeouts fire are entirely the
+driver's business (:func:`repro.probing.executor.run_strategy` for the
+blocking socket, :class:`repro.engine.scheduler.ProbeScheduler` for the
+event engine).
+
+The contract a strategy must honour:
+
+- :meth:`next_probes` returns the batch of probes to send *now* — it
+  may be empty while the strategy waits for outstanding answers, but
+  must never be empty forever while :attr:`finished` is False and no
+  probe is outstanding (that is a stall, and drivers raise on it);
+- every emitted request is answered with at most one :meth:`on_reply`
+  or :meth:`on_timeout` carrying the request's token — exactly one
+  while the strategy is unfinished, none for requests still pending
+  when :attr:`finished` turns True (drivers cancel those, so cleanup
+  must not wait on further callbacks); duplicate or unknown tokens
+  must be ignored, and replies may arrive in any order — drivers make
+  no sequencing promises;
+- once :attr:`finished` is True it stays True, further callbacks are
+  no-ops, and :meth:`result` returns the strategy's product.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.packet import Packet
+from repro.sim.socketapi import ProbeResponse
+
+if TYPE_CHECKING:  # import cycle: tracer.base runs strategies
+    from repro.tracer.probes import ProbeBuilder
+
+
+@dataclass
+class ProbeRequest:
+    """One probe a strategy wants on the wire.
+
+    ``token`` is strategy-chosen and echoed back verbatim in
+    :meth:`ProbeStrategy.on_reply` / :meth:`ProbeStrategy.on_timeout`.
+    ``builder`` supplies the per-tool response matching
+    (:meth:`ProbeBuilder.matches`) the driver uses to attribute
+    responses.  ``timeout`` overrides the driver's response deadline;
+    None defers to the driver's own policy.
+    """
+
+    token: int
+    probe: Packet
+    builder: "ProbeBuilder"
+    timeout: Optional[float] = None
+
+
+class ProbeStrategy(ABC):
+    """Incremental, sans-I/O probing state machine."""
+
+    @abstractmethod
+    def next_probes(self) -> list[ProbeRequest]:
+        """Probes to put in flight now (may be empty while waiting)."""
+
+    @abstractmethod
+    def on_reply(self, token: int, response: ProbeResponse,
+                 now: float) -> None:
+        """A response attributed to the request carrying ``token``.
+
+        ``now`` is the driver's clock at delivery (the response's
+        arrival instant); sans-I/O strategies use it only to timestamp
+        results.
+        """
+
+    @abstractmethod
+    def on_timeout(self, token: int, now: float) -> None:
+        """The request carrying ``token`` drew no response in time."""
+
+    @property
+    @abstractmethod
+    def finished(self) -> bool:
+        """True once the algorithm needs no further probes."""
+
+    @abstractmethod
+    def result(self):
+        """The strategy's product (defined once :attr:`finished`)."""

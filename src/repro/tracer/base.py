@@ -6,6 +6,16 @@ an option), a 2-second wait before the next probe, halt after eight
 consecutive non-responses, a 39-hop ceiling, and immediate halt on an
 ICMP Destination Unreachable — which is also how a UDP trace detects
 its destination (Port Unreachable).
+
+Since the strategy redesign the loop itself lives in
+:class:`repro.probing.hoploop.HopLoopStrategy` — the single home of the
+star budget, halt rules, and TTL-order adjudication.
+:meth:`Traceroute.trace` simply runs that strategy with ``window=1`` on
+the blocking socket; the event engine runs the same strategy with a
+wider window.  ``interpret_reply`` and ``halt_reason_for`` are
+re-exported here from :mod:`repro.probing.replies` for backward
+compatibility (lazily, to keep the tracer → probing → tracer import
+cycle broken).
 """
 
 from __future__ import annotations
@@ -13,17 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import TracerError
-from repro.net.icmp import (
-    ICMPDestinationUnreachable,
-    ICMPEchoReply,
-    ICMPTimeExceeded,
-)
 from repro.net.inet import IPv4Address
-from repro.net.packet import Packet
-from repro.net.tcp import TCPHeader
-from repro.sim.socketapi import ProbeResponse, ProbeSocket
+from repro.sim.socketapi import ProbeSocket
 from repro.tracer.probes import ProbeBuilder
-from repro.tracer.result import Hop, ProbeReply, ReplyKind, TracerouteResult
+from repro.tracer.result import TracerouteResult
+
+__all__ = [
+    "Traceroute",
+    "TracerouteOptions",
+    "halt_reason_for",
+    "interpret_reply",
+]
 
 
 @dataclass
@@ -46,69 +56,13 @@ class TracerouteOptions:
             raise TracerError("need a positive star budget")
 
 
-def interpret_reply(
-    builder: ProbeBuilder,
-    probe: Packet,
-    response: ProbeResponse | None,
-) -> ProbeReply:
-    """Turn a raw response (or timeout) into a :class:`ProbeReply`.
+def __getattr__(name: str):
+    """Lazy re-exports of the strategy layer's adjudication primitives."""
+    if name in ("interpret_reply", "halt_reason_for"):
+        from repro.probing import replies
 
-    Shared by the stop-and-wait loop below and the pipelined engine
-    (:mod:`repro.engine`), so both interpret responses identically.
-    """
-    if response is None:
-        return ProbeReply.star()
-    packet = response.packet
-    matched = builder.matches(probe, packet)
-    if not matched:
-        # A response we cannot tie to our probe: the real tool would
-        # keep waiting and eventually print a star.
-        return ProbeReply(kind=ReplyKind.STAR, matched=False)
-    transport = packet.transport
-    common = dict(
-        address=packet.src,
-        rtt=response.rtt,
-        response_ttl=packet.ttl,
-        ip_id=packet.ip.identification,
-    )
-    if isinstance(transport, ICMPTimeExceeded):
-        return ProbeReply(kind=ReplyKind.TIME_EXCEEDED,
-                          probe_ttl=transport.probe_ttl, **common)
-    if isinstance(transport, ICMPDestinationUnreachable):
-        return ProbeReply(
-            kind=ReplyKind.DEST_UNREACHABLE,
-            probe_ttl=transport.probe_ttl,
-            unreachable_flag=transport.unreachable_code.traceroute_flag,
-            **common,
-        )
-    if isinstance(transport, ICMPEchoReply):
-        return ProbeReply(kind=ReplyKind.ECHO_REPLY, **common)
-    if isinstance(transport, TCPHeader):
-        return ProbeReply(kind=ReplyKind.TCP_RESPONSE, **common)
-    return ProbeReply(kind=ReplyKind.STAR, matched=False)
-
-
-def halt_reason_for(
-    probe: Packet,
-    response: ProbeResponse | None,
-    reply: ProbeReply,
-) -> str | None:
-    """Paper rules: unreachable halts; reaching the destination halts."""
-    if response is None or reply.is_star:
-        return None
-    if reply.kind is ReplyKind.DEST_UNREACHABLE:
-        # Port Unreachable means the probe reached its destination's
-        # UDP stack (even if a gateway rewrote the answer's source,
-        # as behind the Fig. 5 NAT); any other unreachable code is a
-        # failure ('!H', '!N'...) but halts all the same.
-        if reply.unreachable_flag == "":
-            return "destination"
-        return "unreachable"
-    if reply.kind is ReplyKind.ECHO_REPLY and reply.address == probe.dst:
-        return "destination"
-    if reply.kind is ReplyKind.TCP_RESPONSE:
-        return "destination"
-    return None
+        return getattr(replies, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Traceroute:
@@ -138,55 +92,19 @@ class Traceroute:
         ``builder`` overrides the tool's own probe construction — used
         by Paris traceroute's path enumeration to pin a specific flow.
         """
+        from repro.probing.executor import run_strategy
+        from repro.probing.hoploop import HopLoopStrategy
+
         destination = IPv4Address(destination)
         if builder is None:
             builder = self.make_builder(destination)
-        result = TracerouteResult(
+        strategy = HopLoopStrategy(
+            builder=builder,
+            options=self.options,
             tool=self.tool,
             source=self.socket.source_address,
             destination=destination,
+            window=1,
             started_at=self.socket.network.clock.now,
         )
-        consecutive_stars = 0
-        halt = None
-        for ttl in range(self.options.min_ttl, self.options.max_ttl + 1):
-            hop = Hop(ttl=ttl)
-            result.hops.append(hop)
-            for __ in range(self.options.probes_per_hop):
-                probe = builder.build(ttl)
-                result.flow_keys.append(builder.flow_key(probe))
-                response = self.socket.send_probe(probe.build())
-                reply = self._interpret(builder, probe, response)
-                hop.replies.append(reply)
-                if reply.is_star:
-                    consecutive_stars += 1
-                else:
-                    consecutive_stars = 0
-                halt = halt or self._halt_reason(probe, response, reply)
-            if halt:
-                break
-            if consecutive_stars >= self.options.max_consecutive_stars:
-                halt = "stars"
-                break
-        result.halt_reason = halt or "max-ttl"
-        result.finished_at = self.socket.network.clock.now
-        return result
-
-    # -- helpers ----------------------------------------------------------
-    def _interpret(
-        self,
-        builder: ProbeBuilder,
-        probe: Packet,
-        response: ProbeResponse | None,
-    ) -> ProbeReply:
-        """Turn a raw response (or timeout) into a :class:`ProbeReply`."""
-        return interpret_reply(builder, probe, response)
-
-    def _halt_reason(
-        self,
-        probe: Packet,
-        response: ProbeResponse | None,
-        reply: ProbeReply,
-    ) -> str | None:
-        """Paper rules: unreachable halts; reaching the destination halts."""
-        return halt_reason_for(probe, response, reply)
+        return run_strategy(self.socket, strategy)

@@ -3,92 +3,51 @@
 The paper's Sec. 6 proposes "algorithms to automatically find all
 interfaces of a given load balancer".  The line of work that followed
 (the Multipath Detection Algorithm of Veitch, Augustin, Friedman and
-Teixeira) formalized it: at each hop, keep sending probes with fresh
-flow identifiers until enough have been seen to bound, at confidence
-``1 - alpha``, the probability that an additional next-hop interface
-exists.
+Teixeira) formalized it; the rule itself — and the sans-I/O strategies
+implementing it — live in :mod:`repro.probing.mda`, whose
+``probes_needed``, ``HopDiscovery`` and ``MultipathResult`` are
+re-exported here for backward compatibility.
 
-The stopping rule: if ``k`` distinct interfaces have been observed,
-send enough probes that — were there actually ``k + 1`` equally likely
-interfaces — missing one of them has probability below ``alpha``.  The
-number of *consecutive non-discovering* probes needed after the k-th
-discovery is::
+:class:`MultipathDetector` runs those strategies against the
+simulator's balancers (including widths up to Juniper's sixteen) on
+either measurement substrate:
 
-    n(k) = ceil( ln(alpha) / ln(k / (k + 1)) )
-
-This module implements per-hop MDA on top of Paris traceroute's
-flow-controlled probing, against the simulator's balancers (including
-widths up to Juniper's sixteen).
+- ``engine="sequential"`` (default) — the stop-and-wait regime: one
+  probe in flight, hop after hop, exactly the published per-hop MDA;
+- ``engine="pipelined"`` — the event engine: ``hop_concurrency`` hops
+  under enumeration at once, each with up to ``window`` flows in
+  flight, discovering identical interface sets in a fraction of the
+  simulated time.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-
 from repro.errors import TracerError
 from repro.net.inet import IPv4Address
+from repro.probing.executor import run_strategy
+from repro.probing.mda import (
+    HopDiscovery,
+    MdaHopStrategy,
+    MdaStrategy,
+    MultipathResult,
+    probes_needed,
+)
+from repro.probing.strategy import ProbeStrategy
 from repro.sim.socketapi import ProbeSocket
 from repro.tracer.paris import ParisTraceroute
 
+__all__ = [
+    "HopDiscovery",
+    "MultipathDetector",
+    "MultipathResult",
+    "probes_needed",
+]
 
-def probes_needed(k: int, alpha: float = 0.05) -> int:
-    """Probes without a new interface required to accept "exactly k".
+#: Per-hop in-flight window under the pipelined engine.
+DEFAULT_MDA_WINDOW = 8
 
-    Direct binomial bound: for alpha = 0.05 this yields 5, 8, 11, 14...
-    for k = 1, 2, 3, 4.  (The published MDA table is slightly more
-    conservative — 6, 11, 16, ... — because it additionally controls
-    the failure probability across all hops of a trace; per-hop, the
-    bound below is the exact statement of the stopping hypothesis.)
-    """
-    if k < 1:
-        raise TracerError("k must be at least 1")
-    if not 0 < alpha < 1:
-        raise TracerError("alpha must be in (0, 1)")
-    return math.ceil(math.log(alpha) / math.log(k / (k + 1)))
-
-
-@dataclass
-class HopDiscovery:
-    """Everything MDA learned about one hop."""
-
-    ttl: int
-    interfaces: set[IPv4Address] = field(default_factory=set)
-    probes_sent: int = 0
-    stopped_confident: bool = False
-
-    @property
-    def width(self) -> int:
-        return len(self.interfaces)
-
-
-@dataclass
-class MultipathResult:
-    """Per-hop discoveries for one destination."""
-
-    destination: IPv4Address
-    alpha: float
-    hops: list[HopDiscovery] = field(default_factory=list)
-
-    @property
-    def branching_hops(self) -> list[int]:
-        return [h.ttl for h in self.hops if h.width > 1]
-
-    @property
-    def max_width(self) -> int:
-        return max((h.width for h in self.hops), default=0)
-
-    def format_report(self) -> str:
-        lines = [f"MDA toward {self.destination} "
-                 f"(confidence {100 * (1 - self.alpha):.0f}%)"]
-        for hop in self.hops:
-            addresses = ", ".join(sorted(str(a) for a in hop.interfaces))
-            confidence = "ok" if hop.stopped_confident else "budget"
-            lines.append(
-                f"  hop {hop.ttl:2d}: {hop.width} interface(s) "
-                f"[{hop.probes_sent} probes, {confidence}] {addresses}"
-            )
-        return "\n".join(lines)
+#: Hops enumerated concurrently under the pipelined engine.
+DEFAULT_HOP_CONCURRENCY = 8
 
 
 class MultipathDetector:
@@ -101,54 +60,102 @@ class MultipathDetector:
         alpha: float = 0.05,
         max_flows_per_hop: int = 128,
         seed: int = 0,
+        engine: str = "sequential",
+        window: int = DEFAULT_MDA_WINDOW,
+        hop_concurrency: int = DEFAULT_HOP_CONCURRENCY,
     ) -> None:
         if not 0 < alpha < 1:
             raise TracerError("alpha must be in (0, 1)")
+        if engine not in ("sequential", "pipelined"):
+            raise TracerError(
+                f"engine must be 'sequential' or 'pipelined', "
+                f"not {engine!r}"
+            )
+        if window < 1:
+            raise TracerError(f"window must be at least 1, got {window}")
+        if hop_concurrency < 1:
+            raise TracerError(
+                f"hop_concurrency must be at least 1, got {hop_concurrency}"
+            )
         self.socket = socket
         self.alpha = alpha
         self.max_flows_per_hop = max_flows_per_hop
+        self.engine = engine
+        self.window = window
+        self.hop_concurrency = hop_concurrency
         self._paris = ParisTraceroute(socket, method=method, seed=seed)
+        self._async_socket = None
 
+    # -- strategy plumbing ----------------------------------------------
+    def _flow_builders(self, destination: IPv4Address):
+        """flow index -> fresh Paris builder pinning that flow."""
+        return lambda flow_index: self._paris.make_builder(
+            destination, flow_index=flow_index)
+
+    def _run(self, strategy: ProbeStrategy):
+        """Drive ``strategy`` on the configured engine.
+
+        Either way the caller's socket counters account for every probe:
+        the pipelined path sends through one long-lived async socket and
+        mirrors its per-run deltas onto the blocking socket, so probing
+        cost reads the same across engines.
+        """
+        if self.engine == "pipelined":
+            from repro.engine.asyncsocket import AsyncProbeSocket
+            from repro.engine.scheduler import ProbeScheduler, StrategySpec
+
+            if self._async_socket is None:
+                self._async_socket = AsyncProbeSocket(
+                    self.socket.network, self.socket.host,
+                    timeout=self.socket.timeout)
+            sent_before = self._async_socket.probes_sent
+            received_before = self._async_socket.responses_received
+            scheduler = ProbeScheduler(self.socket.network, self.socket.host,
+                                       socket=self._async_socket,
+                                       timeout=self.socket.timeout)
+            scheduler.add_lane([StrategySpec(lambda __: strategy,
+                                             label="mda")])
+            result = scheduler.run()[0].result
+            self.socket.probes_sent += (
+                self._async_socket.probes_sent - sent_before)
+            self.socket.responses_received += (
+                self._async_socket.responses_received - received_before)
+            return result
+        return run_strategy(self.socket, strategy)
+
+    # -- the published algorithm ----------------------------------------
     def probe_hop(self, destination: IPv4Address, ttl: int) -> HopDiscovery:
         """Enumerate interfaces at one hop until the rule says stop."""
-        discovery = HopDiscovery(ttl=ttl)
-        since_last_new = 0
-        flow_index = 0
-        while flow_index < self.max_flows_per_hop:
-            builder = self._paris.make_builder(destination,
-                                               flow_index=flow_index)
-            probe = builder.build(ttl)
-            flow_index += 1
-            discovery.probes_sent += 1
-            response = self.socket.send_probe(probe.build())
-            if response is not None and builder.matches(probe,
-                                                        response.packet):
-                address = response.packet.src
-                if address not in discovery.interfaces:
-                    discovery.interfaces.add(address)
-                    since_last_new = 0
-                    continue
-            since_last_new += 1
-            k = max(1, discovery.width)
-            if since_last_new >= probes_needed(k, self.alpha):
-                discovery.stopped_confident = True
-                break
-        return discovery
+        destination = IPv4Address(destination)
+        strategy = MdaHopStrategy(
+            make_builder=self._flow_builders(destination),
+            ttl=ttl,
+            alpha=self.alpha,
+            max_flows_per_hop=self.max_flows_per_hop,
+            window=self.window if self.engine == "pipelined" else 1,
+        )
+        return self._run(strategy)
 
     def trace(self, destination: IPv4Address | str,
               max_ttl: int = 30) -> MultipathResult:
         """Full multipath trace: MDA at every hop until the destination.
 
         Stops extending when a hop discovers the destination itself or
-        yields nothing at all (beyond-the-end silence).
+        yields nothing at all (beyond-the-end silence).  Under the
+        pipelined engine, up to ``hop_concurrency`` hops enumerate
+        concurrently; the interface sets are identical to the
+        sequential detector's on deterministic topologies.
         """
         destination = IPv4Address(destination)
-        result = MultipathResult(destination=destination, alpha=self.alpha)
-        for ttl in range(1, max_ttl + 1):
-            discovery = self.probe_hop(destination, ttl)
-            result.hops.append(discovery)
-            if destination in discovery.interfaces:
-                break
-            if not discovery.interfaces:
-                break
-        return result
+        pipelined = self.engine == "pipelined"
+        strategy = MdaStrategy(
+            make_builder=self._flow_builders(destination),
+            destination=destination,
+            alpha=self.alpha,
+            max_flows_per_hop=self.max_flows_per_hop,
+            max_ttl=max_ttl,
+            window=self.window if pipelined else 1,
+            hop_concurrency=self.hop_concurrency if pipelined else 1,
+            started_at=self.socket.network.clock.now,
+        )
+        return self._run(strategy)

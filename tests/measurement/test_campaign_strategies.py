@@ -1,0 +1,101 @@
+"""Campaigns running arbitrary probe strategies (MDA census rounds)."""
+
+from repro.measurement.campaign import Campaign, CampaignConfig
+from repro.measurement.destinations import select_pingable_destinations
+from repro.probing import MdaStrategy
+from repro.topology.internet import InternetConfig, generate_internet
+
+
+def deterministic_internet(seed=11):
+    return generate_internet(InternetConfig(
+        seed=seed, n_tier1=3, n_transit=4, n_stub=6, dests_per_stub=2,
+        response_loss_rate=0.0, p_per_packet=0.0,
+    ))
+
+
+def census_campaign(engine, seed=11, rounds=2):
+    topology = deterministic_internet(seed)
+    destinations = select_pingable_destinations(
+        topology.network, topology.source,
+        topology.destination_addresses, seed=seed)[:6]
+    campaign = Campaign(
+        topology.network, topology.source, destinations,
+        CampaignConfig(rounds=rounds, workers=3, seed=seed, engine=engine))
+    campaign.strategy_factory = campaign.mda_strategy_factory(
+        max_flows_per_hop=32)
+    return campaign, destinations
+
+
+def census_signature(result):
+    return sorted(
+        (outcome.round_index, str(outcome.destination),
+         tuple((hop.ttl, tuple(sorted(str(a) for a in hop.interfaces)))
+               for hop in outcome.result.hops))
+        for outcome in result.strategy_results
+    )
+
+
+class TestCampaignStrategies:
+    def test_factory_runs_once_per_round_and_destination(self):
+        campaign, destinations = census_campaign("sequential")
+        result = campaign.run()
+        assert len(result.strategy_results) == 2 * len(destinations)
+        for outcome in result.strategy_results:
+            assert outcome.result.hops
+            assert outcome.destination in destinations
+
+    def test_both_engines_enumerate_identical_interfaces(self):
+        sequential = census_campaign("sequential")[0].run()
+        pipelined = census_campaign("pipelined")[0].run()
+        assert census_signature(sequential) == census_signature(pipelined)
+        # The paired traces are untouched by the extra strategy lanes.
+        assert len(sequential.routes) == len(pipelined.routes)
+        assert ([r.traces for r in sequential.rounds]
+                == [r.traces for r in pipelined.rounds])
+
+    def test_factory_receives_campaign_coordinates(self):
+        campaign, destinations = census_campaign("sequential", rounds=1)
+        seen = []
+
+        def factory(round_index, worker, position, destination, started_at):
+            seen.append((round_index, worker, position, str(destination)))
+            return MdaStrategy(
+                make_builder=lambda i: campaign._paris.make_builder(
+                    destination, flow_index=i),
+                destination=destination, max_flows_per_hop=8, max_ttl=4,
+                started_at=started_at)
+
+        campaign.strategy_factory = factory
+        campaign.run()
+        assert len(seen) == len(destinations)
+        assert all(r == 0 for r, *_ in seen)
+
+    def test_pipelined_round_covers_untimestamped_strategy_results(self):
+        # A strategy product without finished_at (HopDiscovery) must not
+        # let the round clock seek back over the probes it cost.
+        from repro.probing import MdaHopStrategy
+
+        campaign, destinations = census_campaign("pipelined", rounds=2)
+
+        def factory(round_index, worker, position, destination, started_at):
+            return MdaHopStrategy(
+                make_builder=lambda i: campaign._paris.make_builder(
+                    destination, flow_index=i),
+                ttl=2, max_flows_per_hop=8, window=4)
+
+        campaign.strategy_factory = factory
+        result = campaign.run()
+        assert len(result.strategy_results) == 2 * len(destinations)
+        for first, second in zip(result.rounds, result.rounds[1:]):
+            assert second.started_at >= first.finished_at
+        assert all(r.duration > 0 for r in result.rounds)
+
+    def test_no_factory_means_no_strategy_results(self):
+        topology = deterministic_internet()
+        destinations = select_pingable_destinations(
+            topology.network, topology.source,
+            topology.destination_addresses, seed=11)[:3]
+        campaign = Campaign(topology.network, topology.source, destinations,
+                            CampaignConfig(rounds=1, workers=2, seed=11))
+        result = campaign.run()
+        assert result.strategy_results == []

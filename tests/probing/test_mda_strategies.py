@@ -1,0 +1,358 @@
+"""MDA strategies: sequential/pipelined equivalence and reply robustness.
+
+The ISSUE-2 acceptance bar: ``MultipathDetector(engine="pipelined")``
+must discover interface sets identical to the sequential detector on
+every figure topology (including width-16 balancers), and the stopping
+counter must survive out-of-order, duplicate, and unmatched replies.
+"""
+
+import pytest
+
+from repro.probing import MdaHopStrategy, MdaStrategy, probes_needed
+from repro.sim import PerFlowPolicy, ProbeSocket
+from repro.topology import figures
+from repro.tracer.multipath import MultipathDetector
+from repro.tracer.paris import ParisTraceroute
+
+from tests.tracer.test_multipath import wide_diamond
+
+#: Topologies whose balancing (if any) is per-flow, hence deterministic
+#: regardless of probe interleaving — the precondition for byte-equal
+#: discovery across probing schedules.
+PER_FLOW_FIGURES = [
+    ("figure3", lambda: figures.figure3()),
+    ("figure5", lambda: figures.figure5()),
+    ("figure6-perflow",
+     lambda: figures.figure6(policy=PerFlowPolicy(salt=b"test"))),
+]
+
+
+def discovery_signature(result):
+    return [
+        (hop.ttl, tuple(sorted(str(a) for a in hop.interfaces)),
+         hop.probes_sent, hop.stop_reason)
+        for hop in result.hops
+    ]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("figname,make_fig", PER_FLOW_FIGURES,
+                             ids=[f[0] for f in PER_FLOW_FIGURES])
+    def test_trace_discovers_identical_sets(self, figname, make_fig):
+        fig_seq = make_fig()
+        sequential = MultipathDetector(
+            ProbeSocket(fig_seq.network, fig_seq.source), seed=3)
+        expected = sequential.trace(fig_seq.destination_address)
+
+        fig_pipe = make_fig()
+        pipelined = MultipathDetector(
+            ProbeSocket(fig_pipe.network, fig_pipe.source), seed=3,
+            engine="pipelined")
+        got = pipelined.trace(fig_pipe.destination_address)
+
+        assert discovery_signature(got) == discovery_signature(expected)
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_wide_balancers_up_to_juniper_sixteen(self, width):
+        net_seq, src_seq, dst_seq = wide_diamond(width)
+        sequential = MultipathDetector(ProbeSocket(net_seq, src_seq),
+                                       seed=3, max_flows_per_hop=600)
+        expected = sequential.probe_hop(dst_seq.address, ttl=2)
+
+        net_pipe, src_pipe, dst_pipe = wide_diamond(width)
+        pipelined = MultipathDetector(ProbeSocket(net_pipe, src_pipe),
+                                      seed=3, max_flows_per_hop=600,
+                                      engine="pipelined")
+        got = pipelined.probe_hop(dst_pipe.address, ttl=2)
+
+        assert got.interfaces == expected.interfaces
+        assert got.width == width
+        assert got.probes_sent == expected.probes_sent
+        assert got.stop_reason == expected.stop_reason == "confident"
+
+    def test_pipelined_engine_accounts_probes_on_the_callers_socket(self):
+        fig = figures.figure3()
+        socket = ProbeSocket(fig.network, fig.source)
+        detector = MultipathDetector(socket, seed=3, engine="pipelined")
+        detector.trace(fig.destination_address)
+        assert socket.probes_sent > 0
+        assert 0 < socket.responses_received <= socket.probes_sent
+
+    def test_pipelined_trace_is_faster_in_simulated_time(self):
+        fig_seq = figures.figure6(policy=PerFlowPolicy(salt=b"test"))
+        seq_socket = ProbeSocket(fig_seq.network, fig_seq.source)
+        t0 = fig_seq.network.clock.now
+        MultipathDetector(seq_socket, seed=3).trace(
+            fig_seq.destination_address)
+        sequential_time = fig_seq.network.clock.now - t0
+
+        fig_pipe = figures.figure6(policy=PerFlowPolicy(salt=b"test"))
+        pipe_socket = ProbeSocket(fig_pipe.network, fig_pipe.source)
+        t0 = fig_pipe.network.clock.now
+        MultipathDetector(pipe_socket, seed=3, engine="pipelined").trace(
+            fig_pipe.destination_address)
+        pipelined_time = fig_pipe.network.clock.now - t0
+
+        assert pipelined_time * 3 <= sequential_time
+
+
+def hop_strategy(net, source, destination, ttl, window=8, **kwargs):
+    """A hand-drivable MdaHopStrategy plus the socket to feed it."""
+    socket = ProbeSocket(net, source)
+    paris = ParisTraceroute(socket, seed=3)
+    strategy = MdaHopStrategy(
+        make_builder=lambda i: paris.make_builder(destination.address,
+                                                  flow_index=i),
+        ttl=ttl, window=window, **kwargs)
+    return socket, strategy
+
+
+class TestReplyRobustness:
+    def test_out_of_order_replies_do_not_corrupt_the_counter(self):
+        net, source, destination = wide_diamond(4)
+        socket, strategy = hop_strategy(net, source, destination, ttl=2)
+        while not strategy.finished:
+            requests = strategy.next_probes()
+            # Collect the whole window's answers, then deliver them in
+            # reverse send order — the adjudication replay must not care.
+            answered = [(r, socket.send_probe(r.probe.build()))
+                        for r in requests]
+            for request, response in reversed(answered):
+                if strategy.finished:
+                    break
+                if response is None:
+                    strategy.on_timeout(request.token, net.clock.now)
+                else:
+                    strategy.on_reply(request.token, response,
+                                      net.clock.now)
+        discovery = strategy.result()
+
+        net2, source2, destination2 = wide_diamond(4)
+        expected = MultipathDetector(
+            ProbeSocket(net2, source2), seed=3).probe_hop(
+                destination2.address, ttl=2)
+        assert discovery.interfaces == expected.interfaces
+        assert discovery.probes_sent == expected.probes_sent
+        assert discovery.stop_reason == "confident"
+
+    def test_unmatched_reply_counts_as_non_discovery(self):
+        net, source, destination = wide_diamond(2)
+        socket, strategy = hop_strategy(net, source, destination, ttl=2,
+                                        window=2)
+        first, second = strategy.next_probes()
+        response = socket.send_probe(first.probe.build())
+        assert response is not None
+        # Deliver flow 0's answer against flow 1's token: the builders
+        # disagree, so the slot resolves as a non-discovering star
+        # instead of recording a foreign interface.  Flow 0 itself then
+        # times out, as the sequential tool would report it.
+        strategy.on_reply(second.token, response, net.clock.now)
+        strategy.on_timeout(first.token, net.clock.now)
+        while not strategy.finished:
+            for request in strategy.next_probes():
+                answer = socket.send_probe(request.probe.build())
+                if answer is None:
+                    strategy.on_timeout(request.token, net.clock.now)
+                else:
+                    strategy.on_reply(request.token, answer, net.clock.now)
+        discovery = strategy.result()
+        assert discovery.stop_reason == "confident"
+
+        net2, source2, destination2 = wide_diamond(2)
+        expected = MultipathDetector(
+            ProbeSocket(net2, source2), seed=3).probe_hop(
+                destination2.address, ttl=2)
+        assert discovery.interfaces == expected.interfaces
+
+    def test_duplicate_and_unknown_tokens_are_ignored(self):
+        net, source, destination = wide_diamond(2)
+        socket, strategy = hop_strategy(net, source, destination, ttl=2,
+                                        window=2)
+        first, __ = strategy.next_probes()
+        response = socket.send_probe(first.probe.build())
+        strategy.on_reply(first.token, response, net.clock.now)
+        sent_once = strategy.result().probes_sent
+        strategy.on_reply(first.token, response, net.clock.now)
+        strategy.on_timeout(first.token, net.clock.now)
+        strategy.on_timeout(424242, net.clock.now)
+        assert strategy.result().probes_sent == sent_once
+
+
+def slow_branch_diamond():
+    """S — L =( A | B )= M — D, where only A's *own* replies are slow.
+
+    A's ICMP errors detour over a 0.6 s link (slower than the 0.5 s
+    probe timeout used below), while probes *through* A, B's replies,
+    and M/D replies (0.3 s detour via R) are fast.  Under a pipelined
+    window this creates the stale-reply hazard: a hop-2 probe on an
+    A-bound flow expires, the flow index is released to a deeper hop,
+    and A's late Time Exceeded arrives while the deeper hop's
+    byte-identical probe is still outstanding.
+    """
+    from repro.sim import Host, MeasurementHost, Network, Router
+
+    net = Network()
+    s = MeasurementHost("S")
+    s.add_interface("10.0.0.1")
+    l = Router("L")
+    l_up = l.add_interface("10.0.0.2")
+    l_a = l.add_interface("10.0.1.1")
+    l_b = l.add_interface("10.0.2.1")
+    l_h = l.add_interface("10.0.6.2")
+    l_r = l.add_interface("10.0.8.2")
+    a = Router("A")
+    a_up = a.add_interface("10.0.1.2")
+    a_down = a.add_interface("10.0.3.1")
+    a_h = a.add_interface("10.0.5.1")
+    h = Router("H")
+    h_a = h.add_interface("10.0.5.2")
+    h_l = h.add_interface("10.0.6.1")
+    b = Router("B")
+    b_up = b.add_interface("10.0.2.2")
+    b_down = b.add_interface("10.0.4.1")
+    m = Router("M")
+    m_a = m.add_interface("10.0.3.2")
+    m_b = m.add_interface("10.0.4.2")
+    m_down = m.add_interface("10.0.9.1")
+    m_r = m.add_interface("10.0.7.1")
+    r = Router("R")
+    r_m = r.add_interface("10.0.7.2")
+    r_l = r.add_interface("10.0.8.1")
+    d = Host("D")
+    d_if = d.add_interface("10.9.0.1")
+    for node in (s, l, a, h, b, m, r, d):
+        net.add_node(node)
+    net.link(s.interfaces[0], l_up)
+    net.link(l_a, a_up)
+    net.link(l_b, b_up)
+    net.link(a_down, m_a)
+    net.link(b_down, m_b)
+    net.link(m_down, d_if)
+    net.link(a_h, h_a, delay=0.6)   # A's replies crawl...
+    net.link(h_l, l_h)
+    net.link(m_r, r_m, delay=0.3)   # ...M/D replies just dawdle
+    net.link(r_l, l_r)
+    from repro.sim import PerFlowPolicy
+
+    l.add_route("10.9.0.0/16", [l_a, l_b], PerFlowPolicy(salt=b"L"))
+    l.add_default_route(l_up)
+    a.add_route("10.9.0.0/16", a_down)
+    a.add_default_route(a_h)
+    h.add_default_route(h_l)
+    b.add_route("10.9.0.0/16", b_down)
+    b.add_default_route(b_up)
+    m.add_route("10.9.0.0/16", m_down)
+    m.add_default_route(m_r)
+    r.add_default_route(r_l)
+    return net, s
+
+
+class TestStaleReplies:
+    def test_expired_probes_reply_never_claims_a_reused_flow(self):
+        # Replies slower than the timeout star their hop in both
+        # engines; the pipelined engine must not let the late reply be
+        # claimed by a deeper hop re-using the same flow index.
+        net_seq, s_seq = slow_branch_diamond()
+        sequential = MultipathDetector(
+            ProbeSocket(net_seq, s_seq, timeout=0.5), seed=3)
+        expected = sequential.trace("10.9.0.1", max_ttl=6)
+
+        net_pipe, s_pipe = slow_branch_diamond()
+        pipelined = MultipathDetector(
+            ProbeSocket(net_pipe, s_pipe, timeout=0.5), seed=3,
+            engine="pipelined")
+        got = pipelined.trace("10.9.0.1", max_ttl=6)
+
+        assert discovery_signature(got) == discovery_signature(expected)
+        # The slow branch really did star out: hop 2 shows only B.
+        assert expected.hops[1].width == 1
+
+
+class TestStopReason:
+    def test_flow_budget_recorded_on_discovery(self):
+        net, source, destination = wide_diamond(8)
+        detector = MultipathDetector(ProbeSocket(net, source), seed=3,
+                                     max_flows_per_hop=4)
+        discovery = detector.probe_hop(destination.address, ttl=2)
+        assert discovery.probes_sent == 4
+        assert not discovery.stopped_confident
+        assert discovery.stop_reason == "flow-budget"
+
+    def test_confident_stop_recorded(self):
+        net, source, destination = wide_diamond(2)
+        detector = MultipathDetector(ProbeSocket(net, source), seed=3)
+        discovery = detector.probe_hop(destination.address, ttl=2)
+        assert discovery.stopped_confident
+        assert discovery.stop_reason == "confident"
+
+    def test_report_surfaces_the_stop_reason(self):
+        net, source, destination = wide_diamond(8)
+        detector = MultipathDetector(ProbeSocket(net, source), seed=3,
+                                     max_flows_per_hop=4)
+        result = detector.trace(destination.address, max_ttl=2)
+        report = result.format_report()
+        assert "flow-budget" in report  # n(1)=5 > the 4-flow budget
+
+
+class TestMdaStrategyComposite:
+    def test_hop_concurrency_one_matches_hop_by_hop(self):
+        fig = figures.figure3()
+        socket = ProbeSocket(fig.network, fig.source)
+        paris = ParisTraceroute(socket, seed=3)
+        strategy = MdaStrategy(
+            make_builder=lambda i: paris.make_builder(
+                fig.destination_address, flow_index=i),
+            destination=fig.destination_address, max_ttl=30)
+        from repro.probing import run_strategy
+        result = run_strategy(socket, strategy)
+
+        fig2 = figures.figure3()
+        expected = MultipathDetector(
+            ProbeSocket(fig2.network, fig2.source), seed=3).trace(
+                fig2.destination_address)
+        assert discovery_signature(result) == discovery_signature(expected)
+
+    def test_concurrent_hops_never_share_a_flow(self):
+        fig = figures.figure3()
+        socket = ProbeSocket(fig.network, fig.source)
+        paris = ParisTraceroute(socket, seed=3)
+        strategy = MdaStrategy(
+            make_builder=lambda i: paris.make_builder(
+                fig.destination_address, flow_index=i),
+            destination=fig.destination_address, max_ttl=30,
+            window=8, hop_concurrency=8)
+        outstanding = {}  # token -> (ttl, flow builder identity probe)
+        while not strategy.finished:
+            for request in strategy.next_probes():
+                outstanding[request.token] = request
+            # Identical transport bytes at two TTLs would be ambiguous.
+            seen = set()
+            for request in outstanding.values():
+                key = request.probe.first_eight_transport_octets()
+                assert key not in seen
+                seen.add(key)
+            token, request = next(iter(outstanding.items()))
+            del outstanding[token]
+            response = socket.send_probe(request.probe.build())
+            if response is None:
+                strategy.on_timeout(token, fig.network.clock.now)
+            else:
+                strategy.on_reply(token, response, fig.network.clock.now)
+        assert strategy.result().hops
+
+    def test_validation(self):
+        from repro.errors import TracerError
+        fig = figures.figure3()
+        socket = ProbeSocket(fig.network, fig.source)
+        paris = ParisTraceroute(socket, seed=3)
+        make = lambda i: paris.make_builder(fig.destination_address,
+                                            flow_index=i)
+        with pytest.raises(TracerError):
+            MdaStrategy(make, fig.destination_address, alpha=0.0)
+        with pytest.raises(TracerError):
+            MdaStrategy(make, fig.destination_address, window=0)
+        with pytest.raises(TracerError):
+            MdaStrategy(make, fig.destination_address, hop_concurrency=0)
+        with pytest.raises(TracerError):
+            MdaHopStrategy(make, ttl=1, max_flows_per_hop=0)
+        assert probes_needed(1, 0.05) == 5

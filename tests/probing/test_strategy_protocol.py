@@ -1,0 +1,180 @@
+"""The sans-I/O strategy protocol: hop-loop behaviour and the executor."""
+
+import pytest
+
+from repro.errors import TracerError
+from repro.probing import (
+    HopLoopStrategy,
+    ProbeRequest,
+    ProbeStrategy,
+    run_strategy,
+)
+from repro.sim.socketapi import ProbeSocket
+from repro.tracer.base import TracerouteOptions
+from repro.tracer.paris import ParisTraceroute
+
+from tests.sim.helpers import chain_network
+
+
+def make_strategy(net, source, destination, window=1, **kwargs):
+    socket = ProbeSocket(net, source)
+    tracer = ParisTraceroute(socket, seed=3)
+    builder = tracer.make_builder(destination.address)
+    return socket, HopLoopStrategy(
+        builder=builder,
+        options=kwargs.pop("options", TracerouteOptions()),
+        tool=tracer.tool,
+        source=socket.source_address,
+        destination=destination.address,
+        window=window,
+        **kwargs,
+    )
+
+
+class TestHopLoopStrategy:
+    def test_window_one_reproduces_the_blocking_loop(self):
+        net, s, r1, r2, d = chain_network()
+        socket, strategy = make_strategy(net, s, d)
+        result = run_strategy(socket, strategy)
+
+        net2, s2, __, __, d2 = chain_network()
+        expected = ParisTraceroute(ProbeSocket(net2, s2), seed=3).trace(
+            d2.address)
+        assert [h.first_address for h in result.hops] == \
+            [h.first_address for h in expected.hops]
+        assert result.halt_reason == expected.halt_reason == "destination"
+        assert result.flow_keys == expected.flow_keys
+
+    def test_next_probes_respects_the_window(self):
+        net, s, __, __, d = chain_network()
+        __, strategy = make_strategy(net, s, d, window=4)
+        batch = strategy.next_probes()
+        assert len(batch) == 4
+        assert [r.probe.ttl for r in batch] == [1, 2, 3, 4]
+        # Nothing further until the window half-drains.
+        assert strategy.next_probes() == []
+
+    def test_refill_waits_for_half_drain(self):
+        net, s, __, __, d = chain_network()
+        socket, strategy = make_strategy(net, s, d, window=4)
+        batch = strategy.next_probes()
+        # One resolution leaves 3 in flight: above window/2, no refill.
+        response = socket.send_probe(batch[0].probe.build())
+        strategy.on_reply(batch[0].token, response, net.clock.now)
+        assert strategy.next_probes() == []
+        # A second resolution reaches the refill threshold.
+        response = socket.send_probe(batch[1].probe.build())
+        strategy.on_reply(batch[1].token, response, net.clock.now)
+        assert len(strategy.next_probes()) == 2
+
+    def test_unknown_and_duplicate_tokens_are_ignored(self):
+        net, s, __, __, d = chain_network()
+        socket, strategy = make_strategy(net, s, d, window=2)
+        batch = strategy.next_probes()
+        strategy.on_timeout(999, net.clock.now)  # never emitted
+        response = socket.send_probe(batch[0].probe.build())
+        strategy.on_reply(batch[0].token, response, net.clock.now)
+        before = strategy.in_flight
+        strategy.on_reply(batch[0].token, response, net.clock.now)
+        strategy.on_timeout(batch[0].token, net.clock.now)
+        assert strategy.in_flight == before
+
+    def test_finished_is_sticky_and_callbacks_noop(self):
+        net, s, __, __, d = chain_network()
+        socket, strategy = make_strategy(net, s, d)
+        result = run_strategy(socket, strategy)
+        assert strategy.finished
+        strategy.on_timeout(0, net.clock.now)
+        assert strategy.finished
+        assert strategy.result() is result
+
+    def test_horizon_hint_pauses_sends_at_the_hinted_depth(self):
+        net, s, __, __, d = chain_network()
+        __, strategy = make_strategy(net, s, d, window=8, horizon_hint=2)
+        batch = strategy.next_probes()
+        assert [r.probe.ttl for r in batch] == [1, 2]
+
+    def test_rejects_non_positive_window(self):
+        net, s, __, __, d = chain_network()
+        with pytest.raises(TracerError):
+            make_strategy(net, s, d, window=0)
+
+
+class _StallingStrategy(ProbeStrategy):
+    """Never finished, never sends: the protocol violation drivers catch."""
+
+    def next_probes(self):
+        return []
+
+    def on_reply(self, token, response, now):
+        pass
+
+    def on_timeout(self, token, now):
+        pass
+
+    @property
+    def finished(self):
+        return False
+
+    def result(self):
+        return None
+
+
+class _FinishedStrategy(ProbeStrategy):
+    """Already complete before the first probe."""
+
+    def next_probes(self):
+        return []
+
+    def on_reply(self, token, response, now):
+        pass
+
+    def on_timeout(self, token, now):
+        pass
+
+    @property
+    def finished(self):
+        return True
+
+    def result(self):
+        return "done"
+
+
+class TestExecutor:
+    def test_stalled_strategy_raises(self):
+        net, s, __, __, d = chain_network()
+        with pytest.raises(TracerError, match="stalled"):
+            run_strategy(ProbeSocket(net, s), _StallingStrategy())
+
+    def test_finished_strategy_returns_immediately(self):
+        net, s, __, __, d = chain_network()
+        assert run_strategy(ProbeSocket(net, s), _FinishedStrategy()) \
+            == "done"
+
+    def test_scheduler_retires_finished_strategy_at_start(self):
+        from repro.engine.scheduler import ProbeScheduler, StrategySpec
+
+        net, s, __, __, d = chain_network()
+        scheduler = ProbeScheduler(net, s)
+        scheduler.add_lane([StrategySpec(lambda __: _FinishedStrategy())])
+        outcomes = scheduler.run()
+        assert len(outcomes) == 1
+        assert outcomes[0].result == "done"
+
+    def test_scheduler_raises_on_stalled_strategy(self):
+        from repro.engine.scheduler import ProbeScheduler, StrategySpec
+
+        net, s, __, __, d = chain_network()
+        scheduler = ProbeScheduler(net, s)
+        scheduler.add_lane([StrategySpec(lambda __: _StallingStrategy())])
+        with pytest.raises(TracerError, match="stalled"):
+            scheduler.run()
+
+    def test_probe_request_timeout_defaults_to_none(self):
+        # The blocking socket applies its own timeout; the field is an
+        # override channel for scheduler drivers.
+        net, s, __, __, d = chain_network()
+        __, strategy = make_strategy(net, s, d)
+        (request,) = strategy.next_probes()
+        assert isinstance(request, ProbeRequest)
+        assert request.timeout is None

@@ -102,6 +102,42 @@ class TestMdaCommand:
         assert "MDA toward" in out
         assert "interface(s)" in out
 
+    def test_mda_pipelined_engine(self, capsys):
+        assert main(["mda", "--figure", "3", "--engine", "pipelined",
+                     "--window", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "MDA toward" in out
+        assert "confident" in out
+
+    def test_mda_method_flag(self, capsys):
+        assert main(["mda", "--figure", "3", "--method", "icmp"]) == 0
+        assert "interface(s)" in capsys.readouterr().out
+
+    def test_mda_max_ttl_caps_enumeration(self, capsys):
+        assert main(["mda", "--figure", "3", "--max-ttl", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hop  2" in out
+        assert "hop  3" not in out
+
+    def test_mda_pipelined_matches_sequential_report(self, capsys):
+        args = ["mda", "--figure", "3", "--seed", "4"]
+        assert main(args) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--engine", "pipelined"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_mda_bad_window_rejected(self, capsys):
+        assert main(["mda", "--window", "0"]) == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_mda_bad_max_ttl_rejected(self, capsys):
+        assert main(["mda", "--max-ttl", "0"]) == 2
+        assert "--max-ttl" in capsys.readouterr().err
+
+    def test_mda_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["mda", "--engine", "warp"])
+
 
 class TestExperimentCommands:
     def test_fig1(self, capsys):

@@ -65,6 +65,7 @@ class TestHopDiscovery:
         discovery = detector.probe_hop(d.address, ttl=2)
         assert discovery.width == 2
         assert discovery.stopped_confident
+        assert discovery.stop_reason == "confident"
         assert discovery.interfaces == {a.interface(0).address,
                                         b.interface(0).address}
 
@@ -102,6 +103,7 @@ class TestHopDiscovery:
         discovery = detector.probe_hop(destination.address, ttl=2)
         assert discovery.probes_sent == 4
         assert not discovery.stopped_confident
+        assert discovery.stop_reason == "flow-budget"
 
 
 class TestFullTrace:
