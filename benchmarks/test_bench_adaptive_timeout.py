@@ -1,0 +1,105 @@
+"""E14 — adaptive-timeout study under a fleet campaign (ROADMAP item).
+
+``AdaptiveTimeout`` (RFC 6298-style: SRTT + 4·RTTVAR clamped to
+[floor, ceiling]) was wired in PR 1 but unstudied.  This bench runs the
+same two-vantage fleet campaign three ways on one seeded topology —
+the paper's flat 2-second wait, a *safe* adaptive policy (floor well
+above every RTT in the simulated internet), and an *aggressive* one
+(floor below the deeper hops' RTTs) — and measures the trade the
+estimator buys:
+
+- **star inflation** — hops starred because an under-estimated timeout
+  expired before a legitimate answer arrived;
+- **elapsed simulated time** — what shrinking the waits on genuinely
+  silent hops (firewalled destinations, silent routers) saves.
+
+The safe floor gets the paper-identical star set an order of magnitude
+faster in simulated time; the aggressive floor shows the failure mode
+the scheduler docstring warns about — stars the sequential tool would
+have caught.  Each vantage owns its estimator, so one vantage's RTT
+samples never tighten another's timeouts.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.measurement.destinations import select_pingable_destinations
+from repro.topology.internet import InternetConfig, generate_internet
+from repro.vantage import FleetCampaign, FleetConfig
+
+ROUNDS = 2
+WORKERS = 4
+VANTAGES = 2
+SAFE_FLOOR = 0.1
+AGGRESSIVE_FLOOR = 0.002
+
+
+def study_internet(seed):
+    return InternetConfig(
+        seed=seed, n_tier1=4, n_transit=6, n_stub=12, dests_per_stub=2,
+        n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1,
+        n_nat_dests=1, n_zero_ttl_dests=1,
+        response_loss_rate=0.0, p_per_packet=0.0, n_vantages=VANTAGES)
+
+
+def run_policy(policy, floor):
+    topology = generate_internet(study_internet(BENCH_SEED))
+    destinations = select_pingable_destinations(
+        topology.network, topology.source,
+        topology.destination_addresses, seed=BENCH_SEED)
+    config = FleetConfig(rounds=ROUNDS, workers=WORKERS, seed=BENCH_SEED,
+                         timeout_policy=policy, adaptive_floor=floor)
+    started = time.perf_counter()
+    result = FleetCampaign(topology.network, topology.sources,
+                           destinations, config).run()
+    wall = time.perf_counter() - started
+    routes = [r for v in result.vantages for r in v.result.routes]
+    stars = sum(1 for route in routes
+                for hop in route.hops if hop.address is None)
+    sim = max(record.finished_at
+              for v in result.vantages for record in v.result.rounds)
+    return {"stars": stars, "sim_s": sim, "wall_s": wall,
+            "routes": len(routes)}
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_bench_adaptive_timeout(benchmark):
+    fixed = run_policy("fixed", SAFE_FLOOR)
+    aggressive = run_policy("adaptive", AGGRESSIVE_FLOOR)
+
+    safe = benchmark.pedantic(
+        lambda: run_policy("adaptive", SAFE_FLOOR),
+        iterations=1, rounds=1)
+
+    benchmark.extra_info.update({
+        "fixed_stars": fixed["stars"],
+        "safe_stars": safe["stars"],
+        "aggressive_stars": aggressive["stars"],
+        "fixed_sim_s": round(fixed["sim_s"], 1),
+        "safe_sim_s": round(safe["sim_s"], 1),
+        "aggressive_sim_s": round(aggressive["sim_s"], 1),
+    })
+    print()
+    print(f"  {'policy':>22s} {'stars':>6s} {'sim s':>8s} {'wall s':>7s}")
+    for label, row in (("fixed 2s", fixed),
+                       (f"adaptive floor={SAFE_FLOOR}", safe),
+                       (f"adaptive floor={AGGRESSIVE_FLOOR}", aggressive)):
+        print(f"  {label:>22s} {row['stars']:6d} {row['sim_s']:8.1f} "
+              f"{row['wall_s']:7.2f}")
+    inflation = aggressive["stars"] - fixed["stars"]
+    print(f"  safe adaptive: identical stars, "
+          f"{fixed['sim_s'] / safe['sim_s']:.1f}x less simulated time; "
+          f"aggressive floor inflates stars by {inflation} "
+          f"({aggressive['stars'] / fixed['stars']:.2f}x)")
+
+    assert safe["routes"] == fixed["routes"] == aggressive["routes"]
+    # A floor above every RTT stars exactly what the flat wait stars —
+    # and collapses the simulated time spent waiting on silence.
+    assert safe["stars"] == fixed["stars"]
+    assert safe["sim_s"] * 3 < fixed["sim_s"]
+    # A floor below the deep hops' RTTs is the cautionary tale: faster
+    # still, but it stars hops the sequential tool would have caught.
+    assert aggressive["stars"] > fixed["stars"]
+    assert aggressive["sim_s"] < fixed["sim_s"]

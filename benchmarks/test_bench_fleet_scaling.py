@@ -1,0 +1,102 @@
+"""E13 — fleet scaling: coverage and cost vs vantage count.
+
+Runs the Sec. 3 paired-trace campaign from 1, 2, 4, and 8 vantage
+points over one internet-scale topology (all fleets share the same
+8-vantage world, so every k probes identical ground truth).  Because
+the fleet multiplexes every vantage's lanes onto one event scheduler
+over one simulated clock, the *simulated* campaign duration stays
+essentially flat as vantages are added — concurrency is free in
+simulated time — while link coverage (distinct union edges) grows
+strictly with every doubling: each added vantage contributes access
+links and balancer branches no other source can see.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.core import coverage_report
+from repro.measurement.destinations import select_pingable_destinations
+from repro.topology.internet import InternetConfig, generate_internet
+from repro.vantage import FleetCampaign, FleetConfig
+
+ROUNDS = 2
+WORKERS = 8
+VANTAGE_COUNTS = (1, 2, 4, 8)
+
+
+def fleet_internet(seed):
+    """The engine-bench internet, deterministic, with 8 vantages."""
+    return InternetConfig(
+        seed=seed,
+        n_tier1=6, n_transit=10, n_stub=22, dests_per_stub=2,
+        n_loop_stub_diamonds=4, n_cycle_stub_diamonds=1,
+        n_nat_dests=2, n_zero_ttl_dests=2,
+        response_loss_rate=0.0, p_per_packet=0.0,
+        n_vantages=max(VANTAGE_COUNTS),
+    )
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_bench_fleet_scaling(benchmark):
+    topology = generate_internet(fleet_internet(BENCH_SEED))
+    destinations = select_pingable_destinations(
+        topology.network, topology.source,
+        topology.destination_addresses, seed=BENCH_SEED)
+    config = FleetConfig(rounds=ROUNDS, workers=WORKERS, seed=BENCH_SEED)
+
+    rows = []
+    for k in VANTAGE_COUNTS:
+        campaign = FleetCampaign(
+            topology.network, topology.sources, destinations,
+            config, vantage_ids=list(range(k)))
+        started = time.perf_counter()
+        if k == max(VANTAGE_COUNTS):
+            result = benchmark.pedantic(campaign.run, iterations=1,
+                                        rounds=1)
+        else:
+            result = campaign.run()
+        wall = time.perf_counter() - started
+        coverage = coverage_report(result.routes_by_vantage())
+        sim = max(r.finished_at
+                  for v in result.vantages for r in v.result.rounds)
+        sim -= min(r.started_at
+                   for v in result.vantages for r in v.result.rounds)
+        rows.append({
+            "vantages": k,
+            "routes": sum(len(v.result.routes) for v in result.vantages),
+            "sim_s": sim,
+            "wall_s": wall,
+            "union_links": coverage.union_links,
+            "union_diamonds": coverage.union_diamonds,
+            "best_single_links": coverage.best_single_links,
+        })
+
+    benchmark.extra_info.update({
+        f"v{row['vantages']}_{key}": (round(value, 2)
+                                      if isinstance(value, float) else value)
+        for row in rows
+        for key, value in row.items() if key != "vantages"
+    })
+    print()
+    print(f"  {'vantages':>8s} {'routes':>7s} {'sim s':>8s} "
+          f"{'wall s':>7s} {'links':>6s} {'diamonds':>9s}")
+    for row in rows:
+        print(f"  {row['vantages']:8d} {row['routes']:7d} "
+              f"{row['sim_s']:8.1f} {row['wall_s']:7.2f} "
+              f"{row['union_links']:6d} {row['union_diamonds']:9d}")
+    first, last = rows[0], rows[-1]
+    print(f"  8 vantages: {last['union_links'] / first['union_links']:.2f}x "
+          f"the links of one, at {last['sim_s'] / first['sim_s']:.2f}x "
+          f"the simulated time")
+
+    # Coverage grows strictly with every doubling of the fleet.
+    for before, after in zip(rows, rows[1:]):
+        assert after["union_links"] > before["union_links"]
+    # The union beats the best single vantage once k > 1.
+    assert last["union_links"] > last["best_single_links"]
+    # Concurrency on one clock: 8 vantages cost well under 8x the
+    # simulated time of one (lanes overlap; the bound leaves margin
+    # for horizon-hint warmup differences).
+    assert last["sim_s"] < 2.0 * first["sim_s"]

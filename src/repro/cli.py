@@ -8,7 +8,11 @@ Subcommands:
   TTL / response TTL / IP ID columns);
 - ``mda`` — multipath detection against a figure topology;
 - ``fig1`` / ``fig2`` — the analytic experiments;
-- ``census`` — the miniature Sec. 4 campaign with all three tables.
+- ``census`` — the miniature Sec. 4 campaign with all three tables;
+- ``campaign`` — a multi-vantage fleet campaign on a small generated
+  internet, with the cross-vantage coverage report, side-by-side
+  anomaly tables, and the determinism signature (run again with a
+  different ``--shards`` — the signature must not change).
 
 Examples::
 
@@ -16,6 +20,7 @@ Examples::
     repro-trace trace --figure 5 --tool paris --verbose
     repro-trace mda --figure 6
     repro-trace census --seed 7 --rounds 8
+    repro-trace campaign --vantages 4 --shards 2
 """
 
 from __future__ import annotations
@@ -97,6 +102,38 @@ def build_parser() -> argparse.ArgumentParser:
     census.add_argument("--engine", choices=("sequential", "pipelined"),
                         default="sequential",
                         help="probe engine driving the campaign")
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="multi-vantage fleet campaign on a small internet")
+    campaign.add_argument("--vantages", type=int, default=2,
+                          help="number of concurrent vantage points")
+    campaign.add_argument("--shards", type=int, default=1,
+                          help="partition vantages over this many "
+                               "topology-replica shards (1 = one "
+                               "scheduler drives the whole fleet)")
+    campaign.add_argument("--processes", action="store_true",
+                          help="run shards in a process pool instead "
+                               "of inline")
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--rounds", type=int, default=2)
+    campaign.add_argument("--workers", type=int, default=4,
+                          help="worker lanes per vantage")
+    campaign.add_argument("--dests", type=int, default=None,
+                          help="truncate the destination list")
+    campaign.add_argument("--window", type=int, default=8,
+                          help="in-flight probes per trace")
+    campaign.add_argument("--assignment",
+                          choices=("replicate", "shard"),
+                          default="replicate",
+                          help="every vantage probes every destination, "
+                               "or the list is split across vantages")
+    campaign.add_argument("--timeout-policy",
+                          choices=("fixed", "adaptive"), default="fixed",
+                          help="per-vantage probe timeout policy")
+    campaign.add_argument("--tables", action="store_true",
+                          help="also print the per-vantage Sec. 4 "
+                               "anomaly tables")
     return parser
 
 
@@ -186,6 +223,80 @@ def cmd_census(args: argparse.Namespace) -> int:
     return 0
 
 
+def demo_internet_config(seed: int, vantages: int):
+    """The small deterministic internet the ``campaign`` command runs.
+
+    No per-packet balancers and no response loss: route inference is a
+    pure function of each probe's bytes, so sharded executions are
+    byte-identical to single-process ones (the determinism guarantee
+    the printed signature checks).
+    """
+    from repro.topology.internet import InternetConfig
+
+    return InternetConfig(
+        seed=seed, n_tier1=3, n_transit=4, n_stub=8, dests_per_stub=2,
+        n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1,
+        n_nat_dests=1, n_zero_ttl_dests=1,
+        response_loss_rate=0.0, p_per_packet=0.0,
+        n_vantages=vantages)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core import (
+        coverage_report,
+        format_side_by_side,
+        per_vantage_statistics,
+    )
+    from repro.vantage import FleetConfig, run_fleet, run_fleet_sharded
+
+    for flag, value in (("--vantages", args.vantages),
+                        ("--shards", args.shards),
+                        ("--rounds", args.rounds),
+                        ("--workers", args.workers),
+                        ("--window", args.window),
+                        ("--dests", args.dests)):
+        if value is not None and value < 1:
+            print(f"{flag} must be at least 1, got {value}",
+                  file=sys.stderr)
+            return 2
+    internet = demo_internet_config(args.seed, args.vantages)
+    fleet = FleetConfig(rounds=args.rounds, workers=args.workers,
+                        seed=args.seed, window=args.window,
+                        assignment=args.assignment,
+                        timeout_policy=args.timeout_policy)
+    if args.shards > 1:
+        mode = (f"sharded K={args.shards}"
+                + (" (process pool)" if args.processes else " (inline)"))
+        result = run_fleet_sharded(internet, fleet, shards=args.shards,
+                                   processes=args.processes,
+                                   max_destinations=args.dests)
+    else:
+        mode = "single-process"
+        result = run_fleet(internet, fleet,
+                           max_destinations=args.dests)
+    print(f"# fleet campaign: {args.vantages} vantage(s), "
+          f"{len(result.destinations)} destination(s), "
+          f"{args.rounds} round(s), {mode}")
+    for vantage in result.vantages:
+        rounds = vantage.result.rounds
+        duration = (max(r.finished_at for r in rounds)
+                    - min(r.started_at for r in rounds)) if rounds else 0.0
+        print(f"  {vantage.name} ({vantage.address}): "
+              f"{len(vantage.result.routes)} routes, "
+              f"{vantage.result.probes_sent} probes, "
+              f"{duration:.1f} simulated s")
+    print()
+    print(coverage_report(result.routes_by_vantage()).format())
+    if args.tables:
+        print()
+        print(format_side_by_side(per_vantage_statistics(
+            result.routes_by_vantage(),
+            result.destinations_by_vantage())))
+    print()
+    print(f"# result signature: {result.signature()}")
+    return 0
+
+
 HANDLERS = {
     "figures": cmd_figures,
     "trace": cmd_trace,
@@ -193,6 +304,7 @@ HANDLERS = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
     "census": cmd_census,
+    "campaign": cmd_campaign,
 }
 
 

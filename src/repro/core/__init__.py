@@ -44,6 +44,15 @@ from repro.core.report import (
     compute_diamond_statistics,
     compute_loop_statistics,
 )
+from repro.core.fleetview import (
+    CoverageReport,
+    UnionGraph,
+    VantageAnomalies,
+    coverage_report,
+    format_side_by_side,
+    per_vantage_statistics,
+    union_route_graph,
+)
 
 __all__ = [
     "MeasuredRoute",
@@ -76,4 +85,11 @@ __all__ = [
     "compute_loop_statistics",
     "compute_cycle_statistics",
     "compute_diamond_statistics",
+    "CoverageReport",
+    "UnionGraph",
+    "VantageAnomalies",
+    "coverage_report",
+    "format_side_by_side",
+    "per_vantage_statistics",
+    "union_route_graph",
 ]

@@ -31,6 +31,16 @@ Two spec flavours describe lane entries:
 - :class:`StrategySpec` — any strategy at all (MDA hops, future probing
   policies), built by a factory at lane-start time.
 
+Lanes need not share one vantage point: :meth:`ProbeScheduler.add_lane`
+accepts a per-lane socket (plus a per-lane timeout policy and
+horizon-hint memo), so one scheduler can multiplex traces from many
+measurement hosts over the same clock — the multi-vantage fleet of
+:mod:`repro.vantage`.  Responses are claimed strictly within the socket
+they arrived on: a reply surfacing at one vantage can never be matched
+to another vantage's probe, even when the probes' demux keys collide
+(two vantages probing one destination with identical ICMP Echo
+identifiers, say).
+
 Timeout policies: :class:`FixedTimeout` reproduces the paper's flat
 2-second wait and keeps results byte-comparable to the sequential path;
 :class:`AdaptiveTimeout` is an RFC 6298-style RTT estimator (SRTT +
@@ -147,6 +157,9 @@ class TraceSpec:
     tracer: Traceroute
     destination: IPv4Address
     builder_factory: Optional[Callable[[], ProbeBuilder]] = None
+    #: Opaque caller bookkeeping carried through to the outcome (the
+    #: fleet campaign stores (vantage, round) here).
+    meta: object = None
 
     def make_strategy(self, started_at: float, window: int,
                       hints: dict) -> HopLoopStrategy:
@@ -290,6 +303,15 @@ class _Lane:
     inter_trace_delay: float = 0.0
     position: int = 0
     session: Optional[TraceSession] = None
+    #: The socket this lane probes through (a vantage point); defaults
+    #: to the scheduler's own socket.
+    socket: Optional[AsyncProbeSocket] = None
+    #: Per-lane timeout policy; defaults to the scheduler's.
+    timeout_policy: object = None
+    #: Per-lane horizon-hint memo; defaults to the scheduler's shared
+    #: dict.  Fleet lanes pass a per-vantage dict so one vantage's halt
+    #: depths never pace another vantage's traces.
+    hints: Optional[dict] = None
 
 
 @dataclass
@@ -338,10 +360,20 @@ class ProbeScheduler:
         self.events = EventQueue()
         self.lanes: list[_Lane] = []
         self.outcomes: list[TraceOutcome] = []
+        # Every socket lanes probe through, in registration order (the
+        # default socket first).  The run loop flushes and polls them
+        # all; per-arrival-instant response order follows this order,
+        # which is deterministic because lanes register deterministically.
+        self._sockets: list[AsyncProbeSocket] = [self.socket]
         #: (destination, tool) -> halt TTL of the previous trace; pass a
         #: shared dict to carry pacing knowledge across scheduler runs.
         self.horizon_hints = horizon_hints if horizon_hints is not None else {}
+        # Outstanding probes are keyed by a scheduler-assigned serial,
+        # NOT the socket's own SentProbe token: with per-lane sockets
+        # (the vantage fleet) every socket numbers its probes from
+        # zero, and socket tokens collide across vantages.
         self._outstanding: dict[int, _Outstanding] = {}
+        self._next_probe_id = 0
         # Demux index: match key -> tokens of outstanding probes that
         # answer to it.  A key can be shared (tcptraceroute's probes
         # differ only in IP ID), so each holds a token set and hits are
@@ -354,10 +386,28 @@ class ProbeScheduler:
 
     # -- building the workload ------------------------------------------
     def add_lane(self, specs: Iterable,
-                 inter_trace_delay: float = 0.0) -> int:
-        """Queue a lane of :class:`TraceSpec` / :class:`StrategySpec`."""
+                 inter_trace_delay: float = 0.0,
+                 socket: AsyncProbeSocket | None = None,
+                 timeout_policy=None,
+                 horizon_hints: dict | None = None) -> int:
+        """Queue a lane of :class:`TraceSpec` / :class:`StrategySpec`.
+
+        ``socket`` probes the lane through another vantage point (the
+        scheduler's own socket when None); ``timeout_policy`` and
+        ``horizon_hints`` likewise override the scheduler-wide defaults
+        for this lane only.
+        """
+        if socket is None:
+            socket = self.socket
+        elif socket not in self._sockets:
+            self._sockets.append(socket)
         lane = _Lane(index=len(self.lanes), specs=list(specs),
-                     inter_trace_delay=inter_trace_delay)
+                     inter_trace_delay=inter_trace_delay,
+                     socket=socket,
+                     timeout_policy=(timeout_policy if timeout_policy
+                                     is not None else self.timeout_policy),
+                     hints=(horizon_hints if horizon_hints is not None
+                            else self.horizon_hints))
         self.lanes.append(lane)
         return lane.index
 
@@ -366,7 +416,7 @@ class ProbeScheduler:
         """Run every lane to completion; outcomes in (lane, index) order."""
         for lane in self.lanes:
             self._start_next_trace(lane)
-        self.socket.flush()
+        self._flush_sockets()
         while any(lane.session is not None
                   or lane.position < len(lane.specs)
                   for lane in self.lanes):
@@ -378,8 +428,9 @@ class ProbeScheduler:
             if arrival is not None and (event_time is None
                                         or arrival <= event_time):
                 self._advance_clock(arrival)
-                for response in self.socket.poll(until=arrival):
-                    self._on_response(response)
+                for sock in self._sockets:
+                    for response in sock.poll(until=arrival):
+                        self._on_response(response, sock)
             else:
                 event = self.events.pop()
                 self._advance_clock(event.time)
@@ -389,14 +440,25 @@ class ProbeScheduler:
                     self._start_next_trace(event.payload)
             # One cohort per iteration: everything staged while handling
             # this instant's events walks the network together.
-            self.socket.flush()
+            self._flush_sockets()
         # Drain responses still in flight for cancelled speculative
         # probes: left buffered, a later scheduler on this network
         # could claim them against byte-identical re-probes (the
         # campaign reuses per-trace flows across runs by design).
+        # Draining *through the sockets* keeps their received counters
+        # execution-mode independent: a straggler addressed to a
+        # vantage is counted whether or not some other lane's activity
+        # would have polled it in before the run ended.
+        for sock in self._sockets:
+            sock.poll(until=float("inf"))
         self.network.deliveries(until=float("inf"))
         self.outcomes.sort(key=lambda o: (o.lane, o.index))
         return self.outcomes
+
+    def _flush_sockets(self) -> None:
+        """Walk every socket's staged probes as this instant's cohort."""
+        for sock in self._sockets:
+            sock.flush()
 
     def _drop_stale_expires(self) -> None:
         """Discard deadlines of probes already answered or cancelled.
@@ -423,7 +485,7 @@ class ProbeScheduler:
             return
         spec = lane.specs[lane.position]
         strategy = spec.make_strategy(self.clock.now, self.window,
-                                      self.horizon_hints)
+                                      lane.hints)
         session = TraceSession(strategy)
         lane.session = session
         if session.done:
@@ -442,18 +504,20 @@ class ProbeScheduler:
             if request.timeout is not None:
                 timeout = request.timeout
             else:
-                timeout = self.timeout_policy.timeout_for()
-            sent = self.socket.send_nowait(request.probe.build(),
+                timeout = lane.timeout_policy.timeout_for()
+            sent = lane.socket.send_nowait(request.probe.build(),
                                            timeout=timeout)
+            probe_id = self._next_probe_id
+            self._next_probe_id += 1
             keys = probe_match_keys(request.probe)
             record = _Outstanding(session=session, request=request,
                                   lane=lane, keys=keys,
                                   sent_at=sent.sent_at)
-            self._outstanding[sent.token] = record
-            session.tokens.add(sent.token)
+            self._outstanding[probe_id] = record
+            session.tokens.add(probe_id)
             for key in keys:
-                self._index.setdefault(key, set()).add(sent.token)
-            self.events.push(sent.deadline, EventKind.EXPIRE, sent.token)
+                self._index.setdefault(key, set()).add(probe_id)
+            self.events.push(sent.deadline, EventKind.EXPIRE, probe_id)
         if session.done:
             # The strategy finished while emitting (no probe needed).
             self._retire(lane, session)
@@ -482,7 +546,7 @@ class ProbeScheduler:
             lane=lane.index, index=lane.position, spec=spec,
             result=session.strategy.result(),
         ))
-        spec.record_hints(session.strategy, self.horizon_hints)
+        spec.record_hints(session.strategy, lane.hints)
         lane.position += 1
         lane.session = None
         if lane.position < len(lane.specs):
@@ -515,14 +579,17 @@ class ProbeScheduler:
                                            self.clock.now)
         self._after_resolution(record.lane)
 
-    def _on_response(self, response: ProbeResponse) -> None:
-        token, record = self._claim(response)
+    def _on_response(self, response: ProbeResponse,
+                     socket: AsyncProbeSocket | None = None) -> None:
+        token, record = self._claim(response,
+                                    socket if socket is not None
+                                    else self.socket)
         if record is None:
             return
         self._forget(token)
         record.session.strategy.on_reply(record.request.token, response,
                                          self.clock.now)
-        self.timeout_policy.observe(response.rtt)
+        record.lane.timeout_policy.observe(response.rtt)
         self._after_resolution(record.lane)
 
     def _is_fresh(self, response: ProbeResponse,
@@ -541,8 +608,17 @@ class ProbeScheduler:
 
     def _claim(
         self, response: ProbeResponse,
+        socket: AsyncProbeSocket,
     ) -> tuple[Optional[int], Optional[_Outstanding]]:
-        """Find the outstanding probe this response answers, if any."""
+        """Find the outstanding probe this response answers, if any.
+
+        Only probes sent through ``socket`` — the vantage point the
+        response actually arrived at — are candidates.  Two vantages'
+        probes can share a demux key (identical ICMP Echo identifiers
+        toward one destination) and even satisfy each other's builder
+        matching; the socket fence is what keeps a reply, stale or not,
+        from ever being claimed by the wrong vantage's trace.
+        """
         packet = response.packet
         keys = response_match_keys(packet)
         for key in keys:
@@ -554,7 +630,8 @@ class ProbeScheduler:
             # wins, as it would under stop-and-wait.
             for token in sorted(tokens):
                 record = self._outstanding.get(token)
-                if record is None or not self._is_fresh(response, record):
+                if (record is None or record.lane.socket is not socket
+                        or not self._is_fresh(response, record)):
                     continue
                 if record.request.builder.matches(record.request.probe,
                                                   packet):
@@ -567,7 +644,8 @@ class ProbeScheduler:
         # Exotic responses (mangled quotes) miss the index; fall back to
         # the full per-tool matching scan so nothing real is dropped.
         for token, record in self._outstanding.items():
-            if (self._is_fresh(response, record)
+            if (record.lane.socket is socket
+                    and self._is_fresh(response, record)
                     and record.request.builder.matches(record.request.probe,
                                                        packet)):
                 return token, record

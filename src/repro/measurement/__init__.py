@@ -16,8 +16,14 @@ from repro.measurement.campaign import (
     Campaign,
     CampaignConfig,
     CampaignResult,
+    StrategyOutcome,
+    merge_campaign_results,
 )
-from repro.measurement.storage import load_routes, save_routes
+from repro.measurement.storage import (
+    load_routes,
+    save_routes,
+    strategy_result_to_jsonable,
+)
 from repro.measurement.stats import SetupStatistics, compute_setup_statistics
 
 __all__ = [
@@ -25,8 +31,11 @@ __all__ = [
     "Campaign",
     "CampaignConfig",
     "CampaignResult",
+    "StrategyOutcome",
+    "merge_campaign_results",
     "save_routes",
     "load_routes",
+    "strategy_result_to_jsonable",
     "SetupStatistics",
     "compute_setup_statistics",
 ]

@@ -170,6 +170,34 @@ class CampaignResult:
         return [r for r in self.routes if r.tool.startswith("paris")]
 
 
+def merge_campaign_results(
+    parts: Iterable[CampaignResult],
+) -> CampaignResult:
+    """Combine partial campaign results into one.
+
+    The merge path sharded executions rely on: every field is carried —
+    routes, round records, probe/response counters, and crucially the
+    ``strategy_results`` (whose payloads, e.g. MDA's per-hop
+    ``stop_reason``, are kept by reference, not rebuilt).  Parts are
+    concatenated in the order given, so callers sort shards by a
+    canonical key first; destinations are deduplicated preserving first
+    appearance.
+    """
+    merged = CampaignResult()
+    seen: set[IPv4Address] = set()
+    for part in parts:
+        merged.routes.extend(part.routes)
+        merged.rounds.extend(part.rounds)
+        merged.probes_sent += part.probes_sent
+        merged.responses_received += part.responses_received
+        merged.strategy_results.extend(part.strategy_results)
+        for destination in part.destinations:
+            if destination not in seen:
+                seen.add(destination)
+                merged.destinations.append(destination)
+    return merged
+
+
 class Campaign:
     """Drive rounds of paired traces over a simulated internet.
 

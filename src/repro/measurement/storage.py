@@ -4,6 +4,13 @@ A month-long campaign produces millions of routes; the paper's analysis
 runs offline over stored traces.  One JSON object per line keeps files
 streamable and diffable; addresses serialize as dotted quads, stars as
 null.
+
+Beyond routes, :func:`strategy_result_to_jsonable` gives the extra
+per-destination strategy products (MDA's :class:`MultipathResult`
+foremost) a *canonical* JSON form — interface sets sorted, every
+forensic field including the per-hop ``stop_reason`` preserved — which
+is what makes merged multi-vantage results byte-comparable across
+single-process and sharded executions.
 """
 
 from __future__ import annotations
@@ -15,7 +22,8 @@ from typing import Iterable, Iterator, Union
 from repro.core.route import MeasuredRoute, RouteHop
 from repro.errors import StorageError
 from repro.net.inet import IPv4Address
-from repro.tracer.result import ReplyKind
+from repro.probing.mda import MultipathResult
+from repro.tracer.result import ReplyKind, TracerouteResult
 
 
 def route_to_dict(route: MeasuredRoute) -> dict:
@@ -71,6 +79,50 @@ def route_from_dict(data: dict) -> MeasuredRoute:
         )
     except (KeyError, TypeError, ValueError) as error:
         raise StorageError(f"malformed route record: {error}") from error
+
+
+def multipath_result_to_dict(result: MultipathResult) -> dict:
+    """A canonical JSON-ready dict for one MDA product.
+
+    Interfaces are sorted (set iteration order is not part of the
+    result's identity) and the per-hop bookkeeping — ``probes_sent``,
+    ``stopped_confident`` and ``stop_reason`` — is carried verbatim, so
+    nothing the stopping rule decided is lost on a store/merge cycle.
+    """
+    return {
+        "kind": "multipath",
+        "destination": str(result.destination),
+        "alpha": result.alpha,
+        "started_at": result.started_at,
+        "finished_at": result.finished_at,
+        "hops": [
+            {
+                "ttl": hop.ttl,
+                "interfaces": sorted(str(a) for a in hop.interfaces),
+                "probes_sent": hop.probes_sent,
+                "stopped_confident": hop.stopped_confident,
+                "stop_reason": hop.stop_reason,
+            }
+            for hop in result.hops
+        ],
+    }
+
+
+def strategy_result_to_jsonable(result: object) -> dict:
+    """Canonical JSON form of an arbitrary strategy product.
+
+    Known products get a lossless structured encoding; anything else
+    falls back to its ``repr`` (dataclass reprs are deterministic for
+    equal field values, which keeps signatures stable).
+    """
+    if isinstance(result, MultipathResult):
+        return multipath_result_to_dict(result)
+    if isinstance(result, TracerouteResult):
+        return {
+            "kind": "traceroute",
+            "route": route_to_dict(MeasuredRoute.from_result(result)),
+        }
+    return {"kind": "repr", "value": repr(result)}
 
 
 def save_routes(routes: Iterable[MeasuredRoute],

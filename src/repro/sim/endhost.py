@@ -96,7 +96,7 @@ class Host(Node):
         answer = TCPHeader(
             src_port=request.dst_port,
             dst_port=request.src_port,
-            seq=0x1000 + self.peek_ip_id(),
+            seq=0x1000 + self.peek_ip_id(packet.src),
             ack=(request.seq + 1) & 0xFFFFFFFF,
             flags=flags,
         )
@@ -105,7 +105,7 @@ class Host(Node):
             dst=packet.src,
             transport=answer,
             ttl=self.icmp_initial_ttl,
-            identification=self.next_ip_id(),
+            identification=self.next_ip_id(packet.src),
         )
         return self._emit_response(response, packet)
 

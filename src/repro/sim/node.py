@@ -128,7 +128,8 @@ class Node:
         self.faults = faults or FaultProfile()
         self.icmp_initial_ttl = icmp_initial_ttl
         self.respond_from = respond_from
-        self._ip_id = ip_id_start & MAX_U16
+        self._ip_id_start = ip_id_start & MAX_U16
+        self._ip_id_streams: dict = {}
 
     # ------------------------------------------------------------------
     # interfaces
@@ -158,21 +159,33 @@ class Node:
     # ------------------------------------------------------------------
     # IP ID counter
     # ------------------------------------------------------------------
-    def next_ip_id(self) -> int:
+    def next_ip_id(self, recipient: IPv4Address | None = None) -> int:
         """Return and advance the 16-bit Identification counter.
 
         The paper: "This field is set by the router with the value of an
         internal 16-bit counter that is usually incremented for each
         packet sent."  Reading consecutive IP IDs from responses lets
         Paris traceroute tie multiple addresses to one box.
+
+        The counter is kept per ``recipient`` (the prober the response
+        is addressed to).  Any single observer therefore still reads
+        one shared counter advancing across *all* of this node's
+        interfaces — exactly what Rocketfuel's Ally exploits — but one
+        vantage point's probing never perturbs the stream another
+        vantage sees.  That is the simulator's determinism concession
+        to multi-vantage fleets: with a truly global counter,
+        cross-vantage interleaving would make sharded campaign replays
+        diverge from single-process ones in this one forensic field
+        (real-world Ally absorbs such unrelated traffic with its gap
+        tolerance anyway).
         """
-        value = self._ip_id
-        self._ip_id = (self._ip_id + 1) & MAX_U16
+        value = self._ip_id_streams.get(recipient, self._ip_id_start)
+        self._ip_id_streams[recipient] = (value + 1) & MAX_U16
         return value
 
-    def peek_ip_id(self) -> int:
+    def peek_ip_id(self, recipient: IPv4Address | None = None) -> int:
         """The value the next generated packet will carry (for tests)."""
-        return self._ip_id
+        return self._ip_id_streams.get(recipient, self._ip_id_start)
 
     # ------------------------------------------------------------------
     # ICMP generation
@@ -213,7 +226,7 @@ class Node:
             dst=offending.src,
             transport=message,
             ttl=self.icmp_initial_ttl,
-            identification=self.next_ip_id(),
+            identification=self.next_ip_id(offending.src),
         )
 
     def make_unreachable(
@@ -233,7 +246,7 @@ class Node:
             dst=offending.src,
             transport=message,
             ttl=self.icmp_initial_ttl,
-            identification=self.next_ip_id(),
+            identification=self.next_ip_id(offending.src),
         )
 
     def make_echo_reply(
@@ -260,7 +273,7 @@ class Node:
             dst=request.src,
             transport=reply,
             ttl=self.icmp_initial_ttl,
-            identification=self.next_ip_id(),
+            identification=self.next_ip_id(request.src),
         )
 
     # ------------------------------------------------------------------

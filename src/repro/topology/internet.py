@@ -69,6 +69,14 @@ class InternetConfig:
     n_transit: int = 18
     n_stub: int = 40
     dests_per_stub: int = 8
+    #: Number of measurement vantage points.  Each gets its own
+    #: university stub behind its own clean transit, attached to a
+    #: *distinct* tier-1 (round-robin from the first vantage's random
+    #: provider), so different vantages cross different core paths —
+    #: the paper's two-source setup (LIP6 and a second site), scaled.
+    #: With the default of 1 the generated internet is draw-for-draw
+    #: identical to what earlier versions produced.
+    n_vantages: int = 1
     # Load balancing prevalence per tier (paper: 7/9 tier-1s, 17/64 top ASes).
     p_balanced_tier1: float = 7 / 9
     p_balanced_transit: float = 0.27
@@ -124,6 +132,8 @@ class InternetConfig:
             raise TopologyError("need at least two tier-1 ASes")
         if max(self.width_pool) > 16:
             raise TopologyError("Juniper caps equal-cost paths at sixteen")
+        if self.n_vantages < 1:
+            raise TopologyError("need at least one vantage point")
 
 
 @dataclass
@@ -197,6 +207,12 @@ class InternetTopology:
     nats: list[NatBox]
     faulty: dict[str, list[str]]
     dynamics: list
+    #: Every vantage point (``source`` is ``sources[0]``).
+    sources: list[MeasurementHost] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            self.sources = [self.source]
 
     @property
     def destination_addresses(self) -> list[IPv4Address]:
@@ -215,10 +231,13 @@ class InternetTopology:
         kinds = {}
         for info in self.balancers:
             kinds[info.kind] = kinds.get(info.kind, 0) + 1
+        vantages = (f"{len(self.sources)} vantage points, "
+                    if len(self.sources) > 1 else "")
         return (
             f"internet(seed={self.config.seed}): "
             f"{len(self.sites)} ASes "
             f"({self.config.n_tier1} tier-1), "
+            f"{vantages}"
             f"{len(self.destinations)} destinations, "
             f"{len(self.balancers)} load balancers {kinds}, "
             f"{len(self.nats)} NAT gateways, "
@@ -747,11 +766,14 @@ class _Generator:
         tier1s = [self._build_site(1, spec) for spec in tier1_specs]
         transits = [self._build_site(2, spec) for spec in transit_specs]
         stubs = [self._build_site(3, spec) for spec in stub_specs]
-        # The vantage-point side: university stub behind a "Renater"
-        # transit that is never load-balanced (the paper's first hops
-        # are clean).
-        renater = self._build_site(2, None)
-        university = self._build_site(3, None)
+        # The vantage-point side: one university stub per vantage, each
+        # behind its own "Renater"-style transit that is never
+        # load-balanced (the paper's first hops are clean).
+        renaters: list[_AsSite] = []
+        universities: list[_AsSite] = []
+        for __ in range(cfg.n_vantages):
+            renaters.append(self._build_site(2, None))
+            universities.append(self._build_site(3, None))
 
         # Every tier-1 gets at least one transit customer (the paper's
         # traces crossed all nine tier-1s) and every transit at least
@@ -764,7 +786,14 @@ class _Generator:
             else:
                 provider = rng.choice(tier1s)
             self._wire_customer(provider, transit)
-        self._wire_customer(rng.choice(tier1s), renater)
+        # The first vantage's transit draws its tier-1 provider from the
+        # RNG (draw-compatible with single-vantage topologies); further
+        # vantages take the following tier-1s round-robin, guaranteeing
+        # distinct core entry points wherever counts allow.
+        anchor = rng.randrange(len(tier1s))
+        for index, renater in enumerate(renaters):
+            provider = tier1s[(anchor + index) % len(tier1s)]
+            self._wire_customer(provider, renater)
         transit_cycle = list(transits)
         rng.shuffle(transit_cycle)
         for index, stub in enumerate(stubs):
@@ -773,7 +802,8 @@ class _Generator:
             else:
                 provider = rng.choice(transits)
             self._wire_customer(provider, stub)
-        self._wire_customer(renater, university)
+        for renater, university in zip(renaters, universities):
+            self._wire_customer(renater, university)
 
         # Pick which destinations get the rare edge configurations.
         total_dests = cfg.n_stub * cfg.dests_per_stub
@@ -785,28 +815,33 @@ class _Generator:
         for stub in stubs:
             self._attach_hosts(stub, nat_indices, zero_ttl_indices)
 
-        source_address = self._host_address(university.asn)
-        source = MeasurementHost("S")
-        source.add_interface(source_address)
-        self.builder.net.add_node(source)
-        u_iface, __ = self.builder.connect(
-            university.exit, source,
-            addresses=self._link_addresses(university.asn))
-        university.exit.add_route(Prefix((source_address, 32)), u_iface)
+        sources: list[MeasurementHost] = []
+        for index, university in enumerate(universities):
+            source_address = self._host_address(university.asn)
+            source = MeasurementHost("S" if index == 0 else f"S{index}")
+            source.add_interface(source_address)
+            self.builder.net.add_node(source)
+            u_iface, __ = self.builder.connect(
+                university.exit, source,
+                addresses=self._link_addresses(university.asn))
+            university.exit.add_route(Prefix((source_address, 32)), u_iface)
+            sources.append(source)
 
         self._install_cone_routes()
         self._wire_tier1_mesh(tier1s)
 
-        # Never break the vantage point's own access path.
-        protected = {r.name for r in university.routers}
-        protected |= {r.name for r in renater.routers}
+        # Never break any vantage point's own access path.
+        protected: set[str] = set()
+        for site in (*universities, *renaters):
+            protected |= {r.name for r in site.routers}
         self._sprinkle_faults(protected)
 
         network = self.builder.build()
         self._schedule_dynamics(network)
         return InternetTopology(
             network=network,
-            source=source,
+            source=sources[0],
+            sources=sources,
             destinations=self.destinations,
             asmap=self.asmap,
             config=cfg,

@@ -1,0 +1,56 @@
+"""The vantage fleet: N measurement hosts on one simulated clock.
+
+A :class:`VantageFleet` bundles the per-vantage plumbing a multi-source
+measurement needs: one :class:`repro.vantage.demux.ReplyDemux` over the
+shared network and one :class:`repro.vantage.demux.VantageSocket` per
+vantage point, so a single :class:`repro.engine.scheduler.ProbeScheduler`
+can drive lanes from many sources concurrently — each lane probing
+through its own vantage's socket, each reply routed back to the vantage
+it was addressed to.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import CampaignError
+from repro.net.inet import IPv4Address
+from repro.sim.endhost import MeasurementHost
+from repro.sim.network import Network
+from repro.sim.socketapi import DEFAULT_TIMEOUT
+from repro.vantage.demux import ReplyDemux, VantageSocket
+
+
+class VantageFleet:
+    """Per-vantage sockets over one shared reply demux."""
+
+    def __init__(
+        self,
+        network: Network,
+        sources: Sequence[MeasurementHost],
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if not sources:
+            raise CampaignError("a fleet needs at least one vantage point")
+        names = [host.name for host in sources]
+        if len(set(names)) != len(names):
+            raise CampaignError(f"duplicate vantage points: {names}")
+        self.network = network
+        self.sources = list(sources)
+        self.demux = ReplyDemux(network)
+        self.sockets = [
+            VantageSocket(network, host, self.demux, timeout=timeout)
+            for host in self.sources
+        ]
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    @property
+    def addresses(self) -> list[IPv4Address]:
+        """Each vantage point's probe source address, in fleet order."""
+        return [host.address for host in self.sources]
+
+    def socket_for(self, index: int) -> VantageSocket:
+        """The socket of the ``index``-th vantage."""
+        return self.sockets[index]

@@ -1,0 +1,148 @@
+"""Sharded fleet execution: vantages partitioned across processes.
+
+A fleet campaign's vantage timelines are mutually independent (see
+:mod:`repro.vantage.campaign`), so the fleet partitions cleanly: give
+each shard a *seeded topology replica* (regenerated from the same
+:class:`repro.topology.internet.InternetConfig`, hence identical down
+to every fault seed and dynamics calendar), let it run only its
+vantages' lanes, and merge the partial :class:`FleetResult`s in
+canonical vantage order.  On topologies without order-sensitive
+randomness (no per-packet balancers, no loss) the merged result is
+byte-identical to the single-process run — same routes, same
+timestamps, same strategy forensics — which :meth:`FleetResult.signature`
+makes checkable in one comparison.
+
+Two backends:
+
+- ``processes=False`` (default) runs the shards sequentially in this
+  process — same replicas, same isolation, no pickling constraints;
+- ``processes=True`` fans the shards out over a
+  :mod:`multiprocessing` pool.  Everything crossing the process
+  boundary (the configs, the optional ``strategy_builder``, the
+  results) must pickle, so ``strategy_builder`` has to be a
+  module-level callable — :func:`mda_strategy_builder` is the stock
+  one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import CampaignError
+from repro.measurement.destinations import (
+    select_pingable_destinations,
+    split_among_workers,
+)
+from repro.topology.internet import InternetConfig, generate_internet
+from repro.vantage.campaign import FleetCampaign, FleetConfig, FleetResult
+
+
+def mda_strategy_builder(campaign: FleetCampaign) -> Callable:
+    """The stock picklable ``strategy_builder``: an MDA census."""
+    return campaign.mda_strategy_factory()
+
+
+@dataclass
+class FleetShardTask:
+    """Everything one shard needs to rebuild its world and run.
+
+    Picklable by construction: configs are plain dataclasses,
+    ``vantage_ids`` plain ints, and ``strategy_builder`` (when set) a
+    module-level callable invoked *inside* the shard as
+    ``strategy_builder(campaign) -> strategy_factory``.
+    """
+
+    internet: InternetConfig
+    fleet: FleetConfig
+    vantage_ids: list[int]
+    #: Pingable pre-screen truncation (None keeps all).
+    max_destinations: Optional[int] = None
+    #: Seed of the destination shuffle; defaults to the fleet seed.
+    destination_seed: Optional[int] = None
+    strategy_builder: Optional[Callable] = None
+
+
+def materialize_shard(task: FleetShardTask) -> FleetCampaign:
+    """Build a shard's campaign on a fresh seeded topology replica."""
+    topology = generate_internet(task.internet)
+    seed = (task.destination_seed if task.destination_seed is not None
+            else task.fleet.seed)
+    destinations = select_pingable_destinations(
+        topology.network, topology.source,
+        topology.destination_addresses,
+        count=task.max_destinations, seed=seed)
+    campaign = FleetCampaign(
+        topology.network, topology.sources, destinations,
+        config=task.fleet, vantage_ids=task.vantage_ids)
+    if task.strategy_builder is not None:
+        campaign.strategy_factory = task.strategy_builder(campaign)
+    return campaign
+
+
+def run_shard(task: FleetShardTask) -> FleetResult:
+    """Run one shard to completion (the process-pool work function)."""
+    return materialize_shard(task).run()
+
+
+def plan_shards(n_vantages: int, shards: int) -> list[list[int]]:
+    """Partition vantage ids across shards, round-robin.
+
+    The same ``split_among_workers`` rule the campaign layer uses for
+    destinations — and like there, a shard may come up empty when
+    there are more shards than vantages (it is simply dropped).
+    """
+    if shards < 1:
+        raise CampaignError(f"need at least one shard: {shards}")
+    return [share for share
+            in split_among_workers(list(range(n_vantages)), shards)
+            if share]
+
+
+def run_fleet(
+    internet: InternetConfig,
+    fleet: FleetConfig | None = None,
+    max_destinations: Optional[int] = None,
+    destination_seed: Optional[int] = None,
+    strategy_builder: Optional[Callable] = None,
+) -> FleetResult:
+    """Single-process reference execution: all vantages, one scheduler."""
+    fleet = fleet or FleetConfig()
+    task = FleetShardTask(
+        internet=internet, fleet=fleet,
+        vantage_ids=list(range(internet.n_vantages)),
+        max_destinations=max_destinations,
+        destination_seed=destination_seed,
+        strategy_builder=strategy_builder)
+    return run_shard(task)
+
+
+def run_fleet_sharded(
+    internet: InternetConfig,
+    fleet: FleetConfig | None = None,
+    shards: int = 2,
+    processes: bool = False,
+    max_destinations: Optional[int] = None,
+    destination_seed: Optional[int] = None,
+    strategy_builder: Optional[Callable] = None,
+) -> FleetResult:
+    """Partition the fleet's vantages over ``shards`` replicas and merge."""
+    fleet = fleet or FleetConfig()
+    tasks = [
+        FleetShardTask(
+            internet=internet, fleet=fleet, vantage_ids=vantage_ids,
+            max_destinations=max_destinations,
+            destination_seed=destination_seed,
+            strategy_builder=strategy_builder)
+        for vantage_ids in plan_shards(internet.n_vantages, shards)
+    ]
+    if processes and len(tasks) > 1:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        with context.Pool(processes=len(tasks)) as pool:
+            parts = pool.map(run_shard, tasks)
+    else:
+        parts = [run_shard(task) for task in tasks]
+    return FleetResult.merge(parts)

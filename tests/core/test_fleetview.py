@@ -1,0 +1,114 @@
+"""Cross-vantage union graphs, side-by-side tables, and coverage."""
+
+from repro.core.fleetview import (
+    coverage_report,
+    distinct_diamond_keys,
+    format_side_by_side,
+    per_vantage_statistics,
+    union_route_graph,
+)
+from repro.core.route import MeasuredRoute, RouteHop
+from repro.net.inet import IPv4Address
+
+
+def route(destination, addresses, tool="classic-udp", round_index=0,
+          source="10.0.0.1"):
+    hops = [
+        RouteHop(ttl=ttl, address=None if a is None else IPv4Address(a))
+        for ttl, a in enumerate(addresses, start=1)
+    ]
+    return MeasuredRoute(
+        source=IPv4Address(source), destination=IPv4Address(destination),
+        hops=hops, tool=tool, round_index=round_index)
+
+
+DEST = "10.9.0.1"
+
+#: Vantage A sees the upper diamond branch, B the lower one; each has
+#: one access link of its own (1.1.1.x vs 2.2.2.x).
+ROUTES_A = [
+    route(DEST, ["1.1.1.1", "5.0.0.1", "5.0.0.2", DEST]),
+    route(DEST, ["1.1.1.1", "5.0.0.1", "5.0.0.3", DEST],
+          tool="paris-udp"),
+]
+ROUTES_B = [
+    route(DEST, ["2.2.2.1", "5.0.0.1", "5.0.0.4", DEST],
+          source="10.0.1.1"),
+]
+
+
+class TestUnionGraph:
+    def test_union_and_attribution(self):
+        union = union_route_graph({"A": ROUTES_A, "B": ROUTES_B})
+        shared = (IPv4Address("1.1.1.1"), IPv4Address("5.0.0.1"))
+        core = (IPv4Address("5.0.0.1"), IPv4Address("5.0.0.4"))
+        attribution = union.attribution()
+        assert attribution[core] == {"B"}
+        assert attribution[shared] == {"A"}
+        assert union.edges == set(attribution)
+        assert len(union.edges) == 8
+
+    def test_exclusive_edges(self):
+        union = union_route_graph({"A": ROUTES_A, "B": ROUTES_B})
+        exclusive_b = union.exclusive_edges("B")
+        assert (IPv4Address("2.2.2.1"), IPv4Address("5.0.0.1")) \
+            in exclusive_b
+        assert len(exclusive_b) == 3
+
+    def test_witness_counts(self):
+        union = union_route_graph({"A": ROUTES_A, "B": ROUTES_B})
+        # No edge here is shared between A and B (different access and
+        # different diamond branches).
+        assert union.witness_counts() == {1: 8}
+
+    def test_to_dot_lists_witnesses(self):
+        union = union_route_graph({"A": ROUTES_A, "B": ROUTES_B})
+        dot = union.to_dot()
+        assert '"5.0.0.1" -> "5.0.0.4" [label="B"]' in dot
+        assert dot.startswith("digraph fleet {")
+
+
+class TestCoverageReport:
+    def test_union_exceeds_singles(self):
+        report = coverage_report({"A": ROUTES_A, "B": ROUTES_B})
+        assert report.links_per_vantage == {"A": 5, "B": 3}
+        assert report.union_links == 8
+        assert report.union_links_by_k == [5, 8]
+        assert report.union_links > report.best_single_links
+        assert report.link_gain == 8 / 5
+
+    def test_diamond_coverage(self):
+        # A alone sees a diamond (two middles between 5.0.0.1 and the
+        # destination); B contributes a third middle but no new key.
+        report = coverage_report({"A": ROUTES_A, "B": ROUTES_B})
+        assert report.diamonds_per_vantage == {"A": 1, "B": 0}
+        assert report.union_diamonds == 1
+        keys = distinct_diamond_keys(ROUTES_A + ROUTES_B)
+        assert keys == {(IPv4Address(DEST), IPv4Address("5.0.0.1"),
+                         IPv4Address(DEST))}
+
+    def test_explicit_order_controls_accumulation(self):
+        report = coverage_report({"A": ROUTES_A, "B": ROUTES_B},
+                                 order=["B", "A"])
+        assert report.vantage_order == ["B", "A"]
+        assert report.union_links_by_k == [3, 8]
+
+    def test_format_mentions_gain(self):
+        text = coverage_report({"A": ROUTES_A, "B": ROUTES_B}).format()
+        assert "union of 2 vantages" in text
+        assert "1.60x" in text
+
+
+class TestSideBySide:
+    def test_columns_per_vantage(self):
+        tables = per_vantage_statistics(
+            {"A": ROUTES_A, "B": ROUTES_B},
+            {"A": [IPv4Address(DEST)], "B": [IPv4Address(DEST)]})
+        text = format_side_by_side(tables)
+        lines = text.splitlines()
+        assert "A" in lines[1] and "B" in lines[1]
+        assert any(line.startswith("destinations with diamonds")
+                   for line in lines)
+
+    def test_empty_fleet(self):
+        assert format_side_by_side([]) == "(no vantages)"

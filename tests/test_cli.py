@@ -149,3 +149,58 @@ class TestExperimentCommands:
         assert main(["fig2"]) == 0
         out = capsys.readouterr().out
         assert out.count("[matches Fig. 2]") == 6
+
+
+QUICK_CAMPAIGN = ["campaign", "--vantages", "2", "--rounds", "1",
+                  "--workers", "2", "--dests", "4", "--seed", "11"]
+
+
+def signature_of(output):
+    for line in output.splitlines():
+        if line.startswith("# result signature:"):
+            return line.split(":", 1)[1].strip()
+    raise AssertionError(f"no signature line in {output!r}")
+
+
+class TestCampaignCommand:
+    def test_fleet_report_printed(self, capsys):
+        assert main(QUICK_CAMPAIGN) == 0
+        out = capsys.readouterr().out
+        assert "fleet campaign: 2 vantage(s)" in out
+        assert "Fleet coverage" in out
+        assert "S1 (" in out
+        assert "# result signature:" in out
+
+    def test_sharded_signature_matches_single_process(self, capsys):
+        assert main(QUICK_CAMPAIGN) == 0
+        single = signature_of(capsys.readouterr().out)
+        assert main(QUICK_CAMPAIGN + ["--shards", "2"]) == 0
+        sharded_out = capsys.readouterr().out
+        assert "sharded K=2 (inline)" in sharded_out
+        assert signature_of(sharded_out) == single
+
+    def test_tables_flag_adds_side_by_side(self, capsys):
+        assert main(QUICK_CAMPAIGN + ["--tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-vantage anomalies" in out
+
+    def test_shard_assignment_mode(self, capsys):
+        assert main(QUICK_CAMPAIGN + ["--assignment", "shard"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet campaign" in out
+
+    def test_bad_vantage_count_rejected(self, capsys):
+        assert main(["campaign", "--vantages", "0"]) == 2
+        assert "--vantages" in capsys.readouterr().err
+
+    def test_bad_shard_count_rejected(self, capsys):
+        assert main(["campaign", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_bad_dest_count_rejected(self, capsys):
+        assert main(["campaign", "--dests", "0"]) == 2
+        assert "--dests" in capsys.readouterr().err
+
+    def test_unknown_assignment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--assignment", "broadcast"])

@@ -229,3 +229,57 @@ class TestDynamics:
         topo.network.clock.advance_to(event.end + 1.0)
         healed = trace_classic(topo, target)
         assert healed[-1].src == target
+
+
+class TestMultiVantagePlacement:
+    def test_default_is_single_vantage(self):
+        topo = generate_internet(small_config())
+        assert topo.sources == [topo.source]
+        assert topo.source.name == "S"
+
+    def test_n_vantages_places_distinct_hosts(self):
+        topo = generate_internet(small_config(n_vantages=3))
+        assert [s.name for s in topo.sources] == ["S", "S1", "S2"]
+        addresses = [s.address for s in topo.sources]
+        assert len(set(addresses)) == 3
+        # Each vantage lives in its own university stub (own /16).
+        blocks = {int(a) >> 16 for a in addresses}
+        assert len(blocks) == 3
+
+    def test_single_vantage_topology_unchanged_by_knob(self):
+        plain = generate_internet(small_config())
+        explicit = generate_internet(small_config(n_vantages=1))
+        assert plain.network.describe() == explicit.network.describe()
+
+    def test_every_vantage_reaches_destinations(self):
+        topo = generate_internet(small_config(n_vantages=3))
+        destination = topo.destinations[0].address
+        for source in topo.sources:
+            probe = Packet.make(
+                source.address, destination,
+                UDPHeader(src_port=30000, dst_port=34000),
+                payload=b"x", ttl=64,
+            )
+            result = topo.network.inject(probe, at=source)
+            assert result.delivered_to(source), source.name
+
+    def test_vantages_enter_through_distinct_tier1s(self):
+        topo = generate_internet(small_config(n_vantages=3))
+        # renater-style transits are the last sites before universities:
+        # walk each vantage's chain and collect its tier-1 provider.
+        providers = set()
+        for source in topo.sources:
+            university = next(
+                site for site in topo.sites
+                if site.block.contains(source.address))
+            renater = university.provider
+            providers.add(renater.provider.asn)
+        assert len(providers) == 3
+
+    def test_zero_vantages_rejected(self):
+        with pytest.raises(TopologyError):
+            small_config(n_vantages=0)
+
+    def test_summary_mentions_vantage_count(self):
+        topo = generate_internet(small_config(n_vantages=2))
+        assert "2 vantage points" in topo.summary()

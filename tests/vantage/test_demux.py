@@ -1,0 +1,176 @@
+"""Multi-socket reply demultiplexing: the fleet's correctness core.
+
+The edge cases that matter when many vantage points share one network
+buffer: replies must route to the host they were addressed to, a reply
+surfacing at the *wrong* vantage's socket must never be claimed (even
+stale, even with colliding demux keys), and duplicated responses stay
+with their own vantage.
+"""
+
+import pytest
+
+from repro.engine.scheduler import ProbeScheduler, TraceSpec
+from repro.errors import CampaignError
+from repro.net.inet import Prefix
+from repro.topology.builder import TopologyBuilder
+from repro.tracer.paris import ParisTraceroute
+from repro.vantage import ReplyDemux, VantageFleet, VantageSocket
+
+
+def two_vantage_network():
+    """SA and SB behind one router R, destination D beyond it."""
+    builder = TopologyBuilder()
+    sa = builder.source("SA", "10.0.0.1")
+    sb = builder.source("SB", "10.0.1.1")
+    router = builder.router("R")
+    dest = builder.host("D", "10.9.0.1")
+    __, r_to_a = builder.connect(sa, router)
+    __, r_to_b = builder.connect(sb, router)
+    r_to_d, __ = builder.connect(router, dest)
+    router.add_route(Prefix(("10.9.0.1", 32)), r_to_d)
+    router.add_route(Prefix(("10.0.0.1", 32)), r_to_a)
+    router.add_route(Prefix(("10.0.1.1", 32)), r_to_b)
+    network = builder.build()
+    return network, sa, sb, dest
+
+
+@pytest.fixture
+def world():
+    return two_vantage_network()
+
+
+class TestReplyDemux:
+    def test_routes_deliveries_to_registered_inboxes(self, world):
+        network, sa, sb, dest = world
+        demux = ReplyDemux(network)
+        sock_a = VantageSocket(network, sa, demux)
+        sock_b = VantageSocket(network, sb, demux)
+        paris_a = ParisTraceroute(sock_a, seed=1)
+        paris_b = ParisTraceroute(sock_b, seed=1)
+        probe_a = paris_a.make_builder(dest.address).build(1)
+        probe_b = paris_b.make_builder(dest.address).build(1)
+        sock_a.send_nowait(probe_a.build())
+        sock_b.send_nowait(probe_b.build())
+        sock_a.flush()
+        sock_b.flush()
+        responses_a = sock_a.poll(until=10.0)
+        responses_b = sock_b.poll(until=10.0)
+        assert len(responses_a) == 1 and len(responses_b) == 1
+        # Each vantage sees only answers addressed to it.
+        assert responses_a[0].packet.dst == sa.address
+        assert responses_b[0].packet.dst == sb.address
+        assert demux.discarded == 0
+
+    def test_unregistered_recipient_is_discarded(self, world):
+        network, sa, sb, dest = world
+        demux = ReplyDemux(network)
+        sock_b = VantageSocket(network, sb, demux)
+        # SA probes outside the fleet: its reply reaches the buffer but
+        # no registered inbox — the demux drops and counts it.
+        paris_a = ParisTraceroute(
+            VantageSocket(network, sa, ReplyDemux(network)), seed=1)
+        probe = paris_a.make_builder(dest.address).build(1)
+        network.submit(probe, at=sa)
+        assert sock_b.poll(until=10.0) == []
+        assert demux.discarded == 1
+
+    def test_duplicated_responses_stay_per_vantage(self, world):
+        network, sa, sb, dest = world
+        demux = ReplyDemux(network)
+        sock_a = VantageSocket(network, sa, demux)
+        sock_b = VantageSocket(network, sb, demux)
+        paris_a = ParisTraceroute(sock_a, seed=1)
+        probe = paris_a.make_builder(dest.address).build(1)
+        sock_a.send_nowait(probe.build())
+        sock_a.flush()
+        demux.drain(until=10.0)
+        # The network duplicates SA's reply: both copies land in SA's
+        # inbox, never in SB's.
+        arrival, delivery = sock_a._inbox[0]
+        demux.deliver(sa.name, arrival, delivery)
+        responses_a = sock_a.poll(until=10.0)
+        assert len(responses_a) == 2
+        assert all(r.packet.dst == sa.address for r in responses_a)
+        assert sock_b.poll(until=10.0) == []
+
+
+class TestSocketFencedClaims:
+    def scheduler_with_two_lanes(self, world):
+        network, sa, sb, dest = world
+        demux = ReplyDemux(network)
+        sock_a = VantageSocket(network, sa, demux)
+        sock_b = VantageSocket(network, sb, demux)
+        scheduler = ProbeScheduler(network, sa, socket=sock_a, window=1)
+        paris_a = ParisTraceroute(sock_a, seed=1)
+        paris_b = ParisTraceroute(sock_b, seed=1)
+        scheduler.add_lane([TraceSpec(paris_a, dest.address)],
+                           socket=sock_a)
+        scheduler.add_lane([TraceSpec(paris_b, dest.address)],
+                           socket=sock_b)
+        for lane in scheduler.lanes:
+            scheduler._start_next_trace(lane)
+        scheduler._flush_sockets()
+        return scheduler, sock_a, sock_b
+
+    def test_wrong_vantage_socket_never_claims(self, world):
+        scheduler, sock_a, sock_b = self.scheduler_with_two_lanes(world)
+        responses_a = sock_a.poll(until=10.0)
+        assert len(responses_a) == 1
+        response = responses_a[0]
+        # The reply answers SA's probe; surfacing at SB's socket it
+        # must stay unclaimed — stale or not.
+        token, record = scheduler._claim(response, sock_b)
+        assert token is None and record is None
+        token, record = scheduler._claim(response, sock_a)
+        assert record is not None
+        assert record.lane.socket is sock_a
+
+    def test_stale_duplicate_not_reclaimed_after_resolution(self, world):
+        scheduler, sock_a, sock_b = self.scheduler_with_two_lanes(world)
+        response = sock_a.poll(until=10.0)[0]
+        scheduler._on_response(response, sock_a)
+        # A duplicate of the already-claimed reply: its keys are dead
+        # now, so neither socket can claim it again.
+        assert scheduler._claim(response, sock_a) == (None, None)
+        assert scheduler._claim(response, sock_b) == (None, None)
+
+    def test_full_run_keeps_vantages_isolated(self, world):
+        network, sa, sb, dest = world
+        fleet = VantageFleet(network, [sa, sb])
+        scheduler = ProbeScheduler(network, sa, socket=fleet.sockets[0],
+                                   window=2)
+        paris_a = ParisTraceroute(fleet.sockets[0], seed=1)
+        paris_b = ParisTraceroute(fleet.sockets[1], seed=1)
+        scheduler.add_lane([TraceSpec(paris_a, dest.address)],
+                           socket=fleet.sockets[0])
+        scheduler.add_lane([TraceSpec(paris_b, dest.address)],
+                           socket=fleet.sockets[1])
+        outcomes = scheduler.run()
+        assert len(outcomes) == 2
+        by_lane = {o.lane: o.result for o in outcomes}
+        assert str(by_lane[0].source) == "10.0.0.1"
+        assert str(by_lane[1].source) == "10.0.1.1"
+        for result in by_lane.values():
+            assert result.halt_reason == "destination"
+            assert [str(h.replies[0].address) for h in result.hops] \
+                == [str(result.hops[0].replies[0].address), "10.9.0.1"]
+
+
+class TestVantageFleet:
+    def test_duplicate_vantage_rejected(self, world):
+        network, sa, __, ___ = world
+        with pytest.raises(CampaignError):
+            VantageFleet(network, [sa, sa])
+
+    def test_empty_fleet_rejected(self, world):
+        network = world[0]
+        with pytest.raises(CampaignError):
+            VantageFleet(network, [])
+
+    def test_addresses_in_fleet_order(self, world):
+        network, sa, sb, __ = world
+        fleet = VantageFleet(network, [sa, sb])
+        assert [str(a) for a in fleet.addresses] \
+            == ["10.0.0.1", "10.0.1.1"]
+        assert len(fleet) == 2
+        assert fleet.socket_for(1).host is sb
