@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Adversarial faults and artifact attribution, end to end.
+
+Probes one seeded internet twice per fault profile — once clean, once
+with the fault injected (response reordering, token-bucket ICMP rate
+limiting, duplication, correlated loss bursts) — and splits every
+anomaly each tool observed under the fault into the measured/artifact
+buckets: manufactured by the fault, a persisting probe-design artifact,
+in-sim real, or masked by the fault.  MDA's interface enumerations are
+compared against the clean run as well.
+
+Reproduces the artifact-rate table of
+``benchmarks/test_bench_fault_sensitivity.py`` at example scale.
+
+Takes a few seconds.  Run:  python examples/fault_artifacts.py [seed]
+"""
+
+import sys
+
+from repro.analysis import run_fault_sensitivity
+from repro.topology.internet import InternetConfig
+
+
+def main() -> None:
+    print(__doc__)
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    internet = InternetConfig(
+        seed=seed, n_tier1=3, n_transit=5, n_stub=10, dests_per_stub=2,
+        n_loop_stub_diamonds=3, n_cycle_stub_diamonds=1,
+        n_nat_dests=1, n_zero_ttl_dests=1,
+        response_loss_rate=0.0, p_per_packet=0.0)
+    print(f"seed={seed}; sweeping fault profiles "
+          "(one fresh topology replica per profile)...\n")
+    sweep = run_fault_sensitivity(internet, rounds=3,
+                                  max_destinations=12, mda=True)
+    print(sweep.format_report())
+
+    reordering = sweep.outcome("reordering")
+    classic = reordering.artifact_rate("classic")
+    paris = reordering.artifact_rate("paris")
+    print("\nReading the tables:")
+    print(f"- under induced reordering, classic traceroute shows "
+          f"{classic:.3f} artifact loop/cycle instances per route vs "
+          f"Paris's {paris:.3f} — the paper's thesis survives an "
+          "adversarial network")
+    stars = reordering.attributions["classic"].family("mid-route stars")
+    print(f"- {stars.fault_artifacts} mid-route star positions exist only "
+          "under the fault: delay spikes crossed the 2-second wait, so "
+          "routers that answered read as missing")
+    duplication = sweep.outcome("duplication")
+    print(f"- duplication manufactured "
+          f"{sum(f.fault_artifacts for t in ('classic', 'paris') for f in duplication.attributions[t].families)} "
+          "anomalies: every duplicated response was claimed exactly once")
+    if reordering.mda is not None:
+        lossy = sweep.outcome("loss-bursts")
+        print(f"- MDA enumerations diverged for "
+              f"{reordering.mda.divergent}/{reordering.mda.destinations} "
+              f"destinations under reordering but "
+              f"{lossy.mda.divergent}/{lossy.mda.destinations} under loss "
+              "bursts — the stopping rule is timing-robust, not "
+              "loss-robust")
+    assert classic > paris, "expected classic to out-artifact Paris"
+    print("\nOK: classic's artifact rate strictly exceeds Paris's "
+          "under reordering.")
+
+
+if __name__ == "__main__":
+    main()

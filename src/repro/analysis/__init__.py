@@ -9,6 +9,8 @@ One module per paper artifact family:
 - :mod:`repro.analysis.anomaly_tables` — E8/E9/E10: the calibrated
   campaign behind the Sec. 4 statistics tables.
 - :mod:`repro.analysis.setup_stats` — E7: the Sec. 3 setup numbers.
+- :mod:`repro.analysis.fault_sensitivity` — E14: the Sec. 4 census
+  under injected network faults, with per-anomaly artifact attribution.
 """
 
 from repro.analysis.figure1 import (
@@ -23,6 +25,13 @@ from repro.analysis.anomaly_tables import (
     run_calibrated_campaign,
 )
 from repro.analysis.setup_stats import run_setup_experiment
+from repro.analysis.fault_sensitivity import (
+    FaultSensitivityResult,
+    MdaComparison,
+    ProfileOutcome,
+    ground_truth_from_topology,
+    run_fault_sensitivity,
+)
 
 __all__ = [
     "Figure1Result",
@@ -34,4 +43,9 @@ __all__ = [
     "CalibratedCampaign",
     "run_calibrated_campaign",
     "run_setup_experiment",
+    "FaultSensitivityResult",
+    "MdaComparison",
+    "ProfileOutcome",
+    "ground_truth_from_topology",
+    "run_fault_sensitivity",
 ]

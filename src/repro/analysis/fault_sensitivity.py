@@ -1,0 +1,283 @@
+"""E14 — fault sensitivity: the Sec. 4 census under injected faults.
+
+For one seeded internet, :func:`run_fault_sensitivity` measures the
+same campaign
+
+1. on a clean replica (the baseline: what each tool's census *should*
+   look like on this topology), then
+2. on a fresh replica per fault profile, identical down to every fault
+   seed except for the injected :class:`repro.faults.NetworkFaultProfile`,
+
+and splits every anomaly each tool observed under a fault into the
+measured/artifact buckets of :mod:`repro.core.attribution` — fault
+artifacts (absent at baseline), persisting probe-design artifacts,
+in-sim-real anomalies, and masked baseline anomalies.  Optionally the
+same sweep runs MDA toward every destination and reports how many
+enumerations diverge from the clean enumeration (MDA's baseline output
+is exhaustive by construction, so it doubles as the interface-set
+ground truth).
+
+Destinations are pre-screened for pingability on the *baseline*
+replica only and the same list reused for every profile, so a spike
+that eats a ping can never silently shrink a profile's workload and
+make the censuses incomparable.
+
+Everything is deterministic per (config seed, profile seed): the fault
+layer keys its randomness per probing client, so re-running a profile
+reproduces the same artifact table byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence
+
+from repro.core.attribution import (
+    GroundTruth,
+    ToolAttribution,
+    ToolCensus,
+    attribute_tool,
+    compute_tool_census,
+    format_attribution,
+)
+from repro.errors import CampaignError
+from repro.faults import NetworkFaultProfile, make_fault_profile
+from repro.measurement.campaign import Campaign, CampaignConfig
+from repro.measurement.destinations import select_pingable_destinations
+from repro.net.inet import IPv4Address
+from repro.sim.dynamics import ForwardingLoopWindow
+from repro.sim.socketapi import ProbeSocket
+from repro.topology.internet import (
+    InternetConfig,
+    InternetTopology,
+    generate_internet,
+)
+from repro.tracer.multipath import MultipathDetector
+
+#: The census compares these tools side by side.
+TOOLS = ("classic", "paris")
+
+
+def ground_truth_from_topology(topology: InternetTopology) -> GroundTruth:
+    """The in-sim reality the attribution splits against.
+
+    - diamond middles: every interface address of a true load-balancer
+      branch router (the ``AS<k>-B...`` boxes between L and J);
+    - real cycles: response addresses of routers inside scheduled
+      forwarding-loop windows (none unless dynamics were scheduled);
+    - real loops: none, ever — the simulated forwarding plane never
+      visits one interface twice consecutively, so every observed loop
+      is an artifact of probe design, router quirks, or injected
+      faults.
+    """
+    middles: set[IPv4Address] = set()
+    for site in topology.sites:
+        if site.balancer is None:
+            continue
+        prefix = f"AS{site.asn}-B"
+        for router in site.routers:
+            if router.name.startswith(prefix):
+                middles.update(router.addresses)
+    cycle_addresses: set[IPv4Address] = set()
+    for event in topology.dynamics:
+        if isinstance(event, ForwardingLoopWindow):
+            for router, __ in event.ring:
+                cycle_addresses.update(router.addresses)
+    return GroundTruth(
+        loop_addresses=frozenset(),
+        cycle_addresses=frozenset(cycle_addresses),
+        diamond_middles=frozenset(middles),
+    )
+
+
+@dataclass
+class MdaComparison:
+    """How MDA's interface enumeration fared under one profile."""
+
+    destinations: int
+    divergent: int
+
+    @property
+    def divergence_rate(self) -> float:
+        if self.destinations == 0:
+            return 0.0
+        return self.divergent / self.destinations
+
+
+@dataclass
+class ProfileOutcome:
+    """One fault profile's campaign and its attribution tables."""
+
+    profile: NetworkFaultProfile
+    attributions: dict[str, ToolAttribution]
+    probes_sent: int
+    responses_received: int
+    mda: Optional[MdaComparison] = None
+
+    def artifact_rate(self, tool: str) -> float:
+        return self.attributions[tool].artifact_rate
+
+
+@dataclass
+class FaultSensitivityResult:
+    """The whole sweep: baseline censuses plus per-profile splits."""
+
+    internet: InternetConfig
+    rounds: int
+    engine: str
+    destinations: list[IPv4Address]
+    baseline: dict[str, ToolCensus]
+    outcomes: list[ProfileOutcome] = field(default_factory=list)
+
+    def outcome(self, profile_name: str) -> ProfileOutcome:
+        for outcome in self.outcomes:
+            if outcome.profile.name == profile_name:
+                return outcome
+        raise CampaignError(f"no profile {profile_name!r} in this sweep")
+
+    def format_report(self) -> str:
+        """Per-profile attribution tables plus the summary matrix."""
+        blocks = []
+        for outcome in self.outcomes:
+            blocks.append(format_attribution(
+                outcome.attributions,
+                title=f"== {outcome.profile.describe()}"))
+        lines = [f"{'profile':14s} {'classic/route':>13s} "
+                 f"{'paris/route':>11s}"
+                 + (f" {'mda divergent':>13s}"
+                    if any(o.mda for o in self.outcomes) else "")]
+        for outcome in self.outcomes:
+            row = (f"{outcome.profile.name:14s} "
+                   f"{outcome.artifact_rate('classic'):13.3f} "
+                   f"{outcome.artifact_rate('paris'):11.3f}")
+            if outcome.mda is not None:
+                row += (f" {outcome.mda.divergent:6d}/"
+                        f"{outcome.mda.destinations:<6d}")
+            lines.append(row)
+        blocks.append("artifact rates (loop+cycle instances per route)\n"
+                      + "\n".join(lines))
+        return "\n\n".join(blocks)
+
+
+def _census_by_tool(result) -> dict[str, ToolCensus]:
+    return {
+        "classic": compute_tool_census("classic", result.classic_routes()),
+        "paris": compute_tool_census("paris", result.paris_routes()),
+    }
+
+
+def _run_campaign(internet: InternetConfig,
+                  destinations: Optional[list[IPv4Address]],
+                  rounds: int, engine: str, workers: int,
+                  max_destinations: Optional[int]):
+    """One campaign on a fresh replica of ``internet``.
+
+    Returns (topology, destination list, campaign result).  When
+    ``destinations`` is None the pingable pre-screen runs here (the
+    baseline call); profile runs pass the baseline's list through.
+    """
+    topology = generate_internet(internet)
+    if destinations is None:
+        destinations = select_pingable_destinations(
+            topology.network, topology.source,
+            topology.destination_addresses,
+            count=max_destinations, seed=internet.seed)
+    campaign = Campaign(
+        topology.network, topology.source, destinations,
+        CampaignConfig(rounds=rounds, seed=internet.seed, engine=engine,
+                       workers=workers))
+    return topology, destinations, campaign.run()
+
+
+def _mda_signatures(internet: InternetConfig,
+                    destinations: Sequence[IPv4Address],
+                    engine: str, max_ttl: int) -> dict:
+    """Every destination's MDA enumeration on a fresh replica.
+
+    A separate replica keeps the MDA probes from spending the campaign
+    replica's rate-limit tokens — each measurement sees the fault
+    profile cold, exactly as the paired-trace campaign did.
+    """
+    topology = generate_internet(internet)
+    socket = ProbeSocket(topology.network, topology.source)
+    detector = MultipathDetector(socket, seed=internet.seed, engine=engine)
+    signatures = {}
+    for destination in destinations:
+        result = detector.trace(destination, max_ttl=max_ttl)
+        signatures[destination] = tuple(
+            (hop.ttl, tuple(sorted(str(a) for a in hop.interfaces)))
+            for hop in result.hops)
+    return signatures
+
+
+def run_fault_sensitivity(
+    internet: InternetConfig | None = None,
+    profiles: Optional[Iterable] = None,
+    rounds: int = 3,
+    engine: str = "pipelined",
+    workers: int = 8,
+    max_destinations: Optional[int] = None,
+    mda: bool = False,
+    mda_max_ttl: int = 25,
+) -> FaultSensitivityResult:
+    """Sweep fault profiles over one seeded internet and attribute.
+
+    ``profiles`` accepts profile names (resolved through
+    :func:`repro.faults.make_fault_profile`, seeded with the internet
+    seed) or ready :class:`NetworkFaultProfile` instances; the default
+    sweeps every named profile.  ``internet`` must not carry a fault
+    profile of its own — the sweep owns that field.
+    """
+    internet = internet or InternetConfig()
+    if internet.fault_profile is not None:
+        raise CampaignError(
+            "pass a clean InternetConfig: the sweep sets fault_profile "
+            "itself (one replica per profile)")
+    if profiles is None:
+        from repro.faults.profiles import FAULT_PROFILE_NAMES
+        profiles = FAULT_PROFILE_NAMES
+    resolved: list[NetworkFaultProfile] = []
+    for profile in profiles:
+        if isinstance(profile, NetworkFaultProfile):
+            resolved.append(profile)
+        else:
+            resolved.append(make_fault_profile(str(profile),
+                                               seed=internet.seed))
+
+    __, destinations, base_result = _run_campaign(
+        internet, None, rounds, engine, workers, max_destinations)
+    baseline = _census_by_tool(base_result)
+    mda_baseline = (_mda_signatures(internet, destinations, engine,
+                                    mda_max_ttl) if mda else None)
+
+    sweep = FaultSensitivityResult(
+        internet=internet, rounds=rounds, engine=engine,
+        destinations=list(destinations), baseline=baseline)
+    for profile in resolved:
+        faulted_config = replace(internet, fault_profile=profile)
+        topology, __, result = _run_campaign(
+            faulted_config, destinations, rounds, engine, workers,
+            max_destinations)
+        ground = ground_truth_from_topology(topology)
+        censuses = _census_by_tool(result)
+        attributions = {
+            tool: attribute_tool(baseline[tool], censuses[tool], ground)
+            for tool in TOOLS
+        }
+        comparison = None
+        if mda:
+            signatures = _mda_signatures(faulted_config, destinations,
+                                         engine, mda_max_ttl)
+            divergent = sum(
+                1 for destination in destinations
+                if signatures[destination] != mda_baseline[destination])
+            comparison = MdaComparison(destinations=len(destinations),
+                                       divergent=divergent)
+        sweep.outcomes.append(ProfileOutcome(
+            profile=profile,
+            attributions=attributions,
+            probes_sent=result.probes_sent,
+            responses_received=result.responses_received,
+            mda=comparison,
+        ))
+    return sweep

@@ -12,7 +12,11 @@ Subcommands:
 - ``campaign`` — a multi-vantage fleet campaign on a small generated
   internet, with the cross-vantage coverage report, side-by-side
   anomaly tables, and the determinism signature (run again with a
-  different ``--shards`` — the signature must not change).
+  different ``--shards`` — the signature must not change);
+- ``faults`` — the adversarial sweep: run the Sec. 4 census under each
+  named fault profile (reordering, rate limiting, duplication, loss
+  bursts) and attribute every observed anomaly — manufactured by the
+  fault, a persisting probe-design artifact, or in-sim real.
 
 Examples::
 
@@ -21,6 +25,7 @@ Examples::
     repro-trace mda --figure 6
     repro-trace census --seed 7 --rounds 8
     repro-trace campaign --vantages 4 --shards 2
+    repro-trace faults --profiles reordering,rate-limit --mda
 """
 
 from __future__ import annotations
@@ -134,6 +139,25 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--tables", action="store_true",
                           help="also print the per-vantage Sec. 4 "
                                "anomaly tables")
+
+    faults = commands.add_parser(
+        "faults",
+        help="Sec. 4 census under injected network faults, with "
+             "artifact attribution")
+    faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument("--rounds", type=int, default=3)
+    faults.add_argument("--dests", type=int, default=None,
+                        help="truncate the destination list")
+    faults.add_argument("--profiles", default="all",
+                        help="comma-separated fault profile names, or "
+                             "'all' (choices: reordering, rate-limit, "
+                             "duplication, loss-bursts, adversarial)")
+    faults.add_argument("--engine", choices=("sequential", "pipelined"),
+                        default="pipelined",
+                        help="probe engine driving the campaigns")
+    faults.add_argument("--mda", action="store_true",
+                        help="also compare MDA interface enumerations "
+                             "against the clean run")
     return parser
 
 
@@ -297,6 +321,41 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.analysis import run_fault_sensitivity
+    from repro.faults import FAULT_PROFILE_NAMES
+
+    for flag, value in (("--rounds", args.rounds), ("--dests", args.dests)):
+        if value is not None and value < 1:
+            print(f"{flag} must be at least 1, got {value}",
+                  file=sys.stderr)
+            return 2
+    if args.profiles == "all":
+        profiles = list(FAULT_PROFILE_NAMES)
+    else:
+        profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+        if not profiles:
+            print("--profiles names no profile; choose from "
+                  f"{', '.join(FAULT_PROFILE_NAMES)} (or 'all')",
+                  file=sys.stderr)
+            return 2
+        unknown = [p for p in profiles if p not in FAULT_PROFILE_NAMES]
+        if unknown:
+            print(f"unknown fault profile(s) {unknown}; choose from "
+                  f"{', '.join(FAULT_PROFILE_NAMES)}", file=sys.stderr)
+            return 2
+    internet = demo_internet_config(args.seed, vantages=1)
+    sweep = run_fault_sensitivity(
+        internet, profiles=profiles, rounds=args.rounds,
+        engine=args.engine, max_destinations=args.dests, mda=args.mda)
+    print(f"# fault sensitivity: seed={args.seed}, "
+          f"{len(sweep.destinations)} destination(s), "
+          f"{args.rounds} round(s), engine={args.engine}")
+    print()
+    print(sweep.format_report())
+    return 0
+
+
 HANDLERS = {
     "figures": cmd_figures,
     "trace": cmd_trace,
@@ -305,6 +364,7 @@ HANDLERS = {
     "fig2": cmd_fig2,
     "census": cmd_census,
     "campaign": cmd_campaign,
+    "faults": cmd_faults,
 }
 
 

@@ -12,6 +12,9 @@
   and the differential estimators behind the "87 % of loops are
   per-flow load balancing" style numbers.
 - :mod:`repro.core.report` — campaign-level statistics tables.
+- :mod:`repro.core.attribution` — the fault-attribution split: which
+  anomalies a fault profile manufactured versus probe-design artifacts
+  versus in-sim reality.
 """
 
 from repro.core.route import MeasuredRoute, RouteHop
@@ -43,6 +46,16 @@ from repro.core.report import (
     compute_cycle_statistics,
     compute_diamond_statistics,
     compute_loop_statistics,
+)
+from repro.core.attribution import (
+    FamilyAttribution,
+    GroundTruth,
+    StarSignature,
+    ToolAttribution,
+    ToolCensus,
+    attribute_tool,
+    compute_tool_census,
+    format_attribution,
 )
 from repro.core.fleetview import (
     CoverageReport,
@@ -85,6 +98,14 @@ __all__ = [
     "compute_loop_statistics",
     "compute_cycle_statistics",
     "compute_diamond_statistics",
+    "ToolCensus",
+    "ToolAttribution",
+    "FamilyAttribution",
+    "GroundTruth",
+    "StarSignature",
+    "compute_tool_census",
+    "attribute_tool",
+    "format_attribution",
     "CoverageReport",
     "UnionGraph",
     "VantageAnomalies",

@@ -1,0 +1,253 @@
+"""Fault attribution: which observed anomalies did a fault manufacture?
+
+The paper's Sec. 4 census counts loops, cycles, and diamonds in
+measured routes and explains them with probe-design causes.  The
+artifact literature that followed (Viger et al.) adds the complementary
+axis: network pathologies — reordering, rate limiting, duplication,
+loss — manufacture anomalies even for a well-designed tracer.  In the
+simulator both axes are measurable exactly, because the same topology
+seed can be probed *with and without* an injected fault profile and the
+ground truth is known in-sim.
+
+Given one tool's census at baseline (no injected faults) and under a
+fault profile, every anomaly signature observed under the fault falls
+into one of:
+
+- **fault artifact** — absent at baseline: the injected fault
+  manufactured it (e.g. a delay spike starred the destination, the
+  trace ran deeper, and the extra hops repeated an address);
+- **persisting** — present at baseline too: an artifact of probe
+  design or router quirks (the paper's own Sec. 4 causes), which the
+  fault did not remove;
+- **real** — matching the in-sim ground truth (a true forwarding-loop
+  window for cycles, true load-balancer branch interfaces for
+  diamonds; *no* loop is ever real — the simulated forwarding plane
+  never visits one interface twice in a row, so every observed loop is
+  some artifact);
+- and symmetrically **masked** — observed at baseline but hidden by
+  the fault (a starred hop breaks the adjacency a loop needs).
+
+The census also tracks mid-route stars (a star with a responding hop
+deeper in the same route): rate-limit silence and delay spikes
+manufacture those directly, and they are the paper's "missing routers"
+axis rather than a route-shape anomaly.
+
+Everything here is pure route analysis; the orchestration that builds
+censuses from campaigns on seeded topology replicas lives in
+:mod:`repro.analysis.fault_sensitivity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.cycles import CycleSignature, find_cycles
+from repro.core.diamonds import DiamondSignature, diamonds_by_destination
+from repro.core.loops import LoopSignature, find_loops
+from repro.core.route import MeasuredRoute
+from repro.net.inet import IPv4Address
+
+
+@dataclass(frozen=True)
+class StarSignature:
+    """One mid-route star position: (destination, starred TTL)."""
+
+    destination: IPv4Address
+    ttl: int
+
+
+#: A diamond keyed into a census: (destination, head/tail signature).
+DiamondKey = tuple[IPv4Address, DiamondSignature]
+
+
+@dataclass
+class ToolCensus:
+    """One tool's Sec. 4-style anomaly census over a set of routes."""
+
+    tool: str
+    routes: int = 0
+    #: Signature -> instance count (instances accumulate over rounds).
+    loops: dict[LoopSignature, int] = field(default_factory=dict)
+    cycles: dict[CycleSignature, int] = field(default_factory=dict)
+    #: Diamond key -> the set of middle addresses seen.
+    diamonds: dict[DiamondKey, frozenset] = field(default_factory=dict)
+    stars: dict[StarSignature, int] = field(default_factory=dict)
+
+    @property
+    def loop_instances(self) -> int:
+        return sum(self.loops.values())
+
+    @property
+    def cycle_instances(self) -> int:
+        return sum(self.cycles.values())
+
+    @property
+    def star_hops(self) -> int:
+        return sum(self.stars.values())
+
+
+def compute_tool_census(tool: str,
+                        routes: Iterable[MeasuredRoute]) -> ToolCensus:
+    """Census one tool's measured routes (loops, cycles, diamonds,
+    mid-route stars)."""
+    routes = list(routes)
+    census = ToolCensus(tool=tool, routes=len(routes))
+    for route in routes:
+        for instance in find_loops(route):
+            census.loops[instance.signature] = (
+                census.loops.get(instance.signature, 0) + 1)
+        for instance in find_cycles(route):
+            census.cycles[instance.signature] = (
+                census.cycles.get(instance.signature, 0) + 1)
+        deepest_answer = max(
+            (hop.ttl for hop in route.hops if hop.address is not None),
+            default=None)
+        if deepest_answer is not None:
+            for hop in route.hops:
+                if hop.address is None and hop.ttl < deepest_answer:
+                    signature = StarSignature(route.destination, hop.ttl)
+                    census.stars[signature] = (
+                        census.stars.get(signature, 0) + 1)
+    for destination, diamonds in diamonds_by_destination(routes).items():
+        for diamond in diamonds:
+            census.diamonds[(destination, diamond.signature)] = (
+                frozenset(diamond.middles))
+    return census
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """In-sim reality the attribution splits against.
+
+    ``loop_addresses`` is always empty for generated topologies (kept
+    as a hook for hand-built scenarios); ``cycle_addresses`` holds the
+    response addresses of routers inside scheduled forwarding-loop
+    windows; ``diamond_middles`` the interface addresses of true
+    load-balancer branch routers.
+    """
+
+    loop_addresses: frozenset = frozenset()
+    cycle_addresses: frozenset = frozenset()
+    diamond_middles: frozenset = frozenset()
+
+
+@dataclass
+class FamilyAttribution:
+    """The measured/artifact split for one anomaly family of one tool."""
+
+    family: str
+    #: Distinct signatures observed under the fault profile.
+    observed: int
+    #: Instances over all rounds (signatures re-observed count again).
+    instances: int
+    #: Signatures absent at baseline: manufactured by the fault.
+    fault_artifacts: int
+    #: Signatures present at baseline too (probe-design artifacts or
+    #: real anomalies that survive the fault).
+    persisting: int
+    #: Signatures matching the in-sim ground truth.
+    real: int
+    #: Baseline signatures the fault hid.
+    masked: int
+
+    @property
+    def artifact_signatures(self) -> int:
+        """Observed signatures that are not real."""
+        return self.observed - self.real
+
+
+@dataclass
+class ToolAttribution:
+    """All family splits for one tool under one fault profile."""
+
+    tool: str
+    routes: int
+    families: list[FamilyAttribution] = field(default_factory=list)
+    #: Loop + cycle instances on non-real signatures (the headline).
+    artifact_instances: int = 0
+
+    @property
+    def artifact_rate(self) -> float:
+        """Artifact loop+cycle instances per measured route."""
+        if self.routes == 0:
+            return 0.0
+        return self.artifact_instances / self.routes
+
+    def family(self, name: str) -> FamilyAttribution:
+        for entry in self.families:
+            if entry.family == name:
+                return entry
+        raise KeyError(f"no family {name!r} in this attribution")
+
+
+def _split(observed: dict, baseline_keys: set, real_keys: set,
+           family: str) -> FamilyAttribution:
+    keys = set(observed)
+    return FamilyAttribution(
+        family=family,
+        observed=len(keys),
+        instances=sum(observed.values()),
+        fault_artifacts=len(keys - baseline_keys),
+        persisting=len(keys & baseline_keys),
+        real=len(keys & real_keys),
+        masked=len(baseline_keys - keys),
+    )
+
+
+def attribute_tool(
+    baseline: ToolCensus,
+    faulted: ToolCensus,
+    ground: Optional[GroundTruth] = None,
+) -> ToolAttribution:
+    """Split one tool's faulted census against its baseline twin."""
+    ground = ground or GroundTruth()
+    real_loops = {s for s in faulted.loops
+                  if s.address in ground.loop_addresses}
+    real_cycles = {s for s in faulted.cycles
+                   if s.address in ground.cycle_addresses}
+    real_diamonds = {key for key, middles in faulted.diamonds.items()
+                     if middles and middles <= ground.diamond_middles}
+    loops = _split(faulted.loops, set(baseline.loops), real_loops, "loops")
+    cycles = _split(faulted.cycles, set(baseline.cycles), real_cycles,
+                    "cycles")
+    diamond_counts = {key: 1 for key in faulted.diamonds}
+    diamonds = _split(diamond_counts, set(baseline.diamonds),
+                      real_diamonds, "diamonds")
+    stars = _split(faulted.stars, set(baseline.stars), set(),
+                   "mid-route stars")
+    artifact_instances = (
+        sum(count for sig, count in faulted.loops.items()
+            if sig not in real_loops)
+        + sum(count for sig, count in faulted.cycles.items()
+              if sig not in real_cycles)
+    )
+    return ToolAttribution(
+        tool=faulted.tool,
+        routes=faulted.routes,
+        families=[loops, cycles, diamonds, stars],
+        artifact_instances=artifact_instances,
+    )
+
+
+def format_attribution(attributions: dict[str, ToolAttribution],
+                       title: str = "") -> str:
+    """Render family splits per tool as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'family':16s} {'observed':>8s} {'instances':>9s} "
+              f"{'fault-new':>9s} {'persisting':>10s} {'real':>5s} "
+              f"{'masked':>6s}")
+    for tool, attribution in attributions.items():
+        lines.append(f"-- {tool} ({attribution.routes} routes, "
+                     f"artifact rate "
+                     f"{attribution.artifact_rate:.3f}/route)")
+        lines.append(header)
+        for family in attribution.families:
+            lines.append(
+                f"{family.family:16s} {family.observed:8d} "
+                f"{family.instances:9d} {family.fault_artifacts:9d} "
+                f"{family.persisting:10d} {family.real:5d} "
+                f"{family.masked:6d}")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Adversarial network faults: seeded pathologies over the simulator.
+
+The paper's claim is that probe/header *design* decides which anomalies
+a traceroute observes; the follow-up artifact literature (Viger et al.,
+Fontugne et al. — see PAPERS.md) shows that network *pathologies*
+manufacture artifacts even for a well-designed tracer.  This package is
+the second half: composable, deterministic fault policies layered over
+the simulator's delivery path —
+
+- :class:`DeliveryFaultPlane` — in-flight jitter (reordering), delay
+  spikes, and response duplication, attached at
+  :attr:`repro.sim.network.Network.fault_plane`;
+- :class:`NetworkFaultProfile` + :func:`install_fault_profile` — the
+  picklable bundle that also turns on router-side token-bucket ICMP
+  rate limiting and correlated loss bursts
+  (:class:`repro.sim.faults.FaultProfile` fields), attachable
+  per-router or network-wide, including through
+  ``InternetConfig(fault_profile=...)``;
+- :func:`make_fault_profile` / :data:`FAULT_PROFILE_NAMES` — the named
+  profiles the attribution pipeline and benchmarks sweep over.
+
+All randomness is keyed per probing client / per recipient, so fault
+timelines are independent across vantage points and sharded fleet runs
+stay byte-identical to single-process ones (the PR 3 guarantee, now
+with faults on).
+"""
+
+from repro.faults.plane import DeliveryFaultPlane
+from repro.faults.profile import (
+    FaultInstallation,
+    NetworkFaultProfile,
+    install_fault_profile,
+)
+from repro.faults.profiles import FAULT_PROFILE_NAMES, make_fault_profile
+
+__all__ = [
+    "DeliveryFaultPlane",
+    "FaultInstallation",
+    "NetworkFaultProfile",
+    "install_fault_profile",
+    "make_fault_profile",
+    "FAULT_PROFILE_NAMES",
+]

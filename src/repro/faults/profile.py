@@ -1,0 +1,224 @@
+"""Composable network-fault profiles and their installer.
+
+:class:`NetworkFaultProfile` is the single, picklable description of an
+adversarial network condition — which in-flight faults the delivery
+plane applies (jitter, spikes, duplication) and which generation faults
+every scoped router exhibits (ICMP token-bucket rate limiting,
+correlated loss bursts).  It travels inside
+:class:`repro.topology.internet.InternetConfig` (``fault_profile``
+field), so sharded fleet executions rebuild identical fault worlds on
+every topology replica, and it is what the attribution pipeline
+(:mod:`repro.analysis.fault_sensitivity`) sweeps over.
+
+:func:`install_fault_profile` attaches a profile to a built network:
+a :class:`repro.faults.plane.DeliveryFaultPlane` goes on
+:attr:`repro.sim.network.Network.fault_plane` for the in-flight faults,
+and each scoped router's :class:`repro.sim.faults.FaultProfile` gains
+the generation faults, with burst seeds derived from the profile seed
+and the router name so no two routers share a fault calendar.
+``routers`` narrows the scope to named routers (per-router attachment);
+``protected`` exempts routers that must stay clean — the topology
+generator passes the vantage points' access chains, mirroring how it
+shields them from sprinkled quirks.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import TopologyError
+from repro.faults.plane import DeliveryFaultPlane
+from repro.sim.faults import ICMP_EXHAUSTED_MODES
+from repro.sim.network import Network
+from repro.sim.router import Router
+
+
+@dataclass
+class NetworkFaultProfile:
+    """One named adversarial network condition (all faults optional).
+
+    Plain data by design: every field pickles, so a profile crosses
+    process boundaries inside an ``InternetConfig`` unchanged.  A field
+    left at its default disables that fault.
+    """
+
+    name: str = "custom"
+    seed: int = 0
+    # -- delivery-path faults (the plane) ------------------------------
+    #: Max uniform per-response extra delay, seconds (reordering).
+    jitter: float = 0.0
+    #: Probability a response is held ``spike_delay`` extra seconds —
+    #: the heavy tail that crosses the 2-second wait and stars a hop
+    #: the router actually answered.
+    spike_rate: float = 0.0
+    spike_delay: float = 2.5
+    #: Probability a response is duplicated in flight.
+    duplication: float = 0.0
+    duplication_lag: float = 0.002
+    # -- router generation faults --------------------------------------
+    #: ICMP token-bucket refill rate, responses/second (0 = off).
+    rate_limit: float = 0.0
+    #: Token-bucket capacity (responses a cold router answers back to
+    #: back) — under the pipelined engine's windows this is what turns
+    #: rate limiting into *bursty* silence.
+    rate_limit_burst: int = 4
+    #: ``"drop"`` (silence) or ``"defer"`` (paced, late responses).
+    rate_limit_exhausted: str = "drop"
+    #: Probability an emitted response opens a correlated loss burst.
+    loss_burst_start: float = 0.0
+    #: Mean responses swallowed per burst (geometric).
+    loss_burst_length: float = 4.0
+    # -- scope ----------------------------------------------------------
+    #: Router names the profile applies to; None = every router (minus
+    #: ``protected`` at install time).  Also narrows the delivery plane
+    #: to responses sourced from these routers' interface addresses.
+    routers: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0.0:
+            raise TopologyError(f"jitter must be >= 0: {self.jitter}")
+        if not 0.0 <= self.spike_rate <= 1.0:
+            raise TopologyError(
+                f"spike_rate must be in [0,1]: {self.spike_rate}")
+        if self.spike_delay < 0.0:
+            raise TopologyError(
+                f"spike_delay must be >= 0: {self.spike_delay}")
+        if not 0.0 <= self.duplication <= 1.0:
+            raise TopologyError(
+                f"duplication must be in [0,1]: {self.duplication}")
+        if self.duplication_lag <= 0.0:
+            raise TopologyError(
+                f"duplication_lag must be positive: {self.duplication_lag}")
+        if self.rate_limit < 0.0:
+            raise TopologyError(
+                f"rate_limit must be >= 0: {self.rate_limit}")
+        if self.rate_limit_burst < 1:
+            raise TopologyError(
+                f"rate_limit_burst must be >= 1: {self.rate_limit_burst}")
+        if self.rate_limit_exhausted not in ICMP_EXHAUSTED_MODES:
+            raise TopologyError(
+                f"rate_limit_exhausted must be one of "
+                f"{ICMP_EXHAUSTED_MODES}: {self.rate_limit_exhausted!r}")
+        if not 0.0 <= self.loss_burst_start <= 1.0:
+            raise TopologyError(
+                f"loss_burst_start must be in [0,1]: {self.loss_burst_start}")
+        if self.loss_burst_length < 1.0:
+            raise TopologyError(
+                f"loss_burst_length must be >= 1: {self.loss_burst_length}")
+        if self.routers is not None:
+            self.routers = tuple(self.routers)
+
+    @property
+    def has_delivery_faults(self) -> bool:
+        return (self.jitter > 0.0 or self.spike_rate > 0.0
+                or self.duplication > 0.0)
+
+    @property
+    def has_router_faults(self) -> bool:
+        return self.rate_limit > 0.0 or self.loss_burst_start > 0.0
+
+    @property
+    def inert(self) -> bool:
+        """True when no fault is enabled (installing is a no-op)."""
+        return not (self.has_delivery_faults or self.has_router_faults)
+
+    def describe(self) -> str:
+        """A one-line inventory for reports and CLI output."""
+        parts = []
+        if self.jitter > 0.0:
+            parts.append(f"jitter<={self.jitter * 1000:.0f}ms")
+        if self.spike_rate > 0.0:
+            parts.append(f"spikes {self.spike_rate:.0%}@"
+                         f"{self.spike_delay:.1f}s")
+        if self.duplication > 0.0:
+            parts.append(f"dup {self.duplication:.0%}")
+        if self.rate_limit > 0.0:
+            parts.append(f"icmp<={self.rate_limit:g}/s burst "
+                         f"{self.rate_limit_burst} "
+                         f"({self.rate_limit_exhausted})")
+        if self.loss_burst_start > 0.0:
+            parts.append(f"loss bursts {self.loss_burst_start:.0%}x"
+                         f"{self.loss_burst_length:g}")
+        scope = "all routers" if self.routers is None \
+            else f"{len(self.routers)} router(s)"
+        return f"{self.name}: {', '.join(parts) or 'inert'} [{scope}]"
+
+
+@dataclass
+class FaultInstallation:
+    """What :func:`install_fault_profile` touched (for reports/tests)."""
+
+    profile: NetworkFaultProfile
+    plane: Optional[DeliveryFaultPlane]
+    routers: list[str] = field(default_factory=list)
+
+
+def install_fault_profile(
+    network: Network,
+    profile: NetworkFaultProfile,
+    protected: Iterable[str] = (),
+) -> FaultInstallation:
+    """Attach ``profile`` to a built network.
+
+    Mutates scoped routers' fault profiles in place (preserving quirks
+    a topology already assigned — a zero-TTL forwarder can also be rate
+    limited) and installs the delivery plane on the network.  Raises
+    :class:`TopologyError` when a named router does not exist or is not
+    a router.
+    """
+    protected = set(protected)
+    if profile.routers is None:
+        routers = [node for name, node in sorted(network.nodes.items())
+                   if isinstance(node, Router) and name not in protected]
+    else:
+        routers = []
+        for name in profile.routers:
+            node = network.node(name)
+            if not isinstance(node, Router):
+                raise TopologyError(
+                    f"fault profile scoped to non-router {name!r}")
+            if name not in protected:
+                routers.append(node)
+
+    if profile.has_router_faults:
+        for router in routers:
+            faults = router.faults
+            if profile.rate_limit > 0.0:
+                faults.icmp_rate_limit = profile.rate_limit
+                faults.icmp_burst = profile.rate_limit_burst
+                faults.icmp_exhausted = profile.rate_limit_exhausted
+            if profile.loss_burst_start > 0.0:
+                faults.loss_burst_start = profile.loss_burst_start
+                faults.loss_burst_length = profile.loss_burst_length
+                faults.burst_seed = zlib.crc32(
+                    f"{profile.seed}:{router.name}".encode())
+
+    plane = None
+    if profile.has_delivery_faults:
+        if profile.routers is None:
+            sources = None
+        else:
+            # Responses carry the router's interface address — or its
+            # spoofed one when the fake-address quirk is on; both must
+            # match the scope or the plane silently skips that router.
+            sources = [iface.address
+                       for router in routers
+                       for iface in router.interfaces]
+            sources.extend(router.faults.fake_source_address
+                           for router in routers
+                           if router.faults.fake_source_address is not None)
+        plane = DeliveryFaultPlane(
+            seed=profile.seed,
+            jitter=profile.jitter,
+            spike_rate=profile.spike_rate,
+            spike_delay=profile.spike_delay,
+            duplication=profile.duplication,
+            duplication_lag=profile.duplication_lag,
+            sources=sources,
+        )
+        network.fault_plane = plane
+
+    return FaultInstallation(profile=profile, plane=plane,
+                             routers=[r.name for r in routers])

@@ -1,0 +1,73 @@
+"""The named fault profiles the robustness studies sweep over.
+
+Each profile isolates one pathology family from the traceroute-artifact
+literature (Viger et al., "Detection, Understanding, and Prevention of
+Traceroute Measurement Artifacts"); ``adversarial`` combines them all
+at milder intensities.  Magnitudes are chosen against this simulator's
+scales — link delays around a millisecond, the paper's 2-second wait —
+so each profile visibly perturbs a campaign without drowning it:
+
+- ``reordering`` — 40 ms of per-response jitter (an order of magnitude
+  above the RTT spread, so windows of in-flight probes resolve out of
+  order) plus an 8 % heavy tail of 2.5-second spikes that cross the
+  flat wait and star hops the routers actually answered.
+- ``rate-limit`` — every router paces ICMP generation with a
+  one-per-second token bucket of capacity 4: a pipelined window
+  bursting through one box gets four answers and then silence.
+- ``duplication`` — one response in five arrives twice.
+- ``loss-bursts`` — 6 % of responses open a correlated loss burst that
+  swallows about five follow-ups (a Gilbert-Elliott channel per
+  router and probing client).
+- ``adversarial`` — all four, gentler, for worst-case soak runs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.faults.profile import NetworkFaultProfile
+
+#: The sweep order reports and the CLI use.
+FAULT_PROFILE_NAMES = (
+    "reordering",
+    "rate-limit",
+    "duplication",
+    "loss-bursts",
+    "adversarial",
+)
+
+
+def make_fault_profile(name: str, seed: int = 0) -> NetworkFaultProfile:
+    """Build one named profile, seeded for deterministic replay."""
+    if name == "reordering":
+        return NetworkFaultProfile(
+            name=name, seed=seed,
+            jitter=0.04, spike_rate=0.08, spike_delay=2.5,
+        )
+    if name == "rate-limit":
+        return NetworkFaultProfile(
+            name=name, seed=seed,
+            rate_limit=1.0, rate_limit_burst=4,
+            rate_limit_exhausted="drop",
+        )
+    if name == "duplication":
+        return NetworkFaultProfile(
+            name=name, seed=seed,
+            duplication=0.2, duplication_lag=0.003,
+        )
+    if name == "loss-bursts":
+        return NetworkFaultProfile(
+            name=name, seed=seed,
+            loss_burst_start=0.06, loss_burst_length=5.0,
+        )
+    if name == "adversarial":
+        return NetworkFaultProfile(
+            name=name, seed=seed,
+            jitter=0.02, spike_rate=0.04, spike_delay=2.5,
+            duplication=0.08, duplication_lag=0.003,
+            rate_limit=2.0, rate_limit_burst=6,
+            rate_limit_exhausted="drop",
+            loss_burst_start=0.03, loss_burst_length=4.0,
+        )
+    raise TopologyError(
+        f"unknown fault profile {name!r}; "
+        f"choose from {FAULT_PROFILE_NAMES}")

@@ -279,7 +279,8 @@ class _CohortWalk:
                 self.traverse(action.interface, packet.ip.dst, [traveler],
                               decrement=False)
             elif isinstance(action, Respond):
-                self.start_local(action.node, action.packet, delay, steps)
+                self.start_local(action.node, action.packet,
+                                 delay + action.delay, steps)
             elif isinstance(action, Deliver):
                 self.result.deliveries.append(
                     Delivery(action.node, action.packet, delay)

@@ -80,6 +80,11 @@ class Network:
         self.links: list[Link] = []
         self._address_index: dict[IPv4Address, Node] = {}
         self._dynamics: list = []
+        #: Optional delivery-path fault policy (jitter, duplication):
+        #: a :class:`repro.faults.DeliveryFaultPlane` applied to every
+        #: walk's deliveries before the caller (blocking socket) or the
+        #: delivery buffer (async path) sees them.
+        self.fault_plane = None
         # Asynchronous delivery buffer: (absolute arrival time, sequence
         # number, Delivery) heap fed by submit()/submit_cohort() and
         # drained by deliveries().  The sequence number keeps the pop
@@ -168,7 +173,10 @@ class Network:
     def inject(self, packet: Packet, at: Node) -> WalkResult:
         """Originate ``packet`` at node ``at`` and walk it to quiescence."""
         self.apply_dynamics()
-        return self.walk([(at, None, packet, 0.0, True)])
+        result = self.walk([(at, None, packet, 0.0, True)])
+        if self.fault_plane is not None:
+            self.fault_plane.apply(result)
+        return result
 
     def walk(
         self,
@@ -202,7 +210,8 @@ class Network:
                 if isinstance(action, Transmit):
                     self._traverse(action, elapsed, queue, result)
                 elif isinstance(action, Respond):
-                    queue.append((action.node, None, action.packet, elapsed, True))
+                    queue.append((action.node, None, action.packet,
+                                  elapsed + action.delay, True))
                 elif isinstance(action, Deliver):
                     result.deliveries.append(
                         Delivery(action.node, action.packet, elapsed)
@@ -247,6 +256,8 @@ class Network:
 
         self.apply_dynamics()
         result = walk_cohort(self, packets, at)
+        if self.fault_plane is not None:
+            self.fault_plane.apply(result)
         self._buffer_deliveries(result)
         return result
 

@@ -94,10 +94,14 @@ class Respond:
     Distinct from :class:`Transmit` because the generating node may not
     know (or care) which interface leads back to the probe source — the
     network walk re-enters the node's own forwarding logic to route it.
+    ``delay`` is extra time spent *before* generation (a deferring ICMP
+    rate limiter pacing its responses); the walk adds it to the elapsed
+    time like a link crossing.
     """
 
     node: "Node"
     packet: Packet
+    delay: float = 0.0
 
 
 Action = Transmit | Deliver | Drop | Respond
@@ -308,11 +312,18 @@ class Node:
             return self._emit_response(response, packet)
         return [Deliver(self, packet)]
 
-    def _emit_response(self, response: Packet, offending: Packet) -> list[Action]:
-        """Wrap a generated response in actions, honouring loss faults."""
-        if self.faults.response_is_lost():
+    def _emit_response(self, response: Packet, offending: Packet,
+                       delay: float = 0.0) -> list[Action]:
+        """Wrap a generated response in actions, honouring loss faults.
+
+        The probing client (the offending packet's source) keys the
+        correlated-loss channel, so each vantage point rides its own
+        deterministic burst calendar; ``delay`` carries a deferring
+        rate limiter's pacing into the walk.
+        """
+        if self.faults.response_is_lost(offending.src):
             return [Drop(self, offending, "response lost (fault profile)")]
-        return [Respond(self, response)]
+        return [Respond(self, response, delay=delay)]
 
     # ------------------------------------------------------------------
     # to be provided by subclasses

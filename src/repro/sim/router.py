@@ -250,17 +250,13 @@ class Router(Node):
             # quoting TTL 0 — the Fig. 4 signature.
             if is_icmp_error or self.faults.silent:
                 return [Drop(self, packet, "ttl 0, no response")]
-            if not self.faults.allow_response_at(network.clock.now):
-                return [Drop(self, packet, "icmp rate limited")]
-            response = self.make_time_exceeded(packet, in_interface)
-            return self._emit_response(response, packet)
+            return self._rate_limited_time_exceeded(packet, in_interface,
+                                                    network)
         if packet.ttl == 1 and not self.faults.zero_ttl_forwarding:
             if is_icmp_error or self.faults.silent:
                 return [Drop(self, packet, "ttl expired, no response")]
-            if not self.faults.allow_response_at(network.clock.now):
-                return [Drop(self, packet, "icmp rate limited")]
-            response = self.make_time_exceeded(packet, in_interface)
-            return self._emit_response(response, packet)
+            return self._rate_limited_time_exceeded(packet, in_interface,
+                                                    network)
 
         # --- route lookup -------------------------------------------------
         entry = self.lookup(packet.dst, network.clock.now)
@@ -279,6 +275,26 @@ class Router(Node):
         egress = entry.choose_egress(packet)
         forwarded = packet.decremented()
         return [Transmit(egress, forwarded)]
+
+    def _rate_limited_time_exceeded(
+        self,
+        packet: Packet,
+        in_interface: Interface | None,
+        network: "Network",
+    ) -> list[Action]:
+        """Generate a Time Exceeded through the ICMP token bucket.
+
+        The bucket is keyed by the probing client (the offending
+        packet's source), so one vantage point's probe bursts never
+        perturb the silence pattern another vantage observes.  An
+        exhausted bucket either stars the hop (``"drop"``) or paces the
+        response out at the next token accrual (``"defer"``).
+        """
+        delay = self.faults.response_delay_at(network.clock.now, packet.src)
+        if delay is None:
+            return [Drop(self, packet, "icmp rate limited")]
+        response = self.make_time_exceeded(packet, in_interface)
+        return self._emit_response(response, packet, delay=delay)
 
     def dispatch(self, packet: Packet, network: "Network") -> list[Action]:
         """Route a locally-generated packet (no TTL decrement here)."""

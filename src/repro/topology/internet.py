@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.errors import TopologyError
+from repro.faults.profile import NetworkFaultProfile, install_fault_profile
 from repro.net.inet import IPv4Address, Prefix
 from repro.sim.balancer import BalancerPolicy, PerFlowPolicy, PerPacketPolicy
 from repro.sim.dynamics import ForwardingLoopWindow, RouteChange, RouteWithdrawal
@@ -126,6 +127,14 @@ class InternetConfig:
     forwarding_loops_per_hour: float = 1.0
     #: Duration of each transient forwarding loop / withdrawal, seconds.
     event_duration: float = 120.0
+    #: Adversarial network condition installed over the built topology
+    #: (see :mod:`repro.faults`): in-flight jitter/spikes/duplication on
+    #: the delivery path plus router-side token-bucket rate limiting and
+    #: correlated loss bursts.  The vantage points' access chains are
+    #: always exempt, like they are from the sprinkled quirks above.
+    #: None (the default) leaves the topology draw-for-draw identical
+    #: to earlier versions.
+    fault_profile: Optional[NetworkFaultProfile] = None
 
     def __post_init__(self) -> None:
         if self.n_tier1 < 2:
@@ -837,6 +846,9 @@ class _Generator:
         self._sprinkle_faults(protected)
 
         network = self.builder.build()
+        if cfg.fault_profile is not None:
+            install_fault_profile(network, cfg.fault_profile,
+                                  protected=protected)
         self._schedule_dynamics(network)
         return InternetTopology(
             network=network,

@@ -1,0 +1,92 @@
+"""The fault-sensitivity sweep: determinism and the paper's thesis."""
+
+import pytest
+
+from repro.analysis import ground_truth_from_topology, run_fault_sensitivity
+from repro.errors import CampaignError
+from repro.faults import make_fault_profile
+from repro.topology.internet import InternetConfig, generate_internet
+
+SWEEP_INTERNET = InternetConfig(
+    seed=7, n_tier1=3, n_transit=4, n_stub=8, dests_per_stub=2,
+    n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1,
+    n_nat_dests=1, n_zero_ttl_dests=1,
+    response_loss_rate=0.0, p_per_packet=0.0)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_fault_sensitivity(
+        SWEEP_INTERNET, profiles=("reordering", "duplication"),
+        rounds=2, max_destinations=10, mda=True)
+
+
+class TestSweep:
+    def test_classic_artifact_rate_exceeds_paris_under_reordering(self, sweep):
+        """The paper's thesis, now under induced faults."""
+        outcome = sweep.outcome("reordering")
+        assert outcome.artifact_rate("classic") > outcome.artifact_rate("paris")
+
+    def test_reordering_manufactures_mid_route_stars(self, sweep):
+        outcome = sweep.outcome("reordering")
+        stars = outcome.attributions["classic"].family("mid-route stars")
+        assert stars.fault_artifacts > 0
+
+    def test_duplication_changes_no_inference(self, sweep):
+        """Duplicated responses are claimed once: the census under pure
+        duplication equals the baseline census exactly."""
+        outcome = sweep.outcome("duplication")
+        for tool in ("classic", "paris"):
+            for family in outcome.attributions[tool].families:
+                assert family.fault_artifacts == 0
+                assert family.masked == 0
+        assert outcome.mda.divergent == 0
+
+    def test_report_renders(self, sweep):
+        text = sweep.format_report()
+        assert "reordering" in text and "artifact rates" in text
+        assert "mda divergent" in text
+
+    def test_deterministic_rerun(self, sweep):
+        again = run_fault_sensitivity(
+            SWEEP_INTERNET, profiles=("reordering",), rounds=2,
+            max_destinations=10)
+        a = again.outcome("reordering").attributions["classic"]
+        b = sweep.outcome("reordering").attributions["classic"]
+        assert [vars(f) for f in a.families] == [vars(f) for f in b.families]
+        assert a.artifact_instances == b.artifact_instances
+
+
+class TestGuards:
+    def test_preconfigured_fault_profile_rejected(self):
+        from dataclasses import replace
+
+        config = replace(SWEEP_INTERNET,
+                         fault_profile=make_fault_profile("reordering"))
+        with pytest.raises(CampaignError):
+            run_fault_sensitivity(config, profiles=("reordering",),
+                                  rounds=1, max_destinations=2)
+
+    def test_unknown_profile_name_propagates(self):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            run_fault_sensitivity(SWEEP_INTERNET, profiles=("nope",),
+                                  rounds=1, max_destinations=2)
+
+
+class TestGroundTruth:
+    def test_branch_interfaces_and_no_real_loops(self):
+        topology = generate_internet(SWEEP_INTERNET)
+        ground = ground_truth_from_topology(topology)
+        assert ground.diamond_middles          # balancers exist
+        assert not ground.loop_addresses       # loops are never real
+        branch_routers = [
+            router
+            for site in topology.sites if site.balancer is not None
+            for router in site.routers
+            if router.name.startswith(f"AS{site.asn}-B")
+        ]
+        assert branch_routers
+        for router in branch_routers:
+            assert router.addresses <= ground.diamond_middles

@@ -1,0 +1,117 @@
+"""Fault attribution: census computation and the measured/artifact split."""
+
+from repro.core import (
+    GroundTruth,
+    MeasuredRoute,
+    RouteHop,
+    StarSignature,
+    attribute_tool,
+    compute_tool_census,
+    format_attribution,
+)
+from repro.net.inet import IPv4Address
+
+
+def route(destination, addresses, tool="classic", round_index=0):
+    """A measured route from a list of address strings (None = star)."""
+    hops = [
+        RouteHop(ttl=ttl, address=None if a is None else IPv4Address(a))
+        for ttl, a in enumerate(addresses, start=1)
+    ]
+    return MeasuredRoute(
+        source=IPv4Address("10.0.0.1"),
+        destination=IPv4Address(destination),
+        hops=hops, tool=tool, round_index=round_index,
+    )
+
+
+A, B, C, D = "1.0.0.1", "1.0.0.2", "1.0.0.3", "9.0.0.9"
+
+
+class TestCensus:
+    def test_counts_all_families(self):
+        routes = [
+            route(D, [A, A, B, D]),            # loop on A
+            route(D, [A, B, A, D]),            # cycle on A
+            route(D, [A, None, B, D]),         # mid-route star at TTL 2
+            route(D, [A, B, C, D]),            # clean
+            route(D, [A, C, B, D]),            # diamond middles {B, C}
+        ]
+        census = compute_tool_census("classic", routes)
+        assert census.routes == 5
+        assert census.loop_instances == 1
+        assert census.cycle_instances == 1
+        assert census.star_hops == 1
+        assert StarSignature(IPv4Address(D), 2) in census.stars
+        assert len(census.diamonds) >= 1
+
+    def test_trailing_stars_are_not_mid_route(self):
+        census = compute_tool_census(
+            "classic", [route(D, [A, B, None, None])])
+        assert census.star_hops == 0
+
+    def test_instances_accumulate_over_rounds(self):
+        routes = [route(D, [A, A, D], round_index=r) for r in range(3)]
+        census = compute_tool_census("classic", routes)
+        assert len(census.loops) == 1
+        assert census.loop_instances == 3
+
+
+class TestAttribution:
+    def baseline(self):
+        return compute_tool_census("classic", [
+            route(D, [A, A, B, D]),            # a design-artifact loop
+        ])
+
+    def test_fault_artifacts_vs_persisting(self):
+        faulted = compute_tool_census("classic", [
+            route(D, [A, A, B, D]),            # the baseline loop persists
+            route(D, [A, B, B, D]),            # new loop on B: fault-made
+        ])
+        attribution = attribute_tool(self.baseline(), faulted)
+        loops = attribution.family("loops")
+        assert loops.observed == 2
+        assert loops.fault_artifacts == 1
+        assert loops.persisting == 1
+        assert loops.masked == 0
+        assert attribution.artifact_instances == 2
+
+    def test_masked_anomalies_counted(self):
+        faulted = compute_tool_census("classic", [
+            route(D, [A, None, B, D]),         # star hides the loop
+        ])
+        attribution = attribute_tool(self.baseline(), faulted)
+        assert attribution.family("loops").masked == 1
+        assert attribution.family("mid-route stars").fault_artifacts == 1
+
+    def test_ground_truth_marks_real_anomalies(self):
+        faulted = compute_tool_census("classic", [
+            route(D, [A, B, A, D]),            # cycle on A
+            route(D, [A, B, D]),               # (A, D) via B...
+            route(D, [A, C, D]),               # ...and via C: a diamond
+        ])
+        ground = GroundTruth(
+            cycle_addresses=frozenset({IPv4Address(A)}),
+            diamond_middles=frozenset({IPv4Address(B), IPv4Address(C)}),
+        )
+        attribution = attribute_tool(self.baseline(), faulted, ground)
+        assert attribution.family("cycles").real == 1
+        assert attribution.family("diamonds").real == 1
+        # The real cycle's instances do not count as artifacts.
+        assert attribution.artifact_instances == 0
+
+    def test_artifact_rate_normalises_by_routes(self):
+        faulted = compute_tool_census("classic", [
+            route(D, [A, A, B, D]),
+            route(D, [A, B, C, D]),
+        ])
+        attribution = attribute_tool(self.baseline(), faulted)
+        assert attribution.artifact_rate == 0.5
+
+    def test_format_renders_every_family(self):
+        faulted = compute_tool_census("classic", [route(D, [A, A, B, D])])
+        attribution = attribute_tool(self.baseline(), faulted)
+        text = format_attribution({"classic": attribution}, title="== t")
+        for token in ("== t", "loops", "cycles", "diamonds",
+                      "mid-route stars", "artifact rate"):
+            assert token in text

@@ -1,0 +1,157 @@
+"""Engine behaviour under injected network faults.
+
+The satellite guarantees of the fault subsystem:
+
+- duplicated responses are claimed exactly once (the trailing copy is
+  recognised as a straggler, never matched to a live probe);
+- a deferring ICMP rate limiter stretches RTTs but, as long as the
+  deferred burst lands inside the adaptive policy's clamped timeout,
+  no hop is misclassified as a star;
+- bursty rate-limit silence produces mid-route stars without tripping
+  the hop loop's consecutive-star halt, so traces keep probing through
+  the burst (star-budget adjudication under bursts).
+"""
+
+import pytest
+
+from repro.engine import (
+    AdaptiveTimeout,
+    PipelinedTraceroute,
+    ProbeScheduler,
+    TraceSpec,
+)
+from repro.faults import DeliveryFaultPlane
+from repro.sim import MeasurementHost, Network, Router
+from repro.sim.endhost import Host
+from repro.sim.faults import FaultProfile
+from repro.sim.socketapi import ProbeSocket
+from repro.tracer.base import TracerouteOptions
+from repro.tracer.paris import ParisTraceroute
+
+from tests.engine.test_pipeline import route_signature
+from tests.sim.helpers import chain_network
+
+
+def long_chain(hops=6):
+    """S -- R1 -- ... -- Rn -- D, every link delay 1 ms."""
+    net = Network()
+    s = MeasurementHost("S")
+    s.add_interface("10.0.0.1")
+    net.add_node(s)
+    routers = []
+    previous_iface = s.interfaces[0]
+    for i in range(hops):
+        router = Router(f"R{i + 1}")
+        up = router.add_interface(f"10.0.{i}.2")
+        down = router.add_interface(f"10.0.{i + 1}.1")
+        net.add_node(router)
+        net.link(previous_iface, up)
+        router.add_route("10.9.0.0/16", down)
+        router.add_default_route(up)
+        routers.append(router)
+        previous_iface = down
+    d = Host("D")
+    d_iface = d.add_interface("10.9.0.1")
+    net.add_node(d)
+    net.link(previous_iface, d_iface)
+    return net, s, routers, d
+
+
+class TestDuplicationClaimedOnce:
+    def test_route_identical_with_full_duplication(self):
+        """Every response duplicated; inference must not change a bit."""
+        clean_net, clean_s, *_ , clean_d = chain_network()
+        tracer = ParisTraceroute(ProbeSocket(clean_net, clean_s), seed=3)
+        baseline = route_signature(
+            PipelinedTraceroute(tracer, window=4).trace(clean_d.address))
+
+        net, s, *_, d = chain_network()
+        net.fault_plane = DeliveryFaultPlane(seed=1, duplication=1.0,
+                                             duplication_lag=0.003)
+        tracer = ParisTraceroute(ProbeSocket(net, s), seed=3)
+        duplicated = route_signature(
+            PipelinedTraceroute(tracer, window=4).trace(d.address))
+        assert duplicated == baseline
+
+    def test_copies_are_received_but_not_claimed(self):
+        net, s, *_, d = chain_network()
+        net.fault_plane = DeliveryFaultPlane(seed=1, duplication=1.0,
+                                             duplication_lag=0.003)
+        socket = ProbeSocket(net, s)
+        tracer = ParisTraceroute(socket, seed=3)
+        pipelined = PipelinedTraceroute(tracer, window=4)
+        result = pipelined.trace(d.address)
+        answered = sum(1 for hop in result.hops
+                       for reply in hop.replies if not reply.is_star)
+        # Both copies reach the vantage point's socket...
+        assert pipelined.socket.responses_received >= 2 * answered
+        # ...but each hop still carries exactly one reply.
+        assert all(len(hop.replies) == 1 for hop in result.hops)
+
+
+class TestAdaptiveTimeoutUnderRateLimit:
+    def warmed_policy(self):
+        policy = AdaptiveTimeout(ceiling=2.0, floor=0.1)
+        for __ in range(4):
+            policy.observe(0.004)
+        assert policy.timeout_for() == pytest.approx(0.1)
+        return policy
+
+    def run_two_lanes(self, exhausted):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(icmp_rate_limit=50.0, icmp_burst=1,
+                                 icmp_exhausted=exhausted)
+        tracer = ParisTraceroute(ProbeSocket(net, s), seed=1)
+        scheduler = ProbeScheduler(net, s, window=4,
+                                   timeout_policy=self.warmed_policy())
+        scheduler.add_lane([TraceSpec(tracer, d.address)])
+        scheduler.add_lane([TraceSpec(tracer, d.address)])
+        outcomes = scheduler.run()
+        return [outcome.result for outcome in outcomes]
+
+    def test_deferred_burst_is_not_a_star(self):
+        """Two lanes burst TTL-1 probes through one limited router; the
+        second response is paced 20 ms late — well inside the adaptive
+        floor — and must be claimed, not starred."""
+        results = self.run_two_lanes("defer")
+        first_hops = [result.hops[0].replies[0] for result in results]
+        assert all(not reply.is_star for reply in first_hops)
+        rtts = sorted(reply.rtt for reply in first_hops)
+        assert rtts[1] >= rtts[0] + 0.015  # the deferral is visible
+
+    def test_dropping_burst_stars_exactly_the_excess(self):
+        results = self.run_two_lanes("drop")
+        stars = [result.hops[0].replies[0].is_star for result in results]
+        assert sorted(stars) == [False, True]
+
+
+class TestStarBudgetUnderBursts:
+    def limited_chain(self):
+        net, s, routers, d = long_chain(hops=6)
+        # R3..R5 have empty-refill buckets once their single token is
+        # spent; a first fast trace drains them for the second.
+        for router in routers[2:5]:
+            router.faults = FaultProfile(icmp_rate_limit=0.001,
+                                         icmp_burst=1)
+        return net, s, d
+
+    def test_burst_shorter_than_budget_does_not_halt(self):
+        net, s, d = self.limited_chain()
+        tracer = ParisTraceroute(ProbeSocket(net, s), seed=1)
+        primer = tracer.trace(d.address)
+        assert primer.halt_reason == "destination"
+        second = tracer.trace(d.address)
+        stars = [hop.ttl for hop in second.hops
+                 if hop.replies[0].is_star]
+        assert stars == [3, 4, 5]          # the silent burst...
+        assert second.halt_reason == "destination"   # ...did not halt it
+
+    def test_tight_budget_halts_inside_the_burst(self):
+        net, s, d = self.limited_chain()
+        options = TracerouteOptions(max_consecutive_stars=2)
+        tracer = ParisTraceroute(ProbeSocket(net, s), seed=1,
+                                 options=options)
+        tracer.trace(d.address)
+        second = tracer.trace(d.address)
+        assert second.halt_reason == "stars"
+        assert second.hops[-1].ttl == 4    # halted two stars in

@@ -1,0 +1,108 @@
+"""Delivery fault plane: determinism, scoping, and per-recipient keying."""
+
+import pytest
+
+from repro.faults import DeliveryFaultPlane
+from repro.net.inet import IPv4Address
+from repro.sim.network import Delivery, WalkResult
+from repro.sim.node import Node
+
+
+def make_node(name, address):
+    node = Node(name)
+    node.add_interface(address)
+    return node
+
+
+def make_result(recipients, src="10.0.0.2", n=4):
+    """A WalkResult with ``n`` deliveries per recipient node."""
+    from repro.net import Packet
+    from repro.net.udp import UDPHeader
+
+    result = WalkResult()
+    for node in recipients:
+        for i in range(n):
+            packet = Packet.make(
+                IPv4Address(src), node.interfaces[0].address,
+                UDPHeader(src_port=30000 + i, dst_port=33435), ttl=60)
+            result.deliveries.append(Delivery(node, packet, 0.010 + i * 0.001))
+    return result
+
+
+class TestJitterDeterminism:
+    def test_same_seed_same_delays(self):
+        node = make_node("S", "10.0.0.1")
+        a, b = make_result([node]), make_result([node])
+        DeliveryFaultPlane(seed=3, jitter=0.05).apply(a)
+        DeliveryFaultPlane(seed=3, jitter=0.05).apply(b)
+        assert [d.elapsed for d in a.deliveries] \
+            == [d.elapsed for d in b.deliveries]
+
+    def test_different_seed_different_delays(self):
+        node = make_node("S", "10.0.0.1")
+        a, b = make_result([node]), make_result([node])
+        DeliveryFaultPlane(seed=3, jitter=0.05).apply(a)
+        DeliveryFaultPlane(seed=4, jitter=0.05).apply(b)
+        assert [d.elapsed for d in a.deliveries] \
+            != [d.elapsed for d in b.deliveries]
+
+    def test_jitter_only_adds_delay(self):
+        node = make_node("S", "10.0.0.1")
+        result = make_result([node])
+        before = [d.elapsed for d in result.deliveries]
+        DeliveryFaultPlane(seed=1, jitter=0.05).apply(result)
+        after = [d.elapsed for d in result.deliveries]
+        assert all(b <= a < b + 0.05 for b, a in zip(before, after))
+
+    def test_recipients_draw_independent_streams(self):
+        """Removing one recipient's traffic never shifts another's draws
+        — the property shard determinism rests on."""
+        s1, s2 = make_node("S1", "10.0.0.1"), make_node("S2", "10.0.0.9")
+        both = make_result([s1, s2])
+        alone = make_result([s2])
+        DeliveryFaultPlane(seed=5, jitter=0.05).apply(both)
+        DeliveryFaultPlane(seed=5, jitter=0.05).apply(alone)
+        s2_with = [d.elapsed for d in both.deliveries if d.node is s2]
+        s2_alone = [d.elapsed for d in alone.deliveries]
+        assert s2_with == s2_alone
+
+
+class TestSpikesAndDuplication:
+    def test_spike_crosses_the_wait(self):
+        node = make_node("S", "10.0.0.1")
+        result = make_result([node], n=64)
+        DeliveryFaultPlane(seed=2, spike_rate=0.25,
+                           spike_delay=2.5).apply(result)
+        spiked = [d for d in result.deliveries if d.elapsed > 2.0]
+        assert spiked and len(spiked) < len(result.deliveries)
+
+    def test_duplication_appends_trailing_copies(self):
+        node = make_node("S", "10.0.0.1")
+        result = make_result([node], n=8)
+        plane = DeliveryFaultPlane(seed=2, duplication=1.0,
+                                   duplication_lag=0.002)
+        plane.apply(result)
+        assert len(result.deliveries) == 16
+        assert plane.duplicated == 8
+        originals, copies = result.deliveries[:8], result.deliveries[8:]
+        for original, copy in zip(originals, copies):
+            assert copy.packet is original.packet
+            assert copy.elapsed == pytest.approx(original.elapsed + 0.002)
+
+    def test_scope_restricts_to_listed_sources(self):
+        node = make_node("S", "10.0.0.1")
+        result = make_result([node], src="10.0.0.2")
+        plane = DeliveryFaultPlane(seed=2, duplication=1.0,
+                                   sources=[IPv4Address("99.0.0.1")])
+        plane.apply(result)
+        assert len(result.deliveries) == 4  # out of scope: untouched
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DeliveryFaultPlane(jitter=-0.1)
+        with pytest.raises(ValueError):
+            DeliveryFaultPlane(spike_rate=1.5)
+        with pytest.raises(ValueError):
+            DeliveryFaultPlane(duplication=-0.2)
+        with pytest.raises(ValueError):
+            DeliveryFaultPlane(duplication_lag=0.0)

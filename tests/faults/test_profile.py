@@ -1,0 +1,180 @@
+"""NetworkFaultProfile: installation scope, token bucket, loss bursts."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.faults import (
+    FAULT_PROFILE_NAMES,
+    NetworkFaultProfile,
+    install_fault_profile,
+    make_fault_profile,
+)
+from repro.net.inet import IPv4Address
+from repro.sim.faults import FaultProfile
+
+from tests.sim.helpers import chain_network
+
+
+class TestNamedProfiles:
+    def test_every_name_builds(self):
+        for name in FAULT_PROFILE_NAMES:
+            profile = make_fault_profile(name, seed=3)
+            assert profile.name == name
+            assert not profile.inert
+            assert name in profile.describe()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TopologyError):
+            make_fault_profile("packet-of-doom")
+
+    def test_profiles_pickle(self):
+        """Profiles cross process boundaries inside InternetConfig."""
+        for name in FAULT_PROFILE_NAMES:
+            profile = make_fault_profile(name, seed=3)
+            assert pickle.loads(pickle.dumps(profile)) == profile
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(rate_limit=-1.0)
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(rate_limit_burst=0)
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(rate_limit_exhausted="explode")
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(jitter=-0.04)       # sign typo, not inert
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(spike_rate=1.5)
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(duplication=-0.2)
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(duplication_lag=0.0)
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(loss_burst_start=1.5)
+        with pytest.raises(TopologyError):
+            NetworkFaultProfile(loss_burst_length=0.2)
+
+
+class TestInstallation:
+    def test_network_wide_touches_every_router(self):
+        net, s, r1, r2, d = chain_network()
+        installed = install_fault_profile(
+            net, make_fault_profile("rate-limit", seed=1))
+        assert installed.routers == ["R1", "R2"]
+        for router in (r1, r2):
+            assert router.faults.icmp_rate_limit == 1.0
+            assert router.faults.icmp_burst == 4
+        assert net.fault_plane is None  # no delivery faults in this one
+
+    def test_scoped_and_protected_routers(self):
+        net, s, r1, r2, d = chain_network()
+        profile = NetworkFaultProfile(name="x", rate_limit=2.0,
+                                      routers=("R1", "R2"))
+        installed = install_fault_profile(net, profile, protected={"R2"})
+        assert installed.routers == ["R1"]
+        assert r2.faults.icmp_rate_limit == 0.0
+
+    def test_scoped_delivery_plane_uses_router_addresses(self):
+        net, s, r1, r2, d = chain_network()
+        profile = NetworkFaultProfile(name="x", jitter=0.05,
+                                      routers=("R1",))
+        installed = install_fault_profile(net, profile)
+        assert net.fault_plane is installed.plane
+        assert installed.plane.sources == frozenset(r1.addresses)
+
+    def test_scoped_plane_covers_fake_source_addresses(self):
+        """A spoofing router's responses carry the fake address; a
+        per-router scope must still match them."""
+        net, s, r1, r2, d = chain_network()
+        fake = IPv4Address("172.30.0.1")
+        r1.faults = FaultProfile(fake_source_address=fake)
+        installed = install_fault_profile(
+            net, NetworkFaultProfile(name="x", jitter=0.05,
+                                     routers=("R1",)))
+        assert fake in installed.plane.sources
+
+    def test_unknown_router_rejected(self):
+        net, *_ = chain_network()
+        with pytest.raises(TopologyError):
+            install_fault_profile(
+                net, NetworkFaultProfile(rate_limit=1.0, routers=("R9",)))
+
+    def test_existing_quirks_survive(self):
+        net, s, r1, r2, d = chain_network()
+        r1.faults = FaultProfile(zero_ttl_forwarding=True)
+        install_fault_profile(net, make_fault_profile("loss-bursts", seed=1))
+        assert r1.faults.zero_ttl_forwarding
+        assert r1.faults.loss_burst_start > 0.0
+        assert r1.faults.burst_seed != r2.faults.burst_seed
+
+
+class TestTokenBucket:
+    def test_burst_then_silence(self):
+        profile = FaultProfile(icmp_rate_limit=1.0, icmp_burst=3)
+        client = IPv4Address("10.0.0.1")
+        grants = [profile.response_delay_at(0.0, client) for __ in range(5)]
+        assert grants[:3] == [0.0, 0.0, 0.0]
+        assert grants[3:] == [None, None]
+
+    def test_refill_restores_tokens(self):
+        profile = FaultProfile(icmp_rate_limit=2.0, icmp_burst=1)
+        client = IPv4Address("10.0.0.1")
+        assert profile.response_delay_at(0.0, client) == 0.0
+        assert profile.response_delay_at(0.1, client) is None
+        assert profile.response_delay_at(0.6, client) == 0.0  # 0.5 s refill
+
+    def test_defer_returns_the_wait(self):
+        profile = FaultProfile(icmp_rate_limit=2.0, icmp_burst=1,
+                               icmp_exhausted="defer")
+        client = IPv4Address("10.0.0.1")
+        assert profile.response_delay_at(0.0, client) == 0.0
+        wait = profile.response_delay_at(0.0, client)
+        assert wait == pytest.approx(0.5)
+        # The deferred grant spent the accruing token: the next call
+        # waits a full interval beyond it.
+        assert profile.response_delay_at(0.0, client) == pytest.approx(1.0)
+
+    def test_clients_have_independent_buckets(self):
+        profile = FaultProfile(icmp_rate_limit=1.0, icmp_burst=1)
+        a, b = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+        assert profile.response_delay_at(0.0, a) == 0.0
+        assert profile.response_delay_at(0.0, a) is None
+        assert profile.response_delay_at(0.0, b) == 0.0
+
+    def test_clock_rewind_is_harmless(self):
+        """The campaign driver seeks backwards between worker timelines."""
+        profile = FaultProfile(icmp_rate_limit=1.0, icmp_burst=1)
+        client = IPv4Address("10.0.0.1")
+        assert profile.response_delay_at(10.0, client) == 0.0
+        assert profile.response_delay_at(5.0, client) is None
+        assert profile.response_delay_at(11.0, client) == 0.0
+
+
+class TestBurstLoss:
+    def test_burst_swallows_a_run(self):
+        profile = FaultProfile(loss_burst_start=1.0, loss_burst_length=1e9,
+                               loss_seed=1)
+        client = IPv4Address("10.0.0.1")
+        assert all(profile.response_is_lost(client) for __ in range(20))
+
+    def test_disabled_never_loses(self):
+        profile = FaultProfile()
+        assert not any(profile.response_is_lost(IPv4Address("10.0.0.1"))
+                       for __ in range(50))
+
+    def test_streams_keyed_per_client(self):
+        profile = FaultProfile(loss_burst_start=0.3, loss_burst_length=3.0,
+                               loss_seed=7)
+        twin = FaultProfile(loss_burst_start=0.3, loss_burst_length=3.0,
+                            loss_seed=7)
+        a, b = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+        interleaved = [profile.response_is_lost(a if i % 2 else b)
+                       for i in range(40)]
+        alone = [twin.response_is_lost(a) for __ in range(20)]
+        assert [x for i, x in enumerate(interleaved) if i % 2] == alone
+
+    def test_well_behaved_reflects_new_quirks(self):
+        assert FaultProfile().well_behaved
+        assert not FaultProfile(icmp_rate_limit=1.0).well_behaved
+        assert not FaultProfile(loss_burst_start=0.1).well_behaved

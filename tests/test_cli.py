@@ -204,3 +204,32 @@ class TestCampaignCommand:
     def test_unknown_assignment_rejected(self):
         with pytest.raises(SystemExit):
             main(["campaign", "--assignment", "broadcast"])
+
+
+class TestFaultsCommand:
+    QUICK = ["faults", "--profiles", "reordering", "--rounds", "1",
+             "--dests", "6"]
+
+    def test_attribution_report_printed(self, capsys):
+        assert main(self.QUICK) == 0
+        out = capsys.readouterr().out
+        assert "fault sensitivity" in out
+        assert "reordering" in out
+        assert "mid-route stars" in out
+        assert "artifact rates" in out
+
+    def test_mda_flag_adds_divergence_column(self, capsys):
+        assert main(self.QUICK + ["--mda"]) == 0
+        assert "mda divergent" in capsys.readouterr().out
+
+    def test_unknown_profile_rejected(self, capsys):
+        assert main(["faults", "--profiles", "gremlins"]) == 2
+        assert "gremlins" in capsys.readouterr().err
+
+    def test_empty_profile_list_rejected(self, capsys):
+        assert main(["faults", "--profiles", ","]) == 2
+        assert "names no profile" in capsys.readouterr().err
+
+    def test_bad_rounds_rejected(self, capsys):
+        assert main(["faults", "--rounds", "0"]) == 2
+        assert "--rounds" in capsys.readouterr().err

@@ -1,0 +1,29 @@
+"""Docstring-coverage gate: every public module documents itself.
+
+The same check CI runs as a standalone step
+(``python tools/check_docstrings.py``); keeping it in the tier-1 suite
+means a missing module docstring fails locally before it fails in CI.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docstrings import modules_without_docstring  # noqa: E402
+
+
+def test_every_public_module_has_a_docstring():
+    offenders = modules_without_docstring()
+    assert offenders == [], (
+        "public modules without a module docstring: " + ", ".join(offenders))
+
+
+def test_checker_script_runs_clean():
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docstrings.py")],
+        capture_output=True, text=True)
+    assert completed.returncode == 0, completed.stderr
+    assert "docstring coverage OK" in completed.stdout

@@ -6,9 +6,12 @@ timestamps and forensics included — whether it runs on one scheduler
 or sharded K=2 / K=4 over seeded topology replicas.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.errors import CampaignError
+from repro.faults import make_fault_profile
 from repro.measurement import merge_campaign_results
 from repro.measurement.campaign import CampaignResult, StrategyOutcome
 from repro.topology import InternetConfig
@@ -56,6 +59,22 @@ class TestShardDeterminism:
     def test_all_vantages_present_after_merge(self, single):
         assert [v.index for v in single.vantages] == [0, 1, 2, 3]
         assert single.labels == ["S", "S1", "S2", "S3"]
+
+    def test_sharded_byte_identical_under_fault_profile(self, fleet_config):
+        """The PR 3 guarantee with the adversarial fault profile on:
+        jitter, spikes, duplication, rate limiting, and loss bursts are
+        all keyed per probing client, so fault timelines are vantage-
+        local and sharding still reproduces the single-process bytes."""
+        internet = replace(SEC3_INTERNET,
+                           fault_profile=make_fault_profile("adversarial",
+                                                            seed=5))
+        single = run_fleet(internet, fleet_config)
+        sharded = run_fleet_sharded(internet, fleet_config, shards=2)
+        assert sharded.signature() == single.signature()
+        # And the faults actually bit: the adversarial run differs from
+        # the clean topology's run.
+        clean = run_fleet(SEC3_INTERNET, fleet_config)
+        assert single.signature() != clean.signature()
 
     def test_process_pool_matches_inline(self, fleet_config):
         inline = run_fleet_sharded(TINY_INTERNET,

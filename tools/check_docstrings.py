@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""CI gate: every public module under src/repro must carry a module
+docstring.
+
+A "public module" is any ``.py`` file whose path contains no component
+starting with an underscore, except ``__init__.py`` files (public
+package fronts, also checked).  ``_version.py``-style private modules
+are exempt.
+
+Exit status: 0 when every public module has a docstring, 1 otherwise
+(offenders listed on stderr).  Run from the repository root::
+
+    python tools/check_docstrings.py
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SOURCE_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def is_public(path: pathlib.Path, root: pathlib.Path = SOURCE_ROOT) -> bool:
+    """Public unless any path component (sans __init__) is _private."""
+    for part in path.relative_to(root).parts:
+        name = part[:-3] if part.endswith(".py") else part
+        if name.startswith("_") and name != "__init__":
+            return False
+    return True
+
+
+def modules_without_docstring(root: pathlib.Path = SOURCE_ROOT) -> list[str]:
+    """Relative paths of public modules lacking a module docstring."""
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        if not is_public(path, root):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if not ast.get_docstring(tree):
+            offenders.append(str(path.relative_to(root)))
+    return offenders
+
+
+def main() -> int:
+    offenders = modules_without_docstring()
+    if offenders:
+        print("public modules without a module docstring:", file=sys.stderr)
+        for offender in offenders:
+            print(f"  {offender}", file=sys.stderr)
+        return 1
+    checked = sum(1 for p in SOURCE_ROOT.rglob("*.py") if is_public(p))
+    print(f"docstring coverage OK ({checked} public modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
