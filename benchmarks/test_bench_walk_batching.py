@@ -1,0 +1,229 @@
+"""E12 — the prefix-aggregated transit plane vs the per-destination walk.
+
+Two legs, both runnable standalone and through ``tools/bench_record.py``
+(which persists the numbers to ``BENCH_walk.json`` so the perf
+trajectory survives across PRs):
+
+- **campaign** — the multi-destination Sec. 3 campaign (pipelined
+  engine) on a deterministic internet, once with the transit plane's
+  cross-destination batching and once with the pre-aggregation
+  per-destination walker (``Network.transit_batching = False``).  The
+  inferences must match route for route; the batched plane must
+  resolve at least 2x fewer LPM lookups (it measures ~3-4x: one FIB
+  walk per forwarding-equivalence region instead of one linear scan
+  per destination per router) and must not cost wall-clock (the
+  asserted bound is a noise guard; the measured ratio is recorded).
+- **fleet** — an 8-lane 4-vantage fleet campaign under the adversarial
+  fault profile, merged into single cross-vantage cohorts.  The leg
+  pins the determinism half of the tentpole: the single-process run
+  and a 2-shard run must produce byte-identical ``FleetResult``
+  signatures with the faults on, and the batched plane again needs
+  ≥ 2x fewer lookups than the per-destination baseline.
+
+Environment knobs: ``REPRO_BENCH_SEED`` and ``REPRO_BENCH_ROUNDS``
+(see ``benchmarks/conftest.py``; the campaign leg caps rounds at 4 to
+stay inside the smoke-tier budget).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_ROUNDS, BENCH_SEED
+from repro.measurement.campaign import Campaign, CampaignConfig
+from repro.measurement.destinations import select_pingable_destinations
+from repro.topology.internet import InternetConfig, generate_internet
+from repro.vantage.campaign import FleetCampaign, FleetConfig, FleetResult
+
+#: Campaign-leg rounds: enough for warm-cache behaviour, capped for CI.
+WALK_ROUNDS = max(1, min(BENCH_ROUNDS, 4))
+WORKERS = 32
+FLEET_VANTAGES = 4
+FLEET_WORKERS = 8
+
+#: Wall-clock guard: cross-destination batching must never *cost* real
+#: time.  Each mode is measured twice, interleaved, and compared on
+#: minima (load spikes on shared runners hit both modes); the margin
+#: absorbs what interleaving cannot.  The measured ratio is what lands
+#: in BENCH_walk.json — lookup counts, not walls, are the hard gate.
+WALL_NOISE_MARGIN = 1.25
+
+
+def campaign_internet(seed, n_vantages=1):
+    """The engine-bench internet: no order-sensitive randomness."""
+    return generate_internet(InternetConfig(
+        seed=seed,
+        n_tier1=6, n_transit=10, n_stub=22, dests_per_stub=4,
+        n_loop_stub_diamonds=4, n_cycle_stub_diamonds=1,
+        n_nat_dests=2, n_zero_ttl_dests=2,
+        response_loss_rate=0.0, p_per_packet=0.0,
+        n_vantages=n_vantages,
+    ))
+
+
+def run_campaign_leg(batching, seed=BENCH_SEED, rounds=WALK_ROUNDS):
+    """One pipelined campaign on a fresh replica; returns measurements."""
+    topology = campaign_internet(seed)
+    topology.network.transit_batching = batching
+    destinations = select_pingable_destinations(
+        topology.network, topology.source,
+        topology.destination_addresses, seed=seed)
+    campaign = Campaign(
+        topology.network, topology.source, destinations,
+        CampaignConfig(rounds=rounds, workers=WORKERS, seed=seed,
+                       engine="pipelined"))
+    lookups_before = topology.network.route_lookups()
+    started = time.perf_counter()
+    result = campaign.run()
+    wall = time.perf_counter() - started
+    return {
+        "result": result,
+        "wall_s": wall,
+        "lookups": topology.network.route_lookups() - lookups_before,
+        "probes": result.probes_sent,
+    }
+
+
+def run_fleet_leg(batching, seed=BENCH_SEED, vantage_ids=None,
+                  fault_profile="adversarial"):
+    """One fleet campaign (all vantages or a shard) on a fresh replica."""
+    from repro.faults import make_fault_profile
+
+    config = InternetConfig(
+        seed=seed,
+        n_tier1=6, n_transit=10, n_stub=22, dests_per_stub=4,
+        n_loop_stub_diamonds=4, n_cycle_stub_diamonds=1,
+        n_nat_dests=2, n_zero_ttl_dests=2,
+        response_loss_rate=0.0, p_per_packet=0.0,
+        n_vantages=FLEET_VANTAGES,
+        fault_profile=(make_fault_profile(fault_profile, seed=seed)
+                       if fault_profile else None),
+    )
+    topology = generate_internet(config)
+    topology.network.transit_batching = batching
+    destinations = select_pingable_destinations(
+        topology.network, topology.source,
+        topology.destination_addresses, seed=seed)
+    campaign = FleetCampaign(
+        topology.network, topology.sources, destinations,
+        FleetConfig(rounds=1, workers=FLEET_WORKERS, seed=seed),
+        vantage_ids=vantage_ids)
+    lookups_before = topology.network.route_lookups()
+    started = time.perf_counter()
+    result = campaign.run()
+    wall = time.perf_counter() - started
+    return {
+        "result": result,
+        "wall_s": wall,
+        "lookups": topology.network.route_lookups() - lookups_before,
+        "probes": sum(v.result.probes_sent for v in result.vantages),
+    }
+
+
+def route_signature(route):
+    """Inference identity: everything except order-only forensics."""
+    return (route.round_index, str(route.destination), route.tool,
+            route.halt_reason,
+            tuple((h.ttl, str(h.address), h.probe_ttl, h.response_ttl,
+                   h.unreachable_flag, str(h.kind)) for h in route.hops))
+
+
+def min_wall(runs):
+    """The least-disturbed measurement of a mode's repeated runs."""
+    return min(run["wall_s"] for run in runs)
+
+
+@pytest.mark.benchmark(group="walk")
+def test_bench_walk_batching_campaign(benchmark):
+    legacy_runs = [run_campaign_leg(batching=False)]
+
+    batched_runs = []
+
+    def batched_run():
+        batched_runs.append(run_campaign_leg(batching=True))
+        return batched_runs[-1]["result"]
+
+    benchmark.pedantic(batched_run, iterations=1, rounds=1)
+    # Interleave the repeats so runner load hits both modes alike.
+    legacy_runs.append(run_campaign_leg(batching=False))
+    batched_runs.append(run_campaign_leg(batching=True))
+    legacy, batched = legacy_runs[0], batched_runs[0]
+
+    lookup_ratio = legacy["lookups"] / batched["lookups"]
+    wall_ratio = min_wall(legacy_runs) / min_wall(batched_runs)
+    benchmark.extra_info.update({
+        "legacy_wall_s": round(min_wall(legacy_runs), 3),
+        "batched_wall_s": round(min_wall(batched_runs), 3),
+        "wall_ratio": round(wall_ratio, 2),
+        "legacy_lookups": legacy["lookups"],
+        "batched_lookups": batched["lookups"],
+        "lookup_ratio": round(lookup_ratio, 2),
+        "probes": batched["probes"],
+    })
+    print()
+    print(f"  routes: {len(batched['result'].routes)} per mode "
+          f"({WALK_ROUNDS} rounds x {WORKERS} workers)")
+    print(f"  LPM lookups: per-destination {legacy['lookups']}, "
+          f"prefix-aggregated {batched['lookups']} "
+          f"({lookup_ratio:.1f}x fewer)")
+    print(f"  wall-clock: per-destination {min_wall(legacy_runs):.2f} s, "
+          f"batched {min_wall(batched_runs):.2f} s ({wall_ratio:.2f}x)")
+
+    # Identical inferences, route for route.
+    assert (sorted(route_signature(r) for r in batched["result"].routes)
+            == sorted(route_signature(r) for r in legacy["result"].routes))
+    assert batched["probes"] == legacy["probes"]
+    # The tentpole's lookup economy: >= 2x fewer LPM resolutions.
+    assert batched["lookups"] * 2 <= legacy["lookups"]
+    # And it must not cost wall-clock (measured ratio recorded above).
+    assert min_wall(batched_runs) <= min_wall(legacy_runs) * WALL_NOISE_MARGIN
+
+
+@pytest.mark.benchmark(group="walk")
+def test_bench_walk_batching_fleet(benchmark):
+    legacy_runs = [run_fleet_leg(batching=False)]
+
+    batched_runs = []
+
+    def batched_run():
+        batched_runs.append(run_fleet_leg(batching=True))
+        return batched_runs[-1]["result"]
+
+    benchmark.pedantic(batched_run, iterations=1, rounds=1)
+    legacy_runs.append(run_fleet_leg(batching=False))
+    batched_runs.append(run_fleet_leg(batching=True))
+    legacy, batched = legacy_runs[0], batched_runs[0]
+
+    # Sharded execution over seeded replicas: two shards, merged.
+    shard_a = run_fleet_leg(batching=True, vantage_ids=[0, 2])
+    shard_b = run_fleet_leg(batching=True, vantage_ids=[1, 3])
+    merged = FleetResult.merge([shard_a["result"], shard_b["result"]])
+
+    single_signature = batched["result"].signature()
+    sharded_signature = merged.signature()
+    lookup_ratio = legacy["lookups"] / batched["lookups"]
+    wall_ratio = min_wall(legacy_runs) / min_wall(batched_runs)
+    benchmark.extra_info.update({
+        "legacy_wall_s": round(min_wall(legacy_runs), 3),
+        "batched_wall_s": round(min_wall(batched_runs), 3),
+        "wall_ratio": round(wall_ratio, 2),
+        "legacy_lookups": legacy["lookups"],
+        "batched_lookups": batched["lookups"],
+        "lookup_ratio": round(lookup_ratio, 2),
+        "signature": single_signature[:16],
+    })
+    print()
+    print(f"  fleet: {FLEET_VANTAGES} vantages x {FLEET_WORKERS} lanes, "
+          f"adversarial faults, merged cross-vantage cohorts")
+    print(f"  LPM lookups: per-destination {legacy['lookups']}, "
+          f"prefix-aggregated {batched['lookups']} "
+          f"({lookup_ratio:.1f}x fewer)")
+    print(f"  wall-clock: per-destination {min_wall(legacy_runs):.2f} s, "
+          f"batched {min_wall(batched_runs):.2f} s ({wall_ratio:.2f}x)")
+    print(f"  determinism: single {single_signature[:16]}… == "
+          f"sharded {sharded_signature[:16]}…")
+
+    # The acceptance bar: byte-identical signatures with faults on.
+    assert single_signature == sharded_signature
+    assert batched["lookups"] * 2 <= legacy["lookups"]
+    assert min_wall(batched_runs) <= min_wall(legacy_runs) * WALL_NOISE_MARGIN

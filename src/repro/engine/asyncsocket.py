@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import TracerError
 from repro.net.packet import Packet
 from repro.sim.endhost import MeasurementHost
 from repro.sim.network import Network
@@ -60,15 +61,34 @@ class AsyncProbeSocket:
         return self.host.address
 
     def send_nowait(self, probe_bytes: bytes,
-                    timeout: float | None = None) -> SentProbe:
+                    timeout: float | None = None,
+                    packet: Packet | None = None) -> SentProbe:
         """Stage one probe for the next :meth:`flush`; never blocks.
 
         Validation matches the blocking socket: the bytes must parse as
-        a packet sourced at the vantage point.  The returned deadline is
-        ``now + timeout`` — the instant after which silence becomes a
-        star.
+        a packet sourced at the vantage point.  ``packet`` is the
+        zero-copy path for callers that built ``probe_bytes`` from a
+        :class:`Packet` they still hold (the scheduler's pump): the
+        serialize→reparse round trip is skipped and only the vantage
+        source check runs — the bytes and the packet are the same
+        immutable object's wire form.  The returned deadline is ``now +
+        timeout`` — the instant after which silence becomes a star.
         """
-        probe = parse_probe(probe_bytes, self.host)
+        if packet is not None:
+            wire = packet.build()
+            if wire is not probe_bytes and wire != probe_bytes:
+                raise TracerError(
+                    "send_nowait packet= does not serialize to the "
+                    "probe bytes passed alongside it"
+                )
+            if packet.src != self.host.address:
+                raise TracerError(
+                    f"probe source {packet.src} is not the vantage point "
+                    f"address {self.host.address}"
+                )
+            probe = packet
+        else:
+            probe = parse_probe(probe_bytes, self.host)
         self.probes_sent += 1
         self._outbox.append(probe)
         now = self.network.clock.now
@@ -82,12 +102,21 @@ class AsyncProbeSocket:
         self._next_token += 1
         return sent
 
+    def take_staged(self) -> list[Packet]:
+        """Hand over (and clear) the staged outbox without walking it.
+
+        The scheduler's coalesced flush path: it collects every
+        socket's staged probes and submits them through
+        :meth:`Network.submit_cohorts` as one cross-vantage cohort.
+        """
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
     def flush(self) -> None:
         """Walk all staged probes as one cohort at the current instant."""
         if not self._outbox:
             return
-        outbox, self._outbox = self._outbox, []
-        self.network.submit_cohort(outbox, at=self.host)
+        self.network.submit_cohort(self.take_staged(), at=self.host)
 
     def next_arrival_at(self) -> float | None:
         """When the earliest buffered delivery lands (any recipient)."""

@@ -456,9 +456,22 @@ class ProbeScheduler:
         return self.outcomes
 
     def _flush_sockets(self) -> None:
-        """Walk every socket's staged probes as this instant's cohort."""
+        """Walk every socket's staged probes as this instant's cohort.
+
+        All vantages' probes go down in one
+        :meth:`Network.submit_cohorts` call, so the transit plane
+        shares route resolutions and egress fan-outs across the whole
+        fleet's traffic — the walker's round-canonical scheduling is
+        what keeps each vantage's timeline independent of who else is
+        in the cohort (the sharding guarantee).
+        """
+        batches = []
         for sock in self._sockets:
-            sock.flush()
+            staged = sock.take_staged()
+            if staged:
+                batches.append((sock.host, staged))
+        if batches:
+            self.network.submit_cohorts(batches)
 
     def _drop_stale_expires(self) -> None:
         """Discard deadlines of probes already answered or cancelled.
@@ -506,7 +519,8 @@ class ProbeScheduler:
             else:
                 timeout = lane.timeout_policy.timeout_for()
             sent = lane.socket.send_nowait(request.probe.build(),
-                                           timeout=timeout)
+                                           timeout=timeout,
+                                           packet=request.probe)
             probe_id = self._next_probe_id
             self._next_probe_id += 1
             keys = probe_match_keys(request.probe)

@@ -91,7 +91,14 @@ def first_transport_word_flow(packet: Packet) -> FlowId:
     For UDP that word is (Source Port, Destination Port); for TCP the
     same; for ICMP it is (Type, Code, Checksum).  The IP TOS is included
     because the authors found some balancers hash it.
+
+    Memoised per packet: the id is a pure function of the immutable
+    packet, and the default extractor runs for every balancer crossing
+    *and* every per-hop flow-key record on the probing side.
     """
+    cached = packet.__dict__.get("_flow_word")
+    if cached is not None:
+        return cached
     t = packet.transport
     if isinstance(t, (UDPHeader, TCPHeader)):
         word = t.first_four_octets()
@@ -114,7 +121,9 @@ def first_transport_word_flow(packet: Packet) -> FlowId:
         + bytes([int(packet.ip.protocol), packet.ip.tos])
         + word
     )
-    return FlowId(key=key, describe=detail)
+    flow = FlowId(key=key, describe=detail)
+    object.__setattr__(packet, "_flow_word", flow)
+    return flow
 
 
 #: Signature of a flow extractor: Packet -> FlowId.

@@ -8,7 +8,6 @@ by the IPv4, UDP, TCP, and ICMP headers.
 
 from __future__ import annotations
 
-import struct
 from functools import total_ordering
 from typing import Iterable, Iterator, Union
 
@@ -34,6 +33,15 @@ def checksum(data: bytes) -> int:
     sum of all 16-bit words.  Odd-length input is padded with a zero
     octet, as required by RFC 1071 section 4.1.
 
+    Computed arithmetically: the end-around-carry sum of big-endian
+    16-bit words is congruent to the whole buffer read as one big
+    integer, modulo 2**16 - 1 (RFC 1071 section 2's "deferred carries"
+    observation taken to its limit) — one C-level conversion instead of
+    a Python loop over words.  The two representations of zero are
+    disambiguated exactly as the word-loop would be: a residue of 0
+    means the folded sum was 0xFFFF unless the buffer had no bits set
+    at all.
+
     >>> checksum(b"")
     65535
     >>> hex(checksum(bytes.fromhex("45000073000040004011 0000 c0a80001c0a800c7")))
@@ -41,12 +49,13 @@ def checksum(data: bytes) -> int:
     """
     if len(data) % 2:
         data += b"\x00"
-    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
-    # Fold the carries back in.  Two folds suffice for any input length
-    # below 2**17 words; loop to stay correct for arbitrary sizes.
-    while total > MAX_U16:
-        total = (total & MAX_U16) + (total >> 16)
-    return (~total) & MAX_U16
+    value = int.from_bytes(data, "big")
+    total = value % MAX_U16
+    if total == 0:
+        # Folded sum is 0xFFFF for any non-zero buffer (checksum 0);
+        # an all-zero buffer sums to 0 (checksum 0xFFFF).
+        return MAX_U16 if value == 0 else 0
+    return MAX_U16 - total
 
 
 def ones_complement_add(a: int, b: int) -> int:
@@ -111,7 +120,20 @@ class IPv4Address:
 
     __slots__ = ("_value",)
 
+    def __new__(cls, value: Union[str, int, bytes, "IPv4Address"]):
+        """Re-wrapping an address returns the same immutable object.
+
+        Headers, packets, and index lookups normalise their inputs with
+        ``IPv4Address(...)`` on hot paths; the identity shortcut makes
+        that free when the input is already an address.
+        """
+        if type(value) is IPv4Address and cls is IPv4Address:
+            return value
+        return object.__new__(cls)
+
     def __init__(self, value: Union[str, int, bytes, "IPv4Address"]) -> None:
+        if value is self:
+            return
         if isinstance(value, IPv4Address):
             self._value = value._value
         elif isinstance(value, int):
@@ -152,6 +174,12 @@ class IPv4Address:
         """The four octets, most significant first."""
         p = self.packed
         return (p[0], p[1], p[2], p[3])
+
+    def __reduce__(self):
+        """Pickle as (type, (int value,)) — the slots default would
+        call ``__new__`` without the value argument; using the live
+        type keeps subclasses intact across process-pool shards."""
+        return (type(self), (self._value,))
 
     def __int__(self) -> int:
         return self._value

@@ -66,8 +66,23 @@ class IPv4Header:
     total_length: int = 0
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "src", IPv4Address(self.src))
-        object.__setattr__(self, "dst", IPv4Address(self.dst))
+        if type(self.src) is not IPv4Address:
+            object.__setattr__(self, "src", IPv4Address(self.src))
+        if type(self.dst) is not IPv4Address:
+            object.__setattr__(self, "dst", IPv4Address(self.dst))
+        # One chained range check covers every well-formed header (the
+        # response-construction hot path); only a failure pays for the
+        # per-field validators and their precise error messages.
+        if (type(self.protocol) is int and 0 <= self.protocol <= 0xFF
+                and type(self.ttl) is int and 0 <= self.ttl <= 0xFF
+                and type(self.identification) is int
+                and 0 <= self.identification <= 0xFFFF
+                and type(self.tos) is int and 0 <= self.tos <= 0xFF
+                and 0 <= self.flags <= 0b111
+                and 0 <= self.fragment_offset <= 0x1FFF
+                and type(self.total_length) is int
+                and 0 <= self.total_length <= 0xFFFF):
+            return
         require_u8("protocol", int(self.protocol))
         require_u8("ttl", self.ttl)
         require_u16("identification", self.identification)

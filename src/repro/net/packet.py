@@ -71,18 +71,39 @@ class Packet:
         return cls(ip=ip, transport=transport, payload=payload)
 
     def build(self) -> bytes:
-        """Serialize the whole datagram to wire bytes."""
-        body = self.transport_bytes()
-        return self.ip.build(payload_length=len(body)) + body
+        """Serialize the whole datagram to wire bytes.
+
+        Memoised per instance: a packet is immutable, so its wire form
+        is fixed at construction.  Demux keys, socket sends, response
+        ``raw`` views, and balancer hashes all read the same octets —
+        computing the checksums once instead of at every consumer is a
+        large share of the probe engine's hot path.
+        """
+        wire = self.__dict__.get("_wire")
+        if wire is None:
+            body = self.transport_bytes()
+            wire = self.ip.build(payload_length=len(body)) + body
+            object.__setattr__(self, "_wire", wire)
+        return wire
 
     def transport_bytes(self) -> bytes:
-        """Serialize only the transport header + payload."""
-        t = self.transport
-        if isinstance(t, UDPHeader):
-            return t.build(self.payload, self.ip.src, self.ip.dst)
-        if isinstance(t, TCPHeader):
-            return t.build(self.payload, self.ip.src, self.ip.dst)
-        return t.build()
+        """Serialize only the transport header + payload (memoised).
+
+        The memo may be *adopted* from another packet differing only in
+        IP TTL (see the cohort walker's materialisation): the TTL is
+        not part of the UDP/TCP pseudo-header, so the transport octets
+        — including the quoted-payload slice routers echo — are
+        identical.
+        """
+        body = self.__dict__.get("_transport_wire")
+        if body is None:
+            t = self.transport
+            if isinstance(t, (UDPHeader, TCPHeader)):
+                body = t.build(self.payload, self.ip.src, self.ip.dst)
+            else:
+                body = t.build()
+            object.__setattr__(self, "_transport_wire", body)
+        return body
 
     @classmethod
     def parse(cls, data: bytes, verify: bool = True) -> "Packet":

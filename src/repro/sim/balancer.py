@@ -55,7 +55,11 @@ class PerFlowPolicy(BalancerPolicy):
         extractor: FlowExtractor = first_transport_word_flow,
     ) -> None:
         self._salt = salt
-        self._extractor = extractor
+        #: The flow extractor, public so the cohort walker can share
+        #: one extraction across every policy using the same extractor
+        #: (distinct per-flow balancers on a path almost always hash
+        #: the same fields — only their salts differ).
+        self.extractor = extractor
 
     def choose(self, packet: Packet, n: int) -> int:
         if n <= 1:
@@ -75,7 +79,7 @@ class PerFlowPolicy(BalancerPolicy):
 
     def flow_of(self, packet: Packet) -> FlowId:
         """The flow identifier this balancer derives from ``packet``."""
-        return self._extractor(packet)
+        return self.extractor(packet)
 
 
 class PerPacketPolicy(BalancerPolicy):

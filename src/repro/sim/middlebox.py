@@ -62,28 +62,38 @@ class NatBox(Router):
         return [self._masquerade_if_outbound(a) for a in actions]
 
     def _masquerade_if_outbound(self, action: Action) -> Action:
-        """Rewrite the source of ICMP packets leaving via the external side.
-
-        Only *private* (RFC 1918) sources are rewritten: they have no
-        valid identity outside.  A host behind the gateway holding a
-        public (mapped/port-forwarded) address keeps its own source, so
-        NAT'd destinations still answer pings with their probed address
-        — which is how the paper's destination list could contain them.
-        """
+        """Rewrite the source of ICMP packets leaving via the external side."""
         if not isinstance(action, Transmit):
             return action
         if action.interface is not self.external_interface:
             return action
-        packet = action.packet
+        rewritten = self.rewrite_outbound(action.packet)
+        if rewritten is action.packet:
+            return action
+        return Transmit(action.interface, rewritten)
+
+    def rewrite_outbound(self, packet: Packet) -> Packet:
+        """The masqueraded form of a packet leaving the external side.
+
+        Returns ``packet`` itself (by identity) when no rewrite applies.
+        Only *private* (RFC 1918) ICMP sources are rewritten: they have
+        no valid identity outside.  A host behind the gateway holding a
+        public (mapped/port-forwarded) address keeps its own source, so
+        NAT'd destinations still answer pings with their probed address
+        — which is how the paper's destination list could contain them.
+        The cohort walker calls this directly for packets it carries in
+        fast transit across the NAT, so the two walks masquerade byte-
+        identically.
+        """
         if int(packet.ip.protocol) != int(IPProtocol.ICMP):
-            return action
+            return packet
         if not packet.src.is_private:
-            return action
-        if packet.src == self.external_interface.address:
-            return action
-        rewritten = Packet(
-            ip=dataclass_replace(packet.ip, src=self.external_interface.address),
+            return packet
+        external = self.external_interface.address
+        if packet.src == external:
+            return packet
+        return Packet(
+            ip=dataclass_replace(packet.ip, src=external),
             transport=packet.transport,
             payload=packet.payload,
         )
-        return Transmit(action.interface, rewritten)

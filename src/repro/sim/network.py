@@ -78,8 +78,18 @@ class Network:
         self.clock = clock or SimClock()
         self.nodes: dict[str, Node] = {}
         self.links: list[Link] = []
+        # Address -> owning node, maintained by add_node()/link() (the
+        # topology-mutation points) so destination-locality checks are
+        # one dict probe for every walker — never a scan over nodes.
         self._address_index: dict[IPv4Address, Node] = {}
         self._dynamics: list = []
+        #: Cohort-walk mode: True routes :meth:`submit_cohort` /
+        #: :meth:`submit_cohorts` through the prefix-aggregated transit
+        #: plane (cross-destination grouping, NAT fast transit, merged
+        #: vantage cohorts); False falls back to the pre-aggregation
+        #: per-destination walker — the calibrated baseline of the
+        #: walk-batching benchmarks.
+        self.transit_batching = True
         #: Optional delivery-path fault policy (jitter, duplication):
         #: a :class:`repro.faults.DeliveryFaultPlane` applied to every
         #: walk's deliveries before the caller (blocking socket) or the
@@ -135,8 +145,22 @@ class Network:
         self._address_index[interface.address] = interface.node
 
     def node_owning(self, address: IPv4Address) -> Optional[Node]:
-        """The node owning ``address``, if any."""
-        return self._address_index.get(IPv4Address(address))
+        """The node owning ``address``, if any (one index probe)."""
+        if not isinstance(address, IPv4Address):
+            address = IPv4Address(address)
+        return self._address_index.get(address)
+
+    def route_lookups(self) -> int:
+        """Total LPM resolutions performed by this network's routers.
+
+        Sums :attr:`repro.sim.router.Router.lookup_count` over every
+        forwarding node — the metric the walk-batching benchmarks track
+        (memo and covering-prefix hits are not counted).
+        """
+        from repro.sim.router import Router
+
+        return sum(node.lookup_count for node in self.nodes.values()
+                   if isinstance(node, Router))
 
     def node(self, name: str) -> Node:
         """Lookup a node by name; raises :class:`TopologyError` if absent."""
@@ -248,18 +272,46 @@ class Network:
         """Submit a batch of probes sharing one send instant.
 
         Equivalent to calling :meth:`submit` per packet, but probes
-        toward a common destination share forwarding work through
-        :mod:`repro.sim.fastwalk` — the optimisation that makes the
-        pipelined engine cheaper in real time, not only simulated time.
+        share forwarding work through :mod:`repro.sim.fastwalk` — the
+        optimisation that makes the pipelined engine cheaper in real
+        time, not only simulated time.
         """
-        from repro.sim.fastwalk import walk_cohort
+        return self.submit_cohorts([(at, packets)])
+
+    def submit_cohorts(
+        self, batches: Sequence[tuple[Node, Sequence[Packet]]],
+    ) -> WalkResult:
+        """Submit several origins' staged probes as one send instant.
+
+        The scheduler's flush path: every lane due at one clock instant
+        — across destinations and across vantage points — walks the
+        network as a single cohort on the prefix-aggregated transit
+        plane, whose round-based scheduling keeps each probing client's
+        fault/forensics timeline independent of cohort composition (the
+        sharded-fleet byte-identity guarantee; see
+        :mod:`repro.sim.fastwalk`).  With :attr:`transit_batching` off,
+        each origin's batch walks separately through the per-destination
+        baseline walker, replicating the pre-aggregation pipeline
+        (including its per-walk fault-plane application) exactly.
+        """
+        from repro.sim.fastwalk import walk_cohorts
 
         self.apply_dynamics()
-        result = walk_cohort(self, packets, at)
-        if self.fault_plane is not None:
-            self.fault_plane.apply(result)
-        self._buffer_deliveries(result)
-        return result
+        if self.transit_batching:
+            result = walk_cohorts(self, batches)
+            if self.fault_plane is not None:
+                self.fault_plane.apply(result)
+            self._buffer_deliveries(result)
+            return result
+        combined = WalkResult()
+        for at, packets in batches:
+            result = walk_cohorts(self, [(at, packets)])
+            if self.fault_plane is not None:
+                self.fault_plane.apply(result)
+            self._buffer_deliveries(result)
+            combined.deliveries.extend(result.deliveries)
+            combined.drops.extend(result.drops)
+        return combined
 
     def _buffer_deliveries(self, result: WalkResult) -> None:
         now = self.clock.now

@@ -129,6 +129,7 @@ class Node:
             )
         self.name = name
         self.interfaces: list[Interface] = []
+        self._addresses: frozenset[IPv4Address] = frozenset()
         self.faults = faults or FaultProfile()
         self.icmp_initial_ttl = icmp_initial_ttl
         self.respond_from = respond_from
@@ -142,6 +143,7 @@ class Node:
         """Create and attach a new interface with ``address``."""
         interface = Interface(self, len(self.interfaces), IPv4Address(address))
         self.interfaces.append(interface)
+        self._addresses = self._addresses | {interface.address}
         return interface
 
     def interface(self, index: int) -> Interface:
@@ -152,9 +154,17 @@ class Node:
             raise TopologyError(f"{self.name} has no interface {index}") from None
 
     @property
-    def addresses(self) -> set[IPv4Address]:
-        """All addresses owned by this node."""
-        return {i.address for i in self.interfaces}
+    def addresses(self) -> frozenset[IPv4Address]:
+        """All addresses owned by this node (immutable view).
+
+        Maintained incrementally by :meth:`add_interface` rather than
+        rebuilt per access: ``packet.dst in node.addresses`` is on the
+        local-delivery check of every single packet receive, and
+        constructing a fresh set there dominated the slow walk's
+        profile.  A frozenset, so no caller can desynchronise it from
+        the interface list.
+        """
+        return self._addresses
 
     def owns(self, address: IPv4Address) -> bool:
         """True if ``address`` belongs to one of this node's interfaces."""

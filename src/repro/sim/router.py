@@ -80,6 +80,26 @@ class RouteEntry:
         return self.egresses[index]
 
 
+#: ``value & _MASKS[length]`` is the network part of ``value/length``.
+_MASKS = tuple(((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF) if length
+               else 0 for length in range(33))
+
+
+class _FibNode:
+    """One node of a router's binary FIB trie.
+
+    ``entry`` is the table entry whose prefix ends exactly here (None on
+    pass-through nodes); ``zero``/``one`` are the children by next bit.
+    """
+
+    __slots__ = ("zero", "one", "entry")
+
+    def __init__(self) -> None:
+        self.zero: Optional["_FibNode"] = None
+        self.one: Optional["_FibNode"] = None
+        self.entry: Optional[RouteEntry] = None
+
+
 @dataclass
 class TimedOverride:
     """A forwarding override active during ``[start, end)``.
@@ -104,9 +124,32 @@ class Router(Node):
         super().__init__(name, **node_kwargs)
         self._table: list[RouteEntry] = []
         self._overrides: list[TimedOverride] = []
-        # Destination -> entry memo for lookup_cached(); invalidated on
-        # any table or override change, bypassed while overrides exist.
-        self._lookup_cache: dict[IPv4Address, Optional[RouteEntry]] = {}
+        # Destination -> (entry, covering prefix) memo for
+        # lookup_cached(); invalidated on any table or override change,
+        # bypassed while overrides exist.
+        self._lookup_cache: dict[
+            IPv4Address, tuple[Optional[RouteEntry], Optional[Prefix]]] = {}
+        # Lazily built binary trie over the static table, plus the
+        # covering-prefix index it feeds: (length, network int) ->
+        # memoised (entry, prefix) pair.  Covering prefixes are
+        # *disjoint* by construction (see _fib_lookup), so at most one
+        # length in _aggregate_lengths can match a destination.
+        self._fib_root: Optional[_FibNode] = None
+        self._aggregate: dict[
+            tuple[int, int], tuple[Optional[RouteEntry], Prefix]] = {}
+        self._aggregate_lengths: list[int] = []
+        #: Full longest-prefix-match resolutions performed (linear table
+        #: scans and FIB-trie walks alike; memo and covering-prefix hits
+        #: are free and not counted).  The walk-batching benchmarks key
+        #: off this counter.
+        self.lookup_count = 0
+
+    def _invalidate_lookup_state(self) -> None:
+        """Drop every memo derived from the table / override set."""
+        self._lookup_cache.clear()
+        self._fib_root = None
+        self._aggregate.clear()
+        self._aggregate_lengths.clear()
 
     # ------------------------------------------------------------------
     # table management
@@ -132,7 +175,7 @@ class Router(Node):
                 )
         self._table.append(entry)
         self._table.sort(key=lambda e: e.prefix.length, reverse=True)
-        self._lookup_cache.clear()
+        self._invalidate_lookup_state()
         return entry
 
     def add_default_route(
@@ -152,7 +195,7 @@ class Router(Node):
         """Drop any entry for exactly ``prefix`` and install a new one."""
         target = prefix if isinstance(prefix, Prefix) else Prefix(prefix)
         self._table = [e for e in self._table if e.prefix != target]
-        self._lookup_cache.clear()
+        self._invalidate_lookup_state()
         return self.add_route(target, egresses, balancer)
 
     def add_unreachable_route(
@@ -169,41 +212,130 @@ class Router(Node):
         )
         self._table.append(entry)
         self._table.sort(key=lambda e: e.prefix.length, reverse=True)
-        self._lookup_cache.clear()
+        self._invalidate_lookup_state()
         return entry
 
     def add_override(self, override: TimedOverride) -> None:
         """Register a timed forwarding override (dynamics hook)."""
         self._overrides.append(override)
-        self._lookup_cache.clear()
+        self._invalidate_lookup_state()
 
     def clear_overrides(self) -> None:
         """Remove all dynamics overrides (used between campaign runs)."""
         self._overrides.clear()
-        self._lookup_cache.clear()
+        self._invalidate_lookup_state()
 
     @property
     def table(self) -> list[RouteEntry]:
         """The static table, most-specific first (read-only view)."""
         return list(self._table)
 
-    def lookup_cached(self, dst: IPv4Address, now: float) -> Optional[RouteEntry]:
-        """Like :meth:`lookup`, memoised per destination.
+    def lookup_cached(
+        self, dst: IPv4Address, now: float, aggregate: bool = True,
+    ) -> tuple[Optional[RouteEntry], Optional[Prefix]]:
+        """Memoised lookup returning ``(entry, covering prefix)``.
 
-        The memo is dropped whenever the table or the override set
+        The covering prefix is the forwarding-equivalence region around
+        ``dst``: every destination inside it resolves to the same entry,
+        so the cohort walker can group probes toward *different*
+        destinations behind one resolution.  With ``aggregate`` on (the
+        default), a new destination first consults the covering-prefix
+        index — a hit costs one dict probe per distinct cached prefix
+        length and performs no LPM at all — and only then walks the FIB
+        trie, registering the region it discovers.  ``aggregate=False``
+        reproduces the pre-aggregation behaviour (one linear-scan
+        :meth:`lookup` per new destination, covering prefix ``None``) —
+        the walk-batching benchmark's baseline.
+
+        Memos are dropped whenever the table or the override set
         changes, and skipped entirely while overrides are installed
         (their activation depends on ``now``, not on table state).
-        The cohort walker leans on this: one lookup per (router,
-        destination) instead of one per probe per hop.
         """
         if self._overrides:
-            return self.lookup(dst, now)
-        try:
-            return self._lookup_cache[dst]
-        except KeyError:
-            entry = self.lookup(dst, now)
-            self._lookup_cache[dst] = entry
-            return entry
+            return self.lookup(dst, now), None
+        pair = self._lookup_cache.get(dst)
+        if pair is not None:
+            return pair
+        if aggregate:
+            value = int(dst)
+            for length in self._aggregate_lengths:
+                pair = self._aggregate.get((length, value & _MASKS[length]))
+                if pair is not None:
+                    self._lookup_cache[dst] = pair
+                    return pair
+            pair = self._fib_lookup(dst)
+            prefix = pair[1]
+            self._aggregate[(prefix.length, int(prefix.network))] = pair
+            if prefix.length not in self._aggregate_lengths:
+                self._aggregate_lengths.append(prefix.length)
+        else:
+            pair = (self.lookup(dst, now), None)
+        self._lookup_cache[dst] = pair
+        return pair
+
+    def _fib_lookup(
+        self, dst: IPv4Address
+    ) -> tuple[Optional[RouteEntry], Prefix]:
+        """One FIB-trie walk: the LPM entry and its covering prefix.
+
+        The walk follows ``dst``'s bits until the trie has no child for
+        the next bit (depth ``d``); the deepest entry passed on the way
+        is the longest-prefix match — identical to what the linear scan
+        of :meth:`lookup` returns on an override-free router.  The
+        covering prefix is ``dst/(d+1)``: any address sharing those
+        bits walks the same trie path to the same dead end, so it
+        resolves to the same entry.  Two covering prefixes discovered
+        this way can never partially overlap (containment would force
+        the contained walk to stop at the container's dead end), which
+        is what lets the covering-prefix index probe each cached length
+        independently.
+        """
+        self.lookup_count += 1
+        root = self._fib_root
+        if root is None:
+            root = self._build_fib()
+        value = int(dst)
+        node = root
+        best = root.entry
+        depth = 0
+        while depth < 32:
+            child = node.one if (value >> (31 - depth)) & 1 else node.zero
+            if child is None:
+                break
+            node = child
+            depth += 1
+            if node.entry is not None:
+                best = node.entry
+        length = depth + 1 if depth < 32 else 32
+        prefix = Prefix((IPv4Address(value & _MASKS[length]), length))
+        return best, prefix
+
+    def _build_fib(self) -> _FibNode:
+        """Materialise the binary trie over the static table.
+
+        Entries are inserted in table order (most-specific first,
+        insertion-stable within a length), and the first entry to claim
+        a trie node keeps it — the same winner the linear scan picks
+        when a prefix appears twice.
+        """
+        root = _FibNode()
+        for entry in self._table:
+            node = root
+            value = int(entry.prefix.network)
+            for depth in range(entry.prefix.length):
+                if (value >> (31 - depth)) & 1:
+                    child = node.one
+                    if child is None:
+                        child = node.one = _FibNode()
+                else:
+                    child = node.zero
+                    if child is None:
+                        child = node.zero = _FibNode()
+                node = child
+            if node.entry is None:
+                node.entry = entry
+        self._fib_root = root
+        return root
 
     def lookup(self, dst: IPv4Address, now: float) -> Optional[RouteEntry]:
         """Longest-prefix-match lookup, with active overrides first.
@@ -212,6 +344,7 @@ class Router(Node):
         prefix length, so a route change fully shadows what it replaced.
         Returns None when no entry matches.
         """
+        self.lookup_count += 1
         candidates: list[tuple[int, float, RouteEntry]] = []
         for override in self._overrides:
             if override.active(now) and override.prefix.contains(dst):

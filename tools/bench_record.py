@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Record (or check) the walk-batching perf trajectory.
+
+Runs the two smoke legs of ``benchmarks/test_bench_walk_batching.py``
+— the multi-destination campaign and the adversarial-fault fleet —
+in both transit-plane modes and writes the measurements to
+``BENCH_walk.json`` at the repository root, so the perf trajectory
+survives across PRs (CI uploads the file as a build artifact; the
+committed copy is the recorded baseline).
+
+Wall-clock numbers are machine-dependent and recorded for trend
+reading only; the LPM lookup counts are *deterministic* for a given
+seed and round count, which makes them CI-gateable::
+
+    python tools/bench_record.py                 # rewrite BENCH_walk.json
+    python tools/bench_record.py --check         # compare against it
+
+``--check`` fails (exit 1) when the batched plane's lookup count
+regresses by more than 25 % against the recorded baseline, or when the
+aggregation no longer achieves 2x fewer lookups than the
+per-destination baseline, or when the fleet determinism signature
+stops matching between single-process and sharded execution.
+
+Environment: ``REPRO_BENCH_SEED`` / ``REPRO_BENCH_ROUNDS`` as for the
+benchmark suite — the recorded baseline is made with the defaults the
+CI smoke tier uses (seed 42, rounds 2), and ``--check`` refuses to
+compare apples to oranges when seed or rounds differ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+#: Allowed relative growth of the batched plane's lookup count before
+#: the check fails (the CI regression gate).
+LOOKUP_REGRESSION_TOLERANCE = 0.25
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_walk.json"
+
+
+def measure(seed: int, rounds: int) -> dict:
+    """Run both legs in both modes; return the JSON-ready record."""
+    from benchmarks.test_bench_walk_batching import (
+        run_campaign_leg,
+        run_fleet_leg,
+        route_signature,
+    )
+    from repro.vantage.campaign import FleetResult
+
+    def strip(leg: dict) -> dict:
+        return {
+            "wall_s": round(leg["wall_s"], 3),
+            "lookups": leg["lookups"],
+            "probes": leg["probes"],
+        }
+
+    campaign_legacy = run_campaign_leg(batching=False, seed=seed,
+                                       rounds=rounds)
+    campaign_batched = run_campaign_leg(batching=True, seed=seed,
+                                        rounds=rounds)
+    routes_match = (
+        sorted(route_signature(r) for r in campaign_legacy["result"].routes)
+        == sorted(route_signature(r)
+                  for r in campaign_batched["result"].routes))
+
+    fleet_legacy = run_fleet_leg(batching=False, seed=seed)
+    fleet_batched = run_fleet_leg(batching=True, seed=seed)
+    shard_a = run_fleet_leg(batching=True, seed=seed, vantage_ids=[0, 2])
+    shard_b = run_fleet_leg(batching=True, seed=seed, vantage_ids=[1, 3])
+    merged = FleetResult.merge([shard_a["result"], shard_b["result"]])
+    single_signature = fleet_batched["result"].signature()
+    sharded_signature = merged.signature()
+
+    simulated = campaign_batched["result"].rounds[-1].finished_at
+    return {
+        "schema": 1,
+        "bench": "walk_batching",
+        "seed": seed,
+        "rounds": rounds,
+        "campaign": {
+            "legacy": strip(campaign_legacy),
+            "batched": strip(campaign_batched),
+            "lookup_ratio": round(
+                campaign_legacy["lookups"] / campaign_batched["lookups"], 2),
+            "wall_ratio": round(
+                campaign_legacy["wall_s"] / campaign_batched["wall_s"], 2),
+            "simulated_s": round(simulated, 1),
+            "routes_match": routes_match,
+        },
+        "fleet": {
+            "legacy": strip(fleet_legacy),
+            "batched": strip(fleet_batched),
+            "lookup_ratio": round(
+                fleet_legacy["lookups"] / fleet_batched["lookups"], 2),
+            "wall_ratio": round(
+                fleet_legacy["wall_s"] / fleet_batched["wall_s"], 2),
+            "single_signature": single_signature,
+            "sharded_signature": sharded_signature,
+            "deterministic": single_signature == sharded_signature,
+        },
+    }
+
+
+def check(record: dict, baseline: dict) -> list[str]:
+    """Regression findings of ``record`` against ``baseline`` (empty = ok)."""
+    problems: list[str] = []
+    if (record["seed"] != baseline.get("seed")
+            or record["rounds"] != baseline.get("rounds")):
+        problems.append(
+            f"baseline was recorded with seed={baseline.get('seed')} "
+            f"rounds={baseline.get('rounds')}, this run used "
+            f"seed={record['seed']} rounds={record['rounds']} — "
+            "re-record the baseline instead of comparing")
+        return problems
+    for leg in ("campaign", "fleet"):
+        recorded = baseline[leg]["batched"]["lookups"]
+        current = record[leg]["batched"]["lookups"]
+        ceiling = recorded * (1.0 + LOOKUP_REGRESSION_TOLERANCE)
+        if current > ceiling:
+            problems.append(
+                f"{leg}: batched lookups regressed {recorded} -> {current} "
+                f"(> {LOOKUP_REGRESSION_TOLERANCE:.0%} over baseline)")
+        if record[leg]["lookup_ratio"] < 2.0:
+            problems.append(
+                f"{leg}: aggregation ratio fell below 2x "
+                f"({record[leg]['lookup_ratio']:.2f}x)")
+    if not record["campaign"]["routes_match"]:
+        problems.append("campaign: modes no longer infer identical routes")
+    if not record["fleet"]["deterministic"]:
+        problems.append("fleet: sharded signature diverged from single-"
+                        "process — the determinism guarantee broke")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    import os
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT,
+                        help="where to write the record "
+                             "(default: BENCH_walk.json at the repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare a fresh run against the recorded "
+                             "baseline instead of rewriting it")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT,
+                        help="baseline file for --check")
+    args = parser.parse_args(argv)
+
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+    record = measure(seed, rounds)
+
+    for leg in ("campaign", "fleet"):
+        stats = record[leg]
+        print(f"{leg}: lookups {stats['legacy']['lookups']} -> "
+              f"{stats['batched']['lookups']} "
+              f"({stats['lookup_ratio']:.2f}x fewer), wall "
+              f"{stats['legacy']['wall_s']:.2f}s -> "
+              f"{stats['batched']['wall_s']:.2f}s "
+              f"({stats['wall_ratio']:.2f}x)")
+    print(f"fleet determinism: "
+          f"{'ok' if record['fleet']['deterministic'] else 'BROKEN'}")
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; record one first",
+                  file=sys.stderr)
+            return 1
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+        problems = check(record, baseline)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+
+    # One measurement serves both the gate and the artifact: the fresh
+    # record is written even when --check fails, so a red CI run still
+    # uploads the numbers that tripped it.  A check never silently
+    # overwrites its own baseline — point --output elsewhere for that.
+    if args.check and args.output == args.baseline:
+        print(f"(not rewriting the baseline {args.baseline} in --check "
+              "mode; pass --output to save this run)")
+    else:
+        args.output.write_text(json.dumps(record, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+        print(f"recorded {args.output}")
+    if args.check:
+        if problems:
+            return 1
+        print("perf trajectory OK against recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
