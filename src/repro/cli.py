@@ -139,6 +139,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--tables", action="store_true",
                           help="also print the per-vantage Sec. 4 "
                                "anomaly tables")
+    campaign.add_argument("--metrics-out", default=None, metavar="PATH",
+                          help="enable the metrics registry and write "
+                               "the merged snapshot as Prometheus text "
+                               "exposition to PATH ('-' for stdout)")
+    campaign.add_argument("--trace-out", default=None, metavar="PATH",
+                          help="enable probe-lifecycle tracing and "
+                               "write span records as JSON lines to "
+                               "PATH")
+    campaign.add_argument("--trace-capacity", type=int, default=65536,
+                          help="span ring-buffer capacity per shard "
+                               "(oldest spans drop beyond this)")
 
     faults = commands.add_parser(
         "faults",
@@ -283,21 +294,31 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"{flag} must be at least 1, got {value}",
                   file=sys.stderr)
             return 2
+    if args.trace_capacity < 1:
+        print(f"--trace-capacity must be at least 1, "
+              f"got {args.trace_capacity}", file=sys.stderr)
+        return 2
     internet = demo_internet_config(args.seed, args.vantages)
     fleet = FleetConfig(rounds=args.rounds, workers=args.workers,
                         seed=args.seed, window=args.window,
                         assignment=args.assignment,
                         timeout_policy=args.timeout_policy)
+    metrics = args.metrics_out is not None
+    trace_capacity = args.trace_capacity if args.trace_out else 0
     if args.shards > 1:
         mode = (f"sharded K={args.shards}"
                 + (" (process pool)" if args.processes else " (inline)"))
         result = run_fleet_sharded(internet, fleet, shards=args.shards,
                                    processes=args.processes,
-                                   max_destinations=args.dests)
+                                   max_destinations=args.dests,
+                                   metrics=metrics,
+                                   trace_capacity=trace_capacity)
     else:
         mode = "single-process"
         result = run_fleet(internet, fleet,
-                           max_destinations=args.dests)
+                           max_destinations=args.dests,
+                           metrics=metrics,
+                           trace_capacity=trace_capacity)
     print(f"# fleet campaign: {args.vantages} vantage(s), "
           f"{len(result.destinations)} destination(s), "
           f"{args.rounds} round(s), {mode}")
@@ -318,6 +339,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             result.destinations_by_vantage())))
     print()
     print(f"# result signature: {result.signature()}")
+    if metrics and result.metrics is not None:
+        from repro.obs import render_prometheus
+
+        text = render_prometheus(result.metrics)
+        if args.metrics_out == "-":
+            print()
+            print(text, end="")
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"# metrics: {len(result.metrics.families)} families "
+                  f"-> {args.metrics_out} "
+                  f"(deterministic signature "
+                  f"{result.metrics.deterministic_signature()[:16]})")
+    if args.trace_out is not None:
+        from repro.obs import ProbeTracer
+
+        ProbeTracer.write_jsonl(result.spans, args.trace_out)
+        print(f"# spans: {len(result.spans)} -> {args.trace_out}")
     return 0
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.errors import TracerError
 from repro.net.packet import Packet
+from repro.obs.registry import active_registry
 from repro.sim.endhost import MeasurementHost
 from repro.sim.network import Network
 from repro.sim.socketapi import (
@@ -54,6 +55,35 @@ class AsyncProbeSocket:
         self.responses_received = 0
         self._outbox: list[Packet] = []
         self._next_token = 0
+        # probes_sent / responses_received are maintained as plain ints
+        # either way; with a registry on the network a collector mirrors
+        # them into counter children at snapshot time, so the hot send
+        # and poll paths pay nothing for instrumentation.
+        registry = active_registry(network)
+        if registry is not None:
+            client = str(host.address)
+            self._m_sent = registry.counter(
+                "repro_probes_sent_total",
+                "Probes staged for the wire, per probing client.",
+                ("client",)).labels(client)
+            self._m_received = registry.counter(
+                "repro_responses_received_total",
+                "Responses surfaced at the vantage point, per client.",
+                ("client",)).labels(client)
+            self._m_published = [0, 0]
+            registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Publish the socket's count deltas (collect-on-scrape)."""
+        published = self._m_published
+        delta = self.probes_sent - published[0]
+        if delta:
+            self._m_sent.inc(delta)
+            published[0] = self.probes_sent
+        delta = self.responses_received - published[1]
+        if delta:
+            self._m_received.inc(delta)
+            published[1] = self.responses_received
 
     @property
     def source_address(self):

@@ -66,6 +66,11 @@ from repro.net.icmp import (
 from repro.net.inet import IPv4Address
 from repro.net.packet import Packet
 from repro.net.tcp import TCPHeader
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    SCOPE_PROCESS,
+    active_registry,
+)
 from repro.probing.hoploop import HopLoopStrategy
 from repro.probing.strategy import ProbeRequest, ProbeStrategy
 from repro.sim.endhost import MeasurementHost
@@ -312,6 +317,10 @@ class _Lane:
     #: dict.  Fleet lanes pass a per-vantage dict so one vantage's halt
     #: depths never pace another vantage's traces.
     hints: Optional[dict] = None
+    #: Cached :class:`_SocketInstruments` bundle for this lane's socket
+    #: (filled on first pump when metrics are on — per-event dict
+    #: probes are measurable at campaign probe rates).
+    mx: object = None
 
 
 @dataclass
@@ -326,6 +335,112 @@ class _Outstanding:
 #: Claim freshness slack, seconds: float error on ``arrival - rtt`` is
 #: ~1e-11 at campaign clock scales, event spacing is >= link latency.
 _CLAIM_TOLERANCE = 1e-6
+
+
+class _SocketInstruments:
+    """One vantage point's event accumulators (claims, timeouts...).
+
+    The event loop bumps plain ints and small value->count dicts —
+    never a metric object — and :meth:`collect` (registered as a
+    registry collector) publishes the running totals into children
+    bound once per socket when a snapshot is taken.  At campaign probe
+    rates this accumulate-then-flush split is the difference between
+    percent-level and noise-level overhead.
+
+    Determinism across shard compositions holds because every
+    accumulator is a pure function of the socket's own timeline: the
+    histogram dicts iterate in first-occurrence order of each value
+    within that timeline, so even the flushed float sums are
+    byte-identical.
+    """
+
+    __slots__ = ("claims", "timeouts", "stale", "duplicate", "unmatched",
+                 "flush", "occupancy", "timeout_s", "answered",
+                 "_children", "_published")
+
+    _COUNTERS = ("claims", "timeouts", "stale", "duplicate", "unmatched")
+    _HISTOGRAMS = ("flush", "occupancy", "timeout_s")
+
+    def __init__(self, registry, client: str) -> None:
+        self.claims = 0
+        self.timeouts = 0
+        self.stale = 0
+        self.duplicate = 0
+        self.unmatched = 0
+        self.flush: dict[int, int] = {}
+        self.occupancy: dict[int, int] = {}
+        self.timeout_s: dict[float, int] = {}
+        #: Demux key -> sent_at of the probe whose reply was claimed
+        #: under that key; lets a later straggler with the same implied
+        #: send instant be classified as a duplicate rather than a
+        #: stale reply.  Socket-local, so echo-key collisions across
+        #: vantages that start lanes on one clock cannot cross-talk.
+        self.answered: dict[tuple, float] = {}
+        self._children = {
+            "claims": registry.counter(
+                "repro_scheduler_claims_total",
+                "Responses matched to an outstanding probe, per client.",
+                ("client",)).labels(client),
+            "timeouts": registry.counter(
+                "repro_scheduler_timeouts_total",
+                "Probes that expired unanswered, per client.",
+                ("client",)).labels(client),
+            "stale": registry.counter(
+                "repro_scheduler_replies_stale_total",
+                "Late replies to probes that stopped waiting, per client.",
+                ("client",)).labels(client),
+            "duplicate": registry.counter(
+                "repro_scheduler_replies_duplicate_total",
+                "Extra copies of already-claimed replies, per client.",
+                ("client",)).labels(client),
+            "unmatched": registry.counter(
+                "repro_scheduler_replies_unmatched_total",
+                "Replies matching no probe, live or dead, per client.",
+                ("client",)).labels(client),
+            "flush": registry.histogram(
+                "repro_scheduler_flush_batch_size",
+                "Staged probes per socket at each cohort flush.",
+                ("client",),
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128)).labels(client),
+            "occupancy": registry.histogram(
+                "repro_scheduler_lane_occupancy",
+                "In-flight probes in a lane's window after each pump.",
+                ("client",),
+                buckets=(0, 1, 2, 4, 8, 16, 32)).labels(client),
+            "timeout_s": registry.histogram(
+                "repro_scheduler_probe_timeout_seconds",
+                "Timeout the lane policy assigned each probe at send time.",
+                ("client",),
+                buckets=(0.1, 0.25, 0.5, 1.0, 2.0, 4.0)).labels(client),
+        }
+        self._published: dict = {name: 0 for name in self._COUNTERS}
+        for name in self._HISTOGRAMS:
+            self._published[name] = {}
+        registry.add_collector(self.collect)
+
+    def collect(self) -> None:
+        """Publish accumulated deltas into the bound children.
+
+        Delta-based (not absolute) so repeated snapshots stay correct,
+        and so several bundles for one socket — campaigns build a fresh
+        scheduler per round — publish additively into shared children.
+        """
+        children = self._children
+        published = self._published
+        for name in self._COUNTERS:
+            total = getattr(self, name)
+            delta = total - published[name]
+            if delta:
+                children[name].inc(delta)
+                published[name] = total
+        for name in self._HISTOGRAMS:
+            done = published[name]
+            child = children[name]
+            for value, n in getattr(self, name).items():
+                delta = n - done.get(value, 0)
+                if delta:
+                    child.observe(value, delta)
+                    done[value] = n
 
 
 class ProbeScheduler:
@@ -383,6 +498,32 @@ class ProbeScheduler:
         # answered): late responses to them are recognised here instead
         # of falling through to the full matching scan.
         self._dead_keys: set[tuple] = set()
+        # Observability: families are created once here; per-socket
+        # children bind lazily in _instruments().  With no registry the
+        # children are no-op singletons and _obs gates the bookkeeping
+        # (answered-send map, straggler classification) that a no-op
+        # call would not absorb.
+        registry = active_registry(network)
+        self._obs = registry is not None
+        self._metrics = registry if registry is not None else NULL_REGISTRY
+        self._tracer = getattr(network, "tracer", None)
+        self._instruments_by_socket: dict[int, _SocketInstruments] = {}
+        self._mf_lanes = self._metrics.gauge(
+            "repro_scheduler_lanes",
+            "Lanes registered per probing client.", ("client",))
+        self._mc_cohort = self._metrics.histogram(
+            "repro_scheduler_cohort_size",
+            "Total probes per cross-vantage cohort flush (advisory: "
+            "depends on cohort composition).",
+            (), scope=SCOPE_PROCESS,
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256)).labels()
+        # Cohort sizes accumulate here (value -> count) and flush into
+        # _mc_cohort at snapshot time, same delta discipline as the
+        # per-socket bundles.
+        self._cohort_acc: dict[int, int] = {}
+        self._cohort_pub: dict[int, int] = {}
+        if self._obs:
+            registry.add_collector(self._collect_cohort)
 
     # -- building the workload ------------------------------------------
     def add_lane(self, specs: Iterable,
@@ -411,9 +552,36 @@ class ProbeScheduler:
         self.lanes.append(lane)
         return lane.index
 
+    def _instruments(self, socket: AsyncProbeSocket) -> _SocketInstruments:
+        """The socket's accumulator bundle (created on first use)."""
+        bundle = self._instruments_by_socket.get(id(socket))
+        if bundle is None:
+            bundle = _SocketInstruments(self._metrics,
+                                        str(socket.source_address))
+            self._instruments_by_socket[id(socket)] = bundle
+        return bundle
+
+    def _collect_cohort(self) -> None:
+        """Publish the cohort-size accumulator delta at snapshot time."""
+        published = self._cohort_pub
+        for value, n in self._cohort_acc.items():
+            delta = n - published.get(value, 0)
+            if delta:
+                self._mc_cohort.observe(value, delta)
+                published[value] = n
+
     # -- the event loop --------------------------------------------------
     def run(self) -> list[TraceOutcome]:
         """Run every lane to completion; outcomes in (lane, index) order."""
+        if self._obs:
+            lane_counts: dict[int, int] = {}
+            addresses: dict[int, str] = {}
+            for lane in self.lanes:
+                sid = id(lane.socket)
+                lane_counts[sid] = lane_counts.get(sid, 0) + 1
+                addresses[sid] = str(lane.socket.source_address)
+            for sid, count in lane_counts.items():
+                self._mf_lanes.labels(addresses[sid]).set(count)
         for lane in self.lanes:
             self._start_next_trace(lane)
         self._flush_sockets()
@@ -448,9 +616,16 @@ class ProbeScheduler:
         # Draining *through the sockets* keeps their received counters
         # execution-mode independent: a straggler addressed to a
         # vantage is counted whether or not some other lane's activity
-        # would have polled it in before the run ended.
+        # would have polled it in before the run ended.  With metrics
+        # on the drained stragglers also pass through _on_response so
+        # their stale/duplicate classification is identical whether a
+        # sibling lane's activity polled them in-loop or not (every
+        # session has retired by now, so no claim can succeed).
         for sock in self._sockets:
-            sock.poll(until=float("inf"))
+            responses = sock.poll(until=float("inf"))
+            if self._obs:
+                for response in responses:
+                    self._on_response(response, sock)
         self.network.deliveries(until=float("inf"))
         self.outcomes.sort(key=lambda o: (o.lane, o.index))
         return self.outcomes
@@ -470,8 +645,43 @@ class ProbeScheduler:
             staged = sock.take_staged()
             if staged:
                 batches.append((sock.host, staged))
-        if batches:
-            self.network.submit_cohorts(batches)
+                if self._obs:
+                    # Per-socket staged size is a pure function of that
+                    # vantage's own timeline (one event per iteration,
+                    # arrivals processed per socket, then one flush) —
+                    # deterministic across shard compositions.
+                    acc = self._instruments(sock).flush
+                    n = len(staged)
+                    acc[n] = acc.get(n, 0) + 1
+        if not batches:
+            return
+        if self._obs:
+            acc = self._cohort_acc
+            n = sum(len(p) for __, p in batches)
+            acc[n] = acc.get(n, 0) + 1
+        result = self.network.submit_cohorts(batches)
+        if self._tracer is not None:
+            self._annotate_drops(result)
+
+    def _annotate_drops(self, result) -> None:
+        """Attach walk drop records to the spans of the probes they hit.
+
+        Drops carry packets, not probe ids: a dropped probe matches its
+        own registered demux keys directly, and a dropped *response*
+        (loss burst, link loss) matches through the keys it would have
+        answered to.
+        """
+        tracer = self._tracer
+        now = self.clock.now
+        for drop in result.drops:
+            packet = drop.packet
+            for key in (*response_match_keys(packet),
+                        *probe_match_keys(packet)):
+                if tracer.annotate_key(key, kind="drop",
+                                       at=now + drop.elapsed,
+                                       node=drop.node.name,
+                                       reason=drop.reason):
+                    break
 
     def _drop_stale_expires(self) -> None:
         """Discard deadlines of probes already answered or cancelled.
@@ -513,6 +723,13 @@ class ProbeScheduler:
         session = lane.session
         if session is None or session.done:
             return
+        obs = self._obs
+        mx = None
+        if obs:
+            mx = lane.mx
+            if mx is None:
+                mx = lane.mx = self._instruments(lane.socket)
+        tracer = self._tracer
         for request in session.strategy.next_probes():
             if request.timeout is not None:
                 timeout = request.timeout
@@ -532,6 +749,21 @@ class ProbeScheduler:
             for key in keys:
                 self._index.setdefault(key, set()).add(probe_id)
             self.events.push(sent.deadline, EventKind.EXPIRE, probe_id)
+            if obs:
+                acc = mx.timeout_s
+                acc[timeout] = acc.get(timeout, 0) + 1
+            if tracer is not None:
+                tracer.begin(probe_id,
+                             client=lane.socket.source_address,
+                             destination=request.probe.dst,
+                             ttl=request.probe.ip.ttl,
+                             sent_at=sent.sent_at,
+                             deadline=sent.deadline,
+                             keys=keys)
+        if obs:
+            acc = mx.occupancy
+            n = len(session.tokens)
+            acc[n] = acc.get(n, 0) + 1
         if session.done:
             # The strategy finished while emitting (no probe needed).
             self._retire(lane, session)
@@ -574,6 +806,10 @@ class ProbeScheduler:
         record = self._outstanding.pop(token, None)
         if record is None:
             return
+        if self._tracer is not None:
+            # Claim and timeout paths close their span first; whatever
+            # is still open here is a cancelled speculative probe.
+            self._tracer.close(token, "cancelled", self.clock.now)
         record.session.tokens.discard(token)
         for key in record.keys:
             tokens = self._index.get(key)
@@ -588,6 +824,13 @@ class ProbeScheduler:
         record = self._outstanding.get(token)
         if record is None:
             return
+        if self._obs:
+            mx = record.lane.mx
+            if mx is None:
+                mx = record.lane.mx = self._instruments(record.lane.socket)
+            mx.timeouts += 1
+        if self._tracer is not None:
+            self._tracer.close(token, "timeout", self.clock.now)
         self._forget(token)
         record.session.strategy.on_timeout(record.request.token,
                                            self.clock.now)
@@ -595,16 +838,58 @@ class ProbeScheduler:
 
     def _on_response(self, response: ProbeResponse,
                      socket: AsyncProbeSocket | None = None) -> None:
-        token, record = self._claim(response,
-                                    socket if socket is not None
-                                    else self.socket)
+        sock = socket if socket is not None else self.socket
+        token, record = self._claim(response, sock)
         if record is None:
+            if self._obs:
+                self._classify_unclaimed(response, sock)
             return
+        if self._obs:
+            # The claim fence guarantees record.lane.socket is sock.
+            mx = record.lane.mx
+            if mx is None:
+                mx = record.lane.mx = self._instruments(sock)
+            mx.claims += 1
+            answered = mx.answered
+            for key in record.keys:
+                answered[key] = record.sent_at
+        if self._tracer is not None:
+            self._tracer.close(token, "claimed", self.clock.now,
+                               rtt=response.rtt,
+                               responder=str(response.packet.src))
         self._forget(token)
         record.session.strategy.on_reply(record.request.token, response,
                                          self.clock.now)
         record.lane.timeout_policy.observe(response.rtt)
         self._after_resolution(record.lane)
+
+    def _classify_unclaimed(self, response: ProbeResponse,
+                            socket: AsyncProbeSocket) -> None:
+        """Count an unclaimed reply as duplicate, stale, or unmatched.
+
+        A reply to dead keys whose implied send instant equals a
+        previously *claimed* probe's send is an extra copy of an answer
+        the strategy already consumed (network duplication); any other
+        dead-key reply is a stale answer to a probe that stopped
+        waiting.  Replies matching no key at all are unmatched.  All
+        three derive from the client's own timeline, so the counts are
+        shard-composition independent.
+        """
+        mx = self._instruments(socket)
+        keys = response_match_keys(response.packet)
+        if any(key in self._dead_keys for key in keys):
+            implied_send = response.received_at - response.rtt
+            answered = mx.answered
+            for key in keys:
+                sent_at = answered.get(key)
+                if (sent_at is not None
+                        and abs(sent_at - implied_send)
+                        <= _CLAIM_TOLERANCE):
+                    mx.duplicate += 1
+                    return
+            mx.stale += 1
+        else:
+            mx.unmatched += 1
 
     def _is_fresh(self, response: ProbeResponse,
                   record: _Outstanding) -> bool:

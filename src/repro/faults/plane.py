@@ -78,6 +78,14 @@ class DeliveryFaultPlane:
         #: Diagnostics: how many deliveries were delayed / duplicated.
         self.delayed = 0
         self.duplicated = 0
+        # Fault actions accumulate per recipient as plain [jitter,
+        # spike, duplicate] counts, keyed on the registry identity so a
+        # replaced registry restarts the accumulator; a registry
+        # collector publishes them at snapshot time (apply runs per
+        # walk — any registry traffic is too slow for that path).
+        self._m_registry = None
+        self._m_acc: dict[IPv4Address, list] = {}
+        self._m_published: dict = {}
 
     def _stream(self, recipient: IPv4Address) -> random.Random:
         """The recipient's private draw stream (stable across processes:
@@ -92,24 +100,45 @@ class DeliveryFaultPlane:
         """Scope check: is this delivery's sender under the plane?"""
         return self.sources is None or delivery.packet.src in self.sources
 
-    def apply(self, result: WalkResult) -> None:
+    def apply(self, result: WalkResult, metrics=None) -> None:
         """Mutate a walk's deliveries in place.
 
         Draw order per delivery is fixed (jitter, spike, duplication —
         each drawn whenever its feature is enabled), so a recipient's
         stream consumption is a pure function of its own delivery
-        sequence and the plane's configuration.
+        sequence and the plane's configuration.  ``metrics`` is the
+        network's registry (or None): each fault action increments a
+        per-recipient counter, which stays deterministic across shard
+        compositions because the draws themselves are per-recipient.
         """
+        counts = None
+        if metrics is not None and metrics.enabled:
+            if self._m_registry is not metrics:
+                self._m_registry = metrics
+                self._m_acc = {}
+                self._m_published = {}
+                metrics.add_collector(self._collect)
+            counts = self._m_acc
         copies: list[Delivery] = []
         for delivery in result.deliveries:
             if not self.applies_to(delivery):
                 continue
-            rng = self._stream(delivery.packet.dst)
+            recipient = delivery.packet.dst
+            rng = self._stream(recipient)
+            trio = None
+            if counts is not None:
+                trio = counts.get(recipient)
+                if trio is None:
+                    trio = counts[recipient] = [0, 0, 0]
             extra = 0.0
             if self.jitter > 0.0:
                 extra += rng.random() * self.jitter
+                if trio is not None:
+                    trio[0] += 1
             if self.spike_rate > 0.0 and rng.random() < self.spike_rate:
                 extra += self.spike_delay
+                if trio is not None:
+                    trio[1] += 1
             if extra > 0.0:
                 delivery.elapsed += extra
                 self.delayed += 1
@@ -123,4 +152,34 @@ class DeliveryFaultPlane:
                     elapsed=delivery.elapsed + lag,
                 ))
                 self.duplicated += 1
+                if trio is not None:
+                    trio[2] += 1
         result.deliveries.extend(copies)
+
+    _ACTIONS = ("jitter", "spike", "duplicate")
+
+    def _collect(self) -> None:
+        """Publish accumulated per-recipient fault deltas on snapshot.
+
+        Every recipient that traversed the plane gets all three series
+        (zero-valued ones included) so the label universe matches what
+        eager child binding used to produce — merged snapshots stay
+        identical across shard compositions either way, since recipient
+        sets are delivery-driven and vantage-local.
+        """
+        family = self._m_registry.counter(
+            "repro_fault_delivery_total",
+            "In-flight delivery faults applied, per client and kind.",
+            ("client", "action"))
+        published = self._m_published
+        for recipient, trio in self._m_acc.items():
+            client = str(recipient)
+            done = published.get(recipient)
+            if done is None:
+                done = published[recipient] = [0, 0, 0]
+            for slot, action in enumerate(self._ACTIONS):
+                delta = trio[slot] - done[slot]
+                child = family.labels(client, action)
+                if delta:
+                    child.inc(delta)
+                    done[slot] = trio[slot]

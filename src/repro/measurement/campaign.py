@@ -143,6 +143,11 @@ class CampaignResult:
     #: Results of the per-destination extra strategies, if the campaign
     #: was given a ``strategy_factory`` (e.g. MDA census rounds).
     strategy_results: list[StrategyOutcome] = field(default_factory=list)
+    #: :class:`repro.obs.MetricsSnapshot` of the network's registry at
+    #: campaign end, when one was installed; None otherwise.  Kept out
+    #: of every signature/equality path — observability never alters
+    #: inference artifacts.
+    metrics: object = None
 
     @property
     def mean_round_duration(self) -> float:
@@ -310,7 +315,37 @@ class Campaign:
         else:
             result.probes_sent = self._socket.probes_sent
             result.responses_received = self._socket.responses_received
+        self._attach_metrics(result)
         return result
+
+    def _attach_metrics(self, result: CampaignResult) -> None:
+        """Count per-destination outcomes; snapshot the registry."""
+        from repro.obs.registry import SCOPE_PROCESS, active_registry
+
+        registry = active_registry(self.network)
+        if registry is None:
+            return
+        # Summing every router's LPM counter is too slow for the
+        # transit plane's per-batch flush, so the network-wide total
+        # is published here, once per campaign run.
+        registry.gauge(
+            "repro_fib_route_lookups",
+            "Network-wide LPM resolutions since the last counter reset.",
+            (), scope=SCOPE_PROCESS).set(self.network.route_lookups())
+        client = str(self.source.address)
+        outcomes = registry.counter(
+            "repro_campaign_traces_total",
+            "Completed traces per client, tool, and halt reason.",
+            ("client", "tool", "halt"))
+        for route in result.routes:
+            outcomes.labels(client, route.tool, route.halt_reason).inc()
+        if result.strategy_results:
+            registry.counter(
+                "repro_campaign_strategy_runs_total",
+                "Extra per-destination strategy runs, per client.",
+                ("client",)).labels(client).inc(
+                    len(result.strategy_results))
+        result.metrics = registry.snapshot()
 
     def _trace_ordinal(self, round_index: int, worker: int,
                        position: int) -> int:

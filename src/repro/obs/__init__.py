@@ -1,0 +1,50 @@
+"""Observability plane: metrics registry, probe tracing, exposition.
+
+The package gives every layer of the stack — scheduler, sockets,
+transit plane, fault planes, campaigns — a shared, label-aware way to
+count what happened, keyed per probing client so that sharded fleet
+runs merge into the same snapshot a single-process run produces.
+
+Three modules:
+
+``registry``
+    :class:`MetricsRegistry` with Counter / Gauge / Histogram families
+    and a no-op fast path (``NULL_REGISTRY``) so the cohort hot loop
+    pays ~zero when metrics are off.
+
+``tracing``
+    :class:`ProbeTracer`, a bounded ring buffer of probe-lifecycle
+    spans stamped on the simulated clock.
+
+``exposition``
+    Prometheus text rendering, canonical JSON snapshots, and the
+    line-format lint CI uses to validate the exposition artifact.
+"""
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_REGISTRY,
+    SCOPE_CLIENT,
+    SCOPE_PROCESS,
+    active_registry,
+)
+from repro.obs.tracing import ProbeTracer
+from repro.obs.exposition import (
+    lint_prometheus_text,
+    render_prometheus,
+    snapshot_to_json,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "SCOPE_CLIENT",
+    "SCOPE_PROCESS",
+    "ProbeTracer",
+    "active_registry",
+    "lint_prometheus_text",
+    "render_prometheus",
+    "snapshot_to_json",
+]

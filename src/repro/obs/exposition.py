@@ -1,0 +1,181 @@
+"""Render metrics snapshots: Prometheus text format and JSON.
+
+The Prometheus renderer follows the text exposition format version
+0.0.4: one ``# HELP`` and ``# TYPE`` line per family, one sample line
+per series, histogram series expanded into cumulative ``_bucket``
+samples plus ``_sum`` / ``_count``.  Families and series render in
+sorted order so the output is byte-stable for a given snapshot.
+
+``lint_prometheus_text`` is the inverse check used by
+``tools/prom_lint.py`` and CI: it validates line structure (names,
+label syntax, float values, HELP/TYPE pairing) without needing a real
+Prometheus parser in the container.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List
+
+from repro.obs.registry import MetricsSnapshot
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_PAIR_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _labels_text(labelnames, values, extra=()):
+    pairs = [f'{name}="{_escape_label_value(str(value))}"'
+             for name, value in zip(labelnames, values)]
+    pairs.extend(f'{name}="{_escape_label_value(str(value))}"'
+                 for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot.families):
+        fam = snapshot.families[name]
+        kind = fam["kind"]
+        lines.append(f"# HELP {name} {_escape_help(fam['help'] or name)}")
+        lines.append(f"# TYPE {name} {kind}")
+        labelnames = fam["labelnames"]
+        for key in sorted(fam["series"]):
+            value = fam["series"][key]
+            if kind == "histogram":
+                bounds = list(fam["buckets"] or ())
+                cumulative = 0
+                for bound, count in zip(
+                        bounds + [float("inf")],
+                        value["bucket_counts"]):
+                    cumulative += count
+                    le = _format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labelnames, key, [('le', le)])}"
+                        f" {cumulative}")
+                lines.append(f"{name}_sum{_labels_text(labelnames, key)}"
+                             f" {_format_value(value['sum'])}")
+                lines.append(f"{name}_count{_labels_text(labelnames, key)}"
+                             f" {value['count']}")
+            else:
+                lines.append(f"{name}{_labels_text(labelnames, key)}"
+                             f" {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def snapshot_to_json(snapshot: MetricsSnapshot, indent=None) -> str:
+    """Canonical JSON rendering of every family (both scopes)."""
+    from repro.obs.registry import _family_to_json
+
+    payload = {name: _family_to_json(snapshot.families[name])
+               for name in sorted(snapshot.families)}
+    return json.dumps(payload, sort_keys=True, indent=indent)
+
+
+def lint_prometheus_text(text: str) -> List[str]:
+    """Validate Prometheus text-format lines; return problem strings.
+
+    Checks: sample-line grammar, label pair syntax, numeric values,
+    every samples' metric name is announced by a preceding ``# TYPE``
+    (modulo histogram ``_bucket``/``_sum``/``_count`` suffixes), and
+    HELP/TYPE lines are well-formed.  Empty output is a problem — a
+    metrics-enabled run must expose at least one family.
+    """
+    problems: List[str] = []
+    typed: dict = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                problems.append(f"line {lineno}: malformed HELP")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in _TYPES:
+                problems.append(f"line {lineno}: malformed TYPE")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        samples += 1
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no # TYPE line")
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_label_pairs(labels):
+                if not _LABEL_PAIR_RE.match(pair):
+                    problems.append(
+                        f"line {lineno}: bad label pair {pair!r}")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: non-numeric value {value!r}")
+    if samples == 0:
+        problems.append("no samples found in exposition")
+    return problems
+
+
+def _split_label_pairs(labels: str) -> List[str]:
+    """Split ``a="x",b="y"`` respecting escaped quotes inside values."""
+    pairs, current, in_quotes, escaped = [], [], False, False
+    for char in labels:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs

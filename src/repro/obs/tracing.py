@@ -1,0 +1,124 @@
+"""Probe-lifecycle spans on the simulated clock.
+
+A span follows one probe from submit to resolution: the scheduler
+opens it at send time (client, destination, TTL, sent_at, deadline),
+the transit/fault planes annotate it with events (drops, rate-limit
+actions), and the scheduler closes it at claim (rtt, responder) or
+timeout.  Every timestamp is a ``SimClock`` instant — simulated
+seconds since campaign start — never wall time, so traces are
+deterministic and comparable across machines.
+
+Retention is a bounded ring: once ``capacity`` spans have closed, the
+oldest are dropped.  Open spans are tracked separately and do not
+count against the ring until they close.
+
+Spans are plain dicts of JSON-serializable values so they stream
+straight to ``spans.jsonl`` and pickle across shard processes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+#: Default ring capacity — roomy enough for a smoke campaign, bounded
+#: enough that long fleets cannot grow memory without limit.
+DEFAULT_CAPACITY = 65536
+
+
+class ProbeTracer:
+    """Bounded ring buffer of probe spans keyed by scheduler probe id."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.spans: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self._open: Dict[object, dict] = {}
+        self._by_key: Dict[tuple, List[object]] = {}
+
+    def __len__(self):
+        return len(self.spans)
+
+    def begin(self, span_id, client, destination, ttl, sent_at,
+              deadline, keys=()):
+        """Open a span at probe submit time."""
+        span = {
+            "client": str(client),
+            "destination": str(destination),
+            "ttl": int(ttl),
+            "sent_at": float(sent_at),
+            "deadline": float(deadline),
+            "events": [],
+        }
+        self._open[span_id] = span
+        for key in keys:
+            self._by_key.setdefault(key, []).append(span_id)
+        return span
+
+    def annotate(self, span_id, **event):
+        """Append an event dict to an open span (no-op when closed)."""
+        span = self._open.get(span_id)
+        if span is not None:
+            span["events"].append(event)
+
+    def annotate_key(self, key, **event):
+        """Annotate the most recently opened span matching ``key``.
+
+        The transit and fault planes see packets, not probe ids; the
+        scheduler registers each probe's demux match keys at begin so
+        drop records can be attributed back to the span.
+        """
+        ids = self._by_key.get(key)
+        if not ids:
+            return False
+        self.annotate(ids[-1], **event)
+        return True
+
+    def close(self, span_id, outcome, at, **extra):
+        """Resolve a span and move it into the ring.
+
+        Closing an unknown or already-closed span is a no-op so the
+        scheduler's forget path can close defensively.
+        """
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return None
+        span["outcome"] = outcome
+        span["resolved_at"] = float(at)
+        span.update(extra)
+        for ids in self._by_key.values():
+            if span_id in ids:
+                ids.remove(span_id)
+        if len(self.spans) == self.capacity:
+            self.dropped += 1
+        self.spans.append(span)
+        return span
+
+    def records(self) -> List[dict]:
+        """Closed spans in close order (open spans are not included)."""
+        return list(self.spans)
+
+    @staticmethod
+    def sort_key(span: dict) -> Tuple:
+        """Canonical cross-shard ordering for merged span streams."""
+        return (span.get("client", ""), span.get("sent_at", 0.0),
+                span.get("ttl", 0), span.get("destination", ""))
+
+    @staticmethod
+    def write_jsonl(spans, path) -> int:
+        """Write spans (any iterable of span dicts) as JSON lines."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+                count += 1
+        return count
+
+
+def active_tracer(network) -> Optional[ProbeTracer]:
+    """The network's tracer, or None when tracing is off."""
+    return getattr(network, "tracer", None)

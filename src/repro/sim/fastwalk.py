@@ -188,6 +188,94 @@ class _Segment:
         self.entry = entry
 
 
+class _TransitAccumulator:
+    """Network-held transit counters, published on snapshot.
+
+    A walk is built per cohort batch, so even bound-child publishing
+    per batch costs measurable wall at campaign rates.  Walks add
+    plain ints here instead and :meth:`collect` (registered as a
+    registry collector) publishes the running totals — as deltas, so
+    repeated snapshots stay correct — when one is actually taken.
+    """
+
+    _COUNTERS = ("zooms", "zoom_hops", "seg_jumps", "seg_jump_hops",
+                 "segments", "memo_hits", "resolutions")
+
+    __slots__ = _COUNTERS + ("registry", "zoom_length", "_published")
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        #: zoom run length -> occurrences, across every walk so far.
+        self.zoom_length: dict = {}
+        self._published: dict = {name: 0 for name in self._COUNTERS}
+        self._published["zoom_length"] = {}
+        registry.add_collector(self.collect)
+
+    def collect(self) -> None:
+        """Publish accumulated deltas into the transit plane's series."""
+        children = _bind_transit_children(self.registry)
+        published = self._published
+        for name in self._COUNTERS:
+            total = getattr(self, name)
+            delta = total - published[name]
+            if delta:
+                children[name].inc(delta)
+                published[name] = total
+        done = published["zoom_length"]
+        histogram = children["zoom_length"]
+        for length in sorted(self.zoom_length):
+            delta = self.zoom_length[length] - done.get(length, 0)
+            if delta:
+                histogram.observe(length, delta)
+                done[length] = self.zoom_length[length]
+
+
+def _bind_transit_children(metrics) -> dict:
+    """The transit plane's label-less metric children.
+
+    Called from :meth:`_TransitAccumulator.collect` — a snapshot-time
+    path, so the family lookups per call are immaterial.
+    """
+    from repro.obs.registry import SCOPE_PROCESS
+
+    def counter(name, help_text):
+        return metrics.counter(name, help_text, (),
+                               scope=SCOPE_PROCESS).labels()
+
+    return {
+        "zooms": counter(
+            "repro_transit_zooms_total",
+            "Zoom runs completed (traveler park events)."),
+        "zoom_hops": counter(
+            "repro_transit_zoom_hops_total",
+            "Node visits crossed inside zoom runs."),
+        "seg_jumps": counter(
+            "repro_transit_segment_jumps_total",
+            "Memoised segment runs replayed in one jump."),
+        "seg_jump_hops": counter(
+            "repro_transit_segment_jump_hops_total",
+            "Hops skipped hop-wise by segment jumps."),
+        "segments": counter(
+            "repro_transit_segments_recorded_total",
+            "Chain-safe runs memoised as segments."),
+        "memo_hits": counter(
+            "repro_transit_walk_memo_hits_total",
+            "Per-hop (node, destination) resolutions served by the "
+            "walk memo."),
+        "resolutions": counter(
+            "repro_transit_walk_resolutions_total",
+            "Fresh (node, destination) resolutions this walk "
+            "(locality probes and cached route lookups)."),
+        "zoom_length": metrics.histogram(
+            "repro_transit_zoom_length_hops",
+            "Hops advanced per zoom run (segment jumps included).",
+            (), scope=SCOPE_PROCESS,
+            buckets=(1, 2, 4, 8, 16, 32, 64)).labels(),
+    }
+
+
 def _group_order(key: tuple[Node, Interface]) -> tuple[str, int]:
     """Canonical processing order of a round's side-effect groups.
 
@@ -237,6 +325,25 @@ class _BatchedWalk:
         # The network's address -> node index (one dict probe decides
         # destination locality — never a scan over nodes).
         self._owner_of = network._address_index
+        # Transit-plane observability: counts accumulate in plain ints
+        # gated by one local bool inside the zoom loop and publish to
+        # the registry once at the end of run() — the hot loop never
+        # touches a metric object.  These series are process-scope:
+        # which traveler warms a memo depends on cohort composition, so
+        # they are advisory and excluded from the deterministic
+        # snapshot comparison.
+        from repro.obs.registry import active_registry
+
+        self._metrics = active_registry(network)
+        self._track = self._metrics is not None
+        self._zooms = 0
+        self._zoom_hops = 0
+        self._zoom_lengths: dict[int, int] = {}
+        self._seg_jumps = 0
+        self._seg_jump_hops = 0
+        self._segments_recorded = 0
+        self._memo_hits = 0
+        self._walk_resolutions = 0
 
     # -- walk entry points ----------------------------------------------
     def start_local(self, node: Node, packet: Packet, delay: float,
@@ -282,7 +389,36 @@ class _BatchedWalk:
                 node, in_iface = key
                 for traveler in buckets[key]:
                     self.receive_one(node, in_iface, traveler)
+        if self._track:
+            self._publish_metrics()
         return self.result
+
+    def _publish_metrics(self) -> None:
+        """Add this walk's transit counts to the network's accumulator.
+
+        A walk is built per cohort batch, so the accumulator lives on
+        the *network* (keyed on the registry identity) and defers all
+        registry traffic to snapshot time.
+        """
+        acc = self.network._obs_transit_acc
+        if acc is None or acc.registry is not self._metrics:
+            acc = _TransitAccumulator(self._metrics)
+            self.network._obs_transit_acc = acc
+        acc.zooms += self._zooms
+        acc.zoom_hops += self._zoom_hops
+        acc.seg_jumps += self._seg_jumps
+        acc.seg_jump_hops += self._seg_jump_hops
+        acc.segments += self._segments_recorded
+        acc.memo_hits += self._memo_hits
+        acc.resolutions += self._walk_resolutions
+        # Network-wide LPM totals are summed over every router, which
+        # is far too slow for a per-batch flush: the campaign layer
+        # publishes them once per run as ``repro_fib_route_lookups``.
+        lengths = self._zoom_lengths
+        if lengths:
+            totals = acc.zoom_length
+            for length, count in lengths.items():
+                totals[length] = totals.get(length, 0) + count
 
     # -- transit ---------------------------------------------------------
     def launch(self, traveler: _Traveler, egress: Interface) -> None:
@@ -338,6 +474,8 @@ class _BatchedWalk:
         ttl = traveler.ttl
         delay = traveler.delay
         round_ = traveler.round
+        track = self._track
+        start_round = round_
         # Segment recording: while this traveler crosses consecutive
         # chain-safe hops, remember the start node's resolution dict,
         # its entry, and the per-link delays; the flush memoises the
@@ -377,6 +515,10 @@ class _BatchedWalk:
                              if entry is None or entry.unreachable
                              else entry)
                 resolved[dst_key] = state
+                if track:
+                    self._walk_resolutions += 1
+            elif track:
+                self._memo_hits += 1
             safe = False
             if state.__class__ is _Segment:
                 hops = state.hops
@@ -390,6 +532,9 @@ class _BatchedWalk:
                     ttl -= hops
                     steps += hops - 1
                     round_ += hops
+                    if track:
+                        self._seg_jumps += 1
+                        self._seg_jump_hops += hops
                     if rec_delays is not None:
                         # An active recording rides through the jump,
                         # so its flush covers the concatenated run.
@@ -479,6 +624,12 @@ class _BatchedWalk:
         traveler.ttl = ttl
         traveler.delay = delay
         traveler.round = round_
+        if track:
+            length = round_ - start_round
+            self._zooms += 1
+            self._zoom_hops += length
+            lengths = self._zoom_lengths
+            lengths[length] = lengths.get(length, 0) + 1
         # Park for side-effect processing at this traveler's round.
         buckets = self.rounds.get(round_)
         if buckets is None:
@@ -490,8 +641,7 @@ class _BatchedWalk:
         else:
             group.append(traveler)
 
-    @staticmethod
-    def _flush_segment(resolved, dst_key, entry, delays, end_node,
+    def _flush_segment(self, resolved, dst_key, entry, delays, end_node,
                        end_iface) -> None:
         """Memoise a finished chain recording at its start node.
 
@@ -503,6 +653,8 @@ class _BatchedWalk:
         if resolved.get(dst_key).__class__ is not _Segment:
             resolved[dst_key] = _Segment(len(delays), delays, end_node,
                                          end_iface, entry)
+            if self._track:
+                self._segments_recorded += 1
 
     def choose_egress(self, entry, traveler: _Traveler) -> int:
         policy = entry.balancer

@@ -95,6 +95,19 @@ class Network:
         #: walk's deliveries before the caller (blocking socket) or the
         #: delivery buffer (async path) sees them.
         self.fault_plane = None
+        #: Optional :class:`repro.obs.MetricsRegistry`.  Components
+        #: bind their counters at construction time via
+        #: :func:`repro.obs.active_registry`; None (the default) keeps
+        #: every instrumented path on the no-op fast path.
+        self.metrics = None
+        #: Optional :class:`repro.obs.ProbeTracer` recording probe
+        #: lifecycle spans on this network's simulated clock.
+        self.tracer = None
+        # Transit-plane metric children bound once per registry — a
+        # Transit-plane metrics accumulator filled by the batched
+        # walk's publish path (walks are rebuilt per cohort batch, so
+        # they cannot carry it themselves).
+        self._obs_transit_acc = None
         # Asynchronous delivery buffer: (absolute arrival time, sequence
         # number, Delivery) heap fed by submit()/submit_cohort() and
         # drained by deliveries().  The sequence number keeps the pop
@@ -162,6 +175,22 @@ class Network:
         return sum(node.lookup_count for node in self.nodes.values()
                    if isinstance(node, Router))
 
+    def reset_counters(self) -> None:
+        """Zero every router's LPM counter and the metrics registry.
+
+        The explicit reset path shared by benches and the registry:
+        one call between bench legs guarantees neither
+        :meth:`route_lookups` nor any registry series carries counts
+        over from a previous leg.
+        """
+        from repro.sim.router import Router
+
+        for node in self.nodes.values():
+            if isinstance(node, Router):
+                node.reset_counters()
+        if self.metrics is not None:
+            self.metrics.reset()
+
     def node(self, name: str) -> Node:
         """Lookup a node by name; raises :class:`TopologyError` if absent."""
         try:
@@ -199,7 +228,8 @@ class Network:
         self.apply_dynamics()
         result = self.walk([(at, None, packet, 0.0, True)])
         if self.fault_plane is not None:
-            self.fault_plane.apply(result)
+            self.fault_plane.apply(result, metrics=self.metrics)
+        self._count_fault_drops(result)
         return result
 
     def walk(
@@ -300,18 +330,43 @@ class Network:
         if self.transit_batching:
             result = walk_cohorts(self, batches)
             if self.fault_plane is not None:
-                self.fault_plane.apply(result)
+                self.fault_plane.apply(result, metrics=self.metrics)
+            self._count_fault_drops(result)
             self._buffer_deliveries(result)
             return result
         combined = WalkResult()
         for at, packets in batches:
             result = walk_cohorts(self, [(at, packets)])
             if self.fault_plane is not None:
-                self.fault_plane.apply(result)
+                self.fault_plane.apply(result, metrics=self.metrics)
+            self._count_fault_drops(result)
             self._buffer_deliveries(result)
             combined.deliveries.extend(result.deliveries)
             combined.drops.extend(result.drops)
         return combined
+
+    def _count_fault_drops(self, result: WalkResult) -> None:
+        """Attribute burst-loss drops to the soliciting client.
+
+        A Gilbert-Elliott loss channel discards a response inside the
+        walk, where nodes have no registry handle; the drop record
+        carries the offending probe, whose source is the probing
+        client — a per-client fault stream, so the counts are
+        deterministic across shard compositions.
+        """
+        metrics = self.metrics
+        if metrics is None or not metrics.enabled:
+            return
+        family = None
+        for drop in result.drops:
+            if drop.reason != "response lost (fault profile)":
+                continue
+            if family is None:
+                family = metrics.counter(
+                    "repro_fault_response_lost_total",
+                    "Responses suppressed by a loss-burst fault profile.",
+                    ("node", "client"))
+            family.labels(drop.node.name, str(drop.packet.src)).inc()
 
     def _buffer_deliveries(self, result: WalkResult) -> None:
         now = self.clock.now

@@ -174,6 +174,16 @@ class FleetResult:
 
     destinations: list[IPv4Address] = field(default_factory=list)
     vantages: list[VantageOutcome] = field(default_factory=list)
+    #: :class:`repro.obs.MetricsSnapshot` of the run's registry, when
+    #: metrics were enabled (merged across shards by :meth:`merge`).
+    #: Deliberately excluded from :meth:`to_dict` / :meth:`signature`:
+    #: observability must never alter the inference artifacts it
+    #: observes.
+    metrics: object = None
+    #: Probe-lifecycle spans from the run's tracer (merged and
+    #: canonically ordered across shards); empty when tracing is off.
+    #: Excluded from the signature like ``metrics``.
+    spans: list = field(default_factory=list)
 
     def vantage(self, index: int) -> VantageOutcome:
         for outcome in self.vantages:
@@ -213,6 +223,17 @@ class FleetResult:
         if len(set(indices)) != len(indices):
             raise CampaignError(
                 f"vantage appears in more than one shard: {indices}")
+        snapshots = [p.metrics for p in parts if p.metrics is not None]
+        if snapshots:
+            from repro.obs.registry import MetricsSnapshot
+
+            merged.metrics = MetricsSnapshot.merge(snapshots)
+        spans = [span for part in parts for span in part.spans]
+        if spans:
+            from repro.obs.tracing import ProbeTracer
+
+            spans.sort(key=ProbeTracer.sort_key)
+            merged.spans = spans
         return merged
 
     # -- canonical serialization ----------------------------------------
@@ -459,7 +480,46 @@ class FleetCampaign:
                     horizon_hints=self._hints[v],
                 )
         outcomes = scheduler.run()
-        return self._assemble(outcomes)
+        result = self._assemble(outcomes)
+        self._attach_observability(result)
+        return result
+
+    def _attach_observability(self, result: FleetResult) -> None:
+        """Count per-destination outcomes; attach snapshot and spans."""
+        from repro.obs.registry import SCOPE_PROCESS, active_registry
+        from repro.obs.tracing import ProbeTracer
+
+        registry = active_registry(self.network)
+        if registry is not None:
+            # Published once per run (summing every router per transit
+            # batch is too slow for the hot flush path).
+            registry.gauge(
+                "repro_fib_route_lookups",
+                "Network-wide LPM resolutions since the last counter "
+                "reset.",
+                (), scope=SCOPE_PROCESS).set(self.network.route_lookups())
+            outcomes = registry.counter(
+                "repro_campaign_traces_total",
+                "Completed traces per client, tool, and halt reason.",
+                ("client", "tool", "halt"))
+            strategies = registry.counter(
+                "repro_campaign_strategy_runs_total",
+                "Extra per-destination strategy runs, per client.",
+                ("client",))
+            for vantage in result.vantages:
+                client = str(vantage.address)
+                for route in vantage.result.routes:
+                    outcomes.labels(client, route.tool,
+                                    route.halt_reason).inc()
+                if vantage.result.strategy_results:
+                    strategies.labels(client).inc(
+                        len(vantage.result.strategy_results))
+            result.metrics = registry.snapshot()
+        tracer = getattr(self.network, "tracer", None)
+        if tracer is not None:
+            spans = tracer.records()
+            spans.sort(key=ProbeTracer.sort_key)
+            result.spans = spans
 
     def _assemble(self, outcomes) -> FleetResult:
         per_vantage: dict[int, CampaignResult] = {

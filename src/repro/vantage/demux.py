@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.engine.asyncsocket import AsyncProbeSocket
+from repro.obs.registry import NULL_CHILD, active_registry
 from repro.sim.endhost import MeasurementHost
 from repro.sim.network import Delivery, Network
 from repro.sim.socketapi import DEFAULT_TIMEOUT, ProbeResponse
@@ -46,6 +47,11 @@ class ReplyDemux:
         #: Deliveries dropped because no fleet member owned the
         #: addressee — diagnostics for tests and reports.
         self.discarded = 0
+        registry = active_registry(network)
+        self._m_discarded = (None if registry is None else registry.counter(
+            "repro_demux_discarded_total",
+            "Deliveries dropped for unregistered addressees, per client.",
+            ("client",)))
 
     def register(self, host: MeasurementHost) -> deque:
         """Open (or return) the inbox routing ``host``'s deliveries."""
@@ -57,6 +63,8 @@ class ReplyDemux:
             inbox = self._inboxes.get(delivery.node.name)
             if inbox is None:
                 self.discarded += 1
+                if self._m_discarded is not None:
+                    self._m_discarded.labels(delivery.packet.dst).inc()
             else:
                 inbox.append((arrival, delivery))
 
@@ -84,6 +92,14 @@ class VantageSocket(AsyncProbeSocket):
         super().__init__(network, host, timeout=timeout)
         self.demux = demux
         self._inbox = demux.register(host)
+        registry = active_registry(network)
+        self._obs_on = registry is not None
+        self._m_wrong_vantage = NULL_CHILD if registry is None else (
+            registry.counter(
+                "repro_demux_wrong_vantage_total",
+                "Replies surfacing at a socket they were not addressed "
+                "to, per polling client.",
+                ("client",)).labels(str(host.address)))
 
     def poll(self, until: float | None = None) -> list[ProbeResponse]:
         """Responses that reached *this* vantage point by ``until``.
@@ -97,13 +113,23 @@ class VantageSocket(AsyncProbeSocket):
         horizon = self.network.clock.now if until is None else until
         self.demux.drain(until=horizon)
         responses: list[ProbeResponse] = []
+        address = self.host.address
         while self._inbox and self._inbox[0][0] <= horizon:
             arrival, delivery = self._inbox.popleft()
+            if self._obs_on and delivery.packet.dst != address:
+                # A reply in this inbox that is not addressed to this
+                # vantage can only come from a mis-routed injection
+                # (the deliver() test hook or a buggy demux): count it
+                # before surfacing — the scheduler's socket fence will
+                # refuse the claim.
+                self._m_wrong_vantage.inc()
             responses.append(ProbeResponse(
                 packet=delivery.packet,
                 raw=delivery.packet.build(),
                 rtt=delivery.elapsed,
                 received_at=arrival,
             ))
+        # responses_received flows to the metrics child through the
+        # collector registered by the base socket.
         self.responses_received += len(responses)
         return responses

@@ -62,6 +62,14 @@ class FleetShardTask:
     #: Seed of the destination shuffle; defaults to the fleet seed.
     destination_seed: Optional[int] = None
     strategy_builder: Optional[Callable] = None
+    #: Install a :class:`repro.obs.MetricsRegistry` on the shard's
+    #: replica network before the campaign is built, so every layer
+    #: binds instrumented children.  The shard's snapshot rides back on
+    #: its partial :class:`FleetResult` and merges client-disjointly.
+    metrics: bool = False
+    #: Ring capacity for a :class:`repro.obs.ProbeTracer` on the
+    #: replica network; 0 (default) disables tracing.
+    trace_capacity: int = 0
 
 
 def materialize_shard(task: FleetShardTask) -> FleetCampaign:
@@ -73,6 +81,19 @@ def materialize_shard(task: FleetShardTask) -> FleetCampaign:
         topology.network, topology.source,
         topology.destination_addresses,
         count=task.max_destinations, seed=seed)
+    # Observability is installed *after* the pingable pre-screen: the
+    # pre-screen probes from ``topology.source`` replay in every shard
+    # replica, so counting them would break the merged-snapshot ==
+    # single-process guarantee.  Metrics cover the campaign proper.
+    if task.metrics:
+        from repro.obs.registry import MetricsRegistry
+
+        topology.network.metrics = MetricsRegistry()
+    if task.trace_capacity > 0:
+        from repro.obs.tracing import ProbeTracer
+
+        topology.network.tracer = ProbeTracer(
+            capacity=task.trace_capacity)
     campaign = FleetCampaign(
         topology.network, topology.sources, destinations,
         config=task.fleet, vantage_ids=task.vantage_ids)
@@ -106,6 +127,8 @@ def run_fleet(
     max_destinations: Optional[int] = None,
     destination_seed: Optional[int] = None,
     strategy_builder: Optional[Callable] = None,
+    metrics: bool = False,
+    trace_capacity: int = 0,
 ) -> FleetResult:
     """Single-process reference execution: all vantages, one scheduler."""
     fleet = fleet or FleetConfig()
@@ -114,7 +137,8 @@ def run_fleet(
         vantage_ids=list(range(internet.n_vantages)),
         max_destinations=max_destinations,
         destination_seed=destination_seed,
-        strategy_builder=strategy_builder)
+        strategy_builder=strategy_builder,
+        metrics=metrics, trace_capacity=trace_capacity)
     return run_shard(task)
 
 
@@ -126,6 +150,8 @@ def run_fleet_sharded(
     max_destinations: Optional[int] = None,
     destination_seed: Optional[int] = None,
     strategy_builder: Optional[Callable] = None,
+    metrics: bool = False,
+    trace_capacity: int = 0,
 ) -> FleetResult:
     """Partition the fleet's vantages over ``shards`` replicas and merge."""
     fleet = fleet or FleetConfig()
@@ -134,7 +160,8 @@ def run_fleet_sharded(
             internet=internet, fleet=fleet, vantage_ids=vantage_ids,
             max_destinations=max_destinations,
             destination_seed=destination_seed,
-            strategy_builder=strategy_builder)
+            strategy_builder=strategy_builder,
+            metrics=metrics, trace_capacity=trace_capacity)
         for vantage_ids in plan_shards(internet.n_vantages, shards)
     ]
     if processes and len(tasks) > 1:

@@ -1,0 +1,128 @@
+"""Exposition formats: Prometheus text rendering, the linter that
+gates the CI artifact, and the JSON dump."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from repro.obs import (
+    MetricsRegistry,
+    SCOPE_PROCESS,
+    lint_prometheus_text,
+    render_prometheus,
+    snapshot_to_json,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def sample_snapshot():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_probes_sent_total",
+                               "Probes sent.", ("client",))
+    counter.labels("10.0.0.1").inc(3)
+    counter.labels("10.0.1.1").inc(1)
+    registry.gauge("repro_cohort_size", "Cohort size.",
+                   scope=SCOPE_PROCESS).set(12)
+    registry.histogram("repro_rtt_seconds", "RTTs.", ("client",),
+                       buckets=(0.1, 1.0)).labels("10.0.0.1") \
+        .observe(0.05)
+    return registry.snapshot()
+
+
+class TestRenderPrometheus:
+    def test_help_type_and_sorted_samples(self):
+        text = render_prometheus(sample_snapshot())
+        lines = text.splitlines()
+        assert "# HELP repro_probes_sent_total Probes sent." in lines
+        assert "# TYPE repro_probes_sent_total counter" in lines
+        assert "# TYPE repro_cohort_size gauge" in lines
+        assert 'repro_probes_sent_total{client="10.0.0.1"} 3' in lines
+        assert 'repro_probes_sent_total{client="10.0.1.1"} 1' in lines
+        # Families render in sorted name order.
+        assert lines.index("# TYPE repro_cohort_size gauge") \
+            < lines.index("# TYPE repro_probes_sent_total counter")
+
+    def test_histogram_expands_to_cumulative_buckets(self):
+        text = render_prometheus(sample_snapshot())
+        lines = text.splitlines()
+        assert ('repro_rtt_seconds_bucket{client="10.0.0.1",le="0.1"} 1'
+                in lines)
+        assert ('repro_rtt_seconds_bucket{client="10.0.0.1",le="1"} 1'
+                in lines)
+        assert ('repro_rtt_seconds_bucket{client="10.0.0.1",le="+Inf"} 1'
+                in lines)
+        assert 'repro_rtt_seconds_count{client="10.0.0.1"} 1' in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", "", ("path",)) \
+            .labels('a"b\\c\nd').inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        assert lint_prometheus_text(text) == []
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestLint:
+    def test_rendered_output_is_clean(self):
+        assert lint_prometheus_text(
+            render_prometheus(sample_snapshot())) == []
+
+    def test_empty_exposition_is_a_problem(self):
+        assert lint_prometheus_text("") == ["no samples found in "
+                                            "exposition"]
+
+    def test_sample_without_type_line_flagged(self):
+        problems = lint_prometheus_text("repro_x_total 3\n")
+        assert any("no # TYPE" in p for p in problems)
+
+    def test_histogram_suffixes_count_as_typed(self):
+        text = ("# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="+Inf"} 1\n'
+                "repro_h_sum 0.5\nrepro_h_count 1\n")
+        assert lint_prometheus_text(text) == []
+
+    def test_garbage_lines_flagged(self):
+        text = ("# TYPE repro_x_total counter\n"
+                "repro_x_total{client=unquoted} 1\n"
+                "repro_x_total notanumber\n"
+                "!!! 3\n")
+        problems = lint_prometheus_text(text)
+        assert any("bad label pair" in p for p in problems)
+        assert any("non-numeric value" in p for p in problems)
+        assert any("unparsable sample" in p for p in problems)
+
+
+class TestJson:
+    def test_round_trips_both_scopes(self):
+        payload = json.loads(snapshot_to_json(sample_snapshot()))
+        assert payload["repro_probes_sent_total"]["series"][
+            "client=10.0.0.1"] == 3
+        assert payload["repro_cohort_size"]["scope"] == "process"
+        assert payload["repro_rtt_seconds"]["buckets"] == [0.1, 1.0]
+
+
+class TestPromLintCli:
+    def run_lint(self, *args, stdin=None):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "prom_lint.py"),
+             *args],
+            input=stdin, capture_output=True, text=True,
+            cwd=REPO_ROOT)
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        path.write_text(render_prometheus(sample_snapshot()),
+                        encoding="utf-8")
+        proc = self.run_lint(str(path))
+        assert proc.returncode == 0, proc.stderr
+        assert "ok (3 families)" in proc.stdout
+
+    def test_bad_stdin_exits_one(self):
+        proc = self.run_lint("-", stdin="repro_x_total notanumber\n")
+        assert proc.returncode == 1
+        assert "non-numeric value" in proc.stderr

@@ -1,0 +1,74 @@
+"""The observability acceptance bar: metrics snapshots merged from
+shards are bit-for-bit equal to the single-process run's.
+
+Client-scope series derive from each vantage's own timeline, so the
+composition of the shard a vantage runs in must not show through —
+even with the adversarial fault plane scrambling deliveries.  Process
+scope (cache warming, cohort shapes) is explicitly outside the
+guarantee and outside the compared view.
+"""
+
+import pytest
+
+from repro.faults import make_fault_profile
+from repro.obs import SCOPE_CLIENT, lint_prometheus_text, render_prometheus
+from repro.topology import InternetConfig
+from repro.vantage import FleetConfig, run_fleet, run_fleet_sharded
+
+OBS_INTERNET = InternetConfig(
+    seed=9, n_tier1=2, n_transit=2, n_stub=3, dests_per_stub=1,
+    n_loop_stub_diamonds=1, n_cycle_stub_diamonds=0, n_nat_dests=0,
+    n_zero_ttl_dests=0, response_loss_rate=0.0, p_per_packet=0.0,
+    n_vantages=2,
+    fault_profile=make_fault_profile("adversarial", seed=9))
+
+FLEET = FleetConfig(rounds=2, workers=2)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    single = run_fleet(OBS_INTERNET, FLEET, metrics=True)
+    sharded = run_fleet_sharded(OBS_INTERNET, FLEET, shards=2,
+                                metrics=True)
+    return single, sharded
+
+
+class TestShardedSnapshotEquality:
+    def test_route_inferences_unchanged(self, runs):
+        single, sharded = runs
+        assert single.signature() == sharded.signature()
+
+    def test_client_scope_view_bit_for_bit(self, runs):
+        single, sharded = runs
+        assert single.metrics.deterministic_view() \
+            == sharded.metrics.deterministic_view()
+        assert single.metrics.deterministic_signature() \
+            == sharded.metrics.deterministic_signature()
+
+    def test_snapshot_covers_every_layer(self, runs):
+        single, __ = runs
+        families = single.metrics.families
+        for name in ("repro_probes_sent_total",
+                     "repro_responses_received_total",
+                     "repro_scheduler_claims_total",
+                     "repro_scheduler_probe_timeout_seconds",
+                     "repro_fault_delivery_total",
+                     "repro_transit_walk_resolutions_total"):
+            assert name in families, name
+        assert single.metrics.total("repro_probes_sent_total") > 0
+        # One series per vantage for client-scope socket counters.
+        assert len(families["repro_probes_sent_total"]["series"]) \
+            == OBS_INTERNET.n_vantages
+
+    def test_client_scope_families_mergeable_without_arithmetic(self, runs):
+        single, sharded = runs
+        for name, fam in single.metrics.families.items():
+            if fam["scope"] != SCOPE_CLIENT:
+                continue
+            assert fam["series"] \
+                == sharded.metrics.families[name]["series"], name
+
+    def test_merged_snapshot_renders_clean_prometheus(self, runs):
+        __, sharded = runs
+        assert lint_prometheus_text(
+            render_prometheus(sharded.metrics)) == []

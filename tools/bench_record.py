@@ -19,7 +19,15 @@ seed and round count, which makes them CI-gateable::
 regresses by more than 25 % against the recorded baseline, or when the
 aggregation no longer achieves 2x fewer lookups than the
 per-destination baseline, or when the fleet determinism signature
-stops matching between single-process and sharded execution.
+stops matching between single-process and sharded execution, or when
+the metrics snapshot of an instrumented campaign stops agreeing with
+the uninstrumented probe count.
+
+Schema 2 adds ``probes_per_sec`` per leg (throughput trend, machine-
+dependent like the walls) and an ``instrumented`` campaign leg with
+its ``probes_match`` cross-check.  ``--check`` gates only on fields
+shared with the baseline, so a schema-1 baseline still gates lookups
+and determinism.
 
 Environment: ``REPRO_BENCH_SEED`` / ``REPRO_BENCH_ROUNDS`` as for the
 benchmark suite — the recorded baseline is made with the defaults the
@@ -59,6 +67,7 @@ def measure(seed: int, rounds: int) -> dict:
             "wall_s": round(leg["wall_s"], 3),
             "lookups": leg["lookups"],
             "probes": leg["probes"],
+            "probes_per_sec": round(leg["probes"] / leg["wall_s"], 1),
         }
 
     campaign_legacy = run_campaign_leg(batching=False, seed=seed,
@@ -67,6 +76,21 @@ def measure(seed: int, rounds: int) -> dict:
                                         rounds=rounds)
     routes_match = (
         sorted(route_signature(r) for r in campaign_legacy["result"].routes)
+        == sorted(route_signature(r)
+                  for r in campaign_batched["result"].routes))
+
+    # Observability cross-check: a metrics-enabled batched campaign
+    # must count exactly the probes the uninstrumented run reports,
+    # and must infer byte-identical routes.
+    campaign_metrics = run_campaign_leg(batching=True, seed=seed,
+                                        rounds=rounds, metrics="on")
+    snapshot = campaign_metrics["snapshot"]
+    probes_match = (
+        snapshot is not None
+        and snapshot.total("repro_probes_sent_total")
+        == campaign_batched["probes"]
+        and sorted(route_signature(r)
+                   for r in campaign_metrics["result"].routes)
         == sorted(route_signature(r)
                   for r in campaign_batched["result"].routes))
 
@@ -80,19 +104,21 @@ def measure(seed: int, rounds: int) -> dict:
 
     simulated = campaign_batched["result"].rounds[-1].finished_at
     return {
-        "schema": 1,
+        "schema": 2,
         "bench": "walk_batching",
         "seed": seed,
         "rounds": rounds,
         "campaign": {
             "legacy": strip(campaign_legacy),
             "batched": strip(campaign_batched),
+            "instrumented": strip(campaign_metrics),
             "lookup_ratio": round(
                 campaign_legacy["lookups"] / campaign_batched["lookups"], 2),
             "wall_ratio": round(
                 campaign_legacy["wall_s"] / campaign_batched["wall_s"], 2),
             "simulated_s": round(simulated, 1),
             "routes_match": routes_match,
+            "probes_match": probes_match,
         },
         "fleet": {
             "legacy": strip(fleet_legacy),
@@ -133,6 +159,11 @@ def check(record: dict, baseline: dict) -> list[str]:
                 f"({record[leg]['lookup_ratio']:.2f}x)")
     if not record["campaign"]["routes_match"]:
         problems.append("campaign: modes no longer infer identical routes")
+    if not record["campaign"]["probes_match"]:
+        problems.append(
+            "campaign: the metrics snapshot no longer agrees with the "
+            "uninstrumented probe count (or instrumentation changed the "
+            "inferred routes)")
     if not record["fleet"]["deterministic"]:
         problems.append("fleet: sharded signature diverged from single-"
                         "process — the determinism guarantee broke")
@@ -167,7 +198,12 @@ def main(argv: list[str] | None = None) -> int:
               f"({stats['lookup_ratio']:.2f}x fewer), wall "
               f"{stats['legacy']['wall_s']:.2f}s -> "
               f"{stats['batched']['wall_s']:.2f}s "
-              f"({stats['wall_ratio']:.2f}x)")
+              f"({stats['wall_ratio']:.2f}x), "
+              f"{stats['batched']['probes_per_sec']:.0f} probes/s")
+    print(f"campaign metrics cross-check: "
+          f"{'ok' if record['campaign']['probes_match'] else 'BROKEN'} "
+          f"({record['campaign']['instrumented']['probes_per_sec']:.0f} "
+          f"probes/s instrumented)")
     print(f"fleet determinism: "
           f"{'ok' if record['fleet']['deterministic'] else 'BROKEN'}")
 

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file.
+
+Thin CLI over :func:`repro.obs.exposition.lint_prometheus_text` so CI
+can validate the ``metrics.prom`` artifact a campaign run exports::
+
+    python tools/prom_lint.py metrics.prom
+
+Exits 0 when every line parses (and at least one family is exposed),
+1 with one problem per stderr line otherwise.  Pass ``-`` to read the
+exposition text from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    from repro.obs.exposition import lint_prometheus_text
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path",
+                        help="Prometheus text file ('-' for stdin)")
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        text = pathlib.Path(args.path).read_text(encoding="utf-8")
+
+    problems = lint_prometheus_text(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    families = sum(1 for line in text.splitlines()
+                   if line.startswith("# TYPE "))
+    print(f"{args.path}: ok ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
