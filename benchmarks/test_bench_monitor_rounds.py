@@ -1,0 +1,109 @@
+"""E13 — monitor service throughput: recurring rounds on one clock.
+
+One leg, runnable standalone and through ``tools/bench_record.py``
+(schema 3 persists it to ``BENCH_walk.json``): a bounded monitor run —
+per-target schedules, routing dynamics, a diurnal rate-limit phase,
+streaming detection and the alert pipeline — measured end to end.  The
+recorded trend number is **target-rounds per wall second** (one
+target-round = one scheduled paris+classic probe pair of one target);
+the deterministic gates are the merged-vs-single signature and the
+onset census, both pure functions of the seed.
+
+Environment knobs: ``REPRO_BENCH_SEED`` (the topology/fleet seed).
+Rounds come from the schedule, not ``REPRO_BENCH_ROUNDS`` — the
+horizon and per-target periods fix them for every seed.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.faults import diurnal_rate_limit_phases
+from repro.service import MonitorConfig, run_monitor, run_monitor_sharded
+from repro.topology.internet import InternetConfig
+from repro.vantage.campaign import FleetConfig
+
+MONITOR_VANTAGES = 4
+MONITOR_TARGETS = 8
+
+
+def monitor_internet(seed):
+    """The Sec. 3 internet with the monitor's time axis attached."""
+    return InternetConfig(
+        seed=seed, n_tier1=3, n_transit=4, n_stub=8, dests_per_stub=2,
+        n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1, n_nat_dests=1,
+        n_zero_ttl_dests=1, response_loss_rate=0.0, p_per_packet=0.0,
+        n_vantages=MONITOR_VANTAGES, dynamics_horizon=120.0,
+        route_changes_per_hour=90.0, forwarding_loops_per_hour=30.0,
+        event_duration=45.0,
+        fault_phases=diurnal_rate_limit_phases(period=40.0, cycles=1))
+
+
+def monitor_config():
+    return MonitorConfig(duration=120.0, periods=(30.0, 40.0),
+                         max_rounds=3, fleet=FleetConfig(workers=2))
+
+
+def run_monitor_leg(seed=BENCH_SEED, shards=1):
+    """One bounded monitor run on a fresh replica; returns measurements."""
+    internet = monitor_internet(seed)
+    config = monitor_config()
+    started = time.perf_counter()
+    if shards > 1:
+        result = run_monitor_sharded(internet, config, shards=shards,
+                                     max_destinations=MONITOR_TARGETS)
+    else:
+        result = run_monitor(internet, config,
+                             max_destinations=MONITOR_TARGETS)
+    wall = time.perf_counter() - started
+    return {
+        "result": result,
+        "wall_s": wall,
+        "target_rounds": result.health["target_rounds"],
+        "onsets": len(result.onsets),
+        "alerts": len(result.alerts.alerts),
+    }
+
+
+@pytest.mark.benchmark(group="monitor")
+def test_bench_monitor_rounds(benchmark):
+    runs = []
+
+    def monitored_run():
+        runs.append(run_monitor_leg())
+        return runs[-1]["result"]
+
+    benchmark.pedantic(monitored_run, iterations=1, rounds=1)
+    runs.append(run_monitor_leg())
+    leg = runs[0]
+    wall = min(run["wall_s"] for run in runs)
+    rounds_per_sec = leg["target_rounds"] / wall
+
+    sharded = run_monitor_leg(shards=2)
+
+    benchmark.extra_info.update({
+        "wall_s": round(wall, 3),
+        "target_rounds": leg["target_rounds"],
+        "rounds_per_sec": round(rounds_per_sec, 1),
+        "onsets": leg["onsets"],
+        "alerts": leg["alerts"],
+        "signature": leg["result"].signature()[:16],
+    })
+    print()
+    print(f"  monitor: {MONITOR_VANTAGES} vantages x {MONITOR_TARGETS} "
+          f"targets, {leg['target_rounds']} target-rounds over "
+          f"{leg['result'].health['sim_duration']:.0f} simulated s")
+    print(f"  wall-clock: {wall:.2f} s "
+          f"({rounds_per_sec:.0f} target-rounds/s)")
+    print(f"  stream: {leg['onsets']} onsets -> {leg['alerts']} alerts "
+          f"({leg['result'].alerts.counters['suppressed']} suppressed)")
+
+    # The service actually monitored: recurring rounds, onsets, alerts.
+    assert leg["target_rounds"] > MONITOR_TARGETS * MONITOR_VANTAGES
+    assert leg["onsets"] > 0
+    assert leg["alerts"] > 0
+    # Determinism: the sharded run merges to the identical bytes.
+    assert (sharded["result"].signature() == leg["result"].signature())
+    assert (sharded["result"].alerts.to_jsonl()
+            == leg["result"].alerts.to_jsonl())

@@ -13,6 +13,11 @@ Subcommands:
   internet, with the cross-vantage coverage report, side-by-side
   anomaly tables, and the determinism signature (run again with a
   different ``--shards`` — the signature must not change);
+- ``monitor`` — the continuous monitoring service: recurring
+  per-target campaigns on one simulated clock over an evolving
+  internet (routing dynamics plus a diurnal rate-limit schedule),
+  streaming onset detection with cause attribution, and the alert
+  pipeline with its health snapshot;
 - ``faults`` — the adversarial sweep: run the Sec. 4 census under each
   named fault profile (reordering, rate limiting, duplication, loss
   bursts) and attribute every observed anomaly — manufactured by the
@@ -25,6 +30,7 @@ Examples::
     repro-trace mda --figure 6
     repro-trace census --seed 7 --rounds 8
     repro-trace campaign --vantages 4 --shards 2
+    repro-trace monitor --vantages 2 --duration 120 --alerts-out -
     repro-trace faults --profiles reordering,rate-limit --mda
 """
 
@@ -150,6 +156,43 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--trace-capacity", type=int, default=65536,
                           help="span ring-buffer capacity per shard "
                                "(oldest spans drop beyond this)")
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="continuous monitoring service on an evolving internet")
+    monitor.add_argument("--seed", type=int, default=7)
+    monitor.add_argument("--vantages", type=int, default=2,
+                         help="number of concurrent vantage points")
+    monitor.add_argument("--shards", type=int, default=1,
+                         help="partition vantages over this many "
+                              "topology-replica shards")
+    monitor.add_argument("--processes", action="store_true",
+                         help="run shards in a process pool instead of "
+                              "inline")
+    monitor.add_argument("--duration", type=float, default=120.0,
+                         help="simulated monitoring horizon, seconds")
+    monitor.add_argument("--periods", default="30,40",
+                         help="comma-separated per-target probing "
+                              "periods (seconds), assigned round-robin")
+    monitor.add_argument("--max-rounds", type=int, default=3,
+                         help="cap on rounds per target (the CI bound)")
+    monitor.add_argument("--warmup", type=int, default=1,
+                         help="baseline rounds per target before onset "
+                              "detection starts")
+    monitor.add_argument("--workers", type=int, default=2,
+                         help="worker lanes per vantage")
+    monitor.add_argument("--dests", type=int, default=6,
+                         help="truncate the monitored target list")
+    monitor.add_argument("--fault-period", type=float, default=40.0,
+                         help="half-period of the diurnal rate-limit "
+                              "schedule (0 disables the fault phases)")
+    monitor.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="enable the metrics registry and write "
+                              "the merged snapshot as Prometheus text "
+                              "exposition to PATH ('-' for stdout)")
+    monitor.add_argument("--alerts-out", default=None, metavar="PATH",
+                         help="write the alert log as JSON lines to "
+                              "PATH ('-' for stdout)")
 
     faults = commands.add_parser(
         "faults",
@@ -361,6 +404,112 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def monitor_internet_config(seed: int, vantages: int,
+                            duration: float, fault_period: float):
+    """The ``monitor`` command's evolving internet.
+
+    The ``campaign`` demo config plus the time axis: a routing-dynamics
+    calendar sized to the horizon (real route changes and forwarding
+    loops for the attribution to find) and, unless disabled, a diurnal
+    ICMP rate-limit schedule whose phases swap on the simulated clock.
+    """
+    import dataclasses
+
+    from repro.faults import diurnal_rate_limit_phases
+
+    phases = (diurnal_rate_limit_phases(period=fault_period, cycles=2)
+              if fault_period > 0 else None)
+    return dataclasses.replace(
+        demo_internet_config(seed, vantages),
+        dynamics_horizon=duration,
+        route_changes_per_hour=90.0,
+        forwarding_loops_per_hour=30.0,
+        event_duration=max(duration / 3.0, 30.0),
+        fault_phases=phases)
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.service import MonitorConfig, MonitorService
+    from repro.vantage import FleetConfig
+
+    for flag, value in (("--vantages", args.vantages),
+                        ("--shards", args.shards),
+                        ("--max-rounds", args.max_rounds),
+                        ("--warmup", args.warmup),
+                        ("--workers", args.workers),
+                        ("--dests", args.dests)):
+        if value is not None and value < 1:
+            print(f"{flag} must be at least 1, got {value}",
+                  file=sys.stderr)
+            return 2
+    try:
+        periods = tuple(float(p) for p in args.periods.split(",") if p)
+    except ValueError:
+        print(f"--periods must be comma-separated numbers, "
+              f"got {args.periods!r}", file=sys.stderr)
+        return 2
+    internet = monitor_internet_config(args.seed, args.vantages,
+                                       args.duration, args.fault_period)
+    config = MonitorConfig(
+        duration=args.duration, periods=periods,
+        max_rounds=args.max_rounds, warmup_rounds=args.warmup,
+        fleet=FleetConfig(workers=args.workers, seed=args.seed))
+    metrics = args.metrics_out is not None
+    service = MonitorService(internet, config,
+                             max_destinations=args.dests,
+                             metrics=metrics)
+    result = service.run(shards=args.shards, processes=args.processes)
+    health = result.health
+    mode = (f"sharded K={args.shards}" if args.shards > 1
+            else "single-process")
+    print(f"# monitor: {config.describe()}, {mode}")
+    print(f"# status: {health['status']} — "
+          f"{health['targets']} target(s), {health['vantages']} "
+          f"vantage(s), {health['target_rounds']} target-rounds over "
+          f"{health['sim_duration']:.1f} simulated s")
+    print(f"# onsets: {health['onsets']} "
+          f"(by cause {health['onsets_by_cause']}; "
+          f"by family {health['onsets_by_family']})")
+    print(f"# alerts: {health['alerts']} emitted, "
+          f"{health['suppressed']} suppressed, {health['held']} held, "
+          f"{health['groups']} cross-vantage group(s)")
+    for alert in result.alerts.alerts[:10]:
+        print(f"  [sev {alert.severity}] {alert.family} "
+              f"{alert.destination} ({alert.cause}) "
+              f"x{alert.repeats + 1} vantages={alert.vantages}")
+    if len(result.alerts.alerts) > 10:
+        print(f"  ... {len(result.alerts.alerts) - 10} more")
+    print()
+    print(f"# result signature: {result.signature()}")
+    if args.alerts_out is not None:
+        text = result.alerts.to_jsonl()
+        if args.alerts_out == "-":
+            print()
+            print(text, end="")
+        else:
+            with open(args.alerts_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"# alert log: {len(result.alerts.alerts)} alert(s) "
+                  f"-> {args.alerts_out} "
+                  f"(signature {result.alerts.signature()[:16]})")
+    if metrics and result.fleet.metrics is not None:
+        from repro.obs import render_prometheus
+
+        text = render_prometheus(result.fleet.metrics)
+        if args.metrics_out == "-":
+            print()
+            print(text, end="")
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            snapshot = result.fleet.metrics
+            print(f"# metrics: {len(snapshot.families)} families "
+                  f"-> {args.metrics_out} "
+                  f"(deterministic signature "
+                  f"{snapshot.deterministic_signature()[:16]})")
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     from repro.analysis import run_fault_sensitivity
     from repro.faults import FAULT_PROFILE_NAMES
@@ -404,6 +553,7 @@ HANDLERS = {
     "fig2": cmd_fig2,
     "census": cmd_census,
     "campaign": cmd_campaign,
+    "monitor": cmd_monitor,
     "faults": cmd_faults,
 }
 

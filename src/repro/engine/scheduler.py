@@ -165,6 +165,13 @@ class TraceSpec:
     #: Opaque caller bookkeeping carried through to the outcome (the
     #: fleet campaign stores (vantage, round) here).
     meta: object = None
+    #: Earliest simulated instant this trace may start.  A lane reaching
+    #: a spec whose ``not_before`` lies ahead parks on a LANE_START
+    #: event instead of starting immediately — the monitor service's
+    #: per-target schedules, with no cross-lane barrier: the deferral
+    #: depends only on the lane's own clock position and the spec's
+    #: constant, so sharded executions replay it identically.
+    not_before: float = 0.0
 
     def make_strategy(self, started_at: float, window: int,
                       hints: dict) -> HopLoopStrategy:
@@ -214,6 +221,8 @@ class StrategySpec:
     factory: Callable[[float], ProbeStrategy]
     label: str = "strategy"
     meta: object = None
+    #: Earliest simulated start instant (see :class:`TraceSpec`).
+    not_before: float = 0.0
 
     def make_strategy(self, started_at: float, window: int,
                       hints: dict) -> ProbeStrategy:
@@ -707,6 +716,15 @@ class ProbeScheduler:
             lane.session = None
             return
         spec = lane.specs[lane.position]
+        not_before = getattr(spec, "not_before", 0.0)
+        if not_before > self.clock.now:
+            # The spec's schedule lies ahead: park the lane on its own
+            # wake-up event.  Deferral is a pure function of the lane's
+            # clock position and the spec constant, never of other
+            # lanes' progress — the property sharding relies on.
+            lane.session = None
+            self.events.push(not_before, EventKind.LANE_START, lane)
+            return
         strategy = spec.make_strategy(self.clock.now, self.window,
                                       lane.hints)
         session = TraceSession(strategy)

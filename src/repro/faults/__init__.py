@@ -17,7 +17,11 @@ the simulator's delivery path —
   per-router or network-wide, including through
   ``InternetConfig(fault_profile=...)``;
 - :func:`make_fault_profile` / :data:`FAULT_PROFILE_NAMES` — the named
-  profiles the attribution pipeline and benchmarks sweep over.
+  profiles the attribution pipeline and benchmarks sweep over;
+- :class:`ScheduledProfile` — timed profile *phases* swapped on the
+  simulated clock (diurnal rate-limit intensity and friends), the
+  time-varying pressure the monitor service probes through, travelling
+  as ``InternetConfig(fault_phases=...)``.
 
 All randomness is keyed per probing client / per recipient, so fault
 timelines are independent across vantage points and sharded fleet runs
@@ -32,11 +36,14 @@ from repro.faults.profile import (
     install_fault_profile,
 )
 from repro.faults.profiles import FAULT_PROFILE_NAMES, make_fault_profile
+from repro.faults.schedule import ScheduledProfile, diurnal_rate_limit_phases
 
 __all__ = [
     "DeliveryFaultPlane",
     "FaultInstallation",
     "NetworkFaultProfile",
+    "ScheduledProfile",
+    "diurnal_rate_limit_phases",
     "install_fault_profile",
     "make_fault_profile",
     "FAULT_PROFILE_NAMES",

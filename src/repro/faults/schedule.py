@@ -1,0 +1,199 @@
+"""Scheduled fault phases: time-varying pressure on the simulated clock.
+
+A long-running monitor watches a network whose *fault intensity*
+changes over time — the diurnal ICMP rate-limit cycle is the classic
+example: routers that answer freely at night start throttling under
+daytime load, and a naive change detector alerts on the manufactured
+stars.  :class:`ScheduledProfile` models exactly that: an ordered list
+of ``(start_time, NetworkFaultProfile)`` phases swapped on the
+simulated clock.
+
+The schedule plugs into the same lazy dynamics hook route changes use
+(:meth:`repro.sim.network.Network.add_dynamics`): every packet
+injection calls :meth:`apply` with the current simulated time, the
+schedule computes the active phase by binary search, and on a phase
+boundary it restores the pre-schedule baseline (router fault fields and
+the network's delivery plane) before installing the new phase through
+:func:`repro.faults.profile.install_fault_profile`.  Restoring first is
+what makes phases *compose cleanly*: a phase that leaves rate limiting
+unset really turns it off, instead of inheriting the previous phase's
+bucket rate.
+
+Determinism under sharding holds for the same reason it does for the
+static profile: every phase's delivery plane draws from per-recipient
+streams, router token buckets and burst channels are keyed per probing
+client, and the phase boundary itself is a pure function of the
+simulated time at which a cohort flushes — identical in single-process
+and sharded executions.  The schedule travels as plain data inside
+:class:`repro.topology.internet.InternetConfig` (``fault_phases``), so
+every topology replica rebuilds the identical fault calendar.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.errors import TopologyError
+from repro.faults.profile import (
+    FaultInstallation,
+    NetworkFaultProfile,
+    install_fault_profile,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.sim.network import Network
+
+#: The router fault fields a phase may set and a restore must undo.
+_PHASE_FIELDS = ("icmp_rate_limit", "icmp_burst", "icmp_exhausted",
+                 "loss_burst_start", "loss_burst_length", "burst_seed")
+
+
+class ScheduledProfile:
+    """Timed :class:`NetworkFaultProfile` phases on the simulated clock.
+
+    ``phases`` is an iterable of ``(start_time, profile)`` pairs; before
+    the first start time (and whenever a gap is modelled with an inert
+    profile) the network runs its pre-schedule baseline.  ``protected``
+    lists router names every phase must leave clean — the topology
+    generator passes the vantage points' access chains, exactly as it
+    does for the static profile.
+    """
+
+    def __init__(
+        self,
+        phases: Iterable[tuple[float, NetworkFaultProfile]],
+        protected: Iterable[str] = (),
+    ) -> None:
+        entries = sorted(phases, key=lambda pair: pair[0])
+        if not entries:
+            raise TopologyError("a fault schedule needs at least one phase")
+        starts = [start for start, __ in entries]
+        if len(set(starts)) != len(starts):
+            raise TopologyError(
+                f"fault phases must have distinct start times: {starts}")
+        for start, profile in entries:
+            if start < 0.0:
+                raise TopologyError(
+                    f"phase start must be >= 0: {start}")
+            if not isinstance(profile, NetworkFaultProfile):
+                raise TopologyError(
+                    f"phase at t={start} is not a NetworkFaultProfile: "
+                    f"{profile!r}")
+        self.phases: tuple[tuple[float, NetworkFaultProfile], ...] = \
+            tuple(entries)
+        self.protected = tuple(sorted(set(protected)))
+        self._starts = [start for start, __ in self.phases]
+        #: Index into ``phases`` of the installed phase; -1 = baseline.
+        self._active = -1
+        self._snapshotted = False
+        #: Router name -> pre-schedule field values (the restore state).
+        self._baseline_fields: dict[str, tuple] = {}
+        self._baseline_plane = None
+        #: Phase index -> its cached installation, so a schedule that
+        #: revisits a phase (or replays after a clock seek) reuses the
+        #: same delivery plane and its per-recipient streams.
+        self._installations: dict[int, FaultInstallation] = {}
+
+    # ------------------------------------------------------------------
+    def active_index(self, now: float) -> int:
+        """Index of the phase active at ``now`` (-1 = baseline)."""
+        return bisect_right(self._starts, now) - 1
+
+    def active_profile(self, now: float) -> Optional[NetworkFaultProfile]:
+        """The profile active at ``now``, or None for the baseline."""
+        index = self.active_index(now)
+        return None if index < 0 else self.phases[index][1]
+
+    def describe(self) -> str:
+        """A one-line phase calendar for reports and CLI output."""
+        spans = ", ".join(f"t>={start:g}s {profile.name}"
+                          for start, profile in self.phases)
+        return f"scheduled[{spans}]"
+
+    # ------------------------------------------------------------------
+    def _snapshot_baseline(self, network: "Network") -> None:
+        """Capture the pre-schedule state every restore returns to."""
+        from repro.sim.router import Router
+
+        for name, node in sorted(network.nodes.items()):
+            if isinstance(node, Router) and name not in self.protected:
+                self._baseline_fields[name] = tuple(
+                    getattr(node.faults, field_name)
+                    for field_name in _PHASE_FIELDS)
+        self._baseline_plane = network.fault_plane
+        self._snapshotted = True
+
+    def _restore_baseline(self, network: "Network") -> None:
+        """Put every scoped router and the delivery plane back."""
+        for name, values in self._baseline_fields.items():
+            faults = network.node(name).faults
+            for field_name, value in zip(_PHASE_FIELDS, values):
+                setattr(faults, field_name, value)
+        network.fault_plane = self._baseline_plane
+
+    def _install_phase(self, network: "Network", index: int) -> None:
+        cached = self._installations.get(index)
+        profile = self.phases[index][1]
+        if cached is None:
+            self._installations[index] = install_fault_profile(
+                network, profile, protected=self.protected)
+        else:
+            # Reinstalling a previously seen phase: replay the field
+            # mutations but keep the cached delivery plane, so the
+            # per-recipient fault streams continue where they left off.
+            install_fault_profile(network, profile,
+                                  protected=self.protected)
+            if cached.plane is not None:
+                network.fault_plane = cached.plane
+
+    def apply(self, network: "Network", now: float) -> None:
+        """Swap to the phase active at ``now`` (idempotent per phase).
+
+        Registered through :meth:`Network.add_dynamics`, so this runs at
+        every packet injection alongside the routing dynamics — nothing
+        happens "between" probes except what the clock says.
+        """
+        index = self.active_index(now)
+        if index == self._active:
+            return
+        if not self._snapshotted:
+            self._snapshot_baseline(network)
+        self._restore_baseline(network)
+        if index >= 0:
+            self._install_phase(network, index)
+        self._active = index
+
+
+def diurnal_rate_limit_phases(
+    period: float = 60.0,
+    cycles: int = 2,
+    day_rate: float = 4.0,
+    night_rate: float = 0.0,
+    burst: int = 2,
+    seed: int = 0,
+    routers: Optional[Sequence[str]] = None,
+) -> tuple[tuple[float, NetworkFaultProfile], ...]:
+    """A compressed diurnal ICMP rate-limit calendar.
+
+    Alternates ``cycles`` day/night pairs of length ``period`` each:
+    days throttle ICMP generation to ``day_rate`` responses/second
+    (burst ``burst``), nights relax to ``night_rate`` (0 disables the
+    limiter, i.e. an inert phase restoring the baseline).  The first
+    *day* starts at ``t = period`` so a monitor's warmup rounds see the
+    clean network.
+    """
+    phases: list[tuple[float, NetworkFaultProfile]] = []
+    scope = None if routers is None else tuple(routers)
+    for cycle in range(cycles):
+        day_start = period * (2 * cycle + 1)
+        phases.append((day_start, NetworkFaultProfile(
+            name=f"day-{cycle}", seed=seed + cycle,
+            rate_limit=day_rate, rate_limit_burst=burst,
+            routers=scope)))
+        night = NetworkFaultProfile(
+            name=f"night-{cycle}", seed=seed + cycle,
+            rate_limit=night_rate, rate_limit_burst=max(burst, 1),
+            routers=scope)
+        phases.append((day_start + period, night))
+    return tuple(phases)

@@ -228,6 +228,10 @@ class Campaign:
     ) -> None:
         self.network = network
         self.source = source
+        # Counter fence: repeated campaigns on one network (the monitor
+        # service's regime) publish only their *own* LPM resolutions,
+        # not whatever earlier runs left on the routers.
+        self._lookup_baseline = network.route_lookups()
         self.destinations = [IPv4Address(d) for d in destinations]
         if not self.destinations:
             raise CampaignError("campaign needs at least one destination")
@@ -330,8 +334,9 @@ class Campaign:
         # is published here, once per campaign run.
         registry.gauge(
             "repro_fib_route_lookups",
-            "Network-wide LPM resolutions since the last counter reset.",
-            (), scope=SCOPE_PROCESS).set(self.network.route_lookups())
+            "Network-wide LPM resolutions since this campaign began.",
+            (), scope=SCOPE_PROCESS).set(
+                self.network.route_lookups() - self._lookup_baseline)
         client = str(self.source.address)
         outcomes = registry.counter(
             "repro_campaign_traces_total",

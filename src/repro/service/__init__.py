@@ -1,0 +1,68 @@
+"""The monitoring service: recurring campaigns on one simulated clock.
+
+Everything below this package is batch — build a campaign, run it,
+read the result.  The paper's payoff, though, is sharpest when routes
+are watched *over time*: Paris traceroute's forensics are what let a
+monitor distinguish a real routing incident from an anomaly its own
+probing (or a rate-limiting router) manufactured.  This package is
+that top layer:
+
+``config`` / ``schedule``
+    :class:`MonitorConfig` and the per-target probe calendars — each
+    destination re-probed on its own period, all on one clock.
+
+``orchestrator``
+    :class:`MonitorService` plus :func:`run_monitor` /
+    :func:`run_monitor_sharded`: recurring-campaign execution where
+    one :class:`repro.engine.scheduler.ProbeScheduler` drives every
+    round of every target (lanes are reused across rounds — no
+    per-round re-setup), over an evolving internet (routing dynamics
+    plus scheduled :class:`repro.faults.ScheduledProfile` phases).
+
+``windows`` / ``detect``
+    The streaming analysis layer: per-(vantage, destination) rolling
+    windows and incremental onset detection that labels every onset —
+    real routing vs. fault-manufactured vs. probe-design artifact —
+    through :mod:`repro.core.attribution` *before* it can alert.
+
+``alerts`` / ``health``
+    The alerting pipeline (fingerprint dedup, suppression windows,
+    adaptive per-target thresholds, severity, cross-vantage grouping)
+    and the service health snapshot + metrics.
+
+The determinism contract extends the fleet's: a sharded monitor run's
+merged rolling windows and alert log are byte-identical to the
+single-process run (``MonitorResult.signature()`` checks it in one
+comparison).
+"""
+
+from repro.service.alerts import AlertLog, build_alert_log
+from repro.service.config import MonitorConfig
+from repro.service.detect import Onset, OnsetDetector
+from repro.service.health import health_snapshot
+from repro.service.orchestrator import (
+    MonitorService,
+    MonitorShardTask,
+    run_monitor,
+    run_monitor_sharded,
+)
+from repro.service.result import MonitorResult
+from repro.service.schedule import TargetPlan, build_schedule
+from repro.service.windows import RollingWindow
+
+__all__ = [
+    "AlertLog",
+    "MonitorConfig",
+    "MonitorResult",
+    "MonitorService",
+    "MonitorShardTask",
+    "Onset",
+    "OnsetDetector",
+    "RollingWindow",
+    "TargetPlan",
+    "build_alert_log",
+    "build_schedule",
+    "health_snapshot",
+    "run_monitor",
+    "run_monitor_sharded",
+]

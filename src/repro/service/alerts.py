@@ -1,0 +1,274 @@
+"""The alerting pipeline: from labeled onsets to a deduplicated log.
+
+An onset stream is too raw to page on: the same anomaly re-onsets
+every time a rate-limit phase swings back, flapping targets drown the
+log, and four vantages seeing one broken router should be one incident,
+not four.  :func:`build_alert_log` runs the classic pipeline stages
+over the *merged* onset stream:
+
+1. **canonical order** — onsets sort by (at, vantage, destination,
+   tool, family, signature) so the pipeline's input is identical no
+   matter which execution mode produced the stream;
+2. **fingerprinting** — sha256 over (destination, tool, family,
+   signature, cause), truncated, so one anomaly has one identity across
+   rounds and vantages;
+3. **suppression** — a repeat of a fingerprint within
+   :attr:`MonitorConfig.suppression_window` of its last alert folds
+   into that alert (``repeats`` grows, the vantage set widens);
+4. **adaptive thresholds** — once a (vantage, destination) pair has
+   emitted :attr:`MonitorConfig.flap_threshold` alerts it counts as
+   flapping, and further fingerprints must accumulate
+   :attr:`MonitorConfig.flap_penalty` pending onsets before emitting;
+5. **severity** — family base (cycle 3, loop / route-change 2,
+   mid-route star 1) plus one when the attribution labeled the onset
+   ``real-routing`` — real incidents outrank artifacts of equal shape;
+6. **grouping** — emitted alerts sharing a non-empty suspect address
+   within :attr:`MonitorConfig.group_window`, across at least two
+   vantages, become one :class:`AlertGroup` whose severity is the
+   members' max plus one.
+
+The pipeline is pure data-in, data-out; :meth:`AlertLog.to_jsonl` is
+the byte stream the determinism tests compare across sharded runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.service.config import MonitorConfig
+from repro.service.detect import Onset
+
+#: Family -> base severity.
+SEVERITY_BASE = {
+    "cycle": 3,
+    "loop": 2,
+    "route-change": 2,
+    "mid-route-star": 1,
+}
+
+
+def onset_fingerprint(onset: Onset) -> str:
+    """A stable identity for the anomaly the onset reports.
+
+    Deliberately excludes the vantage (so vantages share fingerprints)
+    and the round (so repeats dedup).
+    """
+    text = "|".join((onset.destination, onset.tool, onset.family,
+                     onset.signature, onset.cause))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+@dataclass
+class Alert:
+    """One emitted alert (possibly accumulating suppressed repeats)."""
+
+    fingerprint: str
+    destination: str
+    tool: str
+    family: str
+    signature: str
+    cause: str
+    suspect: str
+    severity: int
+    first_at: float
+    last_at: float
+    #: Onsets folded into this alert beyond the first.
+    repeats: int = 0
+    vantages: list = field(default_factory=list)
+    group: int = -1
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (key order fixed)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "destination": self.destination,
+            "tool": self.tool,
+            "family": self.family,
+            "signature": self.signature,
+            "cause": self.cause,
+            "suspect": self.suspect,
+            "severity": self.severity,
+            "first_at": self.first_at,
+            "last_at": self.last_at,
+            "repeats": self.repeats,
+            "vantages": self.vantages,
+            "group": self.group,
+        }
+
+
+@dataclass
+class AlertGroup:
+    """A cross-vantage incident: alerts sharing one suspect address."""
+
+    index: int
+    suspect: str
+    severity: int
+    first_at: float
+    last_at: float
+    fingerprints: list = field(default_factory=list)
+    vantages: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "suspect": self.suspect,
+            "severity": self.severity,
+            "first_at": self.first_at,
+            "last_at": self.last_at,
+            "fingerprints": self.fingerprints,
+            "vantages": self.vantages,
+        }
+
+
+@dataclass
+class AlertLog:
+    """The pipeline's output: alerts, incident groups, and counters."""
+
+    alerts: list
+    groups: list
+    #: Pipeline accounting: onsets in, alerts out, suppressed,
+    #: threshold-held, per-cause and per-family tallies.
+    counters: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "alerts": [a.to_dict() for a in self.alerts],
+            "groups": [g.to_dict() for g in self.groups],
+            "counters": self.counters,
+        }
+
+    def to_jsonl(self) -> str:
+        """One JSON object per alert, groups and counters last — the
+        byte stream the determinism contract compares."""
+        lines = [json.dumps(a.to_dict(), sort_keys=True)
+                 for a in self.alerts]
+        lines.extend(json.dumps(g.to_dict(), sort_keys=True)
+                     for g in self.groups)
+        lines.append(json.dumps({"counters": self.counters},
+                                sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    def signature(self) -> str:
+        """sha256 over the canonical byte stream."""
+        return hashlib.sha256(self.to_jsonl().encode()).hexdigest()
+
+
+def _canonical_order(onsets: list[Onset]) -> list[Onset]:
+    return sorted(onsets, key=lambda o: (
+        o.at, o.vantage, o.destination, o.tool, o.family, o.signature))
+
+
+def build_alert_log(onsets: list[Onset],
+                    config: MonitorConfig) -> AlertLog:
+    """Run the full pipeline over a merged onset stream."""
+    ordered = _canonical_order(onsets)
+    by_fingerprint: dict[str, Alert] = {}
+    emitted: list[Alert] = []
+    #: (vantage, destination) -> alerts emitted: the flap detector.
+    flap_counts: dict[tuple[int, str], int] = {}
+    #: fingerprint -> onsets held back by an adaptive threshold.
+    pending: dict[str, int] = {}
+    suppressed = 0
+    held = 0
+    by_cause: dict[str, int] = {}
+    by_family: dict[str, int] = {}
+
+    for onset in ordered:
+        by_cause[onset.cause] = by_cause.get(onset.cause, 0) + 1
+        by_family[onset.family] = by_family.get(onset.family, 0) + 1
+        fingerprint = onset_fingerprint(onset)
+        existing = by_fingerprint.get(fingerprint)
+        if existing is not None:
+            if onset.at - existing.last_at <= config.suppression_window:
+                existing.repeats += 1
+                existing.last_at = onset.at
+                if onset.vantage not in existing.vantages:
+                    existing.vantages.append(onset.vantage)
+                suppressed += 1
+                continue
+            # Outside the window: the anomaly came back — re-alert by
+            # dropping the stale record and flowing through emission.
+            del by_fingerprint[fingerprint]
+        flap_key = (onset.vantage, onset.destination)
+        if flap_counts.get(flap_key, 0) >= config.flap_threshold:
+            count = pending.get(fingerprint, 0) + 1
+            if count < config.flap_penalty:
+                pending[fingerprint] = count
+                held += 1
+                continue
+            pending.pop(fingerprint, None)
+        severity = SEVERITY_BASE.get(onset.family, 1)
+        if onset.cause == "real-routing":
+            severity += 1
+        alert = Alert(
+            fingerprint=fingerprint,
+            destination=onset.destination,
+            tool=onset.tool,
+            family=onset.family,
+            signature=onset.signature,
+            cause=onset.cause,
+            suspect=onset.suspect,
+            severity=severity,
+            first_at=onset.at,
+            last_at=onset.at,
+            vantages=[onset.vantage],
+        )
+        by_fingerprint[fingerprint] = alert
+        emitted.append(alert)
+        flap_counts[flap_key] = flap_counts.get(flap_key, 0) + 1
+
+    groups = _group(emitted, config)
+    counters = {
+        "onsets": len(ordered),
+        "alerts": len(emitted),
+        "suppressed": suppressed,
+        "held": held,
+        "groups": len(groups),
+        "by_cause": dict(sorted(by_cause.items())),
+        "by_family": dict(sorted(by_family.items())),
+    }
+    return AlertLog(alerts=emitted, groups=groups, counters=counters)
+
+
+def _group(alerts: list[Alert], config: MonitorConfig) -> list[AlertGroup]:
+    """Fold alerts sharing a suspect within the group window into
+    cross-vantage incidents (>= 2 distinct vantages required)."""
+    by_suspect: dict[str, list[Alert]] = {}
+    for alert in alerts:
+        if alert.suspect:
+            by_suspect.setdefault(alert.suspect, []).append(alert)
+    groups: list[AlertGroup] = []
+    for suspect in sorted(by_suspect):
+        members = by_suspect[suspect]
+        run: list[Alert] = []
+        for alert in members:  # already in emission (time) order
+            if run and alert.first_at - run[-1].first_at > config.group_window:
+                _emit_group(groups, suspect, run)
+                run = []
+            run.append(alert)
+        _emit_group(groups, suspect, run)
+    groups.sort(key=lambda g: (g.first_at, g.suspect))
+    for index, group in enumerate(groups):
+        group.index = index
+        for alert in alerts:
+            if alert.fingerprint in group.fingerprints:
+                alert.group = index
+    return groups
+
+
+def _emit_group(groups: list[AlertGroup], suspect: str,
+                run: list[Alert]) -> None:
+    vantages = sorted({v for alert in run for v in alert.vantages})
+    if len(vantages) < 2:
+        return
+    groups.append(AlertGroup(
+        index=-1,
+        suspect=suspect,
+        severity=max(alert.severity for alert in run) + 1,
+        first_at=run[0].first_at,
+        last_at=max(alert.last_at for alert in run),
+        fingerprints=[alert.fingerprint for alert in run],
+        vantages=vantages,
+    ))

@@ -1,0 +1,101 @@
+"""Monitor service configuration.
+
+:class:`MonitorConfig` bounds a service run for CI (simulated-duration
+and per-target round caps), sets the per-target probing cadence, and
+carries the analysis/alerting knobs.  It embeds a
+:class:`repro.vantage.campaign.FleetConfig` for everything the fleet
+layer already knows (workers, timeout policy, window, assignment); the
+fleet config's ``rounds`` field is ignored — the schedule decides how
+many times each target is probed.
+
+Plain picklable data throughout, like every other config in the stack:
+a :class:`MonitorConfig` crosses shard process boundaries unchanged,
+which is half of the determinism story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CampaignError
+from repro.vantage.campaign import FleetConfig
+
+
+@dataclass
+class MonitorConfig:
+    """Knobs for one monitor run (all simulated-time units in seconds)."""
+
+    #: Simulated horizon: no target round is *scheduled* at or past
+    #: this instant (traces started before it may finish after).
+    duration: float = 180.0
+    #: Per-target probing periods, assigned round-robin over the global
+    #: destination index — target ``d`` is re-probed every
+    #: ``periods[d % len(periods)]`` seconds from t=0.
+    periods: tuple[float, ...] = (30.0, 45.0, 60.0)
+    #: Cap on rounds per target (None = whatever fits ``duration``);
+    #: the CI bound for smoke runs.
+    max_rounds: Optional[int] = None
+    #: Leading rounds per target that seed the baseline window; onset
+    #: detection starts on the first round after the warmup.
+    warmup_rounds: int = 1
+    #: Rolling-window depth: observations kept per (vantage,
+    #: destination, tool) stream.
+    window_depth: int = 5
+    #: Alerting — repeats of one fingerprint within this many simulated
+    #: seconds are suppressed onto the original alert.
+    suppression_window: float = 90.0
+    #: Alerts per (vantage, destination) before the target counts as
+    #: flapping and its threshold adapts.
+    flap_threshold: int = 3
+    #: Consecutive onsets a flapping target must produce per fingerprint
+    #: before another alert is emitted.
+    flap_penalty: int = 2
+    #: Alerts within this window sharing a suspect address group into
+    #: one cross-vantage incident.
+    group_window: float = 45.0
+    #: The fleet-layer execution knobs (``rounds`` ignored).
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise CampaignError(
+                f"monitor duration must be positive: {self.duration}")
+        if not self.periods:
+            raise CampaignError("monitor needs at least one period")
+        for period in self.periods:
+            if period <= 0.0:
+                raise CampaignError(
+                    f"periods must be positive: {self.periods}")
+        self.periods = tuple(float(p) for p in self.periods)
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise CampaignError(
+                f"max_rounds must be >= 1: {self.max_rounds}")
+        if self.warmup_rounds < 1:
+            raise CampaignError(
+                f"warmup_rounds must be >= 1: {self.warmup_rounds}")
+        if self.window_depth < 2:
+            raise CampaignError(
+                f"window_depth must be >= 2: {self.window_depth}")
+        if self.suppression_window < 0.0:
+            raise CampaignError(
+                f"suppression_window must be >= 0: "
+                f"{self.suppression_window}")
+        if self.flap_threshold < 1:
+            raise CampaignError(
+                f"flap_threshold must be >= 1: {self.flap_threshold}")
+        if self.flap_penalty < 1:
+            raise CampaignError(
+                f"flap_penalty must be >= 1: {self.flap_penalty}")
+        if self.group_window < 0.0:
+            raise CampaignError(
+                f"group_window must be >= 0: {self.group_window}")
+
+    def describe(self) -> str:
+        """A one-line inventory for reports and CLI output."""
+        cap = "" if self.max_rounds is None else \
+            f", <= {self.max_rounds} round(s)/target"
+        return (f"monitor: {self.duration:g}s horizon, periods "
+                f"{tuple(f'{p:g}' for p in self.periods)}{cap}, "
+                f"warmup {self.warmup_rounds}, window "
+                f"{self.window_depth}")

@@ -1,0 +1,328 @@
+"""Incremental onset detection with attribution-based labeling.
+
+The streaming half of the paper's argument: watching routes change is
+easy — deciding *why* they changed is the hard part, because probing
+pathologies (rate-limit silence, delay spikes, duplication) manufacture
+route changes and anomalies that a naive monitor alerts on.  The
+:class:`OnsetDetector` consumes each (vantage, destination, tool)
+stream round by round and emits an :class:`Onset` whenever
+
+- the route signature differs from the previous round's
+  (``route-change``), or
+- an anomaly signature — loop, cycle, mid-route star — appears that
+  was absent the round before (``loop`` / ``cycle`` /
+  ``mid-route-star``).
+
+Every onset is labeled *before* it can alert by running the onset's
+one-signature census through :func:`repro.core.attribution.attribute_tool`
+against the stream's warmup baseline and the in-sim ground truth:
+
+- ``real-routing`` — the attribution's *real* split claims it (a cycle
+  inside a scheduled forwarding-loop window; a route change overlapping
+  a routing-dynamics event covering the destination);
+- ``fault-artifact`` — absent at baseline and an injected fault
+  (static profile or an active :class:`repro.faults.ScheduledProfile`
+  phase) overlapped the observation: the fault manufactured it;
+- ``probe-artifact`` — everything else: probe design or the topology's
+  own quirks (the paper's Sec. 4 causes).
+
+Detection state is per-stream and fed in round order, so the onset
+list of a vantage is a pure function of that vantage's routes — the
+property that makes the merged onset stream of a sharded run identical
+to the single-process one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.attribution import (
+    GroundTruth,
+    StarSignature,
+    ToolCensus,
+    attribute_tool,
+    compute_tool_census,
+)
+from repro.core.route import MeasuredRoute
+from repro.service.windows import RollingWindow, route_signature
+
+#: Onset families, in severity-base order.
+FAMILIES = ("route-change", "loop", "cycle", "mid-route-star")
+
+#: Cause labels the attribution assigns.
+CAUSES = ("real-routing", "fault-artifact", "probe-artifact")
+
+
+@dataclass(frozen=True)
+class Onset:
+    """One detected change, labeled and ready for the alert pipeline."""
+
+    vantage: int
+    client: str
+    destination: str
+    tool: str
+    family: str
+    #: Canonical signature text (hop path for route changes, the
+    #: anomaly's (address, destination) pair otherwise).
+    signature: str
+    round_index: int
+    #: Simulated start instant of the route that showed the onset.
+    at: float
+    cause: str
+    #: The address the onset points at (loop/cycle address, first
+    #: divergent hop of a route change) — the cross-vantage grouping key.
+    suspect: str
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form."""
+        return {
+            "vantage": self.vantage,
+            "client": self.client,
+            "destination": self.destination,
+            "tool": self.tool,
+            "family": self.family,
+            "signature": self.signature,
+            "round": self.round_index,
+            "at": self.at,
+            "cause": self.cause,
+            "suspect": self.suspect,
+        }
+
+
+@dataclass(frozen=True)
+class DynamicsWindow:
+    """One routing-dynamics event as plain interval data."""
+
+    kind: str
+    prefix: object
+    start: float
+    end: float
+
+    def covers(self, destination, start: float, end: float) -> bool:
+        """Did this event overlap ``[start, end]`` for ``destination``?"""
+        return (self.prefix.contains(destination)
+                and self.start <= end and start <= self.end)
+
+
+def dynamics_windows(events) -> list[DynamicsWindow]:
+    """Flatten scheduled dynamics events into comparable intervals."""
+    from repro.sim.dynamics import (
+        ForwardingLoopWindow,
+        RouteChange,
+        RouteWithdrawal,
+    )
+
+    windows: list[DynamicsWindow] = []
+    for event in events:
+        if isinstance(event, RouteChange):
+            end = (float("inf") if event.duration is None
+                   else event.at_time + event.duration)
+            windows.append(DynamicsWindow("route-change", event.prefix,
+                                          event.at_time, end))
+        elif isinstance(event, RouteWithdrawal):
+            windows.append(DynamicsWindow("withdrawal", event.prefix,
+                                          event.at_time, event.end))
+        elif isinstance(event, ForwardingLoopWindow):
+            windows.append(DynamicsWindow("forwarding-loop", event.prefix,
+                                          event.start, event.end))
+    return windows
+
+
+def fault_windows(internet_config) -> list[tuple[float, float]]:
+    """Intervals during which *injected* faults pressed the network.
+
+    A non-inert static profile covers the whole run; scheduled phases
+    cover ``[start_i, start_{i+1})`` for every non-inert phase.  Plain
+    interval data derived from the picklable config, so every shard
+    computes the identical calendar.
+    """
+    intervals: list[tuple[float, float]] = []
+    profile = getattr(internet_config, "fault_profile", None)
+    if profile is not None and not profile.inert:
+        intervals.append((0.0, float("inf")))
+    phases = getattr(internet_config, "fault_phases", None) or ()
+    ordered = sorted(phases, key=lambda pair: pair[0])
+    for index, (start, profile) in enumerate(ordered):
+        if profile.inert:
+            continue
+        end = (ordered[index + 1][0] if index + 1 < len(ordered)
+               else float("inf"))
+        intervals.append((start, end))
+    return intervals
+
+
+class OnsetDetector:
+    """Stream detector for one vantage's routes.
+
+    ``ground`` is the in-sim reality
+    (:func:`repro.analysis.fault_sensitivity.ground_truth_from_topology`),
+    ``dynamics`` the flattened routing-event intervals, ``faults`` the
+    injected-fault intervals, ``warmup`` how many leading rounds per
+    stream seed the baseline instead of alerting.
+    """
+
+    def __init__(self, vantage: int, client: str, ground: GroundTruth,
+                 dynamics: list[DynamicsWindow],
+                 faults: list[tuple[float, float]],
+                 warmup: int, window_depth: int) -> None:
+        self.vantage = vantage
+        self.client = client
+        self.ground = ground
+        self.dynamics = dynamics
+        self.faults = faults
+        self.warmup = warmup
+        self.window_depth = window_depth
+        #: (destination, tool) -> RollingWindow (insertion = feed order).
+        self.windows: dict[tuple[str, str], RollingWindow] = {}
+        self._baselines: dict[tuple[str, str], ToolCensus] = {}
+        self._prev: dict[tuple[str, str], MeasuredRoute] = {}
+        self.onsets: list[Onset] = []
+
+    # ------------------------------------------------------------------
+    def _fault_active(self, start: float, end: float) -> bool:
+        return any(s <= end and start <= e for s, e in self.faults)
+
+    def _merge_baseline(self, baseline: ToolCensus,
+                        census: ToolCensus) -> None:
+        baseline.routes += census.routes
+        for sig, count in census.loops.items():
+            baseline.loops[sig] = baseline.loops.get(sig, 0) + count
+        for sig, count in census.cycles.items():
+            baseline.cycles[sig] = baseline.cycles.get(sig, 0) + count
+        for key, middles in census.diamonds.items():
+            baseline.diamonds[key] = (
+                baseline.diamonds.get(key, frozenset()) | middles)
+        for sig, count in census.stars.items():
+            baseline.stars[sig] = baseline.stars.get(sig, 0) + count
+
+    def _classify(self, family: str, onset_census: ToolCensus,
+                  baseline: ToolCensus, start: float,
+                  end: float) -> str:
+        """Label one onset signature through the attribution split."""
+        attribution = attribute_tool(baseline, onset_census, self.ground)
+        split = attribution.family(family)
+        if split.real > 0:
+            return "real-routing"
+        if split.fault_artifacts > 0 and self._fault_active(start, end):
+            return "fault-artifact"
+        return "probe-artifact"
+
+    # ------------------------------------------------------------------
+    def feed(self, route: MeasuredRoute) -> list[Onset]:
+        """Fold one route in, in round order; returns new onsets."""
+        key = (str(route.destination), route.tool)
+        window = self.windows.get(key)
+        if window is None:
+            window = self.windows[key] = RollingWindow(
+                self.vantage, self.client, key[0], key[1],
+                self.window_depth)
+            self._baselines[key] = ToolCensus(tool=route.tool)
+        previous = self._prev.get(key)
+        entry = window.push(route)
+        baseline = self._baselines[key]
+        produced: list[Onset] = []
+        start = route.started_at
+        end = route.started_at + route.trace_duration
+        if route.round_index < self.warmup:
+            self._merge_baseline(baseline, entry.census)
+        else:
+            produced = self._detect(key, route, entry, previous, baseline,
+                                    start, end)
+        self._prev[key] = route
+        self.onsets.extend(produced)
+        return produced
+
+    def _detect(self, key, route, entry, previous, baseline,
+                start, end) -> list[Onset]:
+        produced: list[Onset] = []
+        destination, tool = key
+        if previous is not None:
+            cur_sig = entry.signature
+            prev_sig = route_signature(previous)
+            if cur_sig != prev_sig:
+                produced.append(self._route_change_onset(
+                    route, previous, cur_sig, prev_sig, start, end))
+        prev_census = (None if previous is None
+                       else compute_tool_census(tool, [previous]))
+        census = entry.census
+        for family, observed in (("loop", census.loops),
+                                 ("cycle", census.cycles),
+                                 ("mid-route-star", census.stars)):
+            prev_keys = set() if prev_census is None else set(
+                {"loop": prev_census.loops,
+                 "cycle": prev_census.cycles,
+                 "mid-route-star": prev_census.stars}[family])
+            for sig in observed:
+                if sig in prev_keys:
+                    continue  # present last round too: not an onset
+                produced.append(self._anomaly_onset(
+                    route, family, sig, baseline, start, end))
+        return produced
+
+    def _route_change_onset(self, route, previous, cur_sig, prev_sig,
+                            start, end) -> Onset:
+        overlap_start = previous.started_at
+        real = any(w.covers(route.destination, overlap_start, end)
+                   for w in self.dynamics)
+        if real:
+            cause = "real-routing"
+        elif self._fault_active(overlap_start, end):
+            cause = "fault-artifact"
+        else:
+            cause = "probe-artifact"
+        suspect = ""
+        for prev_hop, cur_hop in zip(prev_sig, cur_sig):
+            if prev_hop != cur_hop:
+                suspect = cur_hop if cur_hop != "*" else prev_hop
+                break
+        else:
+            longer = cur_sig if len(cur_sig) > len(prev_sig) else prev_sig
+            shorter = min(len(cur_sig), len(prev_sig))
+            if len(longer) > shorter:
+                suspect = longer[shorter]
+        if suspect == "*":
+            suspect = ""
+        return Onset(
+            vantage=self.vantage, client=self.client,
+            destination=str(route.destination), tool=route.tool,
+            family="route-change",
+            signature="->".join(cur_sig), round_index=route.round_index,
+            at=start, cause=cause, suspect=suspect)
+
+    def _anomaly_onset(self, route, family, sig, baseline, start,
+                       end) -> Onset:
+        tool = route.tool
+        onset_census = ToolCensus(tool=tool, routes=1)
+        if family == "loop":
+            onset_census.loops[sig] = 1
+            text = f"loop {sig.address}@{sig.destination}"
+            suspect = str(sig.address)
+        elif family == "cycle":
+            onset_census.cycles[sig] = 1
+            text = f"cycle {sig.address}@{sig.destination}"
+            suspect = str(sig.address)
+        else:
+            onset_census.stars[sig] = 1
+            text = f"star ttl{sig.ttl}@{sig.destination}"
+            suspect = self._star_suspect(route, sig)
+        cause = self._classify(
+            {"loop": "loops", "cycle": "cycles",
+             "mid-route-star": "mid-route stars"}[family],
+            onset_census, baseline, start, end)
+        return Onset(
+            vantage=self.vantage, client=self.client,
+            destination=str(route.destination), tool=tool, family=family,
+            signature=text, round_index=route.round_index, at=start,
+            cause=cause, suspect=suspect)
+
+    @staticmethod
+    def _star_suspect(route: MeasuredRoute, sig: StarSignature) -> str:
+        """The deepest answering hop above the star (the throttler's
+        neighbour — the best address a star can point at)."""
+        best = ""
+        for hop in route.hops:
+            if hop.ttl >= sig.ttl:
+                break
+            if hop.address is not None:
+                best = str(hop.address)
+        return best

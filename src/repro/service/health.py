@@ -1,0 +1,105 @@
+"""Service health: the operator's status snapshot and alert metrics.
+
+:func:`health_snapshot` condenses a finalized
+:class:`repro.service.result.MonitorResult` into the dict an operator
+(or the CLI) reads first: how long the simulated run covered, how many
+targets and rounds it probed, how the onset stream split by cause, and
+what the alert pipeline kept versus suppressed.  ``status`` grades the
+run — ``alerting`` when alerts were emitted, ``degraded`` when onsets
+fired but every one was suppressed or held, ``ok`` otherwise.
+
+:func:`publish_alert_metrics` exposes the same accounting through the
+PR 6 registry conventions as *process-scope* families folded into the
+fleet's metrics snapshot — advisory numbers, outside the deterministic
+signature, exactly like the engine's own process-scope metrics.
+"""
+
+from __future__ import annotations
+
+
+def health_snapshot(result) -> dict:
+    """The operator-facing status dict (not part of the signature)."""
+    fleet = result.fleet
+    sim_end = 0.0
+    rounds = 0
+    for vantage in fleet.vantages:
+        for route in vantage.result.routes:
+            sim_end = max(sim_end, route.started_at + route.trace_duration)
+        rounds += sum(1 for r in vantage.result.routes
+                      if r.tool.startswith("paris"))
+    counters = result.alerts.counters if result.alerts else {}
+    emitted = counters.get("alerts", 0)
+    onsets = counters.get("onsets", 0)
+    if emitted:
+        status = "alerting"
+    elif onsets:
+        status = "degraded"
+    else:
+        status = "ok"
+    per_vantage = [
+        {
+            "index": v.index,
+            "name": v.name,
+            "targets": len(v.destinations),
+            "routes": len(v.result.routes),
+            "probes_sent": v.result.probes_sent,
+            "responses_received": v.result.responses_received,
+        }
+        for v in fleet.vantages
+    ]
+    return {
+        "status": status,
+        "sim_duration": sim_end,
+        "targets": len(fleet.destinations),
+        "vantages": len(fleet.vantages),
+        "target_rounds": rounds,
+        "windows": len(result.windows),
+        "onsets": onsets,
+        "onsets_by_cause": counters.get("by_cause", {}),
+        "onsets_by_family": counters.get("by_family", {}),
+        "alerts": emitted,
+        "suppressed": counters.get("suppressed", 0),
+        "held": counters.get("held", 0),
+        "groups": counters.get("groups", 0),
+        "per_vantage": per_vantage,
+    }
+
+
+def publish_alert_metrics(result) -> None:
+    """Fold alert-pipeline accounting into the fleet metrics snapshot.
+
+    Runs post-merge on the coordinator, so the families are
+    process-scope: they describe *this* pipeline execution, not any
+    per-client stream, and stay outside the deterministic signature.
+    No-op when the run had metrics disabled.
+    """
+    if result.fleet.metrics is None or result.alerts is None:
+        return
+    from repro.obs.registry import (
+        SCOPE_PROCESS,
+        MetricsRegistry,
+        MetricsSnapshot,
+    )
+
+    registry = MetricsRegistry()
+    counters = result.alerts.counters
+    alerts = registry.counter(
+        "repro_monitor_alerts_total",
+        "Alerts emitted by the monitor pipeline, per severity.",
+        ("severity",), scope=SCOPE_PROCESS)
+    for alert in result.alerts.alerts:
+        alerts.labels(str(alert.severity)).inc()
+    registry.counter(
+        "repro_monitor_alerts_suppressed_total",
+        "Onsets folded into an existing alert's suppression window.",
+        (), scope=SCOPE_PROCESS).inc(counters.get("suppressed", 0))
+    registry.counter(
+        "repro_monitor_alerts_held_total",
+        "Onsets held back by an adaptive flapping threshold.",
+        (), scope=SCOPE_PROCESS).inc(counters.get("held", 0))
+    registry.gauge(
+        "repro_monitor_alert_groups",
+        "Cross-vantage incident groups in the finalized alert log.",
+        (), scope=SCOPE_PROCESS).set(counters.get("groups", 0))
+    result.fleet.metrics = MetricsSnapshot.merge(
+        [result.fleet.metrics, registry.snapshot()])

@@ -1,0 +1,326 @@
+"""Recurring-campaign orchestration on one simulated clock.
+
+The monitor's executor is a :class:`repro.vantage.campaign.FleetCampaign`
+subclass whose lanes are *calendars* instead of round barriers: each
+vantage worker's lane holds every scheduled probe of its target share,
+ordered by scheduled instant, with the instant stamped on the spec as
+:attr:`repro.engine.scheduler.TraceSpec.not_before`.  One
+:class:`repro.engine.scheduler.ProbeScheduler` drives every round of
+every target — lanes are set up once and reused across rounds, and a
+lane reaching a future round early simply parks on its own wake-up
+event.  There is deliberately no cross-lane synchronization, so every
+vantage's timeline stays a pure function of its own lanes and the
+topology seed — the property the sharded mode inherits unchanged from
+the fleet layer.
+
+Execution mirrors :mod:`repro.vantage.sharding`:
+:class:`MonitorShardTask` is the picklable work unit (each shard
+rebuilds a seeded topology replica, runs only its vantages, streams
+its routes through the onset detector), :func:`run_monitor` is the
+single-process reference, :func:`run_monitor_sharded` the partitioned
+one, and both finalize through
+:meth:`repro.service.result.MonitorResult.merge` — literally the same
+code path, which is what makes the byte-identity contract testable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.fault_sensitivity import ground_truth_from_topology
+from repro.engine.scheduler import ProbeScheduler, TraceSpec
+from repro.measurement.destinations import (
+    select_pingable_destinations,
+    split_among_workers,
+)
+from repro.service.config import MonitorConfig
+from repro.service.detect import (
+    OnsetDetector,
+    dynamics_windows,
+    fault_windows,
+)
+from repro.service.result import MonitorResult
+from repro.service.schedule import TargetPlan, build_schedule
+from repro.topology.internet import InternetConfig, generate_internet
+from repro.vantage.campaign import FleetCampaign, FleetResult
+
+
+class _MonitorCampaign(FleetCampaign):
+    """A fleet campaign driven by per-target calendars.
+
+    Reuses all the fleet plumbing — per-vantage sockets/tools/policies,
+    deterministic trace ordinals, result assembly — and replaces only
+    lane construction: instead of ``rounds`` uniform passes, each
+    worker's lane is its share's schedule flattened to (instant,
+    position) order with ``not_before`` pacing.
+    """
+
+    def __init__(self, *args, plans: Sequence[TargetPlan], **kwargs):
+        super().__init__(*args, **kwargs)
+        self._plans = {plan.destination: plan for plan in plans}
+
+    def run(self) -> FleetResult:
+        """Run every owned vantage's calendar; per-vantage results."""
+        cfg = self.config
+        scheduler = ProbeScheduler(
+            self.network,
+            self._fleet.sources[0],
+            window=cfg.window,
+            socket=self._fleet.sockets[0],
+        )
+        for slot, v in enumerate(self.vantage_ids):
+            socket = self._fleet.sockets[slot]
+            shares = split_among_workers(self._assigned[v], cfg.workers)
+            self._offsets_for(v, shares)
+            for worker, share in enumerate(shares):
+                if not share:
+                    continue
+                # The worker's calendar: every scheduled probe of every
+                # owned target, ordered by (instant, position) — ties
+                # resolve by share position, identically in every mode.
+                entries = sorted(
+                    (plan_time, position, round_index, destination)
+                    for position, destination in enumerate(share)
+                    for round_index, plan_time
+                    in enumerate(self._plans[destination].times)
+                )
+                specs: list = []
+                for plan_time, position, round_index, destination in entries:
+                    paris_builder, classic_builder = self._builders_for(
+                        v, round_index, worker, position, destination)
+                    specs.append(TraceSpec(
+                        self._paris[v], destination, paris_builder,
+                        meta=(v, round_index), not_before=plan_time))
+                    specs.append(TraceSpec(
+                        self._classic[v], destination, classic_builder,
+                        meta=(v, round_index), not_before=plan_time))
+                scheduler.add_lane(
+                    specs,
+                    inter_trace_delay=cfg.inter_trace_delay,
+                    socket=socket,
+                    timeout_policy=self._policies[v],
+                    horizon_hints=self._hints[v],
+                )
+        outcomes = scheduler.run()
+        result = self._assemble(outcomes)
+        self._attach_observability(result)
+        return result
+
+
+@dataclass
+class MonitorShardTask:
+    """Everything one monitor shard needs to rebuild its world and run.
+
+    Picklable by construction, like
+    :class:`repro.vantage.sharding.FleetShardTask`: plain configs, plain
+    ints.  The fault phases and dynamics calendar travel inside
+    ``internet``, so every shard replica evolves identically.
+    """
+
+    internet: InternetConfig
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    vantage_ids: list = field(default_factory=list)
+    #: Pingable pre-screen truncation (None keeps all).
+    max_destinations: Optional[int] = None
+    #: Seed of the destination shuffle; defaults to the fleet seed.
+    destination_seed: Optional[int] = None
+    metrics: bool = False
+    #: Ring capacity for a probe tracer; 0 disables tracing.
+    trace_capacity: int = 0
+
+
+def run_monitor_shard(task: MonitorShardTask) -> MonitorResult:
+    """Run one shard to completion (the process-pool work function).
+
+    Returns a *partial* :class:`MonitorResult` (``alerts is None``):
+    windows and onsets for the shard's vantages only.  The alert
+    pipeline runs post-merge on the coordinator.
+    """
+    topology = generate_internet(task.internet)
+    seed = (task.destination_seed if task.destination_seed is not None
+            else task.monitor.fleet.seed)
+    destinations = select_pingable_destinations(
+        topology.network, topology.source,
+        topology.destination_addresses,
+        count=task.max_destinations, seed=seed)
+    # Observability installs after the pingable pre-screen, exactly as
+    # in :func:`repro.vantage.sharding.materialize_shard` and for the
+    # same reason: pre-screen probes replay in every replica.
+    if task.metrics:
+        from repro.obs.registry import MetricsRegistry
+
+        topology.network.metrics = MetricsRegistry()
+    if task.trace_capacity > 0:
+        from repro.obs.tracing import ProbeTracer
+
+        topology.network.tracer = ProbeTracer(capacity=task.trace_capacity)
+    plans = build_schedule(destinations, task.monitor)
+    vantage_ids = (task.vantage_ids
+                   or list(range(len(topology.sources))))
+    campaign = _MonitorCampaign(
+        topology.network, topology.sources, destinations,
+        config=task.monitor.fleet, vantage_ids=vantage_ids,
+        plans=plans)
+    fleet_result = campaign.run()
+    return _analyze_shard(task, topology, fleet_result)
+
+
+def _analyze_shard(task: MonitorShardTask, topology,
+                   fleet_result: FleetResult) -> MonitorResult:
+    """Stream the shard's routes through detection; build its partial."""
+    ground = ground_truth_from_topology(topology)
+    dynamics = dynamics_windows(topology.dynamics)
+    faults = fault_windows(task.internet)
+    monitor = task.monitor
+    part = MonitorResult(config=monitor, fleet=fleet_result)
+    onset_tallies: dict[tuple[str, str, str], int] = {}
+    target_counts: dict[str, int] = {}
+    for vantage in fleet_result.vantages:
+        detector = OnsetDetector(
+            vantage=vantage.index, client=str(vantage.address),
+            ground=ground, dynamics=dynamics, faults=faults,
+            warmup=monitor.warmup_rounds,
+            window_depth=monitor.window_depth)
+        # Route order is the canonical fleet order (chronological per
+        # worker), so each (destination, tool) stream arrives in round
+        # order and the onset list is a pure function of the routes.
+        for route in vantage.result.routes:
+            detector.feed(route)
+        part.windows.extend(
+            window.to_dict() for window in detector.windows.values())
+        part.onsets.extend(detector.onsets)
+        client = str(vantage.address)
+        target_counts[client] = len(vantage.destinations)
+        for onset in detector.onsets:
+            key = (client, onset.family, onset.cause)
+            onset_tallies[key] = onset_tallies.get(key, 0) + 1
+    _publish_shard_metrics(topology.network, fleet_result,
+                           onset_tallies, target_counts)
+    part.windows.sort(key=lambda w: (
+        w["vantage"], w["destination"], w["tool"]))
+    part.onsets.sort(key=lambda o: (
+        o.vantage, o.at, o.destination, o.tool, o.family, o.signature))
+    return part
+
+
+def _publish_shard_metrics(network, fleet_result, onset_tallies,
+                           target_counts) -> None:
+    """Client-scope onset metrics: disjoint across shards, so the
+    merged snapshot's deterministic view matches single-process."""
+    from repro.obs.registry import active_registry
+
+    registry = active_registry(network)
+    if registry is None:
+        return
+    onsets = registry.counter(
+        "repro_monitor_onsets_total",
+        "Detected onsets per client, family, and attributed cause.",
+        ("client", "family", "cause"))
+    for (client, family, cause), count in sorted(onset_tallies.items()):
+        onsets.labels(client, family, cause).inc(count)
+    targets = registry.gauge(
+        "repro_monitor_targets",
+        "Monitored destinations per client.",
+        ("client",))
+    for client, count in sorted(target_counts.items()):
+        targets.labels(client).set(count)
+    fleet_result.metrics = registry.snapshot()
+
+
+def run_monitor(
+    internet: InternetConfig,
+    monitor: MonitorConfig | None = None,
+    max_destinations: Optional[int] = None,
+    destination_seed: Optional[int] = None,
+    metrics: bool = False,
+    trace_capacity: int = 0,
+) -> MonitorResult:
+    """Single-process reference execution: all vantages, one scheduler."""
+    monitor = monitor or MonitorConfig()
+    task = MonitorShardTask(
+        internet=internet, monitor=monitor,
+        vantage_ids=list(range(internet.n_vantages)),
+        max_destinations=max_destinations,
+        destination_seed=destination_seed,
+        metrics=metrics, trace_capacity=trace_capacity)
+    return MonitorResult.merge([run_monitor_shard(task)])
+
+
+def run_monitor_sharded(
+    internet: InternetConfig,
+    monitor: MonitorConfig | None = None,
+    shards: int = 2,
+    processes: bool = False,
+    max_destinations: Optional[int] = None,
+    destination_seed: Optional[int] = None,
+    metrics: bool = False,
+    trace_capacity: int = 0,
+) -> MonitorResult:
+    """Partition the monitor's vantages over ``shards`` replicas, merge,
+    and finalize the alert pipeline over the merged onset stream."""
+    from repro.vantage.sharding import plan_shards
+
+    monitor = monitor or MonitorConfig()
+    tasks = [
+        MonitorShardTask(
+            internet=internet, monitor=monitor, vantage_ids=vantage_ids,
+            max_destinations=max_destinations,
+            destination_seed=destination_seed,
+            metrics=metrics, trace_capacity=trace_capacity)
+        for vantage_ids in plan_shards(internet.n_vantages, shards)
+    ]
+    if processes and len(tasks) > 1:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        with context.Pool(processes=len(tasks)) as pool:
+            parts = pool.map(run_monitor_shard, tasks)
+    else:
+        parts = [run_monitor_shard(task) for task in tasks]
+    return MonitorResult.merge(parts)
+
+
+class MonitorService:
+    """The operator's facade over one monitored internet.
+
+    Bundles the internet description and the monitor knobs; ``run``
+    executes single-process or sharded and always returns a finalized
+    :class:`MonitorResult` (alert log, health snapshot, metrics when
+    enabled).
+    """
+
+    def __init__(
+        self,
+        internet: InternetConfig,
+        monitor: MonitorConfig | None = None,
+        max_destinations: Optional[int] = None,
+        destination_seed: Optional[int] = None,
+        metrics: bool = True,
+        trace_capacity: int = 0,
+    ) -> None:
+        self.internet = internet
+        self.monitor = monitor or MonitorConfig()
+        self.max_destinations = max_destinations
+        self.destination_seed = destination_seed
+        self.metrics = metrics
+        self.trace_capacity = trace_capacity
+
+    def run(self, shards: int = 1,
+            processes: bool = False) -> MonitorResult:
+        """Execute the service; ``shards > 1`` partitions the fleet."""
+        if shards <= 1:
+            return run_monitor(
+                self.internet, self.monitor,
+                max_destinations=self.max_destinations,
+                destination_seed=self.destination_seed,
+                metrics=self.metrics,
+                trace_capacity=self.trace_capacity)
+        return run_monitor_sharded(
+            self.internet, self.monitor, shards=shards,
+            processes=processes,
+            max_destinations=self.max_destinations,
+            destination_seed=self.destination_seed,
+            metrics=self.metrics,
+            trace_capacity=self.trace_capacity)

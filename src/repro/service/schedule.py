@@ -1,0 +1,71 @@
+"""Per-target probe calendars: when each destination is re-probed.
+
+A monitor does not probe every target at the same cadence — hot
+prefixes deserve a tighter loop than stable ones.  The schedule
+assigns each destination a period from :attr:`MonitorConfig.periods`
+round-robin over the *global* destination index (so every execution
+mode, sharded or not, agrees on who probes when), and lays out the
+probe instants ``t = k * period`` for every ``k`` with
+``t < duration`` (capped by ``max_rounds``).
+
+The instants become :class:`repro.engine.scheduler.TraceSpec`
+``not_before`` constants — a lane reaching a spec early parks on its
+own wake-up event.  There is deliberately *no* round barrier: a
+target's round ``k`` never waits for any other target (or vantage) to
+finish round ``k - 1``, which is what keeps each vantage's timeline a
+pure function of its own lanes and preserves the sharding guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.net.inet import IPv4Address
+from repro.service.config import MonitorConfig
+
+
+@dataclass(frozen=True)
+class TargetPlan:
+    """One destination's probe calendar."""
+
+    destination: IPv4Address
+    #: Global index of this destination in the monitor's target list
+    #: (the period-assignment key, identical in every execution mode).
+    index: int
+    period: float
+    #: Scheduled round start instants, ``times[k] = k * period``.
+    times: tuple[float, ...]
+
+    @property
+    def rounds(self) -> int:
+        """How many rounds the horizon grants this target."""
+        return len(self.times)
+
+
+def rounds_for(period: float, duration: float,
+               max_rounds: int | None) -> int:
+    """Rounds fitting the horizon (always at least one)."""
+    fits = 1
+    while fits * period < duration:
+        fits += 1
+    if max_rounds is not None:
+        fits = min(fits, max_rounds)
+    return max(fits, 1)
+
+
+def build_schedule(destinations: Sequence[IPv4Address],
+                   config: MonitorConfig) -> list[TargetPlan]:
+    """The full target calendar, in destination-list order."""
+    plans: list[TargetPlan] = []
+    periods = config.periods
+    for index, destination in enumerate(destinations):
+        period = periods[index % len(periods)]
+        count = rounds_for(period, config.duration, config.max_rounds)
+        plans.append(TargetPlan(
+            destination=IPv4Address(destination),
+            index=index,
+            period=period,
+            times=tuple(k * period for k in range(count)),
+        ))
+    return plans

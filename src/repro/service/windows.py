@@ -1,0 +1,123 @@
+"""Rolling observation windows: one stream per (vantage, destination, tool).
+
+Every route a monitored target produces flows into its stream's
+:class:`RollingWindow`, which keeps the last ``depth`` observations and
+summarizes them — current route signature, RTT quantiles (over trace
+durations: the per-trace wall the paper's operator would watch),
+signature-change count, and star / loop / cycle / diamond rates — the
+state the onset detector and the health snapshot read.
+
+Windows are *client-scope* state in the observability sense: each is a
+pure function of its own vantage's routes, so the merged window set of
+a sharded run is byte-identical to the single-process run's.  The
+canonical dict form (:meth:`RollingWindow.to_dict`) is what enters the
+:meth:`repro.service.result.MonitorResult.signature` digest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.attribution import ToolCensus, compute_tool_census
+from repro.core.diamonds import diamonds_by_destination
+from repro.core.route import MeasuredRoute
+
+
+def route_signature(route: MeasuredRoute) -> tuple[str, ...]:
+    """The route as a comparable hop tuple (stars render as ``*``)."""
+    return tuple("*" if hop.address is None else str(hop.address)
+                 for hop in route.hops)
+
+
+def quantile(values: list[float], q: float) -> float:
+    """Deterministic nearest-rank quantile (no interpolation).
+
+    Nearest-rank returns an *observed* value, so the float that enters
+    the canonical serialization is bit-identical across execution
+    modes — interpolation would manufacture new floats.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+@dataclass
+class _Observation:
+    """One route's digest inside a window."""
+
+    round_index: int
+    started_at: float
+    duration: float
+    signature: tuple[str, ...]
+    route: MeasuredRoute
+    census: ToolCensus = field(repr=False, default=None)
+
+
+class RollingWindow:
+    """The last ``depth`` observations of one (vantage, dest, tool)."""
+
+    def __init__(self, vantage: int, client: str, destination: str,
+                 tool: str, depth: int) -> None:
+        self.vantage = vantage
+        self.client = client
+        self.destination = destination
+        self.tool = tool
+        self.depth = depth
+        self._entries: deque[_Observation] = deque(maxlen=depth)
+        #: Signature changes observed over the stream's whole life
+        #: (not just inside the current window).
+        self.signature_changes = 0
+        self.observations = 0
+
+    def push(self, route: MeasuredRoute) -> _Observation:
+        """Fold one route in; returns its digest (census included)."""
+        entry = _Observation(
+            round_index=route.round_index,
+            started_at=route.started_at,
+            duration=route.trace_duration,
+            signature=route_signature(route),
+            route=route,
+            census=compute_tool_census(self.tool, [route]),
+        )
+        if self._entries and entry.signature != self._entries[-1].signature:
+            self.signature_changes += 1
+        self._entries.append(entry)
+        self.observations += 1
+        return entry
+
+    @property
+    def last(self) -> _Observation | None:
+        return self._entries[-1] if self._entries else None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready summary (deterministic across modes)."""
+        entries = list(self._entries)
+        durations = [e.duration for e in entries]
+        routes = [e.route for e in entries]
+        n = len(entries)
+        loop_instances = sum(e.census.loop_instances for e in entries)
+        cycle_instances = sum(e.census.cycle_instances for e in entries)
+        star_hops = sum(e.census.star_hops for e in entries)
+        diamonds = diamonds_by_destination(routes)
+        diamond_count = sum(len(v) for v in diamonds.values())
+        return {
+            "vantage": self.vantage,
+            "client": self.client,
+            "destination": self.destination,
+            "tool": self.tool,
+            "observations": self.observations,
+            "window": n,
+            "signature": list(entries[-1].signature) if entries else [],
+            "signature_changes": self.signature_changes,
+            "rtt_p50": quantile(durations, 0.50),
+            "rtt_p90": quantile(durations, 0.90),
+            "rounds": [e.round_index for e in entries],
+            "loop_rate": loop_instances / n if n else 0.0,
+            "cycle_rate": cycle_instances / n if n else 0.0,
+            "star_rate": star_hops / n if n else 0.0,
+            "diamonds": diamond_count,
+        }

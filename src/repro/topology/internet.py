@@ -135,6 +135,14 @@ class InternetConfig:
     #: None (the default) leaves the topology draw-for-draw identical
     #: to earlier versions.
     fault_profile: Optional[NetworkFaultProfile] = None
+    #: Timed fault *phases* — ``((start_time, NetworkFaultProfile),
+    #: ...)`` — installed as a :class:`repro.faults.ScheduledProfile`
+    #: on the built network's dynamics hook, swapping on the simulated
+    #: clock (time-varying pressure for the monitor service).  Plain
+    #: data, so shard replicas rebuild the identical calendar.  Layers
+    #: over ``fault_profile``: the static profile is the baseline every
+    #: inert phase restores.
+    fault_phases: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.n_tier1 < 2:
@@ -849,6 +857,11 @@ class _Generator:
         if cfg.fault_profile is not None:
             install_fault_profile(network, cfg.fault_profile,
                                   protected=protected)
+        if cfg.fault_phases:
+            from repro.faults.schedule import ScheduledProfile
+
+            network.add_dynamics(ScheduledProfile(
+                cfg.fault_phases, protected=protected))
         self._schedule_dynamics(network)
         return InternetTopology(
             network=network,

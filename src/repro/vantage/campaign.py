@@ -308,6 +308,10 @@ class FleetCampaign:
     ) -> None:
         self.network = network
         self.sources = list(sources)
+        # Counter fence for repeated campaigns on one network: the
+        # lookup gauge publishes this run's resolutions only (see the
+        # same fence in :class:`repro.measurement.campaign.CampaignRunner`).
+        self._lookup_baseline = network.route_lookups()
         if not self.sources:
             raise CampaignError("a fleet needs at least one vantage point")
         self.destinations = [IPv4Address(d) for d in destinations]
@@ -495,9 +499,10 @@ class FleetCampaign:
             # batch is too slow for the hot flush path).
             registry.gauge(
                 "repro_fib_route_lookups",
-                "Network-wide LPM resolutions since the last counter "
-                "reset.",
-                (), scope=SCOPE_PROCESS).set(self.network.route_lookups())
+                "Network-wide LPM resolutions since this campaign "
+                "began.",
+                (), scope=SCOPE_PROCESS).set(
+                    self.network.route_lookups() - self._lookup_baseline)
             outcomes = registry.counter(
                 "repro_campaign_traces_total",
                 "Completed traces per client, tool, and halt reason.",

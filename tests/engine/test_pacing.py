@@ -1,0 +1,69 @@
+"""Lane pacing: ``not_before`` parks a lane until its scheduled instant."""
+
+from repro.engine.scheduler import ProbeScheduler, TraceSpec
+from repro.sim.socketapi import ProbeSocket
+from repro.topology import figures
+from repro.tracer.paris import ParisTraceroute
+
+
+def run_lane(specs, fig):
+    scheduler = ProbeScheduler(fig.network, fig.source)
+    scheduler.add_lane(specs)
+    return scheduler.run()
+
+
+class TestNotBefore:
+    def test_future_spec_waits_for_its_instant(self):
+        fig = figures.figure3()
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source),
+                                seed=3)
+        dest = fig.destination_address
+        outcomes = run_lane([
+            TraceSpec(paris, dest),
+            TraceSpec(paris, dest, not_before=30.0),
+        ], fig)
+        assert outcomes[0].result.started_at < 1.0
+        assert outcomes[1].result.started_at >= 30.0
+
+    def test_past_instant_starts_immediately(self):
+        fig = figures.figure3()
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source),
+                                seed=3)
+        dest = fig.destination_address
+        outcomes = run_lane([
+            TraceSpec(paris, dest, not_before=0.0),
+            TraceSpec(paris, dest),
+        ], fig)
+        # The second spec's not_before (0.0) already passed when the
+        # first trace finished: no park, back-to-back execution.
+        first_end = (outcomes[0].result.started_at
+                     + outcomes[0].result.duration)
+        assert outcomes[1].result.started_at <= first_end + 1e-9
+
+    def test_parked_lanes_do_not_block_running_ones(self):
+        fig = figures.figure3()
+        socket = ProbeSocket(fig.network, fig.source)
+        paris = ParisTraceroute(socket, seed=3)
+        dest = fig.destination_address
+        scheduler = ProbeScheduler(fig.network, fig.source)
+        scheduler.add_lane([TraceSpec(paris, dest, not_before=50.0)])
+        scheduler.add_lane([TraceSpec(paris, dest)])
+        outcomes = scheduler.run()
+        by_lane = {o.lane: o.result.started_at for o in outcomes}
+        assert by_lane[1] < 1.0
+        assert by_lane[0] >= 50.0
+
+    def test_mixed_schedule_preserves_lane_order(self):
+        fig = figures.figure3()
+        paris = ParisTraceroute(ProbeSocket(fig.network, fig.source),
+                                seed=3)
+        dest = fig.destination_address
+        outcomes = run_lane([
+            TraceSpec(paris, dest, not_before=10.0),
+            TraceSpec(paris, dest, not_before=20.0),
+            TraceSpec(paris, dest, not_before=20.5),
+        ], fig)
+        starts = [o.result.started_at for o in outcomes]
+        assert starts == sorted(starts)
+        assert starts[0] >= 10.0 and starts[1] >= 20.0
+        assert starts[2] >= 20.5

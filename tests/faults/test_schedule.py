@@ -1,0 +1,127 @@
+"""Scheduled fault phases: swapping profiles on the simulated clock."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.faults import (
+    NetworkFaultProfile,
+    ScheduledProfile,
+    diurnal_rate_limit_phases,
+)
+from repro.topology import InternetConfig, generate_internet
+
+INTERNET = InternetConfig(
+    seed=9, n_tier1=2, n_transit=2, n_stub=3, dests_per_stub=1,
+    n_loop_stub_diamonds=1, n_cycle_stub_diamonds=0, n_nat_dests=0,
+    n_zero_ttl_dests=0, response_loss_rate=0.0, p_per_packet=0.0)
+
+
+def rate_limits(network):
+    from repro.sim.router import Router
+
+    return {name: node.faults.icmp_rate_limit
+            for name, node in sorted(network.nodes.items())
+            if isinstance(node, Router)}
+
+
+class TestConstruction:
+    def test_phases_sort_by_start(self):
+        a = NetworkFaultProfile(name="a", rate_limit=1.0)
+        b = NetworkFaultProfile(name="b", rate_limit=2.0)
+        schedule = ScheduledProfile([(50.0, b), (10.0, a)])
+        assert [s for s, __ in schedule.phases] == [10.0, 50.0]
+
+    def test_rejects_duplicate_starts_and_empty(self):
+        profile = NetworkFaultProfile(name="p", rate_limit=1.0)
+        with pytest.raises(TopologyError):
+            ScheduledProfile([])
+        with pytest.raises(TopologyError):
+            ScheduledProfile([(10.0, profile), (10.0, profile)])
+
+    def test_active_index_is_binary_search(self):
+        profile = NetworkFaultProfile(name="p", rate_limit=1.0)
+        schedule = ScheduledProfile([(10.0, profile), (50.0, profile)])
+        assert schedule.active_index(0.0) == -1
+        assert schedule.active_index(10.0) == 0
+        assert schedule.active_index(49.9) == 0
+        assert schedule.active_index(50.0) == 1
+        assert schedule.active_profile(5.0) is None
+
+
+class TestPhaseSwapping:
+    def test_phase_installs_then_baseline_restores(self):
+        topology = generate_internet(INTERNET)
+        network = topology.network
+        before = rate_limits(network)
+        day = NetworkFaultProfile(name="day", seed=3, rate_limit=4.0,
+                                  rate_limit_burst=2)
+        night = NetworkFaultProfile(name="night", seed=3, rate_limit=0.0)
+        schedule = ScheduledProfile([(10.0, day), (50.0, night)])
+        schedule.apply(network, 0.0)
+        assert rate_limits(network) == before
+        schedule.apply(network, 20.0)
+        limited = rate_limits(network)
+        assert any(v == 4.0 for v in limited.values())
+        schedule.apply(network, 60.0)  # inert night phase: baseline back
+        assert rate_limits(network) == before
+
+    def test_apply_is_idempotent_within_a_phase(self):
+        topology = generate_internet(INTERNET)
+        network = topology.network
+        day = NetworkFaultProfile(name="day", seed=3, rate_limit=4.0)
+        schedule = ScheduledProfile([(10.0, day)])
+        schedule.apply(network, 20.0)
+        plane = network.fault_plane
+        schedule.apply(network, 30.0)
+        assert network.fault_plane is plane
+
+    def test_revisited_phase_reuses_its_delivery_plane(self):
+        """A clock seek back into an already-seen phase (replay) must
+        re-attach that phase's original plane, keeping its
+        per-recipient fault streams instead of restarting them."""
+        topology = generate_internet(INTERNET)
+        network = topology.network
+        noisy = NetworkFaultProfile(name="noisy", seed=3, rate_limit=4.0,
+                                    duplication=0.5)
+        calm = NetworkFaultProfile(name="calm", seed=3)
+        schedule = ScheduledProfile([(10.0, noisy), (50.0, calm)])
+        schedule.apply(network, 20.0)
+        first_plane = network.fault_plane
+        schedule.apply(network, 60.0)
+        schedule.apply(network, 25.0)
+        assert network.fault_plane is first_plane
+
+    def test_protected_routers_stay_clean(self):
+        topology = generate_internet(INTERNET)
+        network = topology.network
+        names = sorted(rate_limits(network))
+        shielded = names[0]
+        day = NetworkFaultProfile(name="day", seed=3, rate_limit=4.0)
+        schedule = ScheduledProfile([(10.0, day)], protected=[shielded])
+        schedule.apply(network, 20.0)
+        assert network.node(shielded).faults.icmp_rate_limit == 0.0
+
+
+class TestDiurnalCalendar:
+    def test_first_day_starts_after_one_clean_period(self):
+        phases = diurnal_rate_limit_phases(period=40.0, cycles=2,
+                                           day_rate=5.0)
+        starts = [s for s, __ in phases]
+        assert starts == [40.0, 80.0, 120.0, 160.0]
+        assert phases[0][1].rate_limit == 5.0
+        assert phases[1][1].inert
+        assert phases[2][1].rate_limit == 5.0
+
+    def test_config_wires_schedule_onto_network_dynamics(self):
+        import dataclasses
+
+        from repro.faults.schedule import ScheduledProfile as SP
+
+        cfg = dataclasses.replace(
+            INTERNET,
+            fault_phases=diurnal_rate_limit_phases(period=40.0, cycles=1))
+        topology = generate_internet(cfg)
+        installed = [e for e in topology.network._dynamics
+                     if isinstance(e, SP)]
+        assert len(installed) == 1
+        assert installed[0].protected  # vantage access chains exempt

@@ -1,0 +1,113 @@
+"""The alert pipeline: dedup, suppression, thresholds, grouping."""
+
+from repro.service.alerts import build_alert_log, onset_fingerprint
+from repro.service.config import MonitorConfig
+from repro.service.detect import Onset
+
+
+def make_onset(at=10.0, vantage=0, destination="10.0.0.9",
+               tool="paris-udp", family="loop", signature="loop A@D",
+               cause="probe-artifact", suspect="10.0.0.5",
+               round_index=1, client="10.0.0.1"):
+    return Onset(vantage=vantage, client=client, destination=destination,
+                 tool=tool, family=family, signature=signature,
+                 round_index=round_index, at=at, cause=cause,
+                 suspect=suspect)
+
+
+class TestFingerprint:
+    def test_vantage_and_round_do_not_enter_the_identity(self):
+        a = make_onset(vantage=0, round_index=1, at=10.0)
+        b = make_onset(vantage=3, round_index=7, at=99.0)
+        assert onset_fingerprint(a) == onset_fingerprint(b)
+
+    def test_cause_does(self):
+        a = make_onset(cause="probe-artifact")
+        b = make_onset(cause="fault-artifact")
+        assert onset_fingerprint(a) != onset_fingerprint(b)
+
+
+class TestSuppression:
+    def test_repeat_inside_window_folds_into_original(self):
+        config = MonitorConfig(suppression_window=50.0)
+        log = build_alert_log(
+            [make_onset(at=10.0, vantage=0),
+             make_onset(at=40.0, vantage=1)], config)
+        assert len(log.alerts) == 1
+        alert = log.alerts[0]
+        assert alert.repeats == 1
+        assert alert.vantages == [0, 1]
+        assert alert.last_at == 40.0
+        assert log.counters["suppressed"] == 1
+
+    def test_repeat_outside_window_realerts(self):
+        config = MonitorConfig(suppression_window=20.0)
+        log = build_alert_log(
+            [make_onset(at=10.0), make_onset(at=90.0)], config)
+        assert len(log.alerts) == 2
+        assert log.counters["suppressed"] == 0
+
+
+class TestAdaptiveThreshold:
+    def test_flapping_target_needs_penalty_onsets_per_fingerprint(self):
+        config = MonitorConfig(suppression_window=0.0, flap_threshold=2,
+                               flap_penalty=2)
+        # Three distinct anomalies push (vantage 0, dest) past the
+        # threshold; a fourth distinct one must then onset twice.
+        onsets = [
+            make_onset(at=10.0, signature="loop A@D"),
+            make_onset(at=20.0, signature="loop B@D"),
+            make_onset(at=30.0, signature="loop C@D"),
+        ]
+        log = build_alert_log(onsets, config)
+        held_first = log.counters["held"]
+        assert held_first == 1  # the third was held, not emitted
+        onsets.append(make_onset(at=40.0, signature="loop C@D"))
+        log = build_alert_log(onsets, config)
+        assert any(a.signature == "loop C@D" for a in log.alerts)
+
+
+class TestSeverityAndGrouping:
+    def test_real_routing_outranks_equal_shape_artifact(self):
+        config = MonitorConfig()
+        log = build_alert_log(
+            [make_onset(signature="cycle A@D", family="cycle",
+                        cause="fault-artifact"),
+             make_onset(at=95.0, destination="10.0.0.8",
+                        signature="cycle A@E", family="cycle",
+                        cause="real-routing")], config)
+        by_cause = {a.cause: a.severity for a in log.alerts}
+        assert by_cause["real-routing"] == by_cause["fault-artifact"] + 1
+
+    def test_shared_suspect_across_vantages_groups(self):
+        config = MonitorConfig(suppression_window=0.0, group_window=30.0)
+        log = build_alert_log(
+            [make_onset(at=10.0, vantage=0, signature="loop A@D"),
+             make_onset(at=20.0, vantage=1, destination="10.0.0.8",
+                        signature="loop A@E")], config)
+        assert len(log.groups) == 1
+        group = log.groups[0]
+        assert group.vantages == [0, 1]
+        assert group.suspect == "10.0.0.5"
+        assert group.severity == max(a.severity for a in log.alerts) + 1
+        assert all(a.group == 0 for a in log.alerts
+                   if a.fingerprint in group.fingerprints)
+
+    def test_single_vantage_suspect_does_not_group(self):
+        config = MonitorConfig(suppression_window=0.0)
+        log = build_alert_log(
+            [make_onset(at=10.0, vantage=0, signature="loop A@D"),
+             make_onset(at=20.0, vantage=0, destination="10.0.0.8",
+                        signature="loop A@E")], config)
+        assert log.groups == []
+
+
+class TestCanonicalBytes:
+    def test_jsonl_round_trips_signature(self):
+        config = MonitorConfig()
+        onsets = [make_onset(at=t, vantage=v, signature=f"loop {v}@{t}")
+                  for v in (1, 0) for t in (30.0, 10.0)]
+        log_a = build_alert_log(list(onsets), config)
+        log_b = build_alert_log(list(reversed(onsets)), config)
+        assert log_a.to_jsonl() == log_b.to_jsonl()
+        assert log_a.signature() == log_b.signature()

@@ -1,0 +1,141 @@
+"""The monitor service end to end: a bounded run over an evolving
+internet with a scheduled fault phase must detect induced onsets,
+attribute induced artifacts separately from real routing changes,
+dedup repeats, and pace every round on the shared simulated clock."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import diurnal_rate_limit_phases
+from repro.service import MonitorConfig, MonitorService, run_monitor
+from repro.service.detect import fault_windows
+from repro.service.schedule import build_schedule
+from repro.topology import InternetConfig
+from repro.vantage import FleetConfig
+
+#: The Sec. 3-style internet with a time axis: routing dynamics sized
+#: to the horizon plus a compressed diurnal rate-limit schedule whose
+#: first throttled phase opens at t=40s (after the warmup round).
+EVOLVING_INTERNET = InternetConfig(
+    seed=5, n_tier1=3, n_transit=4, n_stub=8, dests_per_stub=2,
+    n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1, n_nat_dests=1,
+    n_zero_ttl_dests=1, response_loss_rate=0.0, p_per_packet=0.0,
+    n_vantages=4, dynamics_horizon=120.0, route_changes_per_hour=90.0,
+    forwarding_loops_per_hour=30.0, event_duration=45.0,
+    fault_phases=diurnal_rate_limit_phases(period=40.0, cycles=1))
+
+MONITOR = MonitorConfig(duration=120.0, periods=(30.0, 40.0),
+                        max_rounds=3, fleet=FleetConfig(workers=2))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_monitor(EVOLVING_INTERNET, MONITOR, max_destinations=6,
+                       metrics=True)
+
+
+class TestRecurringRounds:
+    def test_every_target_probed_on_its_own_period(self, result):
+        plans = {str(p.destination): p
+                 for p in build_schedule(result.fleet.destinations,
+                                         MONITOR)}
+        for vantage in result.fleet.vantages:
+            starts = {}
+            for route in vantage.result.routes:
+                starts.setdefault(
+                    (str(route.destination), route.tool),
+                    []).append((route.round_index, route.started_at))
+            for (destination, __), seen in starts.items():
+                plan = plans[destination]
+                assert len(seen) == plan.rounds
+                for round_index, started_at in seen:
+                    # not_before pacing: round k never starts before
+                    # its scheduled instant k * period.
+                    assert started_at >= plan.times[round_index]
+
+    def test_rounds_interleave_on_one_clock(self, result):
+        """No round barrier: some round-1 trace starts before the last
+        round-0 trace of a slower-period target finishes."""
+        vantage = result.fleet.vantages[0]
+        r1_starts = [r.started_at for r in vantage.result.routes
+                     if r.round_index == 1]
+        r0_ends = [r.started_at + r.trace_duration
+                   for r in vantage.result.routes if r.round_index == 0]
+        assert min(r1_starts) < max(r0_ends) or min(r1_starts) >= 30.0
+
+
+class TestDetectionAndAttribution:
+    def test_detects_induced_route_change_onsets(self, result):
+        assert any(o.family == "route-change" for o in result.onsets)
+
+    def test_fault_artifacts_attributed_separately_from_real(self, result):
+        causes = {o.cause for o in result.onsets}
+        assert "fault-artifact" in causes
+        assert "real-routing" in causes
+        # Fault-window calendar: day phase at t=40, night restores at 80.
+        assert fault_windows(EVOLVING_INTERNET) == [(40.0, 80.0)]
+
+    def test_warmup_rounds_never_onset(self, result):
+        assert all(o.round_index >= MONITOR.warmup_rounds
+                   for o in result.onsets)
+
+    def test_windows_cover_every_stream(self, result):
+        streams = {(w["vantage"], w["destination"], w["tool"])
+                   for w in result.windows}
+        expected = {
+            (v.index, str(d), tool)
+            for v in result.fleet.vantages for d in v.destinations
+            for tool in ("paris-udp", "classic-udp")}
+        assert streams == expected
+
+
+class TestAlertingAndHealth:
+    def test_repeats_dedup(self, result):
+        assert result.alerts.counters["suppressed"] > 0
+        fingerprints = [a.fingerprint for a in result.alerts.alerts]
+        # Emitted alerts may re-alert after the window, but the log
+        # never carries two *live* records of one fingerprint (the
+        # second emission replaced the first in the dedup table).
+        assert len(result.alerts.alerts) < result.alerts.counters["onsets"]
+        assert fingerprints  # something alerted
+
+    def test_health_snapshot_shape(self, result):
+        health = result.health
+        assert health["status"] == "alerting"
+        assert health["targets"] == 6
+        assert health["vantages"] == 4
+        assert health["target_rounds"] > 0
+        assert health["sim_duration"] > 60.0
+        assert set(health["onsets_by_cause"]) <= {
+            "real-routing", "fault-artifact", "probe-artifact"}
+        assert len(health["per_vantage"]) == 4
+
+    def test_service_metrics_published(self, result):
+        snapshot = result.fleet.metrics
+        names = set(snapshot.families)
+        assert "repro_monitor_onsets_total" in names
+        assert "repro_monitor_targets" in names
+        assert "repro_monitor_alerts_total" in names
+        assert snapshot.total("repro_monitor_onsets_total") == len(
+            result.onsets)
+
+    def test_facade_matches_function(self, result):
+        service = MonitorService(EVOLVING_INTERNET, MONITOR,
+                                 max_destinations=6, metrics=False)
+        again = service.run()
+        assert again.signature() == result.signature()
+
+
+class TestTimeVaryingPressure:
+    def test_fault_phases_change_the_stream(self):
+        """The diurnal schedule must actually bite: the same monitor
+        without fault phases produces a different result signature and
+        no fault-artifact onsets."""
+        clean = replace(EVOLVING_INTERNET, fault_phases=None)
+        quiet = run_monitor(clean, MONITOR, max_destinations=6)
+        noisy = run_monitor(EVOLVING_INTERNET, MONITOR,
+                            max_destinations=6)
+        assert quiet.signature() != noisy.signature()
+        assert all(o.cause != "fault-artifact" for o in quiet.onsets)
+        assert any(o.cause == "fault-artifact" for o in noisy.onsets)

@@ -1,0 +1,64 @@
+"""Monitor sharding determinism: the tentpole's acceptance bar.
+
+A sharded monitor run — adversarial fault phases, routing dynamics,
+per-target schedules and all — must merge byte-for-byte equal to the
+single-process run: same full result signature, same rolling windows,
+and the identical alert-log byte stream.
+"""
+
+import pytest
+
+from repro.faults import diurnal_rate_limit_phases
+from repro.service import (
+    MonitorConfig,
+    run_monitor,
+    run_monitor_sharded,
+)
+from repro.topology import InternetConfig
+from repro.vantage import FleetConfig
+
+EVOLVING_INTERNET = InternetConfig(
+    seed=5, n_tier1=3, n_transit=4, n_stub=8, dests_per_stub=2,
+    n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1, n_nat_dests=1,
+    n_zero_ttl_dests=1, response_loss_rate=0.0, p_per_packet=0.0,
+    n_vantages=4, dynamics_horizon=120.0, route_changes_per_hour=90.0,
+    forwarding_loops_per_hour=30.0, event_duration=45.0,
+    fault_phases=diurnal_rate_limit_phases(period=40.0, cycles=1))
+
+MONITOR = MonitorConfig(duration=120.0, periods=(30.0, 40.0),
+                        max_rounds=3, fleet=FleetConfig(workers=2))
+
+
+@pytest.fixture(scope="module")
+def single():
+    return run_monitor(EVOLVING_INTERNET, MONITOR, max_destinations=6,
+                       metrics=True)
+
+
+class TestShardedByteIdentity:
+    def test_k2_signature_matches_single(self, single):
+        sharded = run_monitor_sharded(EVOLVING_INTERNET, MONITOR,
+                                      shards=2, max_destinations=6,
+                                      metrics=True)
+        assert sharded.signature() == single.signature()
+        assert sharded.alerts.to_jsonl() == single.alerts.to_jsonl()
+        assert sharded.windows == single.windows
+        assert (sharded.fleet.metrics.deterministic_signature()
+                == single.fleet.metrics.deterministic_signature())
+
+    def test_k4_process_pool_matches_single(self, single):
+        sharded = run_monitor_sharded(EVOLVING_INTERNET, MONITOR,
+                                      shards=4, processes=True,
+                                      max_destinations=6, metrics=True)
+        assert sharded.signature() == single.signature()
+        assert sharded.alerts.to_jsonl() == single.alerts.to_jsonl()
+        assert sharded.windows == single.windows
+
+    def test_alert_log_signature_is_order_independent(self, single):
+        """Health and alert finalization run post-merge over the
+        canonically sorted onset stream, so the alert log's own digest
+        is stable too."""
+        again = run_monitor(EVOLVING_INTERNET, MONITOR,
+                            max_destinations=6)
+        assert again.alerts.signature() == single.alerts.signature()
+        assert again.health == single.health

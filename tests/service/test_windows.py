@@ -1,0 +1,79 @@
+"""Rolling windows: signatures, quantiles, and the canonical dict."""
+
+from repro.core.route import MeasuredRoute, RouteHop
+from repro.net.inet import IPv4Address
+from repro.service.schedule import build_schedule, rounds_for
+from repro.service.config import MonitorConfig
+from repro.service.windows import RollingWindow, quantile, route_signature
+
+
+def make_route(addresses, destination="10.0.0.9", round_index=0,
+               started_at=0.0, duration=1.0, tool="paris-udp"):
+    hops = [
+        RouteHop(ttl=i + 1,
+                 address=None if a is None else IPv4Address(a))
+        for i, a in enumerate(addresses)
+    ]
+    return MeasuredRoute(
+        source=IPv4Address("10.0.0.1"),
+        destination=IPv4Address(destination), hops=hops, tool=tool,
+        round_index=round_index, started_at=started_at,
+        trace_duration=duration)
+
+
+class TestRouteSignature:
+    def test_stars_render_as_asterisk(self):
+        route = make_route(["10.0.0.2", None, "10.0.0.9"])
+        assert route_signature(route) == ("10.0.0.2", "*", "10.0.0.9")
+
+
+class TestQuantile:
+    def test_nearest_rank_returns_observed_value(self):
+        values = [3.0, 1.0, 2.0, 5.0, 4.0]
+        assert quantile(values, 0.50) in values
+        assert quantile(values, 0.90) == 5.0
+
+    def test_empty_is_zero(self):
+        assert quantile([], 0.5) == 0.0
+
+
+class TestRollingWindow:
+    def test_depth_bounds_entries_but_not_lifetime_counters(self):
+        window = RollingWindow(0, "10.0.0.1", "10.0.0.9", "paris-udp",
+                               depth=2)
+        sigs = [["10.0.0.2", "10.0.0.9"],
+                ["10.0.0.3", "10.0.0.9"],
+                ["10.0.0.2", "10.0.0.9"]]
+        for k, sig in enumerate(sigs):
+            window.push(make_route(sig, round_index=k, started_at=10.0 * k))
+        summary = window.to_dict()
+        assert summary["window"] == 2
+        assert summary["observations"] == 3
+        assert summary["signature_changes"] == 2
+        assert summary["rounds"] == [1, 2]
+        assert summary["signature"] == ["10.0.0.2", "10.0.0.9"]
+
+    def test_rtt_quantiles_cover_current_window_only(self):
+        window = RollingWindow(0, "c", "d", "paris-udp", depth=2)
+        for k, duration in enumerate([9.0, 1.0, 2.0]):
+            window.push(make_route(["10.0.0.2", "10.0.0.9"],
+                                   round_index=k, duration=duration))
+        summary = window.to_dict()
+        assert summary["rtt_p50"] in (1.0, 2.0)
+        assert summary["rtt_p90"] == 2.0  # the 9.0 entry rolled out
+
+
+class TestSchedule:
+    def test_rounds_for_counts_instants_inside_horizon(self):
+        assert rounds_for(30.0, 100.0, None) == 4  # t = 0, 30, 60, 90
+        assert rounds_for(30.0, 100.0, 2) == 2
+        assert rounds_for(500.0, 100.0, None) == 1
+
+    def test_periods_assigned_round_robin_over_global_index(self):
+        config = MonitorConfig(duration=100.0, periods=(30.0, 50.0))
+        dests = [IPv4Address(f"10.0.0.{i}") for i in range(1, 4)]
+        plans = build_schedule(dests, config)
+        assert [p.period for p in plans] == [30.0, 50.0, 30.0]
+        assert plans[0].times == (0.0, 30.0, 60.0, 90.0)
+        assert plans[1].times == (0.0, 50.0)
+        assert [p.index for p in plans] == [0, 1, 2]

@@ -29,6 +29,13 @@ its ``probes_match`` cross-check.  ``--check`` gates only on fields
 shared with the baseline, so a schema-1 baseline still gates lookups
 and determinism.
 
+Schema 3 adds a ``monitor`` leg
+(``benchmarks/test_bench_monitor_rounds.py``): a bounded monitor-
+service run whose ``rounds_per_sec`` is the recorded throughput trend
+and whose single-vs-sharded result signature is a new deterministic
+gate.  The onset and alert counts are seed-deterministic and recorded
+for drift reading.
+
 Environment: ``REPRO_BENCH_SEED`` / ``REPRO_BENCH_ROUNDS`` as for the
 benchmark suite — the recorded baseline is made with the defaults the
 CI smoke tier uses (seed 42, rounds 2), and ``--check`` refuses to
@@ -55,6 +62,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_walk.json"
 
 def measure(seed: int, rounds: int) -> dict:
     """Run both legs in both modes; return the JSON-ready record."""
+    from benchmarks.test_bench_monitor_rounds import run_monitor_leg
     from benchmarks.test_bench_walk_batching import (
         run_campaign_leg,
         run_fleet_leg,
@@ -102,9 +110,18 @@ def measure(seed: int, rounds: int) -> dict:
     single_signature = fleet_batched["result"].signature()
     sharded_signature = merged.signature()
 
+    monitor_single = run_monitor_leg(seed=seed)
+    monitor_sharded = run_monitor_leg(seed=seed, shards=2)
+    monitor_signature = monitor_single["result"].signature()
+    monitor_sharded_signature = monitor_sharded["result"].signature()
+    monitor_deterministic = (
+        monitor_signature == monitor_sharded_signature
+        and monitor_single["result"].alerts.to_jsonl()
+        == monitor_sharded["result"].alerts.to_jsonl())
+
     simulated = campaign_batched["result"].rounds[-1].finished_at
     return {
-        "schema": 2,
+        "schema": 3,
         "bench": "walk_batching",
         "seed": seed,
         "rounds": rounds,
@@ -130,6 +147,18 @@ def measure(seed: int, rounds: int) -> dict:
             "single_signature": single_signature,
             "sharded_signature": sharded_signature,
             "deterministic": single_signature == sharded_signature,
+        },
+        "monitor": {
+            "wall_s": round(monitor_single["wall_s"], 3),
+            "target_rounds": monitor_single["target_rounds"],
+            "rounds_per_sec": round(
+                monitor_single["target_rounds"]
+                / monitor_single["wall_s"], 1),
+            "onsets": monitor_single["onsets"],
+            "alerts": monitor_single["alerts"],
+            "single_signature": monitor_signature,
+            "sharded_signature": monitor_sharded_signature,
+            "deterministic": monitor_deterministic,
         },
     }
 
@@ -167,6 +196,17 @@ def check(record: dict, baseline: dict) -> list[str]:
     if not record["fleet"]["deterministic"]:
         problems.append("fleet: sharded signature diverged from single-"
                         "process — the determinism guarantee broke")
+    if not record["monitor"]["deterministic"]:
+        problems.append("monitor: sharded run no longer merges to the "
+                        "single-process signature and alert bytes")
+    if "monitor" in baseline:
+        recorded = baseline["monitor"]["onsets"]
+        current = record["monitor"]["onsets"]
+        if current != recorded:
+            problems.append(
+                f"monitor: onset census drifted {recorded} -> {current} "
+                "for the same seed — the detection stream is no longer "
+                "reproducible")
     return problems
 
 
@@ -206,6 +246,13 @@ def main(argv: list[str] | None = None) -> int:
           f"probes/s instrumented)")
     print(f"fleet determinism: "
           f"{'ok' if record['fleet']['deterministic'] else 'BROKEN'}")
+    monitor = record["monitor"]
+    print(f"monitor: {monitor['target_rounds']} target-rounds in "
+          f"{monitor['wall_s']:.2f}s "
+          f"({monitor['rounds_per_sec']:.0f} rounds/s), "
+          f"{monitor['onsets']} onsets -> {monitor['alerts']} alerts, "
+          f"determinism "
+          f"{'ok' if monitor['deterministic'] else 'BROKEN'}")
 
     if args.check:
         if not args.baseline.exists():

@@ -7,8 +7,15 @@ starting with an underscore, except ``__init__.py`` files (public
 package fronts, also checked).  ``_version.py``-style private modules
 are exempt.
 
-Exit status: 0 when every public module has a docstring, 1 otherwise
-(offenders listed on stderr).  Run from the repository root::
+The gate also pins the package layout: every name in
+``REQUIRED_PACKAGES`` must exist as a package directory under
+``src/repro``.  Coverage is computed by walking the tree, so a renamed
+or deleted package would otherwise shrink the denominator and pass
+silently — the pin turns that into a hard failure.
+
+Exit status: 0 when every public module has a docstring and every
+required package is present, 1 otherwise (offenders listed on stderr).
+Run from the repository root::
 
     python tools/check_docstrings.py
 """
@@ -20,6 +27,31 @@ import pathlib
 import sys
 
 SOURCE_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Packages the gate refuses to run without.  rglob covers whatever is
+#: on disk, so a vanished package would silently drop out of coverage;
+#: listing it here makes the absence itself a failure.
+REQUIRED_PACKAGES = (
+    "analysis",
+    "core",
+    "engine",
+    "faults",
+    "measurement",
+    "net",
+    "obs",
+    "probing",
+    "service",
+    "sim",
+    "topology",
+    "tracer",
+    "vantage",
+)
+
+
+def missing_packages(root: pathlib.Path = SOURCE_ROOT) -> list[str]:
+    """Required package names with no package directory under root."""
+    return [name for name in REQUIRED_PACKAGES
+            if not (root / name / "__init__.py").is_file()]
 
 
 def is_public(path: pathlib.Path, root: pathlib.Path = SOURCE_ROOT) -> bool:
@@ -44,6 +76,12 @@ def modules_without_docstring(root: pathlib.Path = SOURCE_ROOT) -> list[str]:
 
 
 def main() -> int:
+    absent = missing_packages()
+    if absent:
+        print("required packages missing from src/repro:", file=sys.stderr)
+        for name in absent:
+            print(f"  {name}", file=sys.stderr)
+        return 1
     offenders = modules_without_docstring()
     if offenders:
         print("public modules without a module docstring:", file=sys.stderr)
