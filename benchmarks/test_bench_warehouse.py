@@ -1,0 +1,114 @@
+"""E14 — warehouse ingest throughput and query latency.
+
+One leg, runnable standalone and through ``tools/bench_record.py``
+(schema 4 persists it to ``BENCH_walk.json``): ingest a bounded
+monitor run — traces, hops with AS denormalization, onsets, alerts —
+into a fresh in-memory warehouse, then drain every canned analysis.
+The recorded trend numbers are **rows per wall second** on the ingest
+side and the wall cost of the full query sweep; the deterministic
+gates are the single-vs-sharded content digest (the tentpole's
+acceptance bar) and the row census, both pure functions of the seed.
+
+The leg accepts a pre-computed result so ``bench_record`` can reuse
+its monitor runs instead of paying for fresh ones.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from benchmarks.test_bench_monitor_rounds import (
+    monitor_internet,
+    run_monitor_leg,
+)
+from repro.topology import generate_internet
+from repro.warehouse import (
+    Warehouse,
+    anomaly_prevalence,
+    inconsistency_mining,
+    ingest_monitor,
+    per_as_artifact_rates,
+    per_cause_onset_rates,
+    route_change_history,
+    tool_artifact_deltas,
+    vantage_disagreements,
+)
+
+QUERIES = (per_as_artifact_rates, per_cause_onset_rates,
+           tool_artifact_deltas, anomaly_prevalence,
+           inconsistency_mining, vantage_disagreements,
+           route_change_history)
+
+
+def run_warehouse_leg(result=None, seed=BENCH_SEED):
+    """Ingest one monitor result and drain the canned query sweep.
+
+    ``result`` defaults to a fresh bounded monitor run with the bench
+    seed; pass one in to reuse a run you already paid for.
+    """
+    if result is None:
+        result = run_monitor_leg(seed=seed)["result"]
+    asmap = generate_internet(monitor_internet(seed)).asmap
+    with Warehouse(":memory:") as warehouse:
+        started = time.perf_counter()
+        receipt = ingest_monitor(warehouse, result, asmap=asmap)
+        ingest_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        query_rows = 0
+        for query in QUERIES:
+            for _ in query(warehouse):
+                query_rows += 1
+        query_wall = time.perf_counter() - started
+        digest = warehouse.content_digest()
+    return {
+        "receipt": receipt,
+        "rows": receipt.rows,
+        "ingest_wall_s": ingest_wall,
+        "rows_per_sec": receipt.rows / ingest_wall,
+        "query_wall_s": query_wall,
+        "query_rows": query_rows,
+        "digest": digest,
+    }
+
+
+@pytest.mark.benchmark(group="warehouse")
+def test_bench_warehouse_ingest(benchmark):
+    single = run_monitor_leg()
+    legs = []
+
+    def timed_ingest():
+        legs.append(run_warehouse_leg(result=single["result"]))
+        return legs[-1]["digest"]
+
+    benchmark.pedantic(timed_ingest, iterations=1, rounds=1)
+    leg = legs[0]
+
+    sharded = run_monitor_leg(shards=2)
+    sharded_leg = run_warehouse_leg(result=sharded["result"])
+
+    benchmark.extra_info.update({
+        "rows": leg["rows"],
+        "ingest_wall_s": round(leg["ingest_wall_s"], 3),
+        "rows_per_sec": round(leg["rows_per_sec"], 1),
+        "query_wall_s": round(leg["query_wall_s"], 3),
+        "query_rows": leg["query_rows"],
+        "digest": leg["digest"][:16],
+    })
+    print()
+    print(f"  warehouse: {leg['rows']} rows ingested in "
+          f"{leg['ingest_wall_s']:.3f} s "
+          f"({leg['rows_per_sec']:.0f} rows/s)")
+    print(f"  queries: {len(QUERIES)} canned analyses, "
+          f"{leg['query_rows']} rows in {leg['query_wall_s']:.3f} s")
+
+    # The store actually filled: every table class saw rows.
+    receipt = leg["receipt"]
+    assert receipt.ingested
+    assert receipt.traces > 0 and receipt.hops > 0
+    assert receipt.onsets > 0 and receipt.alerts > 0
+    assert leg["query_rows"] > 0
+    # Determinism: the sharded run ingests to the identical store.
+    assert sharded_leg["digest"] == leg["digest"]
+    assert sharded_leg["rows"] == leg["rows"]

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Operator scenario: which ASes manufacture measurement artifacts?
+
+Runs a bounded monitoring campaign on an evolving internet (routing
+dynamics plus a diurnal ICMP rate-limit schedule), ingests the result
+into an in-memory measurement warehouse — every hop resolved against
+the ground-truth AS map on the way in — and prints the per-AS
+artifact-rate table: for each AS, how many traces crossed it and how
+often those traces showed a loop, a cycle, or a mid-route star inside
+it.  In the simulation the ground truth is exact, so the table answers
+directly the question the paper's Sec. 4 methodology approximates with
+BGP-derived mappings: *where* do traceroute artifacts concentrate?
+
+Takes a few seconds.  Run:  python examples/warehouse_report.py [seed]
+"""
+
+import sys
+
+from repro.faults import diurnal_rate_limit_phases
+from repro.service import MonitorConfig, run_monitor
+from repro.topology import InternetConfig, generate_internet
+from repro.vantage import FleetConfig
+from repro.warehouse import (
+    Warehouse,
+    format_as_rates,
+    format_tool_deltas,
+    ingest_monitor,
+    per_as_artifact_rates,
+    tool_artifact_deltas,
+)
+
+
+def main() -> None:
+    print(__doc__)
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    print(f"seed={seed}; monitoring an evolving internet...\n")
+
+    internet = InternetConfig(
+        seed=seed, n_tier1=3, n_transit=4, n_stub=8, dests_per_stub=2,
+        n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1, n_nat_dests=1,
+        n_zero_ttl_dests=1, response_loss_rate=0.0, p_per_packet=0.0,
+        n_vantages=2, dynamics_horizon=120.0,
+        route_changes_per_hour=90.0, forwarding_loops_per_hour=30.0,
+        event_duration=45.0,
+        fault_phases=diurnal_rate_limit_phases(period=40.0, cycles=2))
+    config = MonitorConfig(duration=120.0, periods=(30.0, 40.0),
+                           max_rounds=3,
+                           fleet=FleetConfig(workers=2, seed=seed))
+    result = run_monitor(internet, config, max_destinations=6)
+
+    with Warehouse(":memory:") as warehouse:
+        receipt = ingest_monitor(warehouse, result,
+                                 asmap=generate_internet(internet).asmap)
+        print(f"ingested run {receipt.run_id}: {receipt.traces} traces, "
+              f"{receipt.hops} hops ({receipt.routes_added} distinct "
+              f"paths), {receipt.onsets} onsets, "
+              f"{receipt.alerts} alerts\n")
+
+        print("Per-AS artifact rates (every hop carries its "
+              "ground-truth ASN):")
+        print(format_as_rates(per_as_artifact_rates(warehouse),
+                              limit=10))
+        print()
+        print("Paris vs classic, over the stored run:")
+        print(format_tool_deltas(tool_artifact_deltas(warehouse)))
+
+        rates = list(per_as_artifact_rates(warehouse))
+        worst = max(rates, key=lambda r: r.artifact_rate)
+        print(f"\nReading the tables: AS {worst.asn} shows artifacts in "
+              f"{worst.artifact_rate:.0%} of the {worst.traversals} "
+              "traces that crossed it — in a real deployment this is "
+              "the network you investigate first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,15 @@ Subcommands:
 - ``faults`` — the adversarial sweep: run the Sec. 4 census under each
   named fault profile (reordering, rate limiting, duplication, loss
   bursts) and attribute every observed anomaly — manufactured by the
-  fault, a persisting probe-design artifact, or in-sim real.
+  fault, a persisting probe-design artifact, or in-sim real;
+- ``ingest`` — run a monitor (or fleet campaign) and append the result
+  to a warehouse file, denormalizing the ground-truth AS map in;
+- ``query`` — stream one canned warehouse analysis as rows;
+- ``report`` — the full cross-campaign warehouse report.
+
+Every file-output option (``--metrics-out``, ``--alerts-out``,
+``--trace-out``, ``--warehouse-out``, ``--warehouse``) creates missing
+parent directories instead of failing.
 
 Examples::
 
@@ -31,6 +39,10 @@ Examples::
     repro-trace census --seed 7 --rounds 8
     repro-trace campaign --vantages 4 --shards 2
     repro-trace monitor --vantages 2 --duration 120 --alerts-out -
+    repro-trace monitor --warehouse-out runs/w.sqlite
+    repro-trace ingest --warehouse runs/w.sqlite --seed 11
+    repro-trace query --warehouse runs/w.sqlite --name as-rates
+    repro-trace report --warehouse runs/w.sqlite
     repro-trace faults --profiles reordering,rate-limit --mda
 """
 
@@ -38,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro._version import __version__
@@ -156,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--trace-capacity", type=int, default=65536,
                           help="span ring-buffer capacity per shard "
                                "(oldest spans drop beyond this)")
+    campaign.add_argument("--warehouse-out", default=None, metavar="PATH",
+                          help="append the fleet result to the "
+                               "measurement warehouse at PATH "
+                               "(created if missing)")
 
     monitor = commands.add_parser(
         "monitor",
@@ -193,6 +210,76 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--alerts-out", default=None, metavar="PATH",
                          help="write the alert log as JSON lines to "
                               "PATH ('-' for stdout)")
+    monitor.add_argument("--warehouse-out", default=None, metavar="PATH",
+                         help="append the monitor result to the "
+                              "measurement warehouse at PATH "
+                              "(created if missing)")
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="run a monitor or campaign and append it to a warehouse")
+    ingest.add_argument("--warehouse", required=True, metavar="PATH",
+                        help="warehouse file to append to (created if "
+                             "missing, parent directories included)")
+    ingest.add_argument("--kind", choices=("monitor", "campaign"),
+                        default="monitor",
+                        help="which result shape to produce and ingest")
+    ingest.add_argument("--seed", type=int, default=7)
+    ingest.add_argument("--vantages", type=int, default=2,
+                        help="number of concurrent vantage points")
+    ingest.add_argument("--shards", type=int, default=1,
+                        help="partition vantages over this many "
+                             "topology-replica shards (the warehouse "
+                             "digest must not depend on this)")
+    ingest.add_argument("--processes", action="store_true",
+                        help="run shards in a process pool instead of "
+                             "inline")
+    ingest.add_argument("--duration", type=float, default=120.0,
+                        help="monitor horizon, simulated seconds "
+                             "(monitor kind)")
+    ingest.add_argument("--fault-period", type=float, default=40.0,
+                        help="diurnal rate-limit half-period (monitor "
+                             "kind; 0 disables)")
+    ingest.add_argument("--rounds", type=int, default=2,
+                        help="campaign rounds (campaign kind)")
+    ingest.add_argument("--dests", type=int, default=6,
+                        help="truncate the destination list")
+    ingest.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the warehouse row/ingest counters "
+                             "as Prometheus text exposition to PATH "
+                             "('-' for stdout)")
+
+    query = commands.add_parser(
+        "query", help="stream one canned warehouse analysis")
+    query.add_argument("--warehouse", required=True, metavar="PATH",
+                       help="warehouse file to read (must exist)")
+    query.add_argument("--name", required=True,
+                       choices=("route-changes", "prevalence",
+                                "as-rates", "cause-rates", "tool-deltas",
+                                "inconsistency", "disagreements"),
+                       help="which canned analysis to stream")
+    query.add_argument("--destination", default=None,
+                       help="filter to one destination "
+                            "(route-changes only)")
+    query.add_argument("--tool", default=None,
+                       help="filter to one tool (route-changes and "
+                            "inconsistency)")
+    query.add_argument("--bucket", type=float, default=30.0,
+                       help="bucket width in simulated seconds "
+                            "(prevalence only)")
+    query.add_argument("--limit", type=int, default=0,
+                       help="stop after this many rows (0 = all)")
+
+    report = commands.add_parser(
+        "report", help="full cross-campaign warehouse report")
+    report.add_argument("--warehouse", required=True, metavar="PATH",
+                        help="warehouse file to read (must exist)")
+    report.add_argument("--as-limit", type=int, default=15,
+                        help="per-AS table rows (highest artifact rate "
+                             "first; 0 = all)")
+    report.add_argument("--bucket", type=float, default=30.0,
+                        help="prevalence bucket width, simulated "
+                             "seconds")
 
     faults = commands.add_parser(
         "faults",
@@ -213,6 +300,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also compare MDA interface enumerations "
                              "against the clean run")
     return parser
+
+
+def _outpath(path: str) -> str:
+    """An output path with its parent directories guaranteed to exist.
+
+    Every file-writing option routes through here, so pointing any
+    ``--*-out`` at ``some/new/dir/file`` works instead of surfacing a
+    raw :class:`FileNotFoundError`.  ``-`` (stdout) passes through.
+    """
+    if path and path != "-":
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+    return path
 
 
 def cmd_figures(__: argparse.Namespace) -> int:
@@ -390,7 +489,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print()
             print(text, end="")
         else:
-            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            with open(_outpath(args.metrics_out), "w",
+                      encoding="utf-8") as handle:
                 handle.write(text)
             print(f"# metrics: {len(result.metrics.families)} families "
                   f"-> {args.metrics_out} "
@@ -399,8 +499,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.trace_out is not None:
         from repro.obs import ProbeTracer
 
-        ProbeTracer.write_jsonl(result.spans, args.trace_out)
+        ProbeTracer.write_jsonl(result.spans, _outpath(args.trace_out))
         print(f"# spans: {len(result.spans)} -> {args.trace_out}")
+    if args.warehouse_out is not None:
+        _warehouse_append(args.warehouse_out, result, internet, "fleet")
     return 0
 
 
@@ -487,7 +589,8 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             print()
             print(text, end="")
         else:
-            with open(args.alerts_out, "w", encoding="utf-8") as handle:
+            with open(_outpath(args.alerts_out), "w",
+                      encoding="utf-8") as handle:
                 handle.write(text)
             print(f"# alert log: {len(result.alerts.alerts)} alert(s) "
                   f"-> {args.alerts_out} "
@@ -500,13 +603,173 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             print()
             print(text, end="")
         else:
-            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            with open(_outpath(args.metrics_out), "w",
+                      encoding="utf-8") as handle:
                 handle.write(text)
             snapshot = result.fleet.metrics
             print(f"# metrics: {len(snapshot.families)} families "
                   f"-> {args.metrics_out} "
                   f"(deterministic signature "
                   f"{snapshot.deterministic_signature()[:16]})")
+    if args.warehouse_out is not None:
+        _warehouse_append(args.warehouse_out, result, internet, "monitor")
+    return 0
+
+
+def _warehouse_append(path: str, result, internet, kind: str,
+                      registry=None):
+    """Ingest one result into the warehouse at ``path`` and report.
+
+    Shared by ``--warehouse-out`` on ``campaign``/``monitor`` and the
+    ``ingest`` subcommand; resolves the ground-truth AS map from the
+    same internet config that produced the result, so hop ASNs are
+    exact.
+    """
+    from repro.topology import generate_internet
+    from repro.warehouse import ingest_fleet, ingest_monitor, open_warehouse
+
+    asmap = generate_internet(internet).asmap
+    ingest = ingest_monitor if kind == "monitor" else ingest_fleet
+    with open_warehouse(_outpath(path)) as warehouse:
+        receipt = ingest(warehouse, result, asmap=asmap,
+                         registry=registry)
+        counts = warehouse.row_counts()
+        digest = warehouse.content_digest()
+    state = "ingested" if receipt.ingested else "already present, skipped"
+    print(f"# warehouse: run {receipt.run_id} ({receipt.kind}) "
+          f"{state} -> {path}")
+    if receipt.ingested:
+        print(f"#   appended: traces={receipt.traces} "
+              f"hops={receipt.hops} onsets={receipt.onsets} "
+              f"alerts={receipt.alerts} routes={receipt.routes_added}")
+    print("#   store: "
+          + ", ".join(f"{t}={c}" for t, c in counts.items()))
+    print(f"#   content digest: {digest}")
+    return receipt
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    for flag, value in (("--vantages", args.vantages),
+                        ("--shards", args.shards),
+                        ("--rounds", args.rounds),
+                        ("--dests", args.dests)):
+        if value is not None and value < 1:
+            print(f"{flag} must be at least 1, got {value}",
+                  file=sys.stderr)
+            return 2
+    registry = None
+    if args.metrics_out is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    if args.kind == "monitor":
+        from repro.service import MonitorConfig, MonitorService
+        from repro.vantage import FleetConfig
+
+        internet = monitor_internet_config(
+            args.seed, args.vantages, args.duration, args.fault_period)
+        config = MonitorConfig(
+            duration=args.duration, periods=(30.0, 40.0), max_rounds=3,
+            fleet=FleetConfig(workers=2, seed=args.seed))
+        service = MonitorService(internet, config,
+                                 max_destinations=args.dests)
+        result = service.run(shards=args.shards,
+                             processes=args.processes)
+    else:
+        from repro.vantage import FleetConfig, run_fleet, run_fleet_sharded
+
+        internet = demo_internet_config(args.seed, args.vantages)
+        fleet = FleetConfig(rounds=args.rounds, workers=2,
+                            seed=args.seed)
+        if args.shards > 1:
+            result = run_fleet_sharded(internet, fleet,
+                                       shards=args.shards,
+                                       processes=args.processes,
+                                       max_destinations=args.dests)
+        else:
+            result = run_fleet(internet, fleet,
+                               max_destinations=args.dests)
+    kind = "monitor" if args.kind == "monitor" else "fleet"
+    _warehouse_append(args.warehouse, result, internet, kind,
+                      registry=registry)
+    if registry is not None:
+        from repro.obs import render_prometheus
+
+        text = render_prometheus(registry.snapshot())
+        if args.metrics_out == "-":
+            print()
+            print(text, end="")
+        else:
+            with open(_outpath(args.metrics_out), "w",
+                      encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"# metrics -> {args.metrics_out}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.errors import WarehouseError
+    from repro.warehouse import (
+        anomaly_prevalence,
+        inconsistency_mining,
+        open_warehouse,
+        per_as_artifact_rates,
+        per_cause_onset_rates,
+        route_change_history,
+        tool_artifact_deltas,
+        vantage_disagreements,
+    )
+
+    if args.limit < 0:
+        print(f"--limit must not be negative, got {args.limit}",
+              file=sys.stderr)
+        return 2
+    try:
+        warehouse = open_warehouse(args.warehouse, must_exist=True)
+    except WarehouseError as error:
+        print(error, file=sys.stderr)
+        return 2
+    with warehouse:
+        if args.name == "route-changes":
+            rows = route_change_history(warehouse,
+                                        destination=args.destination,
+                                        tool=args.tool)
+        elif args.name == "prevalence":
+            rows = anomaly_prevalence(warehouse, bucket=args.bucket)
+        elif args.name == "as-rates":
+            rows = per_as_artifact_rates(warehouse)
+        elif args.name == "cause-rates":
+            rows = per_cause_onset_rates(warehouse)
+        elif args.name == "tool-deltas":
+            rows = tool_artifact_deltas(warehouse)
+        elif args.name == "inconsistency":
+            rows = inconsistency_mining(warehouse, tool=args.tool)
+        else:
+            rows = vantage_disagreements(warehouse)
+        count = 0
+        for row in rows:
+            if count == 0:
+                print("\t".join(row._fields))
+            print("\t".join(str(value) for value in row))
+            count += 1
+            if args.limit and count >= args.limit:
+                break
+        print(f"# {args.name}: {count} row(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import WarehouseError
+    from repro.warehouse import open_warehouse, warehouse_report
+
+    try:
+        warehouse = open_warehouse(args.warehouse, must_exist=True)
+    except WarehouseError as error:
+        print(error, file=sys.stderr)
+        return 2
+    with warehouse:
+        print(warehouse_report(warehouse, as_limit=args.as_limit,
+                               bucket=args.bucket))
     return 0
 
 
@@ -555,6 +818,9 @@ HANDLERS = {
     "campaign": cmd_campaign,
     "monitor": cmd_monitor,
     "faults": cmd_faults,
+    "ingest": cmd_ingest,
+    "query": cmd_query,
+    "report": cmd_report,
 }
 
 

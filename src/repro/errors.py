@@ -79,3 +79,7 @@ class CampaignError(ReproError):
 
 class StorageError(ReproError):
     """Trace persistence (save/load) failed."""
+
+
+class WarehouseError(StorageError):
+    """The measurement warehouse refused an open, ingest, or query."""

@@ -1,0 +1,85 @@
+"""The measurement warehouse: persistent traces, cross-campaign queries.
+
+Everything below this package forgets: a campaign or monitor run
+produces an in-memory result, maybe a JSONL file, and exits.  The
+warehouse is the historical layer ROADMAP item 2 calls for — an
+append-only SQLite store where route-change history, anomaly
+prevalence over simulated time, and per-AS artifact rates become
+queryable *across* campaigns and monitor runs (the substrate Fontugne
+et al. assume for pinpointing anomalies over time, and the corpus the
+Ramanathan & Abdu Jyothi inconsistency-mining angle needs).
+
+Four modules:
+
+``store``
+    :class:`Warehouse`: schema management (runs, routes, traces, hops,
+    onsets, alerts), the canonical content digest, and the streaming
+    cursor helper every query rides.
+
+``ingest``
+    One canonical writer consuming :class:`repro.measurement.campaign.
+    CampaignResult`, :class:`repro.vantage.campaign.FleetResult`, or
+    :class:`repro.service.result.MonitorResult` — shard-merged or not —
+    with the ground-truth AS map denormalized onto every hop at ingest
+    and row/ingest counters riding the observability registry.
+
+``queries``
+    Iterator/cursor-based canned analyses: route-change history,
+    anomaly prevalence over simulated time, per-AS and per-cause
+    artifact rates, Paris-vs-classic deltas, cross-run inconsistency
+    mining.  Millions of stored hops never become millions of resident
+    Python objects.
+
+``report``
+    Plain-text rendering of the canned analyses (the CLI's
+    ``repro-trace report``).
+
+The determinism contract extends the monitor's: because a K-sharded
+run merges to a byte-identical result and ingest is a pure function of
+the result plus the seeded AS map, a sharded monitor run ingests to a
+warehouse whose :meth:`Warehouse.content_digest` equals the
+single-process run's — and re-ingesting the same run is a no-op.
+"""
+
+from repro.warehouse.ingest import (
+    IngestReceipt,
+    ingest_campaign,
+    ingest_fleet,
+    ingest_monitor,
+)
+from repro.warehouse.queries import (
+    anomaly_prevalence,
+    inconsistency_mining,
+    per_as_artifact_rates,
+    per_cause_onset_rates,
+    route_change_history,
+    tool_artifact_deltas,
+    vantage_disagreements,
+)
+from repro.warehouse.report import (
+    format_as_rates,
+    format_cause_rates,
+    format_tool_deltas,
+    warehouse_report,
+)
+from repro.warehouse.store import Warehouse, open_warehouse
+
+__all__ = [
+    "IngestReceipt",
+    "Warehouse",
+    "anomaly_prevalence",
+    "format_as_rates",
+    "format_cause_rates",
+    "format_tool_deltas",
+    "inconsistency_mining",
+    "ingest_campaign",
+    "ingest_fleet",
+    "ingest_monitor",
+    "open_warehouse",
+    "per_as_artifact_rates",
+    "per_cause_onset_rates",
+    "route_change_history",
+    "tool_artifact_deltas",
+    "vantage_disagreements",
+    "warehouse_report",
+]

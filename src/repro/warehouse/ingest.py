@@ -1,0 +1,359 @@
+"""Canonical ingest: results in, deterministic warehouse state out.
+
+One writer consumes every result shape the stack produces —
+:class:`repro.measurement.campaign.CampaignResult` (single vantage),
+:class:`repro.vantage.campaign.FleetResult` (per-vantage), and
+:class:`repro.service.result.MonitorResult` (fleet + onsets + alerts)
+— including shard-merged ones.  Everything that makes the store's
+content digest reproducible happens here:
+
+- **run identity** — ``run_id`` digests the result's canonical
+  serialization, so the merged K=4 result of a monitor run and the
+  single-process result (byte-identical by the PR 7 contract) ingest
+  under the same identity, and re-ingesting either is detected and
+  skipped (idempotence);
+- **canonical row order** — traces land in fleet order (vantage-major,
+  then each vantage's chronological route order), hops in TTL order,
+  onsets and alerts in their results' already-canonical order, so
+  rowids — which the digest includes — are a pure function of the
+  result;
+- **denormalization at ingest** — every hop address (and every onset
+  and alert suspect) is resolved against the ground-truth
+  :class:`repro.topology.asmap.AsMapper` once, here, so queries never
+  join against a mapper; the trace-level anomaly census (loops,
+  cycles, mid-route stars — the Sec. 4 classifiers) is computed once,
+  here, so per-AS artifact rates are a streaming GROUP BY.
+
+Row and ingest counters ride the PR 6 metrics registry when one is
+passed (process scope: ingest happens on the coordinator, outside the
+sharded-determinism contract).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.cycles import find_cycles
+from repro.core.loops import find_loops
+from repro.core.route import MeasuredRoute
+from repro.errors import WarehouseError
+from repro.measurement.campaign import CampaignResult
+from repro.measurement.storage import route_to_dict
+from repro.topology.asmap import AsMapper
+from repro.warehouse.store import Warehouse
+
+
+@dataclass
+class IngestReceipt:
+    """What one ingest call did (the CLI's printable summary)."""
+
+    run_id: str
+    kind: str
+    #: False when the run was already present and nothing was written.
+    ingested: bool
+    traces: int = 0
+    hops: int = 0
+    onsets: int = 0
+    alerts: int = 0
+    #: Distinct paths newly interned (shared paths re-use old rows).
+    routes_added: int = 0
+
+    @property
+    def rows(self) -> int:
+        """Total rows this ingest appended (runs row excluded)."""
+        return (self.traces + self.hops + self.onsets + self.alerts
+                + self.routes_added)
+
+
+def run_identity(kind: str, signature: str) -> str:
+    """The warehouse identity of one result: digest of kind + payload.
+
+    Execution mode never enters: a sharded run merges to the same
+    canonical serialization, hence the same signature, hence the same
+    ``run_id``.
+    """
+    return hashlib.sha256(
+        f"{kind}:{signature}".encode("utf-8")).hexdigest()[:32]
+
+
+def campaign_signature(result: CampaignResult) -> str:
+    """Canonical digest of a single-vantage campaign result.
+
+    :class:`CampaignResult` predates the signature convention, so the
+    warehouse derives one the same way the fleet does: sha256 over the
+    sorted-key JSON of the canonical route serialization.
+    """
+    payload = json.dumps({
+        "destinations": [str(d) for d in result.destinations],
+        "probes_sent": result.probes_sent,
+        "responses_received": result.responses_received,
+        "routes": [route_to_dict(r) for r in result.routes],
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class _RunWriter:
+    """One run's transaction: interning, denormalizing, counting."""
+
+    def __init__(self, warehouse: Warehouse,
+                 asmap: Optional[AsMapper] = None) -> None:
+        self.warehouse = warehouse
+        self.asmap = asmap
+        self._asn_cache: dict[str, Optional[int]] = {}
+        self.receipt: Optional[IngestReceipt] = None
+
+    # -- denormalization helpers ----------------------------------------
+    def _asn(self, address: Optional[str]) -> Optional[int]:
+        """Ground-truth ASN of an address (cached; None when unmapped)."""
+        if address is None or self.asmap is None:
+            return None
+        if address not in self._asn_cache:
+            self._asn_cache[address] = self.asmap.lookup(address)
+        return self._asn_cache[address]
+
+    def _intern_route(self, route: MeasuredRoute) -> tuple[int, bool]:
+        """route_id of this path, interning it on first sight."""
+        text = " ".join("*" if h.address is None else str(h.address)
+                        for h in route.hops)
+        signature = hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+        conn = self.warehouse.connection
+        row = conn.execute(
+            "SELECT route_id FROM routes WHERE signature = ?",
+            (signature,)).fetchone()
+        if row is not None:
+            return row[0], False
+        cursor = conn.execute(
+            "INSERT INTO routes (signature, hops, length) VALUES (?, ?, ?)",
+            (signature, text, len(route.hops)))
+        return cursor.lastrowid, True
+
+    # -- row writers ----------------------------------------------------
+    def begin(self, kind: str, signature: str, config: str,
+              vantages: int, destinations: int) -> bool:
+        """Open the run; False when it is already ingested (skip)."""
+        run_id = run_identity(kind, signature)
+        self.receipt = IngestReceipt(run_id=run_id, kind=kind,
+                                     ingested=False)
+        if self.warehouse.has_run(run_id):
+            return False
+        conn = self.warehouse.connection
+        seq = conn.execute(
+            "SELECT COALESCE(MAX(seq), 0) + 1 FROM runs").fetchone()[0]
+        conn.execute(
+            "INSERT INTO runs (run_id, seq, kind, signature, config, "
+            "vantages, destinations, traces, onsets, alerts) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, 0, 0, 0)",
+            (run_id, seq, kind, signature, config, vantages,
+             destinations))
+        self.receipt.ingested = True
+        return True
+
+    def write_route(self, vantage: int, client: str,
+                    route: MeasuredRoute) -> None:
+        """One measured route: trace row, hop rows, anomaly markers."""
+        receipt = self.receipt
+        route_id, added = self._intern_route(route)
+        if added:
+            receipt.routes_added += 1
+        loop_ttls: set[int] = set()
+        for instance in find_loops(route):
+            loop_ttls.add(instance.first.ttl)
+            loop_ttls.add(instance.second.ttl)
+        cycle_ttls: set[int] = set()
+        for instance in find_cycles(route):
+            cycle_ttls.update(h.ttl for h in instance.occurrences)
+        deepest = max((h.ttl for h in route.hops
+                       if h.address is not None), default=None)
+        conn = self.warehouse.connection
+        cursor = conn.execute(
+            "INSERT INTO traces (run_id, vantage, client, tool, "
+            "destination, round_index, route_id, halt, started_at, "
+            "duration, hop_count, has_loop, has_cycle, mid_stars) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (receipt.run_id, vantage, client, route.tool,
+             str(route.destination), route.round_index, route_id,
+             route.halt_reason, route.started_at, route.trace_duration,
+             len(route.hops), int(bool(loop_ttls)),
+             int(bool(cycle_ttls)),
+             sum(1 for h in route.hops
+                 if h.address is None and deepest is not None
+                 and h.ttl < deepest)))
+        trace_id = cursor.lastrowid
+        rows = []
+        last_asn: Optional[int] = None
+        for hop in route.hops:
+            mid_star = int(hop.address is None and deepest is not None
+                           and hop.ttl < deepest)
+            if hop.address is not None:
+                asn = self._asn(str(hop.address))
+                last_asn = asn
+            else:
+                # A star has no address; attribute the silence to the
+                # region the probe last surfaced in.
+                asn = last_asn if mid_star else None
+            rows.append((
+                trace_id, hop.ttl,
+                None if hop.address is None else str(hop.address),
+                asn, hop.probe_ttl, hop.response_ttl, hop.ip_id,
+                hop.unreachable_flag,
+                None if hop.kind is None else hop.kind.value,
+                int(hop.ttl in loop_ttls and hop.address is not None),
+                int(hop.ttl in cycle_ttls and hop.address is not None),
+                mid_star))
+        conn.executemany(
+            "INSERT INTO hops (trace_id, ttl, address, asn, probe_ttl, "
+            "response_ttl, ip_id, flag, kind, loop_here, cycle_here, "
+            "mid_star) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            rows)
+        receipt.traces += 1
+        receipt.hops += len(rows)
+
+    def write_onset(self, onset) -> None:
+        """One labeled onset from a monitor result."""
+        self.warehouse.connection.execute(
+            "INSERT INTO onsets (run_id, vantage, client, destination, "
+            "tool, family, signature, round_index, at, cause, suspect, "
+            "suspect_asn) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (self.receipt.run_id, onset.vantage, onset.client,
+             onset.destination, onset.tool, onset.family,
+             onset.signature, onset.round_index, onset.at, onset.cause,
+             onset.suspect, self._asn(onset.suspect or None)))
+        self.receipt.onsets += 1
+
+    def write_alert(self, alert) -> None:
+        """One finalized alert from a monitor result's log."""
+        self.warehouse.connection.execute(
+            "INSERT INTO alerts (run_id, fingerprint, destination, "
+            "tool, family, signature, cause, suspect, suspect_asn, "
+            "severity, first_at, last_at, repeats, vantages, group_id) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (self.receipt.run_id, alert.fingerprint, alert.destination,
+             alert.tool, alert.family, alert.signature, alert.cause,
+             alert.suspect, self._asn(alert.suspect or None),
+             alert.severity, alert.first_at, alert.last_at,
+             alert.repeats, json.dumps(alert.vantages), alert.group))
+        self.receipt.alerts += 1
+
+    def finish(self) -> IngestReceipt:
+        """Close the run row's tallies and commit the transaction."""
+        receipt = self.receipt
+        conn = self.warehouse.connection
+        if receipt.ingested:
+            conn.execute(
+                "UPDATE runs SET traces = ?, onsets = ?, alerts = ? "
+                "WHERE run_id = ?",
+                (receipt.traces, receipt.onsets, receipt.alerts,
+                 receipt.run_id))
+        conn.commit()
+        return receipt
+
+
+def _publish(registry, receipt: IngestReceipt) -> None:
+    """Row/ingest counters on the observability registry, if any."""
+    if registry is None:
+        return
+    from repro.obs.registry import SCOPE_PROCESS
+
+    rows = registry.counter(
+        "repro_warehouse_rows_total",
+        "Rows appended to the warehouse, per table.",
+        ("table",), scope=SCOPE_PROCESS)
+    for table, count in (("traces", receipt.traces),
+                         ("hops", receipt.hops),
+                         ("onsets", receipt.onsets),
+                         ("alerts", receipt.alerts),
+                         ("routes", receipt.routes_added)):
+        if count:
+            rows.labels(table).inc(count)
+    registry.counter(
+        "repro_warehouse_ingests_total",
+        "Ingest attempts, per result kind and outcome.",
+        ("kind", "outcome"), scope=SCOPE_PROCESS).labels(
+            receipt.kind,
+            "ingested" if receipt.ingested else "skipped").inc()
+
+
+def ingest_campaign(
+    warehouse: Warehouse,
+    result: CampaignResult,
+    client: str = "",
+    asmap: Optional[AsMapper] = None,
+    registry=None,
+) -> IngestReceipt:
+    """Ingest a single-vantage campaign result (vantage index 0).
+
+    ``client`` defaults to the source address of the first route —
+    pass it explicitly for an empty result.
+    """
+    if not client and result.routes:
+        client = str(result.routes[0].source)
+    writer = _RunWriter(warehouse, asmap)
+    if writer.begin("campaign", campaign_signature(result), "{}",
+                    vantages=1, destinations=len(result.destinations)):
+        for route in result.routes:
+            writer.write_route(0, client, route)
+    receipt = writer.finish()
+    _publish(registry, receipt)
+    return receipt
+
+
+def _write_fleet(writer: _RunWriter, fleet) -> None:
+    """Vantage-major canonical trace order, shared by fleet/monitor."""
+    for vantage in fleet.vantages:
+        client = str(vantage.address)
+        for route in vantage.result.routes:
+            writer.write_route(vantage.index, client, route)
+
+
+def ingest_fleet(
+    warehouse: Warehouse,
+    result,
+    asmap: Optional[AsMapper] = None,
+    registry=None,
+) -> IngestReceipt:
+    """Ingest a (possibly shard-merged) :class:`FleetResult`."""
+    writer = _RunWriter(warehouse, asmap)
+    if writer.begin("fleet", result.signature(), "{}",
+                    vantages=len(result.vantages),
+                    destinations=len(result.destinations)):
+        _write_fleet(writer, result)
+    receipt = writer.finish()
+    _publish(registry, receipt)
+    return receipt
+
+
+def ingest_monitor(
+    warehouse: Warehouse,
+    result,
+    asmap: Optional[AsMapper] = None,
+    registry=None,
+) -> IngestReceipt:
+    """Ingest a finalized (merged) :class:`MonitorResult` — traces,
+    the labeled onset stream, and the alert log, in canonical order.
+
+    A partial per-shard result (``alerts is None``) is refused: merge
+    first, ingest once — the single writer is what makes K-sharded and
+    single-process ingests digest-identical.
+    """
+    if result.alerts is None:
+        raise WarehouseError(
+            "refusing to ingest a partial monitor result; call "
+            "MonitorResult.merge first")
+    config = json.dumps(dataclasses.asdict(result.config),
+                        sort_keys=True, separators=(",", ":"))
+    writer = _RunWriter(warehouse, asmap)
+    if writer.begin("monitor", result.signature(), config,
+                    vantages=len(result.fleet.vantages),
+                    destinations=len(result.fleet.destinations)):
+        _write_fleet(writer, result.fleet)
+        for onset in result.onsets:
+            writer.write_onset(onset)
+        for alert in result.alerts.alerts:
+            writer.write_alert(alert)
+    receipt = writer.finish()
+    _publish(registry, receipt)
+    return receipt

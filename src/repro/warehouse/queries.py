@@ -1,0 +1,367 @@
+"""Canned cross-campaign analyses, every one a bounded-memory stream.
+
+Each query is a generator over :meth:`repro.warehouse.store.Warehouse.
+stream`: SQLite walks its b-trees server-side, Python holds one cursor
+page, and the caller decides whether to print rows as they come or
+collect them.  A query over millions of stored hops therefore peaks at
+``STREAM_BATCH`` resident row objects — the scaling contract ROADMAP
+item 2 demands and ``tests/warehouse/test_streaming.py`` asserts.
+
+The analyses:
+
+- :func:`route_change_history` — per-destination path transitions
+  across rounds, runs, and vantages (who changed, when, from what to
+  what);
+- :func:`anomaly_prevalence` — loop/cycle/mid-star rates per simulated
+  time bucket, across every stored campaign;
+- :func:`per_as_artifact_rates` — for each ground-truth AS, how often
+  traces traversing it exhibited each artifact family (the Mao-style
+  join the paper runs against its AS mapping, here exact);
+- :func:`per_cause_onset_rates` — the monitor's onset stream grouped
+  by attributed cause and family (fault-manufactured vs. real vs.
+  probe-design artifact rates);
+- :func:`tool_artifact_deltas` — Paris-vs-classic artifact rates per
+  stored run, the paper's Sec. 4 comparison replayed over history;
+- :func:`inconsistency_mining` / :func:`vantage_disagreements` — the
+  Ramanathan & Abdu Jyothi angle: destinations whose stored routes
+  disagree across runs or across vantages observing the same round —
+  inconsistency as signal, not noise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Optional
+
+from repro.warehouse.store import STREAM_BATCH, Warehouse
+
+
+class RouteChange(NamedTuple):
+    """One observed path transition within a (vantage, tool) stream."""
+
+    destination: str
+    vantage: int
+    tool: str
+    run_seq: int
+    round_index: int
+    at: float
+    from_route: Optional[str]
+    to_route: str
+    #: True on the first observation of a stream (no prior route).
+    first_sight: bool
+
+
+def route_change_history(
+    warehouse: Warehouse,
+    destination: Optional[str] = None,
+    tool: Optional[str] = None,
+    changes_only: bool = False,
+    batch: int = STREAM_BATCH,
+) -> Iterator[RouteChange]:
+    """Path history per (destination, vantage, tool) stream.
+
+    Rows arrive in stream order (destination, vantage, tool, then run
+    ingest order, then round); a :class:`RouteChange` is yielded for
+    the first sighting of each stream and for every round whose
+    interned path differs from the previous round's.  With
+    ``changes_only`` the first sightings are suppressed.
+    """
+    where, params = _filters(destination=destination, tool=tool)
+    sql = (
+        "SELECT t.destination, t.vantage, t.tool, r.seq, "
+        "t.round_index, t.started_at, ro.hops "
+        "FROM traces t "
+        "JOIN runs r ON r.run_id = t.run_id "
+        "JOIN routes ro ON ro.route_id = t.route_id "
+        f"{where} "
+        "ORDER BY t.destination, t.vantage, t.tool, r.seq, "
+        "t.round_index, t.started_at")
+    previous: dict[tuple, str] = {}
+    for (dest, vantage, tool_name, seq, round_index, at,
+         hops) in warehouse.stream(sql, params, batch=batch):
+        key = (dest, vantage, tool_name)
+        last = previous.get(key)
+        previous[key] = hops
+        if last == hops:
+            continue
+        if last is None and changes_only:
+            continue
+        yield RouteChange(dest, vantage, tool_name, seq, round_index,
+                          at, last, hops, first_sight=last is None)
+
+
+class PrevalenceBucket(NamedTuple):
+    """Anomaly rates over one simulated-time bucket."""
+
+    bucket_start: float
+    traces: int
+    loop_traces: int
+    cycle_traces: int
+    star_traces: int
+    #: Traces with at least one artifact of any family (no double
+    #: counting when one trace shows several).
+    anomalous_traces: int
+
+    @property
+    def anomaly_rate(self) -> float:
+        """Share of the bucket's traces showing any artifact."""
+        if not self.traces:
+            return 0.0
+        return self.anomalous_traces / self.traces
+
+
+def anomaly_prevalence(
+    warehouse: Warehouse,
+    bucket: float = 30.0,
+    run_id: Optional[str] = None,
+    batch: int = STREAM_BATCH,
+) -> Iterator[PrevalenceBucket]:
+    """Loop/cycle/mid-star prevalence per simulated-time bucket.
+
+    Buckets are ``bucket`` simulated seconds wide, keyed by trace
+    start; grouped across every stored run unless ``run_id`` narrows
+    it.  This is the "anomaly prevalence over time" axis: a diurnal
+    rate-limit phase shows up as a periodic swell in these rows.
+    """
+    where, params = _filters(run_id=run_id)
+    sql = (
+        "SELECT CAST(started_at / ? AS INTEGER) * ? AS bucket_start, "
+        "COUNT(*), SUM(has_loop), SUM(has_cycle), "
+        "SUM(mid_stars > 0), "
+        "SUM(has_loop OR has_cycle OR mid_stars > 0) "
+        f"FROM traces {where} "
+        "GROUP BY CAST(started_at / ? AS INTEGER) "
+        "ORDER BY bucket_start")
+    params = (bucket, bucket) + params + (bucket,)
+    for row in warehouse.stream(sql, params, batch=batch):
+        yield PrevalenceBucket(*row)
+
+
+class AsArtifactRate(NamedTuple):
+    """One AS's artifact incidence over every trace that crossed it."""
+
+    asn: int
+    #: Distinct traces with at least one hop resolved into this AS.
+    traversals: int
+    hops: int
+    loop_traces: int
+    cycle_traces: int
+    star_traces: int
+    #: Distinct traversing traces with any artifact inside this AS (a
+    #: trace that both loops and stars here counts once).
+    artifact_traces: int
+
+    @property
+    def artifact_rate(self) -> float:
+        """Share of traversing traces showing an artifact in this AS."""
+        if not self.traversals:
+            return 0.0
+        return self.artifact_traces / self.traversals
+
+
+def per_as_artifact_rates(
+    warehouse: Warehouse,
+    batch: int = STREAM_BATCH,
+) -> Iterator[AsArtifactRate]:
+    """Artifact incidence per ground-truth AS, across all stored runs.
+
+    Counts *distinct traces*, not hop rows: a loop that repeats an
+    address five times in one trace is one loop observation for that
+    AS.  Stars attribute to the AS of the last responding hop (set at
+    ingest).  The whole aggregation runs inside SQLite — Python sees
+    one row per AS.
+    """
+    sql = (
+        "SELECT asn, COUNT(DISTINCT trace_id), COUNT(*), "
+        "COUNT(DISTINCT CASE WHEN loop_here THEN trace_id END), "
+        "COUNT(DISTINCT CASE WHEN cycle_here THEN trace_id END), "
+        "COUNT(DISTINCT CASE WHEN mid_star THEN trace_id END), "
+        "COUNT(DISTINCT CASE WHEN loop_here OR cycle_here OR mid_star "
+        "THEN trace_id END) "
+        "FROM hops WHERE asn IS NOT NULL "
+        "GROUP BY asn ORDER BY asn")
+    for row in warehouse.stream(sql, batch=batch):
+        yield AsArtifactRate(*row)
+
+
+class CauseRate(NamedTuple):
+    """Onset share of one (cause, family) cell of the monitor stream."""
+
+    cause: str
+    family: str
+    onsets: int
+    #: Onsets of this cause/family over all stored onsets.
+    share: float
+
+
+def per_cause_onset_rates(
+    warehouse: Warehouse,
+    batch: int = STREAM_BATCH,
+) -> Iterator[CauseRate]:
+    """Onset counts and shares per attributed cause and family.
+
+    The warehouse-scale answer to "how much of what my monitor saw was
+    manufactured?": fault-artifact vs. probe-artifact vs. real-routing
+    rates across every stored monitor run.
+    """
+    total = warehouse.scalar("SELECT COUNT(*) FROM onsets") or 0
+    sql = ("SELECT cause, family, COUNT(*) FROM onsets "
+           "GROUP BY cause, family ORDER BY cause, family")
+    for cause, family, count in warehouse.stream(sql, batch=batch):
+        yield CauseRate(cause, family, count,
+                        count / total if total else 0.0)
+
+
+class ToolDelta(NamedTuple):
+    """Per-run Paris-vs-classic artifact comparison (Sec. 4 replayed)."""
+
+    run_seq: int
+    kind: str
+    classic_traces: int
+    paris_traces: int
+    classic_loop_rate: float
+    paris_loop_rate: float
+    classic_cycle_rate: float
+    paris_cycle_rate: float
+    classic_star_rate: float
+    paris_star_rate: float
+
+    @property
+    def loop_delta(self) -> float:
+        """Classic's loop-rate excess over Paris (positive = classic
+        manufactures more)."""
+        return self.classic_loop_rate - self.paris_loop_rate
+
+
+def tool_artifact_deltas(
+    warehouse: Warehouse,
+    batch: int = STREAM_BATCH,
+) -> Iterator[ToolDelta]:
+    """Paris-vs-classic artifact rates for every stored run.
+
+    The paper's headline comparison — classic traceroute's
+    flow-varying probes manufacture loops and cycles Paris avoids —
+    checked *across history*: one row per stored run, streaming.
+    Tools other than the paired paris/classic pair are ignored.
+    """
+    sql = (
+        "SELECT r.seq, r.kind, "
+        "SUM(CASE WHEN t.tool LIKE 'classic%' THEN 1 ELSE 0 END), "
+        "SUM(CASE WHEN t.tool LIKE 'paris%' THEN 1 ELSE 0 END), "
+        "SUM(CASE WHEN t.tool LIKE 'classic%' THEN t.has_loop "
+        "ELSE 0 END), "
+        "SUM(CASE WHEN t.tool LIKE 'paris%' THEN t.has_loop "
+        "ELSE 0 END), "
+        "SUM(CASE WHEN t.tool LIKE 'classic%' THEN t.has_cycle "
+        "ELSE 0 END), "
+        "SUM(CASE WHEN t.tool LIKE 'paris%' THEN t.has_cycle "
+        "ELSE 0 END), "
+        "SUM(CASE WHEN t.tool LIKE 'classic%' AND t.mid_stars > 0 "
+        "THEN 1 ELSE 0 END), "
+        "SUM(CASE WHEN t.tool LIKE 'paris%' AND t.mid_stars > 0 "
+        "THEN 1 ELSE 0 END) "
+        "FROM traces t JOIN runs r ON r.run_id = t.run_id "
+        "GROUP BY r.seq, r.kind ORDER BY r.seq")
+    for (seq, kind, classic, paris, c_loop, p_loop, c_cycle, p_cycle,
+         c_star, p_star) in warehouse.stream(sql, batch=batch):
+        yield ToolDelta(
+            run_seq=seq, kind=kind,
+            classic_traces=classic, paris_traces=paris,
+            classic_loop_rate=c_loop / classic if classic else 0.0,
+            paris_loop_rate=p_loop / paris if paris else 0.0,
+            classic_cycle_rate=c_cycle / classic if classic else 0.0,
+            paris_cycle_rate=p_cycle / paris if paris else 0.0,
+            classic_star_rate=c_star / classic if classic else 0.0,
+            paris_star_rate=p_star / paris if paris else 0.0)
+
+
+class Inconsistency(NamedTuple):
+    """One destination whose stored paths disagree somewhere."""
+
+    destination: str
+    tool: str
+    distinct_routes: int
+    runs: int
+    vantages: int
+    traces: int
+
+
+def inconsistency_mining(
+    warehouse: Warehouse,
+    tool: Optional[str] = None,
+    batch: int = STREAM_BATCH,
+) -> Iterator[Inconsistency]:
+    """Destinations measured with more than one distinct path.
+
+    The cross-run mining pass: any (destination, tool) whose interned
+    route ids disagree across the whole store — different rounds,
+    different runs, or different vantages.  Downstream analyses decide
+    whether a given disagreement is dynamics, load balancing, or an
+    artifact; this query surfaces the signal.
+    """
+    where, params = _filters(tool=tool)
+    sql = (
+        "SELECT destination, tool, COUNT(DISTINCT route_id), "
+        "COUNT(DISTINCT run_id), COUNT(DISTINCT vantage), COUNT(*) "
+        f"FROM traces {where} "
+        "GROUP BY destination, tool "
+        "HAVING COUNT(DISTINCT route_id) > 1 "
+        "ORDER BY COUNT(DISTINCT route_id) DESC, destination, tool")
+    for row in warehouse.stream(sql, params, batch=batch):
+        yield Inconsistency(*row)
+
+
+class Disagreement(NamedTuple):
+    """Same run, same round, same tool — vantages saw different paths."""
+
+    destination: str
+    tool: str
+    #: (run, round) cells where at least two vantages disagreed.
+    disagreeing_rounds: int
+
+
+def vantage_disagreements(
+    warehouse: Warehouse,
+    batch: int = STREAM_BATCH,
+) -> Iterator[Disagreement]:
+    """Per-destination count of rounds with cross-vantage disagreement.
+
+    Distinct from :func:`inconsistency_mining`: here the comparison is
+    *simultaneous* — two vantages probing one destination in the same
+    round of the same run through different paths (expected under
+    per-flow balancing from distinct sources, suspicious when a
+    destination is otherwise stable).
+    """
+    sql = (
+        "SELECT destination, tool, COUNT(*) FROM ("
+        "  SELECT destination, tool, run_id, round_index "
+        "  FROM traces GROUP BY destination, tool, run_id, round_index "
+        "  HAVING COUNT(DISTINCT route_id) > 1"
+        ") GROUP BY destination, tool ORDER BY destination, tool")
+    for row in warehouse.stream(sql, batch=batch):
+        yield Disagreement(*row)
+
+
+def iter_hops(warehouse: Warehouse,
+              batch: int = STREAM_BATCH) -> Iterator[tuple]:
+    """Raw streaming export of every hop row (the firehose).
+
+    Exists mostly for the memory-bound contract test: consuming the
+    whole table must never materialize it.
+    """
+    yield from warehouse.stream(
+        "SELECT trace_id, ttl, address, asn, probe_ttl, response_ttl, "
+        "ip_id, flag, kind, loop_here, cycle_here, mid_star "
+        "FROM hops ORDER BY rowid", batch=batch)
+
+
+def _filters(**conditions) -> tuple[str, tuple]:
+    """WHERE clause + params for the optional equality filters."""
+    clauses, params = [], []
+    mapping = {"destination": "destination", "tool": "tool",
+               "run_id": "run_id"}
+    for name, value in conditions.items():
+        if value is not None:
+            clauses.append(f"{mapping[name]} = ?")
+            params.append(value)
+    where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+    return where, tuple(params)

@@ -1,0 +1,134 @@
+"""Plain-text rendering of the canned warehouse analyses.
+
+``repro-trace report`` prints :func:`warehouse_report`; each section is
+also available as a standalone formatter so the example script and
+tests can render one table without the rest.  Formatters consume the
+query generators lazily but must materialize the handful of summary
+rows they print — per-AS and per-cause tables are one row per group,
+so that stays small even over a huge store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.warehouse.queries import (
+    AsArtifactRate,
+    CauseRate,
+    ToolDelta,
+    anomaly_prevalence,
+    inconsistency_mining,
+    per_as_artifact_rates,
+    per_cause_onset_rates,
+    tool_artifact_deltas,
+    vantage_disagreements,
+)
+from repro.warehouse.store import Warehouse
+
+
+def format_as_rates(rates: Iterable[AsArtifactRate],
+                    limit: int = 0) -> str:
+    """Fixed-width per-AS artifact-rate table.
+
+    ``limit`` > 0 keeps only the highest-artifact-rate ASes (ties
+    broken by ASN for stable output).
+    """
+    rows = list(rates)
+    if limit > 0:
+        rows = sorted(rows, key=lambda r: (-r.artifact_rate, r.asn))
+        rows = rows[:limit]
+    lines = [f"{'asn':>6} {'traversals':>10} {'hops':>8} "
+             f"{'loops':>6} {'cycles':>6} {'stars':>6} {'rate':>7}"]
+    for row in rows:
+        lines.append(
+            f"{row.asn:>6} {row.traversals:>10} {row.hops:>8} "
+            f"{row.loop_traces:>6} {row.cycle_traces:>6} "
+            f"{row.star_traces:>6} {row.artifact_rate:>6.1%}")
+    if len(lines) == 1:
+        lines.append("  (no resolved hops stored)")
+    return "\n".join(lines)
+
+
+def format_cause_rates(rates: Iterable[CauseRate]) -> str:
+    """Fixed-width onset table grouped by attributed cause/family."""
+    lines = [f"{'cause':<16} {'family':<22} {'onsets':>7} {'share':>7}"]
+    count = 0
+    for row in rates:
+        count += 1
+        lines.append(f"{row.cause:<16} {row.family:<22} "
+                     f"{row.onsets:>7} {row.share:>6.1%}")
+    if not count:
+        lines.append("  (no onsets stored)")
+    return "\n".join(lines)
+
+
+def format_tool_deltas(deltas: Iterable[ToolDelta]) -> str:
+    """Per-run Paris-vs-classic artifact-rate comparison table."""
+    lines = [f"{'run':>4} {'kind':<9} {'classic':>8} {'paris':>6} "
+             f"{'c-loop':>7} {'p-loop':>7} {'c-cycle':>8} "
+             f"{'p-cycle':>8} {'c-star':>7} {'p-star':>7}"]
+    count = 0
+    for row in deltas:
+        count += 1
+        lines.append(
+            f"{row.run_seq:>4} {row.kind:<9} "
+            f"{row.classic_traces:>8} {row.paris_traces:>6} "
+            f"{row.classic_loop_rate:>6.1%} {row.paris_loop_rate:>6.1%} "
+            f"{row.classic_cycle_rate:>7.1%} "
+            f"{row.paris_cycle_rate:>7.1%} "
+            f"{row.classic_star_rate:>6.1%} {row.paris_star_rate:>6.1%}")
+    if not count:
+        lines.append("  (no runs stored)")
+    return "\n".join(lines)
+
+
+def warehouse_report(warehouse: Warehouse, as_limit: int = 15,
+                     bucket: float = 30.0) -> str:
+    """The full cross-campaign report ``repro-trace report`` prints.
+
+    Sections: store inventory, per-AS artifact rates (top ``as_limit``
+    by rate), onset cause mix, Paris-vs-classic deltas per run,
+    anomaly prevalence over simulated time, and the inconsistency /
+    vantage-disagreement mining summaries.
+    """
+    sections: List[str] = []
+
+    counts = warehouse.row_counts()
+    inventory = ", ".join(f"{table}={count}"
+                          for table, count in counts.items())
+    sections.append("== measurement warehouse report ==\n"
+                    f"path: {warehouse.path}\n"
+                    f"rows: {inventory}\n"
+                    f"digest: {warehouse.content_digest()[:16]}…")
+
+    sections.append("-- per-AS artifact rates --\n"
+                    + format_as_rates(per_as_artifact_rates(warehouse),
+                                      limit=as_limit))
+
+    sections.append("-- onset causes --\n"
+                    + format_cause_rates(per_cause_onset_rates(warehouse)))
+
+    sections.append("-- paris vs classic, per run --\n"
+                    + format_tool_deltas(tool_artifact_deltas(warehouse)))
+
+    lines = [f"{'t':>8} {'traces':>7} {'loops':>6} {'cycles':>7} "
+             f"{'stars':>6} {'rate':>7}"]
+    buckets = 0
+    for row in anomaly_prevalence(warehouse, bucket=bucket):
+        buckets += 1
+        lines.append(f"{row.bucket_start:>8.0f} {row.traces:>7} "
+                     f"{row.loop_traces:>6} {row.cycle_traces:>7} "
+                     f"{row.star_traces:>6} {row.anomaly_rate:>6.1%}")
+    if not buckets:
+        lines.append("  (no traces stored)")
+    sections.append(f"-- anomaly prevalence ({bucket:.0f}s buckets) --\n"
+                    + "\n".join(lines))
+
+    inconsistent = sum(1 for _ in inconsistency_mining(warehouse))
+    disagreeing = sum(1 for _ in vantage_disagreements(warehouse))
+    sections.append("-- inconsistency mining --\n"
+                    f"destinations with >1 stored route: {inconsistent}\n"
+                    "destination/tool pairs with same-round vantage "
+                    f"disagreement: {disagreeing}")
+
+    return "\n\n".join(sections)

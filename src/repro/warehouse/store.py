@@ -1,0 +1,302 @@
+"""The SQLite-backed trace store and its content-identity contract.
+
+Schema (append-only; rows are only ever inserted, never updated or
+deleted — re-ingesting a run the store already holds is a no-op):
+
+``runs``
+    One row per ingested result.  ``run_id`` is a digest of the
+    result's canonical serialization, so the same measurement ingests
+    to the same identity no matter which execution mode produced it;
+    ``seq`` is the ingest order (a monotonic integer — the store keeps
+    no wall-clock timestamps, which is half of why two warehouses
+    holding the same runs are digest-identical).
+
+``routes``
+    Distinct measured paths, interned by signature: the hop text
+    (dotted quads, ``*`` for stars) plus a short digest.  Traces
+    reference paths by ``route_id``, so route-change history is an
+    integer comparison and a month of stable routing stores one path.
+
+``traces``
+    One row per measured route: campaign coordinates (run, vantage,
+    client, tool, destination, round), timing, halt reason, and the
+    trace-level anomaly census (loop/cycle flags, mid-route star
+    count) computed once at ingest by the Sec. 4 classifiers.
+
+``hops``
+    One row per probed TTL, with the forensic attributes (probe TTL,
+    response TTL, IP ID, unreachable flag, reply kind), the ground-
+    truth ASN denormalized in at ingest, and per-hop anomaly markers
+    (``loop_here`` / ``cycle_here`` / ``mid_star``) so per-AS artifact
+    rates are a single streaming GROUP BY.  A mid-route star inherits
+    the ASN of the nearest earlier responding hop — the star itself
+    has no address, but the silence is attributed to the region that
+    swallowed the probe.
+
+``onsets`` / ``alerts``
+    The monitor service's labeled onset stream and finalized alert
+    log, with suspect addresses resolved to ASNs at ingest.
+
+:meth:`Warehouse.content_digest` hashes every table in deterministic
+order; it is the equality the sharded-ingest acceptance test compares.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import WarehouseError
+
+#: Bump when the DDL changes shape; stored in ``meta``.
+SCHEMA_VERSION = 1
+
+#: Tables in canonical digest order.
+TABLES = ("runs", "routes", "traces", "hops", "onsets", "alerts")
+
+#: Rows fetched per cursor batch on the streaming path.  Result rows
+#: materialize at most ``STREAM_BATCH`` at a time no matter how many
+#: the query matches.
+STREAM_BATCH = 512
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id TEXT PRIMARY KEY,
+    seq INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    signature TEXT NOT NULL,
+    config TEXT NOT NULL,
+    vantages INTEGER NOT NULL,
+    destinations INTEGER NOT NULL,
+    traces INTEGER NOT NULL,
+    onsets INTEGER NOT NULL,
+    alerts INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS routes (
+    route_id INTEGER PRIMARY KEY,
+    signature TEXT NOT NULL UNIQUE,
+    hops TEXT NOT NULL,
+    length INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS traces (
+    trace_id INTEGER PRIMARY KEY,
+    run_id TEXT NOT NULL REFERENCES runs(run_id),
+    vantage INTEGER NOT NULL,
+    client TEXT NOT NULL,
+    tool TEXT NOT NULL,
+    destination TEXT NOT NULL,
+    round_index INTEGER NOT NULL,
+    route_id INTEGER NOT NULL REFERENCES routes(route_id),
+    halt TEXT NOT NULL,
+    started_at REAL NOT NULL,
+    duration REAL NOT NULL,
+    hop_count INTEGER NOT NULL,
+    has_loop INTEGER NOT NULL,
+    has_cycle INTEGER NOT NULL,
+    mid_stars INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS hops (
+    trace_id INTEGER NOT NULL REFERENCES traces(trace_id),
+    ttl INTEGER NOT NULL,
+    address TEXT,
+    asn INTEGER,
+    probe_ttl INTEGER,
+    response_ttl INTEGER,
+    ip_id INTEGER,
+    flag TEXT NOT NULL,
+    kind TEXT,
+    loop_here INTEGER NOT NULL,
+    cycle_here INTEGER NOT NULL,
+    mid_star INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS onsets (
+    run_id TEXT NOT NULL REFERENCES runs(run_id),
+    vantage INTEGER NOT NULL,
+    client TEXT NOT NULL,
+    destination TEXT NOT NULL,
+    tool TEXT NOT NULL,
+    family TEXT NOT NULL,
+    signature TEXT NOT NULL,
+    round_index INTEGER NOT NULL,
+    at REAL NOT NULL,
+    cause TEXT NOT NULL,
+    suspect TEXT NOT NULL,
+    suspect_asn INTEGER
+);
+CREATE TABLE IF NOT EXISTS alerts (
+    run_id TEXT NOT NULL REFERENCES runs(run_id),
+    fingerprint TEXT NOT NULL,
+    destination TEXT NOT NULL,
+    tool TEXT NOT NULL,
+    family TEXT NOT NULL,
+    signature TEXT NOT NULL,
+    cause TEXT NOT NULL,
+    suspect TEXT NOT NULL,
+    suspect_asn INTEGER,
+    severity INTEGER NOT NULL,
+    first_at REAL NOT NULL,
+    last_at REAL NOT NULL,
+    repeats INTEGER NOT NULL,
+    vantages TEXT NOT NULL,
+    group_id INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_traces_dest ON traces(destination, tool);
+CREATE INDEX IF NOT EXISTS idx_traces_run ON traces(run_id);
+CREATE INDEX IF NOT EXISTS idx_hops_trace ON hops(trace_id);
+CREATE INDEX IF NOT EXISTS idx_hops_asn ON hops(asn);
+CREATE INDEX IF NOT EXISTS idx_onsets_run ON onsets(run_id);
+"""
+
+#: Per-table column lists the digest walks (rowid-bearing tables hash
+#: their rowid too: ingest order is canonical, so rowids are part of
+#: the reproducible state).
+_DIGEST_SQL = {
+    "runs": "SELECT * FROM runs ORDER BY seq",
+    "routes": "SELECT * FROM routes ORDER BY route_id",
+    "traces": "SELECT * FROM traces ORDER BY trace_id",
+    "hops": "SELECT rowid, * FROM hops ORDER BY rowid",
+    "onsets": "SELECT rowid, * FROM onsets ORDER BY rowid",
+    "alerts": "SELECT rowid, * FROM alerts ORDER BY rowid",
+}
+
+
+class Warehouse:
+    """One warehouse file (or ``:memory:``), schema-managed.
+
+    Opens lazily creating the schema; safe to reopen an existing store
+    (the DDL is idempotent, and a version mismatch raises rather than
+    silently misreading).  Use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            parent = Path(self.path).parent
+            if parent and not parent.exists():
+                parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(self.path)
+        except sqlite3.Error as error:
+            raise WarehouseError(
+                f"cannot open warehouse {self.path}: {error}") from error
+        self._conn.executescript(_DDL)
+        cursor = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'")
+        row = cursor.fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)))
+            self._conn.commit()
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise WarehouseError(
+                f"{self.path}: schema version {row[0]} != "
+                f"{SCHEMA_VERSION}; re-ingest into a fresh warehouse")
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The live connection (raises after :meth:`close`)."""
+        if self._conn is None:
+            raise WarehouseError(f"warehouse {self.path} is closed")
+        return self._conn
+
+    # -- streaming primitives -------------------------------------------
+    def stream(self, sql: str, params: tuple = (),
+               batch: int = STREAM_BATCH) -> Iterator[tuple]:
+        """Yield rows of ``sql`` one at a time, ``batch`` resident max.
+
+        Every canned query rides this: the cursor walks the b-tree
+        server-side and Python holds one ``fetchmany`` page, so a
+        query over millions of hops peaks at ``batch`` row tuples.
+        """
+        cursor = self.connection.execute(sql, params)
+        try:
+            while True:
+                rows = cursor.fetchmany(batch)
+                if not rows:
+                    return
+                yield from rows
+        finally:
+            try:
+                cursor.close()
+            except sqlite3.ProgrammingError:
+                # The generator was abandoned and finalized after the
+                # connection closed; nothing left to release.
+                pass
+
+    def scalar(self, sql: str, params: tuple = ()):
+        """First column of the first row (None when empty)."""
+        row = self.connection.execute(sql, params).fetchone()
+        return None if row is None else row[0]
+
+    # -- inventory ------------------------------------------------------
+    def row_counts(self) -> dict[str, int]:
+        """Table name -> row count, in canonical table order."""
+        return {table: self.scalar(f"SELECT COUNT(*) FROM {table}")
+                for table in TABLES}
+
+    def runs(self) -> list[dict]:
+        """All ingested runs, in ingest order, as plain dicts."""
+        columns = ("run_id", "seq", "kind", "signature", "config",
+                   "vantages", "destinations", "traces", "onsets",
+                   "alerts")
+        return [dict(zip(columns, row)) for row in self.stream(
+            "SELECT run_id, seq, kind, signature, config, vantages, "
+            "destinations, traces, onsets, alerts FROM runs "
+            "ORDER BY seq")]
+
+    def has_run(self, run_id: str) -> bool:
+        """Is this result already ingested?  (The idempotence check.)"""
+        return self.scalar(
+            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)) is not None
+
+    # -- identity -------------------------------------------------------
+    def content_digest(self) -> str:
+        """SHA-256 over every table's rows in deterministic order.
+
+        Two warehouses holding the same measurements — e.g. one fed by
+        a single-process monitor run and one by the K=4 process-pool
+        run — have equal digests; a single divergent hop, ASN, onset
+        cause, or alert byte changes it.  Streamed row by row, so the
+        digest of a multi-gigabyte store costs no resident memory.
+        """
+        digest = hashlib.sha256()
+        for table in TABLES:
+            digest.update(table.encode("utf-8"))
+            for row in self.stream(_DIGEST_SQL[table]):
+                digest.update(repr(row).encode("utf-8"))
+        return digest.hexdigest()
+
+
+def open_warehouse(path: Union[str, Path],
+                   must_exist: bool = False) -> Warehouse:
+    """Open (or create) a warehouse file.
+
+    ``must_exist`` guards read-side CLI commands: querying a path that
+    was never ingested is almost certainly a typo, so it raises
+    instead of conjuring an empty store.
+    """
+    if must_exist and str(path) != ":memory:" and not Path(path).exists():
+        raise WarehouseError(f"no warehouse at {path}; run "
+                             "'repro-trace ingest' first")
+    return Warehouse(path)

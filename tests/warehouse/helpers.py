@@ -1,0 +1,60 @@
+"""Builders for hand-crafted warehouse fixtures.
+
+Synthetic routes live in a tiny address plan where the AS of an
+address is readable off its second octet (``10.<asn>.0.x``), so tests
+can assert exact per-AS attribution without running a simulation.
+"""
+
+from typing import Optional
+
+from repro.core.route import MeasuredRoute, RouteHop
+from repro.measurement.campaign import CampaignResult
+from repro.net.inet import IPv4Address
+from repro.topology.asmap import AsMapper
+from repro.tracer.result import ReplyKind
+
+SOURCE = IPv4Address("10.100.0.1")
+DEST = IPv4Address("10.9.0.1")
+
+
+def addr(asn: int, last: int = 1) -> IPv4Address:
+    """Address ``10.<asn>.0.<last>`` — AS number in the second octet."""
+    return IPv4Address(f"10.{asn}.0.{last}")
+
+
+def asmap_for(*asns: int) -> AsMapper:
+    """A mapper announcing ``10.<asn>.0.0/24`` for each AS given."""
+    mapper = AsMapper()
+    for asn in asns:
+        mapper.announce(f"10.{asn}.0.0/24", asn)
+    return mapper
+
+
+def route(addresses: list[Optional[IPv4Address]],
+          tool: str = "paris-udp", round_index: int = 0,
+          destination: IPv4Address = DEST,
+          started_at: float = 0.0) -> MeasuredRoute:
+    """A measured route from explicit addresses (None = star)."""
+    hops = [RouteHop(
+        ttl=ttl, address=address,
+        probe_ttl=1 if address else None,
+        response_ttl=250 if address else None,
+        ip_id=ttl if address else None,
+        kind=ReplyKind.TIME_EXCEEDED if address else ReplyKind.STAR,
+    ) for ttl, address in enumerate(addresses, start=1)]
+    return MeasuredRoute(source=SOURCE, destination=destination,
+                         hops=hops, tool=tool, round_index=round_index,
+                         halt_reason="destination",
+                         started_at=started_at, trace_duration=1.0)
+
+
+def campaign(routes: list[MeasuredRoute]) -> CampaignResult:
+    """A minimal campaign result wrapping hand-built routes."""
+    destinations = []
+    for measured in routes:
+        if measured.destination not in destinations:
+            destinations.append(measured.destination)
+    probes = sum(len(r.hops) for r in routes)
+    return CampaignResult(routes=list(routes), destinations=destinations,
+                          probes_sent=probes,
+                          responses_received=probes)

@@ -1,0 +1,83 @@
+"""Ingest determinism: the tentpole's acceptance bar.
+
+The PR 7 contract says a K-sharded monitor run merges byte-identical
+to the single-process run; ingest is a pure function of the merged
+result plus the seeded AS map.  Composed: ingesting the K=2 inline and
+K=4 process-pool runs must produce warehouses whose content digests
+equal the single-process one's — and ingesting the same run twice
+changes nothing.
+"""
+
+import pytest
+
+from repro.faults import diurnal_rate_limit_phases
+from repro.service import MonitorConfig, run_monitor, run_monitor_sharded
+from repro.topology import InternetConfig, generate_internet
+from repro.vantage import FleetConfig
+from repro.warehouse import Warehouse, ingest_monitor
+
+EVOLVING_INTERNET = InternetConfig(
+    seed=5, n_tier1=3, n_transit=4, n_stub=8, dests_per_stub=2,
+    n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1, n_nat_dests=1,
+    n_zero_ttl_dests=1, response_loss_rate=0.0, p_per_packet=0.0,
+    n_vantages=4, dynamics_horizon=120.0, route_changes_per_hour=90.0,
+    forwarding_loops_per_hour=30.0, event_duration=45.0,
+    fault_phases=diurnal_rate_limit_phases(period=40.0, cycles=1))
+
+MONITOR = MonitorConfig(duration=120.0, periods=(30.0, 40.0),
+                        max_rounds=3, fleet=FleetConfig(workers=2))
+
+
+def ingest(result):
+    warehouse = Warehouse(":memory:")
+    receipt = ingest_monitor(
+        warehouse, result,
+        asmap=generate_internet(EVOLVING_INTERNET).asmap)
+    return warehouse, receipt
+
+
+@pytest.fixture(scope="module")
+def single():
+    result = run_monitor(EVOLVING_INTERNET, MONITOR, max_destinations=6)
+    warehouse, receipt = ingest(result)
+    return result, warehouse, receipt
+
+
+class TestShardedIngestIdentity:
+    def test_single_ingest_is_nonempty(self, single):
+        _, warehouse, receipt = single
+        assert receipt.ingested
+        counts = warehouse.row_counts()
+        assert counts["traces"] > 0 and counts["hops"] > 0
+        assert counts["onsets"] > 0 and counts["alerts"] > 0
+        # The AS map actually resolved: hops carry ASNs.
+        assert warehouse.scalar(
+            "SELECT COUNT(*) FROM hops WHERE asn IS NOT NULL") > 0
+
+    def test_k2_inline_digest_matches_single(self, single):
+        _, base, __ = single
+        sharded = run_monitor_sharded(EVOLVING_INTERNET, MONITOR,
+                                      shards=2, max_destinations=6)
+        warehouse, receipt = ingest(sharded)
+        assert receipt.ingested
+        assert warehouse.content_digest() == base.content_digest()
+
+    def test_k4_process_pool_digest_matches_single(self, single):
+        _, base, __ = single
+        sharded = run_monitor_sharded(EVOLVING_INTERNET, MONITOR,
+                                      shards=4, processes=True,
+                                      max_destinations=6)
+        warehouse, receipt = ingest(sharded)
+        assert receipt.ingested
+        assert warehouse.content_digest() == base.content_digest()
+
+    def test_reingest_of_the_same_run_is_a_noop(self, single):
+        result, warehouse, _ = single
+        digest = warehouse.content_digest()
+        again = ingest_monitor(
+            warehouse, result,
+            asmap=generate_internet(EVOLVING_INTERNET).asmap)
+        assert not again.ingested
+        assert again.rows == 0
+        assert warehouse.content_digest() == digest
+        assert warehouse.row_counts()["runs"] == 1

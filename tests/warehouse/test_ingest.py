@@ -1,0 +1,172 @@
+"""Ingest semantics on hand-built results: denormalization, interning,
+anomaly markers, idempotence, and the observability counters."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.errors import WarehouseError
+from repro.warehouse import Warehouse, ingest_campaign, ingest_monitor
+from repro.warehouse.ingest import campaign_signature, run_identity
+
+from tests.warehouse.helpers import addr, asmap_for, campaign, route
+
+
+def clean():
+    return route([addr(1), addr(2), addr(9)])
+
+
+def looped():
+    # 10.2.0.5 at consecutive TTLs: one loop, flagged at TTLs 2 and 3.
+    return route([addr(1), addr(2, 5), addr(2, 5), addr(9)],
+                 tool="classic-udp")
+
+
+def cycled():
+    # 10.2.0.5 recurs with a different address in between: a cycle.
+    return route([addr(1), addr(2, 5), addr(4, 2), addr(2, 5), addr(9)],
+                 tool="classic-udp")
+
+
+def starred():
+    # Mid-route star at TTL 2 (deepest responding TTL is 3).
+    return route([addr(1), None, addr(9)])
+
+
+class TestCampaignIngest:
+    def test_receipt_counts_rows(self):
+        with Warehouse(":memory:") as warehouse:
+            receipt = ingest_campaign(
+                warehouse, campaign([clean(), looped(), starred()]),
+                asmap=asmap_for(1, 2, 4, 9))
+            assert receipt.ingested
+            assert receipt.kind == "campaign"
+            assert receipt.traces == 3
+            assert receipt.hops == 3 + 4 + 3
+            assert receipt.onsets == 0 and receipt.alerts == 0
+            assert receipt.routes_added == 3
+            assert receipt.rows == 3 + 10 + 3
+            counts = warehouse.row_counts()
+            assert counts["runs"] == 1
+            assert counts["traces"] == 3
+            assert counts["hops"] == 10
+
+    def test_identical_paths_intern_to_one_route(self):
+        with Warehouse(":memory:") as warehouse:
+            first = route([addr(1), addr(9)], round_index=0)
+            second = route([addr(1), addr(9)], round_index=1)
+            receipt = ingest_campaign(warehouse,
+                                      campaign([first, second]))
+            assert receipt.traces == 2
+            assert receipt.routes_added == 1
+            assert warehouse.row_counts()["routes"] == 1
+
+    def test_asn_denormalized_per_hop(self):
+        with Warehouse(":memory:") as warehouse:
+            ingest_campaign(warehouse, campaign([clean()]),
+                            asmap=asmap_for(1, 2, 9))
+            asns = [row[0] for row in warehouse.stream(
+                "SELECT asn FROM hops ORDER BY ttl")]
+            assert asns == [1, 2, 9]
+
+    def test_unmapped_address_stores_null_asn(self):
+        with Warehouse(":memory:") as warehouse:
+            ingest_campaign(warehouse, campaign([clean()]),
+                            asmap=asmap_for(1))  # 2 and 9 unannounced
+            asns = [row[0] for row in warehouse.stream(
+                "SELECT asn FROM hops ORDER BY ttl")]
+            assert asns == [1, None, None]
+
+    def test_mid_star_inherits_previous_hop_asn(self):
+        with Warehouse(":memory:") as warehouse:
+            ingest_campaign(warehouse, campaign([starred()]),
+                            asmap=asmap_for(1, 9))
+            rows = list(warehouse.stream(
+                "SELECT ttl, address, asn, mid_star FROM hops "
+                "ORDER BY ttl"))
+            assert rows[1] == (2, None, 1, 1)  # star blamed on AS 1
+            assert rows[0][3] == 0 and rows[2][3] == 0
+
+    def test_trailing_star_is_not_mid_route(self):
+        with Warehouse(":memory:") as warehouse:
+            ingest_campaign(
+                warehouse,
+                campaign([route([addr(1), addr(9), None, None])]))
+            rows = list(warehouse.stream(
+                "SELECT ttl, asn, mid_star FROM hops WHERE address "
+                "IS NULL ORDER BY ttl"))
+            assert rows == [(3, None, 0), (4, None, 0)]
+
+    def test_loop_markers_land_on_the_looping_hops(self):
+        with Warehouse(":memory:") as warehouse:
+            ingest_campaign(warehouse, campaign([looped()]))
+            flagged = [row[0] for row in warehouse.stream(
+                "SELECT ttl FROM hops WHERE loop_here ORDER BY ttl")]
+            assert flagged == [2, 3]
+            assert warehouse.scalar(
+                "SELECT has_loop FROM traces") == 1
+            assert warehouse.scalar(
+                "SELECT has_cycle FROM traces") == 0
+
+    def test_cycle_markers_land_on_the_recurring_hops(self):
+        with Warehouse(":memory:") as warehouse:
+            ingest_campaign(warehouse, campaign([cycled()]))
+            flagged = [row[0] for row in warehouse.stream(
+                "SELECT ttl FROM hops WHERE cycle_here ORDER BY ttl")]
+            assert flagged == [2, 4]
+            assert warehouse.scalar("SELECT has_cycle FROM traces") == 1
+
+    def test_reingest_is_idempotent(self):
+        with Warehouse(":memory:") as warehouse:
+            result = campaign([clean(), looped()])
+            first = ingest_campaign(warehouse, result,
+                                    asmap=asmap_for(1, 2, 9))
+            digest = warehouse.content_digest()
+            second = ingest_campaign(warehouse, result,
+                                     asmap=asmap_for(1, 2, 9))
+            assert first.ingested and not second.ingested
+            assert second.run_id == first.run_id
+            assert second.rows == 0
+            assert warehouse.content_digest() == digest
+            assert warehouse.row_counts()["runs"] == 1
+
+
+class TestIdentity:
+    def test_run_identity_depends_on_kind_and_signature(self):
+        assert run_identity("monitor", "abc") != run_identity(
+            "fleet", "abc")
+        assert run_identity("monitor", "abc") == run_identity(
+            "monitor", "abc")
+
+    def test_campaign_signature_tracks_content(self):
+        a = campaign([clean()])
+        b = campaign([clean()])
+        assert campaign_signature(a) == campaign_signature(b)
+        c = campaign([looped()])
+        assert campaign_signature(a) != campaign_signature(c)
+
+
+class TestGuards:
+    def test_partial_monitor_result_is_refused(self):
+        with Warehouse(":memory:") as warehouse:
+            partial = SimpleNamespace(alerts=None)
+            with pytest.raises(WarehouseError, match="partial"):
+                ingest_monitor(warehouse, partial)
+
+
+class TestCounters:
+    def test_row_and_ingest_counters_ride_the_registry(self):
+        registry = MetricsRegistry()
+        with Warehouse(":memory:") as warehouse:
+            result = campaign([clean(), starred()])
+            ingest_campaign(warehouse, result, registry=registry)
+            ingest_campaign(warehouse, result, registry=registry)
+        snapshot = registry.snapshot()
+        assert snapshot.value("repro_warehouse_rows_total",
+                              "traces") == 2
+        assert snapshot.value("repro_warehouse_rows_total", "hops") == 6
+        assert snapshot.value("repro_warehouse_ingests_total",
+                              "campaign", "ingested") == 1
+        assert snapshot.value("repro_warehouse_ingests_total",
+                              "campaign", "skipped") == 1

@@ -1,0 +1,157 @@
+"""Canned analyses over a hand-built corpus with known answers."""
+
+import pytest
+
+from repro.warehouse import (
+    Warehouse,
+    anomaly_prevalence,
+    format_as_rates,
+    format_cause_rates,
+    format_tool_deltas,
+    inconsistency_mining,
+    ingest_campaign,
+    per_as_artifact_rates,
+    per_cause_onset_rates,
+    route_change_history,
+    tool_artifact_deltas,
+    vantage_disagreements,
+    warehouse_report,
+)
+
+from tests.warehouse.helpers import addr, asmap_for, campaign, route
+
+
+@pytest.fixture()
+def warehouse():
+    """Two ingested runs with a deliberate mix of paths and artifacts.
+
+    Run 1 (paris + classic over two rounds): the classic tool loops at
+    AS 2 in round 1, and the paris path to DEST changes between rounds
+    (AS 3 detours via AS 4).  Run 2 re-measures the paris round-0 path,
+    so the destination stays inconsistent across runs.
+    """
+    store = Warehouse(":memory:")
+    asmap = asmap_for(1, 2, 3, 4, 9)
+    run1 = campaign([
+        route([addr(1), addr(2), addr(9)], tool="paris-udp",
+              round_index=0, started_at=0.0),
+        route([addr(1), addr(2), addr(9)], tool="classic-udp",
+              round_index=0, started_at=1.0),
+        route([addr(1), addr(4), addr(9)], tool="paris-udp",
+              round_index=1, started_at=40.0),
+        route([addr(1), addr(2, 5), addr(2, 5), addr(9)],
+              tool="classic-udp", round_index=1, started_at=41.0),
+    ])
+    run2 = campaign([
+        route([addr(1), addr(2), addr(9)], tool="paris-udp",
+              round_index=0, started_at=0.0),
+    ])
+    ingest_campaign(store, run1, asmap=asmap)
+    ingest_campaign(store, run2, asmap=asmap)
+    yield store
+    store.close()
+
+
+class TestRouteChangeHistory:
+    def test_first_sightings_and_changes(self, warehouse):
+        events = list(route_change_history(warehouse, tool="paris-udp"))
+        # First sighting in run 1, change in round 1, and run 2's
+        # re-measurement flips the stream back.
+        assert [e.first_sight for e in events] == [True, False, False]
+        change = events[1]
+        assert change.round_index == 1
+        assert "10.4.0.1" in change.to_route
+        assert "10.2.0.1" in change.from_route
+
+    def test_changes_only_suppresses_first_sightings(self, warehouse):
+        events = list(route_change_history(warehouse, tool="paris-udp",
+                                           changes_only=True))
+        assert len(events) == 2
+        assert not any(e.first_sight for e in events)
+
+    def test_destination_filter(self, warehouse):
+        assert list(route_change_history(
+            warehouse, destination="192.0.2.1")) == []
+
+
+class TestPrevalence:
+    def test_buckets_count_artifact_traces(self, warehouse):
+        buckets = {b.bucket_start: b for b in
+                   anomaly_prevalence(warehouse, bucket=30.0)}
+        assert set(buckets) == {0.0, 30.0}
+        # t=0: three clean traces (two from run 1, one from run 2).
+        assert buckets[0.0].traces == 3
+        assert buckets[0.0].anomaly_rate == 0.0
+        # t=30: the paris detour is clean, the classic trace loops.
+        assert buckets[30.0].traces == 2
+        assert buckets[30.0].loop_traces == 1
+        assert buckets[30.0].anomaly_rate == pytest.approx(0.5)
+
+
+class TestPerAsRates:
+    def test_loop_attributed_to_the_looping_as(self, warehouse):
+        rates = {r.asn: r for r in per_as_artifact_rates(warehouse)}
+        assert set(rates) == {1, 2, 4, 9}
+        assert rates[2].loop_traces == 1
+        assert rates[2].artifact_rate > 0
+        assert rates[1].loop_traces == 0
+        assert rates[1].artifact_rate == 0.0
+        # AS 1 fronts every trace; AS 4 only the detour round.
+        assert rates[1].traversals == 5
+        assert rates[4].traversals == 1
+
+
+class TestToolDeltas:
+    def test_classic_loops_paris_does_not(self, warehouse):
+        deltas = list(tool_artifact_deltas(warehouse))
+        assert [d.run_seq for d in deltas] == [1, 2]
+        first = deltas[0]
+        assert first.classic_traces == 2 and first.paris_traces == 2
+        assert first.classic_loop_rate == pytest.approx(0.5)
+        assert first.paris_loop_rate == 0.0
+        assert first.loop_delta == pytest.approx(0.5)
+
+
+class TestInconsistency:
+    def test_multi_route_destination_is_mined(self, warehouse):
+        mined = list(inconsistency_mining(warehouse))
+        paris = [m for m in mined if m.tool == "paris-udp"]
+        assert len(paris) == 1
+        assert paris[0].distinct_routes == 2
+        assert paris[0].runs == 2
+        classic = [m for m in mined if m.tool == "classic-udp"]
+        assert classic[0].distinct_routes == 2
+
+    def test_single_vantage_never_disagrees_with_itself(self, warehouse):
+        assert list(vantage_disagreements(warehouse)) == []
+
+
+class TestOnsetRates:
+    def test_empty_onsets_yield_nothing(self, warehouse):
+        assert list(per_cause_onset_rates(warehouse)) == []
+
+
+class TestReport:
+    def test_report_renders_every_section(self, warehouse):
+        text = warehouse_report(warehouse)
+        for needle in ("measurement warehouse report",
+                       "per-AS artifact rates", "onset causes",
+                       "paris vs classic", "anomaly prevalence",
+                       "inconsistency mining"):
+            assert needle in text
+        assert "(no onsets stored)" in text
+
+    def test_as_table_limit_keeps_worst_offenders(self, warehouse):
+        text = format_as_rates(per_as_artifact_rates(warehouse), limit=1)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].split()[0] == "2"  # the looping AS
+
+    def test_formatters_handle_empty_stores(self):
+        with Warehouse(":memory:") as empty:
+            assert "(no resolved hops" in format_as_rates(
+                per_as_artifact_rates(empty))
+            assert "(no onsets" in format_cause_rates(
+                per_cause_onset_rates(empty))
+            assert "(no runs" in format_tool_deltas(
+                tool_artifact_deltas(empty))

@@ -1,0 +1,96 @@
+"""Warehouse store mechanics: schema, lifecycle, digest, streaming."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.warehouse import Warehouse, open_warehouse
+from repro.warehouse.store import SCHEMA_VERSION, STREAM_BATCH, TABLES
+
+
+class TestLifecycle:
+    def test_fresh_store_has_empty_tables(self):
+        with Warehouse(":memory:") as warehouse:
+            assert warehouse.row_counts() == {t: 0 for t in TABLES}
+            assert warehouse.runs() == []
+            assert not warehouse.has_run("deadbeef")
+
+    def test_file_store_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "w.sqlite"
+        with Warehouse(path):
+            pass
+        assert path.exists()
+
+    def test_reopen_preserves_schema_version(self, tmp_path):
+        path = tmp_path / "w.sqlite"
+        with Warehouse(path):
+            pass
+        with Warehouse(path) as warehouse:
+            assert warehouse.scalar(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ) == str(SCHEMA_VERSION)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "w.sqlite"
+        with Warehouse(path):
+            pass
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '999' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(WarehouseError, match="schema version"):
+            Warehouse(path)
+
+    def test_closed_store_refuses_queries(self):
+        warehouse = Warehouse(":memory:")
+        warehouse.close()
+        warehouse.close()  # idempotent
+        with pytest.raises(WarehouseError, match="closed"):
+            warehouse.row_counts()
+
+    def test_open_warehouse_must_exist_guard(self, tmp_path):
+        with pytest.raises(WarehouseError, match="no warehouse"):
+            open_warehouse(tmp_path / "missing.sqlite", must_exist=True)
+        created = open_warehouse(tmp_path / "new.sqlite")
+        created.close()
+        reopened = open_warehouse(tmp_path / "new.sqlite",
+                                  must_exist=True)
+        reopened.close()
+
+
+class TestDigest:
+    def test_empty_stores_share_a_digest(self):
+        with Warehouse(":memory:") as a, Warehouse(":memory:") as b:
+            assert a.content_digest() == b.content_digest()
+
+    def test_any_row_changes_the_digest(self):
+        with Warehouse(":memory:") as warehouse:
+            before = warehouse.content_digest()
+            warehouse.connection.execute(
+                "INSERT INTO routes (signature, hops, length) "
+                "VALUES ('abc', '1.2.3.4', 1)")
+            assert warehouse.content_digest() != before
+
+
+class TestStream:
+    def test_stream_yields_every_row_across_batches(self):
+        with Warehouse(":memory:") as warehouse:
+            warehouse.connection.executemany(
+                "INSERT INTO routes (signature, hops, length) "
+                "VALUES (?, ?, 1)",
+                [(f"sig{i}", f"10.0.0.{i}") for i in range(25)])
+            rows = list(warehouse.stream(
+                "SELECT signature FROM routes ORDER BY route_id",
+                batch=4))
+            assert [r[0] for r in rows] == [f"sig{i}" for i in range(25)]
+
+    def test_stream_is_lazy(self):
+        with Warehouse(":memory:") as warehouse:
+            iterator = warehouse.stream("SELECT * FROM runs")
+            assert iter(iterator) is iterator  # a generator, not a list
+            assert list(iterator) == []
+
+    def test_default_batch_is_bounded(self):
+        assert 0 < STREAM_BATCH <= 4096

@@ -1,0 +1,112 @@
+"""The streaming contract: a 100k-hop warehouse never materializes.
+
+These tests insert synthetic rows directly (ingest correctness is
+covered elsewhere; here only the read path's memory profile matters)
+and measure peak allocation with :mod:`tracemalloc` while draining
+full-table streams and canned queries.
+"""
+
+import tracemalloc
+
+from repro.warehouse import (
+    Warehouse,
+    anomaly_prevalence,
+    per_as_artifact_rates,
+    route_change_history,
+)
+from repro.warehouse.queries import iter_hops
+
+N_TRACES = 1_000
+HOPS_PER_TRACE = 100
+N_HOPS = N_TRACES * HOPS_PER_TRACE  # 100k
+
+#: Generous ceiling for cursor pages + bookkeeping; a materialized
+#: 100k-row list of 12-tuples costs tens of MB, far above this.
+PEAK_CAP_BYTES = 4 * 1024 * 1024
+
+
+def build_store() -> Warehouse:
+    warehouse = Warehouse(":memory:")
+    conn = warehouse.connection
+    conn.execute("INSERT INTO runs VALUES ('r1', 1, 'fleet', 'sig', "
+                 "'{}', 1, ?, ?, 0, 0)", (N_TRACES, N_TRACES))
+    conn.executemany(
+        "INSERT INTO routes (signature, hops, length) VALUES (?, ?, ?)",
+        ((f"sig{i}", f"path{i}", HOPS_PER_TRACE)
+         for i in range(N_TRACES)))
+    conn.executemany(
+        "INSERT INTO traces (run_id, vantage, client, tool, "
+        "destination, round_index, route_id, halt, started_at, "
+        "duration, hop_count, has_loop, has_cycle, mid_stars) "
+        "VALUES ('r1', 0, '10.0.0.1', 'paris-udp', ?, ?, ?, "
+        "'destination', ?, 1.0, ?, 0, 0, 0)",
+        ((f"10.9.{i % 250}.1", i % 3, i + 1, float(i), HOPS_PER_TRACE)
+         for i in range(N_TRACES)))
+    conn.executemany(
+        "INSERT INTO hops (trace_id, ttl, address, asn, probe_ttl, "
+        "response_ttl, ip_id, flag, kind, loop_here, cycle_here, "
+        "mid_star) VALUES (?, ?, ?, ?, 1, 250, 0, '', "
+        "'time-exceeded', 0, 0, 0)",
+        ((trace + 1, ttl + 1, f"10.{ttl % 200}.0.1", ttl % 50)
+         for trace in range(N_TRACES)
+         for ttl in range(HOPS_PER_TRACE)))
+    conn.commit()
+    return warehouse
+
+
+def peak_bytes(consume) -> int:
+    tracemalloc.start()
+    try:
+        consume()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+class TestBoundedStreaming:
+    def test_store_really_holds_100k_hops(self):
+        with build_store() as warehouse:
+            assert warehouse.row_counts()["hops"] == N_HOPS
+
+    def test_full_hop_scan_stays_under_the_cap(self):
+        with build_store() as warehouse:
+            seen = 0
+
+            def drain():
+                nonlocal seen
+                for _ in iter_hops(warehouse):
+                    seen += 1
+
+            peak = peak_bytes(drain)
+            assert seen == N_HOPS
+            assert peak < PEAK_CAP_BYTES, (
+                f"peak {peak} bytes while streaming {N_HOPS} hops")
+
+    def test_canned_queries_stay_under_the_cap(self):
+        with build_store() as warehouse:
+
+            def drain():
+                for _ in per_as_artifact_rates(warehouse):
+                    pass
+                for _ in anomaly_prevalence(warehouse, bucket=100.0):
+                    pass
+                for _ in route_change_history(warehouse):
+                    pass
+
+            peak = peak_bytes(drain)
+            assert peak < PEAK_CAP_BYTES
+
+    def test_content_digest_streams_too(self):
+        with build_store() as warehouse:
+            peak = peak_bytes(warehouse.content_digest)
+            assert peak < PEAK_CAP_BYTES
+
+    def test_queries_are_generators(self):
+        with build_store() as warehouse:
+            for iterator in (iter_hops(warehouse),
+                             per_as_artifact_rates(warehouse),
+                             route_change_history(warehouse)):
+                assert iter(iterator) is iterator
+                next(iterator)
+                iterator.close()

@@ -1,0 +1,159 @@
+"""CLI surface: ingest/query/report subcommands, ``--warehouse-out``,
+and parent-directory creation for every file-output option."""
+
+import pytest
+
+from repro.cli import main
+
+QUICK_INGEST = ["--kind", "campaign", "--vantages", "2", "--rounds",
+                "1", "--dests", "4", "--seed", "11"]
+
+
+def digest_of(output):
+    for line in output.splitlines():
+        if line.startswith("#   content digest:"):
+            return line.split(":", 1)[1].strip()
+    raise AssertionError(f"no digest line in {output!r}")
+
+
+class TestIngestCommand:
+    def test_ingest_query_report_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "nested" / "dirs" / "w.sqlite"
+        assert main(["ingest", "--warehouse", str(store)]
+                    + QUICK_INGEST) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out and store.exists()
+
+        assert main(["query", "--warehouse", str(store),
+                     "--name", "as-rates"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.startswith("asn\t")
+        assert "as-rates:" in captured.err
+
+        assert main(["report", "--warehouse", str(store)]) == 0
+        report = capsys.readouterr().out
+        assert "measurement warehouse report" in report
+        assert "per-AS artifact rates" in report
+
+    def test_reingest_is_skipped_and_digest_stable(self, tmp_path,
+                                                   capsys):
+        store = tmp_path / "w.sqlite"
+        argv = ["ingest", "--warehouse", str(store)] + QUICK_INGEST
+        assert main(argv) == 0
+        first = digest_of(capsys.readouterr().out)
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "already present, skipped" in out
+        assert digest_of(out) == first
+
+    def test_sharded_ingest_digest_matches_single(self, tmp_path,
+                                                  capsys):
+        single = tmp_path / "single.sqlite"
+        sharded = tmp_path / "sharded.sqlite"
+        assert main(["ingest", "--warehouse", str(single)]
+                    + QUICK_INGEST) == 0
+        first = digest_of(capsys.readouterr().out)
+        assert main(["ingest", "--warehouse", str(sharded),
+                     "--shards", "2"] + QUICK_INGEST) == 0
+        assert digest_of(capsys.readouterr().out) == first
+
+    def test_metrics_out_writes_warehouse_counters(self, tmp_path,
+                                                   capsys):
+        store = tmp_path / "w.sqlite"
+        metrics = tmp_path / "obs" / "warehouse.prom"
+        assert main(["ingest", "--warehouse", str(store),
+                     "--metrics-out", str(metrics)] + QUICK_INGEST) == 0
+        capsys.readouterr()
+        text = metrics.read_text()
+        assert "repro_warehouse_rows_total" in text
+        assert 'outcome="ingested"' in text
+
+    def test_bad_flags_rejected(self, capsys):
+        assert main(["ingest", "--warehouse", "w.sqlite",
+                     "--vantages", "0"]) == 2
+        assert "--vantages" in capsys.readouterr().err
+
+
+class TestQueryCommand:
+    def test_missing_warehouse_is_an_error(self, tmp_path, capsys):
+        assert main(["query", "--warehouse",
+                     str(tmp_path / "nope.sqlite"),
+                     "--name", "as-rates"]) == 2
+        assert "no warehouse" in capsys.readouterr().err
+
+    def test_limit_truncates_the_stream(self, tmp_path, capsys):
+        store = tmp_path / "w.sqlite"
+        assert main(["ingest", "--warehouse", str(store)]
+                    + QUICK_INGEST) == 0
+        capsys.readouterr()
+        assert main(["query", "--warehouse", str(store),
+                     "--name", "route-changes", "--limit", "2"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 3  # header + 2 rows
+        assert "2 row(s)" in captured.err
+
+    def test_negative_limit_rejected(self, capsys):
+        assert main(["query", "--warehouse", "w", "--name", "as-rates",
+                     "--limit", "-1"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+    def test_unknown_query_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--warehouse", "w", "--name", "everything"])
+
+
+class TestReportCommand:
+    def test_missing_warehouse_is_an_error(self, tmp_path, capsys):
+        assert main(["report", "--warehouse",
+                     str(tmp_path / "nope.sqlite")]) == 2
+        assert "no warehouse" in capsys.readouterr().err
+
+
+QUICK_CAMPAIGN = ["campaign", "--vantages", "2", "--rounds", "1",
+                  "--workers", "2", "--dests", "4", "--seed", "11"]
+
+
+class TestWarehouseOut:
+    def test_campaign_appends_to_nested_path(self, tmp_path, capsys):
+        store = tmp_path / "made" / "by" / "cli" / "w.sqlite"
+        assert main(QUICK_CAMPAIGN
+                    + ["--warehouse-out", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "# warehouse: run" in out and "(fleet) ingested" in out
+        assert store.exists()
+
+    def test_monitor_appends_onsets_and_alerts(self, tmp_path, capsys):
+        store = tmp_path / "w.sqlite"
+        assert main(["monitor", "--dests", "4", "--duration", "60",
+                     "--warehouse-out", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "(monitor) ingested" in out
+        from repro.warehouse import open_warehouse
+
+        with open_warehouse(store, must_exist=True) as warehouse:
+            counts = warehouse.row_counts()
+        assert counts["traces"] > 0 and counts["onsets"] > 0
+
+
+class TestParentDirectoryCreation:
+    """Every pre-existing file-out option gains the mkdir behavior."""
+
+    def test_campaign_metrics_out_nested(self, tmp_path, capsys):
+        path = tmp_path / "a" / "b" / "metrics.prom"
+        assert main(QUICK_CAMPAIGN
+                    + ["--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        assert path.read_text().startswith("# HELP")
+
+    def test_campaign_trace_out_nested(self, tmp_path, capsys):
+        path = tmp_path / "spans" / "out.jsonl"
+        assert main(QUICK_CAMPAIGN + ["--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert path.exists()
+
+    def test_monitor_alerts_out_nested(self, tmp_path, capsys):
+        path = tmp_path / "alerts" / "log.jsonl"
+        assert main(["monitor", "--dests", "4", "--duration", "60",
+                     "--alerts-out", str(path)]) == 0
+        capsys.readouterr()
+        assert path.exists()

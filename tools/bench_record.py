@@ -36,6 +36,13 @@ and whose single-vs-sharded result signature is a new deterministic
 gate.  The onset and alert counts are seed-deterministic and recorded
 for drift reading.
 
+Schema 4 adds a ``warehouse`` leg
+(``benchmarks/test_bench_warehouse.py``), reusing the monitor leg's
+results: ingest throughput (``rows_per_sec``) and the canned-query
+sweep's wall cost are the recorded trends; the deterministic gates are
+the single-vs-sharded warehouse content digest and the ingested row
+census, which must not drift for a fixed seed.
+
 Environment: ``REPRO_BENCH_SEED`` / ``REPRO_BENCH_ROUNDS`` as for the
 benchmark suite — the recorded baseline is made with the defaults the
 CI smoke tier uses (seed 42, rounds 2), and ``--check`` refuses to
@@ -63,6 +70,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_walk.json"
 def measure(seed: int, rounds: int) -> dict:
     """Run both legs in both modes; return the JSON-ready record."""
     from benchmarks.test_bench_monitor_rounds import run_monitor_leg
+    from benchmarks.test_bench_warehouse import run_warehouse_leg
     from benchmarks.test_bench_walk_batching import (
         run_campaign_leg,
         run_fleet_leg,
@@ -119,9 +127,14 @@ def measure(seed: int, rounds: int) -> dict:
         and monitor_single["result"].alerts.to_jsonl()
         == monitor_sharded["result"].alerts.to_jsonl())
 
+    warehouse_single = run_warehouse_leg(result=monitor_single["result"],
+                                         seed=seed)
+    warehouse_sharded = run_warehouse_leg(
+        result=monitor_sharded["result"], seed=seed)
+
     simulated = campaign_batched["result"].rounds[-1].finished_at
     return {
-        "schema": 3,
+        "schema": 4,
         "bench": "walk_batching",
         "seed": seed,
         "rounds": rounds,
@@ -159,6 +172,17 @@ def measure(seed: int, rounds: int) -> dict:
             "single_signature": monitor_signature,
             "sharded_signature": monitor_sharded_signature,
             "deterministic": monitor_deterministic,
+        },
+        "warehouse": {
+            "rows": warehouse_single["rows"],
+            "ingest_wall_s": round(warehouse_single["ingest_wall_s"], 3),
+            "rows_per_sec": round(warehouse_single["rows_per_sec"], 1),
+            "query_wall_s": round(warehouse_single["query_wall_s"], 3),
+            "query_rows": warehouse_single["query_rows"],
+            "single_digest": warehouse_single["digest"],
+            "sharded_digest": warehouse_sharded["digest"],
+            "deterministic": (warehouse_single["digest"]
+                              == warehouse_sharded["digest"]),
         },
     }
 
@@ -207,6 +231,20 @@ def check(record: dict, baseline: dict) -> list[str]:
                 f"monitor: onset census drifted {recorded} -> {current} "
                 "for the same seed — the detection stream is no longer "
                 "reproducible")
+    if not record["warehouse"]["deterministic"]:
+        problems.append("warehouse: sharded ingest digest diverged from "
+                        "single-process — the canonical-writer "
+                        "guarantee broke")
+    if "warehouse" in baseline:
+        for field in ("rows", "query_rows"):
+            recorded = baseline["warehouse"][field]
+            current = record["warehouse"][field]
+            if current != recorded:
+                problems.append(
+                    f"warehouse: {field} census drifted "
+                    f"{recorded} -> {current} for the same seed — "
+                    "ingest or the canned queries are no longer "
+                    "reproducible")
     return problems
 
 
@@ -253,6 +291,13 @@ def main(argv: list[str] | None = None) -> int:
           f"{monitor['onsets']} onsets -> {monitor['alerts']} alerts, "
           f"determinism "
           f"{'ok' if monitor['deterministic'] else 'BROKEN'}")
+    warehouse = record["warehouse"]
+    print(f"warehouse: {warehouse['rows']} rows in "
+          f"{warehouse['ingest_wall_s']:.3f}s "
+          f"({warehouse['rows_per_sec']:.0f} rows/s), query sweep "
+          f"{warehouse['query_rows']} rows in "
+          f"{warehouse['query_wall_s']:.3f}s, digest determinism "
+          f"{'ok' if warehouse['deterministic'] else 'BROKEN'}")
 
     if args.check:
         if not args.baseline.exists():

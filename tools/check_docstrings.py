@@ -45,6 +45,7 @@ REQUIRED_PACKAGES = (
     "topology",
     "tracer",
     "vantage",
+    "warehouse",
 )
 
 
