@@ -1,0 +1,258 @@
+"""E13 — MDA-Lite vs exact MDA on a census-scale topology.
+
+Runs both multipath algorithms over a destination whose path mixes
+long serial runs (where exact MDA spends 1 + n(1) = 6 probes per hop
+and MDA-Lite's scout budget pays 2) with wide per-flow diamonds
+(widths 8 and 16, where Lite stops on *total* rather than consecutive
+misses).  Three gates ride the measurement:
+
+- probe savings — MDA-Lite must spend at least 2x fewer wire probes
+  than exact MDA at a missed-link rate of at most 5 %;
+- hop parallelism — exact MDA on the pipelined engine with the
+  default (ip-id) disambiguation must finish in strictly less
+  simulated time than the legacy cross-hop flow exclusion, at
+  byte-identical discovery;
+- fleet determinism — K=2-sharded fleet censuses of both strategies
+  must merge back to the single-scheduler signature.
+
+The scout budget is the Lite trade-off dial: the bench runs
+``scout_flows=2`` (the cheapest setting that still clears 2x on this
+topology); the library default stays at 3, which costs 1.5x more on
+serial hops but is proportionally less likely to mistake a diamond
+for a serial hop.
+"""
+
+import time
+
+import pytest
+
+from repro.sim import PerFlowPolicy, ProbeSocket
+from repro.topology import InternetConfig
+from repro.topology.builder import TopologyBuilder
+from repro.tracer.multipath import MultipathDetector
+from repro.vantage import (
+    FleetConfig,
+    mda_lite_strategy_builder,
+    mda_strategy_builder,
+    run_fleet,
+    run_fleet_sharded,
+)
+
+from benchmarks.conftest import BENCH_SEED
+from benchmarks.test_bench_mda_pipelining import discovery_signature
+
+#: MDA-Lite must spend at least this factor fewer wire probes...
+MIN_PROBE_SAVINGS = 2.0
+#: ...while missing at most this fraction of exact MDA's links.
+MAX_MISS_RATE = 0.05
+#: The scout budget the census runs with (library default: 3).
+SCOUT_FLOWS = 2
+
+
+def census_lite_topology(serial_runs=(4, 3, 3), widths=(8, 16)):
+    """Serial runs interleaved with wide per-flow diamonds.
+
+    The Lite-vs-exact contrast needs both regimes on one path: serial
+    hops are where the scout budget wins (2 vs 6 probes per hop), wide
+    diamonds are where the total-budget stop wins (n(k) total vs
+    k + n(k) for exact).  Width-1 joins answer from their first
+    interface so the diamonds converge like the paper's.
+    """
+    builder = TopologyBuilder(name="census-lite")
+    source = builder.source()
+    previous = builder.router("HEAD")
+    builder.chain([source, previous], "10.9.0.0/16")
+    stage = 0
+
+    def serial_chain(n, prev):
+        nonlocal stage
+        routers = [builder.router(f"C{stage}N{i}") for i in range(n)]
+        builder.chain([prev] + routers, "10.9.0.0/16")
+        stage += 1
+        return routers[-1] if routers else prev
+
+    previous = serial_chain(serial_runs[0], previous)
+    for diamond, width in enumerate(widths):
+        balancer = previous
+        join = builder.router(f"J{diamond}", respond_from="first")
+        egresses = []
+        join_in = None
+        for branch_index in range(width):
+            branch = builder.router(f"D{diamond}B{branch_index}")
+            egress, join_in = builder.branch(balancer, [branch], join,
+                                             "10.9.0.0/16")
+            egresses.append(egress)
+        builder.balanced_route(balancer, "10.9.0.0/16", egresses,
+                               PerFlowPolicy(salt=b"lite-%d" % diamond))
+        join.add_default_route(join_in)
+        previous = serial_chain(serial_runs[diamond + 1], join)
+    destination = builder.host("D", "10.9.0.1")
+    down, __ = builder.connect(previous, destination)
+    previous.add_route("10.9.0.0/16", down)
+    return builder.build(), source, destination
+
+
+def run_census(algorithm, engine="sequential", disambiguation="auto",
+               seed=BENCH_SEED):
+    """One full multipath trace of the census destination."""
+    network, source, destination = census_lite_topology()
+    socket = ProbeSocket(network, source)
+    detector = MultipathDetector(
+        socket, seed=seed, max_flows_per_hop=600, engine=engine,
+        algorithm=algorithm, disambiguation=disambiguation,
+        scout_flows=SCOUT_FLOWS)
+    sim_start = network.clock.now
+    wall_start = time.perf_counter()
+    result = detector.trace(destination.address)
+    return {
+        "result": result,
+        "wire_probes": socket.probes_sent,
+        "sim_s": network.clock.now - sim_start,
+        "wall_s": time.perf_counter() - wall_start,
+    }
+
+
+#: A small fleet world for the sharded-census determinism gate.
+def fleet_internet(seed):
+    return InternetConfig(
+        seed=seed, n_tier1=2, n_transit=2, n_stub=3, dests_per_stub=1,
+        n_loop_stub_diamonds=1, n_cycle_stub_diamonds=0, n_nat_dests=0,
+        n_zero_ttl_dests=0, response_loss_rate=0.0, p_per_packet=0.0,
+        n_vantages=2)
+
+
+def run_mda_lite_leg(seed=BENCH_SEED):
+    """The recordable leg: savings, miss rate, parallelism, determinism."""
+    exact = run_census("exact", seed=seed)
+    lite = run_census("lite", seed=seed)
+    exact_links = exact["result"].links()
+    lite_links = lite["result"].links()
+    missed = exact_links - lite_links
+    miss_rate = len(missed) / len(exact_links) if exact_links else 0.0
+
+    ipid = run_census("exact", engine="pipelined", seed=seed)
+    exclusion = run_census("exact", engine="pipelined",
+                           disambiguation="exclusion", seed=seed)
+
+    internet = fleet_internet(seed)
+    config = FleetConfig(rounds=1, workers=2, seed=seed)
+    deterministic = {}
+    for name, builder in (("exact", mda_strategy_builder),
+                          ("lite", mda_lite_strategy_builder)):
+        single = run_fleet(internet, config, strategy_builder=builder)
+        sharded = run_fleet_sharded(internet, config, shards=2,
+                                    strategy_builder=builder)
+        deterministic[name] = single.signature() == sharded.signature()
+
+    return {
+        "exact_wire_probes": exact["wire_probes"],
+        "lite_wire_probes": lite["wire_probes"],
+        "probe_savings": exact["wire_probes"] / lite["wire_probes"],
+        "links": len(exact_links),
+        "missed_links": len(missed),
+        "miss_rate": miss_rate,
+        "ipid_sim_s": ipid["sim_s"],
+        "exclusion_sim_s": exclusion["sim_s"],
+        "hop_parallel_agrees": (
+            discovery_signature(ipid["result"])
+            == discovery_signature(exclusion["result"])),
+        "fleet_deterministic": deterministic,
+        "lite_wall_s": lite["wall_s"],
+    }
+
+
+@pytest.mark.benchmark(group="mda-lite")
+def test_bench_mda_lite_census(benchmark):
+    exact = run_census("exact")
+
+    lite_runs = []
+
+    def lite_run():
+        lite_runs.append(run_census("lite"))
+        return lite_runs[-1]["result"]
+
+    lite = benchmark.pedantic(lite_run, iterations=1, rounds=1)
+
+    exact_links = exact["result"].links()
+    missed = exact_links - lite.links()
+    miss_rate = len(missed) / len(exact_links)
+    savings = exact["wire_probes"] / lite_runs[-1]["wire_probes"]
+    benchmark.extra_info.update({
+        "exact_wire_probes": exact["wire_probes"],
+        "lite_wire_probes": lite_runs[-1]["wire_probes"],
+        "probe_savings": round(savings, 2),
+        "links": len(exact_links),
+        "missed_links": len(missed),
+        "miss_rate": round(miss_rate, 3),
+        "scout_flows": SCOUT_FLOWS,
+    })
+    print()
+    print(f"  census: exact {exact['wire_probes']} wire probes, "
+          f"lite {lite_runs[-1]['wire_probes']} ({savings:.2f}x fewer)")
+    print(f"  links: {len(exact_links)} exact, {len(missed)} missed "
+          f"by lite ({miss_rate:.1%})")
+
+    assert savings >= MIN_PROBE_SAVINGS
+    assert miss_rate <= MAX_MISS_RATE
+    # Every link Lite reports is real (no false links, only misses).
+    assert lite.links() <= exact_links
+
+
+@pytest.mark.benchmark(group="mda-lite")
+def test_bench_hop_parallel_ipid_claims(benchmark):
+    exclusion = run_census("exact", engine="pipelined",
+                           disambiguation="exclusion")
+
+    ipid_runs = []
+
+    def ipid_run():
+        ipid_runs.append(run_census("exact", engine="pipelined"))
+        return ipid_runs[-1]["result"]
+
+    ipid = benchmark.pedantic(ipid_run, iterations=1, rounds=1)
+    sim_ipid = ipid_runs[-1]["sim_s"]
+    sim_exclusion = exclusion["sim_s"]
+
+    benchmark.extra_info.update({
+        "ipid_sim_s": round(sim_ipid, 3),
+        "exclusion_sim_s": round(sim_exclusion, 3),
+        "sim_speedup": round(sim_exclusion / sim_ipid, 2),
+    })
+    print()
+    print(f"  hop-parallel exact MDA: ip-id {sim_ipid:.3f} sim s vs "
+          f"exclusion {sim_exclusion:.3f} sim s "
+          f"({sim_exclusion / sim_ipid:.2f}x less)")
+
+    # Identical interface sets at strictly less simulated time: the
+    # ip-id claim path unlocks true hop parallelism for UDP.
+    assert discovery_signature(ipid) == discovery_signature(
+        exclusion["result"])
+    assert sim_ipid < sim_exclusion
+
+
+@pytest.mark.benchmark(group="mda-lite")
+@pytest.mark.parametrize("name,builder", [
+    ("exact", mda_strategy_builder),
+    ("lite", mda_lite_strategy_builder),
+])
+def test_bench_sharded_census_byte_identical(benchmark, name, builder):
+    internet = fleet_internet(BENCH_SEED)
+    config = FleetConfig(rounds=1, workers=2, seed=BENCH_SEED)
+    single = run_fleet(internet, config, strategy_builder=builder)
+
+    sharded = benchmark.pedantic(
+        lambda: run_fleet_sharded(internet, config, shards=2,
+                                  strategy_builder=builder),
+        iterations=1, rounds=1)
+
+    probes = sum(v.result.probes_sent for v in single.vantages)
+    benchmark.extra_info.update({
+        "algorithm": name,
+        "fleet_probes": probes,
+        "deterministic": sharded.signature() == single.signature(),
+    })
+    print()
+    print(f"  {name}: K=2-sharded fleet census, {probes} probes, "
+          f"signature match: "
+          f"{sharded.signature() == single.signature()}")
+    assert sharded.signature() == single.signature()

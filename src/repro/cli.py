@@ -102,9 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
     mda.add_argument("--figure", choices=sorted(FIGURES), default="6")
     mda.add_argument("--alpha", type=float, default=0.05)
     mda.add_argument("--seed", type=int, default=0)
-    mda.add_argument("--method", choices=("udp", "icmp", "tcp"),
+    mda.add_argument("--method", choices=("udp", "icmp", "tcp", "mda-lite"),
                      default="udp",
-                     help="probing mode of the underlying Paris tool")
+                     help="probing mode of the underlying Paris tool; "
+                          "'mda-lite' is UDP under the census-scale "
+                          "MDA-Lite stopping rule")
+    mda.add_argument("--scout-flows", type=int, default=3,
+                     help="MDA-Lite only: probes before accepting a "
+                          "hop as serial")
     mda.add_argument("--max-ttl", type=int, default=30,
                      help="deepest hop to enumerate")
     mda.add_argument("--engine", choices=("sequential", "pipelined"),
@@ -361,11 +366,16 @@ def cmd_mda(args: argparse.Namespace) -> int:
         print(f"--window must be at least 1, got {args.window}",
               file=sys.stderr)
         return 2
+    if args.scout_flows < 1:
+        print(f"--scout-flows must be at least 1, got {args.scout_flows}",
+              file=sys.stderr)
+        return 2
     fig = FIGURES[args.figure]()
     socket = ProbeSocket(fig.network, fig.source)
     detector = MultipathDetector(socket, method=args.method,
                                  alpha=args.alpha, seed=args.seed,
-                                 engine=args.engine, window=args.window)
+                                 engine=args.engine, window=args.window,
+                                 scout_flows=args.scout_flows)
     print(f"# {fig.description}")
     result = detector.trace(fig.destination_address, max_ttl=args.max_ttl)
     print(result.format_report())

@@ -72,6 +72,7 @@ from repro.obs.registry import (
     active_registry,
 )
 from repro.probing.hoploop import HopLoopStrategy
+from repro.probing.replies import quoted_identification
 from repro.probing.strategy import ProbeRequest, ProbeStrategy
 from repro.sim.endhost import MeasurementHost
 from repro.sim.network import Network
@@ -935,9 +936,17 @@ class ProbeScheduler:
         toward one destination) and even satisfy each other's builder
         matching; the socket fence is what keeps a reply, stale or not,
         from ever being claimed by the wrong vantage's trace.
+
+        ICMP quotes additionally carry the offending datagram's IP
+        Identification; a candidate whose probe disagrees with the
+        quoted value is never the sender, so it is skipped outright.
+        This is what lets hop-parallel MDA keep byte-identical flows
+        outstanding at several TTLs: each probe's unique ip-id tag
+        survives in the quote even though the TTL does not.
         """
         packet = response.packet
         keys = response_match_keys(packet)
+        quoted_id = quoted_identification(packet)
         for key in keys:
             tokens = self._index.get(key)
             if not tokens:
@@ -949,6 +958,9 @@ class ProbeScheduler:
                 record = self._outstanding.get(token)
                 if (record is None or record.lane.socket is not socket
                         or not self._is_fresh(response, record)):
+                    continue
+                if (quoted_id is not None and quoted_id
+                        != record.request.probe.ip.identification):
                     continue
                 if record.request.builder.matches(record.request.probe,
                                                   packet):
@@ -963,6 +975,8 @@ class ProbeScheduler:
         for token, record in self._outstanding.items():
             if (record.lane.socket is socket
                     and self._is_fresh(response, record)
+                    and (quoted_id is None or quoted_id
+                         == record.request.probe.ip.identification)
                     and record.request.builder.matches(record.request.probe,
                                                        packet)):
                 return token, record

@@ -54,6 +54,7 @@ from repro.errors import CampaignError
 from repro.net.inet import IPv4Address
 from repro.probing.executor import run_strategy
 from repro.probing.mda import MdaStrategy
+from repro.probing.mdalite import MdaLiteStrategy
 from repro.probing.strategy import ProbeStrategy
 from repro.sim.endhost import MeasurementHost
 from repro.sim.network import Network
@@ -287,6 +288,39 @@ class Campaign:
                 window=window,
                 hop_concurrency=hop_concurrency,
                 started_at=started_at,
+            )
+
+        return factory
+
+    def mda_lite_strategy_factory(
+        self,
+        alpha: float = 0.05,
+        max_flows_per_hop: int = 64,
+        max_ttl: int = 30,
+        window: int = DEFAULT_WINDOW,
+        hop_concurrency: int = 8,
+        scout_flows: int = 3,
+    ) -> callable:
+        """A ``strategy_factory`` running MDA-Lite toward each destination.
+
+        Same flow derivation as :meth:`mda_strategy_factory`; only the
+        stopping rule (and its census-scale probe budget) differs.
+        """
+
+        def factory(round_index: int, worker: int, position: int,
+                    destination: IPv4Address,
+                    started_at: float) -> ProbeStrategy:
+            return MdaLiteStrategy(
+                make_builder=lambda flow_index: self._paris.make_builder(
+                    destination, flow_index=flow_index),
+                destination=destination,
+                alpha=alpha,
+                max_flows_per_hop=max_flows_per_hop,
+                max_ttl=max_ttl,
+                window=window,
+                hop_concurrency=hop_concurrency,
+                started_at=started_at,
+                scout_flows=scout_flows,
             )
 
         return factory

@@ -131,6 +131,22 @@ class Packet:
         """A copy with the IP TTL reduced by one."""
         return replace(self, ip=self.ip.decremented())
 
+    def with_ip_identification(self, identification: int) -> "Packet":
+        """A copy differing only in the IP Identification field.
+
+        The transport-wire memo is adopted: Identification is not part
+        of any pseudo-header, so the transport octets — including the
+        quoted slice routers echo back — are unchanged.  MDA's ip-id
+        disambiguation retags every UDP probe through this.
+        """
+        if identification == self.ip.identification:
+            return self
+        copy = replace(self, ip=self.ip.with_identification(identification))
+        body = self.__dict__.get("_transport_wire")
+        if body is not None:
+            object.__setattr__(copy, "_transport_wire", body)
+        return copy
+
     @property
     def src(self) -> IPv4Address:
         """Source IP address (convenience accessor)."""

@@ -17,40 +17,73 @@ both measurement substrates:
   as lanes over the event engine, each with a window of probes in
   flight and out-of-order arrivals.
 
-Two strategies cover the repository's probing algorithms:
+Three strategy families cover the repository's probing algorithms:
 
 - :class:`HopLoopStrategy` — the paper's hop loop (star budget,
   destination/unreachable halt, strict TTL-order adjudication), the
   *only* implementation of those rules in the codebase;
-- :class:`MdaStrategy` / :class:`MdaHopStrategy` — the Multipath
+- :class:`MdaStrategy` / :class:`MdaHopStrategy` — the exact Multipath
   Detection Algorithm's stopping-rule fan-out, with one sub-state per
-  hop under enumeration.
+  hop under enumeration;
+- :class:`MdaLiteStrategy` / :class:`MdaLiteHopStrategy` — the same
+  machinery under the census-scale MDA-Lite budget.
+
+Both multipath families share the sans-I/O stopping core in
+:mod:`repro.probing.stopping` (rules, flow-order replay, speculation
+policies), which is exported here for property tests and callers that
+compose their own rules.
 """
 
 from repro.probing.executor import run_strategy
 from repro.probing.hoploop import HopLoopStrategy
 from repro.probing.mda import (
+    DISAMBIGUATION_MODES,
     HopDiscovery,
     MdaHopStrategy,
     MdaStrategy,
     MultipathResult,
     probes_needed,
 )
-from repro.probing.replies import halt_reason_for, interpret_reply
+from repro.probing.mdalite import MdaLiteHopStrategy, MdaLiteStrategy
+from repro.probing.replies import (
+    halt_reason_for,
+    interpret_reply,
+    quoted_identification,
+)
+from repro.probing.stopping import (
+    ExactStopping,
+    ExpectedSpeculation,
+    FlowLedger,
+    LiteStopping,
+    SpeculationPolicy,
+    StoppingRule,
+    WorstCaseSpeculation,
+)
 from repro.probing.strategy import ProbeRequest, ProbeStrategy
 from repro.tracer.base import TracerouteOptions
 
 __all__ = [
+    "DISAMBIGUATION_MODES",
+    "ExactStopping",
+    "ExpectedSpeculation",
+    "FlowLedger",
     "HopDiscovery",
     "HopLoopStrategy",
+    "LiteStopping",
     "MdaHopStrategy",
+    "MdaLiteHopStrategy",
+    "MdaLiteStrategy",
     "MdaStrategy",
     "MultipathResult",
     "ProbeRequest",
     "ProbeStrategy",
+    "SpeculationPolicy",
+    "StoppingRule",
     "TracerouteOptions",
+    "WorstCaseSpeculation",
     "halt_reason_for",
     "interpret_reply",
     "probes_needed",
+    "quoted_identification",
     "run_strategy",
 ]

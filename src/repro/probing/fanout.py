@@ -1,0 +1,107 @@
+"""A one-hop probe fan: one probe per builder slot, who answered?
+
+The paper's Sec. 6 balancer experiments reduce to this primitive: send
+a batch of probes at one TTL — same flow repeated, or distinct flows —
+and collect which interface answered each.  :class:`FlowFanStrategy`
+is that primitive as a sans-I/O strategy, so the experiments run
+unchanged on the blocking stop-and-wait socket (``window=1`` replays
+the historical probe order byte for byte) and on the pipelined engine
+(a whole fan in flight at once).
+
+Probes are built lazily at send time: a *repeated* builder advances its
+per-probe tag exactly once per slot, in slot order, preserving the
+sequence a loop around ``builder.build(ttl)`` would have produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import TracerError
+from repro.net.inet import IPv4Address
+from repro.probing.strategy import ProbeRequest, ProbeStrategy
+from repro.sim.socketapi import ProbeResponse
+
+if TYPE_CHECKING:  # import cycle: tracer.base runs strategies
+    from repro.tracer.probes import ProbeBuilder
+
+__all__ = ["FlowFanResult", "FlowFanStrategy"]
+
+
+@dataclass
+class FlowFanResult:
+    """Per-slot answers of one probe fan.
+
+    ``addresses[i]`` is the interface that answered slot ``i``'s probe,
+    or None for a star/unmatched reply.
+    """
+
+    ttl: int
+    addresses: list[Optional[IPv4Address]] = field(default_factory=list)
+
+    @property
+    def address_set(self) -> set[IPv4Address]:
+        """Distinct interfaces that answered (stars dropped)."""
+        return {a for a in self.addresses if a is not None}
+
+
+class FlowFanStrategy(ProbeStrategy):
+    """Probe ``ttl`` once per builder in ``builders``, in slot order.
+
+    The same builder object may appear in several slots (the
+    same-flow phase of the balancer classifier); each slot still gets
+    its own freshly built — hence uniquely tagged — probe.
+    """
+
+    def __init__(self, builders: Sequence["ProbeBuilder"], ttl: int,
+                 window: int = 1) -> None:
+        if not builders:
+            raise TracerError("need at least one builder slot")
+        if ttl < 1:
+            raise TracerError("ttl must be at least 1")
+        if window < 1:
+            raise TracerError("need a positive in-flight window")
+        self._builders = list(builders)
+        self._window = window
+        self._result = FlowFanResult(
+            ttl=ttl, addresses=[None] * len(self._builders))
+        self._next_slot = 0
+        self._resolved = 0
+        self._in_flight: dict[int, ProbeRequest] = {}
+        self.ttl = ttl
+
+    def next_probes(self) -> list[ProbeRequest]:
+        batch: list[ProbeRequest] = []
+        while (len(self._in_flight) < self._window
+               and self._next_slot < len(self._builders)):
+            slot = self._next_slot
+            self._next_slot += 1
+            builder = self._builders[slot]
+            request = ProbeRequest(token=slot, probe=builder.build(self.ttl),
+                                   builder=builder)
+            self._in_flight[slot] = request
+            batch.append(request)
+        return batch
+
+    def on_reply(self, token: int, response: ProbeResponse,
+                 now: float) -> None:
+        request = self._in_flight.pop(token, None)
+        if request is None:
+            return
+        self._resolved += 1
+        # The blocking driver delivers whatever the socket drew; only a
+        # reply the builder ties to this very probe names an interface.
+        if request.builder.matches(request.probe, response.packet):
+            self._result.addresses[token] = response.packet.src
+
+    def on_timeout(self, token: int, now: float) -> None:
+        if self._in_flight.pop(token, None) is not None:
+            self._resolved += 1
+
+    @property
+    def finished(self) -> bool:
+        return self._resolved >= len(self._builders)
+
+    def result(self) -> FlowFanResult:
+        return self._result

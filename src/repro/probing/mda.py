@@ -8,62 +8,72 @@ flow identifiers until enough have been seen to bound, at confidence
 ``1 - alpha``, the probability that an additional next-hop interface
 exists.
 
-The stopping rule: if ``k`` distinct interfaces have been observed,
-send enough probes that — were there actually ``k + 1`` equally likely
-interfaces — missing one of them has probability below ``alpha``.  The
-number of *consecutive non-discovering* probes needed after the k-th
-discovery is::
-
-    n(k) = ceil( ln(alpha) / ln(k / (k + 1)) )
-
-Two strategies implement it:
+The stopping rule itself — the n(k) table, the flow-order replay that
+keeps pipelined and sequential runs byte-agreeing, and the speculation
+budgets — lives in :mod:`repro.probing.stopping`; this module binds it
+to probes and builders:
 
 - :class:`MdaHopStrategy` enumerates one hop.  Flows are numbered from
   zero; under a window, replies may land in any order, so slots park
-  their outcomes and the stopping rule *replays them strictly in flow
-  order* — the counter advances exactly as the stop-and-wait detector's
-  would, and probes sent speculatively past the stopping point are
-  discarded rather than counted.  That is what keeps pipelined and
-  sequential MDA byte-agreeing on deterministic topologies.
+  their outcomes in the :class:`~repro.probing.stopping.FlowLedger`,
+  which replays them strictly in flow order.
 - :class:`MdaStrategy` runs a full multipath trace with one
   :class:`MdaHopStrategy`-style sub-state per hop under enumeration
-  (``hop_concurrency`` of them in flight at once).  Two hops probing
-  the same flow index would emit byte-identical probes differing only
-  in TTL — their ICMP errors are mutually ambiguous — so the composite
-  never keeps one flow index outstanding at two hops simultaneously;
-  hops pipeline diagonally across the flow space instead.
+  (``hop_concurrency`` of them in flight at once).
+
+Two hops probing the same flow index would emit byte-identical probes
+differing only in TTL, and a quoted ICMP error does not preserve the
+original TTL — so concurrent hops need *some* way to tell their
+answers apart.  ``disambiguation`` selects it per transport:
+
+- ``"ip-id"`` (UDP default) — every probe carries a unique IP
+  Identification; routers quote the full IP header, and the claim path
+  (:mod:`repro.engine.scheduler`) refuses candidates whose quoted ID
+  disagrees.  This is what unlocks full hop-parallelism for UDP MDA.
+- ``"tags"`` (ICMP/TCP default) — one cached builder per flow index,
+  shared across hops, so the tool's own per-probe tag (the co-varied
+  Identifier/Sequence pair, the TCP Sequence Number) advances across
+  hops while the flow identifier stays pinned; the quoted first eight
+  octets then disambiguate through ordinary builder matching.
+- ``"exclusion"`` — the legacy serialized claim path: never keep one
+  flow index outstanding at two hops, pipelining hops diagonally
+  across the flow space.  Kept for unknown builders and as the
+  baseline the hop-parallelism bench compares against.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import TracerError
 from repro.net.inet import IPv4Address
 from repro.net.packet import Packet
+from repro.probing.stopping import (
+    ExactStopping,
+    FlowLedger,
+    SpeculationPolicy,
+    StoppingRule,
+    WorstCaseSpeculation,
+    probes_needed,
+)
 from repro.probing.strategy import ProbeRequest, ProbeStrategy
 from repro.sim.socketapi import ProbeResponse
 
 if TYPE_CHECKING:  # import cycle: tracer.base runs strategies
     from repro.tracer.probes import ProbeBuilder
 
+__all__ = [
+    "DISAMBIGUATION_MODES",
+    "HopDiscovery",
+    "MdaHopStrategy",
+    "MdaStrategy",
+    "MultipathResult",
+    "probes_needed",
+]
 
-def probes_needed(k: int, alpha: float = 0.05) -> int:
-    """Probes without a new interface required to accept "exactly k".
-
-    Direct binomial bound: for alpha = 0.05 this yields 5, 8, 11, 14...
-    for k = 1, 2, 3, 4.  (The published MDA table is slightly more
-    conservative — 6, 11, 16, ... — because it additionally controls
-    the failure probability across all hops of a trace; per-hop, the
-    bound below is the exact statement of the stopping hypothesis.)
-    """
-    if k < 1:
-        raise TracerError("k must be at least 1")
-    if not 0 < alpha < 1:
-        raise TracerError("alpha must be in (0, 1)")
-    return math.ceil(math.log(alpha) / math.log(k / (k + 1)))
+#: How a composite strategy keeps concurrent hops' answers apart.
+DISAMBIGUATION_MODES = ("auto", "ip-id", "tags", "exclusion")
 
 
 @dataclass
@@ -74,8 +84,11 @@ class HopDiscovery:
     a pipelined window, probes sent speculatively past the stopping
     point are discarded and not counted, so the figure matches what the
     stop-and-wait detector reports.  ``stop_reason`` records why
-    enumeration ended: ``"confident"`` (the rule fired) or
+    enumeration ended: ``"confident"`` (the rule fired), ``"scout"``
+    (MDA-Lite accepted a narrow hop from its scout prefix) or
     ``"flow-budget"`` (``max_flows_per_hop`` exhausted first).
+    ``flow_addresses`` maps each counted flow index to the interface
+    that answered it — the raw material for stitching hop-to-hop links.
     """
 
     ttl: int
@@ -83,6 +96,7 @@ class HopDiscovery:
     probes_sent: int = 0
     stopped_confident: bool = False
     stop_reason: str = ""
+    flow_addresses: dict[int, IPv4Address] = field(default_factory=dict)
 
     @property
     def width(self) -> int:
@@ -111,6 +125,37 @@ class MultipathResult:
     def duration(self) -> float:
         """Elapsed simulated seconds."""
         return self.finished_at - self.started_at
+
+    @property
+    def total_probes(self) -> int:
+        """Probes the stopping rules consumed across all hops."""
+        return sum(h.probes_sent for h in self.hops)
+
+    def links(self) -> set[tuple[int, IPv4Address, IPv4Address]]:
+        """Hop-to-hop links as ``(ttl, near_interface, far_interface)``.
+
+        When either side of a hop boundary shows a single interface the
+        bipartite graph is complete by construction, so every pairing is
+        a real link.  Between two *branching* hops only flow stitching
+        is sound: a link is claimed when some flow index was answered on
+        both sides (per-flow balancing keeps one flow on one path).
+        This is the MDA-Lite paper's meshing argument, and it is what
+        the census bench counts when it scores missed links.
+        """
+        links: set[tuple[int, IPv4Address, IPv4Address]] = set()
+        for near, far in zip(self.hops, self.hops[1:]):
+            if not near.interfaces or not far.interfaces:
+                continue
+            if near.width == 1 or far.width == 1:
+                for a in near.interfaces:
+                    for b in far.interfaces:
+                        links.add((near.ttl, a, b))
+                continue
+            for flow, a in near.flow_addresses.items():
+                b = far.flow_addresses.get(flow)
+                if b is not None:
+                    links.add((near.ttl, a, b))
+        return links
 
     def format_report(self) -> str:
         lines = [f"MDA toward {self.destination} "
@@ -142,24 +187,31 @@ class _MdaSlot:
 class _HopState:
     """One hop's fan-out: flows sent in order, adjudicated in order.
 
-    The stopping rule is replayed over resolved slots strictly by flow
-    index, so out-of-order (or unmatched) replies park in their slots
-    and can never corrupt the consecutive-non-discovery counter.
+    Outcomes land in a :class:`FlowLedger`, which replays them strictly
+    by flow index, so out-of-order (or unmatched) replies park in their
+    slots and can never corrupt the stopping rule's counters.
     """
 
     def __init__(self, ttl: int, make_builder: Callable[[int], ProbeBuilder],
-                 alpha: float, max_flows: int, window: int) -> None:
+                 rule: StoppingRule, speculation: SpeculationPolicy,
+                 max_flows: int, window: int,
+                 tagger: Optional[Callable[[], int]] = None,
+                 builder_cache: Optional[dict] = None) -> None:
         self.ttl = ttl
         self.make_builder = make_builder
-        self.alpha = alpha
-        self.max_flows = max_flows
         self.window = window
         self.discovery = HopDiscovery(ttl=ttl)
+        self.ledger = FlowLedger(rule, self.discovery, max_flows)
+        self.speculation = speculation
+        self.tagger = tagger
+        self.builder_cache = builder_cache
+        self.max_flows = max_flows
         self.in_flight = 0
-        self.done = False
         self._slots: list[_MdaSlot] = []
-        self._adjudicated = 0
-        self._since_last_new = 0
+
+    @property
+    def done(self) -> bool:
+        return self.ledger.done
 
     # -- sending ---------------------------------------------------------
     def refill_ready(self) -> bool:
@@ -171,22 +223,19 @@ class _HopState:
     def can_send(self) -> bool:
         """True when the next flow may go on the wire now.
 
-        Speculation past the adjudication frontier is capped at the
-        number of consecutive non-discovering probes the rule could
-        still consume — if none of the probes in flight discovers
-        anything, the last one is exactly the stopping probe, so the
+        Speculation past the adjudication frontier is capped by the
+        hop's :class:`SpeculationPolicy` — at worst the stopping rule's
+        full remainder, so if none of the probes in flight discovers
+        anything the last one is exactly the stopping probe and the
         deterministic case wastes nothing.
         """
         if self.done or len(self._slots) >= self.max_flows:
             return False
         if self.in_flight >= self.window:
             return False
-        pending = len(self._slots) - self._adjudicated
-        return pending < self._speculation_allowance()
-
-    def _speculation_allowance(self) -> int:
-        k = max(1, self.discovery.width)
-        return probes_needed(k, self.alpha) - self._since_last_new
+        pending = len(self._slots) - self.ledger.replayed
+        return pending < self.speculation.allowance(self.ledger.rule,
+                                                    self.discovery.width)
 
     def next_flow(self) -> int:
         """The flow index :meth:`send_next` would emit."""
@@ -194,8 +243,17 @@ class _HopState:
 
     def send_next(self) -> _MdaSlot:
         flow_index = len(self._slots)
-        builder = self.make_builder(flow_index)
-        slot = _MdaSlot(flow_index, builder.build(self.ttl), builder)
+        if self.builder_cache is not None:
+            builder = self.builder_cache.get(flow_index)
+            if builder is None:
+                builder = self.builder_cache[flow_index] = (
+                    self.make_builder(flow_index))
+        else:
+            builder = self.make_builder(flow_index)
+        probe = builder.build(self.ttl)
+        if self.tagger is not None:
+            probe = probe.with_ip_identification(self.tagger())
+        slot = _MdaSlot(flow_index, probe, builder)
         self._slots.append(slot)
         self.in_flight += 1
         return slot
@@ -208,34 +266,25 @@ class _HopState:
         slot.resolved = True
         self.in_flight -= 1
         if (response is not None
-                and slot.builder.matches(slot.probe, response.packet)):
+                and slot.builder.matches(slot.probe, response.packet)
+                and _quote_identification_agrees(slot.probe,
+                                                 response.packet)):
             slot.address = response.packet.src
-        self._adjudicate()
+        self.ledger.record(slot.flow_index, slot.address)
 
-    def _adjudicate(self) -> None:
-        """Replay the stopping rule over resolved slots in flow order."""
-        while not self.done and self._adjudicated < len(self._slots):
-            slot = self._slots[self._adjudicated]
-            if not slot.resolved:
-                return
-            self._adjudicated += 1
-            self.discovery.probes_sent += 1
-            if (slot.address is not None
-                    and slot.address not in self.discovery.interfaces):
-                self.discovery.interfaces.add(slot.address)
-                self._since_last_new = 0
-                continue
-            self._since_last_new += 1
-            k = max(1, self.discovery.width)
-            if self._since_last_new >= probes_needed(k, self.alpha):
-                self._stop("confident")
-        if not self.done and self._adjudicated >= self.max_flows:
-            self._stop("flow-budget")
 
-    def _stop(self, reason: str) -> None:
-        self.done = True
-        self.discovery.stop_reason = reason
-        self.discovery.stopped_confident = reason == "confident"
+def _quote_identification_agrees(probe: Packet, packet: Packet) -> bool:
+    """False only for an ICMP quote contradicting a tagged probe's IP-ID.
+
+    Untagged probes (Identification zero, every non-MDA tool) and
+    responses without a quote always agree, so this check is inert
+    outside ip-id disambiguation — there it is the slot-level backstop
+    behind the scheduler's claim fence.
+    """
+    from repro.probing.replies import quoted_identification
+
+    quoted = quoted_identification(packet)
+    return quoted is None or quoted == probe.ip.identification
 
 
 def _validate(alpha: float, max_flows_per_hop: int, window: int) -> None:
@@ -248,7 +297,12 @@ def _validate(alpha: float, max_flows_per_hop: int, window: int) -> None:
 
 
 class MdaHopStrategy(ProbeStrategy):
-    """Enumerate one hop's interfaces until the stopping rule fires."""
+    """Enumerate one hop's interfaces until the stopping rule fires.
+
+    ``rule`` and ``speculation`` default to the exact MDA
+    (:class:`~repro.probing.stopping.ExactStopping` under worst-case
+    speculation); MDA-Lite's single-hop form passes its own.
+    """
 
     def __init__(
         self,
@@ -257,10 +311,16 @@ class MdaHopStrategy(ProbeStrategy):
         alpha: float = 0.05,
         max_flows_per_hop: int = 128,
         window: int = 1,
+        rule: Optional[StoppingRule] = None,
+        speculation: Optional[SpeculationPolicy] = None,
     ) -> None:
         _validate(alpha, max_flows_per_hop, window)
-        self._state = _HopState(ttl, make_builder, alpha,
-                                max_flows_per_hop, window)
+        self._state = _HopState(
+            ttl, make_builder,
+            rule if rule is not None else ExactStopping(alpha),
+            speculation if speculation is not None
+            else WorstCaseSpeculation(),
+            max_flows_per_hop, window)
         self._requests: dict[int, _MdaSlot] = {}
         self._next_token = 0
 
@@ -307,7 +367,15 @@ class MdaStrategy(ProbeStrategy):
     discarded.  ``hop_concurrency=1, window=1`` therefore reproduces
     the sequential detector probe for probe, while larger values let
     the event scheduler overlap hops and flows.
+
+    ``disambiguation`` (see the module docstring) controls how answers
+    of concurrent hops stay apart; ``"auto"`` picks ip-id for UDP
+    builders, tag advancement for ICMP/TCP, and the legacy flow
+    exclusion for anything else.
     """
+
+    #: Stopping rule installed per hop; subclasses override.
+    rule_name = "exact"
 
     def __init__(
         self,
@@ -320,12 +388,18 @@ class MdaStrategy(ProbeStrategy):
         window: int = 1,
         hop_concurrency: int = 1,
         started_at: float = 0.0,
+        disambiguation: str = "auto",
+        speculation: Optional[SpeculationPolicy] = None,
     ) -> None:
         _validate(alpha, max_flows_per_hop, window)
         if hop_concurrency < 1:
             raise TracerError("need a positive hop concurrency")
         if not 1 <= min_ttl <= max_ttl:
             raise TracerError(f"bad TTL range [{min_ttl}, {max_ttl}]")
+        if disambiguation not in DISAMBIGUATION_MODES:
+            raise TracerError(
+                f"disambiguation must be one of {DISAMBIGUATION_MODES}, "
+                f"not {disambiguation!r}")
         self.destination = IPv4Address(destination)
         self.make_builder = make_builder
         self.alpha = alpha
@@ -333,39 +407,73 @@ class MdaStrategy(ProbeStrategy):
         self.max_ttl = max_ttl
         self.window = window
         self.hop_concurrency = hop_concurrency
+        self.speculation = (speculation if speculation is not None
+                            else self._default_speculation())
+        self.disambiguation = self._resolve_disambiguation(disambiguation)
         self._result = MultipathResult(destination=self.destination,
                                        alpha=alpha, started_at=started_at)
         self._finished = False
         self._frontier = min_ttl
         self._states: dict[int, _HopState] = {}
         self._requests: dict[int, tuple[_HopState, _MdaSlot]] = {}
-        #: flow index -> number of probes of that flow outstanding; a
-        #: flow held by one hop is barred from every other hop, because
-        #: their probes would be byte-identical up to TTL and their
-        #: ICMP errors indistinguishable.
+        #: flow index -> probes of that flow outstanding; only consulted
+        #: under ``"exclusion"``, where a flow held by one hop is barred
+        #: from every other hop.
         self._flow_holders: dict[int, int] = {}
+        #: flow index -> shared builder, under ``"tags"``: rebuilding a
+        #: flow at a deeper hop advances the tool's own tag, keeping the
+        #: quoted eight octets unique while the flow stays pinned.
+        self._builder_cache: Optional[dict] = (
+            {} if self.disambiguation == "tags" else None)
+        #: 16-bit wrapping IP Identification counter, under ``"ip-id"``.
+        #: Zero is skipped: it marks untagged probes everywhere else.
+        self._next_ip_id = 1
         self._next_token = 0
+
+    # -- configuration ---------------------------------------------------
+    def _default_speculation(self) -> SpeculationPolicy:
+        return WorstCaseSpeculation()
+
+    def _make_rule(self) -> StoppingRule:
+        return ExactStopping(self.alpha)
+
+    def _resolve_disambiguation(self, requested: str) -> str:
+        if requested != "auto":
+            return requested
+        method = getattr(self.make_builder(0), "method", "abstract")
+        if method == "udp":
+            return "ip-id"
+        if method in ("icmp", "tcp"):
+            return "tags"
+        return "exclusion"
+
+    def _take_ip_id(self) -> int:
+        value = self._next_ip_id
+        self._next_ip_id = value + 1 if value < 0xFFFF else 1
+        return value
 
     # -- the protocol ----------------------------------------------------
     def next_probes(self) -> list[ProbeRequest]:
         if self._finished:
             return []
         self._activate()
+        exclusive = self.disambiguation == "exclusion"
         batch: list[ProbeRequest] = []
         for ttl in sorted(self._states):
             state = self._states[ttl]
             if not state.refill_ready():
                 continue
             while state.can_send():
-                flow = state.next_flow()
-                if self._flow_holders.get(flow, 0) > 0:
+                if exclusive and self._flow_holders.get(
+                        state.next_flow(), 0) > 0:
                     break
                 slot = state.send_next()
                 token = self._next_token
                 self._next_token += 1
                 self._requests[token] = (state, slot)
-                self._flow_holders[flow] = (
-                    self._flow_holders.get(flow, 0) + 1)
+                if exclusive:
+                    self._flow_holders[slot.flow_index] = (
+                        self._flow_holders.get(slot.flow_index, 0) + 1)
                 batch.append(ProbeRequest(token=token, probe=slot.probe,
                                           builder=slot.builder))
         return batch
@@ -388,11 +496,14 @@ class MdaStrategy(ProbeStrategy):
     def _activate(self) -> None:
         """Open sub-states for the next ``hop_concurrency`` hops."""
         limit = min(self.max_ttl, self._frontier + self.hop_concurrency - 1)
+        tagger = (self._take_ip_id
+                  if self.disambiguation == "ip-id" else None)
         for ttl in range(self._frontier, limit + 1):
             if ttl not in self._states:
                 self._states[ttl] = _HopState(
-                    ttl, self.make_builder, self.alpha,
-                    self.max_flows_per_hop, self.window)
+                    ttl, self.make_builder, self._make_rule(),
+                    self.speculation, self.max_flows_per_hop, self.window,
+                    tagger=tagger, builder_cache=self._builder_cache)
 
     def _resolve(self, token: int, response: ProbeResponse | None,
                  now: float) -> None:
@@ -402,7 +513,8 @@ class MdaStrategy(ProbeStrategy):
         if entry is None:
             return
         state, slot = entry
-        self._flow_holders[slot.flow_index] -= 1
+        if self.disambiguation == "exclusion":
+            self._flow_holders[slot.flow_index] -= 1
         state.resolve(slot, response)
         self._consume(now)
 

@@ -1,0 +1,97 @@
+"""MDA-Lite: the census-scale multipath strategy.
+
+Vermeulen, Fourmaux, Strowes and Friedman's "Multilevel MDA-Lite Paris
+Traceroute" (PAPERS.md) starts from a field observation: at Internet
+census scale almost every hop is serial, and the exact MDA's per-hop
+cost — n(1) + 1 probes at *every* serial hop, coupon-collector time
+plus a full n(k) tail at every diamond — is what keeps full multipath
+surveys from scaling.  MDA-Lite trades a bounded miss probability for
+a much cheaper budget (see :class:`repro.probing.stopping.LiteStopping`
+for the exact rule):
+
+- serial hops are accepted straight from a small *scout* prefix of
+  flows (``scout_flows``, default 3) instead of n(1) + 1 probes;
+- branching hops stop at n(k) probes *in total* — discoveries count —
+  instead of n(k) consecutive misses after the last discovery.
+
+:class:`MdaLiteStrategy` is the exact :class:`~repro.probing.mda
+.MdaStrategy` with that rule and the *expected*-remainder speculation
+budget installed: the machinery — flow-order replay, hop concurrency,
+ip-id/tag disambiguation, TTL-ordered consumption — is shared through
+:mod:`repro.probing.stopping`, so everything that runs exact MDA
+(`MultipathDetector`, campaigns, fleets, the CLI) runs MDA-Lite by
+swapping the strategy class.
+
+When to prefer which: exact MDA for per-hop miss probability bounded
+by alpha regardless of topology (verification runs, ground-truth
+benches); MDA-Lite when probe budget is the constraint and a small
+per-diamond miss rate is acceptable — the census bench
+(``benchmarks/test_bench_mda_lite.py``) pins the trade at >= 2x fewer
+probes for <= 5% missed links on seeded wide diamonds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import TracerError
+from repro.probing.mda import MdaHopStrategy, MdaStrategy
+from repro.probing.stopping import (
+    ExpectedSpeculation,
+    LiteStopping,
+    SpeculationPolicy,
+    StoppingRule,
+)
+
+__all__ = ["MdaLiteHopStrategy", "MdaLiteStrategy"]
+
+
+class MdaLiteStrategy(MdaStrategy):
+    """Full multipath trace under the MDA-Lite hop budget.
+
+    Accepts everything :class:`MdaStrategy` does, plus ``scout_flows``
+    — the number of adjudicated probes after which a hop still showing
+    at most one interface is accepted (the knob trading serial-hop
+    cost against the chance of missing a diamond entirely).
+    Speculation defaults to the expected stopping-rule remainder
+    rather than the worst case, so wide hops keep fewer wasted probes
+    in flight while they are still discovering.
+    """
+
+    rule_name = "lite"
+
+    def __init__(self, *args, scout_flows: int = 3, **kwargs) -> None:
+        if scout_flows < 1:
+            raise TracerError("need at least one scout flow")
+        self.scout_flows = scout_flows
+        super().__init__(*args, **kwargs)
+
+    def _default_speculation(self) -> SpeculationPolicy:
+        return ExpectedSpeculation()
+
+    def _make_rule(self) -> StoppingRule:
+        return LiteStopping(self.alpha, scout_flows=self.scout_flows)
+
+
+class MdaLiteHopStrategy(MdaHopStrategy):
+    """Single-hop enumeration under the MDA-Lite budget."""
+
+    def __init__(
+        self,
+        make_builder: Callable[[int], object],
+        ttl: int,
+        alpha: float = 0.05,
+        max_flows_per_hop: int = 128,
+        window: int = 1,
+        scout_flows: int = 3,
+        speculation: Optional[SpeculationPolicy] = None,
+    ) -> None:
+        if scout_flows < 1:
+            raise TracerError("need at least one scout flow")
+        super().__init__(
+            make_builder, ttl, alpha=alpha,
+            max_flows_per_hop=max_flows_per_hop, window=window,
+            rule=LiteStopping(alpha, scout_flows=scout_flows),
+            speculation=(speculation if speculation is not None
+                         else ExpectedSpeculation()),
+        )

@@ -24,6 +24,21 @@ if TYPE_CHECKING:  # import cycle: tracer.base runs strategies
     from repro.tracer.probes import ProbeBuilder
 
 
+def quoted_identification(packet: Packet) -> int | None:
+    """The IP Identification a router quoted back, if the response is
+    an ICMP error carrying the offending datagram's header.
+
+    Echo replies and TCP responses quote nothing — callers get None and
+    must fall back to their transport-level matching.  This is the
+    primitive behind MDA's ip-id disambiguation: a probe tagged with a
+    unique Identification can claim only quotes that echo it.
+    """
+    transport = packet.transport
+    if isinstance(transport, (ICMPTimeExceeded, ICMPDestinationUnreachable)):
+        return transport.quoted_header.identification
+    return None
+
+
 def interpret_reply(
     builder: ProbeBuilder,
     probe: Packet,

@@ -1,0 +1,302 @@
+"""The MDA stopping-rule core: sans-everything, even sans-strategy.
+
+Both multipath strategies — the exact MDA (:mod:`repro.probing.mda`)
+and MDA-Lite (:mod:`repro.probing.mdalite`) — reduce, per hop, to the
+same skeleton: probes go out under fresh flow indices, their outcomes
+come back in *any* order, and a stopping rule decides when the hop's
+interface set is complete enough.  This module is that skeleton with
+all I/O removed:
+
+- :func:`probes_needed` — the n(k) table shared by every rule;
+- :class:`ExactStopping` / :class:`LiteStopping` — the two published
+  stopping rules as tiny counter machines;
+- :class:`FlowLedger` — flow-order replay: outcomes park until the
+  contiguous flow frontier reaches them, then feed the rule strictly
+  in flow order, so duplicated and out-of-order replies can never
+  corrupt a counter (the engine-equivalence invariant);
+- :class:`WorstCaseSpeculation` / :class:`ExpectedSpeculation` — how
+  far past the adjudication frontier a driver may probe.
+
+Everything here is driven by plain calls with ints and addresses,
+which is what makes the property-test layer
+(``tests/probing/test_stopping_properties.py``) possible: hypothesis
+exercises rules and replay against thousands of orderings without
+building a single packet.
+
+The exact rule accepts "exactly k interfaces" after n(k) *consecutive*
+non-discovering probes — every discovery resets the tail, so a wide
+hop pays the full coupon-collector time *plus* a full tail.  MDA-Lite
+(Vermeulen, Fourmaux, Strowes, Friedman: "Multilevel MDA-Lite Paris
+Traceroute", PAPERS.md) instead budgets n(k) *total* probes at the
+hop — discoveries count too — and accepts narrow hops straight from a
+small scout prefix, trading a bounded miss probability for roughly
+half the probes on wide diamonds and two thirds on serial hops.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import TracerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.inet import IPv4Address
+    from repro.probing.mda import HopDiscovery
+
+
+def probes_needed(k: int, alpha: float = 0.05) -> int:
+    """Probes without a new interface required to accept "exactly k".
+
+    Direct binomial bound: for alpha = 0.05 this yields 5, 8, 11, 14...
+    for k = 1, 2, 3, 4.  (The published MDA table is slightly more
+    conservative — 6, 11, 16, ... — because it additionally controls
+    the failure probability across all hops of a trace; per-hop, the
+    bound below is the exact statement of the stopping hypothesis.)
+    """
+    if k < 1:
+        raise TracerError("k must be at least 1")
+    if not 0 < alpha < 1:
+        raise TracerError("alpha must be in (0, 1)")
+    return math.ceil(math.log(alpha) / math.log(k / (k + 1)))
+
+
+# ----------------------------------------------------------------------
+# stopping rules
+# ----------------------------------------------------------------------
+class StoppingRule(ABC):
+    """One hop's stopping decision, fed adjudicated outcomes in order.
+
+    The rule never sees packets: :class:`FlowLedger` tells it, per
+    counted probe, whether that probe discovered a new interface and
+    how wide the hop currently is.  ``observe`` returns the stop reason
+    the moment the rule fires, and ``remainder`` bounds how many more
+    probes the rule could still consume if nothing new were found —
+    the speculation policies build on it.
+    """
+
+    #: Rule label ("exact", "lite") recorded for diagnostics.
+    name: str = "abstract"
+
+    def __init__(self, alpha: float = 0.05) -> None:
+        if not 0 < alpha < 1:
+            raise TracerError("alpha must be in (0, 1)")
+        self.alpha = alpha
+        #: Probes adjudicated so far (discovering or not).
+        self.total = 0
+        #: Consecutive non-discovering probes since the last discovery.
+        self.since_last_new = 0
+
+    def observe(self, discovered_new: bool, width: int) -> Optional[str]:
+        """Count one adjudicated probe; the stop reason once it fires."""
+        self.total += 1
+        if discovered_new:
+            self.since_last_new = 0
+        else:
+            self.since_last_new += 1
+        return self._decide(width)
+
+    @abstractmethod
+    def _decide(self, width: int) -> Optional[str]:
+        """The stop reason after the counters advanced, or None."""
+
+    @abstractmethod
+    def remainder(self, width: int) -> int:
+        """Probes the rule could still consume absent any discovery."""
+
+
+class ExactStopping(StoppingRule):
+    """The exact MDA rule: n(k) *consecutive* non-discovering probes.
+
+    Every discovery resets the tail, so the realized per-hop miss
+    probability is bounded by alpha regardless of how the discoveries
+    interleave — at the price of coupon-collector time plus a full
+    tail on wide hops.
+    """
+
+    name = "exact"
+
+    def _decide(self, width: int) -> Optional[str]:
+        k = max(1, width)
+        if self.since_last_new >= probes_needed(k, self.alpha):
+            return "confident"
+        return None
+
+    def remainder(self, width: int) -> int:
+        k = max(1, width)
+        return probes_needed(k, self.alpha) - self.since_last_new
+
+
+class LiteStopping(StoppingRule):
+    """The MDA-Lite hop budget: n(k) probes *in total*, scouts for chains.
+
+    Two departures from the exact rule, both from the MDA-Lite paper's
+    observation that hop-level enumeration does not need per-discovery
+    tail resets:
+
+    - a hop still showing at most one interface after ``scout_flows``
+      adjudicated probes is accepted immediately (``"scout"``) — the
+      multilevel idea: almost all census hops are serial, and paying
+      n(1) + 1 probes at each is what keeps exact MDA from scaling;
+    - a branching hop stops as soon as *total* adjudicated probes reach
+      n(k) for the current width k, discoveries included.  The budget
+      grows with every new interface, but never replays the tail, so a
+      width-16 diamond costs ~n(16) probes instead of coupon-collector
+      time plus n(16).
+
+    The price is a miss probability above the exact rule's alpha when
+    a hop's last interfaces are slow to appear; the census bench
+    (``benchmarks/test_bench_mda_lite.py``) measures exactly this
+    probe-savings vs missed-links trade-off.
+    """
+
+    name = "lite"
+
+    def __init__(self, alpha: float = 0.05, scout_flows: int = 3) -> None:
+        super().__init__(alpha)
+        if scout_flows < 1:
+            raise TracerError("need at least one scout flow")
+        self.scout_flows = scout_flows
+
+    def _decide(self, width: int) -> Optional[str]:
+        if width > 1:
+            if self.total >= probes_needed(width, self.alpha):
+                return "confident"
+            return None
+        if self.total >= self.scout_flows:
+            return "scout"
+        return None
+
+    def remainder(self, width: int) -> int:
+        if width > 1:
+            return probes_needed(width, self.alpha) - self.total
+        return self.scout_flows - self.total
+
+
+# ----------------------------------------------------------------------
+# speculation budgets
+# ----------------------------------------------------------------------
+class SpeculationPolicy(ABC):
+    """How many unadjudicated probes a driver may keep issued at once."""
+
+    @abstractmethod
+    def allowance(self, rule: StoppingRule, width: int) -> int:
+        """Upper bound on probes issued past the adjudication frontier."""
+
+
+class WorstCaseSpeculation(SpeculationPolicy):
+    """Issue the full stopping-rule remainder.
+
+    If none of the outstanding probes discovers anything, the last one
+    is exactly the stopping probe — the deterministic case wastes
+    nothing.  This is the exact strategy's historical behaviour and the
+    default that keeps its pipelined probe stream byte-stable.
+    """
+
+    def allowance(self, rule: StoppingRule, width: int) -> int:
+        return rule.remainder(width)
+
+
+class ExpectedSpeculation(SpeculationPolicy):
+    """Issue the *expected* remainder instead of the worst case.
+
+    While a hop is still discovering, most in-flight probes will be
+    outrun by a discovery that re-extends the budget — sending the
+    worst-case tail up front just wastes wire probes that adjudication
+    then discards.  With the Laplace discovery-rate estimate
+    ``p = (width + 1) / (total + 2)``, the expected number of probes
+    consumed before the next discovery (or the stop, whichever comes
+    first) is that of a geometric race truncated at the remainder r::
+
+        E[min(Geom(p), r)] = (1 - (1 - p)^r) / p
+
+    which tends to r as the hop converges (p -> 0) and stays near 1/p
+    while discoveries are frequent.  The policy only shapes how much is
+    in flight — adjudication replays in flow order either way — so it
+    trades speculative waste for refill round-trips without touching
+    the counted inference.
+    """
+
+    def allowance(self, rule: StoppingRule, width: int) -> int:
+        remainder = rule.remainder(width)
+        if remainder <= 0:
+            return 0
+        p = (max(1, width) + 1) / (rule.total + 2)
+        expected = math.ceil((1.0 - (1.0 - p) ** remainder) / p)
+        return max(1, min(remainder, expected))
+
+
+# ----------------------------------------------------------------------
+# flow-order replay
+# ----------------------------------------------------------------------
+class FlowLedger:
+    """Replay per-flow outcomes in flow order against a stopping rule.
+
+    Flows are numbered from zero in send order.  ``record`` accepts an
+    outcome (a responding interface, or None for a star/unmatched
+    reply) for any flow, in any order, any number of times — only the
+    first outcome per flow counts, and nothing is fed to the rule until
+    the contiguous frontier reaches it.  That is the whole determinism
+    contract: the rule's counters advance exactly as a stop-and-wait
+    prober's would, no matter how a window reorders or duplicates the
+    answers.
+
+    Outcomes recorded past the stopping point are discarded rather than
+    counted, so ``discovery.probes_sent`` matches the sequential figure
+    and the strategies stay byte-agreeing across engines.
+    """
+
+    def __init__(self, rule: StoppingRule, discovery: "HopDiscovery",
+                 max_flows: int) -> None:
+        if max_flows < 1:
+            raise TracerError("need a positive per-hop flow budget")
+        self.rule = rule
+        self.discovery = discovery
+        self.max_flows = max_flows
+        self.stop_reason: Optional[str] = None
+        self._outcomes: dict[int, Optional["IPv4Address"]] = {}
+        self._replayed = 0
+
+    @property
+    def done(self) -> bool:
+        return self.stop_reason is not None
+
+    @property
+    def replayed(self) -> int:
+        """Flows adjudicated so far (the contiguous frontier)."""
+        return self._replayed
+
+    def record(self, flow_index: int,
+               address: Optional["IPv4Address"]) -> None:
+        """Park one flow's outcome and replay as far as possible."""
+        if flow_index < 0:
+            raise TracerError("flow indices are numbered from zero")
+        if self.done or flow_index in self._outcomes:
+            return
+        self._outcomes[flow_index] = address
+        self._replay()
+
+    def _replay(self) -> None:
+        discovery = self.discovery
+        while not self.done and self._replayed in self._outcomes:
+            address = self._outcomes[self._replayed]
+            self._replayed += 1
+            discovery.probes_sent += 1
+            discovered = False
+            if address is not None:
+                discovery.flow_addresses[self._replayed - 1] = address
+                if address not in discovery.interfaces:
+                    discovery.interfaces.add(address)
+                    discovered = True
+            reason = self.rule.observe(discovered, discovery.width)
+            if reason is not None:
+                self._stop(reason)
+        if not self.done and self._replayed >= self.max_flows:
+            self._stop("flow-budget")
+
+    def _stop(self, reason: str) -> None:
+        self.stop_reason = reason
+        discovery = self.discovery
+        discovery.stop_reason = reason
+        discovery.stopped_confident = reason in ("confident", "scout")

@@ -18,6 +18,12 @@ either measurement substrate:
   under enumeration at once, each with up to ``window`` flows in
   flight, discovering identical interface sets in a fraction of the
   simulated time.
+
+``algorithm`` selects the stopping rule: ``"exact"`` (default) or
+``"lite"`` for MDA-Lite's census-scale budget
+(:mod:`repro.probing.mdalite`).  ``method="mda-lite"`` is accepted as
+shorthand for UDP probing under the lite rule, so every catalogued
+``--method`` surface gains MDA-Lite for free.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.probing.mda import (
     MultipathResult,
     probes_needed,
 )
+from repro.probing.mdalite import MdaLiteHopStrategy, MdaLiteStrategy
 from repro.probing.strategy import ProbeStrategy
 from repro.sim.socketapi import ProbeSocket
 from repro.tracer.paris import ParisTraceroute
@@ -63,6 +70,9 @@ class MultipathDetector:
         engine: str = "sequential",
         window: int = DEFAULT_MDA_WINDOW,
         hop_concurrency: int = DEFAULT_HOP_CONCURRENCY,
+        algorithm: str = "exact",
+        scout_flows: int = 3,
+        disambiguation: str = "auto",
     ) -> None:
         if not 0 < alpha < 1:
             raise TracerError("alpha must be in (0, 1)")
@@ -77,12 +87,21 @@ class MultipathDetector:
             raise TracerError(
                 f"hop_concurrency must be at least 1, got {hop_concurrency}"
             )
+        if method == "mda-lite":
+            # Shorthand: UDP probing under the lite stopping rule.
+            method, algorithm = "udp", "lite"
+        if algorithm not in ("exact", "lite"):
+            raise TracerError(
+                f"algorithm must be 'exact' or 'lite', not {algorithm!r}")
         self.socket = socket
         self.alpha = alpha
         self.max_flows_per_hop = max_flows_per_hop
         self.engine = engine
         self.window = window
         self.hop_concurrency = hop_concurrency
+        self.algorithm = algorithm
+        self.scout_flows = scout_flows
+        self.disambiguation = disambiguation
         self._paris = ParisTraceroute(socket, method=method, seed=seed)
         self._async_socket = None
 
@@ -127,13 +146,24 @@ class MultipathDetector:
     def probe_hop(self, destination: IPv4Address, ttl: int) -> HopDiscovery:
         """Enumerate interfaces at one hop until the rule says stop."""
         destination = IPv4Address(destination)
-        strategy = MdaHopStrategy(
-            make_builder=self._flow_builders(destination),
-            ttl=ttl,
-            alpha=self.alpha,
-            max_flows_per_hop=self.max_flows_per_hop,
-            window=self.window if self.engine == "pipelined" else 1,
-        )
+        window = self.window if self.engine == "pipelined" else 1
+        if self.algorithm == "lite":
+            strategy = MdaLiteHopStrategy(
+                make_builder=self._flow_builders(destination),
+                ttl=ttl,
+                alpha=self.alpha,
+                max_flows_per_hop=self.max_flows_per_hop,
+                window=window,
+                scout_flows=self.scout_flows,
+            )
+        else:
+            strategy = MdaHopStrategy(
+                make_builder=self._flow_builders(destination),
+                ttl=ttl,
+                alpha=self.alpha,
+                max_flows_per_hop=self.max_flows_per_hop,
+                window=window,
+            )
         return self._run(strategy)
 
     def trace(self, destination: IPv4Address | str,
@@ -148,7 +178,7 @@ class MultipathDetector:
         """
         destination = IPv4Address(destination)
         pipelined = self.engine == "pipelined"
-        strategy = MdaStrategy(
+        kwargs = dict(
             make_builder=self._flow_builders(destination),
             destination=destination,
             alpha=self.alpha,
@@ -157,5 +187,11 @@ class MultipathDetector:
             window=self.window if pipelined else 1,
             hop_concurrency=self.hop_concurrency if pipelined else 1,
             started_at=self.socket.network.clock.now,
+            disambiguation=self.disambiguation,
         )
+        if self.algorithm == "lite":
+            strategy = MdaLiteStrategy(scout_flows=self.scout_flows,
+                                       **kwargs)
+        else:
+            strategy = MdaStrategy(**kwargs)
         return self._run(strategy)

@@ -16,6 +16,11 @@ items (Sec. 6): :meth:`enumerate_paths` deliberately *varies* the flow
 identifier to expose all interfaces of a load balancer, and
 :meth:`classify_balancer` distinguishes per-flow from per-packet
 balancing by re-probing one hop with identical versus distinct flows.
+Both are thin wrappers over sans-I/O strategies — a hop loop per flow,
+a :class:`repro.probing.fanout.FlowFanStrategy` per probing phase — so
+``engine="pipelined"`` runs every flow concurrently on the event
+scheduler while the sequential default replays the historical probe
+order byte for byte.
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import TracerError
 from repro.net.inet import IPv4Address
+from repro.probing.executor import run_strategy
+from repro.probing.fanout import FlowFanStrategy
 from repro.sim.socketapi import ProbeSocket
 from repro.tracer.base import Traceroute, TracerouteOptions
 from repro.tracer.probes import (
@@ -139,10 +146,35 @@ class ParisTraceroute(Traceroute):
     # ------------------------------------------------------------------
     # future-work features (paper Sec. 6)
     # ------------------------------------------------------------------
+    def _run_pipelined(self, lanes: list[list]) -> list:
+        """One scheduler run over ``lanes`` of specs; results in order.
+
+        The pipelined Sec. 6 path: every lane is one flow's strategy,
+        all multiplexed on one event clock.  Per-run probe/response
+        deltas are mirrored onto the blocking socket so probing cost
+        reads the same across engines.
+        """
+        from repro.engine.asyncsocket import AsyncProbeSocket
+        from repro.engine.scheduler import ProbeScheduler
+
+        async_socket = AsyncProbeSocket(self.socket.network,
+                                        self.socket.host,
+                                        timeout=self.socket.timeout)
+        scheduler = ProbeScheduler(self.socket.network, self.socket.host,
+                                   socket=async_socket,
+                                   timeout=self.socket.timeout)
+        for specs in lanes:
+            scheduler.add_lane(specs)
+        outcomes = scheduler.run()
+        self.socket.probes_sent += async_socket.probes_sent
+        self.socket.responses_received += async_socket.responses_received
+        return [outcome.result for outcome in outcomes]
+
     def enumerate_paths(
         self,
         destination: IPv4Address | str,
         flows: int = 16,
+        engine: str = "sequential",
     ) -> PathEnumeration:
         """Trace ``flows`` distinct flow identifiers toward a destination.
 
@@ -150,14 +182,36 @@ class ParisTraceroute(Traceroute):
         their union exposes every balancer interface that the hash
         spreads these flows over.  Sixteen flows cover the widest
         equal-cost fan-out the paper mentions (Juniper's sixteen).
+
+        Every flow is one hop-loop strategy; ``engine="pipelined"``
+        runs them as concurrent lanes of one event scheduler instead of
+        back to back.
         """
         destination = IPv4Address(destination)
-        routes: list[TracerouteResult] = []
+        if engine not in ("sequential", "pipelined"):
+            raise TracerError(
+                f"engine must be 'sequential' or 'pipelined', "
+                f"not {engine!r}")
+        if engine == "pipelined":
+            from repro.engine.scheduler import TraceSpec
+
+            lanes = []
+            for flow_index in range(flows):
+                builder = self.make_builder(destination,
+                                            flow_index=flow_index)
+                lanes.append([TraceSpec(tracer=self,
+                                        destination=destination,
+                                        builder_factory=lambda b=builder: b)])
+            routes = self._run_pipelined(lanes)
+        else:
+            routes = [
+                self.trace(destination,
+                           builder=self.make_builder(destination,
+                                                     flow_index=flow_index))
+                for flow_index in range(flows)
+            ]
         interfaces: dict[int, set[IPv4Address]] = {}
-        for flow_index in range(flows):
-            builder = self.make_builder(destination, flow_index=flow_index)
-            result = self.trace(destination, builder=builder)
-            routes.append(result)
+        for result in routes:
             for hop in result.hops:
                 for address in hop.addresses:
                     interfaces.setdefault(hop.ttl, set()).add(address)
@@ -169,6 +223,7 @@ class ParisTraceroute(Traceroute):
         destination: IPv4Address | str,
         ttl: int,
         attempts: int = 12,
+        engine: str = "sequential",
     ) -> BalancerVerdict:
         """Distinguish per-flow from per-packet balancing at one hop.
 
@@ -176,23 +231,34 @@ class ParisTraceroute(Traceroute):
         any spread must come from per-packet balancing.  Then probe with
         ``attempts`` distinct flows: spread here (absent same-flow
         spread) reveals per-flow balancing.
+
+        Each phase is one :class:`FlowFanStrategy`;
+        ``engine="pipelined"`` puts both fans in flight at once.
         """
         destination = IPv4Address(destination)
-        same_flow: set[IPv4Address] = set()
-        builder = self.make_builder(destination, flow_index=0)
-        for __ in range(attempts):
-            probe = builder.build(ttl)
-            response = self.socket.send_probe(probe.build())
-            if response is not None and builder.matches(probe,
-                                                        response.packet):
-                same_flow.add(response.packet.src)
-        varied_flow: set[IPv4Address] = set()
-        for flow_index in range(attempts):
-            builder = self.make_builder(destination, flow_index=flow_index)
-            probe = builder.build(ttl)
-            response = self.socket.send_probe(probe.build())
-            if response is not None and builder.matches(probe,
-                                                        response.packet):
-                varied_flow.add(response.packet.src)
-        return BalancerVerdict(ttl=ttl, same_flow_addresses=same_flow,
-                               varied_flow_addresses=varied_flow)
+        if engine not in ("sequential", "pipelined"):
+            raise TracerError(
+                f"engine must be 'sequential' or 'pipelined', "
+                f"not {engine!r}")
+        pinned = self.make_builder(destination, flow_index=0)
+        same_fan = FlowFanStrategy(
+            [pinned] * attempts, ttl,
+            window=attempts if engine == "pipelined" else 1)
+        varied_fan = FlowFanStrategy(
+            [self.make_builder(destination, flow_index=flow_index)
+             for flow_index in range(attempts)], ttl,
+            window=attempts if engine == "pipelined" else 1)
+        if engine == "pipelined":
+            from repro.engine.scheduler import StrategySpec
+
+            same, varied = self._run_pipelined([
+                [StrategySpec(lambda __, s=same_fan: s, label="same-flow")],
+                [StrategySpec(lambda __, s=varied_fan: s,
+                              label="varied-flow")],
+            ])
+        else:
+            same = run_strategy(self.socket, same_fan)
+            varied = run_strategy(self.socket, varied_fan)
+        return BalancerVerdict(ttl=ttl,
+                               same_flow_addresses=same.address_set,
+                               varied_flow_addresses=varied.address_set)

@@ -32,6 +32,7 @@ from repro.vantage.fleet import VantageFleet
 from repro.vantage.sharding import (
     FleetShardTask,
     materialize_shard,
+    mda_lite_strategy_builder,
     mda_strategy_builder,
     plan_shards,
     run_fleet,
@@ -49,6 +50,7 @@ __all__ = [
     "VantageOutcome",
     "VantageSocket",
     "materialize_shard",
+    "mda_lite_strategy_builder",
     "mda_strategy_builder",
     "plan_shards",
     "run_fleet",

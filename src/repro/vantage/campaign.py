@@ -68,6 +68,7 @@ from repro.measurement.storage import (
 )
 from repro.net.inet import IPv4Address
 from repro.probing.mda import MdaStrategy
+from repro.probing.mdalite import MdaLiteStrategy
 from repro.probing.strategy import ProbeStrategy
 from repro.sim.endhost import MeasurementHost
 from repro.sim.network import Network
@@ -434,6 +435,40 @@ class FleetCampaign:
                 window=window,
                 hop_concurrency=hop_concurrency,
                 started_at=started_at,
+            )
+
+        return factory
+
+    def mda_lite_strategy_factory(
+        self,
+        alpha: float = 0.05,
+        max_flows_per_hop: int = 64,
+        max_ttl: int = 30,
+        window: int = DEFAULT_WINDOW,
+        hop_concurrency: int = 8,
+        scout_flows: int = 3,
+    ) -> Callable:
+        """A ``strategy_factory`` running MDA-Lite from each vantage.
+
+        Same per-vantage flow derivation as :meth:`mda_strategy_factory`;
+        only the stopping rule (and its census budget) differs.
+        """
+
+        def factory(vantage: int, round_index: int, worker: int,
+                    position: int, destination: IPv4Address,
+                    started_at: float) -> ProbeStrategy:
+            paris = self._paris[vantage]
+            return MdaLiteStrategy(
+                make_builder=lambda flow_index: paris.make_builder(
+                    destination, flow_index=flow_index),
+                destination=destination,
+                alpha=alpha,
+                max_flows_per_hop=max_flows_per_hop,
+                max_ttl=max_ttl,
+                window=window,
+                hop_concurrency=hop_concurrency,
+                started_at=started_at,
+                scout_flows=scout_flows,
             )
 
         return factory

@@ -44,6 +44,11 @@ def mda_strategy_builder(campaign: FleetCampaign) -> Callable:
     return campaign.mda_strategy_factory()
 
 
+def mda_lite_strategy_builder(campaign: FleetCampaign) -> Callable:
+    """Picklable ``strategy_builder`` for an MDA-Lite census."""
+    return campaign.mda_lite_strategy_factory()
+
+
 @dataclass
 class FleetShardTask:
     """Everything one shard needs to rebuild its world and run.

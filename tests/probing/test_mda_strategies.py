@@ -312,25 +312,15 @@ class TestMdaStrategyComposite:
                 fig2.destination_address)
         assert discovery_signature(result) == discovery_signature(expected)
 
-    def test_concurrent_hops_never_share_a_flow(self):
-        fig = figures.figure3()
-        socket = ProbeSocket(fig.network, fig.source)
-        paris = ParisTraceroute(socket, seed=3)
-        strategy = MdaStrategy(
-            make_builder=lambda i: paris.make_builder(
-                fig.destination_address, flow_index=i),
-            destination=fig.destination_address, max_ttl=30,
-            window=8, hop_concurrency=8)
-        outstanding = {}  # token -> (ttl, flow builder identity probe)
+    @staticmethod
+    def _drive_checking(fig, strategy, socket, check):
+        """Run ``strategy`` by hand, calling ``check`` on every
+        outstanding-probe snapshot; returns the strategy's result."""
+        outstanding = {}
         while not strategy.finished:
             for request in strategy.next_probes():
                 outstanding[request.token] = request
-            # Identical transport bytes at two TTLs would be ambiguous.
-            seen = set()
-            for request in outstanding.values():
-                key = request.probe.first_eight_transport_octets()
-                assert key not in seen
-                seen.add(key)
+            check(list(outstanding.values()))
             token, request = next(iter(outstanding.items()))
             del outstanding[token]
             response = socket.send_probe(request.probe.build())
@@ -338,7 +328,96 @@ class TestMdaStrategyComposite:
                 strategy.on_timeout(token, fig.network.clock.now)
             else:
                 strategy.on_reply(token, response, fig.network.clock.now)
-        assert strategy.result().hops
+        return strategy.result()
+
+    @staticmethod
+    def _composite(fig, method, **kwargs):
+        socket = ProbeSocket(fig.network, fig.source)
+        paris = ParisTraceroute(socket, method=method, seed=3)
+        strategy = MdaStrategy(
+            make_builder=lambda i: paris.make_builder(
+                fig.destination_address, flow_index=i),
+            destination=fig.destination_address, max_ttl=30,
+            window=8, hop_concurrency=8, **kwargs)
+        return socket, strategy
+
+    def test_concurrent_hops_stay_pairwise_disambiguable(self):
+        # Every pair of outstanding probes must be tellable apart from
+        # an ICMP quote alone: distinct first-eight transport octets,
+        # or (UDP's ip-id mode) distinct IP Identification tags.
+        for method in ("udp", "icmp", "tcp"):
+            fig = figures.figure3()
+            socket, strategy = self._composite(fig, method)
+
+            def check(requests):
+                seen = set()
+                for request in requests:
+                    key = (request.probe.first_eight_transport_octets(),
+                           request.probe.ip.identification)
+                    assert key not in seen
+                    seen.add(key)
+
+            result = self._drive_checking(fig, strategy, socket, check)
+            assert result.hops, method
+
+    def test_udp_probes_carry_unique_nonzero_ip_ids(self):
+        fig = figures.figure3()
+        socket, strategy = self._composite(fig, "udp")
+        assert strategy.disambiguation == "ip-id"
+        seen_ids = set()
+
+        def check(requests):
+            for request in requests:
+                assert request.probe.ip.identification != 0
+            seen_ids.update(r.probe.ip.identification for r in requests)
+
+        self._drive_checking(fig, strategy, socket, check)
+        assert len(seen_ids) > 1
+
+    def test_icmp_and_tcp_resolve_to_tag_disambiguation(self):
+        # ICMP/TCP quotes are already unambiguous once hops share one
+        # builder per flow (the per-probe tag advances across hops), so
+        # the flow exclusion must not serialize them.
+        for method in ("icmp", "tcp"):
+            fig = figures.figure3()
+            __, strategy = self._composite(fig, method)
+            assert strategy.disambiguation == "tags", method
+            assert strategy._builder_cache is not None
+
+    def test_exclusion_mode_never_shares_a_flow_across_hops(self):
+        # The legacy serialized claim path, kept for unknown builders:
+        # identical transport bytes at two TTLs would be ambiguous, so
+        # a flow held by one hop is barred from every other.
+        fig = figures.figure3()
+        socket, strategy = self._composite(fig, "udp",
+                                           disambiguation="exclusion")
+
+        def check(requests):
+            seen = set()
+            for request in requests:
+                key = request.probe.first_eight_transport_octets()
+                assert key not in seen
+                seen.add(key)
+                assert request.probe.ip.identification == 0
+
+        result = self._drive_checking(fig, strategy, socket, check)
+        assert result.hops
+
+    def test_per_mode_inferences_match_the_sequential_detector(self):
+        # Whatever the disambiguation mode, the composite's inference
+        # on a per-flow topology must equal the stop-and-wait one.
+        for method in ("udp", "icmp", "tcp"):
+            fig = figures.figure3()
+            socket, strategy = self._composite(fig, method)
+            from repro.probing import run_strategy
+            result = run_strategy(socket, strategy)
+
+            fig2 = figures.figure3()
+            expected = MultipathDetector(
+                ProbeSocket(fig2.network, fig2.source), method=method,
+                seed=3).trace(fig2.destination_address)
+            assert (discovery_signature(result)
+                    == discovery_signature(expected)), method
 
     def test_validation(self):
         from repro.errors import TracerError

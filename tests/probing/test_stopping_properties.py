@@ -1,0 +1,265 @@
+"""Property tests for the sans-I/O stopping-rule core.
+
+Hypothesis drives :mod:`repro.probing.stopping` with thousands of
+randomized diamond widths, outcome sequences, and delivery orderings.
+The load-bearing contract is flow-order determinism: whatever order a
+window delivers (or duplicates) per-flow outcomes in, the ledger must
+adjudicate them exactly as a stop-and-wait prober would — same
+interfaces, same counted probes, same stop reason.  That contract is
+what makes pipelined and sequential MDA byte-agree, so it is pinned
+here without building a single packet.
+"""
+
+from ipaddress import ip_address
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import TracerError
+from repro.net.inet import IPv4Address
+from repro.probing.mda import HopDiscovery
+from repro.probing.stopping import (
+    ExactStopping,
+    ExpectedSpeculation,
+    FlowLedger,
+    LiteStopping,
+    WorstCaseSpeculation,
+    probes_needed,
+)
+
+
+def interface(index):
+    """A distinct, stable address for branch ``index``."""
+    return IPv4Address(str(ip_address(0x0A000001 + index)))
+
+
+#: One hop's ground truth: per-flow outcomes, as branch indices (None
+#: is a star).  Small widths dominate real topologies; up to 16 covers
+#: the paper's Juniper fan-out.
+outcomes_strategy = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=15)),
+    min_size=1, max_size=80)
+
+rule_strategy = st.sampled_from(["exact", "lite"])
+
+
+def make_rule(name, alpha=0.05, scout_flows=3):
+    if name == "exact":
+        return ExactStopping(alpha)
+    return LiteStopping(alpha, scout_flows=scout_flows)
+
+
+def run_in_order(name, outcomes, max_flows=10_000):
+    """Reference adjudication: outcomes delivered in flow order."""
+    discovery = HopDiscovery(ttl=1)
+    ledger = FlowLedger(make_rule(name), discovery, max_flows)
+    for flow, branch in enumerate(outcomes):
+        ledger.record(flow,
+                      None if branch is None else interface(branch))
+    return discovery, ledger
+
+
+def signature(discovery):
+    return (sorted(str(a) for a in discovery.interfaces),
+            discovery.probes_sent, discovery.stop_reason,
+            {f: str(a) for f, a in discovery.flow_addresses.items()})
+
+
+class TestFlowOrderDeterminism:
+    @given(outcomes=outcomes_strategy, rule=rule_strategy,
+           order=st.randoms(use_true_random=False))
+    @settings(max_examples=300, deadline=None)
+    def test_any_delivery_order_matches_in_order_replay(
+            self, outcomes, rule, order):
+        expected = signature(run_in_order(rule, outcomes)[0])
+
+        discovery = HopDiscovery(ttl=1)
+        ledger = FlowLedger(make_rule(rule), discovery, 10_000)
+        shuffled = list(enumerate(outcomes))
+        order.shuffle(shuffled)
+        for flow, branch in shuffled:
+            ledger.record(flow,
+                          None if branch is None else interface(branch))
+        assert signature(discovery) == expected
+
+    @given(outcomes=outcomes_strategy, rule=rule_strategy,
+           order=st.randoms(use_true_random=False))
+    @settings(max_examples=200, deadline=None)
+    def test_duplicated_deliveries_are_ignored(self, outcomes, rule, order):
+        expected = signature(run_in_order(rule, outcomes)[0])
+
+        discovery = HopDiscovery(ttl=1)
+        ledger = FlowLedger(make_rule(rule), discovery, 10_000)
+        # Every outcome delivered twice — the second time with a
+        # *contradictory* outcome, which a correct ledger never reads.
+        doubled = [(f, b, False) for f, b in enumerate(outcomes)]
+        doubled += [(f, b, True) for f, b in enumerate(outcomes)]
+        order.shuffle(doubled)
+        seen = set()
+        for flow, branch, lie in doubled:
+            if lie and flow not in seen:
+                # A lie arriving first would legitimately change the
+                # outcome; only post-first deliveries must be inert.
+                seen.add(flow)
+                ledger.record(flow,
+                              None if branch is None
+                              else interface(branch))
+                continue
+            seen.add(flow)
+            value = interface(15 - (branch or 0)) if lie else (
+                None if branch is None else interface(branch))
+            ledger.record(flow, value)
+        assert signature(discovery) == expected
+
+    @given(outcomes=outcomes_strategy, rule=rule_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_counted_probes_match_the_rule_totals(self, outcomes, rule):
+        discovery, ledger = run_in_order(rule, outcomes)
+        assert discovery.probes_sent == ledger.rule.total
+        assert discovery.probes_sent == ledger.replayed
+        assert discovery.probes_sent <= len(outcomes)
+        # Counted flows are exactly the contiguous prefix that was
+        # adjudicated; every counted answering flow has its address.
+        for flow, address in discovery.flow_addresses.items():
+            assert 0 <= flow < ledger.replayed
+            assert outcomes[flow] is not None
+            assert address == interface(outcomes[flow])
+
+
+class TestExactRule:
+    @given(outcomes=outcomes_strategy)
+    @settings(max_examples=300, deadline=None)
+    def test_stops_exactly_at_the_consecutive_miss_bound(self, outcomes):
+        discovery, ledger = run_in_order("exact", outcomes)
+        prefix = outcomes[:discovery.probes_sent]
+        if ledger.stop_reason == "confident":
+            # Replay the prefix: the tail of consecutive non-discovering
+            # probes must have just reached n(width).
+            seen, since = set(), 0
+            for branch in prefix:
+                if branch is not None and branch not in seen:
+                    seen.add(branch)
+                    since = 0
+                else:
+                    since += 1
+            width = max(1, len(seen))
+            assert since == probes_needed(width)
+            # ...and no shorter prefix would have fired.
+            assert since <= probes_needed(width)
+        elif ledger.stop_reason is None:
+            # Unstopped: the tail never reached the bound anywhere.
+            seen, since = set(), 0
+            for branch in prefix:
+                if branch is not None and branch not in seen:
+                    seen.add(branch)
+                    since = 0
+                else:
+                    since += 1
+                assert since < probes_needed(max(1, len(seen)))
+
+    @given(width=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_clean_diamond_costs_collection_plus_tail(self, width):
+        # One flow per branch, round-robin, then silence: the rule
+        # consumes exactly width discoveries + n(width) misses.
+        outcomes = list(range(width)) + [0] * (2 * probes_needed(width))
+        discovery, ledger = run_in_order("exact", outcomes)
+        assert ledger.stop_reason == "confident"
+        assert discovery.width == width
+        assert discovery.probes_sent == width + probes_needed(width)
+
+
+class TestLiteRule:
+    @given(outcomes=outcomes_strategy,
+           scout=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=300, deadline=None)
+    def test_budget_is_total_probes_not_consecutive(self, outcomes, scout):
+        discovery = HopDiscovery(ttl=1)
+        ledger = FlowLedger(LiteStopping(0.05, scout_flows=scout),
+                            discovery, 10_000)
+        for flow, branch in enumerate(outcomes):
+            ledger.record(flow,
+                          None if branch is None else interface(branch))
+        total = discovery.probes_sent
+        width = discovery.width
+        if ledger.stop_reason == "scout":
+            assert width <= 1
+            assert total == scout
+        elif ledger.stop_reason == "confident":
+            assert width > 1
+            assert total >= probes_needed(width)
+            # Minimality: one probe earlier the budget had not been
+            # reached for the width known then.
+            assert total <= probes_needed(width) + scout
+        else:
+            assert total == len(outcomes)
+
+    @given(width=st.integers(min_value=2, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_lite_is_never_dearer_than_exact_on_clean_diamonds(self, width):
+        outcomes = list(range(width)) + [0] * (2 * probes_needed(width))
+        exact, __ = run_in_order("exact", outcomes)
+        lite, __ = run_in_order("lite", outcomes)
+        assert lite.probes_sent <= exact.probes_sent
+        assert lite.interfaces == exact.interfaces
+
+
+class TestFlowBudget:
+    @given(outcomes=outcomes_strategy, rule=rule_strategy,
+           budget=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=200, deadline=None)
+    def test_budget_caps_adjudication(self, outcomes, rule, budget):
+        discovery = HopDiscovery(ttl=1)
+        ledger = FlowLedger(make_rule(rule), discovery, budget)
+        for flow, branch in enumerate(outcomes):
+            ledger.record(flow,
+                          None if branch is None else interface(branch))
+        assert discovery.probes_sent <= budget
+        if discovery.probes_sent == budget and ledger.stop_reason not in (
+                "confident", "scout"):
+            assert ledger.stop_reason == "flow-budget"
+            assert not discovery.stopped_confident
+
+
+class TestSpeculation:
+    @given(rule=rule_strategy, width=st.integers(min_value=0, max_value=16),
+           discoveries=st.integers(min_value=0, max_value=16),
+           misses=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=300, deadline=None)
+    def test_expected_allowance_is_bounded_by_worst_case(
+            self, rule, width, discoveries, misses):
+        r = make_rule(rule)
+        for __ in range(discoveries):
+            r.observe(True, width)
+        stopped = False
+        for __ in range(misses):
+            if r.observe(False, width) is not None:
+                stopped = True
+                break
+        worst = WorstCaseSpeculation().allowance(r, width)
+        expected = ExpectedSpeculation().allowance(r, width)
+        if stopped or worst <= 0:
+            assert expected == 0 or worst > 0
+        if worst > 0:
+            assert 1 <= expected <= worst
+        else:
+            assert expected == 0
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TracerError):
+            probes_needed(0)
+        with pytest.raises(TracerError):
+            probes_needed(1, alpha=1.0)
+        with pytest.raises(TracerError):
+            ExactStopping(alpha=0.0)
+        with pytest.raises(TracerError):
+            LiteStopping(scout_flows=0)
+        with pytest.raises(TracerError):
+            FlowLedger(ExactStopping(), HopDiscovery(ttl=1), max_flows=0)
+        with pytest.raises(TracerError):
+            FlowLedger(ExactStopping(), HopDiscovery(ttl=1),
+                       max_flows=1).record(-1, None)

@@ -18,6 +18,7 @@ from repro.topology import InternetConfig
 from repro.vantage import (
     FleetResult,
     FleetConfig,
+    mda_lite_strategy_builder,
     mda_strategy_builder,
     plan_shards,
     run_fleet,
@@ -141,6 +142,77 @@ class TestStrategyResultsThroughShards:
         assert len(merged.strategy_results) == expected
         assert merged.probes_sent == sum(v.result.probes_sent
                                          for v in sharded.vantages)
+
+
+#: A 4-vantage world with the adversarial fault profile biting, small
+#: enough that running six MDA fleets in one class stays cheap.
+ADVERSARIAL_TINY4 = replace(
+    TINY_INTERNET, n_vantages=4,
+    fault_profile=make_fault_profile("adversarial", seed=9))
+
+MDA_BUILDERS = {
+    "exact": mda_strategy_builder,
+    "lite": mda_lite_strategy_builder,
+}
+
+
+class TestMdaAlgorithmsThroughShards:
+    """Both MDA algorithms shard byte-identically under faults.
+
+    The census regression: exact and Lite multipath strategies, run
+    from four vantages with jitter, spikes, duplication, rate limiting
+    and loss bursts all active, must merge K=2 and K=4 shards back to
+    the single-scheduler bytes — timestamps and hop forensics included.
+    """
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return FleetConfig(rounds=1, workers=4, seed=9)
+
+    @pytest.fixture(scope="class")
+    def runs(self, config):
+        return {
+            name: {
+                shards: (run_fleet(ADVERSARIAL_TINY4, config,
+                                   strategy_builder=builder)
+                         if shards == 1 else
+                         run_fleet_sharded(ADVERSARIAL_TINY4, config,
+                                           shards=shards,
+                                           strategy_builder=builder))
+                for shards in (1, 2, 4)
+            }
+            for name, builder in MDA_BUILDERS.items()
+        }
+
+    @pytest.mark.parametrize("algorithm", list(MDA_BUILDERS))
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_byte_identical_under_faults(self, runs, algorithm,
+                                                 shards):
+        assert (runs[algorithm][shards].signature()
+                == runs[algorithm][1].signature())
+
+    @staticmethod
+    def _total_probes(fleet_result):
+        return sum(
+            outcome.result.total_probes
+            for vantage in fleet_result.vantages
+            for outcome in vantage.result.strategy_results)
+
+    def test_lite_census_is_cheaper_than_exact(self, runs):
+        # The builders really wire distinct algorithms through the
+        # shard boundary: Lite's stopping rule spends fewer probes on
+        # the same destinations, and never more.
+        exact = self._total_probes(runs["exact"][1])
+        lite = self._total_probes(runs["lite"][1])
+        assert 0 < lite < exact
+
+    def test_lite_stop_reasons_include_scout(self, runs):
+        reasons = {
+            hop.stop_reason
+            for vantage in runs["lite"][1].vantages
+            for outcome in vantage.result.strategy_results
+            for hop in outcome.result.hops}
+        assert "scout" in reasons
 
 
 class TestMergeValidation:

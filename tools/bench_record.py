@@ -43,6 +43,15 @@ sweep's wall cost are the recorded trends; the deterministic gates are
 the single-vs-sharded warehouse content digest and the ingested row
 census, which must not drift for a fixed seed.
 
+Schema 5 adds an ``mda_lite`` leg
+(``benchmarks/test_bench_mda_lite.py``): exact vs MDA-Lite wire-probe
+counts on the census-scale topology (gated at 2x savings with at most
+a 5 % missed-link rate), the hop-parallel ip-id claim path's simulated
+time against the legacy cross-hop flow exclusion (gated strictly
+faster at byte-identical discovery), and single-vs-sharded fleet
+censuses of both strategies (gated byte-identical).  The probe and
+link censuses are seed-deterministic and drift-gated.
+
 Environment: ``REPRO_BENCH_SEED`` / ``REPRO_BENCH_ROUNDS`` as for the
 benchmark suite — the recorded baseline is made with the defaults the
 CI smoke tier uses (seed 42, rounds 2), and ``--check`` refuses to
@@ -69,6 +78,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_walk.json"
 
 def measure(seed: int, rounds: int) -> dict:
     """Run both legs in both modes; return the JSON-ready record."""
+    from benchmarks.test_bench_mda_lite import run_mda_lite_leg
     from benchmarks.test_bench_monitor_rounds import run_monitor_leg
     from benchmarks.test_bench_warehouse import run_warehouse_leg
     from benchmarks.test_bench_walk_batching import (
@@ -132,9 +142,11 @@ def measure(seed: int, rounds: int) -> dict:
     warehouse_sharded = run_warehouse_leg(
         result=monitor_sharded["result"], seed=seed)
 
+    mda_lite = run_mda_lite_leg(seed=seed)
+
     simulated = campaign_batched["result"].rounds[-1].finished_at
     return {
-        "schema": 4,
+        "schema": 5,
         "bench": "walk_batching",
         "seed": seed,
         "rounds": rounds,
@@ -183,6 +195,19 @@ def measure(seed: int, rounds: int) -> dict:
             "sharded_digest": warehouse_sharded["digest"],
             "deterministic": (warehouse_single["digest"]
                               == warehouse_sharded["digest"]),
+        },
+        "mda_lite": {
+            "exact_wire_probes": mda_lite["exact_wire_probes"],
+            "lite_wire_probes": mda_lite["lite_wire_probes"],
+            "probe_savings": round(mda_lite["probe_savings"], 2),
+            "links": mda_lite["links"],
+            "missed_links": mda_lite["missed_links"],
+            "miss_rate": round(mda_lite["miss_rate"], 3),
+            "ipid_sim_s": round(mda_lite["ipid_sim_s"], 3),
+            "exclusion_sim_s": round(mda_lite["exclusion_sim_s"], 3),
+            "hop_parallel_agrees": mda_lite["hop_parallel_agrees"],
+            "fleet_deterministic": mda_lite["fleet_deterministic"],
+            "wall_s": round(mda_lite["lite_wall_s"], 3),
         },
     }
 
@@ -245,6 +270,39 @@ def check(record: dict, baseline: dict) -> list[str]:
                     f"{recorded} -> {current} for the same seed — "
                     "ingest or the canned queries are no longer "
                     "reproducible")
+    mda_lite = record["mda_lite"]
+    if mda_lite["probe_savings"] < 2.0:
+        problems.append(
+            f"mda_lite: probe savings fell below 2x "
+            f"({mda_lite['probe_savings']:.2f}x)")
+    if mda_lite["miss_rate"] > 0.05:
+        problems.append(
+            f"mda_lite: missed-link rate exceeded 5% "
+            f"({mda_lite['miss_rate']:.1%})")
+    if not mda_lite["hop_parallel_agrees"]:
+        problems.append("mda_lite: ip-id and exclusion claim paths no "
+                        "longer infer identical interface sets")
+    if mda_lite["ipid_sim_s"] >= mda_lite["exclusion_sim_s"]:
+        problems.append(
+            f"mda_lite: the ip-id claim path is no longer strictly "
+            f"faster than the flow exclusion "
+            f"({mda_lite['ipid_sim_s']:.3f}s vs "
+            f"{mda_lite['exclusion_sim_s']:.3f}s simulated)")
+    for name, ok in mda_lite["fleet_deterministic"].items():
+        if not ok:
+            problems.append(
+                f"mda_lite: sharded {name} census signature diverged "
+                "from single-process")
+    if "mda_lite" in baseline:
+        for field in ("exact_wire_probes", "lite_wire_probes", "links",
+                      "missed_links"):
+            recorded = baseline["mda_lite"][field]
+            current = mda_lite[field]
+            if current != recorded:
+                problems.append(
+                    f"mda_lite: {field} drifted {recorded} -> {current} "
+                    "for the same seed — the census is no longer "
+                    "reproducible")
     return problems
 
 
@@ -298,6 +356,17 @@ def main(argv: list[str] | None = None) -> int:
           f"{warehouse['query_rows']} rows in "
           f"{warehouse['query_wall_s']:.3f}s, digest determinism "
           f"{'ok' if warehouse['deterministic'] else 'BROKEN'}")
+
+    mda_lite = record["mda_lite"]
+    fleet_ok = all(mda_lite["fleet_deterministic"].values())
+    print(f"mda-lite: {mda_lite['exact_wire_probes']} -> "
+          f"{mda_lite['lite_wire_probes']} wire probes "
+          f"({mda_lite['probe_savings']:.2f}x fewer), "
+          f"{mda_lite['missed_links']}/{mda_lite['links']} links missed "
+          f"({mda_lite['miss_rate']:.1%}), hop-parallel "
+          f"{mda_lite['ipid_sim_s']:.3f}s vs "
+          f"{mda_lite['exclusion_sim_s']:.3f}s sim, fleet determinism "
+          f"{'ok' if fleet_ok else 'BROKEN'}")
 
     if args.check:
         if not args.baseline.exists():
