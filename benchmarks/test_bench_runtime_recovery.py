@@ -1,0 +1,161 @@
+"""E14 — fault-tolerant runtime: supervision overhead and recovery.
+
+One leg, runnable standalone and through ``tools/bench_record.py``
+(schema 6 persists it to ``BENCH_walk.json``): the same sharded fleet
+campaign executed three ways —
+
+- **bare** — the unsupervised shard pool (the pre-runtime baseline);
+- **supervised** — the :class:`repro.runtime.ShardSupervisor` wrapping
+  the identical shards, no faults injected (its overhead is the
+  recorded trend and the ``<= 5 %`` CI gate, measured as the best
+  paired ratio over interleaved timing rounds);
+- **recovered** — supervised with one seeded worker crash, measuring
+  the wall cost of detect + backoff + retry (*time to recover* =
+  recovered wall minus the supervised wall).
+
+The deterministic gate: all three runs must produce byte-identical
+result signatures — recovery is only correct if it is invisible in
+the output.
+
+Environment knobs: ``REPRO_BENCH_SEED`` and ``REPRO_BENCH_ROUNDS`` as
+for the walk-batching bench.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.runtime import BackoffPolicy, ChaosPlan, RuntimeOptions
+from repro.topology.internet import InternetConfig
+from repro.vantage import FleetConfig, run_fleet_sharded
+
+RUNTIME_VANTAGES = 4
+RUNTIME_TARGETS = 12
+#: Measurement rounds.  The modes are timed *interleaved* (bare,
+#: supervised, recovered, repeat) after one discarded warmup, and the
+#: gated overhead is the best **paired** supervised/bare ratio across
+#: rounds: a genuine constant overhead shows up in every round, while
+#: one-sided scheduler noise only inflates some of them — min over
+#: paired ratios is a noise-robust lower bound on the true overhead.
+BEST_OF = 5
+
+
+def runtime_internet(seed):
+    """The Sec. 3 internet the fleet-determinism suites use."""
+    return InternetConfig(
+        seed=seed, n_tier1=3, n_transit=4, n_stub=8, dests_per_stub=2,
+        n_loop_stub_diamonds=2, n_cycle_stub_diamonds=1, n_nat_dests=1,
+        n_zero_ttl_dests=1, response_loss_rate=0.0, p_per_packet=0.0,
+        n_vantages=RUNTIME_VANTAGES)
+
+
+def _timed_interleaved(runs, repeats=BEST_OF):
+    """Best wall and last result per mode, timed round-robin.
+
+    ``runs`` maps mode name to a zero-argument callable; one untimed
+    warmup of the first mode absorbs import and allocator cold-start
+    before any timing begins.
+    """
+    next(iter(runs.values()))()
+    best = {name: None for name in runs}
+    results = {}
+    rounds = []
+    for __ in range(repeats):
+        walls = {}
+        for name, run in runs.items():
+            started = time.perf_counter()
+            results[name] = run()
+            walls[name] = time.perf_counter() - started
+            best[name] = (walls[name] if best[name] is None
+                          else min(best[name], walls[name]))
+        rounds.append(walls)
+    return best, results, rounds
+
+
+def run_runtime_leg(seed=BENCH_SEED, rounds=2):
+    """Measure bare vs supervised vs crash-recovered; return the dict."""
+    internet = runtime_internet(seed)
+    fleet = FleetConfig(rounds=rounds, workers=2, seed=seed)
+
+    def bare():
+        return run_fleet_sharded(internet, fleet, shards=2,
+                                 max_destinations=RUNTIME_TARGETS)
+
+    def supervised():
+        return run_fleet_sharded(
+            internet, fleet, shards=2,
+            max_destinations=RUNTIME_TARGETS,
+            runtime=RuntimeOptions())
+
+    def recovered():
+        # One seeded crash on the first shard's first attempt; the
+        # tiny deterministic backoff keeps the measured recovery cost
+        # dominated by the re-run, not the parked delay.
+        return run_fleet_sharded(
+            internet, fleet, shards=2,
+            max_destinations=RUNTIME_TARGETS,
+            runtime=RuntimeOptions(
+                backoff=BackoffPolicy(base=0.01, cap=0.05),
+                chaos=ChaosPlan.of(("shard-v0-2", 0, "crash"))))
+
+    walls, results, rounds = _timed_interleaved(
+        {"bare": bare, "supervised": supervised,
+         "recovered": recovered})
+    bare_wall = walls["bare"]
+    supervised_wall = walls["supervised"]
+    recovered_wall = walls["recovered"]
+    overhead_ratio = min(r["supervised"] / r["bare"] for r in rounds)
+
+    signatures = {results["bare"].signature(),
+                  results["supervised"].signature(),
+                  results["recovered"].signature()}
+    report = results["recovered"].degradation
+    return {
+        "bare_wall_s": bare_wall,
+        "supervised_wall_s": supervised_wall,
+        "overhead_ratio": overhead_ratio,
+        "recovered_wall_s": recovered_wall,
+        "time_to_recover_s": max(0.0, recovered_wall - supervised_wall),
+        "signature_match": len(signatures) == 1,
+        "incidents": len(report.incidents) if report else 0,
+        "degraded": bool(report and report.degraded),
+        "result": results["bare"],
+    }
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_bench_runtime_recovery(benchmark):
+    legs = []
+
+    def measured():
+        legs.append(run_runtime_leg())
+        return legs[-1]["result"]
+
+    benchmark.pedantic(measured, iterations=1, rounds=1)
+    leg = legs[0]
+
+    benchmark.extra_info.update({
+        "bare_wall_s": round(leg["bare_wall_s"], 3),
+        "supervised_wall_s": round(leg["supervised_wall_s"], 3),
+        "overhead_ratio": round(leg["overhead_ratio"], 3),
+        "recovered_wall_s": round(leg["recovered_wall_s"], 3),
+        "time_to_recover_s": round(leg["time_to_recover_s"], 3),
+        "signature_match": leg["signature_match"],
+    })
+    print()
+    print(f"  runtime: bare {leg['bare_wall_s']:.3f}s -> supervised "
+          f"{leg['supervised_wall_s']:.3f}s "
+          f"({leg['overhead_ratio']:.3f}x overhead)")
+    print(f"  recovery: 1 injected crash, {leg['incidents']} "
+          f"incident(s), wall {leg['recovered_wall_s']:.3f}s "
+          f"(+{leg['time_to_recover_s']:.3f}s to recover)")
+
+    # The supervisor changed nothing about the bytes, faulted or not.
+    assert leg["signature_match"]
+    # The crash was actually injected and actually recovered.
+    assert leg["incidents"] == 1
+    assert not leg["degraded"]
+    # Supervision stays cheap (the persisted gate uses best-of-N too;
+    # the in-test bound is looser to tolerate a noisy first run).
+    assert leg["overhead_ratio"] < 1.5

@@ -31,6 +31,18 @@ Every file-output option (``--metrics-out``, ``--alerts-out``,
 ``--trace-out``, ``--warehouse-out``, ``--warehouse``) creates missing
 parent directories instead of failing.
 
+Exit codes follow one discipline: 0 on success (including gracefully
+degraded supervised runs), 1 with a one-line ``error: ...`` on stderr
+for operational failures (a missing warehouse, a failed run, an
+unreadable journal), 2 for usage errors (invalid flag values).
+
+``campaign``, ``monitor``, and ``ingest`` accept the fault-tolerant
+runtime flags: ``--max-shard-retries`` / ``--shard-timeout`` engage
+the shard supervisor (retries under seeded backoff, hang deadlines,
+reassignment, graceful degradation), and ``--resume JOURNAL``
+checkpoints every completed shard so an interrupted run re-invoked
+with the same journal resumes signature-identically.
+
 Examples::
 
     repro-trace trace --figure 3 --tool classic
@@ -54,6 +66,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro._version import __version__
+from repro.errors import ReproError
 from repro.sim.socketapi import ProbeSocket
 from repro.topology import figures
 from repro.tracer.classic import ClassicTraceroute
@@ -68,6 +81,26 @@ FIGURES: dict[str, Callable[[], figures.FigureTopology]] = {
     "5": figures.figure5,
     "6": figures.figure6,
 }
+
+
+def _add_runtime_flags(sub: argparse.ArgumentParser) -> None:
+    """The fault-tolerant runtime flags (campaign/monitor/ingest)."""
+    sub.add_argument("--max-shard-retries", type=int, default=None,
+                     metavar="N",
+                     help="supervise shard execution: retry a crashed, "
+                          "hung, or lost shard up to N times under "
+                          "seeded backoff before reassigning its "
+                          "vantages (engages the supervisor)")
+    sub.add_argument("--shard-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock deadline per shard attempt in "
+                          "process mode; an overdue worker is killed "
+                          "and retried (engages the supervisor)")
+    sub.add_argument("--resume", default=None, metavar="JOURNAL",
+                     help="checkpoint completed shards to this journal "
+                          "file and, when it already exists, resume "
+                          "from it instead of recomputing (engages "
+                          "the supervisor)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="append the fleet result to the "
                                "measurement warehouse at PATH "
                                "(created if missing)")
+    _add_runtime_flags(campaign)
 
     monitor = commands.add_parser(
         "monitor",
@@ -219,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append the monitor result to the "
                               "measurement warehouse at PATH "
                               "(created if missing)")
+    _add_runtime_flags(monitor)
 
     ingest = commands.add_parser(
         "ingest",
@@ -253,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the warehouse row/ingest counters "
                              "as Prometheus text exposition to PATH "
                              "('-' for stdout)")
+    _add_runtime_flags(ingest)
 
     query = commands.add_parser(
         "query", help="stream one canned warehouse analysis")
@@ -317,6 +353,52 @@ def _outpath(path: str) -> str:
     if path and path != "-":
         Path(path).parent.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def _validate_runtime_flags(args: argparse.Namespace) -> Optional[str]:
+    """Usage-error message for bad runtime flag values, or None."""
+    if (args.max_shard_retries is not None
+            and args.max_shard_retries < 0):
+        return (f"--max-shard-retries must not be negative, "
+                f"got {args.max_shard_retries}")
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        return (f"--shard-timeout must be positive, "
+                f"got {args.shard_timeout}")
+    return None
+
+
+def _runtime_from_args(args: argparse.Namespace):
+    """(RuntimeOptions, journal path) from the runtime flags.
+
+    ``(None, None)`` when no runtime flag was given — the command then
+    takes the bare unsupervised path.  Any runtime flag engages the
+    supervisor, even at ``--shards 1``.
+    """
+    if (args.max_shard_retries is None and args.shard_timeout is None
+            and args.resume is None):
+        return None, None
+    from repro.runtime import RuntimeOptions
+
+    options = RuntimeOptions()
+    if args.max_shard_retries is not None:
+        options.max_retries = args.max_shard_retries
+    if args.shard_timeout is not None:
+        options.shard_timeout = args.shard_timeout
+    journal = _outpath(args.resume) if args.resume else None
+    return options, journal
+
+
+def _print_runtime_report(result) -> None:
+    """The supervised run's degradation summary, one commented block."""
+    from repro.runtime import DegradationReport
+
+    report = getattr(result, "degradation", None) or DegradationReport()
+    print()
+    for line in report.format().splitlines():
+        print(f"# runtime: {line}")
+    if report.degraded:
+        print(f"# runtime: DEGRADED result — vantages "
+              f"{report.excluded_vantages} excluded")
 
 
 def cmd_figures(__: argparse.Namespace) -> int:
@@ -450,6 +532,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"--trace-capacity must be at least 1, "
               f"got {args.trace_capacity}", file=sys.stderr)
         return 2
+    usage = _validate_runtime_flags(args)
+    if usage is not None:
+        print(usage, file=sys.stderr)
+        return 2
     internet = demo_internet_config(args.seed, args.vantages)
     fleet = FleetConfig(rounds=args.rounds, workers=args.workers,
                         seed=args.seed, window=args.window,
@@ -457,7 +543,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                         timeout_policy=args.timeout_policy)
     metrics = args.metrics_out is not None
     trace_capacity = args.trace_capacity if args.trace_out else 0
-    if args.shards > 1:
+    runtime, journal = _runtime_from_args(args)
+    if runtime is not None or journal is not None:
+        mode = (f"supervised K={args.shards}"
+                + (" (process pool)" if args.processes else " (inline)"))
+        result = run_fleet_sharded(internet, fleet, shards=args.shards,
+                                   processes=args.processes,
+                                   max_destinations=args.dests,
+                                   metrics=metrics,
+                                   trace_capacity=trace_capacity,
+                                   runtime=runtime,
+                                   journal_path=journal)
+    elif args.shards > 1:
         mode = (f"sharded K={args.shards}"
                 + (" (process pool)" if args.processes else " (inline)"))
         result = run_fleet_sharded(internet, fleet, shards=args.shards,
@@ -491,6 +588,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             result.destinations_by_vantage())))
     print()
     print(f"# result signature: {result.signature()}")
+    if runtime is not None or journal is not None:
+        _print_runtime_report(result)
     if metrics and result.metrics is not None:
         from repro.obs import render_prometheus
 
@@ -560,6 +659,10 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         print(f"--periods must be comma-separated numbers, "
               f"got {args.periods!r}", file=sys.stderr)
         return 2
+    usage = _validate_runtime_flags(args)
+    if usage is not None:
+        print(usage, file=sys.stderr)
+        return 2
     internet = monitor_internet_config(args.seed, args.vantages,
                                        args.duration, args.fault_period)
     config = MonitorConfig(
@@ -570,10 +673,15 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     service = MonitorService(internet, config,
                              max_destinations=args.dests,
                              metrics=metrics)
-    result = service.run(shards=args.shards, processes=args.processes)
+    runtime, journal = _runtime_from_args(args)
+    result = service.run(shards=args.shards, processes=args.processes,
+                         runtime=runtime, journal_path=journal)
     health = result.health
-    mode = (f"sharded K={args.shards}" if args.shards > 1
-            else "single-process")
+    if runtime is not None or journal is not None:
+        mode = f"supervised K={args.shards}"
+    else:
+        mode = (f"sharded K={args.shards}" if args.shards > 1
+                else "single-process")
     print(f"# monitor: {config.describe()}, {mode}")
     print(f"# status: {health['status']} — "
           f"{health['targets']} target(s), {health['vantages']} "
@@ -593,6 +701,8 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         print(f"  ... {len(result.alerts.alerts) - 10} more")
     print()
     print(f"# result signature: {result.signature()}")
+    if runtime is not None or journal is not None:
+        _print_runtime_report(result)
     if args.alerts_out is not None:
         text = result.alerts.to_jsonl()
         if args.alerts_out == "-":
@@ -667,6 +777,11 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             print(f"{flag} must be at least 1, got {value}",
                   file=sys.stderr)
             return 2
+    usage = _validate_runtime_flags(args)
+    if usage is not None:
+        print(usage, file=sys.stderr)
+        return 2
+    runtime, journal = _runtime_from_args(args)
     registry = None
     if args.metrics_out is not None:
         from repro.obs import MetricsRegistry
@@ -684,21 +799,26 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         service = MonitorService(internet, config,
                                  max_destinations=args.dests)
         result = service.run(shards=args.shards,
-                             processes=args.processes)
+                             processes=args.processes,
+                             runtime=runtime, journal_path=journal)
     else:
         from repro.vantage import FleetConfig, run_fleet, run_fleet_sharded
 
         internet = demo_internet_config(args.seed, args.vantages)
         fleet = FleetConfig(rounds=args.rounds, workers=2,
                             seed=args.seed)
-        if args.shards > 1:
+        if args.shards > 1 or runtime is not None or journal is not None:
             result = run_fleet_sharded(internet, fleet,
                                        shards=args.shards,
                                        processes=args.processes,
-                                       max_destinations=args.dests)
+                                       max_destinations=args.dests,
+                                       runtime=runtime,
+                                       journal_path=journal)
         else:
             result = run_fleet(internet, fleet,
                                max_destinations=args.dests)
+    if runtime is not None or journal is not None:
+        _print_runtime_report(result)
     kind = "monitor" if args.kind == "monitor" else "fleet"
     _warehouse_append(args.warehouse, result, internet, kind,
                       registry=registry)
@@ -718,7 +838,6 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    from repro.errors import WarehouseError
     from repro.warehouse import (
         anomaly_prevalence,
         inconsistency_mining,
@@ -734,12 +853,9 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(f"--limit must not be negative, got {args.limit}",
               file=sys.stderr)
         return 2
-    try:
-        warehouse = open_warehouse(args.warehouse, must_exist=True)
-    except WarehouseError as error:
-        print(error, file=sys.stderr)
-        return 2
-    with warehouse:
+    # A missing or unreadable warehouse is an operational failure, not
+    # a usage error: it propagates to main()'s handler and exits 1.
+    with open_warehouse(args.warehouse, must_exist=True) as warehouse:
         if args.name == "route-changes":
             rows = route_change_history(warehouse,
                                         destination=args.destination,
@@ -769,15 +885,9 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.errors import WarehouseError
     from repro.warehouse import open_warehouse, warehouse_report
 
-    try:
-        warehouse = open_warehouse(args.warehouse, must_exist=True)
-    except WarehouseError as error:
-        print(error, file=sys.stderr)
-        return 2
-    with warehouse:
+    with open_warehouse(args.warehouse, must_exist=True) as warehouse:
         print(warehouse_report(warehouse, as_limit=args.as_limit,
                                bucket=args.bucket))
     return 0
@@ -835,8 +945,20 @@ HANDLERS = {
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch one invocation under the exit-code discipline.
+
+    Handlers return 0 (success) or 2 (usage error) themselves; every
+    operational failure — any :class:`repro.errors.ReproError` from
+    the stack, or an OS-level I/O error — lands here, prints one
+    ``error: ...`` line to stderr, and exits 1.  Tracebacks are for
+    bugs, not for predictable failures.
+    """
     args = build_parser().parse_args(argv)
-    return HANDLERS[args.command](args)
+    try:
+        return HANDLERS[args.command](args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,154 @@
+"""Deterministic runtime-fault injection: the chaos harness.
+
+:mod:`repro.faults` attacks the *network*; this module attacks the
+*runtime* — the supervised execution layer itself.  A
+:class:`ChaosPlan` maps ``(shard key, attempt)`` to a directive:
+
+``crash``
+    The worker raises mid-task (an uncaught exception surfacing
+    through the process boundary).
+``kill``
+    The worker process dies without a word (``os._exit``) — the
+    crash-safety case a clean exception cannot exercise.  Inline
+    executions degrade this to ``crash`` (there is no process to
+    kill).
+``hang``
+    The worker sleeps past any reasonable deadline; the supervisor
+    must detect the overdue shard and preempt it.  Inline executions
+    simulate the detection by raising :class:`ShardHang` immediately
+    (a single thread cannot preempt its own sleep).
+``lost``
+    The worker computes the full result, then drops it — the "work
+    done, answer never arrived" failure mode.
+``abort``
+    Coordinator-side: the run is interrupted *between* shards, as by
+    an operator's ^C or an OOM kill.  Completed shards are already in
+    the journal; the test then resumes from it.
+
+Plans are plain data (picklable, directives travel inside the worker
+payload) and either explicit (``ChaosPlan.of(...)``) or seeded
+(:meth:`ChaosPlan.seeded`) so CI chaos runs are reproducible down to
+the attempt.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CampaignError
+
+#: Directive kinds a plan may inject.
+CHAOS_KINDS = ("crash", "kill", "hang", "lost", "abort")
+
+#: How long an injected hang sleeps in a worker process, seconds.
+#: Far past any sane ``shard_timeout``; the supervisor must preempt.
+HANG_SECONDS = 900.0
+
+
+class ChaosCrash(CampaignError):
+    """Injected worker crash (the exception-surfacing flavor)."""
+
+
+class ShardHang(CampaignError):
+    """An inline shard 'hung': stands in for a preempted deadline."""
+
+
+class ResultLost(CampaignError):
+    """The shard finished but its result never reached the supervisor."""
+
+
+class RunAborted(CampaignError):
+    """Coordinator-side interruption injected between shards."""
+
+
+@dataclass(frozen=True)
+class ChaosDirective:
+    """One injected fault: what happens to (shard, attempt)."""
+
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise CampaignError(
+                f"chaos kind must be one of {CHAOS_KINDS}, "
+                f"not {self.kind!r}")
+
+
+@dataclass
+class ChaosPlan:
+    """Deterministic schedule of runtime faults for one supervised run.
+
+    ``directives`` maps ``(shard key, attempt index)`` to a
+    :class:`ChaosDirective`.  Attempts not named run clean, so any
+    bounded-retry supervisor eventually drains a finite plan.
+    """
+
+    directives: dict = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, *faults: tuple) -> "ChaosPlan":
+        """Explicit plan from ``(shard_key, attempt, kind)`` triples."""
+        plan = cls()
+        for shard_key, attempt, kind in faults:
+            plan.directives[(shard_key, attempt)] = ChaosDirective(kind)
+        return plan
+
+    @classmethod
+    def seeded(cls, seed: int, shard_keys: list[str],
+               p_crash: float = 0.0, p_hang: float = 0.0,
+               p_lost: float = 0.0, attempts: int = 1) -> "ChaosPlan":
+        """A reproducible random plan over the first ``attempts``
+        attempts of every shard.
+
+        Draw order is fixed (shard-major, attempt-minor, one uniform
+        draw per cell), so the same seed and key list always build the
+        same plan.
+        """
+        if p_crash + p_hang + p_lost > 1.0:
+            raise CampaignError("chaos probabilities exceed 1.0")
+        rng = random.Random(seed)
+        plan = cls()
+        for key in shard_keys:
+            for attempt in range(attempts):
+                draw = rng.random()
+                if draw < p_crash:
+                    kind = "crash"
+                elif draw < p_crash + p_hang:
+                    kind = "hang"
+                elif draw < p_crash + p_hang + p_lost:
+                    kind = "lost"
+                else:
+                    continue
+                plan.directives[(key, attempt)] = ChaosDirective(kind)
+        return plan
+
+    def directive(self, shard_key: str,
+                  attempt: int) -> Optional[ChaosDirective]:
+        """The fault injected at (shard, attempt), if any."""
+        return self.directives.get((shard_key, attempt))
+
+    def injected(self) -> int:
+        """Total directives in the plan."""
+        return len(self.directives)
+
+
+def apply_worker_directive(directive: Optional[ChaosDirective]) -> None:
+    """Pre-task injection inside the worker (crash / kill / hang).
+
+    Runs *before* the shard's work function; ``lost`` is post-task and
+    handled by the worker wrapper itself.
+    """
+    if directive is None:
+        return
+    if directive.kind == "crash":
+        raise ChaosCrash("injected crash before shard work")
+    if directive.kind == "kill":
+        import os
+
+        os._exit(3)
+    if directive.kind == "hang":
+        import time
+
+        time.sleep(HANG_SECONDS)

@@ -1,0 +1,140 @@
+"""The degradation contract: partial coverage, explicitly accounted.
+
+A shard that exhausts its retries is *excluded*, not fatal: the run
+completes on the surviving vantages and the result carries a
+:class:`DegradationReport` saying exactly what is missing and why.
+The report has two halves:
+
+- ``incidents`` — every runtime fault the supervisor observed (crash,
+  hang, lost result, invalid result), with the shard, attempt number,
+  and how it was resolved (``retried``, ``reassigned``, ``excluded``).
+  A fully recovered run still lists its incidents — that is what the
+  CI chaos job uploads as its artifact.
+- ``exclusions`` — the vantages (and, once the coordinator knows the
+  destination assignment, the targets) that are absent from the
+  merged result, with the reason retries were exhausted.
+
+The report is *operational* metadata: like metrics and the health
+snapshot it never enters a result's canonical serialization or
+signature — a degraded run's signature differs from the full run's
+because vantages are missing, not because the report is stamped on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Incident resolutions, in escalation order.
+RESOLUTIONS = ("retried", "reassigned", "excluded", "fatal")
+
+
+@dataclass
+class ShardIncident:
+    """One observed runtime fault and what the supervisor did about it."""
+
+    shard: str
+    attempt: int
+    #: ``crash`` / ``hang`` / ``lost`` / ``invalid`` / ``died``.
+    kind: str
+    detail: str
+    #: How the fault was resolved (see :data:`RESOLUTIONS`).
+    resolution: str
+
+    def to_dict(self) -> dict:
+        """Plain JSON-ready form."""
+        return {"shard": self.shard, "attempt": self.attempt,
+                "kind": self.kind, "detail": self.detail,
+                "resolution": self.resolution}
+
+
+@dataclass
+class ShardExclusion:
+    """Vantages dropped from the merged result, and why."""
+
+    shard: str
+    vantage_ids: list[int]
+    attempts: int
+    reason: str
+    #: Destinations that lost *all* coverage (empty under
+    #: ``assignment="replicate"``, where surviving vantages still
+    #: probe every target — only redundancy degraded).
+    missing_targets: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain JSON-ready form."""
+        return {"shard": self.shard, "vantage_ids": list(self.vantage_ids),
+                "attempts": self.attempts, "reason": self.reason,
+                "missing_targets": list(self.missing_targets)}
+
+
+@dataclass
+class DegradationReport:
+    """Everything the runtime layer has to confess about one run."""
+
+    incidents: list[ShardIncident] = field(default_factory=list)
+    exclusions: list[ShardExclusion] = field(default_factory=list)
+    #: Shard results loaded from a resume journal instead of run.
+    resumed_shards: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when coverage was actually lost (vantages excluded)."""
+        return bool(self.exclusions)
+
+    @property
+    def excluded_vantages(self) -> list[int]:
+        """All excluded vantage ids, sorted."""
+        return sorted(v for e in self.exclusions for v in e.vantage_ids)
+
+    def has_content(self) -> bool:
+        """Anything worth reporting (incidents, exclusions, resumes)?"""
+        return bool(self.incidents or self.exclusions
+                    or self.resumed_shards)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (warehouse metadata, artifacts)."""
+        return {
+            "degraded": self.degraded,
+            "incidents": [i.to_dict() for i in self.incidents],
+            "exclusions": [e.to_dict() for e in self.exclusions],
+            "resumed_shards": list(self.resumed_shards),
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary for CLI output."""
+        lines = []
+        if self.resumed_shards:
+            lines.append(f"resumed {len(self.resumed_shards)} shard(s) "
+                         f"from journal: {', '.join(self.resumed_shards)}")
+        for incident in self.incidents:
+            lines.append(
+                f"{incident.shard} attempt {incident.attempt}: "
+                f"{incident.kind} ({incident.detail}) -> "
+                f"{incident.resolution}")
+        for exclusion in self.exclusions:
+            targets = (f", targets lost: "
+                       f"{', '.join(exclusion.missing_targets)}"
+                       if exclusion.missing_targets else "")
+            lines.append(
+                f"EXCLUDED {exclusion.shard} "
+                f"vantages {exclusion.vantage_ids} after "
+                f"{exclusion.attempts} attempt(s): "
+                f"{exclusion.reason}{targets}")
+        if not lines:
+            lines.append("clean run: no runtime incidents")
+        return "\n".join(lines)
+
+
+def merge_reports(
+    parts: list[Optional["DegradationReport"]],
+) -> Optional[DegradationReport]:
+    """Union several (possibly None) reports; None when nothing to say."""
+    merged = DegradationReport()
+    for part in parts:
+        if part is None:
+            continue
+        merged.incidents.extend(part.incidents)
+        merged.exclusions.extend(part.exclusions)
+        merged.resumed_shards.extend(part.resumed_shards)
+    return merged if merged.has_content() else None

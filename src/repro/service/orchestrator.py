@@ -257,9 +257,16 @@ def run_monitor_sharded(
     destination_seed: Optional[int] = None,
     metrics: bool = False,
     trace_capacity: int = 0,
+    runtime=None,
+    journal_path=None,
 ) -> MonitorResult:
     """Partition the monitor's vantages over ``shards`` replicas, merge,
-    and finalize the alert pipeline over the merged onset stream."""
+    and finalize the alert pipeline over the merged onset stream.
+
+    ``runtime`` (a :class:`repro.runtime.RuntimeOptions`) or
+    ``journal_path`` switches from the bare pool to the supervised
+    executor — see :func:`run_monitor_supervised`.
+    """
     from repro.vantage.sharding import plan_shards
 
     monitor = monitor or MonitorConfig()
@@ -271,6 +278,10 @@ def run_monitor_sharded(
             metrics=metrics, trace_capacity=trace_capacity)
         for vantage_ids in plan_shards(internet.n_vantages, shards)
     ]
+    if runtime is not None or journal_path is not None:
+        return run_monitor_supervised(
+            tasks, processes=processes, runtime=runtime,
+            journal_path=journal_path)
     if processes and len(tasks) > 1:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
@@ -280,6 +291,112 @@ def run_monitor_sharded(
     else:
         parts = [run_monitor_shard(task) for task in tasks]
     return MonitorResult.merge(parts)
+
+
+# -- supervised execution -----------------------------------------------
+def monitor_shard_specs(tasks: Sequence[MonitorShardTask]) -> list:
+    """Wrap monitor shard tasks as supervisor shard specs (stable keys)."""
+    from repro.runtime import ShardSpec
+
+    return [
+        ShardSpec(
+            key="shard-v" + "-".join(str(v) for v in task.vantage_ids),
+            task=task, vantage_ids=list(task.vantage_ids))
+        for task in tasks
+    ]
+
+
+def validate_monitor_shard(task: MonitorShardTask,
+                           result: MonitorResult) -> None:
+    """Reject a partial result that is not ``task``'s vantage share."""
+    from repro.errors import CampaignError
+
+    got = sorted(v.index for v in result.fleet.vantages)
+    want = sorted(task.vantage_ids)
+    if got != want:
+        raise CampaignError(
+            f"shard result covers vantages {got}, task owns {want}: "
+            "refusing to merge a wrong-shard result")
+
+
+def split_monitor_spec(spec) -> list:
+    """Reassign an exhausted monitor shard: one task per vantage."""
+    from dataclasses import replace
+
+    from repro.runtime import ShardSpec
+
+    return [
+        ShardSpec(
+            key=f"{spec.key}/v{vantage_id}",
+            task=replace(spec.task, vantage_ids=[vantage_id]),
+            vantage_ids=[vantage_id])
+        for vantage_id in spec.vantage_ids
+    ]
+
+
+def monitor_run_identity(tasks: Sequence[MonitorShardTask]) -> str:
+    """The journal-binding digest of a sharded monitor run."""
+    from dataclasses import asdict
+
+    from repro.runtime import run_identity
+
+    first = tasks[0]
+    return run_identity({
+        "kind": "monitor",
+        "internet": asdict(first.internet),
+        "monitor": asdict(first.monitor),
+        "plan": [list(task.vantage_ids) for task in tasks],
+        "max_destinations": first.max_destinations,
+        "destination_seed": first.destination_seed,
+        "metrics": first.metrics,
+        "trace_capacity": first.trace_capacity,
+    })
+
+
+def run_monitor_supervised(
+    tasks: Sequence[MonitorShardTask],
+    processes: bool = False,
+    runtime=None,
+    journal_path=None,
+    registry=None,
+) -> MonitorResult:
+    """Run prepared monitor shard tasks under the fault-tolerant
+    supervisor, then finalize the alert pipeline over the merge.
+
+    Mirrors :func:`repro.vantage.sharding.run_fleet_supervised`: the
+    merged result carries the :class:`repro.runtime.DegradationReport`
+    on :attr:`MonitorResult.degradation` and the supervisor's
+    ``repro_runtime_*`` series in the fleet metrics snapshot.
+    """
+    from repro.errors import CampaignError
+    from repro.runtime import RunJournal, RuntimeOptions, ShardSupervisor
+
+    if not tasks:
+        raise CampaignError("no shard tasks to supervise")
+    runtime = runtime or RuntimeOptions()
+    journal = None
+    if journal_path is not None:
+        journal = RunJournal(journal_path, monitor_run_identity(tasks))
+    coordinator = registry
+    if coordinator is None and tasks[0].metrics:
+        from repro.obs.registry import MetricsRegistry
+
+        coordinator = MetricsRegistry()
+    supervised = ShardSupervisor(
+        monitor_shard_specs(tasks), run_monitor_shard,
+        processes=processes, options=runtime,
+        validate=validate_monitor_shard, split=split_monitor_spec,
+        journal=journal, registry=coordinator).execute()
+    merged = MonitorResult.merge(supervised.results)
+    merged.degradation = supervised.report
+    if coordinator is not None and registry is None:
+        from repro.obs.registry import MetricsSnapshot
+
+        snapshots = [s for s in (merged.fleet.metrics,
+                                 coordinator.snapshot())
+                     if s is not None]
+        merged.fleet.metrics = MetricsSnapshot.merge(snapshots)
+    return merged
 
 
 class MonitorService:
@@ -307,10 +424,14 @@ class MonitorService:
         self.metrics = metrics
         self.trace_capacity = trace_capacity
 
-    def run(self, shards: int = 1,
-            processes: bool = False) -> MonitorResult:
-        """Execute the service; ``shards > 1`` partitions the fleet."""
-        if shards <= 1:
+    def run(self, shards: int = 1, processes: bool = False,
+            runtime=None, journal_path=None) -> MonitorResult:
+        """Execute the service; ``shards > 1`` partitions the fleet.
+
+        ``runtime`` / ``journal_path`` engage the supervised executor
+        even at ``shards=1`` (one shard, still crash-safe).
+        """
+        if shards <= 1 and runtime is None and journal_path is None:
             return run_monitor(
                 self.internet, self.monitor,
                 max_destinations=self.max_destinations,
@@ -318,9 +439,10 @@ class MonitorService:
                 metrics=self.metrics,
                 trace_capacity=self.trace_capacity)
         return run_monitor_sharded(
-            self.internet, self.monitor, shards=shards,
+            self.internet, self.monitor, shards=max(shards, 1),
             processes=processes,
             max_destinations=self.max_destinations,
             destination_seed=self.destination_seed,
             metrics=self.metrics,
-            trace_capacity=self.trace_capacity)
+            trace_capacity=self.trace_capacity,
+            runtime=runtime, journal_path=journal_path)

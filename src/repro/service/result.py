@@ -45,6 +45,9 @@ class MonitorResult:
     alerts: Optional[AlertLog] = None
     #: Operational snapshot (outside the signature, like metrics).
     health: Optional[dict] = None
+    #: :class:`repro.runtime.degradation.DegradationReport` stamped by a
+    #: supervised execution; outside the signature like ``health``.
+    degradation: object = None
 
     @classmethod
     def merge(cls, parts: Iterable["MonitorResult"]) -> "MonitorResult":
@@ -66,6 +69,12 @@ class MonitorResult:
         merged.alerts = build_alert_log(merged.onsets, merged.config)
         merged.health = health_snapshot(merged)
         publish_alert_metrics(merged)
+        reports = [p.degradation for p in parts
+                   if p.degradation is not None]
+        if reports:
+            from repro.runtime.degradation import merge_reports
+
+            merged.degradation = merge_reports(reports)
         return merged
 
     # -- canonical serialization ----------------------------------------

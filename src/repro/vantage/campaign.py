@@ -185,6 +185,12 @@ class FleetResult:
     #: canonically ordered across shards); empty when tracing is off.
     #: Excluded from the signature like ``metrics``.
     spans: list = field(default_factory=list)
+    #: :class:`repro.runtime.degradation.DegradationReport` stamped by a
+    #: supervised execution (None on clean unsupervised runs).  Like
+    #: ``metrics`` it is operational metadata and never enters
+    #: :meth:`to_dict` / :meth:`signature` — a degraded run differs in
+    #: bytes because vantages are *missing*, not because it is labeled.
+    degradation: object = None
 
     def vantage(self, index: int) -> VantageOutcome:
         for outcome in self.vantages:
@@ -235,6 +241,12 @@ class FleetResult:
 
             spans.sort(key=ProbeTracer.sort_key)
             merged.spans = spans
+        reports = [p.degradation for p in parts
+                   if p.degradation is not None]
+        if reports:
+            from repro.runtime.degradation import merge_reports
+
+            merged.degradation = merge_reports(reports)
         return merged
 
     # -- canonical serialization ----------------------------------------

@@ -22,6 +22,17 @@ Two backends:
   results) must pickle, so ``strategy_builder`` has to be a
   module-level callable — :func:`mda_strategy_builder` is the stock
   one.
+
+Passing ``runtime=`` (a :class:`repro.runtime.RuntimeOptions`) or
+``journal_path=`` routes either backend through the
+:class:`repro.runtime.ShardSupervisor` instead: worker crashes, hangs,
+and lost results are retried under seeded backoff, an exhausted
+shard's vantages are reassigned to fresh single-vantage workers, and
+whatever still fails is *excluded* — the merged result carries a
+:class:`repro.runtime.DegradationReport` instead of the run dying.
+Because shard results are pure functions of their
+:class:`FleetShardTask`, any recovery schedule merges to the same
+bytes as the unfaulted run.
 """
 
 from __future__ import annotations
@@ -157,8 +168,15 @@ def run_fleet_sharded(
     strategy_builder: Optional[Callable] = None,
     metrics: bool = False,
     trace_capacity: int = 0,
+    runtime=None,
+    journal_path=None,
 ) -> FleetResult:
-    """Partition the fleet's vantages over ``shards`` replicas and merge."""
+    """Partition the fleet's vantages over ``shards`` replicas and merge.
+
+    ``runtime`` (a :class:`repro.runtime.RuntimeOptions`) or
+    ``journal_path`` switches from the bare pool to the supervised
+    executor — see :func:`run_fleet_supervised`.
+    """
     fleet = fleet or FleetConfig()
     tasks = [
         FleetShardTask(
@@ -169,6 +187,10 @@ def run_fleet_sharded(
             metrics=metrics, trace_capacity=trace_capacity)
         for vantage_ids in plan_shards(internet.n_vantages, shards)
     ]
+    if runtime is not None or journal_path is not None:
+        return run_fleet_supervised(
+            tasks, processes=processes, runtime=runtime,
+            journal_path=journal_path)
     if processes and len(tasks) > 1:
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
@@ -178,3 +200,123 @@ def run_fleet_sharded(
     else:
         parts = [run_shard(task) for task in tasks]
     return FleetResult.merge(parts)
+
+
+# -- supervised execution -----------------------------------------------
+def fleet_shard_specs(tasks: Sequence[FleetShardTask]) -> list:
+    """Wrap shard tasks as supervisor :class:`repro.runtime.ShardSpec`s.
+
+    Keys name the shard by its vantages (``shard-v0-1``), so the same
+    plan always produces the same keys — the property journal resume
+    and seeded chaos plans both rely on.
+    """
+    from repro.runtime import ShardSpec
+
+    return [
+        ShardSpec(
+            key="shard-v" + "-".join(str(v) for v in task.vantage_ids),
+            task=task, vantage_ids=list(task.vantage_ids))
+        for task in tasks
+    ]
+
+
+def validate_fleet_shard(task: FleetShardTask,
+                         result: FleetResult) -> None:
+    """Reject a result that does not belong to ``task``'s vantages."""
+    got = sorted(v.index for v in result.vantages)
+    want = sorted(task.vantage_ids)
+    if got != want:
+        raise CampaignError(
+            f"shard result covers vantages {got}, task owns {want}: "
+            "refusing to merge a wrong-shard result")
+
+
+def split_fleet_spec(spec) -> list:
+    """Reassign an exhausted shard: one fresh task per vantage.
+
+    Shard results are pure functions of their tasks, so regrouping a
+    shard's vantages into singleton tasks changes nothing about the
+    merged bytes — only which worker computes them.
+    """
+    from dataclasses import replace
+
+    from repro.runtime import ShardSpec
+
+    return [
+        ShardSpec(
+            key=f"{spec.key}/v{vantage_id}",
+            task=replace(spec.task, vantage_ids=[vantage_id]),
+            vantage_ids=[vantage_id])
+        for vantage_id in spec.vantage_ids
+    ]
+
+
+def fleet_run_identity(tasks: Sequence[FleetShardTask]) -> str:
+    """The journal-binding digest of a sharded fleet run.
+
+    Covers everything that determines the run's bytes: both configs,
+    the shard plan, the destination knobs, and the strategy builder's
+    name.  A resume against a journal written under any other
+    description is refused.
+    """
+    from dataclasses import asdict
+
+    from repro.runtime import run_identity
+
+    first = tasks[0]
+    builder = first.strategy_builder
+    return run_identity({
+        "kind": "fleet",
+        "internet": asdict(first.internet),
+        "fleet": asdict(first.fleet),
+        "plan": [list(task.vantage_ids) for task in tasks],
+        "max_destinations": first.max_destinations,
+        "destination_seed": first.destination_seed,
+        "strategy_builder": getattr(builder, "__name__", None),
+        "metrics": first.metrics,
+        "trace_capacity": first.trace_capacity,
+    })
+
+
+def run_fleet_supervised(
+    tasks: Sequence[FleetShardTask],
+    processes: bool = False,
+    runtime=None,
+    journal_path=None,
+    registry=None,
+) -> FleetResult:
+    """Run prepared shard tasks under the fault-tolerant supervisor.
+
+    The merged result carries the run's
+    :class:`repro.runtime.DegradationReport` (when there is anything
+    to report) on :attr:`FleetResult.degradation`, and — when shard
+    metrics are enabled — the supervisor's ``repro_runtime_*`` series
+    merged into :attr:`FleetResult.metrics`.
+    """
+    from repro.runtime import RunJournal, RuntimeOptions, ShardSupervisor
+
+    if not tasks:
+        raise CampaignError("no shard tasks to supervise")
+    runtime = runtime or RuntimeOptions()
+    journal = None
+    if journal_path is not None:
+        journal = RunJournal(journal_path, fleet_run_identity(tasks))
+    coordinator = registry
+    if coordinator is None and tasks[0].metrics:
+        from repro.obs.registry import MetricsRegistry
+
+        coordinator = MetricsRegistry()
+    supervised = ShardSupervisor(
+        fleet_shard_specs(tasks), run_shard,
+        processes=processes, options=runtime,
+        validate=validate_fleet_shard, split=split_fleet_spec,
+        journal=journal, registry=coordinator).execute()
+    merged = FleetResult.merge(supervised.results)
+    merged.degradation = supervised.report
+    if coordinator is not None and registry is None:
+        from repro.obs.registry import MetricsSnapshot
+
+        snapshots = [s for s in (merged.metrics, coordinator.snapshot())
+                     if s is not None]
+        merged.metrics = MetricsSnapshot.merge(snapshots)
+    return merged

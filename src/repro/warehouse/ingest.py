@@ -22,7 +22,18 @@ content digest reproducible happens here:
   :class:`repro.topology.asmap.AsMapper` once, here, so queries never
   join against a mapper; the trace-level anomaly census (loops,
   cycles, mid-route stars — the Sec. 4 classifiers) is computed once,
-  here, so per-AS artifact rates are a streaming GROUP BY.
+  here, so per-AS artifact rates are a streaming GROUP BY;
+- **crash-safe atomicity** — every ingest is one ``BEGIN
+  IMMEDIATE``..``COMMIT`` transaction: a process killed (or an
+  exception raised) mid-ingest rolls the run back entirely, and the
+  idempotent ``run_id`` check means the retried ingest simply writes
+  the whole run again — never half a run, never a duplicate.
+
+A supervised run's :class:`repro.runtime.degradation.DegradationReport`
+is stamped into the ``runs`` row (``degraded`` column, canonical JSON)
+so the warehouse records which stored measurements ran under incident
+— empty for clean runs, so clean cross-mode ingests stay
+digest-identical.
 
 Row and ingest counters ride the PR 6 metrics registry when one is
 passed (process scope: ingest happens on the coordinator, outside the
@@ -34,6 +45,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional
 
@@ -67,6 +79,40 @@ class IngestReceipt:
         """Total rows this ingest appended (runs row excluded)."""
         return (self.traces + self.hops + self.onsets + self.alerts
                 + self.routes_added)
+
+
+@contextmanager
+def _atomic(warehouse: Warehouse):
+    """One all-or-nothing ingest transaction.
+
+    ``BEGIN IMMEDIATE`` takes the write lock up front (no lock
+    upgrade deadlocks mid-run); any exception rolls the whole run
+    back, so the store never holds a partial ingest for a later
+    commit to sweep in.  The matching COMMIT is
+    :meth:`_RunWriter.finish`'s.
+    """
+    conn = warehouse.connection
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        yield
+    except Exception:
+        conn.rollback()
+        raise
+
+
+def degraded_json(result) -> str:
+    """The ``runs.degraded`` column value for a result.
+
+    Canonical JSON of the result's degradation report when a
+    supervised execution had anything to report; the empty string —
+    the clean-run value, keeping unsupervised and incident-free
+    ingests byte-identical — otherwise.
+    """
+    report = getattr(result, "degradation", None)
+    if report is None or not report.has_content():
+        return ""
+    return json.dumps(report.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
 
 
 def run_identity(kind: str, signature: str) -> str:
@@ -133,7 +179,8 @@ class _RunWriter:
 
     # -- row writers ----------------------------------------------------
     def begin(self, kind: str, signature: str, config: str,
-              vantages: int, destinations: int) -> bool:
+              vantages: int, destinations: int,
+              degraded: str = "") -> bool:
         """Open the run; False when it is already ingested (skip)."""
         run_id = run_identity(kind, signature)
         self.receipt = IngestReceipt(run_id=run_id, kind=kind,
@@ -145,10 +192,10 @@ class _RunWriter:
             "SELECT COALESCE(MAX(seq), 0) + 1 FROM runs").fetchone()[0]
         conn.execute(
             "INSERT INTO runs (run_id, seq, kind, signature, config, "
-            "vantages, destinations, traces, onsets, alerts) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, 0, 0, 0)",
+            "vantages, destinations, traces, onsets, alerts, degraded) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, 0, 0, 0, ?)",
             (run_id, seq, kind, signature, config, vantages,
-             destinations))
+             destinations, degraded))
         self.receipt.ingested = True
         return True
 
@@ -292,11 +339,13 @@ def ingest_campaign(
     if not client and result.routes:
         client = str(result.routes[0].source)
     writer = _RunWriter(warehouse, asmap)
-    if writer.begin("campaign", campaign_signature(result), "{}",
-                    vantages=1, destinations=len(result.destinations)):
-        for route in result.routes:
-            writer.write_route(0, client, route)
-    receipt = writer.finish()
+    with _atomic(warehouse):
+        if writer.begin("campaign", campaign_signature(result), "{}",
+                        vantages=1,
+                        destinations=len(result.destinations)):
+            for route in result.routes:
+                writer.write_route(0, client, route)
+        receipt = writer.finish()
     _publish(registry, receipt)
     return receipt
 
@@ -317,11 +366,13 @@ def ingest_fleet(
 ) -> IngestReceipt:
     """Ingest a (possibly shard-merged) :class:`FleetResult`."""
     writer = _RunWriter(warehouse, asmap)
-    if writer.begin("fleet", result.signature(), "{}",
-                    vantages=len(result.vantages),
-                    destinations=len(result.destinations)):
-        _write_fleet(writer, result)
-    receipt = writer.finish()
+    with _atomic(warehouse):
+        if writer.begin("fleet", result.signature(), "{}",
+                        vantages=len(result.vantages),
+                        destinations=len(result.destinations),
+                        degraded=degraded_json(result)):
+            _write_fleet(writer, result)
+        receipt = writer.finish()
     _publish(registry, receipt)
     return receipt
 
@@ -346,14 +397,16 @@ def ingest_monitor(
     config = json.dumps(dataclasses.asdict(result.config),
                         sort_keys=True, separators=(",", ":"))
     writer = _RunWriter(warehouse, asmap)
-    if writer.begin("monitor", result.signature(), config,
-                    vantages=len(result.fleet.vantages),
-                    destinations=len(result.fleet.destinations)):
-        _write_fleet(writer, result.fleet)
-        for onset in result.onsets:
-            writer.write_onset(onset)
-        for alert in result.alerts.alerts:
-            writer.write_alert(alert)
-    receipt = writer.finish()
+    with _atomic(warehouse):
+        if writer.begin("monitor", result.signature(), config,
+                        vantages=len(result.fleet.vantages),
+                        destinations=len(result.fleet.destinations),
+                        degraded=degraded_json(result)):
+            _write_fleet(writer, result.fleet)
+            for onset in result.onsets:
+                writer.write_onset(onset)
+            for alert in result.alerts.alerts:
+                writer.write_alert(alert)
+        receipt = writer.finish()
     _publish(registry, receipt)
     return receipt

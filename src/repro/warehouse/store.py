@@ -9,7 +9,9 @@ deleted — re-ingesting a run the store already holds is a no-op):
     to the same identity no matter which execution mode produced it;
     ``seq`` is the ingest order (a monotonic integer — the store keeps
     no wall-clock timestamps, which is half of why two warehouses
-    holding the same runs are digest-identical).
+    holding the same runs are digest-identical).  ``degraded`` holds a
+    supervised run's degradation report as canonical JSON ('' for
+    clean runs, so clean cross-mode ingests stay digest-identical).
 
 ``routes``
     Distinct measured paths, interned by signature: the hop text
@@ -51,7 +53,12 @@ from typing import Iterator, Optional, Union
 from repro.errors import WarehouseError
 
 #: Bump when the DDL changes shape; stored in ``meta``.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: How long a reader or writer waits on a locked database before
+#: failing, milliseconds.  Bounded: a wedged writer surfaces as a
+#: :class:`repro.errors.WarehouseError` instead of a silent hang.
+BUSY_TIMEOUT_MS = 5_000
 
 #: Tables in canonical digest order.
 TABLES = ("runs", "routes", "traces", "hops", "onsets", "alerts")
@@ -76,7 +83,8 @@ CREATE TABLE IF NOT EXISTS runs (
     destinations INTEGER NOT NULL,
     traces INTEGER NOT NULL,
     onsets INTEGER NOT NULL,
-    alerts INTEGER NOT NULL
+    alerts INTEGER NOT NULL,
+    degraded TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS routes (
     route_id INTEGER PRIMARY KEY,
@@ -186,6 +194,17 @@ class Warehouse:
         except sqlite3.Error as error:
             raise WarehouseError(
                 f"cannot open warehouse {self.path}: {error}") from error
+        # Explicit transaction control: ingest wraps each run in one
+        # BEGIN IMMEDIATE..COMMIT, so a crash mid-ingest can never
+        # leave half a run for a later commit to pick up.
+        self._conn.isolation_level = None
+        if self.path != ":memory:":
+            # WAL lets readers (stream(), content_digest()) proceed
+            # while a writer holds its ingest transaction, and the
+            # bounded busy timeout turns a genuinely wedged lock into
+            # an error instead of an indefinite hang.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         self._conn.executescript(_DDL)
         cursor = self._conn.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'")
@@ -259,10 +278,10 @@ class Warehouse:
         """All ingested runs, in ingest order, as plain dicts."""
         columns = ("run_id", "seq", "kind", "signature", "config",
                    "vantages", "destinations", "traces", "onsets",
-                   "alerts")
+                   "alerts", "degraded")
         return [dict(zip(columns, row)) for row in self.stream(
             "SELECT run_id, seq, kind, signature, config, vantages, "
-            "destinations, traces, onsets, alerts FROM runs "
+            "destinations, traces, onsets, alerts, degraded FROM runs "
             "ORDER BY seq")]
 
     def has_run(self, run_id: str) -> bool:

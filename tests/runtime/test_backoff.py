@@ -1,0 +1,65 @@
+"""BackoffPolicy: deterministic decorrelated-jitter schedules."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.runtime import BackoffPolicy
+
+
+class TestSchedule:
+    def test_first_delay_is_base(self):
+        policy = BackoffPolicy(base=0.25, cap=10.0, seed=3)
+        assert policy.delays("shard-v0", 1) == [0.25]
+
+    def test_same_policy_and_key_reproduce_the_sequence(self):
+        policy = BackoffPolicy(base=0.05, cap=5.0, seed=42)
+        assert (policy.delays("shard-v1", 6)
+                == policy.delays("shard-v1", 6))
+
+    def test_distinct_keys_decorrelate(self):
+        policy = BackoffPolicy(base=0.05, cap=5.0, seed=42)
+        a = policy.delays("shard-v0", 5)
+        b = policy.delays("shard-v1", 5)
+        # First delay is always base; the jittered tail must differ.
+        assert a[1:] != b[1:]
+
+    def test_distinct_seeds_decorrelate(self):
+        a = BackoffPolicy(seed=1).delays("k", 5)
+        b = BackoffPolicy(seed=2).delays("k", 5)
+        assert a[1:] != b[1:]
+
+    def test_delays_respect_floor_and_cap(self):
+        policy = BackoffPolicy(base=0.1, cap=0.5, seed=9)
+        for delay in policy.delays("k", 50):
+            assert 0.1 <= delay <= 0.5
+
+    def test_decorrelated_jitter_rule(self):
+        # Every delay after the first is drawn from [base, 3*prev]
+        # clamped to cap — the AWS decorrelated-jitter recurrence.
+        policy = BackoffPolicy(base=0.05, cap=100.0, seed=7)
+        delays = policy.delays("k", 20)
+        for previous, current in zip(delays, delays[1:]):
+            assert 0.05 <= current <= max(3.0 * previous, 0.05)
+
+    def test_delay_indexes_into_the_sequence(self):
+        policy = BackoffPolicy(base=0.05, cap=5.0, seed=0)
+        sequence = policy.delays("k", 4)
+        assert [policy.delay("k", i) for i in range(4)] == sequence
+
+
+class TestValidation:
+    def test_nonpositive_base_rejected(self):
+        with pytest.raises(CampaignError, match="base"):
+            BackoffPolicy(base=0.0)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(CampaignError, match="cap"):
+            BackoffPolicy(base=1.0, cap=0.5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CampaignError, match="count"):
+            BackoffPolicy().delays("k", -1)
+
+    def test_negative_retry_rejected(self):
+        with pytest.raises(CampaignError, match="retry"):
+            BackoffPolicy().delay("k", -1)

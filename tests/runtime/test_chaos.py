@@ -1,0 +1,53 @@
+"""ChaosPlan: deterministic fault schedules and directive validation."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.runtime import ChaosDirective, ChaosPlan
+from repro.runtime.chaos import ChaosCrash, apply_worker_directive
+
+
+class TestPlans:
+    def test_explicit_plan_maps_cells_to_kinds(self):
+        plan = ChaosPlan.of(("s0", 0, "crash"), ("s1", 2, "hang"))
+        assert plan.directive("s0", 0).kind == "crash"
+        assert plan.directive("s1", 2).kind == "hang"
+        assert plan.directive("s0", 1) is None
+        assert plan.injected() == 2
+
+    def test_seeded_plan_is_reproducible(self):
+        keys = [f"s{i}" for i in range(8)]
+        a = ChaosPlan.seeded(11, keys, p_crash=0.3, p_hang=0.2,
+                             p_lost=0.1, attempts=2)
+        b = ChaosPlan.seeded(11, keys, p_crash=0.3, p_hang=0.2,
+                             p_lost=0.1, attempts=2)
+        assert a.directives == b.directives
+        assert a.injected() > 0
+
+    def test_seeded_plans_differ_across_seeds(self):
+        keys = [f"s{i}" for i in range(16)]
+        a = ChaosPlan.seeded(1, keys, p_crash=0.5)
+        b = ChaosPlan.seeded(2, keys, p_crash=0.5)
+        assert a.directives != b.directives
+
+    def test_probabilities_over_one_rejected(self):
+        with pytest.raises(CampaignError, match="probabilities"):
+            ChaosPlan.seeded(0, ["s0"], p_crash=0.6, p_hang=0.6)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CampaignError, match="chaos kind"):
+            ChaosDirective("meltdown")
+
+
+class TestWorkerDirectives:
+    def test_none_is_a_no_op(self):
+        apply_worker_directive(None)
+
+    def test_crash_raises(self):
+        with pytest.raises(ChaosCrash):
+            apply_worker_directive(ChaosDirective("crash"))
+
+    def test_lost_is_not_applied_pre_task(self):
+        # 'lost' drops the result after the work runs; the pre-task
+        # hook must pass it through untouched.
+        apply_worker_directive(ChaosDirective("lost"))

@@ -1,0 +1,198 @@
+"""The fault-tolerance acceptance bar, proven with the chaos harness.
+
+ISSUE 10 acceptance criteria, pinned end to end on real fleet shards:
+
+- a K=4 **process-pool** run with one seeded worker crash and one
+  seeded hang completes **byte-identical** to the unfaulted
+  single-process run;
+- an interrupted run **resumes from its journal** to the identical
+  signature, with the resumed shards recorded;
+- a shard that exhausts its retries yields a **merged partial result**
+  whose bytes equal the merge of the surviving shards, with an
+  accurate :class:`repro.runtime.DegradationReport`.
+
+Everything rests on the repo's standing invariant: shard results are
+pure functions of their tasks, so *any* recovery schedule must land on
+the single-scheduler signature.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.runtime import (
+    BackoffPolicy,
+    ChaosPlan,
+    JournalError,
+    RunAborted,
+    RuntimeOptions,
+)
+from repro.service import MonitorConfig, MonitorService, run_monitor
+from repro.topology import InternetConfig
+from repro.vantage import FleetConfig, FleetResult, run_fleet, run_fleet_sharded
+from repro.vantage.sharding import FleetShardTask, run_shard
+
+TINY4 = InternetConfig(
+    seed=9, n_tier1=2, n_transit=2, n_stub=3, dests_per_stub=1,
+    n_loop_stub_diamonds=1, n_cycle_stub_diamonds=0, n_nat_dests=0,
+    n_zero_ttl_dests=0, response_loss_rate=0.0, p_per_packet=0.0,
+    n_vantages=4)
+
+FLEET = FleetConfig(rounds=2, workers=2, seed=5)
+
+
+def runtime(**overrides):
+    """Fast supervision defaults: tiny deterministic backoff, no real
+    sleeping in the inline backend."""
+    defaults = dict(backoff=BackoffPolicy(base=0.01, cap=0.05),
+                    sleep=lambda s: None)
+    defaults.update(overrides)
+    return RuntimeOptions(**defaults)
+
+
+@pytest.fixture(scope="module")
+def single():
+    """The unfaulted single-process reference (the byte oracle)."""
+    return run_fleet(TINY4, FLEET)
+
+
+class TestProcessPoolRecovery:
+    """Acceptance: K=4 process pool, 1 crash + 1 hang, same bytes."""
+
+    def test_crash_and_hang_recover_byte_identical(self, single):
+        chaos = ChaosPlan.of(("shard-v1", 0, "crash"),
+                             ("shard-v3", 0, "hang"))
+        recovered = run_fleet_sharded(
+            TINY4, FLEET, shards=4, processes=True,
+            runtime=runtime(chaos=chaos, shard_timeout=2.0))
+        assert recovered.signature() == single.signature()
+        report = recovered.degradation
+        kinds = {(i.shard, i.kind) for i in report.incidents}
+        assert kinds == {("shard-v1", "crash"), ("shard-v3", "hang")}
+        assert all(i.resolution == "retried" for i in report.incidents)
+        assert not report.degraded
+
+    def test_hard_kill_and_lost_result_recover(self, single):
+        # 'kill' dies without a word (os._exit) and must surface as a
+        # dead worker; 'lost' computes the result then drops it.
+        chaos = ChaosPlan.of(("shard-v0", 0, "kill"),
+                             ("shard-v2", 0, "lost"))
+        recovered = run_fleet_sharded(
+            TINY4, FLEET, shards=4, processes=True,
+            runtime=runtime(chaos=chaos, shard_timeout=5.0))
+        assert recovered.signature() == single.signature()
+        kinds = {(i.shard, i.kind)
+                 for i in recovered.degradation.incidents}
+        assert kinds == {("shard-v0", "died"), ("shard-v2", "lost")}
+
+
+class TestJournalResume:
+    """Acceptance: interrupted run resumes to the identical signature."""
+
+    def test_abort_then_resume_is_byte_identical(self, single, tmp_path):
+        journal = tmp_path / "fleet.journal"
+        # K=2 over 4 vantages -> shards shard-v0-2 and shard-v1-3; the
+        # injected coordinator abort lands after the first completes.
+        interrupted = runtime(
+            chaos=ChaosPlan.of(("shard-v1-3", 0, "abort")))
+        with pytest.raises(RunAborted):
+            run_fleet_sharded(TINY4, FLEET, shards=2,
+                              runtime=interrupted,
+                              journal_path=journal)
+        resumed = run_fleet_sharded(TINY4, FLEET, shards=2,
+                                    journal_path=journal)
+        assert resumed.signature() == single.signature()
+        report = resumed.degradation
+        assert report.resumed_shards == ["shard-v0-2"]
+        assert not report.degraded
+
+    def test_journal_refuses_a_different_run(self, tmp_path):
+        journal = tmp_path / "fleet.journal"
+        aborting = runtime(
+            chaos=ChaosPlan.of(("shard-v1-3", 0, "abort")))
+        with pytest.raises(RunAborted):
+            run_fleet_sharded(TINY4, FLEET, shards=2, runtime=aborting,
+                              journal_path=journal)
+        other = replace(TINY4, seed=10)
+        with pytest.raises(JournalError, match="different run"):
+            run_fleet_sharded(other, FLEET, shards=2,
+                              journal_path=journal)
+
+
+class TestReassignment:
+    """An exhausted multi-vantage shard is recovered one vantage at a
+    time — full coverage, same bytes, nothing degraded."""
+
+    def test_exhausted_group_reassigned_byte_identical(self, single):
+        chaos = ChaosPlan.of(("shard-v0-2", 0, "crash"),
+                             ("shard-v0-2", 1, "crash"))
+        recovered = run_fleet_sharded(
+            TINY4, FLEET, shards=2,
+            runtime=runtime(max_retries=1, chaos=chaos))
+        assert recovered.signature() == single.signature()
+        report = recovered.degradation
+        assert report.incidents[-1].resolution == "reassigned"
+        assert not report.degraded
+
+
+class TestGracefulDegradation:
+    """Acceptance: exhausted shard -> accurate partial merge."""
+
+    def test_partial_merge_matches_surviving_shards(self, single):
+        # shard-v2 fails every attempt (initial + 1 retry) and, being a
+        # singleton, cannot be reassigned: it is excluded.
+        chaos = ChaosPlan.of(("shard-v2", 0, "crash"),
+                             ("shard-v2", 1, "crash"))
+        degraded = run_fleet_sharded(
+            TINY4, FLEET, shards=4,
+            runtime=runtime(max_retries=1, chaos=chaos))
+        report = degraded.degradation
+        assert report.degraded
+        assert report.excluded_vantages == [2]
+        assert report.exclusions[0].shard == "shard-v2"
+        assert report.exclusions[0].attempts == 2
+        # The partial merge is exactly the surviving shards' bytes.
+        survivors = [
+            FleetShardTask(internet=TINY4, fleet=FLEET,
+                           vantage_ids=[v]) for v in (0, 1, 3)]
+        reference = FleetResult.merge(
+            [run_shard(task) for task in survivors])
+        assert degraded.signature() == reference.signature()
+        assert degraded.signature() != single.signature()
+        # Degradation rides outside the signed payload.
+        assert "degradation" not in degraded.to_dict()
+
+
+MONITOR = MonitorConfig(duration=60.0, periods=(30.0,), max_rounds=2,
+                        fleet=FleetConfig(workers=2))
+
+
+class TestMonitorRecovery:
+    """The monitor path inherits the same guarantees."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return run_monitor(TINY4, MONITOR, max_destinations=3,
+                           metrics=False)
+
+    def test_supervised_chaos_run_matches_single(self, reference):
+        service = MonitorService(TINY4, MONITOR, max_destinations=3,
+                                 metrics=False)
+        chaos = ChaosPlan.of(("shard-v1-3", 0, "crash"))
+        recovered = service.run(shards=2,
+                                runtime=runtime(chaos=chaos))
+        assert recovered.signature() == reference.signature()
+        assert recovered.degradation.incidents[0].kind == "crash"
+
+    def test_monitor_journal_resume(self, reference, tmp_path):
+        journal = tmp_path / "monitor.journal"
+        service = MonitorService(TINY4, MONITOR, max_destinations=3,
+                                 metrics=False)
+        aborting = runtime(
+            chaos=ChaosPlan.of(("shard-v1-3", 0, "abort")))
+        with pytest.raises(RunAborted):
+            service.run(shards=2, runtime=aborting,
+                        journal_path=journal)
+        resumed = service.run(shards=2, journal_path=journal)
+        assert resumed.signature() == reference.signature()
+        assert resumed.degradation.resumed_shards == ["shard-v0-2"]

@@ -1,0 +1,88 @@
+"""RunJournal: crash-safe checkpoints, identity guard, torn tails."""
+
+import json
+
+import pytest
+
+from repro.runtime import JournalError, RunJournal, run_identity
+
+
+IDENT = run_identity({"kind": "test", "seed": 1})
+
+
+class TestIdentity:
+    def test_equal_descriptions_share_identity(self):
+        assert (run_identity({"a": 1, "b": [2, 3]})
+                == run_identity({"b": [2, 3], "a": 1}))
+
+    def test_different_descriptions_differ(self):
+        assert (run_identity({"seed": 1})
+                != run_identity({"seed": 2}))
+
+
+class TestCheckpointRoundTrip:
+    def test_results_survive_reload(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = RunJournal(path, IDENT)
+        journal.checkpoint("shard-v0", {"routes": [1, 2, 3]})
+        journal.checkpoint("shard-v1", {"routes": [4]})
+        reloaded = RunJournal(path, IDENT)
+        assert reloaded.completed == {"shard-v0": {"routes": [1, 2, 3]},
+                                      "shard-v1": {"routes": [4]}}
+        assert reloaded.has("shard-v0")
+        assert not reloaded.has("shard-v9")
+        assert reloaded.result("shard-v1") == {"routes": [4]}
+
+    def test_checkpoint_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = RunJournal(path, IDENT)
+        journal.checkpoint("k", 1)
+        journal.checkpoint("k", 2)  # already recorded: ignored
+        assert RunJournal(path, IDENT).result("k") == 1
+
+    def test_mismatched_identity_refused(self, tmp_path):
+        path = tmp_path / "run.journal"
+        RunJournal(path, IDENT).checkpoint("k", 1)
+        with pytest.raises(JournalError, match="different run"):
+            RunJournal(path, run_identity({"kind": "test", "seed": 2}))
+
+
+class TestCrashTolerance:
+    def test_torn_tail_line_is_ignored(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = RunJournal(path, IDENT)
+        journal.checkpoint("intact", {"ok": True})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "shard", "key": "torn", "pay')
+        reloaded = RunJournal(path, IDENT)
+        assert reloaded.has("intact")
+        assert not reloaded.has("torn")
+
+    def test_corrupted_payload_is_ignored(self, tmp_path):
+        path = tmp_path / "run.journal"
+        journal = RunJournal(path, IDENT)
+        journal.checkpoint("good", 7)
+        record = {"type": "shard", "key": "bad", "payload": "AAAA",
+                  "sha256": "0" * 64}  # digest does not match payload
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        reloaded = RunJournal(path, IDENT)
+        assert reloaded.completed.keys() == {"good"}
+
+    def test_missing_header_refused(self, tmp_path):
+        path = tmp_path / "run.journal"
+        path.write_text('{"type": "shard", "key": "k"}\n',
+                        encoding="utf-8")
+        with pytest.raises(JournalError, match="header"):
+            RunJournal(path, IDENT)
+
+    def test_empty_file_refused(self, tmp_path):
+        path = tmp_path / "run.journal"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(JournalError, match="empty"):
+            RunJournal(path, IDENT)
+
+    def test_parent_directories_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.journal"
+        RunJournal(path, IDENT).checkpoint("k", 1)
+        assert RunJournal(path, IDENT).has("k")

@@ -1,0 +1,177 @@
+"""Warehouse robustness: WAL concurrency, atomic ingest, degradation.
+
+Three contracts from the fault-tolerant runtime PR:
+
+- a file-backed store opens in WAL mode with a bounded busy timeout,
+  so readers (``stream`` / ``content_digest``) proceed while a writer
+  holds its ingest transaction instead of erroring or hanging;
+- every ingest is one transaction — an exception mid-ingest rolls the
+  whole run back (no partial rows), and the retried ingest lands the
+  complete run (idempotent resume);
+- a supervised result's degradation report is stamped into the
+  ``runs.degraded`` column, and clean runs keep the empty string so
+  clean cross-mode ingests stay digest-identical.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import WarehouseError
+from repro.runtime import DegradationReport, ShardExclusion, ShardIncident
+from repro.warehouse import Warehouse, ingest_campaign, ingest_fleet
+from repro.warehouse.ingest import _RunWriter, degraded_json
+
+from tests.warehouse.helpers import addr, asmap_for, campaign, route
+
+
+def three_routes():
+    return [route([addr(1), addr(2), addr(9)]),
+            route([addr(1), addr(3), addr(9)], tool="classic-udp"),
+            route([addr(1), None, addr(9)], round_index=1)]
+
+
+class TestWalMode:
+    def test_file_store_uses_wal_with_bounded_busy_timeout(self, tmp_path):
+        with Warehouse(tmp_path / "w.sqlite") as warehouse:
+            conn = warehouse.connection
+            assert conn.execute(
+                "PRAGMA journal_mode").fetchone()[0] == "wal"
+            assert conn.execute(
+                "PRAGMA busy_timeout").fetchone()[0] > 0
+
+    def test_memory_store_skips_wal(self):
+        # :memory: cannot WAL; the pragma must not be attempted (it
+        # would silently report "memory" — fine — but the contract is
+        # that only file stores take the concurrent-reader setup).
+        with Warehouse(":memory:") as warehouse:
+            mode = warehouse.connection.execute(
+                "PRAGMA journal_mode").fetchone()[0]
+            assert mode == "memory"
+
+    def test_reader_streams_while_writer_holds_transaction(self, tmp_path):
+        path = tmp_path / "w.sqlite"
+        with Warehouse(path) as warehouse:
+            ingest_campaign(warehouse, campaign(three_routes()),
+                            asmap=asmap_for(1, 2, 3, 9))
+            baseline = warehouse.content_digest()
+        writer = sqlite3.connect(path)
+        try:
+            writer.execute("BEGIN IMMEDIATE")
+            writer.execute(
+                "INSERT INTO routes (signature, hops, length) "
+                "VALUES ('pending', 'x', 1)")
+            # The write transaction is open and uncommitted; a second
+            # warehouse handle must still read consistent state.
+            with Warehouse(path) as reader:
+                rows = list(reader.stream("SELECT run_id FROM runs"))
+                assert len(rows) == 1
+                assert reader.content_digest() == baseline
+        finally:
+            writer.rollback()
+            writer.close()
+
+
+class TestAtomicIngest:
+    def test_midway_failure_leaves_no_partial_rows(self, monkeypatch):
+        result = campaign(three_routes())
+        with Warehouse(":memory:") as warehouse:
+            real = _RunWriter.write_route
+            calls = {"n": 0}
+
+            def explode(self, vantage, client, measured):
+                calls["n"] += 1
+                if calls["n"] == 2:
+                    raise RuntimeError("injected mid-ingest crash")
+                return real(self, vantage, client, measured)
+
+            monkeypatch.setattr(_RunWriter, "write_route", explode)
+            with pytest.raises(RuntimeError):
+                ingest_campaign(warehouse, result,
+                                asmap=asmap_for(1, 2, 3, 9))
+            monkeypatch.setattr(_RunWriter, "write_route", real)
+            # The whole run rolled back: not one row of it remains.
+            assert all(count == 0
+                       for count in warehouse.row_counts().values())
+
+    def test_retried_ingest_lands_complete_run(self, monkeypatch):
+        result = campaign(three_routes())
+        with Warehouse(":memory:") as clean_store:
+            ingest_campaign(clean_store, result,
+                            asmap=asmap_for(1, 2, 3, 9))
+            expected = clean_store.content_digest()
+        with Warehouse(":memory:") as warehouse:
+            real = _RunWriter.write_route
+
+            def explode_once(self, vantage, client, measured):
+                monkeypatch.setattr(_RunWriter, "write_route", real)
+                raise RuntimeError("injected crash, first try only")
+
+            monkeypatch.setattr(_RunWriter, "write_route", explode_once)
+            with pytest.raises(RuntimeError):
+                ingest_campaign(warehouse, result,
+                                asmap=asmap_for(1, 2, 3, 9))
+            receipt = ingest_campaign(warehouse, result,
+                                      asmap=asmap_for(1, 2, 3, 9))
+            assert receipt.ingested
+            assert receipt.traces == 3
+            assert warehouse.content_digest() == expected
+
+
+class TestDegradedColumn:
+    @staticmethod
+    def report() -> DegradationReport:
+        return DegradationReport(
+            incidents=[ShardIncident(
+                shard="shard-v1", attempt=0, kind="crash",
+                detail="ChaosCrash: injected", resolution="retried")],
+            exclusions=[ShardExclusion(
+                shard="shard-v2", vantage_ids=[2], attempts=3,
+                reason="retries exhausted; last failure: hang")])
+
+    def test_degradation_report_stamped_into_runs_row(self):
+        from repro.vantage.campaign import FleetResult
+
+        result = FleetResult()
+        result.degradation = self.report()
+        with Warehouse(":memory:") as warehouse:
+            writer = _RunWriter(warehouse)
+            writer.begin("fleet", "sig", "{}", vantages=0,
+                         destinations=0,
+                         degraded=degraded_json(result))
+            writer.finish()
+            stored = warehouse.runs()[0]["degraded"]
+            parsed = json.loads(stored)
+            assert parsed == result.degradation.to_dict()
+            assert parsed["degraded"] is True
+            assert parsed["exclusions"][0]["vantage_ids"] == [2]
+
+    def test_clean_run_stores_empty_string(self):
+        with Warehouse(":memory:") as warehouse:
+            ingest_campaign(warehouse, campaign(three_routes()),
+                            asmap=asmap_for(1, 2, 3, 9))
+            assert warehouse.runs()[0]["degraded"] == ""
+
+    def test_degraded_json_of_clean_result(self):
+        from repro.vantage.campaign import FleetResult
+
+        assert degraded_json(FleetResult()) == ""
+        assert degraded_json(object()) == ""
+        flagged = FleetResult()
+        flagged.degradation = self.report()
+        assert json.loads(degraded_json(flagged))["degraded"] is True
+
+
+class TestSchemaGuard:
+    def test_version_mismatch_refuses_store(self, tmp_path):
+        path = tmp_path / "w.sqlite"
+        with Warehouse(path):
+            pass
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '1' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(WarehouseError, match="schema version"):
+            Warehouse(path)

@@ -29,7 +29,7 @@ def build_store() -> Warehouse:
     warehouse = Warehouse(":memory:")
     conn = warehouse.connection
     conn.execute("INSERT INTO runs VALUES ('r1', 1, 'fleet', 'sig', "
-                 "'{}', 1, ?, ?, 0, 0)", (N_TRACES, N_TRACES))
+                 "'{}', 1, ?, ?, 0, 0, '')", (N_TRACES, N_TRACES))
     conn.executemany(
         "INSERT INTO routes (signature, hops, length) VALUES (?, ?, ?)",
         ((f"sig{i}", f"path{i}", HOPS_PER_TRACE)

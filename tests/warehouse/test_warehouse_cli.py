@@ -76,10 +76,14 @@ class TestIngestCommand:
 
 class TestQueryCommand:
     def test_missing_warehouse_is_an_error(self, tmp_path, capsys):
+        # Operational failure -> exit 1 with a one-line error (usage
+        # errors are 2; see the CLI exit-code discipline).
         assert main(["query", "--warehouse",
                      str(tmp_path / "nope.sqlite"),
-                     "--name", "as-rates"]) == 2
-        assert "no warehouse" in capsys.readouterr().err
+                     "--name", "as-rates"]) == 1
+        err = capsys.readouterr().err
+        assert "no warehouse" in err
+        assert err.startswith("error: ")
 
     def test_limit_truncates_the_stream(self, tmp_path, capsys):
         store = tmp_path / "w.sqlite"
@@ -105,8 +109,10 @@ class TestQueryCommand:
 class TestReportCommand:
     def test_missing_warehouse_is_an_error(self, tmp_path, capsys):
         assert main(["report", "--warehouse",
-                     str(tmp_path / "nope.sqlite")]) == 2
-        assert "no warehouse" in capsys.readouterr().err
+                     str(tmp_path / "nope.sqlite")]) == 1
+        err = capsys.readouterr().err
+        assert "no warehouse" in err
+        assert err.startswith("error: ")
 
 
 QUICK_CAMPAIGN = ["campaign", "--vantages", "2", "--rounds", "1",

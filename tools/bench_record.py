@@ -52,6 +52,16 @@ faster at byte-identical discovery), and single-vs-sharded fleet
 censuses of both strategies (gated byte-identical).  The probe and
 link censuses are seed-deterministic and drift-gated.
 
+Schema 6 adds a ``runtime`` leg
+(``benchmarks/test_bench_runtime_recovery.py``): the supervised
+executor's overhead over the bare shard pool (gated at <= 5 % on the
+best *paired* ratio over interleaved timing rounds, so one-sided
+machine noise cannot trip it), the wall cost of recovering one seeded
+worker crash
+(``time_to_recover_s``, trend only), and a new deterministic gate —
+bare, supervised, and crash-recovered runs must all produce the same
+result signature.
+
 Environment: ``REPRO_BENCH_SEED`` / ``REPRO_BENCH_ROUNDS`` as for the
 benchmark suite — the recorded baseline is made with the defaults the
 CI smoke tier uses (seed 42, rounds 2), and ``--check`` refuses to
@@ -73,6 +83,10 @@ sys.path.insert(0, str(REPO_ROOT))
 #: the check fails (the CI regression gate).
 LOOKUP_REGRESSION_TOLERANCE = 0.25
 
+#: Allowed supervised-over-bare wall overhead (best paired ratio over
+#: interleaved timing rounds).
+SUPERVISOR_OVERHEAD_TOLERANCE = 0.05
+
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_walk.json"
 
 
@@ -80,6 +94,7 @@ def measure(seed: int, rounds: int) -> dict:
     """Run both legs in both modes; return the JSON-ready record."""
     from benchmarks.test_bench_mda_lite import run_mda_lite_leg
     from benchmarks.test_bench_monitor_rounds import run_monitor_leg
+    from benchmarks.test_bench_runtime_recovery import run_runtime_leg
     from benchmarks.test_bench_warehouse import run_warehouse_leg
     from benchmarks.test_bench_walk_batching import (
         run_campaign_leg,
@@ -144,9 +159,11 @@ def measure(seed: int, rounds: int) -> dict:
 
     mda_lite = run_mda_lite_leg(seed=seed)
 
+    runtime = run_runtime_leg(seed=seed, rounds=rounds)
+
     simulated = campaign_batched["result"].rounds[-1].finished_at
     return {
-        "schema": 5,
+        "schema": 6,
         "bench": "walk_batching",
         "seed": seed,
         "rounds": rounds,
@@ -208,6 +225,15 @@ def measure(seed: int, rounds: int) -> dict:
             "hop_parallel_agrees": mda_lite["hop_parallel_agrees"],
             "fleet_deterministic": mda_lite["fleet_deterministic"],
             "wall_s": round(mda_lite["lite_wall_s"], 3),
+        },
+        "runtime": {
+            "bare_wall_s": round(runtime["bare_wall_s"], 3),
+            "supervised_wall_s": round(runtime["supervised_wall_s"], 3),
+            "overhead_ratio": round(runtime["overhead_ratio"], 3),
+            "recovered_wall_s": round(runtime["recovered_wall_s"], 3),
+            "time_to_recover_s": round(runtime["time_to_recover_s"], 3),
+            "incidents": runtime["incidents"],
+            "signature_match": runtime["signature_match"],
         },
     }
 
@@ -303,6 +329,24 @@ def check(record: dict, baseline: dict) -> list[str]:
                     f"mda_lite: {field} drifted {recorded} -> {current} "
                     "for the same seed — the census is no longer "
                     "reproducible")
+    runtime = record["runtime"]
+    if not runtime["signature_match"]:
+        problems.append(
+            "runtime: supervised or crash-recovered execution no "
+            "longer reproduces the bare shard pool's signature — "
+            "recovery stopped being invisible in the output")
+    ceiling = 1.0 + SUPERVISOR_OVERHEAD_TOLERANCE
+    if runtime["overhead_ratio"] > ceiling:
+        problems.append(
+            f"runtime: supervisor overhead "
+            f"{runtime['overhead_ratio']:.3f}x exceeded the "
+            f"{SUPERVISOR_OVERHEAD_TOLERANCE:.0%} budget "
+            "(best paired ratio over interleaved rounds)")
+    if runtime["incidents"] != 1:
+        problems.append(
+            f"runtime: expected exactly 1 injected incident in the "
+            f"recovery leg, saw {runtime['incidents']} — the chaos "
+            "plan is no longer biting")
     return problems
 
 
@@ -367,6 +411,13 @@ def main(argv: list[str] | None = None) -> int:
           f"{mda_lite['ipid_sim_s']:.3f}s vs "
           f"{mda_lite['exclusion_sim_s']:.3f}s sim, fleet determinism "
           f"{'ok' if fleet_ok else 'BROKEN'}")
+
+    runtime = record["runtime"]
+    print(f"runtime: supervised {runtime['supervised_wall_s']:.3f}s vs "
+          f"bare {runtime['bare_wall_s']:.3f}s "
+          f"({runtime['overhead_ratio']:.3f}x overhead), crash "
+          f"recovery +{runtime['time_to_recover_s']:.3f}s, signatures "
+          f"{'ok' if runtime['signature_match'] else 'BROKEN'}")
 
     if args.check:
         if not args.baseline.exists():

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""CI chaos smoke: crash and hang a real process-pool monitor run.
+
+Runs the bounded monitor service twice on the same seeded internet:
+once single-process (the byte oracle), once as a K=4 supervised
+**process pool** with a seeded chaos plan injecting one worker crash
+and one worker hang.  The supervised run must detect both faults,
+retry the shards, and merge to the *identical* result signature — the
+ISSUE 10 acceptance criterion, exercised on real OS processes in CI
+rather than the inline simulator.
+
+Writes ``chaos_degradation.json`` (the run's
+:class:`repro.runtime.DegradationReport` plus both signatures) for the
+build-artifact trail, then exits 1 if the signatures diverge, the
+injected faults were not observed, or the run degraded::
+
+    python tools/chaos_smoke.py [--output chaos_degradation.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SMOKE_TARGETS = 4
+#: Per-attempt deadline: clean shards finish in well under a second;
+#: only the injected hang ever reaches it (and pays it in full, so it
+#: is also the floor on the smoke's wall time).
+SHARD_TIMEOUT = 5.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the smoke; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("chaos_degradation.json"),
+                        help="where to write the degradation artifact")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    from repro.runtime import BackoffPolicy, ChaosPlan, RuntimeOptions
+    from repro.service import MonitorConfig, MonitorService
+    from repro.topology.internet import InternetConfig
+    from repro.vantage.campaign import FleetConfig
+
+    internet = InternetConfig(
+        seed=args.seed, n_tier1=2, n_transit=2, n_stub=3,
+        dests_per_stub=1, n_loop_stub_diamonds=1,
+        n_cycle_stub_diamonds=0, n_nat_dests=0, n_zero_ttl_dests=0,
+        response_loss_rate=0.0, p_per_packet=0.0, n_vantages=4)
+    monitor = MonitorConfig(duration=60.0, periods=(30.0,),
+                            max_rounds=2, fleet=FleetConfig(workers=2))
+    service = MonitorService(internet, monitor,
+                             max_destinations=SMOKE_TARGETS,
+                             metrics=False)
+
+    reference = service.run()
+
+    # K=4 over 4 vantages -> shard keys shard-v0..shard-v3.
+    chaos = ChaosPlan.of(("shard-v1", 0, "crash"),
+                         ("shard-v3", 0, "hang"))
+    started = time.perf_counter()
+    supervised = service.run(
+        shards=4, processes=True,
+        runtime=RuntimeOptions(
+            shard_timeout=SHARD_TIMEOUT,
+            backoff=BackoffPolicy(base=0.05, cap=0.2),
+            chaos=chaos))
+    wall = time.perf_counter() - started
+
+    report = supervised.degradation
+    record = {
+        "reference_signature": reference.signature(),
+        "supervised_signature": supervised.signature(),
+        "signature_match": (reference.signature()
+                            == supervised.signature()),
+        "wall_s": round(wall, 3),
+        "injected": {"shard-v1": "crash", "shard-v3": "hang"},
+        "degradation": report.to_dict() if report else None,
+    }
+    args.output.write_text(json.dumps(record, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    observed = {(i.shard, i.kind) for i in report.incidents} \
+        if report else set()
+    print(f"chaos smoke: K=4 process pool, injected crash+hang, "
+          f"observed {sorted(observed)}, wall {wall:.2f}s")
+    if report:
+        for line in report.format().splitlines():
+            print(f"  {line}")
+
+    failures = []
+    if not record["signature_match"]:
+        failures.append("signature mismatch: recovery changed the bytes")
+    if ("shard-v1", "crash") not in observed:
+        failures.append("injected crash was not observed")
+    if ("shard-v3", "hang") not in observed:
+        failures.append("injected hang was not observed")
+    if report and report.degraded:
+        failures.append(f"run degraded: vantages "
+                        f"{report.excluded_vantages} excluded")
+    for failure in failures:
+        print(f"CHAOS SMOKE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

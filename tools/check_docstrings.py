@@ -40,6 +40,7 @@ REQUIRED_PACKAGES = (
     "net",
     "obs",
     "probing",
+    "runtime",
     "service",
     "sim",
     "topology",
