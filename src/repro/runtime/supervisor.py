@@ -92,7 +92,10 @@ class RuntimeOptions:
     reassign: bool = True
     #: Runtime-fault injection (tests and the CI chaos job).
     chaos: Optional[ChaosPlan] = None
-    #: Injectable sleeper so tests never wait out real backoff.
+    #: Injectable sleeper for inline-backend backoff, so inline tests
+    #: never wait out real delays.  The process backend ignores it:
+    #: parked retries there wait on real monotonic ``ready_at``
+    #: deadlines (keep ``backoff.cap`` small in process-mode tests).
     sleep: Callable = time.sleep
     #: Concurrent process attempts (None = one per initial shard).
     max_workers: Optional[int] = None
@@ -283,7 +286,7 @@ class ShardSupervisor:
         except CampaignError as error:
             self._m_attempts.labels(work.spec.key, "invalid").inc()
             return self._failure(work, "invalid", str(error), order,
-                                 report, stats)
+                                 report, stats, counted=True)
         self._m_attempts.labels(work.spec.key, "ok").inc()
         results[work.spec.key] = result
         if self.journal is not None:
@@ -326,16 +329,22 @@ class ShardSupervisor:
                 detail=detail, resolution="reassigned"))
             stats["reassigned"] += 1
             subs = []
+            resumed = []
             for subspec in self.split(work.spec):
                 if (self.journal is not None
                         and self.journal.has(subspec.key)):
                     # A previous (interrupted) run already completed
-                    # this reassigned slice.
+                    # this reassigned slice: its checkpointed result
+                    # must still reach the merge (the caller surfaces
+                    # ``resumed_subs`` alongside the live subshards).
+                    resumed.append((subspec.key,
+                                    self.journal.result(subspec.key)))
                     continue
                 subs.append(_Work(
                     spec=subspec, primary=False,
                     retries_left=self.options.max_retries))
             work.requeue = subs
+            work.resumed_subs = resumed
             return None
         report.incidents.append(ShardIncident(
             shard=key, attempt=work.attempt, kind=kind, detail=detail,
@@ -346,6 +355,25 @@ class ShardSupervisor:
             reason=f"retries exhausted; last failure: {kind} "
                    f"({detail})"))
         return None
+
+    def _requeue(self, work: _Work, results: dict, order: list,
+                 report, stats: dict, enqueue: Callable) -> None:
+        """Surface a reassigned shard's follow-up work into the run.
+
+        Journaled subshard results (``resumed_subs``) enter the merge
+        directly — counted as resumed, exactly like primary-spec
+        journal hits in :meth:`execute` — while live subshards are
+        appended to ``order`` and handed to ``enqueue``.
+        """
+        for key, result in getattr(work, "resumed_subs", ()) or ():
+            order.append(key)
+            results[key] = result
+            report.resumed_shards.append(key)
+            stats["resumed"] += 1
+            self._m_checkpoints.labels("resumed").inc()
+        for sub in getattr(work, "requeue", ()) or ():
+            order.append(sub.spec.key)
+            enqueue(sub)
 
     def _chaos_directive(self, work: _Work) -> Optional[ChaosDirective]:
         if self.options.chaos is None:
@@ -370,7 +398,8 @@ class ShardSupervisor:
                 self.options.sleep(getattr(work, "_delay", 0.0))
             follow = self._attempt_inline(work, directive, results,
                                           order, report, stats)
-            self._schedule(follow, work, queue, order)
+            self._schedule(follow, work, queue, results, order,
+                           report, stats)
 
     def _attempt_inline(self, work, directive, results, order, report,
                         stats):
@@ -404,14 +433,14 @@ class ShardSupervisor:
         return self._success(work, result, results, order, report,
                              stats)
 
-    def _schedule(self, follow, work, queue, order) -> None:
+    def _schedule(self, follow, work, queue, results, order, report,
+                  stats) -> None:
         """Queue a retry or reassigned subshards, preserving order."""
         if follow is not None:
             queue.appendleft(follow)
             return
-        for sub in getattr(work, "requeue", ()) or ():
-            order.append(sub.spec.key)
-            queue.append(sub)
+        self._requeue(work, results, order, report, stats,
+                      queue.append)
 
     # -- process backend ------------------------------------------------
     def _run_processes(self, items: list[_Work], results: dict,
@@ -529,9 +558,8 @@ class ShardSupervisor:
             if follow is not None:
                 parked.append(follow)
             else:
-                for sub in getattr(work, "requeue", ()) or ():
-                    order.append(sub.spec.key)
-                    pending.append(sub)
+                self._requeue(work, results, order, report, stats,
+                              pending.append)
 
 
 #: Sentinel distinguishing "attempt still running" from "no follow-up".

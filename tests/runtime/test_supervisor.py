@@ -190,10 +190,16 @@ class TestValidation:
                 return {"task": task + 1, "value": -1}  # someone else's
             return work(task)
 
+        registry = MetricsRegistry()
         run = ShardSupervisor(specs(1), confused, validate=validate,
+                              registry=registry,
                               options=options()).execute()
         assert run.results[0]["value"] == 0
         assert run.report.incidents[0].kind == "invalid"
+        # One invalid attempt + one ok retry — not double-counted.
+        assert run.stats["attempts"] == 2
+        assert registry.snapshot().value(
+            "repro_runtime_shard_attempts_total", "s0", "invalid") == 1
 
     def test_persistently_wrong_results_excluded_not_merged(self):
         def confused_on_zero(task):
@@ -243,6 +249,33 @@ class TestJournalIntegration:
         assert counted["n"] == 2  # only s2 and s3 recomputed
         assert run.report.resumed_shards == ["s0", "s1"]
         assert run.stats["resumed"] == 2
+
+    def test_journaled_subshard_survives_reassignment_on_resume(
+            self, tmp_path):
+        # First run: the group shard exhausts retries, reassigns,
+        # checkpoints subshard g/v0, then the coordinator dies.
+        group = [ShardSpec(key="g", task=7, vantage_ids=[0, 1, 2])]
+        first = options(max_retries=0,
+                        chaos=ChaosPlan.of(("g", 0, "crash"),
+                                           ("g/v1", 0, "abort")))
+        with pytest.raises(RunAborted):
+            ShardSupervisor(group, work, split=split, options=first,
+                            journal=RunJournal(tmp_path / "j",
+                                               self.IDENT)).execute()
+        journal = RunJournal(tmp_path / "j", self.IDENT)
+        assert sorted(journal.completed) == ["g/v0"]
+        # Resume: the primary fails and reassigns *again*.  The
+        # journaled subshard result must enter the merge as resumed,
+        # not be silently dropped.
+        rerun = options(max_retries=0,
+                        chaos=ChaosPlan.of(("g", 0, "crash")))
+        run = ShardSupervisor(group, work, split=split, options=rerun,
+                              journal=journal).execute()
+        assert [r["value"] for r in run.results] == [70, 70, 70]
+        assert run.report.resumed_shards == ["g/v0"]
+        assert run.stats["resumed"] == 1
+        assert not run.report.degraded
+        assert sorted(journal.completed) == ["g/v0", "g/v1", "g/v2"]
 
 
 class TestMetrics:
